@@ -1,0 +1,434 @@
+package carcs_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"carcs/internal/classify"
+	"carcs/internal/core"
+	"carcs/internal/corpus"
+	"carcs/internal/coverage"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+	"carcs/internal/relstore"
+	"carcs/internal/search"
+	"carcs/internal/server"
+	"carcs/internal/similarity"
+	"carcs/internal/textproc"
+	"carcs/internal/viz"
+	"carcs/internal/workflow"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — Figure 1: entering and classifying a material.
+// ---------------------------------------------------------------------------
+
+// BenchmarkEntryClassify measures the full entry flow: highlighted ontology
+// search, suggestion, material insert with relational links and search
+// indexing.
+func BenchmarkEntryClassify(b *testing.B) {
+	sys, err := core.NewSeeded()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs13 := sys.CS13()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cs13.Search(cs13.RootID(), "iterative control")
+		sugg, err := sys.Suggest("keyword", "cs13", "loop over arrays of pixels", 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := &material.Material{
+			ID:    fmt.Sprintf("bench-entry-%d", i),
+			Title: "Bench Entry", Kind: material.Assignment, Level: material.CS1,
+			Description:     "loop over arrays of pixels",
+			Classifications: []material.Classification{{NodeID: sugg[0].NodeID}},
+		}
+		if err := sys.AddMaterial(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOntologySearchCS13 is the Fig. 1b search over the ~3000-entry
+// tree (E6 scale claim).
+func BenchmarkOntologySearchCS13(b *testing.B) {
+	cs13 := ontology.CS13()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := cs13.Search(cs13.RootID(), "parallel"); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2–E4 — Figure 2: coverage computation, one benchmark per panel.
+// ---------------------------------------------------------------------------
+
+func benchCoverage(b *testing.B, o *ontology.Ontology, mats []*material.Material) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := coverage.Compute(o, "bench", mats)
+		if r.Materials != len(mats) {
+			b.Fatal("bad report")
+		}
+		_ = r.AreaRanking()
+	}
+}
+
+func BenchmarkFigure2aNiftyCS13(b *testing.B) {
+	benchCoverage(b, ontology.CS13(), corpus.Nifty().All())
+}
+func BenchmarkFigure2bPeachyCS13(b *testing.B) {
+	benchCoverage(b, ontology.CS13(), corpus.Peachy().All())
+}
+func BenchmarkFigure2cITCSCS13(b *testing.B) {
+	benchCoverage(b, ontology.CS13(), corpus.ITCS3145().All())
+}
+func BenchmarkFigure2dNiftyPDC12(b *testing.B) {
+	benchCoverage(b, ontology.PDC12(), corpus.Nifty().All())
+}
+func BenchmarkFigure2ePeachyPDC12(b *testing.B) {
+	benchCoverage(b, ontology.PDC12(), corpus.Peachy().All())
+}
+func BenchmarkFigure2fITCSPDC12(b *testing.B) {
+	benchCoverage(b, ontology.PDC12(), corpus.ITCS3145().All())
+}
+
+// BenchmarkFigure2Render measures producing the actual artifacts (ASCII +
+// SVG) from a report.
+func BenchmarkFigure2Render(b *testing.B) {
+	r := coverage.Compute(ontology.CS13(), "Nifty", corpus.Nifty().All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := viz.CoverageTreeSVG(r, 2); len(out) == 0 {
+			b.Fatal("empty svg")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Figure 3: similarity graph construction and rendering.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFigure3SimilarityGraph(b *testing.B) {
+	nifty, peachy := corpus.Nifty().All(), corpus.Peachy().All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := similarity.BuildBipartite(nifty, peachy, similarity.SharedCount, 2)
+		if len(g.Edges) != 24 {
+			b.Fatalf("edges = %d", len(g.Edges))
+		}
+	}
+}
+
+func BenchmarkFigure3Layout(b *testing.B) {
+	g := similarity.BuildBipartite(corpus.Nifty().All(), corpus.Peachy().All(), similarity.SharedCount, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pos := viz.ForceLayout(g, 900, 700, 100); len(pos) == 0 {
+			b.Fatal("no layout")
+		}
+	}
+}
+
+// Ablation (DESIGN.md Sec. 5): the paper's shared-count metric versus
+// Jaccard and rarity-weighted overlap.
+func BenchmarkAblationSimilaritySharedCount(b *testing.B) {
+	benchSimilarityMetric(b, similarity.SharedCount, 2)
+}
+func BenchmarkAblationSimilarityJaccard(b *testing.B) {
+	benchSimilarityMetric(b, similarity.Jaccard, 0.2)
+}
+func BenchmarkAblationSimilarityRarityWeighted(b *testing.B) {
+	all := corpus.AllMaterials()
+	benchSimilarityMetric(b, similarity.RarityWeighted(all), 2.5)
+}
+
+func benchSimilarityMetric(b *testing.B, m similarity.Metric, threshold float64) {
+	b.Helper()
+	nifty, peachy := corpus.Nifty().All(), corpus.Peachy().All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := similarity.BuildBipartite(nifty, peachy, m, threshold)
+		if len(g.Nodes) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E8/E11 — suggestion engines.
+// ---------------------------------------------------------------------------
+
+const benchDesc = "students parallelize a stencil computation over arrays with OpenMP and measure speedup"
+
+func BenchmarkSuggestKeyword(b *testing.B) {
+	s := classify.NewKeyword(ontology.CS13())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Suggest(benchDesc, 10); len(out) == 0 {
+			b.Fatal("no suggestions")
+		}
+	}
+}
+
+func BenchmarkSuggestTFIDF(b *testing.B) {
+	s := classify.NewTFIDF(ontology.CS13())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Suggest(benchDesc, 10); len(out) == 0 {
+			b.Fatal("no suggestions")
+		}
+	}
+}
+
+func BenchmarkSuggestBayes(b *testing.B) {
+	s := classify.NewBayes(ontology.PDC12())
+	s.TrainAll(corpus.Peachy().All())
+	s.TrainAll(corpus.ITCS3145().All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Suggest(benchDesc, 10); len(out) == 0 {
+			b.Fatal("no suggestions")
+		}
+	}
+}
+
+func BenchmarkRecommendCoOccurrence(b *testing.B) {
+	co := classify.NewCoOccurrence(corpus.AllMaterials())
+	arrays := "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := co.Recommend([]string{arrays}, 2, 10); len(out) == 0 {
+			b.Fatal("no recommendations")
+		}
+	}
+}
+
+// BenchmarkCurationCostModel evaluates the E8 effort model over the seeded
+// corpus size.
+func BenchmarkCurationCostModel(b *testing.B) {
+	m := workflow.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		if m.TotalMinutes(98, 6, true) <= 0 {
+			b.Fatal("bad model")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E12 — scalability: store, search, coverage, similarity, server at 10k
+// synthetic materials ("a scalable, central place of interaction").
+// ---------------------------------------------------------------------------
+
+func syntheticMaterials(n int) []*material.Material {
+	return corpus.Synthetic(corpus.SyntheticOptions{N: n, Seed: 1}).All()
+}
+
+func BenchmarkStoreScaleInsert(b *testing.B) {
+	mats := syntheticMaterials(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := relstore.NewStore()
+		tbl, err := s.CreateTable(relstore.Schema{Name: "m", Columns: []relstore.Column{
+			{Name: "slug", Type: relstore.String, Unique: true},
+			{Name: "kind", Type: relstore.String, Indexed: true},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range mats {
+			if _, err := tbl.Insert(relstore.Row{"slug": m.ID, "kind": string(m.Kind)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSearchScale10k(b *testing.B) {
+	e := search.NewEngine(ontology.CS13(), ontology.PDC12())
+	for _, m := range syntheticMaterials(10000) {
+		e.Add(m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := e.Text("simulate traffic network queues", 10); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkCoverageScale10k(b *testing.B) {
+	mats := syntheticMaterials(10000)
+	o := ontology.CS13()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := coverage.Compute(o, "bench", mats)
+		if r.Materials != len(mats) {
+			b.Fatal("bad report")
+		}
+	}
+}
+
+func BenchmarkSimilarityScale1k(b *testing.B) {
+	mats := syntheticMaterials(1000)
+	left, right := mats[:500], mats[500:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = similarity.BuildBipartite(left, right, similarity.SharedCount, 2)
+	}
+}
+
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	sys, err := core.NewSeeded()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := sys.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Restore(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerThroughput measures end-to-end request handling on the two
+// hot read endpoints.
+func BenchmarkServerThroughput(b *testing.B) {
+	sys, err := core.NewSeeded()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := server.New(sys, io.Discard)
+	paths := []string{
+		"/api/materials?collection=peachy",
+		"/api/search?q=fractal&k=5",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", paths[i%len(paths)], nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkTextPipeline isolates the NLP substrate.
+func BenchmarkTextPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if terms := textproc.Terms(benchDesc); len(terms) == 0 {
+			b.Fatal("no terms")
+		}
+	}
+}
+
+func BenchmarkPorterStem(b *testing.B) {
+	words := []string{"parallelization", "synchronized", "computations", "iterative", "scheduling"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = textproc.Stem(words[i%len(words)])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension features: phrase search, query language, spell correction,
+// sunburst rendering, revision migration, ensemble suggestion.
+// ---------------------------------------------------------------------------
+
+func BenchmarkPhraseSearch(b *testing.B) {
+	e := search.NewEngine(ontology.CS13(), ontology.PDC12())
+	for _, m := range corpus.AllMaterials() {
+		e.Add(m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := e.Phrase("monte carlo"); len(got) == 0 {
+			b.Fatal("no phrase hits")
+		}
+	}
+}
+
+func BenchmarkQueryLanguage(b *testing.B) {
+	e := search.NewEngine(ontology.CS13(), ontology.PDC12())
+	for _, m := range corpus.AllMaterials() {
+		e.Add(m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits, err := e.Query(`collection:peachy in:cs13/pd year:2018..2019 fire`, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = hits
+	}
+}
+
+func BenchmarkSpellCorrection(b *testing.B) {
+	e := search.NewEngine(ontology.CS13(), ontology.PDC12())
+	for _, m := range corpus.AllMaterials() {
+		e.Add(m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, didYouMean := e.TextCorrected("fractel simulaton", 5); didYouMean == "" {
+			b.Fatal("no correction")
+		}
+	}
+}
+
+func BenchmarkSunburstRender(b *testing.B) {
+	r := coverage.Compute(ontology.CS13(), "Nifty", corpus.Nifty().All())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := viz.CoverageSunburstSVG(r, 3, 640); len(out) == 0 {
+			b.Fatal("empty sunburst")
+		}
+	}
+}
+
+func BenchmarkRevisionMigration(b *testing.B) {
+	old, next := ontology.PDC12(), ontology.PDC19Draft()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := ontology.BuildMigration(old, next, 0.25)
+		if len(m.Mapping) == 0 {
+			b.Fatal("empty migration")
+		}
+	}
+}
+
+func BenchmarkSuggestEnsemble(b *testing.B) {
+	cs13 := ontology.CS13()
+	ens := classify.NewEnsemble(classify.NewKeyword(cs13), classify.NewTFIDF(cs13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ens.Suggest(benchDesc, 10); len(out) == 0 {
+			b.Fatal("no suggestions")
+		}
+	}
+}
+
+func BenchmarkBloomDepthReport(b *testing.B) {
+	mats := corpus.ITCS3145().All()
+	o := ontology.PDC12()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := coverage.ComputeDepth(o, mats); len(r.Entries) == 0 {
+			b.Fatal("empty depth report")
+		}
+	}
+}

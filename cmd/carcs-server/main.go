@@ -1,0 +1,55 @@
+// Command carcs-server runs the CAR-CS web service: the reproduction's
+// equivalent of the paper's Django/Heroku prototype. It seeds the system
+// with the three paper collections (Nifty, Peachy, ITCS 3145), registers a
+// default editor account, and serves the JSON API.
+//
+// Usage:
+//
+//	carcs-server [-addr :8080] [-empty]
+//
+// Try:
+//
+//	curl localhost:8080/api/status
+//	curl 'localhost:8080/api/coverage?ontology=pdc12&collection=itcs3145'
+//	curl 'localhost:8080/api/similarity?left=nifty&right=peachy'
+//	curl 'localhost:8080/api/ontologies/cs13/search?q=parallel'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"carcs/internal/core"
+	"carcs/internal/server"
+	"carcs/internal/workflow"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	empty := flag.Bool("empty", false, "start without the seeded collections")
+	flag.Parse()
+
+	var sys *core.System
+	var err error
+	if *empty {
+		sys, err = core.New()
+	} else {
+		sys, err = core.NewSeeded()
+	}
+	if err != nil {
+		log.Fatalf("carcs-server: %v", err)
+	}
+	sys.Workflow().Register("editor", workflow.RoleEditor)
+	sys.Workflow().Register("submitter", workflow.RoleSubmitter)
+
+	st := sys.ComputeStats()
+	fmt.Printf("carcs-server: %d materials in %v, CS13 %d entries, PDC12 %d entries\n",
+		st.Materials, st.Collections, st.CS13Size, st.PDC12Size)
+	fmt.Printf("carcs-server: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, server.New(sys, os.Stderr)); err != nil {
+		log.Fatalf("carcs-server: %v", err)
+	}
+}

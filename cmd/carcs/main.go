@@ -1,0 +1,452 @@
+// Command carcs is the CAR-CS command-line interface over the seeded
+// repository: list and inspect materials, compute coverage and gaps, build
+// similarity graphs, search, suggest classifications, and export snapshots.
+//
+// Usage:
+//
+//	carcs stats
+//	carcs list [-collection nifty] [-kind assignment] [-level CS1]
+//	carcs show <material-id>
+//	carcs coverage -ontology cs13 [-collection itcs3145] [-depth 2]
+//	carcs gaps -ontology pdc12 [-collection peachy] [-core]
+//	carcs similarity [-left nifty] [-right peachy] [-threshold 2]
+//	carcs search -q "forest fire"
+//	carcs query -q 'collection:nifty level:CS1 in:cs13/sdf arrays'
+//	carcs depth -ontology pdc12 -collection itcs3145
+//	carcs ontology-search -ontology cs13 -q "iterative control"
+//	carcs suggest -ontology cs13 -q "loop over pixel arrays" [-method tfidf]
+//	carcs recommend -entry <node-id> [-entry <node-id>...]
+//	carcs replacements <material-id>
+//	carcs migrate
+//	carcs snapshot -o state.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"carcs/internal/core"
+	"carcs/internal/coverage"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+	"carcs/internal/search"
+	"carcs/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "carcs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (stats, list, show, coverage, gaps, similarity, search, query, depth, ontology-search, suggest, recommend, replacements, migrate, snapshot)")
+	}
+	sys, err := core.NewSeeded()
+	if err != nil {
+		return err
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "stats":
+		st := sys.ComputeStats()
+		fmt.Printf("materials:   %d\n", st.Materials)
+		fmt.Printf("collections: %s\n", strings.Join(st.Collections, ", "))
+		fmt.Printf("entries:     %d distinct classification entries in use (%d links)\n", st.Entries, st.Links)
+		fmt.Printf("cs13:        %d ontology entries\n", st.CS13Size)
+		fmt.Printf("pdc12:       %d ontology entries\n", st.PDC12Size)
+		return nil
+
+	case "list":
+		fs := flag.NewFlagSet("list", flag.ContinueOnError)
+		collection := fs.String("collection", "", "filter by collection")
+		kind := fs.String("kind", "", "filter by kind")
+		level := fs.String("level", "", "filter by course level")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		var filters []search.Filter
+		if *collection != "" {
+			filters = append(filters, search.ByCollection(*collection))
+		}
+		if *kind != "" {
+			filters = append(filters, search.ByKind(material.Kind(*kind)))
+		}
+		if *level != "" {
+			filters = append(filters, search.ByLevel(material.Level(*level)))
+		}
+		for _, m := range sys.Engine().Select(search.AllOf(filters...)) {
+			fmt.Printf("%-55s %-10s %-12s %4d  %s\n", m.ID, m.Kind, m.Level, m.Year, m.Collection)
+		}
+		return nil
+
+	case "show":
+		if len(rest) != 1 {
+			return fmt.Errorf("show needs exactly one material id")
+		}
+		m := sys.Material(rest[0])
+		if m == nil {
+			return fmt.Errorf("no material %q", rest[0])
+		}
+		fmt.Printf("%s (%s, %s, %d)\n%s\n", m.Title, m.Kind, m.Level, m.Year, m.Description)
+		fmt.Printf("language: %s   collection: %s\n", m.Language, m.Collection)
+		fmt.Println("classifications:")
+		for _, id := range m.ClassificationIDs() {
+			path := sys.CS13().Path(id)
+			if path == "" {
+				path = sys.PDC12().Path(id)
+			}
+			fmt.Printf("  - %s\n", path)
+		}
+		return nil
+
+	case "coverage":
+		fs := flag.NewFlagSet("coverage", flag.ContinueOnError)
+		ont := fs.String("ontology", "cs13", "cs13 or pdc12")
+		collection := fs.String("collection", "", "collection (empty for all)")
+		depth := fs.Int("depth", 2, "tree depth to print (0 for unlimited)")
+		svg := fs.String("svg", "", "also write an SVG rendering to this file")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		rep, err := sys.Coverage(*ont, *collection)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		fmt.Println()
+		fmt.Print(viz.CoverageTreeASCII(rep, *depth))
+		if *svg != "" {
+			if err := os.WriteFile(*svg, []byte(viz.CoverageTreeSVG(rep, *depth)), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *svg)
+		}
+		return nil
+
+	case "gaps":
+		fs := flag.NewFlagSet("gaps", flag.ContinueOnError)
+		ont := fs.String("ontology", "pdc12", "cs13 or pdc12")
+		collection := fs.String("collection", "", "collection (empty for all)")
+		coreOnly := fs.Bool("core", false, "only gaps containing core-tier entries")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		rep, err := sys.Coverage(*ont, *collection)
+		if err != nil {
+			return err
+		}
+		gaps := rep.Gaps(rep.Ontology.RootID())
+		if *coreOnly {
+			gaps = rep.CoreGaps(rep.Ontology.RootID())
+		}
+		for _, g := range gaps {
+			fmt.Printf("%-90s %3d entries  %s\n", g.Path, g.Entries, g.Tier)
+		}
+		return nil
+
+	case "similarity":
+		fs := flag.NewFlagSet("similarity", flag.ContinueOnError)
+		left := fs.String("left", "nifty", "left collection")
+		right := fs.String("right", "peachy", "right collection")
+		threshold := fs.Int("threshold", 2, "minimum shared classification items")
+		dot := fs.String("dot", "", "write Graphviz DOT to this file")
+		svg := fs.String("svg", "", "write an SVG rendering to this file")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		g := sys.SimilarityGraph(*left, *right, *threshold)
+		fmt.Printf("%d nodes, %d edges, %.0f%% isolated\n", len(g.Nodes), len(g.Edges), 100*g.IsolationRatio())
+		for _, comp := range g.Components(2) {
+			fmt.Printf("cluster (%d): %s\n", len(comp), strings.Join(comp, ", "))
+		}
+		for _, e := range g.Edges {
+			fmt.Printf("  %s -- %s (%d shared)\n", e.A, e.B, len(e.Shared))
+		}
+		if *dot != "" {
+			if err := os.WriteFile(*dot, []byte(viz.SimilarityDOT(g, "similarity")), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *dot)
+		}
+		if *svg != "" {
+			if err := os.WriteFile(*svg, []byte(viz.SimilaritySVG(g, 900, 700)), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *svg)
+		}
+		return nil
+
+	case "search":
+		fs := flag.NewFlagSet("search", flag.ContinueOnError)
+		q := fs.String("q", "", "free-text query")
+		k := fs.Int("k", 10, "max results")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *q == "" {
+			return fmt.Errorf("search needs -q")
+		}
+		for _, h := range sys.Engine().Text(*q, *k) {
+			fmt.Printf("%6.3f  %-55s %s\n", h.Score, h.Material.ID, h.Material.Title)
+		}
+		return nil
+
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ContinueOnError)
+		q := fs.String("q", "", `structured query, e.g. 'collection:nifty level:CS1 in:cs13/sdf arrays'`)
+		k := fs.Int("k", 20, "max results")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *q == "" {
+			return fmt.Errorf("query needs -q")
+		}
+		hits, err := sys.Engine().Query(*q, *k)
+		if err != nil {
+			return err
+		}
+		for _, h := range hits {
+			fmt.Printf("%6.3f  %-55s %-10s %s\n", h.Score, h.Material.ID, h.Material.Kind, h.Material.Collection)
+		}
+		return nil
+
+	case "depth":
+		fs := flag.NewFlagSet("depth", flag.ContinueOnError)
+		ont := fs.String("ontology", "pdc12", "cs13 or pdc12")
+		collection := fs.String("collection", "itcs3145", "collection (empty for all)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		o := sys.OntologyByName(*ont)
+		if o == nil {
+			return fmt.Errorf("unknown ontology %q", *ont)
+		}
+		rep := coverage.ComputeDepth(o, sys.Materials(*collection))
+		fmt.Printf("Bloom depth vs %s: %d met, %d shallow, %d unrated (%.0f%% rated)\n",
+			o.Name(), rep.Met, rep.Shallow, rep.Unrated, 100*rep.RatedFraction())
+		for _, e := range rep.ShallowEntries() {
+			fmt.Printf("  shallow: %-45s covers %q at %s, curriculum expects %s\n",
+				e.MaterialID, e.Path, e.Actual, e.Expected)
+		}
+		return nil
+
+	case "ontology-search":
+		fs := flag.NewFlagSet("ontology-search", flag.ContinueOnError)
+		ont := fs.String("ontology", "cs13", "cs13 or pdc12")
+		q := fs.String("q", "", "query")
+		k := fs.Int("k", 15, "max results")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		o := sys.OntologyByName(*ont)
+		if o == nil {
+			return fmt.Errorf("unknown ontology %q", *ont)
+		}
+		if *q == "" {
+			return fmt.Errorf("ontology-search needs -q")
+		}
+		for _, p := range o.SearchPaths(*q, *k) {
+			fmt.Println(p)
+		}
+		return nil
+
+	case "suggest":
+		fs := flag.NewFlagSet("suggest", flag.ContinueOnError)
+		ont := fs.String("ontology", "cs13", "cs13 or pdc12")
+		method := fs.String("method", "tfidf", "keyword, tfidf, or bayes")
+		q := fs.String("q", "", "material description")
+		k := fs.Int("k", 10, "max suggestions")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *q == "" {
+			return fmt.Errorf("suggest needs -q")
+		}
+		sugg, err := sys.Suggest(*method, *ont, *q, *k)
+		if err != nil {
+			return err
+		}
+		for _, sg := range sugg {
+			fmt.Printf("%6.3f  %s\n", sg.Score, sg.Path)
+		}
+		return nil
+
+	case "recommend":
+		fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
+		var entries multiFlag
+		fs.Var(&entries, "entry", "already-selected entry (repeatable)")
+		k := fs.Int("k", 10, "max recommendations")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("recommend needs at least one -entry")
+		}
+		for _, r := range sys.Recommend(entries, *k) {
+			fmt.Printf("conf=%.2f supp=%.3f n=%d  %s\n", r.Confidence, r.Support, r.Count, r.Then)
+		}
+		return nil
+
+	case "replacements":
+		if len(rest) != 1 {
+			return fmt.Errorf("replacements needs exactly one material id")
+		}
+		edges, err := sys.PDCReplacements(rest[0], 10)
+		if err != nil {
+			return err
+		}
+		if len(edges) == 0 {
+			fmt.Println("no PDC-covering materials share two classification items with this one")
+			return nil
+		}
+		for _, e := range edges {
+			fmt.Printf("%2.0f shared  %s\n", e.Score, e.B)
+			for _, sh := range e.Shared {
+				fmt.Printf("           - %s\n", sh)
+			}
+		}
+		return nil
+
+	case "export":
+		fs := flag.NewFlagSet("export", flag.ContinueOnError)
+		ont := fs.String("ontology", "cs13", "cs13 or pdc12")
+		out := fs.String("o", "", "output CSV file (default stdout)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		o := sys.OntologyByName(*ont)
+		if o == nil {
+			return fmt.Errorf("unknown ontology %q", *ont)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return o.ExportCSV(w)
+
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+		ont := fs.String("ontology", "cs13", "cs13 or pdc12")
+		a := fs.String("a", "nifty", "first collection")
+		bb := fs.String("b", "peachy", "second collection")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		ra, err := sys.Coverage(*ont, *a)
+		if err != nil {
+			return err
+		}
+		rb, err := sys.Coverage(*ont, *bb)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n%s\n", ra.String(), rb.String())
+		fmt.Printf("alignment (Jaccard over covered entries): %.3f\n\n", coverage.Alignment(ra, rb))
+		diff := coverage.Diff(ra, rb)
+		onlyA, onlyB := 0, 0
+		for _, d := range diff {
+			if d.OnlyIn == ra.Collection {
+				onlyA++
+			} else {
+				onlyB++
+			}
+		}
+		fmt.Printf("%d entries only in %s, %d only in %s; first 10:\n", onlyA, *a, onlyB, *bb)
+		for i, d := range diff {
+			if i >= 10 {
+				break
+			}
+			fmt.Printf("  [%s] %s\n", d.OnlyIn, d.Path)
+		}
+		return nil
+
+	case "migrate":
+		// Preview how the corpus's PDC12 classifications migrate to the
+		// hypothetical PDC19 draft revision.
+		old, next := ontology.PDC12(), ontology.PDC19Draft()
+		mig := ontology.BuildMigration(old, next, 0.25)
+		fmt.Printf("PDC12 -> PDC19 draft: %.0f%% of %d entries map automatically (%d ambiguous, %d dropped)\n",
+			100*mig.Coverage(old), len(old.Classifiable()), len(mig.Ambiguous), len(mig.Dropped))
+		moved := 0
+		for from, to := range mig.Mapping {
+			if old.Path(from) != "" && relPath(old, from) != relPath(next, to) {
+				moved++
+			}
+		}
+		fmt.Printf("%d entries change their position in the tree, e.g.:\n", moved)
+		shown := 0
+		for _, from := range old.Classifiable() {
+			to, ok := mig.Mapping[from]
+			if !ok || relPath(old, from) == relPath(next, to) {
+				continue
+			}
+			fmt.Printf("  %s\n    -> %s\n", old.Path(from), next.Path(to))
+			if shown++; shown >= 5 {
+				break
+			}
+		}
+		review := 0
+		for _, m := range sys.Materials("") {
+			var pdcIDs []string
+			for _, id := range m.ClassificationIDs() {
+				if old.Has(id) {
+					pdcIDs = append(pdcIDs, id)
+				}
+			}
+			if len(pdcIDs) == 0 {
+				continue
+			}
+			_, needs := mig.Apply(pdcIDs)
+			review += len(needs)
+		}
+		fmt.Printf("corpus impact: %d classification links need manual review after migration\n", review)
+		return nil
+
+	case "snapshot":
+		fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
+		out := fs.String("o", "carcs-snapshot.json", "output file")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sys.Snapshot(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// relPath strips the ontology root label from a display path so the two
+// revisions' paths compare structurally.
+func relPath(o *ontology.Ontology, id string) string {
+	p := o.Path(id)
+	if i := strings.Index(p, " :: "); i >= 0 {
+		return p[i+4:]
+	}
+	return p
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSubcommands exercises every CLI subcommand end to end against the
+// seeded repository (output goes to the test's stdout; we assert on the
+// error contract and on produced files).
+func TestRunSubcommands(t *testing.T) {
+	tmp := t.TempDir()
+	ok := [][]string{
+		{"stats"},
+		{"list", "-collection", "peachy"},
+		{"list", "-kind", "slides", "-level", "advanced"},
+		{"show", "uno"},
+		{"coverage", "-ontology", "pdc12", "-collection", "itcs3145", "-depth", "2",
+			"-svg", filepath.Join(tmp, "cov.svg")},
+		{"gaps", "-ontology", "pdc12", "-collection", "peachy", "-core"},
+		{"similarity", "-left", "nifty", "-right", "peachy",
+			"-dot", filepath.Join(tmp, "sim.dot"), "-svg", filepath.Join(tmp, "sim.svg")},
+		{"search", "-q", "forest fire"},
+		{"query", "-q", "collection:nifty level:CS1"},
+		{"depth", "-ontology", "pdc12", "-collection", "itcs3145"},
+		{"ontology-search", "-ontology", "cs13", "-q", "iterative control"},
+		{"suggest", "-ontology", "cs13", "-q", "loop over arrays", "-method", "keyword"},
+		{"recommend", "-entry", "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"},
+		{"replacements", "uno"},
+		{"replacements", "boggle"},
+		{"compare", "-a", "nifty", "-b", "peachy"},
+		{"migrate"},
+		{"export", "-ontology", "pdc12", "-o", filepath.Join(tmp, "pdc12.csv")},
+		{"snapshot", "-o", filepath.Join(tmp, "snap.json")},
+	}
+	for _, args := range ok {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	for _, f := range []string{"cov.svg", "sim.dot", "sim.svg", "snap.json", "pdc12.csv"} {
+		st, err := os.Stat(filepath.Join(tmp, f))
+		if err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty: %v", f, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	bad := [][]string{
+		{},
+		{"frobnicate"},
+		{"show"},
+		{"show", "ghost"},
+		{"search"},
+		{"query"},
+		{"query", "-q", "kind:poem"},
+		{"suggest"},
+		{"suggest", "-q", "x", "-method", "oracle"},
+		{"recommend"},
+		{"replacements"},
+		{"replacements", "ghost"},
+		{"ontology-search", "-ontology", "zzz", "-q", "x"},
+		{"ontology-search"},
+		{"depth", "-ontology", "zzz"},
+		{"coverage", "-ontology", "zzz"},
+		{"compare", "-ontology", "zzz"},
+		{"export", "-ontology", "zzz"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+// TestUsageDocListsSubcommands keeps the doc comment's subcommand list in
+// sync with the dispatcher's error message.
+func TestUsageDocListsSubcommands(t *testing.T) {
+	err := run(nil)
+	if err == nil {
+		t.Fatal("no usage error")
+	}
+	for _, sub := range []string{"stats", "query", "depth", "migrate", "snapshot"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("usage missing %q: %v", sub, err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFigureGeneration drives the artifact pipeline into a temp directory
+// and validates the report records every reproduced claim.
+func TestFigureGeneration(t *testing.T) {
+	dir := t.TempDir()
+	var report strings.Builder
+	figure1(dir, &report)
+	figure2(dir, &report)
+	figure3(dir, &report)
+
+	wantFiles := []string{
+		"figure1_entry_flow.txt",
+		"figure2a_nifty_cs13.txt", "figure2a_nifty_cs13.svg", "figure2a_nifty_cs13_sunburst.svg",
+		"figure2f_itcs3145_pdc12.txt",
+		"figure3_similarity.dot", "figure3_similarity.svg", "figure3_similarity.txt",
+	}
+	for _, f := range wantFiles {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty", f)
+		}
+	}
+	rep := report.String()
+	for _, want := range []string{
+		"top areas [SDF PL AL CN]",
+		"Nifty covers no PDC12 topics -> covered entries = 0",
+		"Figure 3: 24 edges",
+		"clusters 1",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The Fig. 1 transcript shows highlighted search and the checked
+	// classification list.
+	flow, err := os.ReadFile(filepath.Join(dir, "figure1_entry_flow.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"[iterative] [control]", "[x]", "Load balancing"} {
+		if !strings.Contains(string(flow), want) {
+			t.Errorf("entry flow missing %q", want)
+		}
+	}
+}

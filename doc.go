@@ -1,0 +1,12 @@
+// Package carcs is a from-scratch Go reproduction of "Classifying
+// Pedagogical Material to Improve Adoption of Parallel and Distributed
+// Computing Topics" (IPDPSW/EduPar 2019): the CAR-CS system for classifying
+// pedagogical materials against the ACM/IEEE CS2013 and NSF/IEEE-TCPP PDC12
+// curriculum ontologies, plus every substrate it depends on.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the server, CLI, and figure-regeneration binaries;
+// examples/ holds runnable walkthroughs of the paper's use cases. The
+// benchmarks in this package regenerate the performance side of every
+// figure (see EXPERIMENTS.md).
+package carcs

@@ -1,0 +1,71 @@
+// Gap analysis for PDC education experts (the paper's Sec. IV-C use case):
+// compare what Nifty assignments (classic early-CS material) and Peachy
+// Parallel assignments exercise, quantify their (mis)alignment, and list the
+// curriculum regions where no PDC material exists yet.
+//
+// Run with: go run ./examples/gap-analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carcs/internal/corpus"
+	"carcs/internal/coverage"
+	"carcs/internal/ontology"
+)
+
+func main() {
+	cs13, pdc12 := ontology.CS13(), ontology.PDC12()
+	nifty := coverage.Compute(cs13, "Nifty", corpus.Nifty().All())
+	peachy := coverage.Compute(cs13, "Peachy", corpus.Peachy().All())
+
+	fmt.Println("=== What each community's assignments exercise (CS13) ===")
+	fmt.Printf("%-6s %-28s %-28s\n", "", "Nifty", "Peachy")
+	nRank, pRank := nifty.AreaRanking(), peachy.AreaRanking()
+	for i := 0; i < 4; i++ {
+		fmt.Printf("#%d     %-28s %-28s\n", i+1,
+			fmt.Sprintf("%s (%d pairs)", nRank[i].Code, nRank[i].Pairs),
+			fmt.Sprintf("%s (%d pairs)", pRank[i].Code, pRank[i].Pairs))
+	}
+
+	al := coverage.Alignment(nifty, peachy)
+	fmt.Printf("\nalignment (Jaccard over covered entries): %.3f\n", al)
+	fmt.Println("  -> \"unless the PDC community develops assignments that align better")
+	fmt.Println("     with classic CS1-CS2 assignments, it is unlikely we will see massive")
+	fmt.Println("     adoption.\"")
+
+	fmt.Println("\n=== Entries Nifty exercises that no Peachy assignment touches ===")
+	count := 0
+	for _, d := range coverage.Diff(nifty, peachy) {
+		if d.OnlyIn != "Nifty" {
+			continue
+		}
+		if count < 10 {
+			fmt.Printf("  %s\n", d.Path)
+		}
+		count++
+	}
+	fmt.Printf("  ... %d entries total — the classic-CS surface new Peachy assignments could target\n", count)
+
+	fmt.Println("\n=== PDC12 regions with no Peachy material at all ===")
+	pd := coverage.Compute(pdc12, "Peachy", corpus.Peachy().All())
+	if err := printGaps(pd); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printGaps(pd *coverage.Report) error {
+	gaps := pd.Gaps(pd.Ontology.RootID())
+	for i, g := range gaps {
+		if i >= 10 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %-80s %2d entries (%s)\n", g.Path, g.Entries, g.Tier)
+	}
+	core := pd.CoreGaps(pd.Ontology.RootID())
+	fmt.Printf("\n%d gaps total, %d containing core-tier topics — \"topics for which\n", len(gaps), len(core))
+	fmt.Println("pedagogical material does not exist and that should be developed\"")
+	return nil
+}

@@ -1,0 +1,3 @@
+module carcs
+
+go 1.22

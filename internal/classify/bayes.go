@@ -1,0 +1,111 @@
+package classify
+
+import (
+	"math"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+	"carcs/internal/textproc"
+)
+
+// Bayes is a multinomial naive Bayes suggester trained on already-classified
+// materials: each ontology entry is a class whose training text is the
+// concatenation of the texts of materials tagged with it. Once enough
+// materials are classified, it learns corpus-specific vocabulary (e.g. that
+// "OpenMP" signals the compiler-pragmas entry) that the training-free
+// suggesters cannot.
+type Bayes struct {
+	o *ontology.Ontology
+	// termCounts[entry][term] = occurrences in the entry's training text.
+	termCounts map[string]map[string]int
+	totalTerms map[string]int
+	docCount   map[string]int
+	trained    int
+	vocab      map[string]bool
+}
+
+// NewBayes returns an untrained model bound to the ontology.
+func NewBayes(o *ontology.Ontology) *Bayes {
+	return &Bayes{
+		o:          o,
+		termCounts: make(map[string]map[string]int),
+		totalTerms: make(map[string]int),
+		docCount:   make(map[string]int),
+		vocab:      make(map[string]bool),
+	}
+}
+
+// Name implements Suggester.
+func (b *Bayes) Name() string { return "naive-bayes" }
+
+// Train adds one classified material to the model. Classifications outside
+// the model's ontology are ignored.
+func (b *Bayes) Train(m *material.Material) {
+	terms := textproc.Terms(m.SearchText())
+	trained := false
+	for _, id := range m.ClassificationIDs() {
+		if !b.o.Has(id) {
+			continue
+		}
+		trained = true
+		b.docCount[id]++
+		tc := b.termCounts[id]
+		if tc == nil {
+			tc = make(map[string]int)
+			b.termCounts[id] = tc
+		}
+		for _, t := range terms {
+			tc[t]++
+			b.totalTerms[id]++
+			b.vocab[t] = true
+		}
+	}
+	if trained {
+		b.trained++
+	}
+}
+
+// TrainAll trains on a whole collection.
+func (b *Bayes) TrainAll(mats []*material.Material) {
+	for _, m := range mats {
+		b.Train(m)
+	}
+}
+
+// Trained returns the number of training materials seen.
+func (b *Bayes) Trained() int { return b.trained }
+
+// Suggest implements Suggester: it scores every entry with training data by
+// log P(entry) + Σ log P(term|entry) with Laplace smoothing, and returns the
+// top k as suggestions. Scores are shifted so the best suggestion has score
+// 1 and others fall off exponentially (comparable across queries).
+func (b *Bayes) Suggest(text string, k int) []Suggestion {
+	if b.trained == 0 {
+		return nil
+	}
+	terms := textproc.Terms(text)
+	if len(terms) == 0 {
+		return nil
+	}
+	v := float64(len(b.vocab) + 1)
+	var out []Suggestion
+	var best float64
+	first := true
+	for id, tc := range b.termCounts {
+		logp := math.Log(float64(b.docCount[id]) / float64(b.trained))
+		denom := float64(b.totalTerms[id]) + v
+		for _, t := range terms {
+			logp += math.Log((float64(tc[t]) + 1) / denom)
+		}
+		if first || logp > best {
+			best = logp
+			first = false
+		}
+		out = append(out, Suggestion{NodeID: id, Path: b.o.Path(id), Score: logp})
+	}
+	// Normalize to (0, 1] with the best at 1.
+	for i := range out {
+		out[i].Score = math.Exp((out[i].Score - best) / float64(len(terms)))
+	}
+	return top(out, k)
+}

@@ -1,0 +1,147 @@
+package classify
+
+import (
+	"sort"
+
+	"carcs/internal/material"
+)
+
+// CoOccurrence mines association rules between classification entries from
+// an already-classified corpus, implementing the paper's closing suggestion:
+// "once enough materials are classified, we would be able to leverage
+// existing classification to provide recommendation on topics commonly used
+// together."
+type CoOccurrence struct {
+	// count[a] = number of materials tagged a; pair[a][b] = number tagged
+	// both a and b.
+	count map[string]int
+	pair  map[string]map[string]int
+	n     int
+}
+
+// NewCoOccurrence mines the rules from the given materials.
+func NewCoOccurrence(mats []*material.Material) *CoOccurrence {
+	c := &CoOccurrence{
+		count: make(map[string]int),
+		pair:  make(map[string]map[string]int),
+		n:     len(mats),
+	}
+	for _, m := range mats {
+		ids := m.ClassificationIDs()
+		for _, a := range ids {
+			c.count[a]++
+		}
+		for i, a := range ids {
+			for _, b := range ids[i+1:] {
+				c.bump(a, b)
+				c.bump(b, a)
+			}
+		}
+	}
+	return c
+}
+
+func (c *CoOccurrence) bump(a, b string) {
+	m := c.pair[a]
+	if m == nil {
+		m = make(map[string]int)
+		c.pair[a] = m
+	}
+	m[b]++
+}
+
+// Rule is one association rule "materials tagged Given are often also
+// tagged Then".
+type Rule struct {
+	Given, Then string
+	// Support is the fraction of all materials carrying both entries.
+	Support float64
+	// Confidence is P(Then | Given).
+	Confidence float64
+	// Count is the number of materials carrying both.
+	Count int
+}
+
+// Rules returns rules from the given entry with at least minCount joint
+// occurrences, ordered by confidence then support.
+func (c *CoOccurrence) Rules(given string, minCount int) []Rule {
+	if minCount < 1 {
+		minCount = 1
+	}
+	base := c.count[given]
+	if base == 0 {
+		return nil
+	}
+	var out []Rule
+	for then, joint := range c.pair[given] {
+		if joint < minCount {
+			continue
+		}
+		out = append(out, Rule{
+			Given: given, Then: then,
+			Support:    float64(joint) / float64(max(c.n, 1)),
+			Confidence: float64(joint) / float64(base),
+			Count:      joint,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Then < out[j].Then
+	})
+	return out
+}
+
+// Recommend proposes entries to add given a partially entered classification
+// set: each candidate is scored by the sum of confidences of rules firing
+// from the selected entries, excluding entries already selected. Returns the
+// top k.
+func (c *CoOccurrence) Recommend(selected []string, minCount, k int) []Rule {
+	have := make(map[string]bool, len(selected))
+	for _, s := range selected {
+		have[s] = true
+	}
+	agg := make(map[string]*Rule)
+	for _, s := range selected {
+		for _, r := range c.Rules(s, minCount) {
+			if have[r.Then] {
+				continue
+			}
+			acc := agg[r.Then]
+			if acc == nil {
+				rr := r
+				rr.Given = "" // aggregated over all selected entries
+				agg[r.Then] = &rr
+				continue
+			}
+			acc.Confidence += r.Confidence
+			acc.Support += r.Support
+			acc.Count += r.Count
+		}
+	}
+	out := make([]Rule, 0, len(agg))
+	for _, r := range agg {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Then < out[j].Then
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

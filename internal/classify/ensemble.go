@@ -1,0 +1,72 @@
+package classify
+
+import "sort"
+
+// Ensemble combines several suggesters with reciprocal-rank fusion: each
+// member votes for entries by rank, and entries accumulate 1/(k0 + rank)
+// across members. Fusion is robust to the members' incomparable score
+// scales (keyword overlap, cosine, Bayes posteriors) and lets a trained
+// model sharpen the training-free ones without being able to veto them.
+type Ensemble struct {
+	members []Suggester
+	// K0 is the fusion constant; 60 is the standard choice, smaller
+	// values weight top ranks more heavily.
+	K0 float64
+	// Pool is how many suggestions each member contributes; defaults to
+	// 3x the requested k.
+	Pool int
+}
+
+// NewEnsemble builds an ensemble over the given members.
+func NewEnsemble(members ...Suggester) *Ensemble {
+	return &Ensemble{members: members, K0: 60}
+}
+
+// Name implements Suggester.
+func (e *Ensemble) Name() string {
+	name := "ensemble("
+	for i, m := range e.members {
+		if i > 0 {
+			name += "+"
+		}
+		name += m.Name()
+	}
+	return name + ")"
+}
+
+// Suggest implements Suggester via reciprocal-rank fusion.
+func (e *Ensemble) Suggest(text string, k int) []Suggestion {
+	pool := e.Pool
+	if pool <= 0 {
+		pool = 3 * k
+		if pool <= 0 {
+			pool = 30
+		}
+	}
+	k0 := e.K0
+	if k0 <= 0 {
+		k0 = 60
+	}
+	scores := make(map[string]float64)
+	paths := make(map[string]string)
+	for _, m := range e.members {
+		for rank, sg := range m.Suggest(text, pool) {
+			scores[sg.NodeID] += 1 / (k0 + float64(rank+1))
+			paths[sg.NodeID] = sg.Path
+		}
+	}
+	out := make([]Suggestion, 0, len(scores))
+	for id, s := range scores {
+		out = append(out, Suggestion{NodeID: id, Path: paths[id], Score: s})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].NodeID < out[j].NodeID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

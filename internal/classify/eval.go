@@ -1,0 +1,118 @@
+package classify
+
+import (
+	"fmt"
+
+	"carcs/internal/material"
+)
+
+// Quality is the evaluation of a suggester against hand-curated labels.
+type Quality struct {
+	Suggester string
+	// PrecisionAtK is the mean fraction of the top-k suggestions that
+	// appear in the material's hand-curated classification set.
+	PrecisionAtK float64
+	// RecallAtK is the mean fraction of hand labels found in the top k.
+	RecallAtK float64
+	// HitRate is the fraction of materials with at least one correct
+	// suggestion in the top k.
+	HitRate float64
+	K       int
+	N       int
+}
+
+// Evaluate scores a suggester over materials with hand labels, restricted to
+// labels inside the suggester's ontology (callers pass the entry-membership
+// test). Materials with no in-ontology labels are skipped.
+func Evaluate(s Suggester, mats []*material.Material, inOntology func(string) bool, k int) Quality {
+	q := Quality{Suggester: s.Name(), K: k}
+	var sumP, sumR float64
+	for _, m := range mats {
+		truth := make(map[string]bool)
+		for _, id := range m.ClassificationIDs() {
+			if inOntology(id) {
+				truth[id] = true
+			}
+		}
+		if len(truth) == 0 {
+			continue
+		}
+		sugg := SuggestForMaterial(s, m, k)
+		if len(sugg) == 0 {
+			q.N++
+			continue
+		}
+		hits := 0
+		for _, sg := range sugg {
+			if truth[sg.NodeID] {
+				hits++
+			}
+		}
+		sumP += float64(hits) / float64(len(sugg))
+		sumR += float64(hits) / float64(len(truth))
+		if hits > 0 {
+			q.HitRate++
+		}
+		q.N++
+	}
+	if q.N > 0 {
+		q.PrecisionAtK = sumP / float64(q.N)
+		q.RecallAtK = sumR / float64(q.N)
+		q.HitRate /= float64(q.N)
+	}
+	return q
+}
+
+// EvaluateLeaveOneOut evaluates a trainable suggester (naive Bayes) fairly:
+// for each material, the model is trained on every other material, then
+// asked to suggest for the held-out one. newModel must return a fresh
+// trainable suggester.
+func EvaluateLeaveOneOut(newModel func() *Bayes, mats []*material.Material, inOntology func(string) bool, k int) Quality {
+	q := Quality{K: k}
+	var sumP, sumR float64
+	for i, m := range mats {
+		truth := make(map[string]bool)
+		for _, id := range m.ClassificationIDs() {
+			if inOntology(id) {
+				truth[id] = true
+			}
+		}
+		if len(truth) == 0 {
+			continue
+		}
+		model := newModel()
+		for j, other := range mats {
+			if j != i {
+				model.Train(other)
+			}
+		}
+		q.Suggester = model.Name() + " (leave-one-out)"
+		sugg := SuggestForMaterial(model, m, k)
+		hits := 0
+		for _, sg := range sugg {
+			if truth[sg.NodeID] {
+				hits++
+			}
+		}
+		if len(sugg) > 0 {
+			sumP += float64(hits) / float64(len(sugg))
+		}
+		sumR += float64(hits) / float64(len(truth))
+		if hits > 0 {
+			q.HitRate++
+		}
+		q.N++
+	}
+	if q.N > 0 {
+		q.PrecisionAtK = sumP / float64(q.N)
+		q.RecallAtK = sumR / float64(q.N)
+		q.HitRate /= float64(q.N)
+	}
+	return q
+}
+
+// String renders the quality line used by EXPERIMENTS.md.
+func (q Quality) String() string {
+	return fmt.Sprintf("%-28s P@%d=%.3f R@%d=%.3f hit=%.3f (n=%d)",
+		q.Suggester, q.K, q.PrecisionAtK, q.K, q.RecallAtK, q.HitRate, q.N)
+}

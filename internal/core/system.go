@@ -1,0 +1,388 @@
+// Package core is the CAR-CS system: a single facade wiring the curriculum
+// ontologies, the relational store, the search engine, the classification
+// suggesters, the coverage and similarity analyses, and the curation
+// workflow into the API the paper's prototype exposes through its web
+// service.
+//
+// A System owns a relational store (the PostgreSQL stand-in) holding the
+// materials and their many-to-many links to classification entries, plus an
+// incremental search index. All higher-level analyses (Figure 2 coverage
+// trees, the Figure 3 similarity graph, gap reports, PDC-replacement
+// queries) are computed on demand from that state.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"carcs/internal/classify"
+	"carcs/internal/corpus"
+	"carcs/internal/coverage"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+	"carcs/internal/relstore"
+	"carcs/internal/search"
+	"carcs/internal/similarity"
+	"carcs/internal/workflow"
+)
+
+// System is one CAR-CS instance.
+type System struct {
+	mu    sync.RWMutex
+	cs13  *ontology.Ontology
+	pdc12 *ontology.Ontology
+
+	store     *relstore.Store
+	materials *relstore.Table
+	entries   *relstore.Table
+	links     *relstore.LinkTable
+
+	engine *search.Engine
+	queue  *workflow.Queue
+
+	keyword *classify.Keyword
+	tfidf   *classify.TFIDF
+}
+
+// New creates an empty CAR-CS system bound to the CS13 and PDC12 curricula.
+func New() (*System, error) {
+	s := &System{
+		cs13:   ontology.CS13(),
+		pdc12:  ontology.PDC12(),
+		store:  relstore.NewStore(),
+		queue:  workflow.NewQueue(),
+		engine: search.NewEngine(ontology.CS13(), ontology.PDC12()),
+	}
+	var err error
+	s.materials, err = s.store.CreateTable(relstore.Schema{
+		Name: "materials",
+		Columns: []relstore.Column{
+			{Name: "slug", Type: relstore.String, Unique: true},
+			{Name: "title", Type: relstore.String},
+			{Name: "kind", Type: relstore.String, Indexed: true},
+			{Name: "level", Type: relstore.String, Indexed: true},
+			{Name: "language", Type: relstore.String, Indexed: true},
+			{Name: "collection", Type: relstore.String, Indexed: true},
+			{Name: "url", Type: relstore.String},
+			{Name: "description", Type: relstore.String},
+			{Name: "year", Type: relstore.Int, Indexed: true},
+			{Name: "authors", Type: relstore.StringList},
+			{Name: "datasets", Type: relstore.StringList},
+			{Name: "tags", Type: relstore.StringList},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.entries, err = s.store.CreateTable(relstore.Schema{
+		Name: "entries",
+		Columns: []relstore.Column{
+			{Name: "node", Type: relstore.String, Unique: true},
+			{Name: "bloom", Type: relstore.String},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.links, err = s.store.CreateLink("material_classifications", "materials", "entries")
+	if err != nil {
+		return nil, err
+	}
+	s.keyword = classify.NewKeyword(s.cs13)
+	s.tfidf = classify.NewTFIDF(s.cs13)
+	return s, nil
+}
+
+// NewSeeded creates a system pre-loaded with the paper's three collections:
+// Nifty, Peachy, and ITCS 3145.
+func NewSeeded() (*System, error) {
+	s, err := New()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range corpus.AllMaterials() {
+		if err := s.AddMaterial(m); err != nil {
+			return nil, fmt.Errorf("core: seeding %s: %w", m.ID, err)
+		}
+	}
+	return s, nil
+}
+
+// CS13 returns the CS13 ontology.
+func (s *System) CS13() *ontology.Ontology { return s.cs13 }
+
+// PDC12 returns the PDC12 ontology.
+func (s *System) PDC12() *ontology.Ontology { return s.pdc12 }
+
+// OntologyByName resolves "cs13" or "pdc12" (case-insensitive), else nil.
+func (s *System) OntologyByName(name string) *ontology.Ontology {
+	switch strings.ToLower(name) {
+	case "cs13", "cs2013", "acm", "acm-ieee":
+		return s.cs13
+	case "pdc12", "pdc", "tcpp":
+		return s.pdc12
+	}
+	return nil
+}
+
+// Workflow returns the curation queue.
+func (s *System) Workflow() *workflow.Queue { return s.queue }
+
+// Store exposes the underlying relational store (read-mostly; mutations
+// should go through the System so the search index stays consistent).
+func (s *System) Store() *relstore.Store { return s.store }
+
+// AddMaterial validates and stores a material, indexes it for search, and
+// records its classification links. Duplicate IDs are rejected. The system
+// stores a deep copy, so later edits to the argument (or through other
+// systems sharing the same seed corpus) never leak in.
+func (s *System) AddMaterial(m *material.Material) error {
+	if errs := m.Validate(s.cs13, s.pdc12); len(errs) > 0 {
+		return fmt.Errorf("core: invalid material %q: %w", m.ID, errs[0])
+	}
+	m = m.Clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rowID, err := s.materials.Insert(relstore.Row{
+		"slug":        m.ID,
+		"title":       m.Title,
+		"kind":        string(m.Kind),
+		"level":       string(m.Level),
+		"language":    m.Language,
+		"collection":  m.Collection,
+		"url":         m.URL,
+		"description": m.Description,
+		"year":        int64(m.Year),
+		"authors":     append([]string{}, m.Authors...),
+		"datasets":    append([]string{}, m.Datasets...),
+		"tags":        append([]string{}, m.Tags...),
+	})
+	if err != nil {
+		return fmt.Errorf("core: add %q: %w", m.ID, err)
+	}
+	for _, cl := range m.Classifications {
+		entryID, err := s.entryRowIDLocked(cl)
+		if err != nil {
+			return err
+		}
+		s.links.Add(rowID, entryID)
+	}
+	s.engine.Add(m)
+	return nil
+}
+
+func (s *System) entryRowIDLocked(cl material.Classification) (int64, error) {
+	if row := s.entries.LookupUnique("node", cl.NodeID); row != nil {
+		return row.ID(), nil
+	}
+	return s.entries.Insert(relstore.Row{
+		"node":  cl.NodeID,
+		"bloom": cl.Bloom.String(),
+	})
+}
+
+// RemoveMaterial deletes a material and its links.
+func (s *System) RemoveMaterial(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row := s.materials.LookupUnique("slug", id)
+	if row == nil {
+		return fmt.Errorf("core: no material %q", id)
+	}
+	if err := s.materials.Delete(row.ID()); err != nil {
+		return err
+	}
+	s.links.RemoveLeft(row.ID())
+	s.engine.Remove(id)
+	return nil
+}
+
+// Reclassify replaces a material's classification set, the editing flow of
+// Fig. 1b.
+func (s *System) Reclassify(id string, cls []material.Classification) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.engine.Get(id)
+	if m == nil {
+		return fmt.Errorf("core: no material %q", id)
+	}
+	next := *m
+	next.Classifications = cls
+	if errs := next.Validate(s.cs13, s.pdc12); len(errs) > 0 {
+		return fmt.Errorf("core: reclassify %q: %w", id, errs[0])
+	}
+	row := s.materials.LookupUnique("slug", id)
+	if row == nil {
+		return fmt.Errorf("core: store out of sync for %q", id)
+	}
+	s.links.RemoveLeft(row.ID())
+	for _, cl := range cls {
+		entryID, err := s.entryRowIDLocked(cl)
+		if err != nil {
+			return err
+		}
+		s.links.Add(row.ID(), entryID)
+	}
+	*m = next
+	s.engine.Add(m)
+	return nil
+}
+
+// Material returns the stored material with the given id, or nil.
+func (s *System) Material(id string) *material.Material {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Get(id)
+}
+
+// Materials returns all stored materials, optionally filtered by collection
+// name (empty for all), in insertion order.
+func (s *System) Materials(collection string) []*material.Material {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if collection == "" {
+		return s.engine.All()
+	}
+	return s.engine.Select(search.ByCollection(collection))
+}
+
+// Collections lists the distinct collection names present, sorted.
+func (s *System) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	for _, m := range s.engine.All() {
+		seen[m.Collection] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored materials.
+func (s *System) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Len()
+}
+
+// Engine exposes the search engine for advanced queries.
+func (s *System) Engine() *search.Engine { return s.engine }
+
+// Coverage computes the Figure 2 report of a collection (empty for all
+// materials) against the named ontology ("cs13" or "pdc12").
+func (s *System) Coverage(ontologyName, collection string) (*coverage.Report, error) {
+	o := s.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	mats := s.Materials(collection)
+	label := collection
+	if label == "" {
+		label = "all materials"
+	}
+	return coverage.Compute(o, label, mats), nil
+}
+
+// SimilarityGraph builds the Figure 3 bipartite graph between two
+// collections with the paper's shared-count metric at the given threshold
+// (2 in the paper).
+func (s *System) SimilarityGraph(leftCollection, rightCollection string, threshold int) *similarity.Graph {
+	left := s.Materials(leftCollection)
+	right := s.Materials(rightCollection)
+	return similarity.BuildBipartite(left, right, similarity.SharedCount, float64(threshold))
+}
+
+// Suggest proposes classification entries for free text against the named
+// ontology using the requested method ("keyword" or "tfidf").
+func (s *System) Suggest(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
+	o := s.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	var sg classify.Suggester
+	switch method {
+	case "", "tfidf":
+		if o == s.cs13 {
+			sg = s.tfidf
+		} else {
+			sg = classify.NewTFIDF(o)
+		}
+	case "keyword":
+		if o == s.cs13 {
+			sg = s.keyword
+		} else {
+			sg = classify.NewKeyword(o)
+		}
+	case "bayes":
+		b := classify.NewBayes(o)
+		b.TrainAll(s.Materials(""))
+		sg = b
+	case "ensemble":
+		b := classify.NewBayes(o)
+		b.TrainAll(s.Materials(""))
+		members := []classify.Suggester{b}
+		if o == s.cs13 {
+			members = append(members, s.keyword, s.tfidf)
+		} else {
+			members = append(members, classify.NewKeyword(o), classify.NewTFIDF(o))
+		}
+		sg = classify.NewEnsemble(members...)
+	default:
+		return nil, fmt.Errorf("core: unknown suggester %q", method)
+	}
+	return sg.Suggest(text, k), nil
+}
+
+// Recommend proposes classification entries commonly used together with the
+// already-selected ones, mined from the stored corpus.
+func (s *System) Recommend(selected []string, k int) []classify.Rule {
+	co := classify.NewCoOccurrence(s.Materials(""))
+	return co.Recommend(selected, 2, k)
+}
+
+// PDCReplacements is the Sec. IV-D query over the stored corpus.
+func (s *System) PDCReplacements(id string, k int) ([]similarity.Edge, error) {
+	m := s.Material(id)
+	if m == nil {
+		return nil, fmt.Errorf("core: no material %q", id)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.PDCReplacements(m, 2, k), nil
+}
+
+// Snapshot writes the relational state as JSON.
+func (s *System) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Snapshot(w)
+}
+
+// Stats summarizes the system for the CLI and the server's status endpoint.
+type Stats struct {
+	Materials   int
+	Collections []string
+	Entries     int
+	Links       int
+	CS13Size    int
+	PDC12Size   int
+}
+
+// ComputeStats gathers the summary.
+func (s *System) ComputeStats() Stats {
+	return Stats{
+		Materials:   s.Len(),
+		Collections: s.Collections(),
+		Entries:     s.entries.Len(),
+		Links:       s.links.Len(),
+		CS13Size:    s.cs13.Len(),
+		PDC12Size:   s.pdc12.Len(),
+	}
+}

@@ -1,0 +1,243 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+func TestCollectionSizes(t *testing.T) {
+	// Sec. III-B: "about 65 Nifty assignments", "all 11 Peachy
+	// Assignments", and ITCS 3145's "12 slide decks and 9 assignments".
+	if n := Nifty().Len(); n < 60 || n > 70 {
+		t.Errorf("Nifty size = %d, want about 65", n)
+	}
+	if n := Peachy().Len(); n != 11 {
+		t.Errorf("Peachy size = %d, want 11", n)
+	}
+	itcs := ITCS3145()
+	if n := itcs.Len(); n != 21 {
+		t.Errorf("ITCS 3145 size = %d, want 21", n)
+	}
+	slides := itcs.Filter(func(m *material.Material) bool { return m.Kind == material.Slides })
+	assigns := itcs.Filter(func(m *material.Material) bool { return m.Kind == material.Assignment })
+	if len(slides) != 12 || len(assigns) != 9 {
+		t.Errorf("ITCS 3145 = %d slides + %d assignments, want 12 + 9", len(slides), len(assigns))
+	}
+}
+
+func TestAllMaterialsValid(t *testing.T) {
+	cs13, pdc12 := ontology.CS13(), ontology.PDC12()
+	for _, c := range Collections() {
+		if errs := c.Validate(cs13, pdc12); len(errs) != 0 {
+			t.Errorf("%s: %d invalid materials, first: %v", c.Name, len(errs), errs[0])
+		}
+		for _, m := range c.All() {
+			if len(m.Classifications) == 0 {
+				t.Errorf("%s/%s has no classifications", c.Name, m.ID)
+			}
+			if m.Description == "" || m.URL == "" || m.Year == 0 {
+				t.Errorf("%s/%s missing metadata", c.Name, m.ID)
+			}
+			if m.Collection != c.Name {
+				t.Errorf("%s/%s records collection %q", c.Name, m.ID, m.Collection)
+			}
+		}
+	}
+}
+
+func TestUniqueIDsAcrossCollections(t *testing.T) {
+	seen := make(map[string]string)
+	for _, m := range AllMaterials() {
+		if prev, dup := seen[m.ID]; dup {
+			t.Errorf("material id %q in both %s and %s", m.ID, prev, m.Collection)
+		}
+		seen[m.ID] = m.Collection
+	}
+}
+
+// TestNiftyHasNoPDC reproduces the Sec. IV-C observation that "Nifty
+// Assignments do not cover any PDC topics": no PDC12 classifications at all,
+// and no CS13 classifications inside the PD area.
+func TestNiftyHasNoPDC(t *testing.T) {
+	cs13, pdc12 := ontology.CS13(), ontology.PDC12()
+	pdArea := cs13.AreaByCode("PD")
+	for _, m := range Nifty().All() {
+		for _, cl := range m.Classifications {
+			if pdc12.Has(cl.NodeID) {
+				t.Errorf("nifty/%s has PDC12 classification %q", m.ID, cl.NodeID)
+			}
+			if cs13.Within(cl.NodeID, pdArea) {
+				t.Errorf("nifty/%s classified in CS13 PD: %q", m.ID, cl.NodeID)
+			}
+		}
+	}
+}
+
+// TestPeachyAvoidsOOP reproduces "Nifty Assignments seem to commonly touch
+// upon Object Oriented Programming which does not appear in Peachy
+// Assignments".
+func TestPeachyAvoidsOOP(t *testing.T) {
+	cs13 := ontology.CS13()
+	oop := cs13.RootID() + "/pl/object-oriented-programming"
+	if !cs13.Has(oop) {
+		t.Fatal("OOP unit missing from CS13")
+	}
+	for _, m := range Peachy().All() {
+		for _, cl := range m.Classifications {
+			if cs13.Within(cl.NodeID, oop) {
+				t.Errorf("peachy/%s touches OOP: %q", m.ID, cl.NodeID)
+			}
+		}
+	}
+	oopCount := 0
+	for _, m := range Nifty().All() {
+		for _, cl := range m.Classifications {
+			if cs13.Within(cl.NodeID, oop) {
+				oopCount++
+			}
+		}
+	}
+	if oopCount < 10 {
+		t.Errorf("Nifty OOP classifications = %d, want common (>= 10)", oopCount)
+	}
+}
+
+// TestClusterSeeds verifies the exact Fig. 3 cluster construction: the four
+// named Peachy and six named Nifty assignments all carry both "Arrays" and
+// "Conditional and iterative control structures", and no other Nifty
+// assignment carries both.
+func TestClusterSeeds(t *testing.T) {
+	arrays := cs("SDF", "Fundamental Data Structures", "Arrays").NodeID
+	loops := cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures").NodeID
+
+	wantNifty := map[string]bool{
+		"hurricane-tracker": true, "2048-in-python": true, "campus-shuttle": true,
+		"nbody-simulation": true, "image-editor": true, "uno": true,
+	}
+	for _, m := range Nifty().All() {
+		both := m.HasClassification(arrays) && m.HasClassification(loops)
+		if both != wantNifty[m.ID] {
+			t.Errorf("nifty/%s: arrays+loops = %v, want %v", m.ID, both, wantNifty[m.ID])
+		}
+	}
+	wantPeachy := map[string]bool{
+		"computing-a-movie-of-zooming-into-a-fractal":           true,
+		"fire-simulator-and-fractal-growth":                     true,
+		"using-a-monte-carlo-pattern-to-simulate-a-forest-fire": true,
+		"storm-of-high-energy-particles":                        true,
+	}
+	for _, m := range Peachy().All() {
+		both := m.HasClassification(arrays) && m.HasClassification(loops)
+		if both != wantPeachy[m.ID] {
+			t.Errorf("peachy/%s: arrays+loops = %v, want %v", m.ID, both, wantPeachy[m.ID])
+		}
+	}
+}
+
+// TestITCS3145AvoidedTopics reproduces Sec. IV-B: "topics related to
+// distributed systems, complexity theory, complex algorithms, and tooling
+// are not covered by the class", and the untouched CS13 areas.
+func TestITCS3145AvoidedTopics(t *testing.T) {
+	cs13, pdc12 := ontology.CS13(), ontology.PDC12()
+	banned := []string{
+		cs13.RootID() + "/pd/distributed-systems",
+		cs13.RootID() + "/al/basic-automata-computability-and-complexity",
+		cs13.RootID() + "/al/advanced-computational-complexity",
+		pdc12.RootID() + "/pr/performance-tools",
+	}
+	for _, root := range banned {
+		if !cs13.Has(root) && !pdc12.Has(root) {
+			t.Fatalf("banned subtree %q missing from ontologies", root)
+		}
+	}
+	bannedAreas := []string{"HCI", "SP", "IAS", "PBD", "GV", "IS"}
+	for _, m := range ITCS3145().All() {
+		for _, cl := range m.Classifications {
+			for _, root := range banned {
+				if cs13.Within(cl.NodeID, root) || pdc12.Within(cl.NodeID, root) {
+					t.Errorf("itcs3145/%s classified in avoided subtree %q", m.ID, cl.NodeID)
+				}
+			}
+			if strings.HasPrefix(cl.NodeID, cs13.RootID()) {
+				area := cs13.Code(cs13.Area(cl.NodeID))
+				for _, bad := range bannedAreas {
+					if area == bad {
+						t.Errorf("itcs3145/%s classified in untouched area %s: %q", m.ID, bad, cl.NodeID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestITCS3145UnitTests reproduces "assignments are scaffolded using unit
+// tests which appears in that category [SDF]".
+func TestITCS3145UnitTests(t *testing.T) {
+	unitTests := cs("SDF", "Development Methods", "Unit testing and test-case design").NodeID
+	n := 0
+	for _, m := range ITCS3145().All() {
+		if m.HasClassification(unitTests) {
+			if m.Kind != material.Assignment {
+				t.Errorf("%s: unit-test classification on %v", m.ID, m.Kind)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Error("no ITCS 3145 assignment carries the unit-testing classification")
+	}
+}
+
+func TestSharedClassifications(t *testing.T) {
+	nifty, peachy := Nifty(), Peachy()
+	uno := nifty.Get("uno")
+	fractal := peachy.Get("computing-a-movie-of-zooming-into-a-fractal")
+	if uno == nil || fractal == nil {
+		t.Fatal("seed lookup failed")
+	}
+	shared := uno.SharedClassifications(fractal)
+	if len(shared) < 2 {
+		t.Errorf("uno–fractal shared = %v, want >= 2 (Fig. 3 edge)", shared)
+	}
+	race := peachy.Get("finding-the-data-race")
+	if race == nil {
+		t.Fatal("data-race assignment missing")
+	}
+	for _, m := range nifty.All() {
+		if len(m.SharedClassifications(race)) >= 2 {
+			t.Errorf("systems-oriented peachy matched nifty/%s", m.ID)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("nifty") == nil || ByName("peachy") == nil || ByName("itcs3145") == nil {
+		t.Error("ByName failed for seeded collections")
+	}
+	if ByName("ghost") != nil {
+		t.Error("ByName(ghost) should be nil")
+	}
+	if len(AllMaterials()) != Nifty().Len()+Peachy().Len()+ITCS3145().Len() {
+		t.Error("AllMaterials size mismatch")
+	}
+}
+
+func TestResolverPanicsOnTypo(t *testing.T) {
+	mustPanic(t, func() { cs("SDF", "No Such Unit", "Nope") })
+	mustPanic(t, func() { cs("SDF") })
+	mustPanic(t, func() { cs("SDF", "Fundamental Data Structures") }) // unit, not classifiable
+	mustPanic(t, func() { pdc("ZZ", "Nope") })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

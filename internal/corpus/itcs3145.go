@@ -1,0 +1,244 @@
+package corpus
+
+import (
+	"fmt"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+// buildITCS3145 seeds the materials of ITCS 3145: Parallel and Distributed
+// Computing at UNC Charlotte — 12 slide decks and 9 scaffolded assignments.
+// The class teaches programming and speedup on shared and distributed memory
+// systems "by taking a dependency graph and scheduling approach rather than
+// a performance and hardware approach" (Sec. IV-B). Accordingly its PDC12
+// coverage concentrates in Programming, then Algorithms, leaving
+// Architecture and Cross-Cutting mostly untouched, and its CS13 coverage is
+// PD first, then AL, CN, and SDF, with partial OS/PL/AR — and deliberately
+// no tooling, distributed-systems, or complexity-theory entries.
+func buildITCS3145() *material.Collection {
+	c := material.NewCollection("itcs3145", "ITCS 3145 Parallel and Distributed Computing")
+	seq := 0
+	add := func(kind material.Kind, title, desc string, cls []material.Classification, extra ...string) {
+		seq++
+		c.MustAdd(&material.Material{
+			ID:              fmt.Sprintf("itcs3145-%02d-%s", seq, ontology.Slug(title)),
+			Title:           title,
+			Authors:         []string{"E. Saule"},
+			URL:             "https://webpages.uncc.edu/esaule/ITCS3145/" + ontology.Slug(title),
+			Description:     desc,
+			Kind:            kind,
+			Level:           material.Advanced,
+			Language:        "C",
+			Year:            2018,
+			Tags:            extra,
+			Classifications: cls,
+		})
+	}
+
+	// -------------------------- 12 slide decks -------------------------
+	add(material.Slides, "Introduction: Why Parallel Computing",
+		"Motivates the course: the end of frequency scaling, multicore ubiquity, and what changes when computations run simultaneously.",
+		tags(
+			cs("PD", "Parallelism Fundamentals", "Multiple simultaneous computations"),
+			cs("PD", "Parallelism Fundamentals", "Goals of parallelism versus concurrency: throughput versus controlling access to shared resources"),
+			pdc("CC", "High-Level Themes", "Why and what is parallel and distributed computing"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "By the target machine model", "Shared memory programming"),
+		), "lecture")
+	add(material.Slides, "Complexity and Asymptotic Analysis Refresher",
+		"Big-O notation, recurrences, and empirical timing discipline used throughout the course to reason about parallel costs.",
+		tags(
+			cs("AL", "Basic Analysis", "Big O notation: formal definition"),
+			cs("AL", "Basic Analysis", "Asymptotic analysis of upper and expected complexity bounds"),
+			cs("AL", "Basic Analysis", "Empirical measurements of performance"),
+			pdc("AL", "Parallel and Distributed Models and Complexity", "Costs of computation", "Asymptotic analysis of parallel time and work"),
+		), "lecture")
+	add(material.Slides, "Task Graphs, Dependencies and Scheduling",
+		"Models computations as dependency graphs; defines work and span and derives speedup bounds from list scheduling.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Dependency graphs and scheduling of parallel tasks"),
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Critical path, work, and span of a parallel computation"),
+			cs("AL", "Advanced Data Structures Algorithms and Analysis", "Analysis of parallel task graphs: work, span and parallel speedup"),
+			pdc("AL", "Parallel and Distributed Models and Complexity", "Notions from scheduling", "Dependencies and task graphs"),
+			pdc("AL", "Parallel and Distributed Models and Complexity", "Notions from scheduling", "Greedy list scheduling"),
+			pdc("AL", "Algorithmic Paradigms", "Series-parallel composition"),
+		), "lecture")
+	add(material.Slides, "Threads with pthreads",
+		"Creating, joining, and coordinating POSIX threads; thread arguments, shared state, and the first speedup measurements.",
+		tags(
+			cs("PD", "Communication and Coordination", "Shared memory communication"),
+			cs("OS", "Concurrency", "States and state diagrams of processes and threads"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Threads and thread libraries (e.g., pthreads)"),
+			pdc("PR", "Semantics and Correctness Issues", "Tasks and threads"),
+		), "lecture")
+	add(material.Slides, "Synchronization and Data Races",
+		"Races, critical sections, mutexes, and condition variables, with worked examples of broken and repaired counters.",
+		tags(
+			cs("PD", "Parallelism Fundamentals", "Programming errors not found in sequential programming: data races and lack of liveness"),
+			cs("PD", "Communication and Coordination", "Mutual exclusion locks and their use"),
+			cs("PD", "Communication and Coordination", "Atomicity: specifying and testing atomic behavior"),
+			cs("OS", "Concurrency", "Implementing synchronization primitives: mutexes, semaphores, and condition variables"),
+			pdc("PR", "Semantics and Correctness Issues", "Concurrency defects: data races"),
+			pdc("PR", "Semantics and Correctness Issues", "Synchronization: critical regions"),
+		), "lecture")
+	add(material.Slides, "OpenMP",
+		"Parallel regions, work-sharing loops, reductions, and scheduling clauses; how the compiler directives map onto threads.",
+		tags(
+			cs("PD", "Parallel Decomposition", "Data-parallel decomposition"),
+			cs("PL", "Language Translation and Execution", "Interpretation versus compilation to native code versus compilation to portable intermediate representation"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Compiler directives and pragmas (e.g., OpenMP)"),
+			pdc("PR", "Performance Issues", "Computation", "Static and dynamic scheduling and mapping"),
+		), "lecture")
+	add(material.Slides, "Parallel Algorithms: Reduction and Prefix",
+		"Reduction trees and parallel-prefix computations; work-efficiency trade-offs between the naive and Blelloch scans.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel reduction"),
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel scan (parallel-prefix)"),
+			pdc("AL", "Algorithmic Paradigms", "Reduction (map-reduce as a pattern, not the system)"),
+			pdc("AL", "Algorithmic Paradigms", "Scan (parallel-prefix)"),
+		), "lecture")
+	add(material.Slides, "Parallel Sorting and Divide and Conquer",
+		"Parallel merge sort and quicksort partitioning; recursion trees as task graphs and cutoff tuning.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel sorting algorithms"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Worst or average case O(N log N) sorting algorithms"),
+			pdc("AL", "Algorithmic Problems", "Sorting and selection", "Parallel merge sort"),
+			pdc("AL", "Algorithmic Paradigms", "Divide and conquer (parallel aspects)"),
+			pdc("AL", "Algorithmic Paradigms", "Recursion (parallel aspects)"),
+		), "lecture")
+	add(material.Slides, "Distributed Memory and MPI",
+		"Ranks, point-to-point messages, and deadlock pitfalls; how distributed memory changes algorithm design.",
+		tags(
+			cs("PD", "Communication and Coordination", "Message passing communication"),
+			cs("PD", "Parallel Architecture", "Shared versus distributed memory architectures"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Message passing libraries (e.g., MPI)"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "By the target machine model", "Distributed memory programming"),
+		), "lecture")
+	add(material.Slides, "Collective Communication",
+		"Broadcast, scatter, gather, and all-reduce: semantics, implementations, and cost models on a cluster.",
+		tags(
+			cs("PD", "Communication and Coordination", "Message passing communication"),
+			cs("PD", "Parallel Performance", "Evaluation of communication overhead"),
+			pdc("AL", "Algorithmic Problems", "Communication", "Broadcast"),
+			pdc("AL", "Algorithmic Problems", "Communication", "Scatter and gather"),
+		), "lecture")
+	add(material.Slides, "MapReduce over MPI",
+		"The map-reduce pattern and the MapReduce-MPI library; word counting and graph statistics as running examples.",
+		tags(
+			cs("PD", "Cloud Computing", "MapReduce and large-scale data-parallel frameworks"),
+			cs("PD", "Parallel Decomposition", "Task-based decomposition"),
+			pdc("AL", "Algorithmic Paradigms", "Reduction (map-reduce as a pattern, not the system)"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Message passing libraries (e.g., MPI)"),
+		), "lecture")
+	add(material.Slides, "Performance: Speedup, Amdahl and Load Balancing",
+		"Speedup and efficiency in practice, Amdahl's argument, load imbalance diagnosis, and multicore cache effects.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Speedup, efficiency, and scalability of parallel programs"),
+			cs("PD", "Parallel Performance", "Load balancing strategies"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Shared multiprocessor memory systems and memory consistency"),
+			cs("PD", "Parallel Architecture", "Memory issues: multiprocessor caches, cache coherence, and non-uniform memory access"),
+			at(pdc("PR", "Performance Issues", "Data", "Amdahl's law"), ontology.BloomKnow),
+			at(pdc("PR", "Performance Issues", "Data", "Speedup and efficiency"), ontology.BloomComprehend),
+			pdc("PR", "Performance Issues", "Computation", "Load balancing"),
+		), "lecture")
+
+	// --------------------------- 9 assignments -------------------------
+	add(material.Assignment, "Numerical Integration with the Rectangle Method",
+		"Implement a sequential numerical integrator using the rectangle method from a provided formula; scaffolded with unit tests that check convergence on known integrals.",
+		tags(
+			cs("CN", "Numerical Analysis", "Numerical differentiation and integration"),
+			cs("CN", "Numerical Analysis", "Quadrature methods: rectangle, trapezoidal, and Simpson's rules"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("SDF", "Development Methods", "Unit testing and test-case design"),
+			cs("CN", "Numerical Analysis", "Error, stability, and convergence of numerical methods"),
+		), "assignment", "scaffolded")
+	add(material.Assignment, "Parallel Numerical Integration with pthreads",
+		"Parallelize the rectangle-method integrator over POSIX threads, partitioning the domain and reducing partial sums without races.",
+		tags(
+			cs("CN", "Numerical Analysis", "Numerical differentiation and integration"),
+			cs("CN", "Processing", "Fundamental parallel computing: parallel decomposition of computational models"),
+			cs("PD", "Parallel Decomposition", "Data-parallel decomposition"),
+			cs("PD", "Communication and Coordination", "Mutual exclusion locks and their use"),
+			cs("SDF", "Development Methods", "Unit testing and test-case design"),
+			at(pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Threads and thread libraries (e.g., pthreads)"), ontology.BloomApply),
+			at(pdc("PR", "Performance Issues", "Data", "Speedup and efficiency"), ontology.BloomComprehend),
+			cs("CN", "Numerical Analysis", "Error, stability, and convergence of numerical methods"),
+		), "assignment", "scaffolded")
+	add(material.Assignment, "Producer-Consumer with Condition Variables",
+		"Build a bounded buffer connecting producer and consumer threads with condition variables; unit tests inject bursts to expose missed wakeups.",
+		tags(
+			cs("PD", "Communication and Coordination", "Producer-consumer coordination with bounded buffers"),
+			cs("PD", "Communication and Coordination", "Conditional waiting: condition variables and barriers"),
+			cs("OS", "Concurrency", "Implementing synchronization primitives: mutexes, semaphores, and condition variables"),
+			cs("SDF", "Development Methods", "Unit testing and test-case design"),
+			at(pdc("PR", "Semantics and Correctness Issues", "Synchronization: producer-consumer"), ontology.BloomApply),
+			pdc("PR", "Semantics and Correctness Issues", "Tasks and threads"),
+		), "assignment", "scaffolded")
+	add(material.Assignment, "OpenMP Loop Parallelism on Matrix Operations",
+		"Parallelize matrix-vector and matrix-matrix products with OpenMP pragmas, exploring schedule clauses and false-sharing pitfalls.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel matrix computations"),
+			cs("PD", "Parallel Decomposition", "Data-parallel decomposition"),
+			cs("SDF", "Fundamental Programming Concepts", "Functions and parameter passing"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Compiler directives and pragmas (e.g., OpenMP)"),
+			pdc("AL", "Algorithmic Problems", "Specialized computations", "Matrix product"),
+			pdc("PR", "Performance Issues", "Data", "False sharing"),
+			cs("CN", "Processing", "Fundamental parallel computing: parallel decomposition of computational models"),
+		), "assignment", "scaffolded")
+	add(material.Assignment, "Parallel Prefix Sum",
+		"Implement work-efficient parallel prefix over large arrays and compare against the sequential scan at several core counts.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel scan (parallel-prefix)"),
+			cs("AL", "Basic Analysis", "Empirical measurements of performance"),
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			pdc("AL", "Algorithmic Paradigms", "Scan (parallel-prefix)"),
+			pdc("AL", "Parallel and Distributed Models and Complexity", "Costs of computation", "Asymptotic analysis of parallel time and work"),
+		), "assignment", "scaffolded")
+	add(material.Assignment, "Parallel Merge Sort with Task Decomposition",
+		"Sort with recursive tasks spawned down to a cutoff; students derive the task graph and measure the span empirically.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel sorting algorithms"),
+			cs("PD", "Parallel Decomposition", "Task-based decomposition"),
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Critical path, work, and span of a parallel computation"),
+			cs("AL", "Algorithmic Strategies", "Divide-and-conquer"),
+			pdc("AL", "Algorithmic Problems", "Sorting and selection", "Parallel merge sort"),
+			pdc("AL", "Algorithmic Paradigms", "Divide and conquer (parallel aspects)"),
+			pdc("AL", "Parallel and Distributed Models and Complexity", "Notions from scheduling", "Dependencies and task graphs"),
+			cs("AL", "Basic Analysis", "Recurrence relations and analysis of recursive algorithms"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Worst or average case O(N log N) sorting algorithms"),
+		), "assignment", "scaffolded")
+	add(material.Assignment, "Heat Diffusion Stencil with MPI",
+		"Solve a 1-D heat equation over MPI ranks with halo exchange; the provided tests check boundary handling and convergence.",
+		tags(
+			cs("CN", "Numerical Analysis", "Numerical solution of differential equations"),
+			cs("PD", "Communication and Coordination", "Message passing communication"),
+			cs("PD", "Parallel Performance", "Data management: impact of caching and data movement costs"),
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Message passing libraries (e.g., MPI)"),
+			pdc("AL", "Algorithmic Problems", "Specialized computations", "Stencil computations"),
+			pdc("PR", "Performance Issues", "Data", "Data distribution"),
+			cs("CN", "Processing", "Computing costs: time, memory, and energy of a simulation"),
+		), "assignment", "scaffolded")
+	add(material.Assignment, "Distributed Reduction and Broadcast with MPI",
+		"Implement tree-based reduction and broadcast by hand, then compare with the library collectives on latency and bandwidth plots.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel reduction"),
+			cs("PD", "Parallel Performance", "Evaluation of communication overhead"),
+			cs("AL", "Basic Analysis", "Empirical measurements of performance"),
+			pdc("AL", "Algorithmic Problems", "Communication", "Broadcast"),
+			pdc("AL", "Algorithmic Problems", "Communication", "Scatter and gather"),
+			pdc("PR", "Performance Issues", "Data", "Performance impact of data movement"),
+		), "assignment", "scaffolded")
+	add(material.Assignment, "Graph Statistics with MapReduce-MPI",
+		"Compute degree distributions of a large web graph with the MapReduce-MPI library, reasoning about the shuffle as an all-to-all exchange.",
+		tags(
+			cs("PD", "Cloud Computing", "MapReduce and large-scale data-parallel frameworks"),
+			cs("PD", "Parallel Decomposition", "Task-based decomposition"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Graphs and graph algorithms: representations"),
+			cs("SDF", "Fundamental Programming Concepts", "Functions and parameter passing"),
+			pdc("AL", "Algorithmic Paradigms", "Reduction (map-reduce as a pattern, not the system)"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Message passing libraries (e.g., MPI)"),
+		), "assignment", "scaffolded", "dataset")
+
+	return c
+}

@@ -1,0 +1,526 @@
+package corpus
+
+import (
+	"fmt"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+// buildNifty seeds the Nifty Assignments collection: classic, engaging
+// assignments for early CS courses collected through the annual SIGCSE
+// competition. As the paper reports for the real set, none of them touch
+// PDC topics; their classifications live in SDF first, then PL, AL, and CN
+// (Fig. 2a), with object-oriented programming commonly covered.
+//
+// Exactly six assignments — the six the paper names in Sec. IV-D — carry
+// both "Arrays" and "Conditional and iterative control structures", which is
+// what forms the Fig. 3 cluster with the four named Peachy assignments.
+func buildNifty() *material.Collection {
+	c := material.NewCollection("nifty", "Nifty Assignments")
+	add := func(year int, title, lang string, level material.Level, desc string, cls []material.Classification, extra ...string) {
+		c.MustAdd(&material.Material{
+			ID:              ontology.Slug(title),
+			Title:           title,
+			Authors:         []string{"Nifty contributor"},
+			URL:             fmt.Sprintf("http://nifty.stanford.edu/%d/%s/", year, ontology.Slug(title)),
+			Description:     desc,
+			Kind:            material.Assignment,
+			Level:           level,
+			Language:        lang,
+			Year:            year,
+			Tags:            extra,
+			Classifications: cls,
+		})
+	}
+
+	// ---- The six Fig. 3 cluster members (named in the paper) ----------
+	add(2013, "Hurricane Tracker", "Java", material.CS1,
+		"Parse historical hurricane position data into arrays and loop over it to animate storm tracks on a map, computing distances and wind categories along the way.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("SDF", "Fundamental Programming Concepts", "Simple input and output"),
+			cs("CN", "Interactive Visualization", "Graphing and charting of simulation output"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "weather", "dataset")
+	add(2015, "2048 in Python", "Python", material.CS1,
+		"Implement the sliding-tile game 2048 on a four-by-four grid of integers, with loops that compact and merge rows in each direction.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("SDF", "Fundamental Programming Concepts", "Functions and parameter passing"),
+		), "game")
+	add(2011, "Campus Shuttle", "Java", material.CS2,
+		"Simulate a campus shuttle line: riders arrive into arrays of stops, and iterative update rules move buses and compute waiting statistics.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("CN", "Introduction to Modeling and Simulation", "Simulations as dynamic modeling"),
+			cs("CN", "Introduction to Modeling and Simulation", "Presentation of simulation results"),
+		), "simulation")
+	add(2010, "Nbody Simulation", "Java", material.CS2,
+		"Step a gravitational n-body system: arrays of positions and velocities are updated in a time loop using Newtonian force accumulation.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("CN", "Introduction to Modeling and Simulation", "Models as abstractions of situations"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Simple numerical algorithms"),
+			cs("PL", "Object-Oriented Programming", "Object-oriented design: decomposition into objects carrying state and behavior"),
+		), "physics", "simulation")
+	add(2012, "Image Editor", "Python", material.CS1,
+		"Apply per-pixel filters — grayscale, invert, blur — by looping over the two-dimensional pixel array of an image.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("GV", "Fundamental Concepts", "Raster and vector image representations"),
+		), "media")
+	add(2008, "Uno", "Java", material.CS1,
+		"Play the card game Uno against simple computer strategies; hands are arrays of cards scanned in loops to find legal plays.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("SDF", "Fundamental Programming Concepts", "Variables and primitive data types"),
+			cs("PL", "Object-Oriented Programming", "Collection classes and iterators"),
+		), "game")
+
+	// ---- The rest of the collection -----------------------------------
+	add(2003, "Game of Life", "Java", material.CS1,
+		"Implement Conway's Game of Life on a grid and watch gliders emerge; a classic cellular-automaton exercise in nested iteration.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("SDF", "Fundamental Data Structures", "Records/structs"),
+			cs("CN", "Modeling and Simulation", "Cellular automata as a modeling formalism"),
+			cs("CN", "Introduction to Modeling and Simulation", "Presentation of simulation results"),
+		), "simulation")
+	add(2003, "Random Writer", "Java", material.CS2,
+		"Generate text in the style of an input document with an order-k Markov model built from character maps.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Maps"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("IS", "Natural Language Processing", "N-gram language models"),
+		), "text")
+	add(2004, "Evil Hangman", "Java", material.CS2,
+		"A hangman game that cheats by keeping the largest family of candidate words consistent with the guesses, stored in maps of word sets.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Maps"),
+			cs("SDF", "Fundamental Data Structures", "Sets"),
+			cs("AL", "Algorithmic Strategies", "Brute-force algorithms"),
+			cs("PL", "Object-Oriented Programming", "Collection classes and iterators"),
+		), "game", "text")
+	add(2004, "Boggle", "Java", material.CS2,
+		"Find all dictionary words in a letter grid with recursive backtracking and prefix pruning.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "The concept of recursion as a programming technique"),
+			cs("AL", "Algorithmic Strategies", "Recursive backtracking"),
+			cs("SDF", "Fundamental Data Structures", "Sets"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "game")
+	add(2005, "Mastermind", "Python", material.CS0,
+		"Guess a hidden color code with scored feedback; loops compare pegs and count exact and partial matches.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("SDF", "Fundamental Programming Concepts", "Expressions and assignments"),
+		), "game")
+	add(2005, "Word Ladder", "C++", material.CS2,
+		"Transform one word into another changing a letter at a time; breadth-first search over the implicit word graph using queues.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Queues"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Depth- and breadth-first traversals"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "text")
+	add(2006, "Sudoku Solver", "Java", material.CS2,
+		"Solve Sudoku boards with constraint-guided recursive backtracking.",
+		tags(
+			cs("AL", "Algorithmic Strategies", "Recursive backtracking"),
+			cs("IS", "Basic Search Strategies", "Constraint satisfaction problems and backtracking"),
+			cs("SDF", "Fundamental Programming Concepts", "The concept of recursion as a programming technique"),
+			cs("PL", "Object-Oriented Programming", "Encapsulation and information hiding"),
+		), "game")
+	add(2006, "Huffman Coding", "C++", material.CS2,
+		"Build Huffman trees from character frequencies and compress files; a greedy algorithm over priority queues.",
+		tags(
+			cs("AL", "Algorithmic Strategies", "Greedy algorithms"),
+			cs("SDF", "Fundamental Data Structures", "Priority queues as abstract data types"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Binary search trees"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "compression")
+	add(2007, "Maze Solver", "Java", material.CS2,
+		"Escape randomly generated mazes with depth-first search over a grid graph, tracking visited cells in stacks.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Stacks"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Depth- and breadth-first traversals"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Graphs and graph algorithms: representations"),
+			cs("PL", "Object-Oriented Programming", "Object-oriented design: decomposition into objects carrying state and behavior"),
+		), "game")
+	add(2007, "Tetris", "Java", material.CS2,
+		"Implement falling-piece mechanics, rotation, and row clearing in an object-oriented game loop.",
+		tags(
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+			cs("PL", "Object-Oriented Programming", "Subclasses, inheritance, and method overriding"),
+			cs("PL", "Event-Driven and Reactive Programming", "Events and event handlers"),
+		), "game", "gui")
+	add(2008, "Darwin World", "Java", material.CS2,
+		"Creatures with species-specific programs roam a world grid; polymorphic dispatch drives their behavior each turn.",
+		tags(
+			cs("PL", "Object-Oriented Programming", "Dynamic dispatch: definition of method-call"),
+			cs("PL", "Object-Oriented Programming", "Object-oriented design: decomposition into objects carrying state and behavior"),
+			cs("CN", "Modeling and Simulation", "Agent-based modeling"),
+			cs("CN", "Introduction to Modeling and Simulation", "Presentation of simulation results"),
+		), "simulation")
+	add(2009, "Mandelbrot Viewer", "C", material.CS2,
+		"Render the Mandelbrot set by iterating the complex quadratic map per pixel and coloring by escape time.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("GV", "Fundamental Concepts", "Color models: RGB, HSV, and their uses"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Simple numerical algorithms"),
+		), "fractal", "media")
+	add(2009, "Minesweeper", "Python", material.CS1,
+		"Reveal a minefield with flood-fill expansion of empty regions and neighbor counting.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Functions and parameter passing"),
+			cs("SDF", "Fundamental Programming Concepts", "The concept of recursion as a programming technique"),
+		), "game")
+	add(2010, "Spell Checker", "Java", material.CS2,
+		"Check documents against a hashed dictionary and suggest corrections by edit distance.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Hash tables, including strategies for avoiding and resolving collisions"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("AL", "Algorithmic Strategies", "Dynamic programming"),
+			cs("PL", "Object-Oriented Programming", "Collection classes and iterators"),
+		), "text")
+	add(2010, "Eliza Chatbot", "Python", material.CS1,
+		"A pattern-matching conversational agent in the style of the 1966 ELIZA program, built on string substitution rules.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("IS", "Natural Language Processing", "Tokenization, stemming, and stop words"),
+			cs("SDF", "Fundamental Programming Concepts", "Variables and primitive data types"),
+		), "text", "ai")
+	add(2011, "Flesch Readability Index", "C", material.CS1,
+		"Compute readability scores of documents by counting syllables, words, and sentences in a single pass.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("SDF", "Fundamental Programming Concepts", "Simple input and output"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+		), "text")
+	add(2011, "Turtle Graphics Fractals", "Python", material.CS0,
+		"Draw snowflakes and trees with recursive turtle-graphics procedures.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "The concept of recursion as a programming technique"),
+			cs("SDF", "Algorithms and Design", "Problem-solving strategies: iteration versus recursion, divide-and-conquer"),
+			cs("GV", "Fundamental Concepts", "Raster and vector image representations"),
+		), "fractal", "media")
+	add(2012, "Text Adventure Engine", "Java", material.CS2,
+		"Build a small interactive-fiction engine: rooms, items, and commands modeled as cooperating classes.",
+		tags(
+			cs("PL", "Object-Oriented Programming", "Object-oriented design: decomposition into objects carrying state and behavior"),
+			cs("PL", "Object-Oriented Programming", "Encapsulation and information hiding"),
+			cs("SDF", "Fundamental Data Structures", "Maps"),
+		), "game")
+	add(2012, "Markov Music Box", "Python", material.CS2,
+		"Learn note-transition probabilities from melodies and generate new tunes from the resulting chains.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Maps"),
+			cs("DS", "Discrete Probability", "Random variables and expectation"),
+			cs("IS", "Natural Language Processing", "N-gram language models"),
+		), "media")
+	add(2013, "Social Network Analysis", "Python", material.CS2,
+		"Load a friendship graph and compute degrees, mutual friends, and shortest introduction chains.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Graphs and graph algorithms: representations"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Shortest-path algorithms"),
+			cs("SDF", "Fundamental Data Structures", "Sets"),
+		), "dataset", "graphs")
+	add(2013, "DNA Sequence Alignment", "Java", material.CS2,
+		"Align genomic strings with dynamic programming and visualize the edit matrix.",
+		tags(
+			cs("AL", "Algorithmic Strategies", "Dynamic programming"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("AL", "Basic Analysis", "Time and space trade-offs in algorithms"),
+			cs("PL", "Object-Oriented Programming", "Encapsulation and information hiding"),
+		), "science", "dataset")
+	add(2014, "Flappy Bird Clone", "JavaScript", material.CS1,
+		"Recreate the scrolling obstacle game with sprite objects, an animation loop, and collision tests.",
+		tags(
+			cs("PL", "Event-Driven and Reactive Programming", "Events and event handlers"),
+			cs("GV", "Fundamental Concepts", "Double buffering and the animation loop"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "game", "gui")
+	add(2014, "Weather Data Explorer", "Python", material.CS1,
+		"Summarize decades of daily temperature readings: extremes, averages, and trend lines from a real dataset.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("SDF", "Fundamental Programming Concepts", "Simple input and output"),
+			cs("CN", "Interactive Visualization", "Graphing and charting of simulation output"),
+		), "dataset", "weather")
+	add(2014, "Recursive Art Gallery", "Python", material.CS1,
+		"Produce Sierpinski triangles and recursive trees, exploring how base cases shape pictures.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "The concept of recursion as a programming technique"),
+			cs("GV", "Fundamental Concepts", "Raster and vector image representations"),
+		), "fractal", "media")
+	add(2015, "Traveling Salesperson Art", "Python", material.CS2,
+		"Approximate TSP tours over image-derived city sets with nearest-neighbor and 2-opt heuristics, rendering the tour as line art.",
+		tags(
+			cs("AL", "Algorithmic Strategies", "Heuristics"),
+			cs("AL", "Algorithmic Strategies", "Greedy algorithms"),
+			cs("GV", "Fundamental Concepts", "Raster and vector image representations"),
+		), "media")
+	add(2015, "Seam Carving", "Java", material.CS2,
+		"Resize images content-aware by removing minimal-energy seams found with dynamic programming.",
+		tags(
+			cs("AL", "Algorithmic Strategies", "Dynamic programming"),
+			cs("GV", "Fundamental Concepts", "Raster and vector image representations"),
+			cs("AL", "Basic Analysis", "Time and space trade-offs in algorithms"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "media")
+	add(2016, "Emoji Cipher", "Python", material.CS0,
+		"Encrypt messages by mapping letters to emoji with substitution tables, then break a friend's cipher with frequency counts.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Maps"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("IAS", "Cryptography", "Symmetric key ciphers"),
+		), "security", "text")
+	add(2016, "Twitter Trends", "Python", material.CS1,
+		"Tokenize a feed of tweets, count hashtags in maps, and chart the most frequent topics per region.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Maps"),
+			cs("IS", "Natural Language Processing", "Text classification and sentiment analysis"),
+			cs("SDF", "Fundamental Programming Concepts", "Simple input and output"),
+		), "dataset", "social-media")
+	add(2016, "Photomosaic", "Java", material.CS2,
+		"Assemble a target picture from thousands of tile images chosen by nearest average color.",
+		tags(
+			cs("GV", "Fundamental Concepts", "Color models: RGB, HSV, and their uses"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Sequential and binary search algorithms"),
+			cs("PL", "Object-Oriented Programming", "Collection classes and iterators"),
+			cs("PL", "Object-Oriented Programming", "Object-oriented design: decomposition into objects carrying state and behavior"),
+		), "media")
+	add(2017, "Baseball Statistics", "Python", material.CS1,
+		"Answer questions over a century of batting records: leaders, averages, and era comparisons using structured records.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Records/structs"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("IM", "Information Management Concepts", "Basic information storage and retrieval concepts"),
+		), "dataset", "sports")
+	add(2017, "Pac-Man Ghost AI", "Java", material.CS2,
+		"Implement the four classic ghost behaviors with per-ghost strategy subclasses chasing the player on a maze graph.",
+		tags(
+			cs("PL", "Object-Oriented Programming", "Subclasses, inheritance, and method overriding"),
+			cs("IS", "Basic Search Strategies", "Uninformed search: breadth-first and depth-first"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Shortest-path algorithms"),
+			cs("PL", "Object-Oriented Programming", "Dynamic dispatch: definition of method-call"),
+		), "game", "ai")
+	add(2018, "Wikipedia Link Race", "Python", material.CS2,
+		"Find short click-paths between articles with breadth-first search over a crawled link graph.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Depth- and breadth-first traversals"),
+			cs("SDF", "Fundamental Data Structures", "Queues"),
+			cs("NC", "Networked Applications", "HTTP as an application-layer protocol"),
+		), "dataset", "graphs")
+	add(2007, "Rock Paper Scissors Tournament", "Python", material.CS0,
+		"Pit strategy functions against each other over many rounds and tally a round-robin tournament.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "Functions and parameter passing"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("DS", "Discrete Probability", "Finite probability spaces and probability measures"),
+		), "game")
+	add(2008, "Library Catalog", "Java", material.CS2,
+		"An object-oriented catalog of books, patrons, and loans exercising encapsulation and interfaces.",
+		tags(
+			cs("PL", "Object-Oriented Programming", "Encapsulation and information hiding"),
+			cs("PL", "Object-Oriented Programming", "Object interfaces and abstract classes"),
+			cs("SDF", "Fundamental Data Structures", "Linked lists"),
+		))
+	add(2009, "Bank Account Hierarchy", "Java", material.CS1,
+		"Model checking, savings, and credit accounts as a class hierarchy with overridden withdrawal rules.",
+		tags(
+			cs("PL", "Object-Oriented Programming", "Subclasses, inheritance, and method overriding"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		))
+	add(2009, "Polynomial Calculator", "C++", material.CS2,
+		"Represent sparse polynomials as linked lists and implement arithmetic with operator overloading.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Linked lists"),
+			cs("SDF", "Fundamental Data Structures", "References and aliasing"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Simple numerical algorithms"),
+		))
+	add(2012, "Caesar Cipher Cracker", "Python", material.CS1,
+		"Break shift ciphers by scoring all rotations against English letter frequencies.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("IAS", "Cryptography", "Symmetric key ciphers"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+		), "security", "text")
+	add(2013, "Connect Four AI", "Java", material.CS2,
+		"Play Connect Four with a minimax opponent exploring move trees to a fixed depth.",
+		tags(
+			cs("IS", "Basic Search Strategies", "Two-player games: minimax search and alpha-beta pruning"),
+			cs("SDF", "Fundamental Programming Concepts", "The concept of recursion as a programming technique"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+			cs("PL", "Object-Oriented Programming", "Object interfaces and abstract classes"),
+		), "game", "ai")
+	add(2014, "Memory Matching Game", "JavaScript", material.CS0,
+		"A click-to-reveal matching game exercising event handlers and simple state machines.",
+		tags(
+			cs("PL", "Event-Driven and Reactive Programming", "Events and event handlers"),
+			cs("PL", "Event-Driven and Reactive Programming", "Callback registration and propagation of events"),
+			cs("HCI", "Designing Interaction", "Principles of graphical user interface design"),
+		), "game", "gui")
+	add(2015, "Checkout Line Simulator", "Java", material.CS2,
+		"Model grocery checkout queues with discrete-event simulation and compare single-line versus multi-line policies.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Queues"),
+			cs("CN", "Modeling and Simulation", "Discrete-event simulation"),
+			cs("DS", "Discrete Probability", "Random variables and expectation"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "simulation")
+	add(2016, "Elevator Scheduler", "Java", material.CS2,
+		"Serve floor requests for a bank of elevators; compare greedy and scan-order strategies on waiting time.",
+		tags(
+			cs("AL", "Algorithmic Strategies", "Greedy algorithms"),
+			cs("CN", "Modeling and Simulation", "Discrete-event simulation"),
+			cs("SDF", "Fundamental Data Structures", "Queues"),
+			cs("PL", "Object-Oriented Programming", "Object-oriented design: decomposition into objects carrying state and behavior"),
+		), "simulation")
+	add(2017, "Movie Recommender", "Python", material.CS2,
+		"Recommend films from a ratings dataset with user-user similarity over rating maps.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Maps"),
+			cs("IS", "Basic Machine Learning", "k-nearest neighbor classification"),
+			cs("IM", "Information Management Concepts", "Basic information storage and retrieval concepts"),
+		), "dataset")
+	add(2018, "Spam Filter", "Python", material.CS2,
+		"Classify email as spam or ham with a naive Bayes model over bag-of-words counts.",
+		tags(
+			cs("IS", "Basic Machine Learning", "Naive Bayes classifiers"),
+			cs("IS", "Basic Machine Learning", "Feature representations: bag-of-words and TF-IDF weighting"),
+			cs("SDF", "Fundamental Data Structures", "Maps"),
+		), "text", "ai")
+	add(2004, "Sorting Out Sorting", "Java", material.CS2,
+		"Animate insertion, selection, and merge sort side by side and measure comparisons empirically.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Worst case quadratic sorting algorithms"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Worst or average case O(N log N) sorting algorithms"),
+			cs("AL", "Basic Analysis", "Empirical measurements of performance"),
+		))
+	add(2005, "Anagram Families", "C++", material.CS2,
+		"Group a dictionary into anagram families by canonical sorted keys in a hash map.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Hash tables, including strategies for avoiding and resolving collisions"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("PL", "Object-Oriented Programming", "Object interfaces and abstract classes"),
+		), "text")
+	add(2010, "Family Tree Explorer", "Java", material.CS2,
+		"Answer ancestry queries over genealogy trees with recursive traversals.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Binary search trees"),
+			cs("SDF", "Fundamental Programming Concepts", "The concept of recursion as a programming technique"),
+			cs("SDF", "Fundamental Data Structures", "References and aliasing"),
+		))
+	add(2011, "Chess Board Coverage", "Python", material.CS2,
+		"Place N queens and knight's tours with backtracking, visualizing the search as it runs.",
+		tags(
+			cs("AL", "Algorithmic Strategies", "Recursive backtracking"),
+			cs("IS", "Basic Search Strategies", "Constraint satisfaction problems and backtracking"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "game")
+	add(2013, "Zombie Outbreak Simulator", "Java", material.CS2,
+		"Simulate infection spread on a population grid with probabilistic state transitions per tick.",
+		tags(
+			cs("CN", "Modeling and Simulation", "Agent-based modeling"),
+			cs("DS", "Discrete Probability", "Conditional probability and Bayes' theorem"),
+			cs("SDF", "Fundamental Data Structures", "Records/structs"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+			cs("CN", "Introduction to Modeling and Simulation", "Presentation of simulation results"),
+		), "simulation")
+	add(2014, "Unit Test Detective", "Java", material.CS1,
+		"Given a buggy library and its specification, write unit tests that isolate each defect.",
+		tags(
+			cs("SDF", "Development Methods", "Unit testing and test-case design"),
+			cs("SDF", "Development Methods", "Debugging strategies and tools"),
+			cs("SDF", "Development Methods", "Program correctness: the concept of a specification"),
+		), "testing")
+	add(2015, "Refactoring Kata", "Java", material.CS2,
+		"Transform a tangle of copy-pasted code into clean methods and classes while keeping tests green.",
+		tags(
+			cs("SDF", "Development Methods", "Documentation and program style standards"),
+			cs("SDF", "Algorithms and Design", "Structured decomposition into functions and modules"),
+			cs("PL", "Object-Oriented Programming", "Encapsulation and information hiding"),
+		), "testing")
+	add(2016, "Password Strength Meter", "JavaScript", material.CS1,
+		"Score password strength live in the browser with entropy estimates and common-pattern checks.",
+		tags(
+			cs("IAS", "Foundational Concepts in Security", "Authentication and authorization, access control"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("PL", "Event-Driven and Reactive Programming", "Events and event handlers"),
+		), "security", "gui")
+	add(2017, "Map Coloring", "Python", material.CS2,
+		"Color real state maps with four colors via backtracking over adjacency graphs.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Graphs and graph algorithms: representations"),
+			cs("IS", "Basic Search Strategies", "Constraint satisfaction problems and backtracking"),
+		), "graphs")
+	add(2018, "Stock Market Backtester", "Python", material.CS2,
+		"Replay historical prices and evaluate trading strategies expressed as functions.",
+		tags(
+			cs("SDF", "Fundamental Programming Concepts", "Functions and parameter passing"),
+			cs("PL", "Functional Programming", "Higher-order functions: map, filter, and reduce"),
+			cs("CN", "Interactive Visualization", "Graphing and charting of simulation output"),
+		), "dataset", "finance")
+	add(2004, "Sieve of Eratosthenes", "C", material.CS1,
+		"Generate primes with the classic sieve over a boolean array and measure how the count grows.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("AL", "Fundamental Data Structures and Algorithms", "Simple numerical algorithms"),
+			cs("AL", "Basic Analysis", "Empirical measurements of performance"),
+		))
+	add(2005, "Vigenere Vault", "Java", material.CS2,
+		"Implement the Vigenere cipher and attack it with index-of-coincidence analysis.",
+		tags(
+			cs("IAS", "Cryptography", "Symmetric key ciphers"),
+			cs("SDF", "Fundamental Data Structures", "Strings and string processing"),
+			cs("DS", "Discrete Probability", "Finite probability spaces and probability measures"),
+		), "security")
+	add(2013, "Battleship Probability", "Python", material.CS2,
+		"Sink ships faster by maintaining a probability heat map over the board and firing at the mode.",
+		tags(
+			cs("DS", "Discrete Probability", "Conditional probability and Bayes' theorem"),
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("IS", "Basic Search Strategies", "Heuristic search: hill climbing and A*"),
+		), "game", "ai")
+	add(2015, "URL Shortener", "Python", material.CS2,
+		"Build a tiny web service mapping short codes to links with a hash table and a REST endpoint.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Hash tables, including strategies for avoiding and resolving collisions"),
+			cs("NC", "Networked Applications", "HTTP as an application-layer protocol"),
+			cs("PBD", "Web Platforms", "RESTful application programming interfaces"),
+		), "web")
+	add(2016, "Graphical Histogram Studio", "Java", material.CS1,
+		"Read survey data and render histograms and scatter plots with a simple drawing library.",
+		tags(
+			cs("CN", "Interactive Visualization", "Graphing and charting of simulation output"),
+			cs("SDF", "Fundamental Programming Concepts", "Simple input and output"),
+			cs("GV", "Visualization", "Visualization of one-dimensional and two-dimensional scalar fields"),
+			cs("PL", "Object-Oriented Programming", "Definition of classes: fields, methods, and constructors"),
+		), "dataset", "media")
+	add(2017, "Maze Generator", "C++", material.CS2,
+		"Generate perfect mazes with randomized depth-first search and union-find based algorithms, then race solvers through them.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Depth- and breadth-first traversals"),
+			cs("AL", "Advanced Data Structures Algorithms and Analysis", "Union-find and disjoint sets"),
+			cs("SDF", "Fundamental Data Structures", "Stacks"),
+			cs("PL", "Object-Oriented Programming", "Encapsulation and information hiding"),
+		), "game")
+	add(2018, "Book Recommendation Graph", "Python", material.CS2,
+		"Connect books by shared readers and recommend along strong edges of the co-reading graph.",
+		tags(
+			cs("AL", "Fundamental Data Structures and Algorithms", "Graphs and graph algorithms: representations"),
+			cs("SDF", "Fundamental Data Structures", "Sets"),
+			cs("IM", "Information Management Concepts", "Basic information storage and retrieval concepts"),
+		), "dataset", "graphs")
+
+	return c
+}

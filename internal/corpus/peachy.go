@@ -1,0 +1,175 @@
+package corpus
+
+import (
+	"fmt"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+// buildPeachy seeds the 11 Peachy Parallel Assignments: peer-reviewed,
+// classroom-tested assignments with parallel and distributed computing
+// content, presented at EduPar and EduHPC. Matching the paper's analysis
+// (Fig. 2b/2e and Sec. IV-C): the dominant CS13 area is Parallel and
+// Distributed Computing, followed by Systems Fundamentals and Architecture;
+// SDF coverage is low and concentrates on Fundamental Programming Concepts;
+// none of them touch object-oriented programming. Four of them — the four
+// the paper names — also carry "Arrays" and "Conditional and iterative
+// control structures", forming the Fig. 3 cluster.
+func buildPeachy() *material.Collection {
+	c := material.NewCollection("peachy", "Peachy Parallel Assignments")
+	add := func(year int, title, lang string, level material.Level, desc string, cls []material.Classification, extra ...string) {
+		c.MustAdd(&material.Material{
+			ID:              ontology.Slug(title),
+			Title:           title,
+			Authors:         []string{"Peachy contributor"},
+			URL:             fmt.Sprintf("https://tcpp.cs.gsu.edu/curriculum/?q=peachy/%s", ontology.Slug(title)),
+			Description:     desc,
+			Kind:            material.Assignment,
+			Level:           level,
+			Language:        lang,
+			Year:            year,
+			Tags:            extra,
+			Classifications: cls,
+		})
+	}
+
+	// ---- The four Fig. 3 cluster members (named in the paper) ---------
+	add(2018, "Computing a Movie of Zooming Into a Fractal", "C", material.CS2,
+		"Render frames of a Mandelbrot zoom in parallel: each frame's pixel array is computed with loops that are trivially distributed over threads, then assembled into a movie. Load imbalance across frames motivates dynamic scheduling.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("PD", "Parallel Decomposition", "Data-parallel decomposition"),
+			cs("PD", "Parallelism Fundamentals", "Multiple simultaneous computations"),
+			cs("PD", "Parallel Performance", "Load balancing strategies"),
+			cs("SF", "Parallelism", "Sequential versus parallel processing"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Compiler directives and pragmas (e.g., OpenMP)"),
+			pdc("PR", "Performance Issues", "Computation", "Load balancing"),
+			pdc("PR", "Performance Issues", "Data", "Speedup and efficiency"),
+			cs("SF", "Evaluation", "Performance figures of merit"),
+		), "fractal", "media")
+	add(2018, "Fire Simulator and Fractal Growth", "C", material.CS2,
+		"Simulate fire spreading through a forest grid and measure the fractal dimension of the burned region; cells are arrays updated in nested loops, parallelized over rows with shared-memory threads.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("PD", "Parallel Decomposition", "Data-parallel decomposition"),
+			cs("PD", "Communication and Coordination", "Shared memory communication"),
+			cs("SF", "Parallelism", "Parallel programming versus concurrent programming"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "By the target machine model", "Shared memory programming"),
+			pdc("AL", "Algorithmic Problems", "Specialized computations", "Monte Carlo methods"),
+			pdc("PR", "Performance Issues", "Data", "Speedup and efficiency"),
+		), "simulation", "fractal")
+	add(2018, "Using a Monte Carlo Pattern to Simulate a Forest Fire", "C", material.CS1,
+		"Estimate the burn probability of a forest with repeated randomized trials; each trial loops over an array of trees, and trials are embarrassingly parallel across threads or ranks.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Naturally (embarrassingly) parallel algorithms"),
+			cs("PD", "Parallelism Fundamentals", "Multiple simultaneous computations"),
+			cs("SF", "Parallelism", "Sequential versus parallel processing"),
+			pdc("AL", "Algorithmic Problems", "Specialized computations", "Monte Carlo methods"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "By the target machine model", "Data parallel programming"),
+			pdc("PR", "Performance Issues", "Data", "Speedup and efficiency"),
+		), "simulation")
+	add(2018, "Storm of High Energy Particles", "C", material.CS2,
+		"Track a storm of particles bombarding a surface: impacts accumulate into an energy array inside a time loop, and the computation is distributed over MPI ranks with a final reduction.",
+		tags(
+			cs("SDF", "Fundamental Data Structures", "Arrays"),
+			cs("SDF", "Fundamental Programming Concepts", "Conditional and iterative control structures"),
+			cs("PD", "Communication and Coordination", "Message passing communication"),
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel reduction"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Message passing multiprocessors"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Message passing libraries (e.g., MPI)"),
+			pdc("AL", "Algorithmic Paradigms", "Reduction (map-reduce as a pattern, not the system)"),
+			pdc("PR", "Performance Issues", "Data", "Performance impact of data movement"),
+			cs("AR", "Assembly Level Machine Organization", "Shared memory multiprocessors and multicore organization"),
+		), "simulation", "physics")
+
+	// ---- Systems-oriented assignments (no Fig. 3 matches) -------------
+	add(2018, "Finding the Data Race", "C", material.Intermediate,
+		"Students receive multithreaded programs that intermittently fail and must find and fix the data races using atomic operations and locks, then argue why the fix is sufficient.",
+		tags(
+			cs("PD", "Parallelism Fundamentals", "Programming errors not found in sequential programming: data races and lack of liveness"),
+			cs("PD", "Communication and Coordination", "Atomicity: specifying and testing atomic behavior"),
+			cs("PD", "Communication and Coordination", "Mutual exclusion locks and their use"),
+			cs("OS", "Concurrency", "Race conditions in concurrent programs"),
+			cs("SF", "Parallelism", "Common parallelism pitfalls: deadlock and data races at the systems level"),
+			pdc("PR", "Semantics and Correctness Issues", "Concurrency defects: data races"),
+			pdc("PR", "Semantics and Correctness Issues", "Synchronization: critical regions"),
+			pdc("PR", "Semantics and Correctness Issues", "Tasks and threads"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Shared multiprocessor memory systems and memory consistency"),
+		), "concurrency")
+	add(2019, "Publish-Subscribe Middleware Chat", "Java", material.Intermediate,
+		"Build a topic-based publish-subscribe chat system over sockets: a small middleware layer routes messages between distributed clients and survives subscriber churn.",
+		tags(
+			cs("PD", "Distributed Systems", "Remote procedure calls and distributed middleware"),
+			cs("PD", "Distributed Systems", "Distributed message sending: data conversion and addressing"),
+			cs("NC", "Networked Applications", "Socket programming interfaces"),
+			cs("NC", "Networked Applications", "Distributed application paradigms: client-server and peer-to-peer"),
+			cs("SF", "Cross-Layer Communications", "Requests and responses across layers"),
+		), "middleware", "distributed")
+	add(2019, "MPI Ring Around the World", "C", material.Intermediate,
+		"Pass a token around a ring of MPI ranks, then generalize to broadcast and all-reduce, measuring latency and bandwidth at each scale.",
+		tags(
+			cs("PD", "Communication and Coordination", "Message passing communication"),
+			cs("PD", "Parallel Performance", "Evaluation of communication overhead"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Message passing multiprocessors"),
+			cs("SF", "Evaluation", "Performance figures of merit"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Message passing libraries (e.g., MPI)"),
+			pdc("AL", "Algorithmic Problems", "Communication", "Broadcast"),
+			pdc("AR", "Classes", "Shared versus distributed memory systems", "Message passing latency and bandwidth"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Interconnection networks: hypercube, shuffle, mesh, crossbar"),
+		), "mpi", "distributed")
+	add(2019, "GPU Image Filters", "CUDA", material.Intermediate,
+		"Port per-pixel image filters to a GPU, mapping pixels to threads and comparing kernel throughput with the multicore CPU version.",
+		tags(
+			cs("PD", "Parallel Architecture", "GPU and co-processing architectures"),
+			cs("PD", "Parallel Decomposition", "Data-parallel decomposition"),
+			cs("AR", "Performance Enhancements", "Vector processors and GPUs"),
+			cs("SF", "Evaluation", "Workloads and representative benchmarks"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "GPU programming (e.g., CUDA, OpenCL)"),
+			pdc("AR", "Classes", "Data versus control parallelism", "Streams (e.g., GPU)"),
+			pdc("PR", "Performance Issues", "Data", "Data locality and its impact on performance"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Example SIMD and MIMD instruction sets and architectures"),
+		), "gpu", "media")
+	add(2019, "Parallel Sorting Derby", "C++", material.Intermediate,
+		"Race implementations of parallel merge sort and sample sort across core counts, plotting speedup curves and identifying the sequential bottleneck.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel sorting algorithms"),
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Speedup, efficiency, and scalability of parallel programs"),
+			cs("SF", "Evaluation", "Amdahl's law applied to system speedup"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Shared multiprocessor memory systems and memory consistency"),
+			pdc("AL", "Algorithmic Problems", "Sorting and selection", "Parallel merge sort"),
+			pdc("PR", "Performance Issues", "Data", "Amdahl's law"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Compiler directives and pragmas (e.g., OpenMP)"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Multiprocessor cache coherence protocols"),
+		), "sorting")
+	add(2019, "Heat Diffusion on a Metal Plate", "C", material.Intermediate,
+		"Solve the heat equation on a plate with an iterative stencil, first with OpenMP over rows, then with MPI halo exchanges across a decomposed grid.",
+		tags(
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel matrix computations"),
+			cs("PD", "Communication and Coordination", "Message passing communication"),
+			cs("PD", "Parallel Performance", "Data management: impact of caching and data movement costs"),
+			cs("SF", "Parallelism", "Request parallelism versus task parallelism"),
+			cs("SDF", "Fundamental Programming Concepts", "Variables and primitive data types"),
+			pdc("AL", "Algorithmic Problems", "Specialized computations", "Stencil computations"),
+			pdc("PR", "Performance Issues", "Data", "Data distribution"),
+			pdc("AR", "Classes", "Taxonomy", "Shared versus distributed memory"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Interconnection networks: hypercube, shuffle, mesh, crossbar"),
+		), "simulation", "hpc")
+	add(2019, "Counting Crowds with Map-Reduce", "C", material.Intermediate,
+		"Count event attendance from camera logs with the map-reduce pattern implemented over MPI, contrasting it with a hand-rolled reduction tree.",
+		tags(
+			cs("PD", "Cloud Computing", "MapReduce and large-scale data-parallel frameworks"),
+			cs("PD", "Parallel Algorithms Analysis and Programming", "Parallel reduction"),
+			cs("AR", "Multiprocessing and Alternative Architectures", "Message passing multiprocessors"),
+			cs("SF", "Parallelism", "Sequential versus parallel processing"),
+			pdc("AL", "Algorithmic Paradigms", "Reduction (map-reduce as a pattern, not the system)"),
+			pdc("PR", "Parallel Programming Paradigms and Notations", "Parallel programming frameworks and libraries", "Message passing libraries (e.g., MPI)"),
+			pdc("AL", "Algorithmic Problems", "Communication", "Scatter and gather"),
+		), "mapreduce", "dataset")
+
+	return c
+}

@@ -1,0 +1,66 @@
+package corpus
+
+import (
+	"testing"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+func TestSyntheticValidAndDeterministic(t *testing.T) {
+	opt := SyntheticOptions{N: 200, Seed: 42}
+	c := Synthetic(opt)
+	if c.Len() != 200 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if errs := c.Validate(ontology.CS13(), ontology.PDC12()); len(errs) != 0 {
+		t.Fatalf("synthetic invalid: %v", errs[0])
+	}
+	// Deterministic for the same seed.
+	c2 := Synthetic(opt)
+	for i, m := range c.All() {
+		m2 := c2.All()[i]
+		if m.ID != m2.ID || m.Title != m2.Title || len(m.Classifications) != len(m2.Classifications) {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, m, m2)
+		}
+	}
+	// Different seeds differ somewhere.
+	c3 := Synthetic(SyntheticOptions{N: 200, Seed: 43})
+	same := true
+	for i, m := range c.All() {
+		if m.Title != c3.All()[i].Title {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical corpora")
+	}
+}
+
+func TestSyntheticPDCFraction(t *testing.T) {
+	pdc12 := ontology.PDC12()
+	countPDC := func(c *material.Collection) int {
+		n := 0
+		for _, m := range c.All() {
+			for _, cl := range m.Classifications {
+				if pdc12.Has(cl.NodeID) {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	lots := Synthetic(SyntheticOptions{N: 150, Seed: 7, PDCFraction: 0.9})
+	few := Synthetic(SyntheticOptions{N: 150, Seed: 7, PDCFraction: 0.1})
+	if countPDC(lots) <= countPDC(few) {
+		t.Errorf("PDC fraction not respected: 0.9 -> %d, 0.1 -> %d", countPDC(lots), countPDC(few))
+	}
+	// Every material has at least one classification.
+	for _, m := range lots.All() {
+		if len(m.Classifications) == 0 {
+			t.Fatalf("%s has no classifications", m.ID)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package coverage
+
+import (
+	"sort"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+// DepthEntry compares how deeply a material covers an entry against the
+// mastery level the curriculum expects. This implements the paper's
+// Sec. IV-A proposal: "since both CS13 and PDC12 guidelines have
+// incorporated Bloom levels, it would make sense to classify materials with
+// Bloom levels as well" — motivated by the rectangle-method integrator that
+// "checks the box in the same way" as a full numerical-methods lecture.
+type DepthEntry struct {
+	MaterialID string
+	NodeID     string
+	Path       string
+	// Expected is the curriculum's Bloom level for the entry (topic
+	// levels in PDC12, outcome levels in CS13).
+	Expected ontology.Bloom
+	// Actual is the Bloom level the classifier assigned the material.
+	Actual ontology.Bloom
+	// Verdict is "met", "shallow", or "unrated".
+	Verdict string
+}
+
+// DepthReport is the Bloom comparison over a material set.
+type DepthReport struct {
+	Entries []DepthEntry
+	Met     int
+	Shallow int
+	Unrated int
+}
+
+// ComputeDepth builds the Bloom depth report of the materials against the
+// ontology. Classifications outside the ontology are skipped; entries whose
+// curriculum level is unspecified are skipped entirely (nothing to compare
+// against); classifications without a material-side level count as unrated.
+func ComputeDepth(o *ontology.Ontology, mats []*material.Material) *DepthReport {
+	r := &DepthReport{}
+	for _, m := range mats {
+		for _, cl := range m.Classifications {
+			n := o.Node(cl.NodeID)
+			if n == nil || n.Bloom == ontology.BloomUnspecified {
+				continue
+			}
+			e := DepthEntry{
+				MaterialID: m.ID,
+				NodeID:     cl.NodeID,
+				Path:       o.Path(cl.NodeID),
+				Expected:   n.Bloom,
+				Actual:     cl.Bloom,
+			}
+			switch {
+			case cl.Bloom == ontology.BloomUnspecified:
+				e.Verdict = "unrated"
+				r.Unrated++
+			case cl.Bloom >= n.Bloom:
+				e.Verdict = "met"
+				r.Met++
+			default:
+				e.Verdict = "shallow"
+				r.Shallow++
+			}
+			r.Entries = append(r.Entries, e)
+		}
+	}
+	sort.SliceStable(r.Entries, func(i, j int) bool {
+		if r.Entries[i].Verdict != r.Entries[j].Verdict {
+			return r.Entries[i].Verdict < r.Entries[j].Verdict // met < shallow < unrated
+		}
+		if r.Entries[i].MaterialID != r.Entries[j].MaterialID {
+			return r.Entries[i].MaterialID < r.Entries[j].MaterialID
+		}
+		return r.Entries[i].NodeID < r.Entries[j].NodeID
+	})
+	return r
+}
+
+// ShallowEntries returns only the entries covered below the curriculum's
+// expected level — the "checks the box in the same way" problem.
+func (r *DepthReport) ShallowEntries() []DepthEntry {
+	var out []DepthEntry
+	for _, e := range r.Entries {
+		if e.Verdict == "shallow" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RatedFraction is the share of comparable classifications that carry a
+// material-side Bloom level at all — a measure of how far a corpus has
+// adopted the proposed extension.
+func (r *DepthReport) RatedFraction() float64 {
+	total := len(r.Entries)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Met+r.Shallow) / float64(total)
+}

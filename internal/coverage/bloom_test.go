@@ -1,0 +1,85 @@
+package coverage
+
+import (
+	"testing"
+
+	"carcs/internal/corpus"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+func TestComputeDepthVerdicts(t *testing.T) {
+	b := ontology.NewBuilder("D")
+	a := b.Area("AA", "Area")
+	u := a.Unit("Unit", 0)
+	u.BloomTopic("Apply Me", ontology.TierCore1, ontology.BloomApply)
+	u.BloomTopic("Know Me", ontology.TierCore1, ontology.BloomKnow)
+	u.Topic("No Level", ontology.TierCore1)
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyMe := "d/aa/unit/apply-me"
+	knowMe := "d/aa/unit/know-me"
+	noLevel := "d/aa/unit/no-level"
+
+	mats := []*material.Material{
+		{ID: "m1", Title: "M1", Kind: material.Assignment, Level: material.CS1,
+			Classifications: []material.Classification{
+				{NodeID: applyMe, Bloom: ontology.BloomKnow},      // shallow
+				{NodeID: knowMe, Bloom: ontology.BloomComprehend}, // met (exceeds)
+				{NodeID: noLevel, Bloom: ontology.BloomApply},     // skipped: no expectation
+			}},
+		{ID: "m2", Title: "M2", Kind: material.Slides, Level: material.CS2,
+			Classifications: []material.Classification{
+				{NodeID: applyMe}, // unrated
+			}},
+	}
+	r := ComputeDepth(o, mats)
+	if r.Met != 1 || r.Shallow != 1 || r.Unrated != 1 {
+		t.Fatalf("verdicts: met=%d shallow=%d unrated=%d", r.Met, r.Shallow, r.Unrated)
+	}
+	if len(r.Entries) != 3 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	sh := r.ShallowEntries()
+	if len(sh) != 1 || sh[0].MaterialID != "m1" || sh[0].NodeID != applyMe {
+		t.Errorf("shallow = %+v", sh)
+	}
+	if got := r.RatedFraction(); got != 2.0/3 {
+		t.Errorf("RatedFraction = %v", got)
+	}
+	empty := ComputeDepth(o, nil)
+	if empty.RatedFraction() != 0 || len(empty.Entries) != 0 {
+		t.Error("empty report misbehaves")
+	}
+}
+
+// TestITCSDepthReport exercises the extension on the seeded corpus: the
+// performance slides mention Amdahl's law at Know while PDC12 expects
+// Comprehend (the paper's "checks the box in the same way" concern), and
+// the pthreads/producer-consumer assignments meet their Apply expectations.
+func TestITCSDepthReport(t *testing.T) {
+	r := ComputeDepth(ontology.PDC12(), corpus.ITCS3145().All())
+	if r.Met < 2 {
+		t.Errorf("met = %d, want the annotated assignments to meet expectations", r.Met)
+	}
+	if r.Shallow < 1 {
+		t.Fatalf("shallow = %d, want the Amdahl mention flagged", r.Shallow)
+	}
+	found := false
+	for _, e := range r.ShallowEntries() {
+		if e.NodeID == "nsf-ieee-tcpp-pdc-2012/pr/performance-issues/data/amdahl-s-law" {
+			found = true
+			if e.Expected != ontology.BloomComprehend || e.Actual != ontology.BloomKnow {
+				t.Errorf("amdahl depth = %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Error("Amdahl shallow entry missing")
+	}
+	if f := r.RatedFraction(); f <= 0 || f >= 1 {
+		t.Errorf("RatedFraction = %v, want partial adoption", f)
+	}
+}

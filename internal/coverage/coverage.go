@@ -1,0 +1,231 @@
+// Package coverage computes how a collection of classified materials covers
+// a curriculum ontology — the analysis behind Figure 2 of the paper and its
+// Sec. IV-B "Coverage of a Class" use case.
+//
+// Two aggregate counts are maintained per ontology node:
+//
+//   - Direct:   how many materials are classified exactly at the node
+//     ("the color intensity of the node is proportional to the
+//     number of material that matches that entry").
+//   - Subtree:  how many distinct materials are classified anywhere in the
+//     node's subtree, which is what makes areas and units light up
+//     in the coverage tree.
+//
+// Pair counts (material × entry) are also exposed because area rankings
+// ("the most common area of the CS curriculum covered by Nifty is Software
+// Development Fundamentals, followed by ...") are about volume of matched
+// entries, not just distinct materials.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+// Report is the coverage of one collection against one ontology.
+type Report struct {
+	// Ontology is the curriculum the report is computed against.
+	Ontology *ontology.Ontology
+	// Collection is the display name of the material set.
+	Collection string
+	// Materials is the number of materials considered.
+	Materials int
+	// Direct maps node ID to the number of materials classified exactly
+	// at that node. Only classifiable nodes can have non-zero Direct.
+	Direct map[string]int
+	// Subtree maps node ID to the number of distinct materials
+	// classified anywhere at-or-below that node.
+	Subtree map[string]int
+	// Pairs maps node ID to the number of (material, entry) pairs
+	// at-or-below the node.
+	Pairs map[string]int
+}
+
+// Compute builds the coverage report of the materials against the ontology.
+// Classifications pointing into other ontologies are ignored, so a single
+// material set can be reported against CS13 and PDC12 independently, exactly
+// as Figure 2 does.
+func Compute(o *ontology.Ontology, label string, mats []*material.Material) *Report {
+	r := &Report{
+		Ontology:   o,
+		Collection: label,
+		Materials:  len(mats),
+		Direct:     make(map[string]int),
+		Subtree:    make(map[string]int),
+		Pairs:      make(map[string]int),
+	}
+	subtreeSets := make(map[string]map[int]bool)
+	for mi, m := range mats {
+		for _, cl := range m.ClassificationIDs() {
+			if !o.Has(cl) {
+				continue
+			}
+			r.Direct[cl]++
+			r.Pairs[cl]++
+			set := subtreeSets[cl]
+			if set == nil {
+				set = make(map[int]bool)
+				subtreeSets[cl] = set
+			}
+			set[mi] = true
+			for _, anc := range o.Ancestors(cl) {
+				r.Pairs[anc]++
+				aset := subtreeSets[anc]
+				if aset == nil {
+					aset = make(map[int]bool)
+					subtreeSets[anc] = aset
+				}
+				aset[mi] = true
+			}
+		}
+	}
+	for id, set := range subtreeSets {
+		r.Subtree[id] = len(set)
+	}
+	return r
+}
+
+// Covered reports whether any material touches the node or its subtree.
+func (r *Report) Covered(id string) bool { return r.Subtree[id] > 0 }
+
+// CoveredEntries returns the number of distinct classifiable entries in the
+// subtree of rootID that at least one material matches, and the total number
+// of classifiable entries there.
+func (r *Report) CoveredEntries(rootID string) (covered, total int) {
+	r.Ontology.Walk(rootID, func(n *ontology.Node, _ int) bool {
+		if n.Kind.Classifiable() {
+			total++
+			if r.Direct[n.ID] > 0 {
+				covered++
+			}
+		}
+		return true
+	})
+	return covered, total
+}
+
+// Ratio returns covered/total classifiable entries under rootID, 0 when the
+// subtree has none.
+func (r *Report) Ratio(rootID string) float64 {
+	c, t := r.CoveredEntries(rootID)
+	if t == 0 {
+		return 0
+	}
+	return float64(c) / float64(t)
+}
+
+// AreaCount is one knowledge area's aggregate coverage.
+type AreaCount struct {
+	// AreaID is the node ID of the area.
+	AreaID string
+	// Code is the short published code ("SDF", "PD", ...).
+	Code string
+	// Label is the area name.
+	Label string
+	// Materials is the number of distinct materials touching the area.
+	Materials int
+	// Pairs is the number of (material, entry) pairs inside the area.
+	Pairs int
+	// Covered and Total count classifiable entries in the area.
+	Covered, Total int
+}
+
+// AreaRanking returns every knowledge area ordered by descending pair count
+// (ties broken by material count, then document order) — the ordering the
+// paper uses when it says one area is "the most covered", "followed by"
+// others.
+func (r *Report) AreaRanking() []AreaCount {
+	var out []AreaCount
+	for _, areaID := range r.Ontology.Areas() {
+		cov, tot := r.CoveredEntries(areaID)
+		out = append(out, AreaCount{
+			AreaID:    areaID,
+			Code:      r.Ontology.Code(areaID),
+			Label:     r.Ontology.Node(areaID).Label,
+			Materials: r.Subtree[areaID],
+			Pairs:     r.Pairs[areaID],
+			Covered:   cov,
+			Total:     tot,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pairs != out[j].Pairs {
+			return out[i].Pairs > out[j].Pairs
+		}
+		return out[i].Materials > out[j].Materials
+	})
+	return out
+}
+
+// TopAreas returns the codes of the k most-covered areas with non-zero
+// coverage, in rank order.
+func (r *Report) TopAreas(k int) []string {
+	var out []string
+	for _, a := range r.AreaRanking() {
+		if a.Pairs == 0 {
+			break
+		}
+		out = append(out, a.Code)
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out
+}
+
+// UncoveredAreas returns the codes of areas no material touches, in document
+// order — the transparent nodes of Figure 2.
+func (r *Report) UncoveredAreas() []string {
+	var out []string
+	for _, areaID := range r.Ontology.Areas() {
+		if !r.Covered(areaID) {
+			out = append(out, r.Ontology.Code(areaID))
+		}
+	}
+	return out
+}
+
+// Intensity returns the Figure 2 color intensity of a node: its subtree
+// material count normalized by the maximum subtree count among nodes of the
+// same depth class (first-level versus deeper), in [0, 1]. Uncovered nodes
+// return 0 ("transparent").
+func (r *Report) Intensity(id string) float64 {
+	n := r.Subtree[id]
+	if n == 0 {
+		return 0
+	}
+	depth := r.Ontology.Depth(id)
+	max := 0
+	r.Ontology.Walk(r.Ontology.RootID(), func(node *ontology.Node, d int) bool {
+		if sameDepthClass(d, depth) && r.Subtree[node.ID] > max {
+			max = r.Subtree[node.ID]
+		}
+		return true
+	})
+	if max == 0 {
+		return 0
+	}
+	return float64(n) / float64(max)
+}
+
+// sameDepthClass groups depths the way Figure 2's palette does: root (0),
+// areas (1), everything deeper.
+func sameDepthClass(a, b int) bool {
+	class := func(d int) int {
+		if d < 2 {
+			return d
+		}
+		return 2
+	}
+	return class(a) == class(b)
+}
+
+// String renders a compact one-line summary.
+func (r *Report) String() string {
+	cov, tot := r.CoveredEntries(r.Ontology.RootID())
+	return fmt.Sprintf("%s vs %s: %d materials, %d/%d entries covered",
+		r.Collection, r.Ontology.Name(), r.Materials, cov, tot)
+}

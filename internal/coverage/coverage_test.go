@@ -1,0 +1,341 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+
+	"carcs/internal/corpus"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+func miniOntology(t *testing.T) *ontology.Ontology {
+	t.Helper()
+	b := ontology.NewBuilder("Mini")
+	a := b.Area("AA", "Area A")
+	u1 := a.Unit("Unit One", 1)
+	u1.Topic("T1", ontology.TierCore1)
+	u1.Topic("T2", ontology.TierCore2)
+	u2 := a.Unit("Unit Two", 1)
+	u2.Topic("T3", ontology.TierElective)
+	bb := b.Area("BB", "Area B")
+	bu := bb.Unit("Unit Three", 1)
+	bu.Topic("T4", ontology.TierCore1)
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func mat(id string, cls ...string) *material.Material {
+	m := &material.Material{ID: id, Title: id, Kind: material.Assignment, Level: material.CS1}
+	for _, c := range cls {
+		m.Classifications = append(m.Classifications, material.Classification{NodeID: c})
+	}
+	return m
+}
+
+func TestComputeCounts(t *testing.T) {
+	o := miniOntology(t)
+	t1 := "mini/aa/unit-one/t1"
+	t2 := "mini/aa/unit-one/t2"
+	t3 := "mini/aa/unit-two/t3"
+	mats := []*material.Material{
+		mat("m1", t1, t2),
+		mat("m2", t1),
+		mat("m3", t3, "other-ontology/x"), // foreign id ignored
+	}
+	r := Compute(o, "test", mats)
+	if r.Materials != 3 {
+		t.Errorf("Materials = %d", r.Materials)
+	}
+	if r.Direct[t1] != 2 || r.Direct[t2] != 1 || r.Direct[t3] != 1 {
+		t.Errorf("Direct = %v", r.Direct)
+	}
+	u1 := "mini/aa/unit-one"
+	if r.Subtree[u1] != 2 { // m1 and m2, distinct materials
+		t.Errorf("Subtree[unit-one] = %d", r.Subtree[u1])
+	}
+	if r.Pairs[u1] != 3 { // (m1,t1),(m1,t2),(m2,t1)
+		t.Errorf("Pairs[unit-one] = %d", r.Pairs[u1])
+	}
+	area := "mini/aa"
+	if r.Subtree[area] != 3 || r.Pairs[area] != 4 {
+		t.Errorf("area Subtree=%d Pairs=%d", r.Subtree[area], r.Pairs[area])
+	}
+	if r.Subtree[o.RootID()] != 3 {
+		t.Errorf("root Subtree = %d", r.Subtree[o.RootID()])
+	}
+	if !r.Covered(area) || r.Covered("mini/bb") {
+		t.Error("Covered misbehaves")
+	}
+	cov, tot := r.CoveredEntries(o.RootID())
+	if cov != 3 || tot != 4 {
+		t.Errorf("CoveredEntries = %d/%d", cov, tot)
+	}
+	if got := r.Ratio("mini/bb"); got != 0 {
+		t.Errorf("Ratio(bb) = %v", got)
+	}
+	if got := r.Ratio("mini/aa"); got != 1 {
+		t.Errorf("Ratio(aa) = %v", got)
+	}
+}
+
+func TestAreaRankingAndGaps(t *testing.T) {
+	o := miniOntology(t)
+	mats := []*material.Material{
+		mat("m1", "mini/aa/unit-one/t1"),
+		mat("m2", "mini/aa/unit-one/t1", "mini/aa/unit-one/t2"),
+	}
+	r := Compute(o, "test", mats)
+	rank := r.AreaRanking()
+	if len(rank) != 2 || rank[0].Code != "AA" || rank[1].Code != "BB" {
+		t.Fatalf("ranking = %+v", rank)
+	}
+	if rank[0].Pairs != 3 || rank[0].Materials != 2 || rank[0].Covered != 2 || rank[0].Total != 3 {
+		t.Errorf("AA counts = %+v", rank[0])
+	}
+	if got := r.TopAreas(0); len(got) != 1 || got[0] != "AA" {
+		t.Errorf("TopAreas = %v", got)
+	}
+	if got := r.UncoveredAreas(); len(got) != 1 || got[0] != "BB" {
+		t.Errorf("UncoveredAreas = %v", got)
+	}
+	gaps := r.Gaps(o.RootID())
+	// Maximal uncovered subtrees: area BB entirely, and unit-two under AA.
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %+v", gaps)
+	}
+	if gaps[0].NodeID != "mini/bb" && gaps[1].NodeID != "mini/bb" {
+		t.Errorf("BB not reported as gap: %+v", gaps)
+	}
+	core := r.CoreGaps(o.RootID())
+	if len(core) != 1 || core[0].NodeID != "mini/bb" || core[0].Tier != ontology.TierCore1 {
+		t.Errorf("CoreGaps = %+v", core)
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	o := miniOntology(t)
+	mats := []*material.Material{
+		mat("m1", "mini/aa/unit-one/t1"),
+		mat("m2", "mini/aa/unit-one/t1"),
+		mat("m3", "mini/aa/unit-two/t3"),
+	}
+	r := Compute(o, "test", mats)
+	if got := r.Intensity("mini/aa/unit-one/t1"); got != 1 {
+		t.Errorf("max-intensity topic = %v", got)
+	}
+	if got := r.Intensity("mini/aa/unit-two/t3"); got != 0.5 {
+		t.Errorf("half-intensity topic = %v", got)
+	}
+	if got := r.Intensity("mini/bb"); got != 0 {
+		t.Errorf("uncovered intensity = %v", got)
+	}
+	if got := r.Intensity("mini/aa"); got != 1 {
+		t.Errorf("area intensity = %v", got)
+	}
+}
+
+func TestDiffAndAlignment(t *testing.T) {
+	o := miniOntology(t)
+	a := Compute(o, "A", []*material.Material{mat("m1", "mini/aa/unit-one/t1", "mini/aa/unit-one/t2")})
+	b := Compute(o, "B", []*material.Material{mat("m2", "mini/aa/unit-one/t1", "mini/bb/unit-three/t4")})
+	d := Diff(a, b)
+	if len(d) != 2 {
+		t.Fatalf("Diff = %+v", d)
+	}
+	only := map[string]string{}
+	for _, e := range d {
+		only[e.NodeID] = e.OnlyIn
+	}
+	if only["mini/aa/unit-one/t2"] != "A" || only["mini/bb/unit-three/t4"] != "B" {
+		t.Errorf("Diff attribution = %v", only)
+	}
+	if got := Alignment(a, b); got != 1.0/3 {
+		t.Errorf("Alignment = %v", got)
+	}
+	if got := Alignment(a, a); got != 1 {
+		t.Errorf("self Alignment = %v", got)
+	}
+	other := Compute(ontology.PDC12(), "P", nil)
+	if Diff(a, other) != nil || Alignment(a, other) != 0 {
+		t.Error("cross-ontology diff should be empty")
+	}
+	empty := Compute(o, "E", nil)
+	if got := Alignment(empty, empty); got != 0 {
+		t.Errorf("empty Alignment = %v", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 shape tests (experiments E2, E3, E4).
+// ---------------------------------------------------------------------------
+
+// TestFigure2NiftyShape: Fig. 2a/2d. Nifty covers no PDC12 topics; its CS13
+// ranking starts SDF, PL, AL, CN.
+func TestFigure2NiftyShape(t *testing.T) {
+	nifty := corpus.Nifty().All()
+	cs := Compute(ontology.CS13(), "Nifty", nifty)
+	top := cs.TopAreas(4)
+	want := []string{"SDF", "PL", "AL", "CN"}
+	for i := range want {
+		if i >= len(top) || top[i] != want[i] {
+			t.Fatalf("Nifty CS13 top areas = %v, want prefix %v", top, want)
+		}
+	}
+	pd := Compute(ontology.PDC12(), "Nifty", nifty)
+	if cov, _ := pd.CoveredEntries(pd.Ontology.RootID()); cov != 0 {
+		t.Errorf("Nifty covers %d PDC12 entries, want 0", cov)
+	}
+	if got := len(pd.UncoveredAreas()); got != 4 {
+		t.Errorf("Nifty leaves %d PDC12 areas uncovered, want all 4", got)
+	}
+}
+
+// TestFigure2PeachyShape: Fig. 2b/2e. Peachy's CS13 ranking starts PD, then
+// Systems Fundamentals and Architecture; SDF is low; its SDF hits are in
+// Fundamental Programming Concepts or the Fig. 3 cluster's Arrays, never in
+// the rest of Fundamental Data Structures; and PDC12 is broadly covered.
+func TestFigure2PeachyShape(t *testing.T) {
+	peachy := corpus.Peachy().All()
+	cs := Compute(ontology.CS13(), "Peachy", peachy)
+	rank := cs.AreaRanking()
+	if rank[0].Code != "PD" {
+		t.Fatalf("Peachy top area = %s, want PD", rank[0].Code)
+	}
+	pos := map[string]int{}
+	for i, a := range rank {
+		pos[a.Code] = i
+	}
+	if !(pos["SF"] < pos["SDF"] && pos["AR"] < pos["SDF"]) {
+		t.Errorf("SDF should rank below SF and AR: SF=%d AR=%d SDF=%d", pos["SF"], pos["AR"], pos["SDF"])
+	}
+	if !(pos["SF"] <= 2 && pos["AR"] <= 3) {
+		t.Errorf("SF/AR should follow PD: SF=%d AR=%d", pos["SF"], pos["AR"])
+	}
+	// SDF coverage concentrates on FPC (plus the cluster's Arrays).
+	cs13 := ontology.CS13()
+	fds := cs13.RootID() + "/sdf/fundamental-data-structures"
+	arrays := fds + "/arrays"
+	for id, n := range cs.Direct {
+		if cs13.Within(id, fds) && id != arrays && n > 0 {
+			t.Errorf("Peachy covers FDS entry %q", id)
+		}
+	}
+	pd := Compute(ontology.PDC12(), "Peachy", peachy)
+	if cov, _ := pd.CoveredEntries(pd.Ontology.RootID()); cov < 15 {
+		t.Errorf("Peachy PDC12 coverage = %d entries, want broad", cov)
+	}
+	if un := pd.UncoveredAreas(); len(un) > 1 {
+		t.Errorf("Peachy leaves PDC12 areas uncovered: %v", un)
+	}
+}
+
+// TestFigure2ITCSShape: Fig. 2c/2f and Sec. IV-B.
+func TestFigure2ITCSShape(t *testing.T) {
+	itcs := corpus.ITCS3145().All()
+
+	// PDC12 view: Programming dominates, Algorithms second, Architecture
+	// and Cross-Cutting mostly untouched.
+	pd := Compute(ontology.PDC12(), "ITCS 3145", itcs)
+	rank := pd.AreaRanking()
+	if rank[0].Code != "PR" || rank[1].Code != "AL" {
+		t.Fatalf("ITCS PDC12 ranking = %v", rank)
+	}
+	for _, a := range rank[2:] {
+		if a.Pairs*5 > rank[1].Pairs {
+			t.Errorf("area %s too covered (%d pairs vs AL %d): should be mostly untouched", a.Code, a.Pairs, rank[1].Pairs)
+		}
+	}
+	// Tools are the instructor's acknowledged omission.
+	tools := pd.Ontology.RootID() + "/pr/performance-tools"
+	if pd.Covered(tools) {
+		t.Error("ITCS 3145 should not cover PDC12 performance tools")
+	}
+
+	// CS13 view: PD first, AL second, CN and SDF next; OS, PL, AR
+	// partial; HCI/SP/IAS/PBD/GV/IS untouched.
+	cs := Compute(ontology.CS13(), "ITCS 3145", itcs)
+	top := cs.TopAreas(4)
+	want := []string{"PD", "AL", "CN", "SDF"}
+	for i := range want {
+		if i >= len(top) || top[i] != want[i] {
+			t.Fatalf("ITCS CS13 top areas = %v, want prefix %v", top, want)
+		}
+	}
+	for _, code := range []string{"OS", "PL", "AR"} {
+		id := cs.Ontology.AreaByCode(code)
+		if !cs.Covered(id) {
+			t.Errorf("area %s should be partially covered", code)
+		}
+		if cs.Ratio(id) > 0.5 {
+			t.Errorf("area %s should be only partially covered (ratio %v)", code, cs.Ratio(id))
+		}
+	}
+	uncovered := map[string]bool{}
+	for _, code := range cs.UncoveredAreas() {
+		uncovered[code] = true
+	}
+	for _, code := range []string{"HCI", "SP", "IAS", "PBD", "GV", "IS"} {
+		if !uncovered[code] {
+			t.Errorf("area %s should be untouched by ITCS 3145", code)
+		}
+	}
+	// Distributed systems within PD is a by-design absence.
+	if cs.Covered(cs.Ontology.RootID() + "/pd/distributed-systems") {
+		t.Error("ITCS 3145 should not cover CS13 PD distributed systems")
+	}
+}
+
+// TestGapReport: E9 — the Nifty/Peachy alignment is small, and the gap
+// report against PDC12 names concrete subtrees for experts to fill.
+func TestGapReport(t *testing.T) {
+	cs13 := ontology.CS13()
+	nifty := Compute(cs13, "Nifty", corpus.Nifty().All())
+	peachy := Compute(cs13, "Peachy", corpus.Peachy().All())
+	al := Alignment(nifty, peachy)
+	if al <= 0 || al >= 0.2 {
+		t.Errorf("Nifty/Peachy alignment = %v, want small but non-zero", al)
+	}
+	if len(Diff(nifty, peachy)) == 0 {
+		t.Error("expected asymmetric coverage between Nifty and Peachy")
+	}
+	pd := Compute(ontology.PDC12(), "Peachy", corpus.Peachy().All())
+	gaps := pd.Gaps(pd.Ontology.RootID())
+	if len(gaps) == 0 {
+		t.Fatal("Peachy should leave PDC12 gaps for experts to fill")
+	}
+	if !strings.Contains(pd.Summary(), "Peachy") {
+		t.Error("Summary should carry the collection name")
+	}
+}
+
+func TestHourCoverage(t *testing.T) {
+	cs := Compute(ontology.CS13(), "ITCS 3145", corpus.ITCS3145().All())
+	hc := cs.Hours(cs.Ontology.RootID())
+	if hc.TotalHours <= 0 {
+		t.Fatal("no hour budget in CS13")
+	}
+	if hc.TouchedHours <= 0 || hc.TouchedHours > hc.TotalHours {
+		t.Errorf("touched hours = %v of %v", hc.TouchedHours, hc.TotalHours)
+	}
+	if hc.SubstantialHours > hc.TouchedHours {
+		t.Errorf("substantial (%v) > touched (%v)", hc.SubstantialHours, hc.TouchedHours)
+	}
+	// A PDC elective touches a minority of the whole CS13 hour budget.
+	if frac := hc.TouchedHours / hc.TotalHours; frac > 0.5 {
+		t.Errorf("ITCS touches %.0f%% of CS13 core hours, expected a minority", 100*frac)
+	}
+	// Empty set covers zero hours.
+	empty := Compute(ontology.CS13(), "none", nil)
+	if got := empty.Hours(empty.Ontology.RootID()); got.TouchedHours != 0 || got.SubstantialHours != 0 {
+		t.Errorf("empty hours = %+v", got)
+	}
+	// PDC12 publishes no unit hours in this encoding.
+	pd := Compute(ontology.PDC12(), "peachy", corpus.Peachy().All())
+	if got := pd.Hours(pd.Ontology.RootID()); got.TotalHours != 0 {
+		t.Errorf("PDC12 hours = %+v", got)
+	}
+}

@@ -1,0 +1,209 @@
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"carcs/internal/ontology"
+)
+
+// Gap describes an uncovered region of the curriculum: a maximal subtree no
+// material touches. The Sec. IV-B analysis ("the absence of tools from the
+// class is an omission of the instructor") and the Sec. IV-C expert workflow
+// ("help PDC experts identify topics for which pedagogical material does not
+// exist and that should be developed") are both gap reports.
+type Gap struct {
+	// NodeID is the root of the uncovered subtree.
+	NodeID string
+	// Path is the display path of that root.
+	Path string
+	// Entries is the number of classifiable entries going unserved.
+	Entries int
+	// Tier is the most demanding tier present in the subtree (core-tier-1
+	// beats core-tier-2 beats elective); gaps in core material matter
+	// more than gaps in electives.
+	Tier ontology.Tier
+}
+
+// Gaps returns the maximal uncovered subtrees under rootID, ordered by
+// number of lost entries (descending), then path. A subtree is reported at
+// its highest uncovered node only.
+func (r *Report) Gaps(rootID string) []Gap {
+	var out []Gap
+	var rec func(id string)
+	rec = func(id string) {
+		if !r.Covered(id) {
+			entries, tier := r.subtreeDemand(id)
+			if entries > 0 {
+				out = append(out, Gap{
+					NodeID:  id,
+					Path:    r.Ontology.Path(id),
+					Entries: entries,
+					Tier:    tier,
+				})
+			}
+			return // maximal: do not descend
+		}
+		for _, kid := range r.Ontology.Children(id) {
+			rec(kid)
+		}
+	}
+	rec(rootID)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Entries != out[j].Entries {
+			return out[i].Entries > out[j].Entries
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// CoreGaps filters Gaps to subtrees containing core (tier-1 or tier-2)
+// entries — the ones curriculum guidelines require every program to cover.
+func (r *Report) CoreGaps(rootID string) []Gap {
+	var out []Gap
+	for _, g := range r.Gaps(rootID) {
+		if g.Tier == ontology.TierCore1 || g.Tier == ontology.TierCore2 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (r *Report) subtreeDemand(id string) (entries int, tier ontology.Tier) {
+	tier = ontology.TierElective
+	seen := false
+	r.Ontology.Walk(id, func(n *ontology.Node, _ int) bool {
+		if n.Kind.Classifiable() {
+			entries++
+			if n.Tier != ontology.TierUnspecified {
+				seen = true
+				if n.Tier < tier && n.Tier != ontology.TierUnspecified {
+					tier = n.Tier
+				}
+			}
+		}
+		return true
+	})
+	if !seen {
+		tier = ontology.TierUnspecified
+	}
+	return entries, tier
+}
+
+// DiffEntry is one ontology entry covered by one collection but not another.
+type DiffEntry struct {
+	NodeID string
+	Path   string
+	// OnlyIn names the collection that covers the entry.
+	OnlyIn string
+}
+
+// Diff compares two reports over the same ontology and lists classifiable
+// entries covered by exactly one of them, sorted by path. It powers the
+// Sec. IV-C alignment question: what do Nifty assignments exercise that
+// Peachy assignments do not, and vice versa.
+func Diff(a, b *Report) []DiffEntry {
+	if a.Ontology != b.Ontology {
+		return nil
+	}
+	var out []DiffEntry
+	a.Ontology.Walk(a.Ontology.RootID(), func(n *ontology.Node, _ int) bool {
+		if !n.Kind.Classifiable() {
+			return true
+		}
+		inA, inB := a.Direct[n.ID] > 0, b.Direct[n.ID] > 0
+		switch {
+		case inA && !inB:
+			out = append(out, DiffEntry{NodeID: n.ID, Path: a.Ontology.Path(n.ID), OnlyIn: a.Collection})
+		case inB && !inA:
+			out = append(out, DiffEntry{NodeID: n.ID, Path: b.Ontology.Path(n.ID), OnlyIn: b.Collection})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Alignment measures how much two collections exercise the same entries:
+// |A ∩ B| / |A ∪ B| over directly covered classifiable entries. The paper's
+// Sec. IV-C take-home — "unless the PDC community develops assignments that
+// align better with classic CS1-CS2 assignments, it is unlikely we will see
+// massive adoption" — is a statement that this number is small between Nifty
+// and Peachy.
+func Alignment(a, b *Report) float64 {
+	if a.Ontology != b.Ontology {
+		return 0
+	}
+	inter, union := 0, 0
+	a.Ontology.Walk(a.Ontology.RootID(), func(n *ontology.Node, _ int) bool {
+		if !n.Kind.Classifiable() {
+			return true
+		}
+		inA, inB := a.Direct[n.ID] > 0, b.Direct[n.ID] > 0
+		if inA || inB {
+			union++
+		}
+		if inA && inB {
+			inter++
+		}
+		return true
+	})
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// HourCoverage weighs coverage by the suggested lecture hours CS13 attaches
+// to knowledge units: of the curriculum's published core-hour budget, how
+// many hours belong to units the material set touches at all, and how many
+// to units it covers substantially (at least half the unit's classifiable
+// entries). Curriculum committees budget in hours, so this is the number a
+// department review asks for.
+type HourCoverage struct {
+	// TotalHours is the summed hour budget of all units carrying one.
+	TotalHours float64
+	// TouchedHours is the budget of units with any coverage.
+	TouchedHours float64
+	// SubstantialHours is the budget of units with >= 50% entry coverage.
+	SubstantialHours float64
+}
+
+// Hours computes the hour-weighted coverage under rootID.
+func (r *Report) Hours(rootID string) HourCoverage {
+	var hc HourCoverage
+	r.Ontology.Walk(rootID, func(n *ontology.Node, _ int) bool {
+		if n.Kind != ontology.KindUnit || n.Hours <= 0 {
+			return true
+		}
+		hc.TotalHours += n.Hours
+		if r.Covered(n.ID) {
+			hc.TouchedHours += n.Hours
+			if cov, tot := r.CoveredEntries(n.ID); tot > 0 && cov*2 >= tot {
+				hc.SubstantialHours += n.Hours
+			}
+		}
+		return true
+	})
+	return hc
+}
+
+// Summary renders a human-readable multi-line area table, used by the CLI
+// and the coverage-audit example.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.String())
+	for _, a := range r.AreaRanking() {
+		if a.Pairs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-4s %-45s %3d materials %4d pairs %3d/%3d entries\n",
+			a.Code, a.Label, a.Materials, a.Pairs, a.Covered, a.Total)
+	}
+	if un := r.UncoveredAreas(); len(un) > 0 {
+		fmt.Fprintf(&b, "  untouched: %s\n", strings.Join(un, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package coverage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"carcs/internal/corpus"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+// randomMaterials draws random classification sets over the real PDC12
+// ontology.
+func randomMaterials(seed int64, n int) []*material.Material {
+	r := rand.New(rand.NewSource(seed))
+	entries := ontology.PDC12().Classifiable()
+	var mats []*material.Material
+	for i := 0; i < n; i++ {
+		m := &material.Material{
+			ID: fmt.Sprintf("r%d", i), Title: "R", Kind: material.Assignment, Level: material.CS1,
+		}
+		seen := map[string]bool{}
+		for j, k := 0, 1+r.Intn(6); j < k; j++ {
+			id := entries[r.Intn(len(entries))]
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			m.Classifications = append(m.Classifications, material.Classification{NodeID: id})
+		}
+		mats = append(mats, m)
+	}
+	return mats
+}
+
+// TestQuickCoverageInvariants checks, over random corpora:
+//  1. Subtree counts are monotone non-increasing down any root-to-leaf path.
+//  2. The root subtree count equals the number of materials with at least
+//     one in-ontology classification.
+//  3. Pairs at a node equal direct pairs there plus the children's pairs.
+//  4. Direct counts are only non-zero on classifiable nodes.
+func TestQuickCoverageInvariants(t *testing.T) {
+	o := ontology.PDC12()
+	for seed := int64(0); seed < 40; seed++ {
+		mats := randomMaterials(seed, 1+int(seed)%30)
+		r := Compute(o, "rand", mats)
+
+		classified := 0
+		for _, m := range mats {
+			if len(m.ClassificationIDs()) > 0 {
+				classified++
+			}
+		}
+		if r.Subtree[o.RootID()] != classified {
+			t.Fatalf("seed %d: root subtree %d != classified %d", seed, r.Subtree[o.RootID()], classified)
+		}
+		o.Walk(o.RootID(), func(n *ontology.Node, _ int) bool {
+			for _, kid := range o.Children(n.ID) {
+				if r.Subtree[kid] > r.Subtree[n.ID] {
+					t.Fatalf("seed %d: subtree not monotone at %q", seed, kid)
+				}
+			}
+			sum := r.Direct[n.ID]
+			for _, kid := range o.Children(n.ID) {
+				sum += r.Pairs[kid]
+			}
+			if r.Pairs[n.ID] != sum {
+				t.Fatalf("seed %d: pairs at %q = %d, direct+children = %d", seed, n.ID, r.Pairs[n.ID], sum)
+			}
+			if r.Direct[n.ID] > 0 && !n.Kind.Classifiable() {
+				t.Fatalf("seed %d: direct count on structural %q", seed, n.ID)
+			}
+			return true
+		})
+		// CoveredEntries is consistent with Direct.
+		cov, tot := r.CoveredEntries(o.RootID())
+		direct := 0
+		for _, n := range r.Direct {
+			if n > 0 {
+				direct++
+			}
+		}
+		if cov != direct || tot != len(o.Classifiable()) {
+			t.Fatalf("seed %d: covered %d/%d vs direct %d", seed, cov, tot, direct)
+		}
+		// Intensity bounded in [0,1].
+		for _, id := range o.IDs() {
+			if x := r.Intensity(id); x < 0 || x > 1 {
+				t.Fatalf("seed %d: intensity %v at %q", seed, x, id)
+			}
+		}
+	}
+}
+
+// TestQuickGapsPartition: gaps are maximal, disjoint, and exactly cover the
+// uncovered classifiable entries.
+func TestQuickGapsPartition(t *testing.T) {
+	o := ontology.PDC12()
+	for seed := int64(0); seed < 30; seed++ {
+		mats := randomMaterials(seed+100, 1+int(seed)%20)
+		r := Compute(o, "rand", mats)
+		gaps := r.Gaps(o.RootID())
+		inGap := make(map[string]bool)
+		for _, g := range gaps {
+			if r.Covered(g.NodeID) {
+				t.Fatalf("seed %d: gap %q is covered", seed, g.NodeID)
+			}
+			if p := o.Parent(g.NodeID); p != "" && !r.Covered(p) {
+				t.Fatalf("seed %d: gap %q not maximal (parent uncovered too)", seed, g.NodeID)
+			}
+			count := 0
+			o.Walk(g.NodeID, func(n *ontology.Node, _ int) bool {
+				if n.Kind.Classifiable() {
+					if inGap[n.ID] {
+						t.Fatalf("seed %d: entry %q in two gaps", seed, n.ID)
+					}
+					inGap[n.ID] = true
+					count++
+				}
+				return true
+			})
+			if count != g.Entries {
+				t.Fatalf("seed %d: gap %q entries %d != walked %d", seed, g.NodeID, g.Entries, count)
+			}
+		}
+		// Every uncovered classifiable entry is inside exactly one gap.
+		for _, id := range o.Classifiable() {
+			uncovered := r.Direct[id] == 0
+			if uncovered != inGap[id] {
+				// A directly-uncovered entry may still sit under a
+				// covered ancestor chain with covered siblings; it
+				// must then be its own gap (or inside one).
+				t.Fatalf("seed %d: entry %q uncovered=%v inGap=%v", seed, id, uncovered, inGap[id])
+			}
+		}
+	}
+}
+
+// TestQuickAlignmentProperties: alignment is symmetric, bounded, 1 on self
+// (when non-empty), and 0 against an empty report.
+func TestQuickAlignmentProperties(t *testing.T) {
+	o := ontology.CS13()
+	a := Compute(o, "A", corpus.Nifty().All())
+	bb := Compute(o, "B", corpus.Peachy().All())
+	empty := Compute(o, "E", nil)
+	if Alignment(a, bb) != Alignment(bb, a) {
+		t.Error("alignment not symmetric")
+	}
+	if x := Alignment(a, bb); x < 0 || x > 1 {
+		t.Errorf("alignment out of range: %v", x)
+	}
+	if Alignment(a, a) != 1 {
+		t.Error("self alignment != 1")
+	}
+	if Alignment(a, empty) != 0 {
+		t.Error("alignment with empty != 0")
+	}
+}

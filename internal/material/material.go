@@ -1,0 +1,290 @@
+// Package material defines the pedagogical-material model of CAR-CS:
+// assignments, lecture slides, exams, videos, and book chapters, together
+// with their descriptive metadata (title, authors, URL, description, course
+// level, programming language, datasets) and their classifications against
+// curriculum ontologies.
+package material
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"carcs/internal/ontology"
+)
+
+// Kind is the type of a pedagogical material.
+type Kind string
+
+// Material kinds. The paper classifies "assignments, lecture slides, exams,
+// video lectures, book chapters, etc.".
+const (
+	Assignment Kind = "assignment"
+	Slides     Kind = "slides"
+	Exam       Kind = "exam"
+	Video      Kind = "video"
+	Chapter    Kind = "chapter"
+	Demo       Kind = "demo"
+)
+
+// ValidKind reports whether k is one of the declared kinds.
+func ValidKind(k Kind) bool {
+	switch k {
+	case Assignment, Slides, Exam, Video, Chapter, Demo:
+		return true
+	}
+	return false
+}
+
+// Level is the course level a material targets.
+type Level string
+
+// Course levels, following the CS0/CS1/CS2 vocabulary of the repositories
+// CAR-CS ingests plus the levels needed for the ITCS 3145 materials.
+const (
+	CS0          Level = "CS0"
+	CS1          Level = "CS1"
+	CS2          Level = "CS2"
+	Intermediate Level = "intermediate"
+	Advanced     Level = "advanced"
+)
+
+// ValidLevel reports whether l is one of the declared levels.
+func ValidLevel(l Level) bool {
+	switch l {
+	case CS0, CS1, CS2, Intermediate, Advanced:
+		return true
+	}
+	return false
+}
+
+// Classification tags a material with one ontology entry, optionally at a
+// Bloom level (the paper's proposed extension: "it would make sense to
+// classify materials with Bloom levels as well").
+type Classification struct {
+	// NodeID is the ontology entry key, e.g.
+	// "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays".
+	NodeID string
+	// Bloom is the depth at which the material covers the entry;
+	// BloomUnspecified when the classifier did not rate it.
+	Bloom ontology.Bloom
+}
+
+// Material is one pedagogical material with metadata and classifications.
+type Material struct {
+	// ID is a unique slug, stable across runs.
+	ID string
+	// Title is the display title.
+	Title string
+	// Authors lists author names.
+	Authors []string
+	// URL points at the original material.
+	URL string
+	// Description is the abstract used for free-text search and
+	// classification suggestion.
+	Description string
+	// Kind is the material type.
+	Kind Kind
+	// Level is the targeted course level.
+	Level Level
+	// Language is the programming language, if any.
+	Language string
+	// Datasets lists real-world datasets the material uses (the CORGIS
+	// dimension the paper folds in).
+	Datasets []string
+	// Year is the publication year, zero if unknown.
+	Year int
+	// Collection names the corpus the material belongs to ("nifty",
+	// "peachy", "itcs3145", or a user collection).
+	Collection string
+	// Tags are free-form labels.
+	Tags []string
+	// Classifications are the ontology entries this material covers.
+	Classifications []Classification
+}
+
+// Clone returns a deep copy of the material; mutating the copy never
+// affects the original. Systems that ingest shared materials (e.g. the
+// package-level corpus singletons) clone them so edits stay local.
+func (m *Material) Clone() *Material {
+	cp := *m
+	cp.Authors = append([]string(nil), m.Authors...)
+	cp.Datasets = append([]string(nil), m.Datasets...)
+	cp.Tags = append([]string(nil), m.Tags...)
+	cp.Classifications = append([]Classification(nil), m.Classifications...)
+	return &cp
+}
+
+// ClassificationIDs returns the sorted set of classification node IDs.
+func (m *Material) ClassificationIDs() []string {
+	out := make([]string, 0, len(m.Classifications))
+	seen := make(map[string]bool, len(m.Classifications))
+	for _, c := range m.Classifications {
+		if !seen[c.NodeID] {
+			seen[c.NodeID] = true
+			out = append(out, c.NodeID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasClassification reports whether the material is tagged with the node.
+func (m *Material) HasClassification(nodeID string) bool {
+	for _, c := range m.Classifications {
+		if c.NodeID == nodeID {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifiedIn reports whether any classification lies in the subtree of
+// rootID within the given ontology.
+func (m *Material) ClassifiedIn(o *ontology.Ontology, rootID string) bool {
+	for _, c := range m.Classifications {
+		if o.Within(c.NodeID, rootID) {
+			return true
+		}
+	}
+	return false
+}
+
+// SharedClassifications returns the classification node IDs present in both
+// materials, sorted. Figure 3 of the paper draws an edge when this set has
+// at least two elements.
+func (m *Material) SharedClassifications(other *Material) []string {
+	mine := make(map[string]bool, len(m.Classifications))
+	for _, c := range m.Classifications {
+		mine[c.NodeID] = true
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, c := range other.Classifications {
+		if mine[c.NodeID] && !seen[c.NodeID] {
+			seen[c.NodeID] = true
+			out = append(out, c.NodeID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SearchText concatenates the fields used for free-text indexing.
+func (m *Material) SearchText() string {
+	parts := []string{m.Title, m.Description, m.Language}
+	parts = append(parts, m.Tags...)
+	parts = append(parts, m.Datasets...)
+	return strings.Join(parts, " ")
+}
+
+// Validate checks the material's internal consistency and that every
+// classification resolves to a classifiable entry in one of the given
+// ontologies.
+func (m *Material) Validate(onts ...*ontology.Ontology) []error {
+	var errs []error
+	if strings.TrimSpace(m.ID) != ontology.Slug(m.ID) || m.ID == "" {
+		errs = append(errs, fmt.Errorf("material %q: ID must be a non-empty slug", m.ID))
+	}
+	if strings.TrimSpace(m.Title) == "" {
+		errs = append(errs, fmt.Errorf("material %q: empty title", m.ID))
+	}
+	if !ValidKind(m.Kind) {
+		errs = append(errs, fmt.Errorf("material %q: invalid kind %q", m.ID, m.Kind))
+	}
+	if !ValidLevel(m.Level) {
+		errs = append(errs, fmt.Errorf("material %q: invalid level %q", m.ID, m.Level))
+	}
+	seen := make(map[string]bool, len(m.Classifications))
+	for _, c := range m.Classifications {
+		if seen[c.NodeID] {
+			errs = append(errs, fmt.Errorf("material %q: duplicate classification %q", m.ID, c.NodeID))
+			continue
+		}
+		seen[c.NodeID] = true
+		var node *ontology.Node
+		for _, o := range onts {
+			if n := o.Node(c.NodeID); n != nil {
+				node = n
+				break
+			}
+		}
+		if node == nil {
+			errs = append(errs, fmt.Errorf("material %q: classification %q resolves in no ontology", m.ID, c.NodeID))
+			continue
+		}
+		if !node.Kind.Classifiable() {
+			errs = append(errs, fmt.Errorf("material %q: classification %q is a %v, not a topic or outcome", m.ID, c.NodeID, node.Kind))
+		}
+	}
+	return errs
+}
+
+// Collection is an ordered set of materials with id lookup.
+type Collection struct {
+	// Name identifies the collection ("nifty", "peachy", ...).
+	Name string
+	// Label is the display name ("Nifty Assignments").
+	Label string
+	items []*Material
+	byID  map[string]*Material
+}
+
+// NewCollection creates an empty collection.
+func NewCollection(name, label string) *Collection {
+	return &Collection{Name: name, Label: label, byID: make(map[string]*Material)}
+}
+
+// Add appends a material; duplicate IDs are an error.
+func (c *Collection) Add(m *Material) error {
+	if _, dup := c.byID[m.ID]; dup {
+		return fmt.Errorf("collection %q: duplicate material %q", c.Name, m.ID)
+	}
+	if m.Collection == "" {
+		m.Collection = c.Name
+	}
+	c.items = append(c.items, m)
+	c.byID[m.ID] = m
+	return nil
+}
+
+// MustAdd is Add that panics; for package data covered by tests.
+func (c *Collection) MustAdd(m *Material) {
+	if err := c.Add(m); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of materials.
+func (c *Collection) Len() int { return len(c.items) }
+
+// Get returns the material with the given id, or nil.
+func (c *Collection) Get(id string) *Material { return c.byID[id] }
+
+// All returns the materials in insertion order; the slice is a copy but the
+// pointed-to materials are shared.
+func (c *Collection) All() []*Material {
+	out := make([]*Material, len(c.items))
+	copy(out, c.items)
+	return out
+}
+
+// Filter returns the materials matching the predicate, in order.
+func (c *Collection) Filter(keep func(*Material) bool) []*Material {
+	var out []*Material
+	for _, m := range c.items {
+		if keep(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Validate validates every material and checks collection-level invariants.
+func (c *Collection) Validate(onts ...*ontology.Ontology) []error {
+	var errs []error
+	for _, m := range c.items {
+		errs = append(errs, m.Validate(onts...)...)
+	}
+	return errs
+}

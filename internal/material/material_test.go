@@ -1,0 +1,180 @@
+package material
+
+import (
+	"reflect"
+	"testing"
+
+	"carcs/internal/ontology"
+)
+
+func testOntology(t *testing.T) *ontology.Ontology {
+	t.Helper()
+	b := ontology.NewBuilder("T")
+	a := b.Area("AA", "Area")
+	u := a.Unit("Unit", 1)
+	u.Topic("Alpha", ontology.TierCore1)
+	u.Topic("Beta", ontology.TierCore1)
+	u.Topic("Gamma", ontology.TierElective)
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func valid(o *ontology.Ontology) *Material {
+	return &Material{
+		ID: "m-one", Title: "M One", Kind: Assignment, Level: CS1,
+		Classifications: []Classification{
+			{NodeID: "t/aa/unit/alpha"},
+			{NodeID: "t/aa/unit/beta", Bloom: ontology.BloomApply},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	o := testOntology(t)
+	if errs := valid(o).Validate(o); len(errs) != 0 {
+		t.Errorf("valid material rejected: %v", errs)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	o := testOntology(t)
+	cases := []struct {
+		name   string
+		mutate func(*Material)
+	}{
+		{"bad id", func(m *Material) { m.ID = "Not A Slug" }},
+		{"empty id", func(m *Material) { m.ID = "" }},
+		{"empty title", func(m *Material) { m.Title = "  " }},
+		{"bad kind", func(m *Material) { m.Kind = "poem" }},
+		{"bad level", func(m *Material) { m.Level = "CS99" }},
+		{"dangling classification", func(m *Material) {
+			m.Classifications = append(m.Classifications, Classification{NodeID: "t/aa/unit/ghost"})
+		}},
+		{"duplicate classification", func(m *Material) {
+			m.Classifications = append(m.Classifications, Classification{NodeID: "t/aa/unit/alpha"})
+		}},
+		{"structural classification", func(m *Material) {
+			m.Classifications = append(m.Classifications, Classification{NodeID: "t/aa/unit"})
+		}},
+	}
+	for _, c := range cases {
+		m := valid(o)
+		c.mutate(m)
+		if errs := m.Validate(o); len(errs) == 0 {
+			t.Errorf("%s: not detected", c.name)
+		}
+	}
+}
+
+func TestClassificationHelpers(t *testing.T) {
+	o := testOntology(t)
+	m := valid(o)
+	ids := m.ClassificationIDs()
+	if !reflect.DeepEqual(ids, []string{"t/aa/unit/alpha", "t/aa/unit/beta"}) {
+		t.Errorf("ClassificationIDs = %v", ids)
+	}
+	if !m.HasClassification("t/aa/unit/alpha") || m.HasClassification("t/aa/unit/gamma") {
+		t.Error("HasClassification misbehaves")
+	}
+	if !m.ClassifiedIn(o, "t/aa") || !m.ClassifiedIn(o, "t/aa/unit/alpha") {
+		t.Error("ClassifiedIn false negative")
+	}
+	if m.ClassifiedIn(o, "t/aa/unit/gamma") {
+		t.Error("ClassifiedIn false positive")
+	}
+	other := &Material{ID: "m-two", Title: "M Two", Kind: Slides, Level: CS2,
+		Classifications: []Classification{
+			{NodeID: "t/aa/unit/beta"},
+			{NodeID: "t/aa/unit/gamma"},
+		}}
+	if got := m.SharedClassifications(other); !reflect.DeepEqual(got, []string{"t/aa/unit/beta"}) {
+		t.Errorf("SharedClassifications = %v", got)
+	}
+	if got := other.SharedClassifications(m); !reflect.DeepEqual(got, []string{"t/aa/unit/beta"}) {
+		t.Errorf("SharedClassifications not symmetric: %v", got)
+	}
+}
+
+func TestSearchText(t *testing.T) {
+	m := &Material{Title: "Fractal Zoom", Description: "render frames", Language: "C",
+		Tags: []string{"media"}, Datasets: []string{"frames.csv"}}
+	txt := m.SearchText()
+	for _, want := range []string{"Fractal Zoom", "render frames", "C", "media", "frames.csv"} {
+		if !containsStr(txt, want) {
+			t.Errorf("SearchText missing %q: %q", want, txt)
+		}
+	}
+}
+
+func TestCollection(t *testing.T) {
+	o := testOntology(t)
+	c := NewCollection("test", "Test Collection")
+	m := valid(o)
+	if err := c.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(&Material{ID: "m-one", Title: "Dup", Kind: Assignment, Level: CS1}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if m.Collection != "test" {
+		t.Errorf("collection not stamped: %q", m.Collection)
+	}
+	if c.Len() != 1 || c.Get("m-one") != m || c.Get("ghost") != nil {
+		t.Error("lookup misbehaves")
+	}
+	all := c.All()
+	if len(all) != 1 || all[0] != m {
+		t.Error("All misbehaves")
+	}
+	got := c.Filter(func(mm *Material) bool { return mm.Kind == Assignment })
+	if len(got) != 1 {
+		t.Error("Filter misbehaves")
+	}
+	if errs := c.Validate(o); len(errs) != 0 {
+		t.Errorf("Validate = %v", errs)
+	}
+	mustPanicMat(t, func() { c.MustAdd(&Material{ID: "m-one", Title: "Dup", Kind: Assignment, Level: CS1}) })
+}
+
+func TestKindLevelValidators(t *testing.T) {
+	for _, k := range []Kind{Assignment, Slides, Exam, Video, Chapter, Demo} {
+		if !ValidKind(k) {
+			t.Errorf("ValidKind(%q) false", k)
+		}
+	}
+	if ValidKind("haiku") {
+		t.Error("invalid kind accepted")
+	}
+	for _, l := range []Level{CS0, CS1, CS2, Intermediate, Advanced} {
+		if !ValidLevel(l) {
+			t.Errorf("ValidLevel(%q) false", l)
+		}
+	}
+	if ValidLevel("CS9") {
+		t.Error("invalid level accepted")
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && (func() bool {
+		for i := 0; i+len(needle) <= len(haystack); i++ {
+			if haystack[i:i+len(needle)] == needle {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func mustPanicMat(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

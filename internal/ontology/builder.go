@@ -1,0 +1,173 @@
+package ontology
+
+import "fmt"
+
+// Builder offers a fluent, error-accumulating way to declare ontology trees
+// in data files. All Add-style methods return a cursor positioned at the new
+// node so sibling and child declarations nest naturally:
+//
+//	b := ontology.NewBuilder("CS2013")
+//	sdf := b.Area("SDF", "Software Development Fundamentals")
+//	fpc := sdf.Unit("Fundamental Programming Concepts", 10)
+//	fpc.Topic("Basic syntax and semantics of a higher-level language", ontology.TierCore1)
+//	fpc.Topic("Conditional and iterative control structures", ontology.TierCore1)
+//	fpc.Outcome("Analyze and explain the behavior of simple programs", ontology.BloomComprehend)
+//	ont, err := b.Build()
+//
+// Errors are collected and reported once by Build, so declarations stay
+// unconditional.
+type Builder struct {
+	o    *Ontology
+	errs []error
+}
+
+// Cursor is a position in a tree under construction.
+type Cursor struct {
+	b  *Builder
+	id string
+}
+
+// NewBuilder starts a builder for an ontology with the given display name.
+func NewBuilder(name string) *Builder {
+	return &Builder{o: New(name)}
+}
+
+// Root returns a cursor at the root node.
+func (b *Builder) Root() Cursor { return Cursor{b: b, id: b.o.root} }
+
+// Area declares a knowledge area directly under the root. The two- or
+// three-letter code (e.g. "SDF", "PD") is stored via SeeAlso-free label
+// convention "<code> — <name>"? No: codes matter for reporting, so the label
+// is the full name and the code becomes a dedicated alias node ID segment.
+// To keep keys short and match the paper's figures (first-level nodes are
+// "tagged with the 2 or 3 letter code"), the area key segment is the
+// lower-cased code and the label is the full name.
+func (b *Builder) Area(code, name string) Cursor {
+	id, err := b.o.AddNode(b.o.root, Node{Label: name, Kind: KindArea})
+	if err != nil {
+		b.errs = append(b.errs, err)
+		return Cursor{b: b, id: b.o.root}
+	}
+	// Re-key the area under its code for short, stable IDs.
+	if code != "" {
+		n := b.o.nodes[id]
+		short := b.o.root + "/" + Slug(code)
+		if _, dup := b.o.nodes[short]; dup {
+			b.errs = append(b.errs, fmt.Errorf("duplicate area code %q", code))
+			return Cursor{b: b, id: id}
+		}
+		delete(b.o.nodes, id)
+		n.ID = short
+		n.Label = name
+		b.o.nodes[short] = n
+		kids := b.o.children[b.o.root]
+		kids[len(kids)-1] = short
+		b.o.order[len(b.o.order)-1] = short
+		// Remember the code so key derivation for children still holds:
+		// children derive from the *short* ID, and Validate's key rule is
+		// waived for area nodes via the recorded code label.
+		b.o.areaCodes = appendAreaCode(b.o, short, code)
+		return Cursor{b: b, id: short}
+	}
+	return Cursor{b: b, id: id}
+}
+
+// Build freezes and validates the ontology, returning the first declaration
+// error or validation failure encountered.
+func (b *Builder) Build() (*Ontology, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("%d declaration error(s), first: %w", len(b.errs), b.errs[0])
+	}
+	if errs := b.o.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("%d validation error(s), first: %w", len(errs), errs[0])
+	}
+	b.o.Freeze()
+	return b.o, nil
+}
+
+// MustBuild is Build that panics on error; for package-level curriculum data
+// whose correctness is covered by tests.
+func (b *Builder) MustBuild() *Ontology {
+	o, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// ID returns the node ID at the cursor.
+func (c Cursor) ID() string { return c.id }
+
+// Unit declares a knowledge unit (with suggested lecture hours, zero if
+// unpublished) under the cursor and returns a cursor at it.
+func (c Cursor) Unit(name string, hours float64) Cursor {
+	return c.add(Node{Label: name, Kind: KindUnit, Hours: hours})
+}
+
+// Group declares an intermediate grouping node (modeled as a unit without
+// hours), used for PDC12's nested topic clusters.
+func (c Cursor) Group(name string) Cursor {
+	return c.add(Node{Label: name, Kind: KindUnit})
+}
+
+// Topic declares a topic with a tier under the cursor and returns a cursor
+// at the topic so sub-topics can be declared (both curricula nest topics).
+func (c Cursor) Topic(name string, tier Tier) Cursor {
+	return c.add(Node{Label: name, Kind: KindTopic, Tier: tier})
+}
+
+// BloomTopic declares a topic carrying both tier and Bloom level, PDC12's
+// native shape.
+func (c Cursor) BloomTopic(name string, tier Tier, bloom Bloom) Cursor {
+	return c.add(Node{Label: name, Kind: KindTopic, Tier: tier, Bloom: bloom})
+}
+
+// Outcome declares a learning outcome with its level under the cursor.
+func (c Cursor) Outcome(text string, level Bloom) Cursor {
+	return c.add(Node{Label: text, Kind: KindOutcome, Bloom: level})
+}
+
+// SeeAlso records a cross reference from the cursor's node to the given ID.
+// Dangling references are caught by Build.
+func (c Cursor) SeeAlso(id string) Cursor {
+	n := c.b.o.nodes[c.id]
+	if n != nil {
+		n.SeeAlso = append(n.SeeAlso, id)
+	}
+	return c
+}
+
+func (c Cursor) add(n Node) Cursor {
+	id, err := c.b.o.AddNode(c.id, n)
+	if err != nil {
+		c.b.errs = append(c.b.errs, err)
+		return c
+	}
+	return Cursor{b: c.b, id: id}
+}
+
+// areaCodes maps re-keyed area IDs to their codes so that Validate can check
+// the key-derivation rule for them (area key segment = slug(code), not
+// slug(label)).
+func appendAreaCode(o *Ontology, id, code string) map[string]string {
+	if o.areaCodes == nil {
+		o.areaCodes = make(map[string]string)
+	}
+	o.areaCodes[id] = code
+	return o.areaCodes
+}
+
+// Code returns the short area code for an area ID ("SDF", "PD", ...); for
+// non-area nodes it returns "".
+func (o *Ontology) Code(id string) string { return o.areaCodes[id] }
+
+// AreaByCode returns the ID of the area with the given short code, or "".
+func (o *Ontology) AreaByCode(code string) string {
+	want := Slug(code)
+	for id, c := range o.areaCodes {
+		if Slug(c) == want {
+			return id
+		}
+	}
+	return ""
+}

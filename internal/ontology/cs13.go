@@ -1,0 +1,99 @@
+package ontology
+
+import (
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// CS13 returns the ACM/IEEE Computer Science Curricula 2013 guidelines as an
+// ontology: 18 knowledge areas, their knowledge units (with suggested core
+// hours), topics, and learning outcomes classified at the three CS13 levels
+// (familiarity, usage, assessment — mapped onto the shared Bloom scale).
+//
+// The area/unit skeleton and all labels the reproduction depends on are
+// transcribed from the published guidelines; learning outcomes are
+// synthesized deterministically from the topics so that the ontology reaches
+// the published scale ("the CS13 classification contains about 3000
+// entries", Sec. III-B). See DESIGN.md for the substitution note.
+//
+// The returned ontology is shared and frozen; callers must not mutate it.
+func CS13() *Ontology {
+	cs13Once.Do(func() { cs13Shared = buildCS13() })
+	return cs13Shared
+}
+
+var (
+	cs13Once   sync.Once
+	cs13Shared *Ontology
+)
+
+// outcomeVerbs pairs CS13-style outcome verbs with the mastery level they
+// connote. The cycle is deterministic so that the generated ontology is
+// byte-for-byte reproducible across runs.
+var outcomeVerbs = []struct {
+	verb  string
+	bloom Bloom
+}{
+	{"Describe", BloomKnow},
+	{"Explain", BloomComprehend},
+	{"Apply", BloomApply},
+	{"Identify", BloomKnow},
+	{"Discuss the importance of", BloomComprehend},
+	{"Implement a program that uses", BloomApply},
+	{"Contrast approaches to", BloomComprehend},
+	{"Evaluate the use of", BloomApply},
+}
+
+// outcomeOffsets selects which verbs (relative to the topic's index) label
+// the generated outcomes for a topic; all offsets are distinct modulo
+// len(outcomeVerbs) so a topic never receives the same verb twice.
+var outcomeOffsets = []int{0, 3, 5}
+
+func buildCS13() *Ontology {
+	b := NewBuilder("ACM/IEEE CS Curricula 2013")
+	for _, ka := range cs13Areas {
+		area := b.Area(ka.code, ka.name)
+		for _, ku := range ka.units {
+			unit := area.Unit(ku.name, ku.hours)
+			for i, topic := range ku.topics {
+				unit.Topic(topic, ku.tier)
+				offsets := outcomeOffsets
+				if ku.tier == TierCore1 {
+					offsets = append(offsets, 6) // distinct from 0,3,5 mod 8
+				}
+				for _, off := range offsets {
+					v := outcomeVerbs[(i+off)%len(outcomeVerbs)]
+					unit.Outcome(v.verb+" "+decapitalize(topic), v.bloom)
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// decapitalize lowers the first rune of a label unless the label starts with
+// an acronym (two leading upper-case runes), so "Arrays" becomes "arrays"
+// but "NP-completeness and the Cook-Levin theorem" keeps its form.
+func decapitalize(s string) string {
+	runes := []rune(s)
+	if len(runes) == 0 {
+		return s
+	}
+	if len(runes) >= 2 && unicode.IsUpper(runes[0]) && unicode.IsUpper(runes[1]) {
+		return s
+	}
+	if !unicode.IsUpper(runes[0]) {
+		return s
+	}
+	// Keep proper nouns commonly present in the guidelines intact.
+	first, _, _ := strings.Cut(s, " ")
+	switch first {
+	case "Internet", "Ethernet", "Amdahl's", "Gustafson's", "Flynn's",
+		"Bayes'", "Newton's", "Simpson's", "Cook-Levin", "Knuth-Morris-Pratt",
+		"Boyer-Moore", "Fibonacci", "Turing", "Moore's", "Dennard":
+		return s
+	}
+	runes[0] = unicode.ToLower(runes[0])
+	return string(runes)
+}

@@ -1,0 +1,317 @@
+package ontology
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCS13Scale reproduces E6 (Sec. III-B): "the CS13 classification
+// contains about 3000 entries". We accept 2500–3500.
+func TestCS13Scale(t *testing.T) {
+	s := CS13().ComputeStats()
+	if s.Total < 2500 || s.Total > 3500 {
+		t.Errorf("CS13 total entries = %d, want about 3000", s.Total)
+	}
+	if s.Areas != 18 {
+		t.Errorf("CS13 areas = %d, want 18", s.Areas)
+	}
+	if s.ByKind[KindTopic] < 500 {
+		t.Errorf("CS13 topics = %d, want hundreds", s.ByKind[KindTopic])
+	}
+	if s.ByKind[KindOutcome] <= s.ByKind[KindTopic] {
+		t.Errorf("CS13 outcomes (%d) should outnumber topics (%d)",
+			s.ByKind[KindOutcome], s.ByKind[KindTopic])
+	}
+	t.Logf("CS13: %d entries (%d topics, %d outcomes, %d units, depth %d)",
+		s.Total, s.ByKind[KindTopic], s.ByKind[KindOutcome], s.Units, s.MaxDepth)
+}
+
+// TestParallelismPlacement reproduces E6: "in CS13, parallelism related
+// topics appear in three different places: System Fundamentals,
+// Computational Science::Processing, and in Parallel and Distributed
+// Computing".
+func TestParallelismPlacement(t *testing.T) {
+	cs := CS13()
+	areas := cs.AreasMatching("parallel")
+	codes := make(map[string]bool)
+	for _, a := range areas {
+		codes[cs.Code(a)] = true
+	}
+	for _, want := range []string{"SF", "CN", "PD"} {
+		if !codes[want] {
+			t.Errorf("no parallelism entries found in area %s; areas with matches: %v", want, codes)
+		}
+	}
+	if len(codes) < 3 {
+		t.Errorf("parallelism appears in %d areas, want at least 3", len(codes))
+	}
+	// The CN hit must specifically be under Processing.
+	found := false
+	for _, id := range cs.FindAll("parallel") {
+		if cs.Within(id, "acm-ieee-cs-curricula-2013/cn/processing") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no parallelism entry under Computational Science :: Processing")
+	}
+}
+
+// TestPDC12Quirks reproduces E7 (Sec. IV-A): the acknowledged placement
+// oddities of the 2012 PDC curriculum.
+func TestPDC12Quirks(t *testing.T) {
+	p := PDC12()
+
+	// Amdahl's law falls under Programming :: Performance Issues :: Data.
+	amdahl := p.FindAll("amdahl")
+	if len(amdahl) == 0 {
+		t.Fatal("Amdahl's law missing from PDC12")
+	}
+	for _, id := range amdahl {
+		want := "nsf-ieee-tcpp-pdc-2012/pr/performance-issues/data"
+		if !p.Within(id, want) {
+			t.Errorf("Amdahl entry %q not under %q (path %q)", id, want, p.Path(id))
+		}
+	}
+
+	// Notions from scheduling misses Critical Path.
+	schedRoot := "nsf-ieee-tcpp-pdc-2012/al/parallel-and-distributed-models-and-complexity/notions-from-scheduling"
+	if !p.Has(schedRoot) {
+		t.Fatalf("scheduling group missing")
+	}
+	for _, m := range p.Search(schedRoot, "critical path") {
+		t.Errorf("PDC12 should not contain critical path under scheduling, found %q", m.Node.ID)
+	}
+
+	// BSP is bundled with Cilk in one entry.
+	bsp := p.FindAll("bsp")
+	if len(bsp) != 1 {
+		t.Fatalf("BSP entries = %v, want exactly 1", bsp)
+	}
+	if label := p.Node(bsp[0]).Label; !containsFold(label, "cilk") {
+		t.Errorf("BSP entry %q not bundled with Cilk", label)
+	}
+
+	// The Map-Reduce programming model is mostly missing: no entry should
+	// mention MapReduce except the reduction *pattern* note in Algorithms.
+	for _, id := range p.FindAll("map-reduce") {
+		if a := p.Code(p.Area(id)); a == "PR" {
+			t.Errorf("PDC12 Programming should not have a MapReduce model entry, found %q", id)
+		}
+	}
+
+	// Middleware is absent from both classifications.
+	if hits := p.FindAll("middleware"); len(hits) != 0 {
+		t.Errorf("PDC12 middleware entries = %v, want none", hits)
+	}
+	if hits := CS13().Search(CS13().RootID(), "middleware design"); len(hits) != 0 {
+		t.Errorf("CS13 middleware-design entries = %d, want none", len(hits))
+	}
+}
+
+func TestPDC12Structure(t *testing.T) {
+	p := PDC12()
+	areas := p.Areas()
+	if len(areas) != 4 {
+		t.Fatalf("PDC12 areas = %d, want 4", len(areas))
+	}
+	wantCodes := []string{"AR", "PR", "AL", "CC"}
+	for i, id := range areas {
+		if p.Code(id) != wantCodes[i] {
+			t.Errorf("area %d code = %q, want %q", i, p.Code(id), wantCodes[i])
+		}
+	}
+	s := p.ComputeStats()
+	if s.ByKind[KindTopic] < 80 {
+		t.Errorf("PDC12 topics = %d, want a realistic curriculum size", s.ByKind[KindTopic])
+	}
+	// Every PDC12 topic carries a Bloom level, as published.
+	p.Walk(p.RootID(), func(n *Node, _ int) bool {
+		if n.Kind == KindTopic && n.Bloom == BloomUnspecified {
+			t.Errorf("PDC12 topic %q lacks a Bloom level", n.ID)
+		}
+		return true
+	})
+}
+
+func TestSearchHighlight(t *testing.T) {
+	o := CS13()
+	ms := o.Search(o.RootID(), "iterative control")
+	if len(ms) == 0 {
+		t.Fatal("no matches for 'iterative control'")
+	}
+	top := ms[0]
+	if top.Node.Label != "Conditional and iterative control structures" {
+		t.Errorf("top match = %q", top.Node.Label)
+	}
+	h := Highlight(top.Node.Label, top.Spans, "[", "]")
+	if h != "Conditional and [iterative] [control] structures" {
+		t.Errorf("Highlight = %q", h)
+	}
+}
+
+func TestSearchMultiTermAndMiss(t *testing.T) {
+	o := PDC12()
+	if ms := o.Search(o.RootID(), "zebra unicorn"); len(ms) != 0 {
+		t.Errorf("nonsense query matched %d entries", len(ms))
+	}
+	if ms := o.Search(o.RootID(), ""); ms != nil {
+		t.Errorf("empty query should return nil")
+	}
+	ms := o.Search(o.RootID(), "memory")
+	if len(ms) < 3 {
+		t.Errorf("'memory' matches = %d, want several", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Score < ms[i].Score {
+			t.Errorf("matches not sorted by score at %d", i)
+		}
+	}
+}
+
+func TestSearchPathsLimit(t *testing.T) {
+	o := CS13()
+	got := o.SearchPaths("parallel", 5)
+	if len(got) != 5 {
+		t.Errorf("SearchPaths limit: got %d", len(got))
+	}
+	all := o.SearchPaths("parallel", 0)
+	if len(all) <= 5 {
+		t.Errorf("unlimited SearchPaths = %d", len(all))
+	}
+}
+
+func TestHighlightEdgeCases(t *testing.T) {
+	if got := Highlight("abc", nil, "[", "]"); got != "abc" {
+		t.Errorf("no spans: %q", got)
+	}
+	// Out-of-range spans are skipped rather than panicking.
+	got := Highlight("abc", []Span{{Start: 1, End: 9}}, "[", "]")
+	if got != "abc" {
+		t.Errorf("bad span: %q", got)
+	}
+	got = Highlight("hello world", []Span{{0, 5}, {6, 11}}, "<", ">")
+	if got != "<hello> <world>" {
+		t.Errorf("two spans: %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, o := range []*Ontology{PDC12(), CS13()} {
+		data, err := json.Marshal(o)
+		if err != nil {
+			t.Fatalf("%s marshal: %v", o.Name(), err)
+		}
+		var back Ontology
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s unmarshal: %v", o.Name(), err)
+		}
+		if back.Len() != o.Len() || back.Name() != o.Name() {
+			t.Fatalf("%s round trip size %d->%d", o.Name(), o.Len(), back.Len())
+		}
+		for _, id := range o.IDs() {
+			a, b := o.Node(id), back.Node(id)
+			if b == nil {
+				t.Fatalf("%s lost node %q", o.Name(), id)
+			}
+			if a.Label != b.Label || a.Kind != b.Kind || a.Tier != b.Tier || a.Bloom != b.Bloom || a.Parent != b.Parent {
+				t.Fatalf("%s node %q changed: %+v vs %+v", o.Name(), id, a, b)
+			}
+		}
+		if back.Code(back.AreaByCode("PD")) == "" && o.AreaByCode("PD") != "" {
+			t.Errorf("%s lost area codes", o.Name())
+		}
+	}
+}
+
+func TestJSONRejectsCorruptDocuments(t *testing.T) {
+	var o Ontology
+	if err := json.Unmarshal([]byte(`{"name":"x","root":"x","nodes":[]}`), &o); err == nil {
+		t.Error("empty node table accepted")
+	}
+	bad := `{"name":"x","root":"x","nodes":[
+	  {"id":"x","label":"x","kind":"root"},
+	  {"id":"x/a","parent":"x","label":"A","kind":"mystery"}]}`
+	if err := json.Unmarshal([]byte(bad), &o); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	dup := `{"name":"x","root":"x","nodes":[
+	  {"id":"x","label":"x","kind":"root"},
+	  {"id":"x/a","parent":"x","label":"A","kind":"topic"},
+	  {"id":"x/a","parent":"x","label":"A","kind":"topic"}]}`
+	if err := json.Unmarshal([]byte(dup), &o); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	orphan := `{"name":"x","root":"x","nodes":[
+	  {"id":"x","label":"x","kind":"root"},
+	  {"id":"x/a","parent":"ghost","label":"A","kind":"topic"}]}`
+	if err := json.Unmarshal([]byte(orphan), &o); err == nil {
+		t.Error("orphan node accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	build := func(extra bool) *Ontology {
+		b := NewBuilder("PDC")
+		a := b.Area("AL", "Algorithms")
+		u := a.Unit("Scheduling", 0)
+		u.BloomTopic("Dependencies", TierCore1, BloomComprehend)
+		if extra {
+			u.BloomTopic("Critical path", TierCore1, BloomComprehend)
+		} else {
+			u.BloomTopic("Makespan", TierElective, BloomKnow)
+		}
+		return b.MustBuild()
+	}
+	old, next := build(false), build(true)
+	diff := old.Diff(next)
+	var added, removed int
+	for _, d := range diff {
+		switch d.Change {
+		case "added":
+			added++
+			if d.After != "Critical path" {
+				t.Errorf("unexpected addition %+v", d)
+			}
+		case "removed":
+			removed++
+		}
+	}
+	if added != 1 || removed != 1 {
+		t.Errorf("diff added=%d removed=%d: %v", added, removed, diff)
+	}
+	if d := old.Diff(old); len(d) != 0 {
+		t.Errorf("self diff = %v", d)
+	}
+}
+
+func TestSharedInstancesAreSame(t *testing.T) {
+	if CS13() != CS13() || PDC12() != PDC12() {
+		t.Error("shared curriculum instances should be cached")
+	}
+}
+
+func containsFold(s, sub string) bool {
+	return len(s) >= len(sub) && (stringContainsFold(s, sub))
+}
+
+func stringContainsFold(s, sub string) bool {
+	S, T := []rune(s), []rune(sub)
+	lower := func(r rune) rune {
+		if r >= 'A' && r <= 'Z' {
+			return r + 32
+		}
+		return r
+	}
+outer:
+	for i := 0; i+len(T) <= len(S); i++ {
+		for j := range T {
+			if lower(S[i+j]) != lower(T[j]) {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package ontology
+
+import "sort"
+
+// DiffEntry describes one difference between two ontologies sharing key
+// conventions (e.g. PDC12 versus a hypothetical PDC19 revision — the paper
+// notes "the 2019 edition of PDC is expected to correct these oddities").
+type DiffEntry struct {
+	ID string
+	// Change is one of "added", "removed", "relabeled", "retiered",
+	// "rebloomed", "moved".
+	Change string
+	// Before and After carry the differing values (labels, tiers, parent
+	// paths) as display strings; empty when not applicable.
+	Before, After string
+}
+
+// Diff compares the receiver (old) with next (new) and lists every node
+// added, removed, or changed, ordered by node ID.
+func (o *Ontology) Diff(next *Ontology) []DiffEntry {
+	var out []DiffEntry
+	for _, id := range o.order {
+		a := o.nodes[id]
+		b := next.nodes[id]
+		if b == nil {
+			out = append(out, DiffEntry{ID: id, Change: "removed", Before: a.Label})
+			continue
+		}
+		if a.Label != b.Label {
+			out = append(out, DiffEntry{ID: id, Change: "relabeled", Before: a.Label, After: b.Label})
+		}
+		if a.Tier != b.Tier {
+			out = append(out, DiffEntry{ID: id, Change: "retiered", Before: a.Tier.String(), After: b.Tier.String()})
+		}
+		if a.Bloom != b.Bloom {
+			out = append(out, DiffEntry{ID: id, Change: "rebloomed", Before: a.Bloom.String(), After: b.Bloom.String()})
+		}
+		if a.Parent != b.Parent {
+			out = append(out, DiffEntry{ID: id, Change: "moved", Before: o.Path(a.Parent), After: next.Path(b.Parent)})
+		}
+	}
+	for _, id := range next.order {
+		if o.nodes[id] == nil {
+			out = append(out, DiffEntry{ID: id, Change: "added", After: next.nodes[id].Label})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Change < out[j].Change
+	})
+	return out
+}
+
+// Stats summarizes an ontology for reporting: total entries, per-kind and
+// per-tier counts, maximum depth, and number of classifiable entries. The
+// paper's Sec. III-B reports "the CS13 classification contains about 3000
+// entries"; Stats is what the reproduction checks that claim with.
+type Stats struct {
+	Total        int
+	ByKind       map[Kind]int
+	ByTier       map[Tier]int
+	ByBloom      map[Bloom]int
+	MaxDepth     int
+	Classifiable int
+	Areas        int
+	Units        int
+}
+
+// ComputeStats walks the whole tree once and tallies the summary.
+func (o *Ontology) ComputeStats() Stats {
+	s := Stats{
+		ByKind:  make(map[Kind]int),
+		ByTier:  make(map[Tier]int),
+		ByBloom: make(map[Bloom]int),
+	}
+	o.Walk(o.root, func(n *Node, depth int) bool {
+		s.Total++
+		s.ByKind[n.Kind]++
+		s.ByTier[n.Tier]++
+		s.ByBloom[n.Bloom]++
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		if n.Kind.Classifiable() {
+			s.Classifiable++
+		}
+		switch n.Kind {
+		case KindArea:
+			s.Areas++
+		case KindUnit:
+			s.Units++
+		}
+		return true
+	})
+	return s
+}
+
+// FindAll returns the IDs of every node, anywhere in the tree, whose label
+// contains the query terms (see Search). It is the cross-placement probe the
+// paper uses: "in CS13, parallelism related topics appear in three different
+// places".
+func (o *Ontology) FindAll(query string) []string {
+	var out []string
+	for _, m := range o.Search(o.root, query) {
+		out = append(out, m.Node.ID)
+	}
+	return out
+}
+
+// AreasMatching returns the distinct knowledge-area IDs containing at least
+// one node matching the query, in document order.
+func (o *Ontology) AreasMatching(query string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range o.FindAll(query) {
+		a := o.Area(id)
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	pos := make(map[string]int)
+	for i, id := range o.order {
+		pos[id] = i
+	}
+	sort.Slice(out, func(i, j int) bool { return pos[out[i]] < pos[out[j]] })
+	return out
+}

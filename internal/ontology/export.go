@@ -1,0 +1,41 @@
+package ontology
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// ExportCSV writes the ontology as a flat CSV table (one row per node):
+// id, parent, kind, tier, bloom, hours, depth, path. This is the interchange
+// format curriculum committees actually work in — a spreadsheet — and the
+// complement of the JSON wire form used for machine round-trips.
+func (o *Ontology) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "parent", "label", "kind", "tier", "bloom", "hours", "depth", "path"}); err != nil {
+		return err
+	}
+	var failed error
+	o.Walk(o.RootID(), func(n *Node, depth int) bool {
+		if failed != nil {
+			return false
+		}
+		hours := ""
+		if n.Hours > 0 {
+			hours = fmt.Sprintf("%g", n.Hours)
+		}
+		rec := []string{
+			n.ID, n.Parent, n.Label, n.Kind.String(),
+			zeroEmpty(n.Tier.String(), TierUnspecified.String()),
+			zeroEmpty(n.Bloom.String(), BloomUnspecified.String()),
+			hours, fmt.Sprintf("%d", depth), o.Path(n.ID),
+		}
+		failed = cw.Write(rec)
+		return true
+	})
+	if failed != nil {
+		return failed
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,50 @@
+package ontology
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestExportCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PDC12().ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(buf.String()))
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != PDC12().Len()+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), PDC12().Len()+1)
+	}
+	if rows[0][0] != "id" || rows[0][8] != "path" {
+		t.Errorf("header = %v", rows[0])
+	}
+	// Find Amdahl's law and check its columns.
+	found := false
+	for _, row := range rows[1:] {
+		if strings.HasSuffix(row[0], "amdahl-s-law") {
+			found = true
+			if row[3] != "topic" || row[4] != "core-tier-1" || row[5] != "comprehend" {
+				t.Errorf("amdahl row = %v", row)
+			}
+			if !strings.Contains(row[8], "Performance Issues :: Data") {
+				t.Errorf("amdahl path = %s", row[8])
+			}
+		}
+	}
+	if !found {
+		t.Error("amdahl row missing")
+	}
+	// CS13 export includes hour budgets on units.
+	buf.Reset()
+	if err := CS13().ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ",unit,,,10,") {
+		t.Error("no unit hour budgets in CS13 export")
+	}
+}

@@ -1,0 +1,175 @@
+package ontology
+
+import (
+	"sort"
+
+	"carcs/internal/textproc"
+)
+
+// Migration maps classification entries of one ontology revision onto
+// another — the tooling a curator needs "with a new version coming in 2019":
+// every material classified against PDC12 must be re-pointed at the
+// corresponding PDC19 entry, or flagged for manual review when the revision
+// moved, split, or reworded the entry.
+type Migration struct {
+	// Mapping maps old entry IDs to new entry IDs.
+	Mapping map[string]string
+	// Ambiguous lists old entries that matched several new entries
+	// equally well; curators must decide these by hand.
+	Ambiguous map[string][]string
+	// Dropped lists old entries with no acceptable match in the new
+	// revision.
+	Dropped []string
+}
+
+// BuildMigration computes an entry mapping from old to new. Matching is
+// staged:
+//
+//  1. Exact same ID (the entry did not move): mapped directly.
+//  2. Exact label match anywhere in the new tree: mapped (moves like
+//     Amdahl's law relocating out of Performance Issues :: Data).
+//  3. Highest stemmed-token overlap between old and new labels, with the
+//     path as tiebreak; below minScore the entry is dropped, and ties are
+//     reported as ambiguous.
+func BuildMigration(old, next *Ontology, minScore float64) *Migration {
+	m := &Migration{
+		Mapping:   make(map[string]string),
+		Ambiguous: make(map[string][]string),
+	}
+	// Index new entries by exact label and by analyzed terms.
+	newByLabel := make(map[string][]string)
+	newTerms := make(map[string][]string)
+	newIDs := next.Classifiable()
+	for _, id := range newIDs {
+		n := next.Node(id)
+		newByLabel[n.Label] = append(newByLabel[n.Label], id)
+		newTerms[id] = textproc.Terms(n.Label + " " + pathSansRoot(next, id))
+	}
+	for _, oldID := range old.Classifiable() {
+		on := old.Node(oldID)
+		// Stage 1: identical relative ID (strip the root segment).
+		rel := relativeID(old, oldID)
+		if cand := next.RootID() + rel; next.Has(cand) && next.Node(cand).Kind.Classifiable() {
+			m.Mapping[oldID] = cand
+			continue
+		}
+		// Stage 2: unique exact label elsewhere.
+		if ids := newByLabel[on.Label]; len(ids) == 1 {
+			m.Mapping[oldID] = ids[0]
+			continue
+		} else if len(ids) > 1 {
+			m.Ambiguous[oldID] = append([]string(nil), ids...)
+			continue
+		}
+		// Stage 3: best stemmed overlap. The root label is excluded on
+		// both sides: two revisions of the same curriculum share their
+		// name's tokens, which would inflate every pairing.
+		oldTerms := termSet(textproc.Terms(on.Label + " " + pathSansRoot(old, oldID)))
+		var best []string
+		bestScore := 0.0
+		for _, id := range newIDs {
+			score := overlap(oldTerms, newTerms[id])
+			switch {
+			case score > bestScore:
+				bestScore = score
+				best = []string{id}
+			case score == bestScore && score > 0:
+				best = append(best, id)
+			}
+		}
+		switch {
+		case bestScore < minScore || len(best) == 0:
+			m.Dropped = append(m.Dropped, oldID)
+		case len(best) == 1:
+			m.Mapping[oldID] = best[0]
+		default:
+			sort.Strings(best)
+			m.Ambiguous[oldID] = best
+		}
+	}
+	sort.Strings(m.Dropped)
+	return m
+}
+
+// pathSansRoot is the display path without the leading root label.
+func pathSansRoot(o *Ontology, id string) string {
+	p := o.Path(id)
+	if i := indexAfterSep(p); i >= 0 {
+		return p[i:]
+	}
+	return p
+}
+
+func indexAfterSep(p string) int {
+	const sep = " :: "
+	for i := 0; i+len(sep) <= len(p); i++ {
+		if p[i:i+len(sep)] == sep {
+			return i + len(sep)
+		}
+	}
+	return -1
+}
+
+// relativeID strips the ontology's root segment from an entry ID.
+func relativeID(o *Ontology, id string) string {
+	if len(id) <= len(o.root) {
+		return ""
+	}
+	return id[len(o.root):]
+}
+
+func termSet(terms []string) map[string]bool {
+	s := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		s[t] = true
+	}
+	return s
+}
+
+// overlap is |A ∩ B| / |A ∪ B| between a term set and a term list.
+func overlap(a map[string]bool, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	bset := termSet(b)
+	inter := 0
+	for t := range a {
+		if bset[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(bset) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Apply rewrites a classification entry list under the migration: mapped
+// entries are replaced, ambiguous and dropped ones are returned for manual
+// review. Duplicate targets collapse.
+func (m *Migration) Apply(entryIDs []string) (migrated []string, review []string) {
+	seen := make(map[string]bool)
+	for _, id := range entryIDs {
+		if to, ok := m.Mapping[id]; ok {
+			if !seen[to] {
+				seen[to] = true
+				migrated = append(migrated, to)
+			}
+			continue
+		}
+		review = append(review, id)
+	}
+	sort.Strings(migrated)
+	sort.Strings(review)
+	return migrated, review
+}
+
+// Coverage summarizes the migration: fraction of old entries mapped.
+func (m *Migration) Coverage(old *Ontology) float64 {
+	total := len(old.Classifiable())
+	if total == 0 {
+		return 0
+	}
+	return float64(len(m.Mapping)) / float64(total)
+}

@@ -1,0 +1,99 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildMigrationPDC12To19(t *testing.T) {
+	old, next := PDC12(), PDC19Draft()
+	m := BuildMigration(old, next, 0.25)
+
+	// Most entries survive the revision.
+	if cov := m.Coverage(old); cov < 0.9 {
+		t.Errorf("migration coverage = %.2f, want >= 0.9 (dropped: %v, ambiguous: %d)",
+			cov, m.Dropped, len(m.Ambiguous))
+	}
+
+	// Amdahl's law moved but maps to its new home.
+	oldAmdahl := old.FindAll("amdahl")[0]
+	to, ok := m.Mapping[oldAmdahl]
+	if !ok {
+		t.Fatalf("Amdahl unmapped (ambiguous=%v)", m.Ambiguous[oldAmdahl])
+	}
+	if !strings.Contains(next.Path(to), "Performance Metrics for Parallel Programs") {
+		t.Errorf("Amdahl migrated to %q", next.Path(to))
+	}
+
+	// Unmoved entries map via the identity stage.
+	oldRaces := old.RootID() + "/pr/semantics-and-correctness-issues/concurrency-defects-data-races"
+	if to := m.Mapping[oldRaces]; to != next.RootID()+"/pr/semantics-and-correctness-issues/concurrency-defects-data-races" {
+		t.Errorf("data races migrated to %q", to)
+	}
+
+	// The bundled BSP/CILK entry resolves to one of the unbundled
+	// successors (or is flagged) — never silently dropped.
+	oldBSP := old.FindAll("bsp")[0]
+	if to, ok := m.Mapping[oldBSP]; ok {
+		lbl := strings.ToLower(next.Node(to).Label)
+		if !strings.Contains(lbl, "bsp") && !strings.Contains(lbl, "cilk") {
+			t.Errorf("BSP migrated to unrelated %q", next.Path(to))
+		}
+	} else if len(m.Ambiguous[oldBSP]) == 0 {
+		t.Error("BSP neither mapped nor flagged ambiguous")
+	}
+
+	// Every mapping target exists and is classifiable.
+	for from, to := range m.Mapping {
+		n := next.Node(to)
+		if n == nil || !n.Kind.Classifiable() {
+			t.Errorf("%q -> invalid target %q", from, to)
+		}
+	}
+}
+
+func TestMigrationApply(t *testing.T) {
+	old, next := PDC12(), PDC19Draft()
+	m := BuildMigration(old, next, 0.25)
+	amdahl := old.FindAll("amdahl")[0]
+	speedup := old.RootID() + "/pr/performance-issues/data/speedup-and-efficiency"
+	migrated, review := m.Apply([]string{amdahl, speedup, "unknown-entry"})
+	if len(migrated) < 1 {
+		t.Fatalf("nothing migrated")
+	}
+	for _, id := range migrated {
+		if !next.Has(id) {
+			t.Errorf("migrated to unknown %q", id)
+		}
+	}
+	found := false
+	for _, id := range review {
+		if id == "unknown-entry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unknown entry not sent to review: %v", review)
+	}
+	// Duplicate targets collapse.
+	m2, _ := m.Apply([]string{amdahl, amdahl})
+	if len(m2) != 1 {
+		t.Errorf("duplicate targets kept: %v", m2)
+	}
+}
+
+func TestMigrationSelfIsIdentity(t *testing.T) {
+	p := PDC12()
+	m := BuildMigration(p, p, 0.25)
+	if len(m.Dropped) != 0 || len(m.Ambiguous) != 0 {
+		t.Fatalf("self migration dropped=%v ambiguous=%v", m.Dropped, m.Ambiguous)
+	}
+	for from, to := range m.Mapping {
+		if from != to {
+			t.Errorf("self migration moved %q -> %q", from, to)
+		}
+	}
+	if m.Coverage(p) != 1 {
+		t.Errorf("self coverage = %v", m.Coverage(p))
+	}
+}

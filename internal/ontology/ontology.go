@@ -1,0 +1,499 @@
+// Package ontology implements hierarchical curriculum ontologies such as the
+// ACM/IEEE CS2013 curriculum guidelines (CS13) and the NSF/IEEE-TCPP 2012
+// Parallel and Distributed Computing curriculum (PDC12).
+//
+// An ontology is a rooted tree of entries. Following the CAR-CS data model,
+// every entry carries a key, the key of its parent, a human-readable label,
+// and a kind separating structural nodes (areas, units) from classifiable
+// content (topics and learning outcomes). Entries additionally carry the
+// coverage tier (core-tier-1, core-tier-2, elective) and a Bloom level
+// (Know/Comprehend/Apply, or the CS13 outcome levels mapped onto the same
+// scale), because both source curricula publish them.
+//
+// The package provides construction, validation, traversal, search with
+// match highlighting, subtree extraction, diffing and JSON serialization.
+// The tree model can host DAG-like cross references through Node.SeeAlso,
+// which mirrors the paper's remark that cross-cutting PDC12 topics are
+// "actually listed as a separate category and organized hierarchically".
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the structural role of a node in the ontology tree.
+type Kind int
+
+const (
+	// KindRoot is the single root of an ontology.
+	KindRoot Kind = iota
+	// KindArea is a top-level knowledge area (e.g. "Parallel and
+	// Distributed Computing" in CS13, "Programming" in PDC12).
+	KindArea
+	// KindUnit is a knowledge unit or intermediate grouping.
+	KindUnit
+	// KindTopic is a classifiable topic entry.
+	KindTopic
+	// KindOutcome is a classifiable learning-outcome entry.
+	KindOutcome
+)
+
+var kindNames = [...]string{"root", "area", "unit", "topic", "outcome"}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Classifiable reports whether materials may be tagged with nodes of this
+// kind. Structural nodes (root, areas, units) exist to organize the tree and
+// aggregate coverage; only topics and outcomes are attached to materials.
+func (k Kind) Classifiable() bool { return k == KindTopic || k == KindOutcome }
+
+// Tier is the coverage expectation a curriculum assigns to an entry.
+type Tier int
+
+const (
+	// TierUnspecified marks entries whose source does not assign a tier
+	// (structural nodes inherit their children's tiers for reporting).
+	TierUnspecified Tier = iota
+	// TierCore1 is CS13 core-tier-1 (must cover 100%). PDC12 "core"
+	// entries are also mapped to TierCore1.
+	TierCore1
+	// TierCore2 is CS13 core-tier-2 (should cover at least 80%).
+	TierCore2
+	// TierElective marks elective entries in both curricula.
+	TierElective
+)
+
+var tierNames = [...]string{"unspecified", "core-tier-1", "core-tier-2", "elective"}
+
+// String returns the published name of the tier.
+func (t Tier) String() string {
+	if t < 0 || int(t) >= len(tierNames) {
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+	return tierNames[t]
+}
+
+// Bloom is the minimum mastery level associated with an entry.
+//
+// PDC12 uses Know/Comprehend/Apply; CS13 classifies learning outcomes as
+// familiarity/usage/assessment. The two scales are aligned level-by-level,
+// which is how the paper proposes materials should eventually be classified
+// ("it would make sense to classify materials with Bloom levels as well").
+type Bloom int
+
+const (
+	// BloomUnspecified marks entries without a published level.
+	BloomUnspecified Bloom = iota
+	// BloomKnow is PDC12 "Know" / CS13 "familiarity".
+	BloomKnow
+	// BloomComprehend is PDC12 "Comprehend" / CS13 "usage".
+	BloomComprehend
+	// BloomApply is PDC12 "Apply" / CS13 "assessment".
+	BloomApply
+)
+
+var bloomNames = [...]string{"unspecified", "know", "comprehend", "apply"}
+
+// String returns the lower-case PDC12 name of the level.
+func (b Bloom) String() string {
+	if b < 0 || int(b) >= len(bloomNames) {
+		return fmt.Sprintf("Bloom(%d)", int(b))
+	}
+	return bloomNames[b]
+}
+
+// Node is a single ontology entry. Nodes are identified by slash-separated
+// path keys derived from their labels (e.g.
+// "cs13/sdf/fundamental-programming-concepts/arrays"); the key of the parent
+// is always the key of the node minus its last segment, mirroring the
+// relational (key, parent-key) representation used by CAR-CS.
+type Node struct {
+	// ID is the unique, stable, path-shaped key of the node.
+	ID string
+	// Parent is the ID of the parent node; empty for the root.
+	Parent string
+	// Label is the human-readable name from the source curriculum.
+	Label string
+	// Kind is the structural role of the node.
+	Kind Kind
+	// Tier is the coverage tier the curriculum assigns, if any.
+	Tier Tier
+	// Bloom is the mastery level the curriculum assigns, if any.
+	Bloom Bloom
+	// Hours is the number of lecture hours the curriculum suggests for
+	// the enclosing unit; zero when unpublished. Only meaningful on
+	// KindUnit nodes.
+	Hours float64
+	// SeeAlso lists IDs of related nodes elsewhere in the tree. It is the
+	// DAG extension point: cross-cutting entries reference their
+	// counterparts without breaking the tree invariant.
+	SeeAlso []string
+}
+
+// Ontology is an immutable-after-Freeze rooted tree of nodes.
+//
+// The zero value is not usable; construct with New or a Builder.
+type Ontology struct {
+	name     string
+	root     string
+	nodes    map[string]*Node
+	children map[string][]string // parent ID -> child IDs in insertion order
+	order    []string            // all IDs in insertion (document) order
+	frozen   bool
+
+	// areaCodes maps area node IDs to their short published codes
+	// ("SDF", "PD", ...); such nodes are keyed by slug(code) rather than
+	// slug(label).
+	areaCodes map[string]string
+}
+
+// New creates an empty ontology whose root node carries the given name as
+// both ID and label.
+func New(name string) *Ontology {
+	o := &Ontology{
+		name:     name,
+		root:     Slug(name),
+		nodes:    make(map[string]*Node),
+		children: make(map[string][]string),
+	}
+	root := &Node{ID: o.root, Label: name, Kind: KindRoot}
+	o.nodes[o.root] = root
+	o.order = append(o.order, o.root)
+	return o
+}
+
+// Name returns the display name of the ontology.
+func (o *Ontology) Name() string { return o.name }
+
+// RootID returns the ID of the root node.
+func (o *Ontology) RootID() string { return o.root }
+
+// Len returns the number of nodes including the root.
+func (o *Ontology) Len() int { return len(o.nodes) }
+
+// Add inserts a node under the given parent and returns its assigned ID.
+// The ID is parentID + "/" + Slug(label). Add returns an error if the parent
+// does not exist, the derived ID already exists, the ontology is frozen, or
+// the label is empty.
+func (o *Ontology) Add(parentID, label string, kind Kind) (string, error) {
+	return o.AddNode(parentID, Node{Label: label, Kind: kind})
+}
+
+// AddNode inserts the given node under parentID, deriving the node ID from
+// the parent ID and the node label. All other fields of n are preserved.
+func (o *Ontology) AddNode(parentID string, n Node) (string, error) {
+	if o.frozen {
+		return "", fmt.Errorf("ontology %q: frozen", o.name)
+	}
+	if strings.TrimSpace(n.Label) == "" {
+		return "", fmt.Errorf("ontology %q: empty label under %q", o.name, parentID)
+	}
+	parent, ok := o.nodes[parentID]
+	if !ok {
+		return "", fmt.Errorf("ontology %q: unknown parent %q for %q", o.name, parentID, n.Label)
+	}
+	if parent.Kind.Classifiable() && !n.Kind.Classifiable() {
+		return "", fmt.Errorf("ontology %q: structural node %q under classifiable %q", o.name, n.Label, parentID)
+	}
+	id := parentID + "/" + Slug(n.Label)
+	if _, dup := o.nodes[id]; dup {
+		return "", fmt.Errorf("ontology %q: duplicate key %q", o.name, id)
+	}
+	nn := n
+	nn.ID = id
+	nn.Parent = parentID
+	o.nodes[id] = &nn
+	o.children[parentID] = append(o.children[parentID], id)
+	o.order = append(o.order, id)
+	return id, nil
+}
+
+// Freeze marks the ontology immutable. Subsequent Add calls fail. Freeze is
+// idempotent.
+func (o *Ontology) Freeze() { o.frozen = true }
+
+// Node returns the node with the given ID, or nil if absent. The returned
+// pointer aliases internal state; callers must not mutate it.
+func (o *Ontology) Node(id string) *Node {
+	return o.nodes[id]
+}
+
+// Has reports whether the ID names a node in the ontology.
+func (o *Ontology) Has(id string) bool {
+	_, ok := o.nodes[id]
+	return ok
+}
+
+// Children returns the IDs of the direct children of id in insertion order.
+// The returned slice is a copy.
+func (o *Ontology) Children(id string) []string {
+	kids := o.children[id]
+	out := make([]string, len(kids))
+	copy(out, kids)
+	return out
+}
+
+// Parent returns the ID of the parent of id, or "" for the root or an
+// unknown ID.
+func (o *Ontology) Parent(id string) string {
+	n := o.nodes[id]
+	if n == nil {
+		return ""
+	}
+	return n.Parent
+}
+
+// Ancestors returns the chain of ancestor IDs of id from its parent up to
+// and including the root. An unknown ID yields nil.
+func (o *Ontology) Ancestors(id string) []string {
+	n := o.nodes[id]
+	if n == nil {
+		return nil
+	}
+	var out []string
+	for cur := n.Parent; cur != ""; {
+		out = append(out, cur)
+		p, ok := o.nodes[cur]
+		if !ok {
+			break
+		}
+		cur = p.Parent
+	}
+	return out
+}
+
+// Area returns the ID of the knowledge area (KindArea ancestor) that
+// contains id. If id itself is an area it is returned. The root and unknown
+// IDs yield "".
+func (o *Ontology) Area(id string) string {
+	for cur := id; cur != ""; {
+		n := o.nodes[cur]
+		if n == nil {
+			return ""
+		}
+		if n.Kind == KindArea {
+			return cur
+		}
+		cur = n.Parent
+	}
+	return ""
+}
+
+// Depth returns the number of edges from the root to id; the root has depth
+// zero. Unknown IDs yield -1.
+func (o *Ontology) Depth(id string) int {
+	if !o.Has(id) {
+		return -1
+	}
+	return len(o.Ancestors(id))
+}
+
+// Path returns the labels from the root to id joined by " :: ", the display
+// convention used throughout the paper (e.g. "Programming :: Performance
+// Issues :: Data"). Unknown IDs yield "".
+func (o *Ontology) Path(id string) string {
+	n := o.nodes[id]
+	if n == nil {
+		return ""
+	}
+	anc := o.Ancestors(id)
+	parts := make([]string, 0, len(anc)+1)
+	for i := len(anc) - 1; i >= 0; i-- {
+		parts = append(parts, o.nodes[anc[i]].Label)
+	}
+	parts = append(parts, n.Label)
+	return strings.Join(parts, " :: ")
+}
+
+// Walk visits every node reachable from startID in depth-first preorder,
+// children in insertion order. The visitor receives the node and its depth
+// relative to startID. Returning false from the visitor prunes the subtree
+// below that node (the node itself has already been visited). Walk does
+// nothing for unknown IDs.
+func (o *Ontology) Walk(startID string, visit func(n *Node, depth int) bool) {
+	var rec func(id string, depth int)
+	rec = func(id string, depth int) {
+		n := o.nodes[id]
+		if n == nil {
+			return
+		}
+		if !visit(n, depth) {
+			return
+		}
+		for _, kid := range o.children[id] {
+			rec(kid, depth+1)
+		}
+	}
+	rec(startID, 0)
+}
+
+// Descendants returns the IDs of every node strictly below id in preorder.
+func (o *Ontology) Descendants(id string) []string {
+	var out []string
+	first := true
+	o.Walk(id, func(n *Node, _ int) bool {
+		if first {
+			first = false
+			return true
+		}
+		out = append(out, n.ID)
+		return true
+	})
+	return out
+}
+
+// Within reports whether id lies inside the subtree rooted at rootID
+// (inclusive).
+func (o *Ontology) Within(id, rootID string) bool {
+	if id == rootID {
+		return o.Has(id)
+	}
+	for _, a := range o.Ancestors(id) {
+		if a == rootID {
+			return true
+		}
+	}
+	return false
+}
+
+// IDs returns every node ID in document order. The slice is a copy.
+func (o *Ontology) IDs() []string {
+	out := make([]string, len(o.order))
+	copy(out, o.order)
+	return out
+}
+
+// Areas returns the IDs of the top-level knowledge areas in document order.
+func (o *Ontology) Areas() []string {
+	var out []string
+	for _, id := range o.children[o.root] {
+		if o.nodes[id].Kind == KindArea {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Classifiable returns the IDs of every topic and outcome node, the set of
+// entries materials may legally be tagged with.
+func (o *Ontology) Classifiable() []string {
+	var out []string
+	for _, id := range o.order {
+		if o.nodes[id].Kind.Classifiable() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Leaves returns the IDs of all nodes without children.
+func (o *Ontology) Leaves() []string {
+	var out []string
+	for _, id := range o.order {
+		if len(o.children[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies nodes per kind.
+func (o *Ontology) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, n := range o.nodes {
+		out[n.Kind]++
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the ontology: the root
+// exists, every non-root node has a parent that exists, every ID equals
+// parent + "/" + slug(label), the children adjacency is consistent, there
+// are no cycles, and every SeeAlso reference resolves. It returns all
+// violations found.
+func (o *Ontology) Validate() []error {
+	var errs []error
+	if _, ok := o.nodes[o.root]; !ok {
+		errs = append(errs, fmt.Errorf("root %q missing", o.root))
+	}
+	seen := make(map[string]bool, len(o.nodes))
+	o.Walk(o.root, func(n *Node, _ int) bool {
+		seen[n.ID] = true
+		return true
+	})
+	for id, n := range o.nodes {
+		if id != n.ID {
+			errs = append(errs, fmt.Errorf("node indexed as %q has ID %q", id, n.ID))
+		}
+		if id == o.root {
+			continue
+		}
+		p, ok := o.nodes[n.Parent]
+		if !ok {
+			errs = append(errs, fmt.Errorf("node %q: unknown parent %q", id, n.Parent))
+			continue
+		}
+		seg := Slug(n.Label)
+		if code, ok := o.areaCodes[id]; ok {
+			seg = Slug(code)
+		}
+		if want := n.Parent + "/" + seg; want != id {
+			errs = append(errs, fmt.Errorf("node %q: key does not match parent %q + label %q", id, p.ID, n.Label))
+		}
+		if !seen[id] {
+			errs = append(errs, fmt.Errorf("node %q unreachable from root", id))
+		}
+		for _, ref := range n.SeeAlso {
+			if _, ok := o.nodes[ref]; !ok {
+				errs = append(errs, fmt.Errorf("node %q: dangling see-also %q", id, ref))
+			}
+		}
+	}
+	for parent, kids := range o.children {
+		if _, ok := o.nodes[parent]; !ok {
+			errs = append(errs, fmt.Errorf("children recorded for unknown node %q", parent))
+		}
+		for _, kid := range kids {
+			n, ok := o.nodes[kid]
+			if !ok {
+				errs = append(errs, fmt.Errorf("unknown child %q under %q", kid, parent))
+				continue
+			}
+			if n.Parent != parent {
+				errs = append(errs, fmt.Errorf("child %q under %q claims parent %q", kid, parent, n.Parent))
+			}
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}
+
+// Slug converts a label to the lower-case, hyphen-separated form used in
+// node keys. Characters outside [a-z0-9] become hyphens; runs of hyphens
+// collapse; leading and trailing hyphens are trimmed.
+func Slug(label string) string {
+	var b strings.Builder
+	b.Grow(len(label))
+	lastHyphen := true // suppress leading hyphen
+	for _, r := range strings.ToLower(label) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastHyphen = false
+		default:
+			if !lastHyphen {
+				b.WriteByte('-')
+				lastHyphen = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}

@@ -1,0 +1,238 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func small(t *testing.T) *Ontology {
+	t.Helper()
+	b := NewBuilder("Mini Curriculum")
+	a := b.Area("AA", "Alpha Area")
+	u := a.Unit("Unit One", 3)
+	u.Topic("Arrays", TierCore1)
+	u.Topic("Linked lists", TierCore2)
+	u.Outcome("Explain arrays", BloomComprehend)
+	g := a.Unit("Unit Two", 0)
+	sub := g.Group("Grouping")
+	sub.BloomTopic("Parallel loops", TierElective, BloomApply)
+	bArea := b.Area("BB", "Beta Area")
+	bu := bArea.Unit("Unit Three", 1)
+	bu.Topic("Message passing", TierCore1)
+	o, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return o
+}
+
+func TestSlug(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Arrays", "arrays"},
+		{"Conditional and iterative control structures", "conditional-and-iterative-control-structures"},
+		{"SIMD/Vector (e.g., SSE, Cray)", "simd-vector-e-g-sse-cray"},
+		{"  spaced  out  ", "spaced-out"},
+		{"Amdahl's law", "amdahl-s-law"},
+		{"", ""},
+		{"---", ""},
+		{"C++", "c"},
+	}
+	for _, c := range cases {
+		if got := Slug(c.in); got != c.want {
+			t.Errorf("Slug(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	o := small(t)
+	if o.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", o.Len())
+	}
+	id := "mini-curriculum/aa/unit-one/arrays"
+	n := o.Node(id)
+	if n == nil {
+		t.Fatalf("node %q missing; have %v", id, o.IDs())
+	}
+	if n.Label != "Arrays" || n.Kind != KindTopic || n.Tier != TierCore1 {
+		t.Errorf("unexpected node %+v", n)
+	}
+	if got := o.Parent(id); got != "mini-curriculum/aa/unit-one" {
+		t.Errorf("Parent = %q", got)
+	}
+	if !o.Has(id) || o.Has("nope") {
+		t.Error("Has misbehaves")
+	}
+}
+
+func TestPathAndAncestors(t *testing.T) {
+	o := small(t)
+	id := "mini-curriculum/aa/unit-two/grouping/parallel-loops"
+	want := "Mini Curriculum :: Alpha Area :: Unit Two :: Grouping :: Parallel loops"
+	if got := o.Path(id); got != want {
+		t.Errorf("Path = %q, want %q", got, want)
+	}
+	anc := o.Ancestors(id)
+	if len(anc) != 4 || anc[0] != "mini-curriculum/aa/unit-two/grouping" || anc[3] != "mini-curriculum" {
+		t.Errorf("Ancestors = %v", anc)
+	}
+	if got := o.Depth(id); got != 4 {
+		t.Errorf("Depth = %d, want 4", got)
+	}
+	if got := o.Depth("absent"); got != -1 {
+		t.Errorf("Depth(absent) = %d, want -1", got)
+	}
+	if got := o.Path("absent"); got != "" {
+		t.Errorf("Path(absent) = %q", got)
+	}
+}
+
+func TestAreaResolution(t *testing.T) {
+	o := small(t)
+	id := "mini-curriculum/aa/unit-one/arrays"
+	if got := o.Area(id); got != "mini-curriculum/aa" {
+		t.Errorf("Area = %q", got)
+	}
+	if got := o.Area("mini-curriculum/bb"); got != "mini-curriculum/bb" {
+		t.Errorf("Area(area) = %q", got)
+	}
+	if got := o.Area("mini-curriculum"); got != "" {
+		t.Errorf("Area(root) = %q", got)
+	}
+	if got := o.Code("mini-curriculum/aa"); got != "AA" {
+		t.Errorf("Code = %q", got)
+	}
+	if got := o.AreaByCode("bb"); got != "mini-curriculum/bb" {
+		t.Errorf("AreaByCode = %q", got)
+	}
+	if got := o.AreaByCode("zz"); got != "" {
+		t.Errorf("AreaByCode(zz) = %q", got)
+	}
+}
+
+func TestWalkOrderAndPrune(t *testing.T) {
+	o := small(t)
+	var order []string
+	o.Walk(o.RootID(), func(n *Node, depth int) bool {
+		order = append(order, n.Label)
+		return n.Label != "Unit Two" // prune the grouping subtree
+	})
+	joined := strings.Join(order, "|")
+	if strings.Contains(joined, "Parallel loops") {
+		t.Errorf("prune failed: %v", order)
+	}
+	if order[0] != "Mini Curriculum" || order[1] != "Alpha Area" {
+		t.Errorf("preorder violated: %v", order)
+	}
+}
+
+func TestDescendantsWithin(t *testing.T) {
+	o := small(t)
+	desc := o.Descendants("mini-curriculum/aa")
+	if len(desc) != 7 {
+		t.Errorf("Descendants = %v", desc)
+	}
+	if !o.Within("mini-curriculum/aa/unit-one/arrays", "mini-curriculum/aa") {
+		t.Error("Within false negative")
+	}
+	if o.Within("mini-curriculum/bb/unit-three/message-passing", "mini-curriculum/aa") {
+		t.Error("Within false positive")
+	}
+	if !o.Within("mini-curriculum/aa", "mini-curriculum/aa") {
+		t.Error("Within not inclusive")
+	}
+}
+
+func TestClassifiableAndLeaves(t *testing.T) {
+	o := small(t)
+	cls := o.Classifiable()
+	if len(cls) != 5 { // 4 topics + 1 outcome
+		t.Errorf("Classifiable = %v", cls)
+	}
+	for _, id := range cls {
+		if k := o.Node(id).Kind; !k.Classifiable() {
+			t.Errorf("non-classifiable %q (%v) returned", id, k)
+		}
+	}
+	leaves := o.Leaves()
+	for _, id := range leaves {
+		if len(o.Children(id)) != 0 {
+			t.Errorf("leaf %q has children", id)
+		}
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	o := New("X")
+	if _, err := o.Add("missing", "Y", KindUnit); err == nil {
+		t.Error("want error for unknown parent")
+	}
+	if _, err := o.Add(o.RootID(), "  ", KindUnit); err == nil {
+		t.Error("want error for empty label")
+	}
+	id, err := o.Add(o.RootID(), "Topic A", KindTopic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Add(o.RootID(), "Topic A", KindTopic); err == nil {
+		t.Error("want duplicate-key error")
+	}
+	if _, err := o.Add(id, "Unit under topic", KindUnit); err == nil {
+		t.Error("want structural-under-classifiable error")
+	}
+	o.Freeze()
+	if _, err := o.Add(o.RootID(), "Post-freeze", KindTopic); err == nil {
+		t.Error("want frozen error")
+	}
+}
+
+func TestValidateCleanOnBuilt(t *testing.T) {
+	for _, o := range []*Ontology{small(t), CS13(), PDC12()} {
+		if errs := o.Validate(); len(errs) != 0 {
+			t.Errorf("%s: %d validation errors, first %v", o.Name(), len(errs), errs[0])
+		}
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	o := small(t)
+	// Corrupt a parent pointer directly.
+	n := o.Node("mini-curriculum/aa/unit-one/arrays")
+	saved := n.Parent
+	n.Parent = "mini-curriculum/bb"
+	if errs := o.Validate(); len(errs) == 0 {
+		t.Error("corrupted parent not detected")
+	}
+	n.Parent = saved
+	n.SeeAlso = []string{"dangling"}
+	if errs := o.Validate(); len(errs) == 0 {
+		t.Error("dangling see-also not detected")
+	}
+	n.SeeAlso = nil
+}
+
+func TestKindTierBloomStrings(t *testing.T) {
+	if KindTopic.String() != "topic" || KindOutcome.String() != "outcome" {
+		t.Error("kind names")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("out-of-range kind")
+	}
+	if TierCore1.String() != "core-tier-1" || Tier(-1).String() != "Tier(-1)" {
+		t.Error("tier names")
+	}
+	if BloomApply.String() != "apply" || Bloom(9).String() != "Bloom(9)" {
+		t.Error("bloom names")
+	}
+	if KindUnit.Classifiable() || !KindOutcome.Classifiable() {
+		t.Error("classifiable kinds")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	o := small(t)
+	c := o.CountByKind()
+	if c[KindArea] != 2 || c[KindTopic] != 4 || c[KindOutcome] != 1 || c[KindRoot] != 1 {
+		t.Errorf("CountByKind = %v", c)
+	}
+}

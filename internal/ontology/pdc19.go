@@ -1,0 +1,194 @@
+package ontology
+
+import "sync"
+
+// PDC19Draft returns a hypothetical 2019 revision of the PDC curriculum.
+// The paper notes the curriculum "is currently under revision with a new
+// version coming in 2019" and that "certainly the 2019 edition of PDC is
+// expected to correct these oddities". This draft applies exactly the
+// corrections Sec. IV-A calls for, so the ontology Diff machinery can show
+// what a revision migration looks like:
+//
+//   - Amdahl's law (with Gustafson's law and speedup/efficiency) moves out
+//     of Programming :: Performance Issues :: Data into a dedicated
+//     Performance Metrics group.
+//   - Critical Path is added under Notions from scheduling.
+//   - BSP and Cilk are unbundled into separate entries.
+//   - The Map-Reduce programming model gets a first-class entry under
+//     Programming paradigms.
+//   - A Middleware group appears under Cross-Cutting topics.
+//
+// The returned ontology is shared and frozen; callers must not mutate it.
+func PDC19Draft() *Ontology {
+	pdc19Once.Do(func() { pdc19Shared = buildPDC19() })
+	return pdc19Shared
+}
+
+var (
+	pdc19Once   sync.Once
+	pdc19Shared *Ontology
+)
+
+func buildPDC19() *Ontology {
+	b := NewBuilder("NSF/IEEE-TCPP PDC 2019 (draft)")
+
+	// ---------------------------------------------------------------- AR
+	ar := b.Area("AR", "Architecture")
+	classes := ar.Unit("Classes", 0)
+	tax := classes.Group("Taxonomy")
+	tax.BloomTopic("Flynn's taxonomy", TierCore1, BloomKnow)
+	tax.BloomTopic("Data versus control parallelism", TierCore1, BloomKnow)
+	tax.BloomTopic("Shared versus distributed memory", TierCore1, BloomComprehend)
+	ctl := classes.Group("Data versus control parallelism")
+	ctl.BloomTopic("Superscalar (ILP)", TierCore1, BloomKnow)
+	ctl.BloomTopic("SIMD/Vector (e.g., SSE, Cray)", TierCore1, BloomKnow)
+	ctl.BloomTopic("Pipelines", TierCore1, BloomComprehend)
+	ctl.BloomTopic("Streams (e.g., GPU)", TierCore1, BloomKnow)
+	ctl.BloomTopic("MIMD", TierCore1, BloomKnow)
+	ctl.BloomTopic("Simultaneous multithreading", TierCore1, BloomKnow)
+	ctl.BloomTopic("Multicore", TierCore1, BloomComprehend)
+	ctl.BloomTopic("Heterogeneous (e.g., Cell, on-chip GPU)", TierElective, BloomKnow)
+	sysc := classes.Group("Shared versus distributed memory systems")
+	sysc.BloomTopic("Symmetric multiprocessors (SMP)", TierCore1, BloomKnow)
+	sysc.BloomTopic("Buses and the memory bottleneck", TierCore1, BloomComprehend)
+	sysc.BloomTopic("Message passing latency and bandwidth", TierCore1, BloomComprehend)
+	sysc.BloomTopic("Interconnection network topologies", TierElective, BloomKnow)
+	memhier := ar.Unit("Memory Hierarchy", 0)
+	memhier.BloomTopic("Cache organization", TierCore1, BloomComprehend)
+	memhier.BloomTopic("Cache coherence in multicore systems", TierElective, BloomKnow)
+	memhier.BloomTopic("Atomicity and memory operations", TierElective, BloomKnow)
+	memhier.BloomTopic("Consistency in shared-memory models", TierElective, BloomKnow)
+	perfm := ar.Unit("Performance Metrics", 0)
+	perfm.BloomTopic("Cycles per instruction (CPI)", TierCore1, BloomKnow)
+	perfm.BloomTopic("Benchmarks (e.g., SPEC, LINPACK)", TierCore1, BloomKnow)
+	perfm.BloomTopic("Peak performance and sustained performance", TierCore1, BloomKnow)
+
+	// ---------------------------------------------------------------- PR
+	pr := b.Area("PR", "Programming")
+	par := pr.Unit("Parallel Programming Paradigms and Notations", 0)
+	target := par.Group("By the target machine model")
+	target.BloomTopic("SIMD programming", TierCore1, BloomKnow)
+	target.BloomTopic("Shared memory programming", TierCore1, BloomApply)
+	target.BloomTopic("Distributed memory programming", TierCore1, BloomComprehend)
+	target.BloomTopic("Hybrid shared/distributed programming", TierElective, BloomKnow)
+	target.BloomTopic("Client-server programming", TierCore1, BloomComprehend)
+	target.BloomTopic("Data parallel programming", TierCore1, BloomComprehend)
+	// Correction: Map-Reduce becomes a first-class programming model.
+	target.BloomTopic("Map-Reduce programming model", TierCore1, BloomComprehend)
+	frameworks := par.Group("Parallel programming frameworks and libraries")
+	frameworks.BloomTopic("Threads and thread libraries (e.g., pthreads)", TierCore1, BloomApply)
+	frameworks.BloomTopic("Compiler directives and pragmas (e.g., OpenMP)", TierCore1, BloomApply)
+	frameworks.BloomTopic("Message passing libraries (e.g., MPI)", TierCore1, BloomComprehend)
+	frameworks.BloomTopic("GPU programming (e.g., CUDA, OpenCL)", TierElective, BloomKnow)
+	frameworks.BloomTopic("Map-Reduce frameworks (e.g., Hadoop, MapReduce-MPI)", TierElective, BloomKnow)
+	sem := pr.Unit("Semantics and Correctness Issues", 0)
+	sem.BloomTopic("Tasks and threads", TierCore1, BloomApply)
+	sem.BloomTopic("Synchronization: critical regions", TierCore1, BloomApply)
+	sem.BloomTopic("Synchronization: producer-consumer", TierCore1, BloomApply)
+	sem.BloomTopic("Synchronization: monitors", TierElective, BloomComprehend)
+	sem.BloomTopic("Concurrency defects: deadlocks", TierCore1, BloomComprehend)
+	sem.BloomTopic("Concurrency defects: data races", TierCore1, BloomApply)
+	sem.BloomTopic("Memory models: sequential consistency", TierElective, BloomKnow)
+	sem.BloomTopic("Tools to detect concurrency defects", TierElective, BloomKnow)
+	perfi := pr.Unit("Performance Issues", 0)
+	comp := perfi.Group("Computation")
+	comp.BloomTopic("Computation decomposition strategies", TierCore1, BloomComprehend)
+	comp.BloomTopic("Owner-computes rule", TierElective, BloomKnow)
+	comp.BloomTopic("Program transformations (e.g., loop fusion, fission, skewing)", TierElective, BloomKnow)
+	comp.BloomTopic("Load balancing", TierCore1, BloomComprehend)
+	comp.BloomTopic("Static and dynamic scheduling and mapping", TierCore1, BloomComprehend)
+	// Correction: Data keeps only data topics; the laws move out.
+	data := perfi.Group("Data")
+	data.BloomTopic("Data distribution", TierCore1, BloomComprehend)
+	data.BloomTopic("Data layout and memory allocation", TierElective, BloomKnow)
+	data.BloomTopic("Data locality and its impact on performance", TierCore1, BloomComprehend)
+	data.BloomTopic("False sharing", TierElective, BloomKnow)
+	data.BloomTopic("Performance impact of data movement", TierCore1, BloomComprehend)
+	// Correction: a dedicated metrics group hosts the speedup laws.
+	metrics := perfi.Group("Performance Metrics for Parallel Programs")
+	metrics.BloomTopic("Speedup and efficiency", TierCore1, BloomApply)
+	metrics.BloomTopic("Amdahl's law", TierCore1, BloomComprehend)
+	metrics.BloomTopic("Gustafson's law", TierElective, BloomKnow)
+	metrics.BloomTopic("Weak versus strong scaling", TierCore1, BloomComprehend)
+	perft := pr.Unit("Performance Tools", 0)
+	perft.BloomTopic("Performance monitoring tools (e.g., gprof, perf)", TierElective, BloomKnow)
+	perft.BloomTopic("Profiling and performance visualization", TierElective, BloomKnow)
+
+	// ---------------------------------------------------------------- AL
+	al := b.Area("AL", "Algorithms")
+	models := al.Unit("Parallel and Distributed Models and Complexity", 0)
+	costs := models.Group("Costs of computation")
+	costs.BloomTopic("Asymptotic analysis of parallel time and work", TierCore1, BloomApply)
+	costs.BloomTopic("Time, space and power tradeoffs", TierCore1, BloomKnow)
+	costs.BloomTopic("Cost reduction: speedup as a goal", TierCore1, BloomComprehend)
+	costs.BloomTopic("Scalability in algorithms and architectures", TierCore1, BloomComprehend)
+	mbn := models.Group("Model-based notions")
+	mbn.BloomTopic("Notions from complexity theory: P, NP and parallel NC", TierElective, BloomKnow)
+	// Correction: BSP and Cilk unbundled.
+	mbn.BloomTopic("Bulk synchronous parallel (BSP) model", TierElective, BloomKnow)
+	mbn.BloomTopic("Cilk-style work stealing model", TierElective, BloomKnow)
+	mbn.BloomTopic("PRAM model", TierElective, BloomKnow)
+	mbn.BloomTopic("Simulation and emulation between models", TierElective, BloomKnow)
+	sched := models.Group("Notions from scheduling")
+	sched.BloomTopic("Dependencies and task graphs", TierCore1, BloomComprehend)
+	// Correction: Critical Path added.
+	sched.BloomTopic("Critical path, work and span", TierCore1, BloomComprehend)
+	sched.BloomTopic("Makespan as an optimization objective", TierElective, BloomKnow)
+	sched.BloomTopic("Greedy list scheduling", TierElective, BloomKnow)
+	paradigms := al.Unit("Algorithmic Paradigms", 0)
+	paradigms.BloomTopic("Divide and conquer (parallel aspects)", TierCore1, BloomApply)
+	paradigms.BloomTopic("Recursion (parallel aspects)", TierCore1, BloomApply)
+	paradigms.BloomTopic("Reduction (map-reduce as a pattern, not the system)", TierCore1, BloomComprehend)
+	paradigms.BloomTopic("Scan (parallel-prefix)", TierElective, BloomComprehend)
+	paradigms.BloomTopic("Series-parallel composition", TierCore1, BloomComprehend)
+	paradigms.BloomTopic("Blocking and striping", TierElective, BloomKnow)
+	problems := al.Unit("Algorithmic Problems", 0)
+	comm := problems.Group("Communication")
+	comm.BloomTopic("Broadcast", TierCore1, BloomComprehend)
+	comm.BloomTopic("Multicast", TierElective, BloomKnow)
+	comm.BloomTopic("Scatter and gather", TierCore1, BloomComprehend)
+	comm.BloomTopic("Gossip", TierElective, BloomKnow)
+	syncp := problems.Group("Synchronization")
+	syncp.BloomTopic("Atomic operations and mutual exclusion", TierCore1, BloomApply)
+	syncp.BloomTopic("Barriers", TierCore1, BloomComprehend)
+	sorting := problems.Group("Sorting and selection")
+	sorting.BloomTopic("Parallel merge sort", TierCore1, BloomApply)
+	sorting.BloomTopic("Sorting networks", TierElective, BloomKnow)
+	sorting.BloomTopic("Parallel selection", TierElective, BloomKnow)
+	graph := problems.Group("Graph algorithms")
+	graph.BloomTopic("Parallel graph traversal (BFS/DFS)", TierElective, BloomKnow)
+	graph.BloomTopic("Minimum spanning tree in parallel", TierElective, BloomKnow)
+	spec := problems.Group("Specialized computations")
+	spec.BloomTopic("Matrix product", TierCore1, BloomApply)
+	spec.BloomTopic("Linear system solving", TierElective, BloomKnow)
+	spec.BloomTopic("Stencil computations", TierElective, BloomComprehend)
+	spec.BloomTopic("Fast Fourier transform", TierElective, BloomKnow)
+	spec.BloomTopic("Monte Carlo methods", TierElective, BloomComprehend)
+
+	// ---------------------------------------------------------------- CC
+	cc := b.Area("CC", "Cross-Cutting and Advanced Topics")
+	themes := cc.Unit("High-Level Themes", 0)
+	themes.BloomTopic("Why and what is parallel and distributed computing", TierCore1, BloomKnow)
+	themes.BloomTopic("History of parallel and distributed computing", TierElective, BloomKnow)
+	cross := cc.Unit("Cross-Cutting Topics", 0)
+	cross.BloomTopic("Concurrency as a cross-cutting concern", TierCore1, BloomKnow)
+	cross.BloomTopic("Non-determinism in parallel computation", TierCore1, BloomKnow)
+	cross.BloomTopic("Power consumption as a design constraint", TierCore1, BloomKnow)
+	cross.BloomTopic("Locality as a cross-cutting concern", TierCore1, BloomKnow)
+	// Correction: middleware appears.
+	mid := cc.Unit("Middleware", 0)
+	mid.BloomTopic("Middleware design: publish-subscribe and message queues", TierElective, BloomKnow)
+	mid.BloomTopic("Middleware implementation: serialization and addressing", TierElective, BloomKnow)
+	mid.BloomTopic("Remote procedure calls", TierElective, BloomComprehend)
+	adv := cc.Unit("Current and Advanced Topics", 0)
+	adv.BloomTopic("Cluster computing", TierCore1, BloomKnow)
+	adv.BloomTopic("Cloud and grid computing", TierCore1, BloomKnow)
+	adv.BloomTopic("Peer-to-peer computing", TierElective, BloomKnow)
+	adv.BloomTopic("Fault tolerance", TierCore1, BloomKnow)
+	adv.BloomTopic("Distributed transactions", TierElective, BloomKnow)
+	adv.BloomTopic("Security and privacy in distributed systems", TierCore1, BloomKnow)
+	adv.BloomTopic("Web search as a distributed computation", TierElective, BloomKnow)
+	adv.BloomTopic("Social networking analytics at scale", TierElective, BloomKnow)
+
+	return b.MustBuild()
+}

@@ -1,0 +1,90 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPDC19FixesQuirks verifies the draft revision corrects every oddity the
+// paper reports for PDC12 (Sec. IV-A), and that Diff surfaces the migration.
+func TestPDC19FixesQuirks(t *testing.T) {
+	p := PDC19Draft()
+	if errs := p.Validate(); len(errs) != 0 {
+		t.Fatalf("invalid: %v", errs[0])
+	}
+
+	// Amdahl's law no longer lives under Performance Issues :: Data.
+	amdahl := p.FindAll("amdahl")
+	if len(amdahl) != 1 {
+		t.Fatalf("amdahl entries = %v", amdahl)
+	}
+	dataGroup := p.RootID() + "/pr/performance-issues/data"
+	if p.Within(amdahl[0], dataGroup) {
+		t.Errorf("Amdahl still under Data: %s", p.Path(amdahl[0]))
+	}
+	if !strings.Contains(p.Path(amdahl[0]), "Performance Metrics for Parallel Programs") {
+		t.Errorf("Amdahl path = %s", p.Path(amdahl[0]))
+	}
+
+	// Critical Path present under scheduling.
+	sched := p.RootID() + "/al/parallel-and-distributed-models-and-complexity/notions-from-scheduling"
+	found := false
+	for _, m := range p.Search(sched, "critical path") {
+		found = true
+		_ = m
+	}
+	if !found {
+		t.Error("critical path still missing from scheduling")
+	}
+
+	// BSP and Cilk unbundled.
+	bsp := p.FindAll("bsp")
+	if len(bsp) != 1 || strings.Contains(strings.ToLower(p.Node(bsp[0]).Label), "cilk") {
+		t.Errorf("BSP still bundled: %v", bsp)
+	}
+	if len(p.FindAll("cilk")) == 0 {
+		t.Error("Cilk entry missing")
+	}
+
+	// Map-Reduce is a first-class programming model.
+	mr := 0
+	for _, id := range p.FindAll("map-reduce") {
+		if p.Code(p.Area(id)) == "PR" {
+			mr++
+		}
+	}
+	if mr == 0 {
+		t.Error("no Map-Reduce model under Programming")
+	}
+
+	// Middleware exists.
+	if len(p.FindAll("middleware")) == 0 {
+		t.Error("middleware still missing")
+	}
+}
+
+// TestPDC12ToPDC19Diff checks the revision diff names the corrections, the
+// workflow a curator would follow when the real 2019 release lands.
+func TestPDC12ToPDC19Diff(t *testing.T) {
+	old, next := PDC12(), PDC19Draft()
+	// The two trees have different root names, so compare per-area by
+	// rebasing: diff only works on shared key space; here we just assert
+	// the draft adds entries the old one lacks.
+	oldStats, newStats := old.ComputeStats(), next.ComputeStats()
+	if newStats.ByKind[KindTopic] <= oldStats.ByKind[KindTopic] {
+		t.Errorf("draft (%d topics) should grow over 2012 (%d topics)",
+			newStats.ByKind[KindTopic], oldStats.ByKind[KindTopic])
+	}
+	// Every 2012 area survives in the draft.
+	for _, a := range old.Areas() {
+		if next.AreaByCode(old.Code(a)) == "" {
+			t.Errorf("area %s dropped in draft", old.Code(a))
+		}
+	}
+	// Diff between the two full trees (same key space modulo the root
+	// segment) can still be exercised on a rebased copy via JSON:
+	// here we check self-diff emptiness as the baseline property.
+	if d := next.Diff(next); len(d) != 0 {
+		t.Errorf("self diff = %d entries", len(d))
+	}
+}

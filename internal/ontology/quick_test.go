@@ -1,0 +1,131 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomOntology builds a random but valid ontology from a seed: a few
+// areas, nested units/groups to random depth, topics and outcomes with
+// random tiers and Bloom levels.
+func randomOntology(seed int64) *Ontology {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("Rand %d", seed))
+	nAreas := 1 + r.Intn(4)
+	for a := 0; a < nAreas; a++ {
+		area := b.Area(fmt.Sprintf("A%d", a), fmt.Sprintf("Area %d", a))
+		nUnits := 1 + r.Intn(4)
+		for u := 0; u < nUnits; u++ {
+			cur := area.Unit(fmt.Sprintf("Unit %d %d", a, u), float64(r.Intn(10)))
+			depth := r.Intn(3)
+			for d := 0; d < depth; d++ {
+				cur = cur.Group(fmt.Sprintf("Group %d", d))
+			}
+			nTopics := 1 + r.Intn(6)
+			for t := 0; t < nTopics; t++ {
+				cur.BloomTopic(fmt.Sprintf("Topic %d %d %d", a, u, t),
+					Tier(r.Intn(4)), Bloom(r.Intn(4)))
+			}
+			if r.Intn(2) == 0 {
+				cur.Outcome(fmt.Sprintf("Outcome %d %d", a, u), Bloom(1+r.Intn(3)))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestQuickRandomOntologiesValidate: every randomly built ontology passes
+// Validate and all navigation invariants hold for every node.
+func TestQuickRandomOntologiesValidate(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		o := randomOntology(seed)
+		if errs := o.Validate(); len(errs) != 0 {
+			t.Fatalf("seed %d: %v", seed, errs[0])
+		}
+		for _, id := range o.IDs() {
+			n := o.Node(id)
+			if n == nil {
+				t.Fatalf("seed %d: IDs returned unknown %q", seed, id)
+			}
+			// Depth equals ancestor count.
+			if got, want := o.Depth(id), len(o.Ancestors(id)); got != want {
+				t.Fatalf("seed %d: depth(%q) = %d, ancestors = %d", seed, id, got, want)
+			}
+			// Every child's parent is this node.
+			for _, kid := range o.Children(id) {
+				if o.Parent(kid) != id {
+					t.Fatalf("seed %d: child %q of %q has parent %q", seed, kid, id, o.Parent(kid))
+				}
+				if !o.Within(kid, id) {
+					t.Fatalf("seed %d: child not within parent", seed)
+				}
+			}
+			// Non-root nodes resolve to exactly one area.
+			if id != o.RootID() && o.Area(id) == "" {
+				t.Fatalf("seed %d: %q has no area", seed, id)
+			}
+		}
+		// Descendant counts are consistent: total = 1 + sum of subtree
+		// sizes of the root's children.
+		total := 1
+		for _, kid := range o.Children(o.RootID()) {
+			total += 1 + len(o.Descendants(kid))
+		}
+		if total != o.Len() {
+			t.Fatalf("seed %d: descendant partition %d != len %d", seed, total, o.Len())
+		}
+	}
+}
+
+// TestQuickRandomJSONRoundTrip: serialization is the identity on random
+// ontologies.
+func TestQuickRandomJSONRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		o := randomOntology(seed)
+		data, err := json.Marshal(o)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var back Ontology
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if back.Len() != o.Len() {
+			t.Fatalf("seed %d: %d -> %d nodes", seed, o.Len(), back.Len())
+		}
+		data2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if string(data) != string(data2) {
+			t.Fatalf("seed %d: marshal not idempotent", seed)
+		}
+	}
+}
+
+// TestQuickSearchFindsEveryLabel: every node can be found by searching for
+// its own label, and highlighting covers the matched terms.
+func TestQuickSearchFindsEveryLabel(t *testing.T) {
+	o := randomOntology(7)
+	for _, id := range o.IDs() {
+		if id == o.RootID() {
+			continue
+		}
+		n := o.Node(id)
+		ms := o.Search(o.RootID(), n.Label)
+		found := false
+		for _, m := range ms {
+			if m.Node.ID == id {
+				found = true
+				if len(m.Spans) == 0 {
+					t.Fatalf("no spans for exact match on %q", n.Label)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("label %q not found by its own search", n.Label)
+		}
+	}
+}

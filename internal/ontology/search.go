@@ -1,0 +1,146 @@
+package ontology
+
+import (
+	"sort"
+	"strings"
+)
+
+// Span marks a half-open byte range [Start, End) inside a node label that
+// matched a search query. The CAR-CS entry form highlights these ranges so a
+// classifier can locate entries inside the ~3000-node CS13 tree.
+type Span struct {
+	Start, End int
+}
+
+// Match is one search hit: the node, the matched byte ranges in its label,
+// and a relevance score (higher is better).
+type Match struct {
+	Node  *Node
+	Spans []Span
+	Score float64
+}
+
+// Search finds nodes whose label contains every whitespace-separated term of
+// the query, case-insensitively, anywhere in the subtree rooted at rootID.
+// Matches are scored by (fraction of label covered by matches, shallower
+// first, document order as tiebreak) and returned best-first. An empty query
+// returns nil.
+func (o *Ontology) Search(rootID, query string) []Match {
+	terms := splitTerms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	var out []Match
+	pos := make(map[string]int, len(o.order))
+	for i, id := range o.order {
+		pos[id] = i
+	}
+	o.Walk(rootID, func(n *Node, depth int) bool {
+		spans, ok := matchAll(n.Label, terms)
+		if ok && n.ID != rootID {
+			covered := 0
+			for _, s := range spans {
+				covered += s.End - s.Start
+			}
+			score := float64(covered) / float64(len(n.Label)+1)
+			score -= 0.01 * float64(depth)
+			out = append(out, Match{Node: n, Spans: spans, Score: score})
+		}
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return pos[out[i].Node.ID] < pos[out[j].Node.ID]
+	})
+	return out
+}
+
+// SearchPaths is Search restricted to classifiable nodes, returning display
+// paths; it backs the CLI and the web form's suggestion dropdown.
+func (o *Ontology) SearchPaths(query string, limit int) []string {
+	ms := o.Search(o.root, query)
+	var out []string
+	for _, m := range ms {
+		if !m.Node.Kind.Classifiable() {
+			continue
+		}
+		out = append(out, o.Path(m.Node.ID))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Highlight renders a label with matched spans wrapped in the given open and
+// close markers (e.g. "[" and "]" for terminals, "<mark>"/"</mark>" for
+// HTML). Spans must be sorted and non-overlapping, as produced by Search.
+func Highlight(label string, spans []Span, open, close string) string {
+	if len(spans) == 0 {
+		return label
+	}
+	var b strings.Builder
+	prev := 0
+	for _, s := range spans {
+		if s.Start < prev || s.End > len(label) || s.End < s.Start {
+			continue
+		}
+		b.WriteString(label[prev:s.Start])
+		b.WriteString(open)
+		b.WriteString(label[s.Start:s.End])
+		b.WriteString(close)
+		prev = s.End
+	}
+	b.WriteString(label[prev:])
+	return b.String()
+}
+
+func splitTerms(q string) []string {
+	fields := strings.Fields(strings.ToLower(q))
+	out := fields[:0]
+	for _, f := range fields {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// matchAll returns the merged spans of every term inside label, or ok=false
+// if any term is absent. Matching is case-insensitive on the raw bytes
+// (labels in both curricula are ASCII).
+func matchAll(label string, terms []string) ([]Span, bool) {
+	lower := strings.ToLower(label)
+	var spans []Span
+	for _, t := range terms {
+		found := false
+		for from := 0; ; {
+			i := strings.Index(lower[from:], t)
+			if i < 0 {
+				break
+			}
+			start := from + i
+			spans = append(spans, Span{Start: start, End: start + len(t)})
+			from = start + len(t)
+			found = true
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	// Merge overlaps so Highlight can render left to right.
+	merged := spans[:0]
+	for _, s := range spans {
+		if n := len(merged); n > 0 && s.Start <= merged[n-1].End {
+			if s.End > merged[n-1].End {
+				merged[n-1].End = s.End
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged, true
+}

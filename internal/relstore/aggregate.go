@@ -1,0 +1,98 @@
+package relstore
+
+import "sort"
+
+// GroupCount tallies rows by the value of a column, the aggregation behind
+// per-collection and per-kind statistics. Rows missing the column are
+// grouped under the nil key, reported with Key == nil.
+type GroupCount struct {
+	Key   any
+	Count int
+}
+
+// CountBy groups rows matching the predicate (nil for all) by the column
+// and returns counts sorted by descending count, then by key formatting.
+func (t *Table) CountBy(col string, p Pred) []GroupCount {
+	t.mu.RLock()
+	counts := make(map[any]int)
+	for _, r := range t.rows {
+		if p != nil && !p(r) {
+			continue
+		}
+		counts[r[col]]++
+	}
+	t.mu.RUnlock()
+	out := make([]GroupCount, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, GroupCount{Key: k, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return lessValue(out[i].Key, out[j].Key)
+	})
+	return out
+}
+
+// MinMaxInt returns the minimum and maximum of an Int column over rows
+// matching the predicate; ok is false when no row has the column.
+func (t *Table) MinMaxInt(col string, p Pred) (min, max int64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if p != nil && !p(r) {
+			continue
+		}
+		v, has := r[col].(int64)
+		if !has {
+			continue
+		}
+		if !ok || v < min {
+			min = v
+		}
+		if !ok || v > max {
+			max = v
+		}
+		ok = true
+	}
+	return min, max, ok
+}
+
+// SumFloat totals a Float column over rows matching the predicate.
+func (t *Table) SumFloat(col string, p Pred) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var s float64
+	for _, r := range t.rows {
+		if p != nil && !p(r) {
+			continue
+		}
+		if v, has := r[col].(float64); has {
+			s += v
+		}
+	}
+	return s
+}
+
+// DistinctStrings returns the sorted distinct non-empty values of a String
+// column over rows matching the predicate.
+func (t *Table) DistinctStrings(col string, p Pred) []string {
+	t.mu.RLock()
+	seen := make(map[string]bool)
+	for _, r := range t.rows {
+		if p != nil && !p(r) {
+			continue
+		}
+		if v, has := r[col].(string); has && v != "" {
+			seen[v] = true
+		}
+	}
+	t.mu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

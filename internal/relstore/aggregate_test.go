@@ -1,0 +1,75 @@
+package relstore
+
+import (
+	"reflect"
+	"testing"
+)
+
+func aggTable(t *testing.T) *Table {
+	t.Helper()
+	s := NewStore()
+	tbl, err := s.CreateTable(Schema{Name: "m", Columns: []Column{
+		{Name: "kind", Type: String},
+		{Name: "year", Type: Int},
+		{Name: "score", Type: Float},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{"kind": "assignment", "year": int64(2010), "score": 1.5},
+		{"kind": "assignment", "year": int64(2012), "score": 2.5},
+		{"kind": "slides", "year": int64(2018), "score": 3.0},
+		{"kind": "slides", "year": int64(2011)},
+		{"year": int64(2013)}, // no kind
+	}
+	for _, r := range rows {
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestCountBy(t *testing.T) {
+	tbl := aggTable(t)
+	got := tbl.CountBy("kind", nil)
+	if len(got) != 3 {
+		t.Fatalf("groups = %v", got)
+	}
+	if got[0].Count != 2 || got[1].Count != 2 || got[2].Count != 1 || got[2].Key != nil {
+		t.Errorf("CountBy = %v", got)
+	}
+	filtered := tbl.CountBy("kind", Eq("year", int64(2018)))
+	if len(filtered) != 1 || filtered[0].Key != "slides" {
+		t.Errorf("filtered CountBy = %v", filtered)
+	}
+}
+
+func TestMinMaxInt(t *testing.T) {
+	tbl := aggTable(t)
+	min, max, ok := tbl.MinMaxInt("year", nil)
+	if !ok || min != 2010 || max != 2018 {
+		t.Errorf("MinMax = %d..%d ok=%v", min, max, ok)
+	}
+	if _, _, ok := tbl.MinMaxInt("absent", nil); ok {
+		t.Error("absent column reported ok")
+	}
+	min, max, ok = tbl.MinMaxInt("year", Eq("kind", "slides"))
+	if !ok || min != 2011 || max != 2018 {
+		t.Errorf("filtered MinMax = %d..%d", min, max)
+	}
+}
+
+func TestSumFloatAndDistinct(t *testing.T) {
+	tbl := aggTable(t)
+	if got := tbl.SumFloat("score", nil); got != 7.0 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := tbl.SumFloat("score", Eq("kind", "assignment")); got != 4.0 {
+		t.Errorf("filtered Sum = %v", got)
+	}
+	if got := tbl.DistinctStrings("kind", nil); !reflect.DeepEqual(got, []string{"assignment", "slides"}) {
+		t.Errorf("Distinct = %v", got)
+	}
+}

@@ -1,0 +1,191 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LinkTable is a many-to-many association between two tables, the relational
+// join tables of the CAR-CS schema ("Tags, items in the classification,
+// dataset used, and authors are associated with an assignment using a
+// many-to-many relationship"). Links are unordered pairs (left id, right id)
+// with set semantics.
+type LinkTable struct {
+	mu          sync.RWMutex
+	name        string
+	left, right string // table names, documentation only
+	fwd         map[int64]map[int64]bool
+	rev         map[int64]map[int64]bool
+}
+
+// CreateLink adds a named link table relating the left and right tables.
+func (s *Store) CreateLink(name, leftTable, rightTable string) (*LinkTable, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("relstore: empty link name")
+	}
+	if _, dup := s.links[name]; dup {
+		return nil, fmt.Errorf("relstore: link %q exists", name)
+	}
+	l := &LinkTable{
+		name: name, left: leftTable, right: rightTable,
+		fwd: make(map[int64]map[int64]bool),
+		rev: make(map[int64]map[int64]bool),
+	}
+	s.links[name] = l
+	return l, nil
+}
+
+// Link returns the named link table, or nil.
+func (s *Store) Link(name string) *LinkTable {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.links[name]
+}
+
+// LinkNames lists link tables, sorted.
+func (s *Store) LinkNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.links))
+	for n := range s.links {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the link table's name.
+func (l *LinkTable) Name() string { return l.name }
+
+// Add links left and right; re-adding an existing pair is a no-op.
+func (l *LinkTable) Add(left, right int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fwd[left] == nil {
+		l.fwd[left] = make(map[int64]bool)
+	}
+	l.fwd[left][right] = true
+	if l.rev[right] == nil {
+		l.rev[right] = make(map[int64]bool)
+	}
+	l.rev[right][left] = true
+}
+
+// Remove unlinks the pair; removing a missing pair is a no-op.
+func (l *LinkTable) Remove(left, right int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m := l.fwd[left]; m != nil {
+		delete(m, right)
+		if len(m) == 0 {
+			delete(l.fwd, left)
+		}
+	}
+	if m := l.rev[right]; m != nil {
+		delete(m, left)
+		if len(m) == 0 {
+			delete(l.rev, right)
+		}
+	}
+}
+
+// RemoveLeft drops every link whose left side is the given id.
+func (l *LinkTable) RemoveLeft(left int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for right := range l.fwd[left] {
+		delete(l.rev[right], left)
+		if len(l.rev[right]) == 0 {
+			delete(l.rev, right)
+		}
+	}
+	delete(l.fwd, left)
+}
+
+// Has reports whether the pair is linked.
+func (l *LinkTable) Has(left, right int64) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.fwd[left][right]
+}
+
+// Rights returns the sorted right-side ids linked to left.
+func (l *LinkTable) Rights(left int64) []int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return sortedKeys(l.fwd[left])
+}
+
+// Lefts returns the sorted left-side ids linked to right.
+func (l *LinkTable) Lefts(right int64) []int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return sortedKeys(l.rev[right])
+}
+
+// Len returns the number of linked pairs.
+func (l *LinkTable) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, m := range l.fwd {
+		n += len(m)
+	}
+	return n
+}
+
+// Pairs returns every linked pair sorted by (left, right); used by the
+// snapshot writer and by integrity tests.
+func (l *LinkTable) Pairs() [][2]int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out [][2]int64
+	for left, m := range l.fwd {
+		for right := range m {
+			out = append(out, [2]int64{left, right})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// CheckSymmetry verifies the forward and reverse maps describe the same
+// relation, returning discrepancies (empty when consistent).
+func (l *LinkTable) CheckSymmetry() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var bad []string
+	for left, m := range l.fwd {
+		for right := range m {
+			if !l.rev[right][left] {
+				bad = append(bad, fmt.Sprintf("fwd(%d,%d) missing in rev", left, right))
+			}
+		}
+	}
+	for right, m := range l.rev {
+		for left := range m {
+			if !l.fwd[left][right] {
+				bad = append(bad, fmt.Sprintf("rev(%d,%d) missing in fwd", right, left))
+			}
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+func sortedKeys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

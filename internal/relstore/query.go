@@ -1,0 +1,173 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pred is a row predicate used by Select.
+type Pred func(Row) bool
+
+// All matches every row.
+func All() Pred { return func(Row) bool { return true } }
+
+// Eq matches rows whose column equals value (missing columns never match).
+func Eq(col string, value any) Pred {
+	return func(r Row) bool {
+		v, ok := r[col]
+		return ok && v == value
+	}
+}
+
+// ContainsFold matches rows whose string column contains the substring,
+// case-insensitively.
+func ContainsFold(col, sub string) Pred {
+	needle := strings.ToLower(sub)
+	return func(r Row) bool {
+		s, ok := r[col].(string)
+		return ok && strings.Contains(strings.ToLower(s), needle)
+	}
+}
+
+// HasElement matches rows whose StringList column contains elem.
+func HasElement(col, elem string) Pred {
+	return func(r Row) bool {
+		list, ok := r[col].([]string)
+		if !ok {
+			return false
+		}
+		for _, e := range list {
+			if e == elem {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Pred) Pred {
+	return func(r Row) bool {
+		for _, p := range ps {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines predicates disjunctively; with no operands it matches nothing.
+func Or(ps ...Pred) Pred {
+	return func(r Row) bool {
+		for _, p := range ps {
+			if p(r) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(p Pred) Pred { return func(r Row) bool { return !p(r) } }
+
+// Query describes a Select: predicate, optional ordering, and paging.
+type Query struct {
+	Where Pred
+	// OrderBy names the column to sort by; empty sorts by id. Sorting is
+	// defined for String, Int, Float, and Bool columns; rows missing the
+	// column sort first.
+	OrderBy string
+	// Desc reverses the sort order.
+	Desc bool
+	// Offset skips the first rows of the result.
+	Offset int
+	// Limit caps the result size; zero means unlimited.
+	Limit int
+}
+
+// Select returns copies of the rows matching the query.
+func (t *Table) Select(q Query) []Row {
+	t.mu.RLock()
+	matched := make([]Row, 0, 16)
+	for _, id := range t.sortedIDsLocked() {
+		r := t.rows[id]
+		if q.Where == nil || q.Where(r) {
+			matched = append(matched, r.clone())
+		}
+	}
+	t.mu.RUnlock()
+
+	if q.OrderBy != "" {
+		col := q.OrderBy
+		sort.SliceStable(matched, func(i, j int) bool {
+			return lessValue(matched[i][col], matched[j][col])
+		})
+	}
+	if q.Desc {
+		for i, j := 0, len(matched)-1; i < j; i, j = i+1, j-1 {
+			matched[i], matched[j] = matched[j], matched[i]
+		}
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(matched) {
+			return nil
+		}
+		matched = matched[q.Offset:]
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	return matched
+}
+
+// Count returns the number of rows matching the predicate.
+func (t *Table) Count(p Pred) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if p == nil {
+		return len(t.rows)
+	}
+	n := 0
+	for _, r := range t.rows {
+		if p(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// lessValue orders two column values of the same supported type; nil sorts
+// first, mixed types order by type name for determinism.
+func lessValue(a, b any) bool {
+	if a == nil {
+		return b != nil
+	}
+	if b == nil {
+		return false
+	}
+	switch av := a.(type) {
+	case string:
+		if bv, ok := b.(string); ok {
+			return av < bv
+		}
+	case int64:
+		if bv, ok := b.(int64); ok {
+			return av < bv
+		}
+	case float64:
+		if bv, ok := b.(float64); ok {
+			return av < bv
+		}
+	case bool:
+		if bv, ok := b.(bool); ok {
+			return !av && bv
+		}
+	}
+	return fmt.Sprintf("%T", a) < fmt.Sprintf("%T", b)
+}

@@ -1,0 +1,158 @@
+package relstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickUniqueIndexIntegrity drives a table through random CRUD and
+// verifies after every operation that (a) the unique index maps exactly the
+// live rows' values and (b) no two live rows share a unique value.
+func TestQuickUniqueIndexIntegrity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewStore()
+		tbl, err := s.CreateTable(Schema{Name: "t", Columns: []Column{
+			{Name: "u", Type: Int, Unique: true},
+			{Name: "k", Type: Int, Indexed: true},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []int64
+		for _, op := range ops {
+			val := int64(op % 16) // small domain to force collisions
+			switch op % 3 {
+			case 0:
+				if id, err := tbl.Insert(Row{"u": val, "k": val % 4}); err == nil {
+					live = append(live, id)
+				}
+			case 1:
+				if len(live) > 0 {
+					id := live[int(op)%len(live)]
+					_ = tbl.Update(id, Row{"u": val})
+				}
+			case 2:
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					if err := tbl.Delete(live[i]); err != nil {
+						return false
+					}
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+			// Invariant: unique values over live rows are distinct.
+			seen := map[int64]bool{}
+			for _, r := range tbl.Select(Query{}) {
+				u, ok := r["u"].(int64)
+				if !ok {
+					continue
+				}
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+				// And the unique lookup finds this row.
+				if hit := tbl.LookupUnique("u", u); hit == nil || hit.ID() != r.ID() {
+					return false
+				}
+			}
+			if tbl.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLinkSymmetry drives random link/unlink operations and checks the
+// forward/reverse maps stay mirror images.
+func TestQuickLinkSymmetry(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewStore()
+		l, err := s.CreateLink("x", "a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			left, right := int64(op%7), int64((op>>3)%7)
+			switch op % 4 {
+			case 0, 1:
+				l.Add(left, right)
+			case 2:
+				l.Remove(left, right)
+			case 3:
+				l.RemoveLeft(left)
+			}
+			if bad := l.CheckSymmetry(); len(bad) != 0 {
+				return false
+			}
+			if l.Len() != len(l.Pairs()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSnapshotRoundTrip builds random stores and checks that
+// Snapshot -> Restore -> Snapshot is the identity on the wire format.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := NewStore()
+		tbl, err := s.CreateTable(Schema{Name: "m", Columns: []Column{
+			{Name: "title", Type: String, Indexed: true},
+			{Name: "year", Type: Int},
+			{Name: "score", Type: Float},
+			{Name: "flag", Type: Bool},
+			{Name: "list", Type: StringList},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []int64
+		for i, n := 0, r.Intn(30); i < n; i++ {
+			id, err := tbl.Insert(Row{
+				"title": string(rune('a' + r.Intn(26))),
+				"year":  int64(r.Intn(30)),
+				"score": float64(r.Intn(100)) / 10,
+				"flag":  r.Intn(2) == 0,
+				"list":  []string{string(rune('a' + r.Intn(4)))},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		for i := 0; i < len(ids)/4; i++ {
+			_ = tbl.Delete(ids[r.Intn(len(ids))])
+		}
+		l, _ := s.CreateLink("ln", "m", "m")
+		for i := 0; i < r.Intn(20); i++ {
+			l.Add(int64(r.Intn(10)), int64(r.Intn(10)))
+		}
+		var b1 bytes.Buffer
+		if err := s.Snapshot(&b1); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var b2 bytes.Buffer
+		if err := restored.Snapshot(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if b1.String() != b2.String() {
+			t.Fatalf("trial %d: snapshot round trip differs", trial)
+		}
+	}
+}

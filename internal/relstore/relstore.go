@@ -1,0 +1,409 @@
+// Package relstore is a small in-memory relational store: typed tables with
+// auto-incrementing integer primary keys, unique and secondary hash indexes,
+// predicate scans, many-to-many link tables, and JSON snapshot/restore.
+//
+// It stands in for the PostgreSQL database of the original CAR-CS prototype
+// (see DESIGN.md). The CAR-CS schema is small — assignments, tags,
+// classification entries, datasets, authors, and many-to-many associations
+// between them — and this store implements exactly those relational
+// semantics with stdlib-only code. All operations are safe for concurrent
+// use.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Type enumerates the column types the store supports.
+type Type int
+
+const (
+	// String columns hold Go strings.
+	String Type = iota
+	// Int columns hold int64 values.
+	Int
+	// Float columns hold float64 values.
+	Float
+	// Bool columns hold booleans.
+	Bool
+	// StringList columns hold []string values (used for denormalized
+	// small lists such as author name arrays).
+	StringList
+)
+
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case StringList:
+		return "stringlist"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Type
+	// Unique enforces a unique index over non-zero values.
+	Unique bool
+	// Indexed maintains a secondary hash index for equality lookups.
+	Indexed bool
+}
+
+// Schema describes a table: its name and columns. Every table implicitly has
+// an "id" Int primary-key column assigned by the store; schemas must not
+// declare one.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// Row is one record. The "id" key holds the int64 primary key.
+type Row map[string]any
+
+// ID returns the primary key of the row (0 if unset).
+func (r Row) ID() int64 {
+	id, _ := r["id"].(int64)
+	return id
+}
+
+// clone returns a deep-enough copy of the row: the map and any string
+// slices are copied so callers can never alias stored state.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		if s, ok := v.([]string); ok {
+			cp := make([]string, len(s))
+			copy(cp, s)
+			out[k] = cp
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// Table is a collection of rows under a schema.
+type Table struct {
+	mu      sync.RWMutex
+	schema  Schema
+	byCol   map[string]Column
+	rows    map[int64]Row
+	nextID  int64
+	uniques map[string]map[any]int64   // column -> value -> row id
+	indexes map[string]map[any][]int64 // column -> value -> row ids (sorted)
+}
+
+// Store is a named collection of tables and link tables.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	links  map[string]*LinkTable
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		tables: make(map[string]*Table),
+		links:  make(map[string]*LinkTable),
+	}
+}
+
+// CreateTable adds a table with the given schema. It fails on duplicate
+// table names, duplicate column names, or a column named "id".
+func (s *Store) CreateTable(schema Schema) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if schema.Name == "" {
+		return nil, fmt.Errorf("relstore: empty table name")
+	}
+	if _, dup := s.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("relstore: table %q exists", schema.Name)
+	}
+	t := &Table{
+		schema:  schema,
+		byCol:   make(map[string]Column, len(schema.Columns)),
+		rows:    make(map[int64]Row),
+		uniques: make(map[string]map[any]int64),
+		indexes: make(map[string]map[any][]int64),
+	}
+	for _, c := range schema.Columns {
+		if c.Name == "id" {
+			return nil, fmt.Errorf("relstore: table %q declares reserved column id", schema.Name)
+		}
+		if _, dup := t.byCol[c.Name]; dup {
+			return nil, fmt.Errorf("relstore: table %q duplicate column %q", schema.Name, c.Name)
+		}
+		t.byCol[c.Name] = c
+		if c.Unique {
+			t.uniques[c.Name] = make(map[any]int64)
+		}
+		if c.Indexed {
+			t.indexes[c.Name] = make(map[any][]int64)
+		}
+	}
+	s.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil if absent.
+func (s *Store) Table(name string) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[name]
+}
+
+// TableNames lists the store's tables, sorted.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema {
+	cols := make([]Column, len(t.schema.Columns))
+	copy(cols, t.schema.Columns)
+	return Schema{Name: t.schema.Name, Columns: cols}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// checkTypes validates that every key in r names a schema column and every
+// value matches the column's type. The id key is ignored.
+func (t *Table) checkTypes(r Row) error {
+	for k, v := range r {
+		if k == "id" {
+			continue
+		}
+		col, ok := t.byCol[k]
+		if !ok {
+			return fmt.Errorf("relstore: %s: unknown column %q", t.schema.Name, k)
+		}
+		if v == nil {
+			continue
+		}
+		var good bool
+		switch col.Type {
+		case String:
+			_, good = v.(string)
+		case Int:
+			_, good = v.(int64)
+		case Float:
+			_, good = v.(float64)
+		case Bool:
+			_, good = v.(bool)
+		case StringList:
+			_, good = v.([]string)
+		}
+		if !good {
+			return fmt.Errorf("relstore: %s.%s: value %T does not match %v", t.schema.Name, k, v, col.Type)
+		}
+	}
+	return nil
+}
+
+// indexKey converts a value into a hashable index key ([]string values are
+// not indexable and are rejected at schema time by convention).
+func indexKey(v any) any { return v }
+
+// Insert adds a row and returns its assigned id. Unique constraints are
+// enforced over non-nil values.
+func (t *Table) Insert(r Row) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkTypes(r); err != nil {
+		return 0, err
+	}
+	for col, idx := range t.uniques {
+		v, ok := r[col]
+		if !ok || v == nil {
+			continue
+		}
+		if owner, taken := idx[indexKey(v)]; taken {
+			return 0, fmt.Errorf("relstore: %s.%s: duplicate value %v (row %d)", t.schema.Name, col, v, owner)
+		}
+	}
+	t.nextID++
+	id := t.nextID
+	row := r.clone()
+	row["id"] = id
+	t.rows[id] = row
+	t.indexRowLocked(id, row)
+	return id, nil
+}
+
+// Get returns a copy of the row with the given id, or nil if absent.
+func (t *Table) Get(id int64) Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return nil
+	}
+	return r.clone()
+}
+
+// Update merges the given column values into the row with the given id.
+// Setting a column to nil clears it. Unique constraints are re-checked.
+func (t *Table) Update(id int64, changes Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("relstore: %s: no row %d", t.schema.Name, id)
+	}
+	if err := t.checkTypes(changes); err != nil {
+		return err
+	}
+	next := old.clone()
+	for k, v := range changes {
+		if k == "id" {
+			continue
+		}
+		if v == nil {
+			delete(next, k)
+			continue
+		}
+		next[k] = v
+	}
+	for col, idx := range t.uniques {
+		v, ok := next[col]
+		if !ok || v == nil {
+			continue
+		}
+		if owner, taken := idx[indexKey(v)]; taken && owner != id {
+			return fmt.Errorf("relstore: %s.%s: duplicate value %v (row %d)", t.schema.Name, col, v, owner)
+		}
+	}
+	t.unindexRowLocked(id, old)
+	next["id"] = id
+	t.rows[id] = next
+	t.indexRowLocked(id, next)
+	return nil
+}
+
+// Delete removes the row with the given id; deleting a missing row is an
+// error so callers surface dangling references.
+func (t *Table) Delete(id int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("relstore: %s: no row %d", t.schema.Name, id)
+	}
+	t.unindexRowLocked(id, old)
+	delete(t.rows, id)
+	return nil
+}
+
+func (t *Table) indexRowLocked(id int64, r Row) {
+	for col, idx := range t.uniques {
+		if v, ok := r[col]; ok && v != nil {
+			idx[indexKey(v)] = id
+		}
+	}
+	for col, idx := range t.indexes {
+		if v, ok := r[col]; ok && v != nil {
+			k := indexKey(v)
+			ids := idx[k]
+			pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+			ids = append(ids, 0)
+			copy(ids[pos+1:], ids[pos:])
+			ids[pos] = id
+			idx[k] = ids
+		}
+	}
+}
+
+func (t *Table) unindexRowLocked(id int64, r Row) {
+	for col, idx := range t.uniques {
+		if v, ok := r[col]; ok && v != nil {
+			if idx[indexKey(v)] == id {
+				delete(idx, indexKey(v))
+			}
+		}
+	}
+	for col, idx := range t.indexes {
+		if v, ok := r[col]; ok && v != nil {
+			k := indexKey(v)
+			ids := idx[k]
+			pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+			if pos < len(ids) && ids[pos] == id {
+				ids = append(ids[:pos], ids[pos+1:]...)
+			}
+			if len(ids) == 0 {
+				delete(idx, k)
+			} else {
+				idx[k] = ids
+			}
+		}
+	}
+}
+
+// LookupUnique returns a copy of the row whose unique column holds value, or
+// nil if absent or the column is not unique.
+func (t *Table) LookupUnique(col string, value any) Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.uniques[col]
+	if !ok {
+		return nil
+	}
+	id, ok := idx[indexKey(value)]
+	if !ok {
+		return nil
+	}
+	return t.rows[id].clone()
+}
+
+// LookupIndexed returns copies of the rows whose indexed column equals
+// value, in id order. A non-indexed column falls back to a scan.
+func (t *Table) LookupIndexed(col string, value any) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx, ok := t.indexes[col]; ok {
+		ids := idx[indexKey(value)]
+		out := make([]Row, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, t.rows[id].clone())
+		}
+		return out
+	}
+	var out []Row
+	for _, id := range t.sortedIDsLocked() {
+		if t.rows[id][col] == value {
+			out = append(out, t.rows[id].clone())
+		}
+	}
+	return out
+}
+
+func (t *Table) sortedIDsLocked() []int64 {
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,417 @@
+package relstore
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func materialsTable(t *testing.T) (*Store, *Table) {
+	t.Helper()
+	s := NewStore()
+	tbl, err := s.CreateTable(Schema{
+		Name: "materials",
+		Columns: []Column{
+			{Name: "title", Type: String, Unique: true},
+			{Name: "kind", Type: String, Indexed: true},
+			{Name: "year", Type: Int, Indexed: true},
+			{Name: "rating", Type: Float},
+			{Name: "pdc", Type: Bool},
+			{Name: "authors", Type: StringList},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	s := NewStore()
+	if _, err := s.CreateTable(Schema{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.CreateTable(Schema{Name: "x", Columns: []Column{{Name: "id", Type: Int}}}); err == nil {
+		t.Error("reserved id column accepted")
+	}
+	if _, err := s.CreateTable(Schema{Name: "y", Columns: []Column{{Name: "a", Type: Int}, {Name: "a", Type: Int}}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := s.CreateTable(Schema{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable(Schema{Name: "ok"}); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if s.Table("missing") != nil {
+		t.Error("missing table should be nil")
+	}
+	if got := s.TableNames(); !reflect.DeepEqual(got, []string{"ok", "x"}) && !reflect.DeepEqual(got, []string{"ok"}) {
+		// "x" creation failed, so only "ok" must be present.
+		if !reflect.DeepEqual(got, []string{"ok"}) {
+			t.Errorf("TableNames = %v", got)
+		}
+	}
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	_, tbl := materialsTable(t)
+	id, err := tbl.Insert(Row{"title": "Nbody simulation", "kind": "assignment", "year": int64(2010), "pdc": false, "authors": []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("first id = %d", id)
+	}
+	got := tbl.Get(id)
+	if got["title"] != "Nbody simulation" || got.ID() != 1 {
+		t.Errorf("Get = %v", got)
+	}
+	// Mutating the returned row must not affect the stored copy.
+	got["title"] = "mutated"
+	got["authors"].([]string)[0] = "zzz"
+	if again := tbl.Get(id); again["title"] != "Nbody simulation" || again["authors"].([]string)[0] != "a" {
+		t.Error("Get aliases internal state")
+	}
+	if err := tbl.Update(id, Row{"year": int64(2012), "rating": 4.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Get(id); got["year"] != int64(2012) || got["rating"] != 4.5 {
+		t.Errorf("after update: %v", got)
+	}
+	// Clearing a column.
+	if err := tbl.Update(id, Row{"rating": nil}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Get(id)["rating"]; ok {
+		t.Error("cleared column still present")
+	}
+	if err := tbl.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Get(id) != nil || tbl.Len() != 0 {
+		t.Error("delete failed")
+	}
+	if err := tbl.Delete(id); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := tbl.Update(id, Row{"year": int64(1)}); err == nil {
+		t.Error("update of deleted row accepted")
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	_, tbl := materialsTable(t)
+	if _, err := tbl.Insert(Row{"title": 42}); err == nil {
+		t.Error("int into string column accepted")
+	}
+	if _, err := tbl.Insert(Row{"year": "2010"}); err == nil {
+		t.Error("string into int column accepted")
+	}
+	if _, err := tbl.Insert(Row{"nope": "x"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := tbl.Insert(Row{"authors": []int{1}}); err == nil {
+		t.Error("bad list type accepted")
+	}
+	if _, err := tbl.Insert(Row{"pdc": true, "rating": 1.0}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	_, tbl := materialsTable(t)
+	if _, err := tbl.Insert(Row{"title": "Uno"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Row{"title": "Uno"}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate unique accepted: %v", err)
+	}
+	id2, err := tbl.Insert(Row{"title": "Dos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Update(id2, Row{"title": "Uno"}); err == nil {
+		t.Error("update into duplicate accepted")
+	}
+	// Updating a row to its own unique value is fine.
+	if err := tbl.Update(id2, Row{"title": "Dos"}); err != nil {
+		t.Errorf("self-update rejected: %v", err)
+	}
+	// After delete, the value is reusable.
+	r := tbl.LookupUnique("title", "Uno")
+	if r == nil {
+		t.Fatal("LookupUnique failed")
+	}
+	if err := tbl.Delete(r.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Row{"title": "Uno"}); err != nil {
+		t.Errorf("freed unique value rejected: %v", err)
+	}
+}
+
+func TestLookupIndexed(t *testing.T) {
+	_, tbl := materialsTable(t)
+	for i, kind := range []string{"assignment", "slides", "assignment"} {
+		if _, err := tbl.Insert(Row{"title": string(rune('A' + i)), "kind": kind, "year": int64(2000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := tbl.LookupIndexed("kind", "assignment")
+	if len(rows) != 2 || rows[0].ID() != 1 || rows[1].ID() != 3 {
+		t.Errorf("LookupIndexed = %v", rows)
+	}
+	// Fallback scan on a non-indexed column.
+	rows = tbl.LookupIndexed("title", "B")
+	if len(rows) != 1 || rows[0]["kind"] != "slides" {
+		t.Errorf("scan fallback = %v", rows)
+	}
+	// Index maintenance on update and delete.
+	if err := tbl.Update(1, Row{"kind": "slides"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.LookupIndexed("kind", "assignment"); len(got) != 1 {
+		t.Errorf("index stale after update: %v", got)
+	}
+	if err := tbl.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.LookupIndexed("kind", "assignment"); len(got) != 0 {
+		t.Errorf("index stale after delete: %v", got)
+	}
+	if got := tbl.LookupUnique("kind", "slides"); got != nil {
+		t.Error("LookupUnique on non-unique column should be nil")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	_, tbl := materialsTable(t)
+	seed := []Row{
+		{"title": "Fractal zoom", "kind": "assignment", "year": int64(2018), "pdc": true},
+		{"title": "Uno", "kind": "assignment", "year": int64(2010), "pdc": false},
+		{"title": "MPI slides", "kind": "slides", "year": int64(2017), "pdc": true},
+		{"title": "Image editor", "kind": "assignment", "year": int64(2012), "pdc": false},
+	}
+	for _, r := range seed {
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tbl.Select(Query{Where: Eq("kind", "assignment"), OrderBy: "year"})
+	if len(got) != 3 || got[0]["title"] != "Uno" || got[2]["title"] != "Fractal zoom" {
+		t.Errorf("ordered select = %v", got)
+	}
+	got = tbl.Select(Query{Where: And(Eq("kind", "assignment"), Eq("pdc", true))})
+	if len(got) != 1 || got[0]["title"] != "Fractal zoom" {
+		t.Errorf("And select = %v", got)
+	}
+	got = tbl.Select(Query{Where: Or(Eq("kind", "slides"), ContainsFold("title", "uno"))})
+	if len(got) != 2 {
+		t.Errorf("Or select = %v", got)
+	}
+	got = tbl.Select(Query{Where: Not(Eq("pdc", true)), OrderBy: "title", Desc: true})
+	if len(got) != 2 || got[0]["title"] != "Uno" {
+		t.Errorf("Not/Desc select = %v", got)
+	}
+	got = tbl.Select(Query{OrderBy: "year", Offset: 1, Limit: 2})
+	if len(got) != 2 || got[0]["year"] != int64(2012) {
+		t.Errorf("paged select = %v", got)
+	}
+	if got := tbl.Select(Query{Offset: 99}); got != nil {
+		t.Errorf("past-end select = %v", got)
+	}
+	if n := tbl.Count(Eq("pdc", true)); n != 2 {
+		t.Errorf("Count = %d", n)
+	}
+	if n := tbl.Count(nil); n != 4 {
+		t.Errorf("Count(nil) = %d", n)
+	}
+	if got := tbl.Select(Query{Where: HasElement("authors", "x")}); got != nil {
+		t.Errorf("HasElement on empty lists = %v", got)
+	}
+}
+
+func TestHasElement(t *testing.T) {
+	_, tbl := materialsTable(t)
+	if _, err := tbl.Insert(Row{"title": "T", "authors": []string{"saule", "payton"}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := tbl.Count(HasElement("authors", "payton")); n != 1 {
+		t.Errorf("HasElement hit = %d", n)
+	}
+	if n := tbl.Count(HasElement("authors", "ghost")); n != 0 {
+		t.Errorf("HasElement miss = %d", n)
+	}
+}
+
+func TestLinkTable(t *testing.T) {
+	s := NewStore()
+	l, err := s.CreateLink("material_tags", "materials", "tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateLink("material_tags", "a", "b"); err == nil {
+		t.Error("duplicate link accepted")
+	}
+	if _, err := s.CreateLink("", "a", "b"); err == nil {
+		t.Error("empty link name accepted")
+	}
+	l.Add(1, 10)
+	l.Add(1, 11)
+	l.Add(2, 10)
+	l.Add(1, 10) // idempotent
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if !l.Has(1, 10) || l.Has(2, 11) {
+		t.Error("Has misbehaves")
+	}
+	if got := l.Rights(1); !reflect.DeepEqual(got, []int64{10, 11}) {
+		t.Errorf("Rights = %v", got)
+	}
+	if got := l.Lefts(10); !reflect.DeepEqual(got, []int64{1, 2}) {
+		t.Errorf("Lefts = %v", got)
+	}
+	l.Remove(1, 11)
+	l.Remove(1, 99) // no-op
+	if l.Has(1, 11) || l.Len() != 2 {
+		t.Error("Remove failed")
+	}
+	if bad := l.CheckSymmetry(); len(bad) != 0 {
+		t.Errorf("symmetry: %v", bad)
+	}
+	l.RemoveLeft(1)
+	if l.Len() != 1 || len(l.Lefts(10)) != 1 {
+		t.Errorf("RemoveLeft failed: %v", l.Pairs())
+	}
+	if got := s.LinkNames(); !reflect.DeepEqual(got, []string{"material_tags"}) {
+		t.Errorf("LinkNames = %v", got)
+	}
+	if s.Link("ghost") != nil {
+		t.Error("missing link should be nil")
+	}
+	if l.Name() != "material_tags" {
+		t.Error("Name")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s, tbl := materialsTable(t)
+	ids := make([]int64, 0, 3)
+	for i, title := range []string{"A", "B", "C"} {
+		id, err := tbl.Insert(Row{"title": title, "kind": "assignment", "year": int64(2000 + i), "pdc": i%2 == 0, "authors": []string{"x", "y"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := tbl.Delete(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := s.CreateLink("m2t", "materials", "tags")
+	l.Add(ids[0], 7)
+	l.Add(ids[2], 9)
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := restored.Table("materials")
+	if rt.Len() != 2 {
+		t.Fatalf("restored rows = %d", rt.Len())
+	}
+	if r := rt.Get(ids[0]); r == nil || r["title"] != "A" || !reflect.DeepEqual(r["authors"], []string{"x", "y"}) {
+		t.Errorf("restored row = %v", r)
+	}
+	// nextID must continue past the deleted row so ids are never reused.
+	nid, err := rt.Insert(Row{"title": "D"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid != 4 {
+		t.Errorf("post-restore id = %d, want 4", nid)
+	}
+	// Unique index must be live after restore.
+	if _, err := rt.Insert(Row{"title": "A"}); err == nil {
+		t.Error("restored unique index not enforced")
+	}
+	rl := restored.Link("m2t")
+	if !rl.Has(ids[0], 7) || !rl.Has(ids[2], 9) || rl.Len() != 2 {
+		t.Errorf("restored links = %v", rl.Pairs())
+	}
+	// Snapshot of the restore equals a re-snapshot (determinism), modulo
+	// the row we just inserted — so snapshot the restored store before
+	// mutation instead.
+	restored2, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := restored2.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("snapshot not deterministic across restore")
+	}
+}
+
+func TestRestoreRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"tables":[{"schema":{"Name":"t","Columns":[{"Name":"a","Type":0}]},"rows":[{"a":"x"}]}]}`,          // row without id
+		`{"tables":[{"schema":{"Name":"t","Columns":[{"Name":"a","Type":0}]},"rows":[{"id":1,"ghost":1}]}]}`, // unknown column
+		`{"tables":[{"schema":{"Name":"t","Columns":[{"Name":"a","Type":1}]},"rows":[{"id":1,"a":"s"}]}]}`,   // wrong type
+		`{"tables":[{"schema":{"Name":"t"},"rows":[{"id":1},{"id":1}]}]}`,                                    // duplicate id
+	}
+	for i, c := range cases {
+		if _, err := Restore(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: corrupt snapshot accepted", i)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	_, tbl := materialsTable(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := tbl.Insert(Row{"kind": "assignment", "year": int64(w*1000 + i)})
+				if err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				tbl.Get(id)
+				_ = tbl.Select(Query{Where: Eq("kind", "assignment"), Limit: 5})
+				if i%3 == 0 {
+					if err := tbl.Delete(id); err != nil {
+						t.Errorf("delete: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// 8 workers x 50 inserts, every third deleted (i%3==0 -> 17 per worker).
+	want := 8 * (50 - 17)
+	if got := tbl.Len(); got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{String: "string", Int: "int", Float: "float", Bool: "bool", StringList: "stringlist", Type(9): "Type(9)"} {
+		if got := ty.String(); got != want {
+			t.Errorf("%v", got)
+		}
+	}
+}

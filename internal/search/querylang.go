@@ -1,0 +1,245 @@
+package search
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+// ParsedQuery is the result of parsing a CAR-CS query string: a structured
+// filter plus residual free text. The mini-language delivers the paper's
+// goal of "a more expansive, fine-grained classification system that allows
+// for greater expressiveness in assignment search queries":
+//
+//	collection:nifty kind:assignment level:CS1 language:Java
+//	year:2010..2015        publication-year range (or year:2012)
+//	dataset:any            uses any real-world dataset (or dataset:weather)
+//	tag:simulation         free-form tag
+//	in:cs13/pd             classified inside an ontology subtree
+//	                       ("cs13" or "pdc12", then area code or node path)
+//	entry:<node-id>        classified exactly at the entry
+//	pdc:yes / pdc:no       covers (or not) any PDC content
+//	-field:value           negates any clause
+//	arrays "forest fire"   bare words and quoted phrases become free text
+type ParsedQuery struct {
+	Filter Filter
+	Text   string
+}
+
+// ParseQuery parses the query string against the engine's ontologies.
+func (e *Engine) ParseQuery(q string) (ParsedQuery, error) {
+	var filters []Filter
+	var text []string
+	for _, tok := range tokenizeQuery(q) {
+		if qi, ci := strings.IndexByte(tok, '"'), strings.IndexByte(tok, ':'); qi >= 0 && (ci < 0 || qi < ci) {
+			// A quote before any colon means the whole token is a
+			// quoted free-text phrase, colons included. A clause with
+			// a quoted value (phrase:"monte carlo") falls through.
+			text = append(text, strings.ReplaceAll(tok, `"`, ""))
+			continue
+		}
+		neg := strings.HasPrefix(tok, "-") && strings.Contains(tok, ":")
+		if neg {
+			tok = tok[1:]
+		}
+		field, value, isClause := strings.Cut(tok, ":")
+		value = strings.ReplaceAll(value, `"`, "")
+		if !isClause || field == "" || value == "" {
+			text = append(text, strings.ReplaceAll(tok, `"`, ""))
+			continue
+		}
+		f, err := e.clauseFilter(strings.ToLower(field), value)
+		if err != nil {
+			return ParsedQuery{}, err
+		}
+		if neg {
+			f = Not(f)
+		}
+		filters = append(filters, f)
+	}
+	return ParsedQuery{Filter: AllOf(filters...), Text: strings.Join(text, " ")}, nil
+}
+
+func (e *Engine) clauseFilter(field, value string) (Filter, error) {
+	switch field {
+	case "collection":
+		return ByCollection(value), nil
+	case "kind":
+		k := material.Kind(strings.ToLower(value))
+		if !material.ValidKind(k) {
+			return nil, fmt.Errorf("search: unknown kind %q", value)
+		}
+		return ByKind(k), nil
+	case "level":
+		l := material.Level(value)
+		if !material.ValidLevel(l) {
+			// levels are case-typical ("CS1"); try upper.
+			l = material.Level(strings.ToUpper(value))
+		}
+		if !material.ValidLevel(l) {
+			return nil, fmt.Errorf("search: unknown level %q", value)
+		}
+		return ByLevel(l), nil
+	case "language", "lang":
+		return ByLanguage(value), nil
+	case "tag":
+		want := value
+		return func(m *material.Material) bool {
+			for _, t := range m.Tags {
+				if t == want {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case "year":
+		from, to, err := parseYearRange(value)
+		if err != nil {
+			return nil, err
+		}
+		return ByYearRange(from, to), nil
+	case "dataset":
+		if value == "any" {
+			return UsesDataset(""), nil
+		}
+		return UsesDataset(value), nil
+	case "entry":
+		return HasEntry(value), nil
+	case "in":
+		o, nodeID, err := e.resolveSubtree(value)
+		if err != nil {
+			return nil, err
+		}
+		return InSubtree(o, nodeID), nil
+	case "phrase", "near":
+		// Resolved against the positional index at parse time; the
+		// resulting id set becomes an ordinary filter.
+		var ids []string
+		if field == "phrase" {
+			ids = e.positional.Phrase(value)
+		} else {
+			ids = e.positional.Near(value, 8)
+		}
+		set := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+		}
+		return func(m *material.Material) bool { return set[m.ID] }, nil
+	case "pdc":
+		switch strings.ToLower(value) {
+		case "yes", "true":
+			return e.PDCCoverage, nil
+		case "no", "false":
+			return Not(e.PDCCoverage), nil
+		}
+		return nil, fmt.Errorf("search: pdc wants yes/no, got %q", value)
+	}
+	return nil, fmt.Errorf("search: unknown field %q", field)
+}
+
+// resolveSubtree maps "cs13/pd" or "pdc12/pr/performance-issues" (or a full
+// node ID) onto an ontology and node.
+func (e *Engine) resolveSubtree(value string) (*ontology.Ontology, string, error) {
+	// Full node IDs start with the ontology root slug.
+	for _, o := range []*ontology.Ontology{e.cs13, e.pdc12} {
+		if o.Has(value) {
+			return o, value, nil
+		}
+	}
+	name, rest, _ := strings.Cut(value, "/")
+	var o *ontology.Ontology
+	switch strings.ToLower(name) {
+	case "cs13":
+		o = e.cs13
+	case "pdc12", "pdc":
+		o = e.pdc12
+	default:
+		return nil, "", fmt.Errorf("search: unknown ontology in %q (want cs13/... or pdc12/...)", value)
+	}
+	if rest == "" {
+		return o, o.RootID(), nil
+	}
+	// Try an area code first ("cs13/pd"), then a root-relative path.
+	head, tail, _ := strings.Cut(rest, "/")
+	base := o.AreaByCode(head)
+	if base == "" {
+		base = o.RootID() + "/" + ontology.Slug(head)
+	}
+	id := base
+	if tail != "" {
+		for _, seg := range strings.Split(tail, "/") {
+			id += "/" + ontology.Slug(seg)
+		}
+	}
+	if !o.Has(id) {
+		return nil, "", fmt.Errorf("search: no subtree %q in %s", value, o.Name())
+	}
+	return o, id, nil
+}
+
+func parseYearRange(v string) (int, int, error) {
+	if from, to, ok := strings.Cut(v, ".."); ok {
+		f, err1 := strconv.Atoi(from)
+		t, err2 := strconv.Atoi(to)
+		if err1 != nil || err2 != nil || f > t {
+			return 0, 0, fmt.Errorf("search: bad year range %q", v)
+		}
+		return f, t, nil
+	}
+	y, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, 0, fmt.Errorf("search: bad year %q", v)
+	}
+	return y, y, nil
+}
+
+// tokenizeQuery splits on whitespace, keeping double-quoted phrases
+// together.
+func tokenizeQuery(q string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range q {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r) // keep the quote so ParseQuery sees phrases
+		case !inQuote && (r == ' ' || r == '\t' || r == '\n'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// Query parses and executes a query string: structured clauses filter the
+// candidates, free text (if any) ranks them; without free text, matches come
+// back in insertion order with score 0. Returns the top k (k <= 0 for all).
+func (e *Engine) Query(q string, k int) ([]Hit, error) {
+	pq, err := e.ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(pq.Text) != "" {
+		return e.Text(pq.Text, k, pq.Filter), nil
+	}
+	var out []Hit
+	for _, m := range e.Select(pq.Filter) {
+		out = append(out, Hit{Material: m})
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package search
+
+import (
+	"testing"
+)
+
+func TestQueryLanguageClauses(t *testing.T) {
+	e := seededEngine()
+	cases := []struct {
+		q       string
+		wantAll func(h Hit) bool
+		wantMin int
+	}{
+		{"collection:peachy", func(h Hit) bool { return h.Material.Collection == "peachy" }, 11},
+		{"kind:slides", func(h Hit) bool { return string(h.Material.Kind) == "slides" }, 12},
+		{"level:cs1 collection:nifty", func(h Hit) bool { return string(h.Material.Level) == "CS1" }, 5},
+		{"language:Java year:2010..2013", func(h Hit) bool {
+			return h.Material.Language == "Java" && h.Material.Year >= 2010 && h.Material.Year <= 2013
+		}, 1},
+		{"year:2018", func(h Hit) bool { return h.Material.Year == 2018 }, 3},
+		{"tag:fractal", func(h Hit) bool { return true }, 2},
+		{"pdc:yes kind:assignment", func(h Hit) bool { return h.Material.Collection != "nifty" }, 10},
+		{"pdc:no collection:nifty", func(h Hit) bool { return h.Material.Collection == "nifty" }, 60},
+		{"in:cs13/pd", func(h Hit) bool { return h.Material.Collection != "nifty" }, 20},
+		{"in:pdc12/pr kind:slides", func(h Hit) bool { return h.Material.Collection == "itcs3145" }, 5},
+		{"-collection:nifty -collection:peachy", func(h Hit) bool { return h.Material.Collection == "itcs3145" }, 21},
+		{"dataset:any", func(h Hit) bool { return len(h.Material.Datasets) >= 0 }, 0},
+	}
+	for _, c := range cases {
+		hits, err := e.Query(c.q, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", c.q, err)
+		}
+		if len(hits) < c.wantMin {
+			t.Errorf("%q: %d hits, want >= %d", c.q, len(hits), c.wantMin)
+		}
+		for _, h := range hits {
+			if !c.wantAll(h) {
+				t.Errorf("%q: leak %s (%s)", c.q, h.Material.ID, h.Material.Collection)
+			}
+		}
+	}
+}
+
+func TestQueryLanguageFreeText(t *testing.T) {
+	e := seededEngine()
+	hits, err := e.Query(`collection:peachy "forest fire"`, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Material.ID != "using-a-monte-carlo-pattern-to-simulate-a-forest-fire" {
+		t.Errorf("top hit = %s", hits[0].Material.ID)
+	}
+	for _, h := range hits {
+		if h.Material.Collection != "peachy" {
+			t.Errorf("filter leak: %s", h.Material.ID)
+		}
+		if h.Score <= 0 {
+			t.Errorf("free-text hit without score: %+v", h)
+		}
+	}
+	// Pure structured query returns unscored results.
+	hits, err = e.Query("kind:exam", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("exam hits = %d, want 0 in seed corpus", len(hits))
+	}
+}
+
+func TestQueryLanguageEntryAndFullNodeID(t *testing.T) {
+	e := seededEngine()
+	arrays := "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"
+	hits, err := e.Query("entry:"+arrays, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < 10 {
+		t.Errorf("arrays hits = %d", len(hits))
+	}
+	// A full node ID also works with in:.
+	hits2, err := e.Query("in:"+arrays, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits2) != len(hits) {
+		t.Errorf("in:<full-id> = %d, entry = %d", len(hits2), len(hits))
+	}
+}
+
+func TestQueryLanguageErrors(t *testing.T) {
+	e := seededEngine()
+	for _, q := range []string{
+		"kind:poem",
+		"level:CS99",
+		"year:abc",
+		"year:2015..2010",
+		"in:fortran/xx",
+		"in:cs13/zz-nothing",
+		"pdc:maybe",
+		"mystery:value",
+	} {
+		if _, err := e.Query(q, 0); err == nil {
+			t.Errorf("%q: error expected", q)
+		}
+	}
+	// Unbalanced quotes degrade gracefully to text.
+	if _, err := e.Query(`"unterminated phrase`, 5); err != nil {
+		t.Errorf("unterminated quote: %v", err)
+	}
+	// Colon inside quoted phrase stays text.
+	hits, err := e.Query(`"ratio: compute"`, 0)
+	if err != nil {
+		t.Fatalf("quoted colon: %v", err)
+	}
+	_ = hits
+}
+
+func TestQueryLevelCaseInsensitive(t *testing.T) {
+	e := seededEngine()
+	a, err := e.Query("level:cs2 collection:nifty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Query("level:CS2 collection:nifty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Errorf("case sensitivity: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestQueryPhraseClause(t *testing.T) {
+	e := seededEngine()
+	hits, err := e.Query(`phrase:"monte carlo"`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no phrase hits")
+	}
+	ids := map[string]bool{}
+	for _, h := range hits {
+		ids[h.Material.ID] = true
+	}
+	if !ids["using-a-monte-carlo-pattern-to-simulate-a-forest-fire"] {
+		t.Errorf("phrase hits = %v", ids)
+	}
+	// Reversed order does not phrase-match anything in the corpus.
+	rev, err := e.Query(`phrase:"carlo monte"`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rev) != 0 {
+		t.Errorf("reversed phrase hits = %d", len(rev))
+	}
+	// near: allows reordering within the window.
+	near, err := e.Query(`near:"carlo monte"`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) < len(hits) {
+		t.Errorf("near (%d) should be at least as permissive as phrase (%d)", len(near), len(hits))
+	}
+	// Combined with a structured clause.
+	both, err := e.Query(`collection:peachy phrase:"monte carlo"`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range both {
+		if h.Material.Collection != "peachy" {
+			t.Errorf("leak: %s", h.Material.ID)
+		}
+	}
+}
+
+func TestEnginePhraseDirect(t *testing.T) {
+	e := seededEngine()
+	got := e.Phrase("heat diffusion")
+	if len(got) == 0 {
+		t.Fatal("no direct phrase hits")
+	}
+	for _, m := range got {
+		found := false
+		for _, id := range []string{"heat-diffusion-on-a-metal-plate"} {
+			if m.ID == id {
+				found = true
+			}
+		}
+		if !found && m.Collection != "itcs3145" {
+			t.Errorf("unexpected phrase hit %s", m.ID)
+		}
+	}
+}

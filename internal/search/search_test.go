@@ -1,0 +1,246 @@
+package search
+
+import (
+	"testing"
+
+	"carcs/internal/corpus"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+func seededEngine() *Engine {
+	e := NewEngine(ontology.CS13(), ontology.PDC12())
+	for _, m := range corpus.AllMaterials() {
+		e.Add(m)
+	}
+	return e
+}
+
+func TestAddRemoveGet(t *testing.T) {
+	e := NewEngine(ontology.CS13(), ontology.PDC12())
+	m := &material.Material{ID: "x", Title: "X", Kind: material.Assignment, Level: material.CS1, Description: "parallel things"}
+	e.Add(m)
+	if e.Len() != 1 || e.Get("x") != m {
+		t.Fatal("Add/Get failed")
+	}
+	m2 := &material.Material{ID: "x", Title: "X2", Kind: material.Slides, Level: material.CS2, Description: "sequential things"}
+	e.Add(m2)
+	if e.Len() != 1 || e.Get("x") != m2 {
+		t.Fatal("replace on re-Add failed")
+	}
+	if hits := e.Text("parallel", 0); len(hits) != 0 {
+		t.Error("stale text index after replace")
+	}
+	e.Remove("x")
+	e.Remove("ghost") // no-op
+	if e.Len() != 0 || e.Get("x") != nil {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	e := seededEngine()
+	cs13 := ontology.CS13()
+
+	slides := e.Select(ByKind(material.Slides))
+	for _, m := range slides {
+		if m.Kind != material.Slides {
+			t.Fatalf("ByKind returned %v", m.Kind)
+		}
+	}
+	if len(slides) != 12 { // the 12 ITCS 3145 decks
+		t.Errorf("slides = %d, want 12", len(slides))
+	}
+
+	cs1 := e.Select(AllOf(ByLevel(material.CS1), ByCollection("nifty")))
+	if len(cs1) == 0 {
+		t.Error("no CS1 nifty materials")
+	}
+	for _, m := range cs1 {
+		if m.Level != material.CS1 || m.Collection != "nifty" {
+			t.Fatalf("filter leak: %+v", m)
+		}
+	}
+
+	java := e.Select(ByLanguage("Java"))
+	if len(java) == 0 {
+		t.Error("no Java materials")
+	}
+
+	oldies := e.Select(ByYearRange(2003, 2005))
+	for _, m := range oldies {
+		if m.Year < 2003 || m.Year > 2005 {
+			t.Fatalf("year filter leak: %d", m.Year)
+		}
+	}
+
+	pdMaterials := e.Select(InSubtree(cs13, cs13.AreaByCode("PD")))
+	for _, m := range pdMaterials {
+		if m.Collection == "nifty" {
+			t.Errorf("nifty material %s in PD subtree", m.ID)
+		}
+	}
+	if len(pdMaterials) < 20 {
+		t.Errorf("PD materials = %d, want peachy+itcs bulk", len(pdMaterials))
+	}
+
+	arrays := cs13.RootID() + "/sdf/fundamental-data-structures/arrays"
+	withArrays := e.Select(HasEntry(arrays))
+	if len(withArrays) < 10 {
+		t.Errorf("Arrays materials = %d", len(withArrays))
+	}
+
+	none := e.Select(AnyOf())
+	if none != nil {
+		t.Error("empty AnyOf should match nothing")
+	}
+	all := e.Select(nil)
+	if len(all) != e.Len() {
+		t.Error("nil filter should match all")
+	}
+	notJava := e.Select(Not(ByLanguage("Java")))
+	if len(notJava)+len(java) != e.Len() {
+		t.Error("Not partition broken")
+	}
+	ds := e.Select(UsesDataset(""))
+	_ = ds // datasets are optional metadata; just ensure the filter runs
+}
+
+func TestTextSearch(t *testing.T) {
+	e := seededEngine()
+	hits := e.Text("fractal", 5)
+	if len(hits) == 0 {
+		t.Fatal("no fractal hits")
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].Score < hits[i].Score {
+			t.Error("hits not ranked")
+		}
+	}
+	// Filtered text search: only Peachy fractals.
+	peachyHits := e.Text("fractal", 0, ByCollection("peachy"))
+	if len(peachyHits) == 0 {
+		t.Fatal("no peachy fractal hits")
+	}
+	for _, h := range peachyHits {
+		if h.Material.Collection != "peachy" {
+			t.Errorf("filter leak: %s", h.Material.ID)
+		}
+	}
+	if got := e.Text("xyzzyqqq", 0); got != nil {
+		t.Errorf("nonsense query hits = %v", got)
+	}
+}
+
+func TestPDCCoverage(t *testing.T) {
+	e := seededEngine()
+	if e.PDCCoverage(e.Get("uno")) {
+		t.Error("uno should not count as PDC")
+	}
+	if !e.PDCCoverage(e.Get("storm-of-high-energy-particles")) {
+		t.Error("peachy storm should count as PDC")
+	}
+	if !e.PDCCoverage(e.Get("itcs3145-01-introduction-why-parallel-computing")) {
+		t.Error("ITCS intro should count as PDC")
+	}
+}
+
+// TestPDCReplacementQuery reproduces E10 (Sec. IV-D): for the named Nifty
+// assignments, the "similar but adds PDC" query returns the named Peachy
+// assignments.
+func TestPDCReplacementQuery(t *testing.T) {
+	e := seededEngine()
+	wantPeachy := map[string]bool{
+		"computing-a-movie-of-zooming-into-a-fractal":           true,
+		"fire-simulator-and-fractal-growth":                     true,
+		"using-a-monte-carlo-pattern-to-simulate-a-forest-fire": true,
+		"storm-of-high-energy-particles":                        true,
+	}
+	for _, nid := range []string{"hurricane-tracker", "2048-in-python", "uno", "image-editor"} {
+		m := e.Get(nid)
+		if m == nil {
+			t.Fatalf("missing %s", nid)
+		}
+		got := e.PDCReplacements(m, 2, 0)
+		found := map[string]bool{}
+		for _, ed := range got {
+			found[ed.B] = true
+		}
+		for want := range wantPeachy {
+			if !found[want] {
+				t.Errorf("%s: replacement %s not found (got %v)", nid, want, found)
+			}
+		}
+	}
+	// A systems-only query has no replacements among CS1 content.
+	boggle := e.Get("boggle")
+	reps := e.PDCReplacements(boggle, 2, 0)
+	if len(reps) != 0 {
+		t.Errorf("boggle replacements = %v, want none (not in the cluster)", reps)
+	}
+	// k limiting.
+	if got := e.PDCReplacements(e.Get("uno"), 2, 2); len(got) != 2 {
+		t.Errorf("k limit broken: %d", len(got))
+	}
+}
+
+func TestEntryUsage(t *testing.T) {
+	e := seededEngine()
+	cs13 := ontology.CS13()
+	usage := e.EntryUsage(cs13, "")
+	if len(usage) == 0 {
+		t.Fatal("no usage")
+	}
+	if usage[0].Count < usage[len(usage)-1].Count {
+		t.Error("usage not sorted")
+	}
+	// Within SDF only.
+	sdf := cs13.AreaByCode("SDF")
+	sdfUsage := e.EntryUsage(cs13, sdf)
+	for _, u := range sdfUsage {
+		if !cs13.Within(u.NodeID, sdf) {
+			t.Errorf("entry %s outside SDF", u.NodeID)
+		}
+	}
+	// Arrays and loops are among the heaviest-used SDF entries.
+	top := map[string]bool{}
+	for i := 0; i < 3 && i < len(sdfUsage); i++ {
+		top[sdfUsage[i].NodeID] = true
+	}
+	if !top[cs13.RootID()+"/sdf/fundamental-data-structures/arrays"] &&
+		!top[cs13.RootID()+"/sdf/fundamental-programming-concepts/conditional-and-iterative-control-structures"] {
+		t.Errorf("expected arrays/loops among top SDF entries: %+v", sdfUsage[:3])
+	}
+}
+
+func TestTextCorrected(t *testing.T) {
+	e := seededEngine()
+	// A typo'd query finds nothing raw, then recovers via correction.
+	raw := e.Text("fractel zom", 5)
+	if len(raw) != 0 {
+		t.Skipf("typo unexpectedly matched: %v", raw)
+	}
+	hits, didYouMean := e.TextCorrected("fractel zom", 5)
+	if didYouMean == "" || len(hits) == 0 {
+		t.Fatalf("correction failed: %q, %d hits", didYouMean, len(hits))
+	}
+	found := false
+	for _, h := range hits {
+		if h.Material.ID == "computing-a-movie-of-zooming-into-a-fractal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corrected hits missing fractal movie: %q", didYouMean)
+	}
+	// Clean queries report no correction.
+	hits, didYouMean = e.TextCorrected("parallel sorting", 5)
+	if didYouMean != "" || len(hits) == 0 {
+		t.Errorf("clean query corrected: %q", didYouMean)
+	}
+	// Hopeless queries stay empty without a spurious correction.
+	hits, didYouMean = e.TextCorrected("qqqqzzzz wwwwxxxx", 5)
+	if len(hits) != 0 {
+		t.Errorf("hopeless query matched: %v, %q", hits, didYouMean)
+	}
+}

@@ -1,0 +1,506 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"carcs/internal/coverage"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+	"carcs/internal/search"
+	"carcs/internal/workflow"
+)
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.ComputeStats())
+}
+
+// GET /api/materials?collection=&kind=&level=&language=&year_from=&year_to=
+func (s *Server) handleListMaterials(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filters []search.Filter
+	if c := q.Get("collection"); c != "" {
+		filters = append(filters, search.ByCollection(c))
+	}
+	if k := q.Get("kind"); k != "" {
+		filters = append(filters, search.ByKind(material.Kind(k)))
+	}
+	if l := q.Get("level"); l != "" {
+		filters = append(filters, search.ByLevel(material.Level(l)))
+	}
+	if lang := q.Get("language"); lang != "" {
+		filters = append(filters, search.ByLanguage(lang))
+	}
+	if from, to := atoiDefault(q.Get("year_from"), 0), atoiDefault(q.Get("year_to"), 0); from != 0 || to != 0 {
+		filters = append(filters, search.ByYearRange(from, to))
+	}
+	if entry := q.Get("entry"); entry != "" {
+		filters = append(filters, search.HasEntry(entry))
+	}
+	if subtree := q.Get("subtree"); subtree != "" {
+		o := s.sys.OntologyByName(q.Get("ontology"))
+		if o == nil {
+			writeError(w, http.StatusBadRequest, "subtree filter needs ontology=cs13|pdc12")
+			return
+		}
+		filters = append(filters, search.InSubtree(o, subtree))
+	}
+	mats := s.sys.Engine().Select(search.AllOf(filters...))
+	out := make([]materialJSON, 0, len(mats))
+	for _, m := range mats {
+		out = append(out, toJSON(m))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// POST /api/materials
+func (s *Server) handleCreateMaterial(w http.ResponseWriter, r *http.Request) {
+	var mj materialJSON
+	if err := decodeBody(r, &mj); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m := fromJSON(mj)
+	if err := s.sys.AddMaterial(m); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, toJSON(m))
+}
+
+// GET /api/materials/{id}
+func (s *Server) handleGetMaterial(w http.ResponseWriter, r *http.Request) {
+	m := s.sys.Material(r.PathValue("id"))
+	if m == nil {
+		writeError(w, http.StatusNotFound, "no such material")
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(m))
+}
+
+// DELETE /api/materials/{id}
+func (s *Server) handleDeleteMaterial(w http.ResponseWriter, r *http.Request) {
+	if err := s.sys.RemoveMaterial(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}
+
+// PUT /api/materials/{id}/classifications
+func (s *Server) handleReclassify(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Classifications []string `json:"classifications"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cls := make([]material.Classification, 0, len(body.Classifications))
+	for _, c := range body.Classifications {
+		cls = append(cls, material.Classification{NodeID: c})
+	}
+	if err := s.sys.Reclassify(r.PathValue("id"), cls); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(s.sys.Material(r.PathValue("id"))))
+}
+
+// GET /api/materials/{id}/replacements?k=
+func (s *Server) handleReplacements(w http.ResponseWriter, r *http.Request) {
+	edges, err := s.sys.PDCReplacements(r.PathValue("id"), atoiDefault(r.URL.Query().Get("k"), 10))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, edges)
+}
+
+// GET /api/ontologies
+func (s *Server) handleOntologies(w http.ResponseWriter, r *http.Request) {
+	type ont struct {
+		Name    string `json:"name"`
+		Display string `json:"display"`
+		Entries int    `json:"entries"`
+	}
+	writeJSON(w, http.StatusOK, []ont{
+		{Name: "cs13", Display: s.sys.CS13().Name(), Entries: s.sys.CS13().Len()},
+		{Name: "pdc12", Display: s.sys.PDC12().Name(), Entries: s.sys.PDC12().Len()},
+	})
+}
+
+// GET /api/ontologies/{name}/search?q=&k=  — the Fig. 1b entry-locating
+// search, with highlight markers.
+func (s *Server) handleOntologySearch(w http.ResponseWriter, r *http.Request) {
+	o := s.sys.OntologyByName(r.PathValue("name"))
+	if o == nil {
+		writeError(w, http.StatusNotFound, "unknown ontology")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q")
+		return
+	}
+	k := atoiDefault(r.URL.Query().Get("k"), 20)
+	type hit struct {
+		ID          string  `json:"id"`
+		Path        string  `json:"path"`
+		Highlighted string  `json:"highlighted"`
+		Score       float64 `json:"score"`
+	}
+	var out []hit
+	for _, m := range o.Search(o.RootID(), q) {
+		if !m.Node.Kind.Classifiable() {
+			continue
+		}
+		out = append(out, hit{
+			ID:          m.Node.ID,
+			Path:        o.Path(m.Node.ID),
+			Highlighted: highlightMark(m.Node.Label, m),
+			Score:       m.Score,
+		})
+		if len(out) >= k {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// GET /api/ontologies/{name}/node/{id...}
+func (s *Server) handleOntologyNode(w http.ResponseWriter, r *http.Request) {
+	o := s.sys.OntologyByName(r.PathValue("name"))
+	if o == nil {
+		writeError(w, http.StatusNotFound, "unknown ontology")
+		return
+	}
+	id := r.PathValue("id")
+	n := o.Node(id)
+	if n == nil {
+		writeError(w, http.StatusNotFound, "unknown node")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":       n.ID,
+		"label":    n.Label,
+		"kind":     n.Kind.String(),
+		"tier":     n.Tier.String(),
+		"bloom":    n.Bloom.String(),
+		"path":     o.Path(id),
+		"children": o.Children(id),
+	})
+}
+
+// GET /api/coverage?ontology=&collection=
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.sys.Coverage(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cov, tot := rep.CoveredEntries(rep.Ontology.RootID())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection":      rep.Collection,
+		"ontology":        rep.Ontology.Name(),
+		"materials":       rep.Materials,
+		"covered_entries": cov,
+		"total_entries":   tot,
+		"areas":           rep.AreaRanking(),
+		"untouched":       rep.UncoveredAreas(),
+		"hours":           rep.Hours(rep.Ontology.RootID()),
+	})
+}
+
+// GET /api/gaps?ontology=&collection=&core_only=
+func (s *Server) handleGaps(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.sys.Coverage(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("core_only") == "true" {
+		writeJSON(w, http.StatusOK, rep.CoreGaps(rep.Ontology.RootID()))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep.Gaps(rep.Ontology.RootID()))
+}
+
+// GET /api/similarity?left=&right=&threshold=
+func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	left, right := q.Get("left"), q.Get("right")
+	if left == "" || right == "" {
+		writeError(w, http.StatusBadRequest, "need left= and right= collections")
+		return
+	}
+	g := s.sys.SimilarityGraph(left, right, atoiDefault(q.Get("threshold"), 2))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":           len(g.Nodes),
+		"edges":           g.Edges,
+		"isolated":        g.Isolated(),
+		"isolation_ratio": g.IsolationRatio(),
+		"clusters":        g.Components(2),
+	})
+}
+
+// GET /api/search?q=&k=&collection=
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q")
+		return
+	}
+	var filters []search.Filter
+	if c := r.URL.Query().Get("collection"); c != "" {
+		filters = append(filters, search.ByCollection(c))
+	}
+	hits, didYouMean := s.sys.Engine().TextCorrected(q, atoiDefault(r.URL.Query().Get("k"), 10), filters...)
+	type hit struct {
+		Material materialJSON `json:"material"`
+		Score    float64      `json:"score"`
+	}
+	out := make([]hit, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, hit{Material: toJSON(h.Material), Score: h.Score})
+	}
+	if didYouMean != "" {
+		writeJSON(w, http.StatusOK, map[string]any{"did_you_mean": didYouMean, "hits": out})
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// GET /api/query?q=&k= — the structured query language
+// ("collection:nifty level:CS1 arrays", see search.ParseQuery).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q")
+		return
+	}
+	hits, err := s.sys.Engine().Query(q, atoiDefault(r.URL.Query().Get("k"), 20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	type hit struct {
+		Material materialJSON `json:"material"`
+		Score    float64      `json:"score"`
+	}
+	out := make([]hit, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, hit{Material: toJSON(h.Material), Score: h.Score})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// GET /api/suggest?ontology=&method=&q=&k=
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("q") == "" {
+		writeError(w, http.StatusBadRequest, "missing q")
+		return
+	}
+	sugg, err := s.sys.Suggest(q.Get("method"), q.Get("ontology"), q.Get("q"), atoiDefault(q.Get("k"), 10))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, sugg)
+}
+
+// GET /api/recommend?selected=a,b,c&k=
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	selected := splitCSV(r.URL.Query().Get("selected"))
+	if len(selected) == 0 {
+		writeError(w, http.StatusBadRequest, "missing selected=")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Recommend(selected, atoiDefault(r.URL.Query().Get("k"), 10)))
+}
+
+// POST /api/accounts {"name": ..., "role": "user|submitter|editor"}
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Name string `json:"name"`
+		Role string `json:"role"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if body.Name == "" {
+		writeError(w, http.StatusBadRequest, "missing name")
+		return
+	}
+	var role workflow.Role
+	switch body.Role {
+	case "", "user":
+		role = workflow.RoleUser
+	case "submitter":
+		role = workflow.RoleSubmitter
+	case "editor":
+		role = workflow.RoleEditor
+	default:
+		writeError(w, http.StatusBadRequest, "unknown role")
+		return
+	}
+	acct := s.sys.Workflow().Register(body.Name, role)
+	writeJSON(w, http.StatusCreated, map[string]string{"name": acct.Name, "role": acct.Role.String()})
+}
+
+// POST /api/submissions — body is a material; queued for editorial review.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var mj materialJSON
+	if err := decodeBody(r, &mj); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sub, err := s.sys.Workflow().Submit(r.Header.Get("X-User"), fromJSON(mj))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": sub.ID, "status": sub.Status})
+}
+
+// GET /api/submissions — the editor's pending queue.
+func (s *Server) handlePendingSubmissions(w http.ResponseWriter, r *http.Request) {
+	type subJSON struct {
+		ID        int64        `json:"id"`
+		Submitter string       `json:"submitter"`
+		Material  materialJSON `json:"material"`
+	}
+	pend := s.sys.Workflow().Pending()
+	out := make([]subJSON, 0, len(pend))
+	for _, sub := range pend {
+		out = append(out, subJSON{ID: sub.ID, Submitter: sub.Submitter, Material: toJSON(sub.Material)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// POST /api/submissions/{id}/review {"decision": "approved", "note": ""}
+// Approval also installs the material into the repository.
+func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad submission id")
+		return
+	}
+	var body struct {
+		Decision string `json:"decision"`
+		Note     string `json:"note"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wf := s.sys.Workflow()
+	var sub *workflow.Submission
+	for _, p := range wf.Pending() {
+		if p.ID == id {
+			sub = p
+			break
+		}
+	}
+	if err := wf.Review(r.Header.Get("X-User"), id, workflow.Status(body.Decision), body.Note); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if workflow.Status(body.Decision) == workflow.StatusApproved && sub != nil {
+		if err := s.sys.AddMaterial(sub.Material); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "approved but not installable: "+err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": body.Decision})
+}
+
+// highlightMark renders the matched label with <mark> tags, the form the
+// dynamic web page consumes (Fig. 1b: "entries can be searched for by
+// entering a word or phrase that becomes highlighted").
+func highlightMark(label string, m ontology.Match) string {
+	return ontology.Highlight(label, m.Spans, "<mark>", "</mark>")
+}
+
+// GET /api/depth?ontology=&collection= — the Bloom-level depth report
+// (the Sec. IV-A proposed extension).
+func (s *Server) handleDepth(w http.ResponseWriter, r *http.Request) {
+	o := s.sys.OntologyByName(r.URL.Query().Get("ontology"))
+	if o == nil {
+		writeError(w, http.StatusBadRequest, "unknown ontology")
+		return
+	}
+	rep := coverage.ComputeDepth(o, s.sys.Materials(r.URL.Query().Get("collection")))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"met":             rep.Met,
+		"shallow":         rep.Shallow,
+		"unrated":         rep.Unrated,
+		"rated_fraction":  rep.RatedFraction(),
+		"shallow_entries": rep.ShallowEntries(),
+	})
+}
+
+// GET /api/snapshot — download the relational state as JSON.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="carcs-snapshot.json"`)
+	if err := s.sys.Snapshot(w); err != nil {
+		s.log.Printf("snapshot: %v", err)
+	}
+}
+
+// POST /api/edits {"material": ..., "field": ..., "old": ..., "new": ...}
+func (s *Server) handleSuggestEdit(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Material string `json:"material"`
+		Field    string `json:"field"`
+		Old      string `json:"old"`
+		New      string `json:"new"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if body.Material == "" || body.Field == "" {
+		writeError(w, http.StatusBadRequest, "missing material or field")
+		return
+	}
+	if s.sys.Material(body.Material) == nil {
+		writeError(w, http.StatusNotFound, "no such material")
+		return
+	}
+	e, err := s.sys.Workflow().SuggestEdit(r.Header.Get("X-User"), body.Material, body.Field, body.Old, body.New)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, e)
+}
+
+// GET /api/edits — the editor's unverified-edit queue.
+func (s *Server) handleUnverifiedEdits(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Workflow().UnverifiedEdits())
+}
+
+// POST /api/edits/{id}/verify {"accept": true}
+func (s *Server) handleVerifyEdit(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad edit id")
+		return
+	}
+	var body struct {
+		Accept bool `json:"accept"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.sys.Workflow().VerifyEdit(r.Header.Get("X-User"), id, body.Accept); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "accepted": body.Accept})
+}

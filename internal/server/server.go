@@ -1,0 +1,213 @@
+// Package server exposes the CAR-CS system as a RESTful JSON web service,
+// standing in for the Django prototype hosted on Heroku (Sec. III-B): the
+// same resources (materials, classifications, coverage, similarity, search)
+// behind HTTP endpoints, plus the account/role layer the paper lists as
+// future work.
+//
+// Authentication is deliberately simple — an X-User header resolved against
+// the workflow accounts — because the reproduction's focus is the resource
+// model and role enforcement, not credential management.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"carcs/internal/core"
+	"carcs/internal/material"
+	"carcs/internal/workflow"
+)
+
+// Server routes HTTP requests onto a core.System.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// New builds a server around the system, logging to w (io.Discard for
+// silence).
+func New(sys *core.System, w io.Writer) *Server {
+	s := &Server{
+		sys: sys,
+		mux: http.NewServeMux(),
+		log: log.New(w, "carcs ", log.LstdFlags),
+	}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler with logging and panic recovery.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.log.Printf("panic: %v", rec)
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+		}
+	}()
+	s.log.Printf("%s %s", r.Method, r.URL.Path)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	// HTML pages (the prototype's webpages).
+	s.mux.HandleFunc("GET /{$}", s.handleHome)
+	s.mux.HandleFunc("GET /materials", s.handleMaterialsPage)
+	s.mux.HandleFunc("GET /materials/{id}", s.handleMaterialPage)
+	s.mux.HandleFunc("GET /coverage", s.handleCoveragePage)
+	s.mux.HandleFunc("GET /similarity", s.handleSimilarityPage)
+
+	// JSON API.
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+
+	s.mux.HandleFunc("GET /api/materials", s.handleListMaterials)
+	s.mux.HandleFunc("POST /api/materials", s.requireRole(workflow.RoleEditor, s.handleCreateMaterial))
+	s.mux.HandleFunc("GET /api/materials/{id}", s.handleGetMaterial)
+	s.mux.HandleFunc("DELETE /api/materials/{id}", s.requireRole(workflow.RoleEditor, s.handleDeleteMaterial))
+	s.mux.HandleFunc("PUT /api/materials/{id}/classifications", s.requireRole(workflow.RoleEditor, s.handleReclassify))
+	s.mux.HandleFunc("GET /api/materials/{id}/replacements", s.handleReplacements)
+
+	s.mux.HandleFunc("GET /api/ontologies", s.handleOntologies)
+	s.mux.HandleFunc("GET /api/ontologies/{name}/search", s.handleOntologySearch)
+	s.mux.HandleFunc("GET /api/ontologies/{name}/node/{id...}", s.handleOntologyNode)
+
+	s.mux.HandleFunc("GET /api/coverage", s.handleCoverage)
+	s.mux.HandleFunc("GET /api/gaps", s.handleGaps)
+	s.mux.HandleFunc("GET /api/similarity", s.handleSimilarity)
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("GET /api/recommend", s.handleRecommend)
+
+	s.mux.HandleFunc("GET /api/depth", s.handleDepth)
+	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
+
+	s.mux.HandleFunc("POST /api/accounts", s.handleRegister)
+	s.mux.HandleFunc("POST /api/edits", s.requireRole(workflow.RoleUser, s.handleSuggestEdit))
+	s.mux.HandleFunc("GET /api/edits", s.requireRole(workflow.RoleEditor, s.handleUnverifiedEdits))
+	s.mux.HandleFunc("POST /api/edits/{id}/verify", s.requireRole(workflow.RoleEditor, s.handleVerifyEdit))
+	s.mux.HandleFunc("POST /api/submissions", s.requireRole(workflow.RoleSubmitter, s.handleSubmit))
+	s.mux.HandleFunc("GET /api/submissions", s.requireRole(workflow.RoleEditor, s.handlePendingSubmissions))
+	s.mux.HandleFunc("POST /api/submissions/{id}/review", s.requireRole(workflow.RoleEditor, s.handleReview))
+}
+
+// ---------------------------------------------------------------------------
+// plumbing
+// ---------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+// requireRole resolves the X-User header against the workflow accounts and
+// rejects requests below the minimum role.
+func (s *Server) requireRole(min workflow.Role, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.Header.Get("X-User")
+		if name == "" {
+			writeError(w, http.StatusUnauthorized, "missing X-User header")
+			return
+		}
+		acct, ok := s.sys.Workflow().Account(name)
+		if !ok {
+			writeError(w, http.StatusUnauthorized, fmt.Sprintf("unknown account %q", name))
+			return
+		}
+		if acct.Role < min {
+			writeError(w, http.StatusForbidden,
+				fmt.Sprintf("%s is a %s; this endpoint needs %s", name, acct.Role, min))
+			return
+		}
+		h(w, r)
+	}
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// materialJSON is the wire form of a material.
+type materialJSON struct {
+	ID              string   `json:"id"`
+	Title           string   `json:"title"`
+	Authors         []string `json:"authors,omitempty"`
+	URL             string   `json:"url,omitempty"`
+	Description     string   `json:"description,omitempty"`
+	Kind            string   `json:"kind"`
+	Level           string   `json:"level"`
+	Language        string   `json:"language,omitempty"`
+	Datasets        []string `json:"datasets,omitempty"`
+	Year            int      `json:"year,omitempty"`
+	Collection      string   `json:"collection,omitempty"`
+	Tags            []string `json:"tags,omitempty"`
+	Classifications []string `json:"classifications"`
+}
+
+func toJSON(m *material.Material) materialJSON {
+	return materialJSON{
+		ID: m.ID, Title: m.Title, Authors: m.Authors, URL: m.URL,
+		Description: m.Description, Kind: string(m.Kind), Level: string(m.Level),
+		Language: m.Language, Datasets: m.Datasets, Year: m.Year,
+		Collection: m.Collection, Tags: m.Tags,
+		Classifications: m.ClassificationIDs(),
+	}
+}
+
+func fromJSON(mj materialJSON) *material.Material {
+	m := &material.Material{
+		ID: mj.ID, Title: mj.Title, Authors: mj.Authors, URL: mj.URL,
+		Description: mj.Description, Kind: material.Kind(mj.Kind),
+		Level: material.Level(mj.Level), Language: mj.Language,
+		Datasets: mj.Datasets, Year: mj.Year, Collection: mj.Collection,
+		Tags: mj.Tags,
+	}
+	for _, c := range mj.Classifications {
+		m.Classifications = append(m.Classifications, material.Classification{NodeID: c})
+	}
+	return m
+}
+
+func decodeBody[T any](r *http.Request, into *T) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

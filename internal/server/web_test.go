@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHomePage(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := do(t, s, "GET", "/", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("home = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"Compelling Assignment Repository", "98", "CS13"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("home missing %q", want)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestMaterialsPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := do(t, s, "GET", "/materials", "", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Hurricane Tracker") {
+		t.Fatalf("materials list = %d", rec.Code)
+	}
+	// Structured query through the form.
+	rec = do(t, s, "GET", "/materials?q=collection%3Apeachy+fractal", "", nil)
+	body := rec.Body.String()
+	if !strings.Contains(body, "Computing a Movie of Zooming Into a Fractal") {
+		t.Error("query result missing")
+	}
+	if strings.Contains(body, "Hurricane Tracker") {
+		t.Error("filter leak in page")
+	}
+	// Bad query shows the error inline, not a 500.
+	rec = do(t, s, "GET", "/materials?q=kind%3Apoem", "", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "unknown kind") {
+		t.Errorf("bad query handling = %d", rec.Code)
+	}
+}
+
+func TestMaterialDetailPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := do(t, s, "GET", "/materials/uno", "", nil)
+	body := rec.Body.String()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail = %d", rec.Code)
+	}
+	for _, want := range []string{"Uno", "Arrays", "Similar materials covering PDC"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("detail missing %q", want)
+		}
+	}
+	if rec := do(t, s, "GET", "/materials/ghost", "", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("missing detail = %d", rec.Code)
+	}
+}
+
+func TestCoverageAndSimilarityPages(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := do(t, s, "GET", "/coverage?ontology=pdc12&collection=itcs3145", "", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "<svg") {
+		t.Errorf("coverage page = %d", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/coverage?ontology=zzz", "", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad ontology page = %d", rec.Code)
+	}
+	rec = do(t, s, "GET", "/similarity", "", nil)
+	body := rec.Body.String()
+	if rec.Code != http.StatusOK || !strings.Contains(body, "<circle") {
+		t.Errorf("similarity page = %d", rec.Code)
+	}
+	if strings.Count(body, "#dd4444") != 11 {
+		t.Errorf("peachy circles = %d", strings.Count(body, "#dd4444"))
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := do(t, s, "GET", "/api/query?q=collection%3Aitcs3145+kind%3Aassignment", "", nil)
+	hits := decode[[]map[string]any](t, rec)
+	if len(hits) != 9 {
+		t.Errorf("itcs assignments = %d, want 9", len(hits))
+	}
+	if rec := do(t, s, "GET", "/api/query?q=kind%3Apoem", "", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad query = %d", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/api/query", "", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q = %d", rec.Code)
+	}
+}

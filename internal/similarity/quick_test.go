@@ -1,0 +1,139 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"carcs/internal/material"
+)
+
+func randomSet(r *rand.Rand, id string) *material.Material {
+	m := &material.Material{ID: id, Title: id, Kind: material.Assignment, Level: material.CS1}
+	for j, k := 0, r.Intn(8); j < k; j++ {
+		m.Classifications = append(m.Classifications,
+			material.Classification{NodeID: fmt.Sprintf("e%d", r.Intn(12))})
+	}
+	return m
+}
+
+// TestQuickMetricProperties: all metrics are symmetric and bounded, and
+// SharedCount equals the length of SharedClassifications.
+func TestQuickMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		a := randomSet(r, "a")
+		b := randomSet(r, "b")
+		for name, m := range map[string]Metric{"shared": SharedCount, "jaccard": Jaccard, "cosine": Cosine} {
+			x, y := m(a, b), m(b, a)
+			if math.Abs(x-y) > 1e-12 {
+				t.Fatalf("%s asymmetric: %v vs %v", name, x, y)
+			}
+			if x < 0 {
+				t.Fatalf("%s negative: %v", name, x)
+			}
+		}
+		if got := SharedCount(a, b); got != float64(len(a.SharedClassifications(b))) {
+			t.Fatalf("shared count mismatch")
+		}
+		if j := Jaccard(a, b); j > 1 {
+			t.Fatalf("jaccard > 1: %v", j)
+		}
+		if c := Cosine(a, b); c > 1+1e-12 {
+			t.Fatalf("cosine > 1: %v", c)
+		}
+	}
+}
+
+// TestQuickGraphEdgesMatchThreshold: for random corpora, the bipartite graph
+// contains an edge exactly when the metric clears the threshold, and the
+// isolation bookkeeping is consistent.
+func TestQuickGraphEdgesMatchThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		var left, right []*material.Material
+		for i := 0; i < 2+r.Intn(10); i++ {
+			left = append(left, randomSet(r, fmt.Sprintf("l%d", i)))
+		}
+		for i := 0; i < 2+r.Intn(10); i++ {
+			right = append(right, randomSet(r, fmt.Sprintf("r%d", i)))
+		}
+		threshold := float64(1 + r.Intn(3))
+		g := BuildBipartite(left, right, SharedCount, threshold)
+
+		want := map[[2]string]bool{}
+		for _, a := range left {
+			for _, b := range right {
+				if SharedCount(a, b) >= threshold {
+					want[[2]string{a.ID, b.ID}] = true
+				}
+			}
+		}
+		if len(g.Edges) != len(want) {
+			t.Fatalf("trial %d: %d edges, want %d", trial, len(g.Edges), len(want))
+		}
+		for _, e := range g.Edges {
+			if !want[[2]string{e.A, e.B}] {
+				t.Fatalf("trial %d: spurious edge %v", trial, e)
+			}
+			if e.Score < threshold {
+				t.Fatalf("trial %d: edge below threshold", trial)
+			}
+		}
+		// Isolation consistency.
+		iso := g.Isolated()
+		if len(iso)+countConnected(g) != len(g.Nodes) {
+			t.Fatalf("trial %d: isolation bookkeeping off", trial)
+		}
+		// Components partition the connected nodes.
+		seen := map[string]bool{}
+		for _, comp := range g.Components(2) {
+			for _, id := range comp {
+				if seen[id] {
+					t.Fatalf("trial %d: node %q in two components", trial, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+func countConnected(g *Graph) int {
+	n := 0
+	for id := range g.Nodes {
+		if g.Degree(id) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQuickMostSimilarOrdering: results are sorted, self-free, and capped.
+func TestQuickMostSimilarOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		target := randomSet(r, "target")
+		var cands []*material.Material
+		for i := 0; i < 1+r.Intn(20); i++ {
+			cands = append(cands, randomSet(r, fmt.Sprintf("c%d", i)))
+		}
+		cands = append(cands, target)
+		k := 1 + r.Intn(5)
+		out := MostSimilar(target, cands, SharedCount, k)
+		if len(out) > k {
+			t.Fatalf("trial %d: %d > k=%d", trial, len(out), k)
+		}
+		for i, e := range out {
+			if e.B == "target" {
+				t.Fatalf("trial %d: self in results", trial)
+			}
+			if e.Score <= 0 {
+				t.Fatalf("trial %d: zero score kept", trial)
+			}
+			if i > 0 && out[i-1].Score < e.Score {
+				t.Fatalf("trial %d: not sorted", trial)
+			}
+		}
+	}
+}

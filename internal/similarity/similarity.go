@@ -1,0 +1,257 @@
+// Package similarity computes similarity between classified materials and
+// builds the similarity graphs of Figure 3: Nifty assignments on one side,
+// Peachy Parallel assignments on the other, with an edge whenever two
+// materials "share two classification items".
+//
+// Besides the paper's shared-count metric, the package implements Jaccard,
+// cosine, and rarity-weighted overlap metrics so the design choice can be
+// ablated (DESIGN.md Sec. 5).
+package similarity
+
+import (
+	"math"
+	"sort"
+
+	"carcs/internal/material"
+)
+
+// Metric scores the similarity of two materials from their classification
+// sets; higher is more similar.
+type Metric func(a, b *material.Material) float64
+
+// SharedCount is the paper's metric: the number of classification items
+// present in both materials.
+func SharedCount(a, b *material.Material) float64 {
+	return float64(len(a.SharedClassifications(b)))
+}
+
+// Jaccard is |A ∩ B| / |A ∪ B| over classification sets.
+func Jaccard(a, b *material.Material) float64 {
+	inter := len(a.SharedClassifications(b))
+	union := len(a.ClassificationIDs()) + len(b.ClassificationIDs()) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Cosine treats classification sets as binary vectors.
+func Cosine(a, b *material.Material) float64 {
+	na, nb := len(a.ClassificationIDs()), len(b.ClassificationIDs())
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	inter := len(a.SharedClassifications(b))
+	return float64(inter) / math.Sqrt(float64(na)*float64(nb))
+}
+
+// RarityWeighted builds a metric that weights each shared entry by how rare
+// it is across the reference materials (IDF-style): sharing "Arrays" with
+// half the corpus says less than sharing "Parallel scan". The weight of an
+// entry appearing in df materials out of n is log((n+1)/(df+1)) + 1.
+func RarityWeighted(reference []*material.Material) Metric {
+	df := make(map[string]int)
+	for _, m := range reference {
+		for _, id := range m.ClassificationIDs() {
+			df[id]++
+		}
+	}
+	n := float64(len(reference))
+	return func(a, b *material.Material) float64 {
+		var s float64
+		for _, id := range a.SharedClassifications(b) {
+			s += math.Log((n+1)/float64(df[id]+1)) + 1
+		}
+		return s
+	}
+}
+
+// Edge is one similarity-graph edge.
+type Edge struct {
+	// A and B are material IDs; for bipartite graphs A is from the left
+	// set and B from the right set.
+	A, B string
+	// Score is the metric value.
+	Score float64
+	// Shared lists the classification items behind the edge.
+	Shared []string
+}
+
+// Graph is a similarity graph over materials.
+type Graph struct {
+	// Nodes maps material ID to the material; Side maps it to "left" or
+	// "right" for bipartite graphs ("" for unipartite).
+	Nodes map[string]*material.Material
+	Side  map[string]string
+	// Edges is sorted by (A, B).
+	Edges []Edge
+	adj   map[string][]string
+}
+
+// BuildBipartite builds the Figure 3 graph: nodes from both sets, an edge
+// between a left and a right material whenever metric(a, b) >= threshold.
+// With SharedCount and threshold 2 this is exactly the paper's construction.
+func BuildBipartite(left, right []*material.Material, metric Metric, threshold float64) *Graph {
+	g := &Graph{
+		Nodes: make(map[string]*material.Material),
+		Side:  make(map[string]string),
+		adj:   make(map[string][]string),
+	}
+	for _, m := range left {
+		g.Nodes[m.ID] = m
+		g.Side[m.ID] = "left"
+	}
+	for _, m := range right {
+		g.Nodes[m.ID] = m
+		g.Side[m.ID] = "right"
+	}
+	for _, a := range left {
+		for _, b := range right {
+			if s := metric(a, b); s >= threshold {
+				g.addEdge(a, b, s)
+			}
+		}
+	}
+	g.sortEdges()
+	return g
+}
+
+// Build builds a unipartite similarity graph over one material set,
+// comparing every unordered pair once.
+func Build(mats []*material.Material, metric Metric, threshold float64) *Graph {
+	g := &Graph{
+		Nodes: make(map[string]*material.Material),
+		Side:  make(map[string]string),
+		adj:   make(map[string][]string),
+	}
+	for _, m := range mats {
+		g.Nodes[m.ID] = m
+	}
+	for i, a := range mats {
+		for _, b := range mats[i+1:] {
+			if s := metric(a, b); s >= threshold {
+				g.addEdge(a, b, s)
+			}
+		}
+	}
+	g.sortEdges()
+	return g
+}
+
+func (g *Graph) addEdge(a, b *material.Material, score float64) {
+	g.Edges = append(g.Edges, Edge{
+		A: a.ID, B: b.ID, Score: score,
+		Shared: a.SharedClassifications(b),
+	})
+	g.adj[a.ID] = append(g.adj[a.ID], b.ID)
+	g.adj[b.ID] = append(g.adj[b.ID], a.ID)
+}
+
+func (g *Graph) sortEdges() {
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].A != g.Edges[j].A {
+			return g.Edges[i].A < g.Edges[j].A
+		}
+		return g.Edges[i].B < g.Edges[j].B
+	})
+	for _, ns := range g.adj {
+		sort.Strings(ns)
+	}
+}
+
+// Neighbors returns the sorted IDs adjacent to the material.
+func (g *Graph) Neighbors(id string) []string {
+	out := make([]string, len(g.adj[id]))
+	copy(out, g.adj[id])
+	return out
+}
+
+// Degree returns the number of edges at the material.
+func (g *Graph) Degree(id string) int { return len(g.adj[id]) }
+
+// Isolated returns the sorted IDs of nodes without any edge — in Figure 3,
+// "most assignments have no similar assignment in the other set".
+func (g *Graph) Isolated() []string {
+	var out []string
+	for id := range g.Nodes {
+		if len(g.adj[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsolationRatio is the fraction of nodes without edges.
+func (g *Graph) IsolationRatio() float64 {
+	if len(g.Nodes) == 0 {
+		return 0
+	}
+	return float64(len(g.Isolated())) / float64(len(g.Nodes))
+}
+
+// Components returns the connected components with at least minSize nodes,
+// each sorted internally, ordered by decreasing size then lexicographically.
+func (g *Graph) Components(minSize int) [][]string {
+	seen := make(map[string]bool)
+	var comps [][]string
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, start := range ids {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, cur)
+			for _, nb := range g.adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		if len(comp) >= minSize {
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// MostSimilar returns, for the given material, the k most similar materials
+// from candidates under the metric, best first, excluding zero scores.
+func MostSimilar(m *material.Material, candidates []*material.Material, metric Metric, k int) []Edge {
+	var out []Edge
+	for _, c := range candidates {
+		if c.ID == m.ID {
+			continue
+		}
+		if s := metric(m, c); s > 0 {
+			out = append(out, Edge{A: m.ID, B: c.ID, Score: s, Shared: m.SharedClassifications(c)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].B < out[j].B
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package similarity
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"carcs/internal/corpus"
+	"carcs/internal/material"
+)
+
+func m(id string, cls ...string) *material.Material {
+	mm := &material.Material{ID: id, Title: id, Kind: material.Assignment, Level: material.CS1}
+	for _, c := range cls {
+		mm.Classifications = append(mm.Classifications, material.Classification{NodeID: c})
+	}
+	return mm
+}
+
+func TestMetrics(t *testing.T) {
+	a := m("a", "x", "y", "z")
+	b := m("b", "y", "z", "w")
+	if got := SharedCount(a, b); got != 2 {
+		t.Errorf("SharedCount = %v", got)
+	}
+	if got := Jaccard(a, b); got != 0.5 {
+		t.Errorf("Jaccard = %v", got)
+	}
+	if got := Cosine(a, b); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Cosine = %v", got)
+	}
+	empty := m("e")
+	if Cosine(a, empty) != 0 || Jaccard(empty, empty) != 0 {
+		t.Error("empty metrics should be 0")
+	}
+	for _, f := range []Metric{SharedCount, Jaccard, Cosine} {
+		if f(a, b) != f(b, a) {
+			t.Error("metric not symmetric")
+		}
+	}
+}
+
+func TestRarityWeighted(t *testing.T) {
+	ref := []*material.Material{
+		m("r1", "common", "rare1"),
+		m("r2", "common"),
+		m("r3", "common"),
+		m("r4", "common"),
+	}
+	metric := RarityWeighted(ref)
+	viaCommon := metric(m("a", "common"), m("b", "common"))
+	viaRare := metric(m("a", "rare1"), m("b", "rare1"))
+	if viaRare <= viaCommon {
+		t.Errorf("rare share (%v) should outweigh common share (%v)", viaRare, viaCommon)
+	}
+	if metric(m("a", "q"), m("b", "z")) != 0 {
+		t.Error("no shared items should score 0")
+	}
+}
+
+func TestBuildBipartite(t *testing.T) {
+	left := []*material.Material{m("l1", "x", "y"), m("l2", "x"), m("l3", "q")}
+	right := []*material.Material{m("r1", "x", "y", "z"), m("r2", "z")}
+	g := BuildBipartite(left, right, SharedCount, 2)
+	if len(g.Edges) != 1 || g.Edges[0].A != "l1" || g.Edges[0].B != "r1" {
+		t.Fatalf("edges = %+v", g.Edges)
+	}
+	if !reflect.DeepEqual(g.Edges[0].Shared, []string{"x", "y"}) {
+		t.Errorf("shared = %v", g.Edges[0].Shared)
+	}
+	if g.Side["l1"] != "left" || g.Side["r2"] != "right" {
+		t.Error("sides wrong")
+	}
+	if got := g.Isolated(); !reflect.DeepEqual(got, []string{"l2", "l3", "r2"}) {
+		t.Errorf("Isolated = %v", got)
+	}
+	if got := g.IsolationRatio(); got != 3.0/5 {
+		t.Errorf("IsolationRatio = %v", got)
+	}
+	if got := g.Neighbors("l1"); !reflect.DeepEqual(got, []string{"r1"}) {
+		t.Errorf("Neighbors = %v", got)
+	}
+	if g.Degree("l2") != 0 || g.Degree("r1") != 1 {
+		t.Error("Degree wrong")
+	}
+	comps := g.Components(2)
+	if len(comps) != 1 || !reflect.DeepEqual(comps[0], []string{"l1", "r1"}) {
+		t.Errorf("Components = %v", comps)
+	}
+}
+
+func TestBuildUnipartite(t *testing.T) {
+	mats := []*material.Material{
+		m("a", "x", "y"),
+		m("b", "x", "y", "z"),
+		m("c", "z", "w"),
+		m("d", "unrelated"),
+	}
+	g := Build(mats, SharedCount, 1)
+	// a-b share 2 >= 1; b-c share 1 >= 1; others below threshold.
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %+v", g.Edges)
+	}
+	comps := g.Components(1)
+	if len(comps) != 2 || len(comps[0]) != 3 {
+		t.Errorf("components = %v", comps)
+	}
+	if got := g.IsolationRatio(); got != 0.25 {
+		t.Errorf("IsolationRatio = %v", got)
+	}
+}
+
+func TestMostSimilar(t *testing.T) {
+	target := m("t", "x", "y", "z")
+	cands := []*material.Material{
+		m("one", "x"),
+		m("two", "x", "y"),
+		m("three", "x", "y", "z"),
+		m("none", "q"),
+		target, // self must be excluded
+	}
+	got := MostSimilar(target, cands, SharedCount, 2)
+	if len(got) != 2 || got[0].B != "three" || got[1].B != "two" {
+		t.Fatalf("MostSimilar = %+v", got)
+	}
+	if got := MostSimilar(target, cands, SharedCount, 0); len(got) != 3 {
+		t.Errorf("unlimited MostSimilar = %+v", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 (experiment E5).
+// ---------------------------------------------------------------------------
+
+// TestFigure3Clusters reproduces Figure 3: build the bipartite Nifty–Peachy
+// graph with the paper's rule (edge ⇔ at least two shared classification
+// items) and check (1) most assignments are isolated, (2) one cluster forms
+// around Arrays + Conditional-and-iterative-control-structures containing
+// exactly the named assignments, and (3) the systems-oriented Peachy
+// assignments (middleware, data races) match nothing.
+func TestFigure3Clusters(t *testing.T) {
+	nifty, peachy := corpus.Nifty().All(), corpus.Peachy().All()
+	g := BuildBipartite(nifty, peachy, SharedCount, 2)
+
+	if r := g.IsolationRatio(); r < 0.7 {
+		t.Errorf("isolation ratio = %v, want most assignments isolated", r)
+	}
+
+	comps := g.Components(2)
+	if len(comps) != 1 {
+		t.Fatalf("connected components (>=2 nodes) = %d, want exactly 1 cluster: %v", len(comps), comps)
+	}
+	want := []string{
+		"2048-in-python", "campus-shuttle",
+		"computing-a-movie-of-zooming-into-a-fractal",
+		"fire-simulator-and-fractal-growth",
+		"hurricane-tracker", "image-editor", "nbody-simulation",
+		"storm-of-high-energy-particles", "uno",
+		"using-a-monte-carlo-pattern-to-simulate-a-forest-fire",
+	}
+	if !reflect.DeepEqual(comps[0], want) {
+		t.Errorf("cluster = %v\nwant %v", comps[0], want)
+	}
+
+	// Every edge in the cluster is backed by the two classifications the
+	// paper names.
+	arrays := "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"
+	loops := "acm-ieee-cs-curricula-2013/sdf/fundamental-programming-concepts/conditional-and-iterative-control-structures"
+	for _, e := range g.Edges {
+		has := map[string]bool{}
+		for _, s := range e.Shared {
+			has[s] = true
+		}
+		if !has[arrays] || !has[loops] {
+			t.Errorf("edge %s–%s lacks the Arrays+loops basis: %v", e.A, e.B, e.Shared)
+		}
+	}
+
+	// Systems-oriented Peachy assignments are isolated.
+	for _, id := range []string{"finding-the-data-race", "publish-subscribe-middleware-chat", "mpi-ring-around-the-world", "gpu-image-filters"} {
+		if g.Degree(id) != 0 {
+			t.Errorf("systems-oriented %s has %d matches, want 0", id, g.Degree(id))
+		}
+	}
+	// Each named Peachy cluster member matches all six named Nifty ones.
+	for _, pid := range []string{
+		"computing-a-movie-of-zooming-into-a-fractal",
+		"fire-simulator-and-fractal-growth",
+		"using-a-monte-carlo-pattern-to-simulate-a-forest-fire",
+		"storm-of-high-energy-particles",
+	} {
+		if g.Degree(pid) != 6 {
+			t.Errorf("%s degree = %d, want 6", pid, g.Degree(pid))
+		}
+	}
+}
+
+// TestFigure3AblationMetrics checks that the ablation metrics agree with the
+// shared-count construction on who the cluster members are, while producing
+// different scores (DESIGN.md Sec. 5).
+func TestFigure3AblationMetrics(t *testing.T) {
+	nifty, peachy := corpus.Nifty().All(), corpus.Peachy().All()
+	all := append(append([]*material.Material{}, nifty...), peachy...)
+	shared := BuildBipartite(nifty, peachy, SharedCount, 2)
+	jac := BuildBipartite(nifty, peachy, Jaccard, 0.2)
+	rare := BuildBipartite(nifty, peachy, RarityWeighted(all), 2.5)
+	if len(jac.Edges) == 0 || len(rare.Edges) == 0 {
+		t.Fatal("ablation graphs empty")
+	}
+	sharedPairs := map[[2]string]bool{}
+	for _, e := range shared.Edges {
+		sharedPairs[[2]string{e.A, e.B}] = true
+	}
+	for _, e := range jac.Edges {
+		if !sharedPairs[[2]string{e.A, e.B}] {
+			t.Errorf("jaccard found pair outside shared-count graph: %s-%s", e.A, e.B)
+		}
+	}
+}

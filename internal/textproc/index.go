@@ -1,0 +1,143 @@
+package textproc
+
+import (
+	"math"
+	"sort"
+)
+
+// Index is an inverted index from analyzed terms to document ids, with
+// per-document term frequencies. It backs the free-text search endpoint of
+// the reproduction's web service.
+type Index struct {
+	postings map[string]map[string]int // term -> doc id -> tf
+	lengths  map[string]int            // doc id -> token count
+	n        int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string]map[string]int),
+		lengths:  make(map[string]int),
+	}
+}
+
+// Add indexes text under the document id, replacing any previous content for
+// the same id.
+func (ix *Index) Add(id, text string) {
+	if _, ok := ix.lengths[id]; ok {
+		ix.Remove(id)
+	}
+	terms := Terms(text)
+	ix.lengths[id] = len(terms)
+	ix.n++
+	for t, tf := range CountTerms(terms) {
+		m := ix.postings[t]
+		if m == nil {
+			m = make(map[string]int)
+			ix.postings[t] = m
+		}
+		m[id] = tf
+	}
+}
+
+// Remove deletes a document from the index; unknown ids are a no-op.
+func (ix *Index) Remove(id string) {
+	if _, ok := ix.lengths[id]; !ok {
+		return
+	}
+	delete(ix.lengths, id)
+	ix.n--
+	for t, m := range ix.postings {
+		if _, ok := m[id]; ok {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(ix.postings, t)
+			}
+		}
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return ix.n }
+
+// Search scores documents against the query with a TF-IDF sum (lnc-style),
+// returning the top k best-first; k <= 0 returns all matches. Documents must
+// contain at least one query term to appear.
+func (ix *Index) Search(query string, k int) []Scored {
+	qterms := Terms(query)
+	if len(qterms) == 0 {
+		return nil
+	}
+	scores := make(map[string]float64)
+	for qt, qtf := range CountTerms(qterms) {
+		m := ix.postings[qt]
+		if len(m) == 0 {
+			continue
+		}
+		idf := idfOf(ix.n, len(m))
+		for id, tf := range m {
+			norm := float64(ix.lengths[id])
+			if norm == 0 {
+				norm = 1
+			}
+			scores[id] += float64(qtf) * idf * (1 + logf(tf)) / norm
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	out := make([]Scored, 0, len(scores))
+	for id, s := range scores {
+		out = append(out, Scored{ID: id, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SearchAll returns the ids of documents containing every query term.
+func (ix *Index) SearchAll(query string) []string {
+	qterms := Terms(query)
+	if len(qterms) == 0 {
+		return nil
+	}
+	var candidate map[string]bool
+	for _, qt := range qterms {
+		m := ix.postings[qt]
+		if len(m) == 0 {
+			return nil
+		}
+		next := make(map[string]bool, len(m))
+		for id := range m {
+			if candidate == nil || candidate[id] {
+				next[id] = true
+			}
+		}
+		candidate = next
+		if len(candidate) == 0 {
+			return nil
+		}
+	}
+	out := make([]string, 0, len(candidate))
+	for id := range candidate {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func idfOf(n, df int) float64 {
+	return math.Log((float64(n)+1)/(float64(df)+1)) + 1
+}
+
+func logf(tf int) float64 {
+	return math.Log(float64(tf))
+}

@@ -1,0 +1,156 @@
+package textproc
+
+import "sort"
+
+// PositionalIndex is an inverted index that also records token positions,
+// enabling exact phrase queries ("monte carlo", "data race") on top of the
+// bag-of-words ranking the plain Index provides.
+type PositionalIndex struct {
+	postings map[string]map[string][]int // term -> doc -> sorted positions
+	docs     map[string]int              // doc -> analyzed length
+}
+
+// NewPositionalIndex returns an empty positional index.
+func NewPositionalIndex() *PositionalIndex {
+	return &PositionalIndex{
+		postings: make(map[string]map[string][]int),
+		docs:     make(map[string]int),
+	}
+}
+
+// Add indexes text under id, replacing any previous content.
+func (ix *PositionalIndex) Add(id, text string) {
+	if _, ok := ix.docs[id]; ok {
+		ix.Remove(id)
+	}
+	terms := Terms(text)
+	ix.docs[id] = len(terms)
+	for pos, t := range terms {
+		m := ix.postings[t]
+		if m == nil {
+			m = make(map[string][]int)
+			ix.postings[t] = m
+		}
+		m[id] = append(m[id], pos)
+	}
+}
+
+// Remove drops a document.
+func (ix *PositionalIndex) Remove(id string) {
+	if _, ok := ix.docs[id]; !ok {
+		return
+	}
+	delete(ix.docs, id)
+	for t, m := range ix.postings {
+		if _, ok := m[id]; ok {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(ix.postings, t)
+			}
+		}
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *PositionalIndex) Len() int { return len(ix.docs) }
+
+// Phrase returns the sorted ids of documents containing the exact analyzed
+// phrase (stop words removed, terms stemmed — so "monte carlo methods"
+// matches "Monte Carlo method"). Empty or all-stopword phrases return nil.
+func (ix *PositionalIndex) Phrase(phrase string) []string {
+	terms := Terms(phrase)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Candidate docs must contain every term.
+	first := ix.postings[terms[0]]
+	if len(first) == 0 {
+		return nil
+	}
+	var out []string
+docs:
+	for id, basePositions := range first {
+		// For each start position of the first term, check the rest
+		// follow consecutively.
+		for _, p := range basePositions {
+			ok := true
+			for off := 1; off < len(terms); off++ {
+				if !contains(ix.postings[terms[off]][id], p+off) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, id)
+				continue docs
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Near returns the sorted ids of documents where all the phrase's terms
+// occur within a window of the given size (in analyzed-token positions),
+// in any order. window < len(terms) always yields nil.
+func (ix *PositionalIndex) Near(phrase string, window int) []string {
+	terms := Terms(phrase)
+	if len(terms) == 0 || window < len(terms) {
+		return nil
+	}
+	// Candidates: docs containing all terms.
+	candidate := map[string]bool{}
+	for i, t := range terms {
+		m := ix.postings[t]
+		if len(m) == 0 {
+			return nil
+		}
+		next := map[string]bool{}
+		for id := range m {
+			if i == 0 || candidate[id] {
+				next[id] = true
+			}
+		}
+		candidate = next
+	}
+	var out []string
+	for id := range candidate {
+		// Merge all positions tagged by term, then slide the window.
+		type tagged struct{ pos, term int }
+		var all []tagged
+		for ti, t := range terms {
+			for _, p := range ix.postings[t][id] {
+				all = append(all, tagged{p, ti})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].pos < all[j].pos })
+		count := make([]int, len(terms))
+		have := 0
+		lo := 0
+		for hi := 0; hi < len(all); hi++ {
+			if count[all[hi].term] == 0 {
+				have++
+			}
+			count[all[hi].term]++
+			for all[hi].pos-all[lo].pos >= window {
+				count[all[lo].term]--
+				if count[all[lo].term] == 0 {
+					have--
+				}
+				lo++
+			}
+			if have == len(terms) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// contains reports whether the sorted ints include x.
+func contains(sortedInts []int, x int) bool {
+	i := sort.SearchInts(sortedInts, x)
+	return i < len(sortedInts) && sortedInts[i] == x
+}

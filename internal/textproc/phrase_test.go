@@ -1,0 +1,92 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func phraseIndex() *PositionalIndex {
+	ix := NewPositionalIndex()
+	ix.Add("fire", "Using a Monte Carlo pattern to simulate a forest fire across a grid")
+	ix.Add("pi", "Estimate pi with Monte Carlo sampling of random points")
+	ix.Add("carlo", "Carlo visits the monte every summer") // "carlo ... monte" out of order
+	ix.Add("race", "find the data race in the threaded counter")
+	return ix
+}
+
+func TestPhraseSearch(t *testing.T) {
+	ix := phraseIndex()
+	got := ix.Phrase("monte carlo")
+	if !reflect.DeepEqual(got, []string{"fire", "pi"}) {
+		t.Errorf("Phrase(monte carlo) = %v", got)
+	}
+	// Stemming applies: "simulating forests" ~ "simulate a forest".
+	got = ix.Phrase("simulating forests")
+	if !reflect.DeepEqual(got, []string{"fire"}) {
+		t.Errorf("Phrase(simulating forests) = %v", got)
+	}
+	// Out-of-order tokens do not match a phrase.
+	if got := ix.Phrase("carlo monte"); got != nil {
+		t.Errorf("reversed phrase matched: %v", got)
+	}
+	if got := ix.Phrase("data race"); !reflect.DeepEqual(got, []string{"race"}) {
+		t.Errorf("Phrase(data race) = %v", got)
+	}
+	if ix.Phrase("") != nil || ix.Phrase("the a of") != nil {
+		t.Error("degenerate phrases should be nil")
+	}
+	if ix.Phrase("zebra unicorn") != nil {
+		t.Error("absent phrase matched")
+	}
+}
+
+func TestNearSearch(t *testing.T) {
+	ix := phraseIndex()
+	// "monte" and "carlo" within any window of 2+.
+	got := ix.Near("monte carlo", 2)
+	if !reflect.DeepEqual(got, []string{"fire", "pi"}) {
+		t.Errorf("Near window 2 = %v", got)
+	}
+	// The reversed doc matches once the window is wide enough.
+	got = ix.Near("monte carlo", 4)
+	if !reflect.DeepEqual(got, []string{"carlo", "fire", "pi"}) {
+		t.Errorf("Near window 4 = %v", got)
+	}
+	if got := ix.Near("monte carlo", 1); got != nil {
+		t.Errorf("window smaller than phrase matched: %v", got)
+	}
+	if got := ix.Near("monte zebra", 10); got != nil {
+		t.Errorf("absent term matched: %v", got)
+	}
+}
+
+func TestPositionalAddRemove(t *testing.T) {
+	ix := NewPositionalIndex()
+	ix.Add("a", "parallel prefix scan")
+	if ix.Len() != 1 {
+		t.Fatal("Len")
+	}
+	ix.Add("a", "sequential quicksort") // replace
+	if got := ix.Phrase("parallel prefix"); got != nil {
+		t.Errorf("stale phrase: %v", got)
+	}
+	if got := ix.Phrase("sequential quicksort"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("replaced doc missing: %v", got)
+	}
+	ix.Remove("a")
+	ix.Remove("ghost")
+	if ix.Len() != 0 || ix.Phrase("sequential quicksort") != nil {
+		t.Error("remove failed")
+	}
+}
+
+func TestPhraseRepeatedTerm(t *testing.T) {
+	ix := NewPositionalIndex()
+	ix.Add("x", "scan scan scan the horizon")
+	if got := ix.Phrase("scan scan"); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("repeated-term phrase = %v", got)
+	}
+	if got := ix.Phrase("scan scan scan scan"); got != nil {
+		t.Errorf("over-long repeated phrase = %v", got)
+	}
+}

@@ -1,0 +1,247 @@
+package textproc
+
+// Stem reduces an English word to its stem using the classic Porter (1980)
+// algorithm. Input should be a lower-case token; words shorter than three
+// letters are returned unchanged, per the original paper.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] acts as a consonant at position i: vowels are
+// a, e, i, o, u; 'y' is a consonant when it follows a vowel position rule
+// (y preceded by a consonant is a vowel).
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in the word: a word has
+// form [C](VC){m}[V].
+func measure(w []byte) int {
+	m := 0
+	i := 0
+	n := len(w)
+	// skip initial consonants
+	for i < n && isCons(w, i) {
+		i++
+	}
+	for i < n {
+		// in a vowel run
+		for i < n && !isCons(w, i) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		m++
+		for i < n && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+// containsVowel reports whether the stem contains a vowel.
+func containsVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether the word ends with a doubled consonant.
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports whether the word ends consonant-vowel-consonant where the
+// final consonant is not w, x, or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceIf replaces suffix old with new when the stem before old has
+// measure > minM. It reports whether old matched (regardless of the measure
+// condition), so callers can stop at the first matching rule.
+func replaceIf(w []byte, old, new string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, old) {
+		return w, false
+	}
+	stem := w[:len(w)-len(old)]
+	if measure(stem) > minM {
+		return append(stem[:len(stem):len(stem)], new...), true
+	}
+	return w, true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		stem := w[:len(w)-3]
+		if measure(stem) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && containsVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && containsVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleCons(stem):
+		last := stem[len(stem)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && containsVowel(w[:len(w)-1]) {
+		out := append([]byte(nil), w...)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return w
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if out, matched := replaceIf(w, r.old, r.new, 0); matched {
+			return out
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if out, matched := replaceIf(w, r.old, r.new, 0); matched {
+			return out
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if s == "ion" {
+			n := len(stem)
+			if n == 0 || (stem[n-1] != 's' && stem[n-1] != 't') {
+				return w
+			}
+		}
+		if measure(stem) > 1 {
+			return stem
+		}
+		return w
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stem := w[:len(w)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,115 @@
+package textproc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// alphaWord converts arbitrary fuzz bytes into a lower-case ASCII word so
+// properties exercise the algorithms rather than the Unicode edge handling
+// covered by example tests.
+func alphaWord(raw []byte, maxLen int) string {
+	var b strings.Builder
+	for _, c := range raw {
+		b.WriteByte('a' + c%26)
+		if b.Len() >= maxLen {
+			break
+		}
+	}
+	return b.String()
+}
+
+func TestQuickStemNeverGrows(t *testing.T) {
+	f := func(raw []byte) bool {
+		w := alphaWord(raw, 24)
+		return len(Stem(w)) <= len(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStemDeterministic(t *testing.T) {
+	f := func(raw []byte) bool {
+		w := alphaWord(raw, 24)
+		return Stem(w) == Stem(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTokenizeLowercaseAndClean(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			if strings.TrimFunc(tok, func(r rune) bool { return true }) != "" {
+				return false
+			}
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+			if strings.HasPrefix(tok, "-") || strings.HasSuffix(tok, "-") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCosineBoundsAndSymmetry(t *testing.T) {
+	gen := func(r *rand.Rand) Vector {
+		v := Vector{}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			v[alphaWord([]byte{byte(r.Intn(256)), byte(r.Intn(256))}, 2)] = r.Float64() + 0.01
+		}
+		return v
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := gen(r), gen(r)
+		s1, s2 := Cosine(a, b), Cosine(b, a)
+		if d := s1 - s2; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("cosine asymmetric: %v vs %v", s1, s2)
+		}
+		if s1 < 0 || s1 > 1+1e-9 {
+			t.Fatalf("cosine out of bounds: %v for %v %v", s1, a, b)
+		}
+		j1, j2 := Jaccard(a, b), Jaccard(b, a)
+		if j1 != j2 || j1 < 0 || j1 > 1 {
+			t.Fatalf("jaccard bad: %v %v", j1, j2)
+		}
+	}
+}
+
+func TestQuickIndexAddRemoveInverse(t *testing.T) {
+	f := func(raws [][]byte) bool {
+		ix := NewIndex()
+		ix.Add("keep", "stable background document about parallel computing")
+		base := ix.Search("parallel", 0)
+		for i, raw := range raws {
+			id := alphaWord([]byte{byte(i)}, 1) + "x"
+			words := make([]string, 0, len(raw))
+			for _, c := range raw {
+				words = append(words, alphaWord([]byte{c, c ^ 17}, 2))
+			}
+			ix.Add(id, strings.Join(words, " "))
+			ix.Remove(id)
+		}
+		after := ix.Search("parallel", 0)
+		if len(base) != len(after) || len(after) != 1 {
+			return false
+		}
+		return base[0] == after[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package textproc
+
+import "sort"
+
+// Speller suggests corrections for misspelled query terms against a learned
+// vocabulary — the "did you mean" assist for free-text search, so "paralell
+// sortng" still finds the parallel sorting materials.
+type Speller struct {
+	// freq counts how often each analyzed term occurred in training text.
+	freq map[string]int
+}
+
+// NewSpeller returns an empty speller.
+func NewSpeller() *Speller {
+	return &Speller{freq: make(map[string]int)}
+}
+
+// Train adds the analyzed terms of the text to the vocabulary.
+func (s *Speller) Train(text string) {
+	for _, t := range Terms(text) {
+		s.freq[t]++
+	}
+}
+
+// Known reports whether the analyzed form of the word is in the vocabulary.
+func (s *Speller) Known(word string) bool {
+	return s.freq[Stem(word)] > 0
+}
+
+// Correct returns the most frequent vocabulary term within edit distance
+// maxDist of the word's analyzed form, or "" when none qualifies. The input
+// itself is returned unchanged when already known.
+func (s *Speller) Correct(word string, maxDist int) string {
+	w := Stem(word)
+	if s.freq[w] > 0 {
+		return w
+	}
+	best, bestFreq, bestDist := "", 0, maxDist+1
+	for v, f := range s.freq {
+		// Cheap length bound before the DP.
+		d := len(v) - len(w)
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDist {
+			continue
+		}
+		dist := editDistance(w, v, maxDist)
+		if dist > maxDist {
+			continue
+		}
+		if dist < bestDist || (dist == bestDist && f > bestFreq) {
+			best, bestFreq, bestDist = v, f, dist
+		}
+	}
+	return best
+}
+
+// CorrectQuery rewrites a query term by term, keeping known terms and
+// substituting the best correction for unknown ones; terms with no
+// correction survive unchanged. The second result reports whether anything
+// changed.
+func (s *Speller) CorrectQuery(query string, maxDist int) (string, bool) {
+	toks := Tokenize(query)
+	changed := false
+	out := make([]string, 0, len(toks))
+	for _, tok := range toks {
+		if IsStopword(tok) || len(tok) <= 2 || s.Known(tok) {
+			out = append(out, tok)
+			continue
+		}
+		if fix := s.Correct(tok, maxDist); fix != "" {
+			out = append(out, fix)
+			changed = true
+			continue
+		}
+		out = append(out, tok)
+	}
+	return join(out), changed
+}
+
+// Vocabulary returns the terms sorted by descending frequency then
+// alphabetically; mostly for diagnostics and tests.
+func (s *Speller) Vocabulary() []string {
+	out := make([]string, 0, len(s.freq))
+	for t := range s.freq {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if s.freq[out[i]] != s.freq[out[j]] {
+			return s.freq[out[i]] > s.freq[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// editDistance computes Levenshtein distance with early exit once the
+// distance provably exceeds bound.
+func editDistance(a, b string, bound int) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > bound {
+			return bound + 1
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+func join(toks []string) string {
+	n := 0
+	for _, t := range toks {
+		n += len(t) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, t := range toks {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, t...)
+	}
+	return string(b)
+}

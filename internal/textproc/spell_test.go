@@ -1,0 +1,93 @@
+package textproc
+
+import "testing"
+
+func trainedSpeller() *Speller {
+	s := NewSpeller()
+	s.Train("parallel sorting with merge sort and quick sort")
+	s.Train("parallel prefix scan over arrays")
+	s.Train("message passing with MPI ranks")
+	s.Train("fractal rendering and simulation")
+	return s
+}
+
+func TestSpellerKnownAndCorrect(t *testing.T) {
+	s := trainedSpeller()
+	if !s.Known("parallel") || !s.Known("sorting") {
+		t.Error("trained terms unknown")
+	}
+	if s.Known("zebra") {
+		t.Error("untrained term known")
+	}
+	// Stemmed identity: "sorting" stems to "sort", already known.
+	if got := s.Correct("sorting", 2); got != "sort" {
+		t.Errorf("Correct(sorting) = %q", got)
+	}
+	if got := s.Correct("paralell", 2); got != "parallel" {
+		t.Errorf("Correct(paralell) = %q", got)
+	}
+	if got := s.Correct("fractel", 2); got != "fractal" {
+		t.Errorf("Correct(fractel) = %q", got)
+	}
+	if got := s.Correct("xylophone", 2); got != "" {
+		t.Errorf("Correct(xylophone) = %q", got)
+	}
+}
+
+func TestCorrectQuery(t *testing.T) {
+	s := trainedSpeller()
+	fixed, changed := s.CorrectQuery("paralell sortng", 2)
+	if !changed {
+		t.Fatal("no correction applied")
+	}
+	if fixed != "parallel sort" {
+		t.Errorf("corrected query = %q", fixed)
+	}
+	// Clean queries pass through untouched.
+	same, changed := s.CorrectQuery("parallel scan", 2)
+	if changed || same != "parallel scan" {
+		t.Errorf("clean query changed: %q (%v)", same, changed)
+	}
+	// Stop words and short tokens are preserved, not corrected.
+	q, _ := s.CorrectQuery("the mpi of it", 2)
+	if q != "the mpi of it" {
+		t.Errorf("stopword handling = %q", q)
+	}
+	// Unknown but uncorrectable terms survive.
+	q, changed = s.CorrectQuery("quixotic", 2)
+	if changed || q != "quixotic" {
+		t.Errorf("uncorrectable = %q (%v)", q, changed)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "ab", 1},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b, 10); got != c.want {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Early exit: distance beyond the bound reports bound+1.
+	if got := editDistance("aaaaaaaa", "zzzzzzzz", 2); got != 3 {
+		t.Errorf("bounded distance = %d, want 3", got)
+	}
+}
+
+func TestVocabularyOrder(t *testing.T) {
+	s := NewSpeller()
+	s.Train("alpha alpha beta")
+	v := s.Vocabulary()
+	if len(v) != 2 || v[0] != "alpha" || v[1] != "beta" {
+		t.Errorf("Vocabulary = %v", v)
+	}
+}

@@ -1,0 +1,187 @@
+package textproc
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse term-weight vector.
+type Vector map[string]float64
+
+// Norm returns the Euclidean norm of the vector.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, w := range v {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of two sparse vectors, in [0, 1] for
+// non-negative weights; either vector being empty yields 0.
+func Cosine(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for t, wa := range a {
+		if wb, ok := b[t]; ok {
+			dot += wa * wb
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (a.Norm() * b.Norm())
+}
+
+// Jaccard returns |A ∩ B| / |A ∪ B| over the term sets of two vectors; two
+// empty vectors yield 0.
+func Jaccard(a, b Vector) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range a {
+		if _, ok := b[t]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// Corpus builds TF-IDF vectors over a set of documents identified by string
+// keys. Add all documents, then call Finalize before querying; Vector and
+// Similar panic if called earlier.
+type Corpus struct {
+	docs      map[string][]string // id -> analyzed terms
+	df        map[string]int      // term -> number of docs containing it
+	idf       map[string]float64
+	vecs      map[string]Vector
+	finalized bool
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		docs: make(map[string][]string),
+		df:   make(map[string]int),
+	}
+}
+
+// Add analyzes text (tokenize, stop, stem) and registers it under id,
+// replacing any previous document with the same id.
+func (c *Corpus) Add(id, text string) {
+	if c.finalized {
+		panic("textproc: Add after Finalize")
+	}
+	if old, ok := c.docs[id]; ok {
+		for t := range CountTerms(old) {
+			c.df[t]--
+			if c.df[t] == 0 {
+				delete(c.df, t)
+			}
+		}
+	}
+	terms := Terms(text)
+	c.docs[id] = terms
+	for t := range CountTerms(terms) {
+		c.df[t]++
+	}
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.docs) }
+
+// Finalize computes IDF weights and document vectors. Idempotent.
+func (c *Corpus) Finalize() {
+	if c.finalized {
+		return
+	}
+	n := float64(len(c.docs))
+	c.idf = make(map[string]float64, len(c.df))
+	for t, df := range c.df {
+		// Smoothed IDF keeps terms present in every document from
+		// vanishing entirely, which matters for tiny corpora such as
+		// the 11 Peachy assignments.
+		c.idf[t] = math.Log((n+1)/(float64(df)+1)) + 1
+	}
+	c.vecs = make(map[string]Vector, len(c.docs))
+	for id, terms := range c.docs {
+		c.vecs[id] = c.vectorize(terms)
+	}
+	c.finalized = true
+}
+
+func (c *Corpus) vectorize(terms []string) Vector {
+	tf := CountTerms(terms)
+	v := make(Vector, len(tf))
+	if len(terms) == 0 {
+		return v
+	}
+	for t, n := range tf {
+		idf, ok := c.idf[t]
+		if !ok {
+			idf = math.Log(float64(len(c.docs))+1) + 1 // unseen term
+		}
+		v[t] = (1 + math.Log(float64(n))) * idf
+	}
+	return v
+}
+
+// Vector returns the TF-IDF vector of a registered document, or nil for an
+// unknown id.
+func (c *Corpus) Vector(id string) Vector {
+	c.mustFinal()
+	return c.vecs[id]
+}
+
+// Query vectorizes ad-hoc text against the corpus IDF table.
+func (c *Corpus) Query(text string) Vector {
+	c.mustFinal()
+	return c.vectorize(Terms(text))
+}
+
+// Scored pairs a document id with a similarity score.
+type Scored struct {
+	ID    string
+	Score float64
+}
+
+// Similar returns the k documents most cosine-similar to the query vector,
+// best first, excluding zero scores. k <= 0 returns all matches.
+func (c *Corpus) Similar(q Vector, k int) []Scored {
+	c.mustFinal()
+	var out []Scored
+	for id, v := range c.vecs {
+		if s := Cosine(q, v); s > 0 {
+			out = append(out, Scored{ID: id, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// IDF returns the inverse document frequency of an analyzed term (after
+// stemming); unknown terms return 0.
+func (c *Corpus) IDF(term string) float64 {
+	c.mustFinal()
+	return c.idf[term]
+}
+
+func (c *Corpus) mustFinal() {
+	if !c.finalized {
+		panic("textproc: corpus not finalized")
+	}
+}

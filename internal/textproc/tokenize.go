@@ -1,0 +1,125 @@
+// Package textproc is the text-processing substrate of the CAR-CS
+// reproduction: tokenization, stop-word filtering, Porter stemming, n-grams,
+// TF-IDF vectorization, similarity measures, and an inverted index.
+//
+// The paper's future-work items ("we should be able to suggest
+// classifications", "leverage existing classification to provide
+// recommendation") require comparing material descriptions with ontology
+// entry labels; this package provides the machinery, built on the standard
+// library only.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lower-case word tokens. A token is a maximal run
+// of letters, digits, or intra-word apostrophes/hyphens; everything else
+// separates tokens. Possessive "'s" endings are dropped so "Amdahl's"
+// tokenizes as "amdahl".
+func Tokenize(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		cur.Reset()
+		tok = strings.TrimSuffix(tok, "'s")
+		tok = strings.Trim(tok, "'-")
+		if tok != "" {
+			tokens = append(tokens, tok)
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		case (r == '\'' || r == '-') && cur.Len() > 0:
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	// Split retained hyphens into separate tokens ("divide-and-conquer"
+	// yields divide, and, conquer) while keeping the joined form out: the
+	// classification vocabularies use both forms inconsistently, and
+	// per-part tokens match more robustly.
+	var out []string
+	for _, t := range tokens {
+		if strings.ContainsRune(t, '-') {
+			for _, p := range strings.Split(t, "-") {
+				if p != "" {
+					out = append(out, strings.Trim(p, "'"))
+				}
+			}
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// stopwords is a compact English stop-word list tuned for curriculum text:
+// it removes glue words but keeps domain words like "data" and "parallel".
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "can": true, "do": true, "e": true,
+	"etc": true, "for": true, "from": true, "g": true, "has": true,
+	"have": true, "how": true, "i": true, "in": true, "into": true,
+	"is": true, "it": true, "its": true, "may": true, "must": true,
+	"nor": true, "not": true, "of": true, "on": true, "or": true,
+	"our": true, "s": true, "so": true, "such": true, "than": true,
+	"that": true, "the": true, "their": true, "them": true, "then": true,
+	"there": true, "these": true, "they": true, "this": true, "those": true,
+	"to": true, "towards": true, "use": true, "used": true, "uses": true,
+	"using": true, "versus": true, "via": true, "vs": true, "was": true,
+	"we": true, "were": true, "what": true, "when": true, "where": true,
+	"which": true, "while": true, "who": true, "why": true, "will": true,
+	"with": true, "within": true, "without": true, "you": true, "your": true,
+	"also": true, "each": true, "other": true, "some": true, "students": true,
+	"student": true, "assignment": true, "course": true, "should": true,
+}
+
+// IsStopword reports whether the lower-case token is on the stop list.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// Terms tokenizes text, removes stop words, and stems the remainder — the
+// standard analysis pipeline used across the reproduction.
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if stopwords[t] || len(t) == 1 {
+			continue
+		}
+		out = append(out, Stem(t))
+	}
+	return out
+}
+
+// NGrams returns the n-grams of the token slice joined by spaces, e.g.
+// bigrams of [a b c] are ["a b", "b c"]. n < 1 or too-short input yields
+// nil.
+func NGrams(tokens []string, n int) []string {
+	if n < 1 || len(tokens) < n {
+		return nil
+	}
+	out := make([]string, 0, len(tokens)-n+1)
+	for i := 0; i+n <= len(tokens); i++ {
+		out = append(out, strings.Join(tokens[i:i+n], " "))
+	}
+	return out
+}
+
+// CountTerms tallies term frequencies.
+func CountTerms(terms []string) map[string]int {
+	m := make(map[string]int, len(terms))
+	for _, t := range terms {
+		m[t]++
+	}
+	return m
+}

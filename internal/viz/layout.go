@@ -1,0 +1,142 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"carcs/internal/similarity"
+)
+
+// Point is a 2-D layout position.
+type Point struct{ X, Y float64 }
+
+// ForceLayout computes deterministic positions for the graph's nodes with a
+// Fruchterman–Reingold style force simulation: repulsion between all pairs,
+// springs along edges, centering gravity, and simulated annealing of the
+// step size. Determinism comes from seeding positions on a circle in sorted
+// node order rather than randomly.
+func ForceLayout(g *similarity.Graph, width, height float64, iterations int) map[string]Point {
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	n := len(ids)
+	pos := make(map[string]Point, n)
+	if n == 0 {
+		return pos
+	}
+	cx, cy := width/2, height/2
+	r0 := math.Min(width, height) * 0.4
+	for i, id := range ids {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		// Left nodes on an outer ring, right nodes inner, so bipartite
+		// graphs start untangled.
+		r := r0
+		if g.Side[id] == "right" {
+			r = r0 * 0.5
+		}
+		pos[id] = Point{X: cx + r*math.Cos(ang), Y: cy + r*math.Sin(ang)}
+	}
+	if iterations <= 0 {
+		iterations = 150
+	}
+	area := width * height
+	k := math.Sqrt(area / float64(n)) // ideal edge length
+	temp := math.Min(width, height) / 10
+	cool := temp / float64(iterations+1)
+
+	disp := make(map[string]Point, n)
+	for it := 0; it < iterations; it++ {
+		for _, id := range ids {
+			disp[id] = Point{}
+		}
+		// Repulsion.
+		for i, a := range ids {
+			for _, b := range ids[i+1:] {
+				dx, dy := pos[a].X-pos[b].X, pos[a].Y-pos[b].Y
+				d := math.Hypot(dx, dy)
+				if d < 1e-6 {
+					d = 1e-6
+					dx = 1e-3 * float64(i+1)
+				}
+				f := k * k / d
+				ux, uy := dx/d, dy/d
+				da, db := disp[a], disp[b]
+				da.X += ux * f
+				da.Y += uy * f
+				db.X -= ux * f
+				db.Y -= uy * f
+				disp[a], disp[b] = da, db
+			}
+		}
+		// Attraction along edges.
+		for _, e := range g.Edges {
+			dx, dy := pos[e.A].X-pos[e.B].X, pos[e.A].Y-pos[e.B].Y
+			d := math.Hypot(dx, dy)
+			if d < 1e-6 {
+				continue
+			}
+			f := d * d / k
+			ux, uy := dx/d, dy/d
+			da, db := disp[e.A], disp[e.B]
+			da.X -= ux * f
+			da.Y -= uy * f
+			db.X += ux * f
+			db.Y += uy * f
+			disp[e.A], disp[e.B] = da, db
+		}
+		// Apply with temperature cap and keep inside the frame.
+		for _, id := range ids {
+			d := disp[id]
+			l := math.Hypot(d.X, d.Y)
+			if l < 1e-9 {
+				continue
+			}
+			step := math.Min(l, temp)
+			p := pos[id]
+			p.X += d.X / l * step
+			p.Y += d.Y / l * step
+			p.X = math.Max(20, math.Min(width-20, p.X))
+			p.Y = math.Max(20, math.Min(height-20, p.Y))
+			pos[id] = p
+		}
+		temp -= cool
+	}
+	return pos
+}
+
+// SimilaritySVG renders the Figure 3 graph as SVG: blue circles for the left
+// set, red for the right, edges labeled with the shared-item count.
+func SimilaritySVG(g *similarity.Graph, width, height int) string {
+	pos := ForceLayout(g, float64(width), float64(height), 200)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="8">`+"\n", width, height)
+	for _, e := range g.Edges {
+		pa, pb := pos[e.A], pos[e.B]
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-width="%d"/>`+"\n",
+			pa.X, pa.Y, pb.X, pb.Y, len(e.Shared))
+	}
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := pos[id]
+		fill := "#4477dd"
+		if g.Side[id] == "right" {
+			fill = "#dd4444"
+		}
+		radius := 5.0
+		if g.Degree(id) > 0 {
+			radius = 7.0
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#333"><title>%s</title></circle>`+"\n",
+			p.X, p.Y, radius, fill, escape(id))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

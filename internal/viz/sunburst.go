@@ -1,0 +1,129 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"carcs/internal/coverage"
+	"carcs/internal/ontology"
+)
+
+// CoverageSunburstSVG renders a coverage report as a radial (sunburst)
+// tree, the layout closest to the D3 figures in the paper: the root at the
+// center, one ring per depth, angular span proportional to the number of
+// classifiable entries in each covered subtree, fill opacity proportional
+// to intensity, and uncovered subtrees pruned. maxDepth limits the rings
+// (0 for unlimited).
+func CoverageSunburstSVG(r *coverage.Report, maxDepth int, size int) string {
+	if size <= 0 {
+		size = 640
+	}
+	o := r.Ontology
+	cx, cy := float64(size)/2, float64(size)/2
+	ringW := float64(size) / 2 / float64(sunburstDepth(r, maxDepth)+1)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="10">`+"\n", size, size)
+	fmt.Fprintf(&b, `<title>%s</title>`+"\n", escape(r.String()))
+	// Center disc for the root.
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#555"><title>%s</title></circle>`+"\n",
+		cx, cy, ringW*0.9, paletteColor(0), escape(o.Node(o.RootID()).Label))
+
+	var emit func(id string, depth int, a0, a1 float64)
+	emit = func(id string, depth int, a0, a1 float64) {
+		kids := coveredChildren(r, id)
+		if len(kids) == 0 || (maxDepth > 0 && depth >= maxDepth) {
+			return
+		}
+		total := 0
+		for _, kid := range kids {
+			total += subtreeWeight(o, kid)
+		}
+		if total == 0 {
+			return
+		}
+		cur := a0
+		for _, kid := range kids {
+			span := (a1 - a0) * float64(subtreeWeight(o, kid)) / float64(total)
+			inner := ringW * float64(depth+1) * 0.9
+			outer := inner + ringW*0.85
+			op := 0.15 + 0.85*r.Intensity(kid)
+			label := o.Node(kid).Label
+			if code := o.Code(kid); code != "" {
+				label = code
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill="%s" fill-opacity="%.3f" stroke="#555" stroke-width="0.5"><title>%s (%d)</title></path>`+"\n",
+				arcPath(cx, cy, inner, outer, cur, cur+span), paletteColor(depth+1), op,
+				escape(label), r.Subtree[kid])
+			// Label the wide first-ring arcs with their area codes.
+			if depth == 0 && span > 0.15 {
+				mid := cur + span/2
+				lr := (inner + outer) / 2
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+					cx+lr*math.Cos(mid), cy+lr*math.Sin(mid)+3, escape(label))
+			}
+			emit(kid, depth+1, cur, cur+span)
+			cur += span
+		}
+	}
+	emit(o.RootID(), 0, -math.Pi/2, 3*math.Pi/2)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func coveredChildren(r *coverage.Report, id string) []string {
+	var out []string
+	for _, kid := range r.Ontology.Children(id) {
+		if r.Covered(kid) {
+			out = append(out, kid)
+		}
+	}
+	return out
+}
+
+// subtreeWeight sizes an arc by the classifiable entries below it (plus one
+// so empty-but-covered groups stay visible).
+func subtreeWeight(o *ontology.Ontology, id string) int {
+	n := 1
+	o.Walk(id, func(node *ontology.Node, _ int) bool {
+		if node.Kind.Classifiable() {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func sunburstDepth(r *coverage.Report, maxDepth int) int {
+	deepest := 0
+	r.Ontology.Walk(r.Ontology.RootID(), func(n *ontology.Node, d int) bool {
+		if !r.Covered(n.ID) {
+			return false
+		}
+		if maxDepth > 0 && d > maxDepth {
+			return false
+		}
+		if d > deepest {
+			deepest = d
+		}
+		return true
+	})
+	return deepest
+}
+
+// arcPath builds an SVG path for an annular sector between angles a0 and a1
+// (radians) with the given inner and outer radii.
+func arcPath(cx, cy, inner, outer, a0, a1 float64) string {
+	large := 0
+	if a1-a0 > math.Pi {
+		large = 1
+	}
+	x0o, y0o := cx+outer*math.Cos(a0), cy+outer*math.Sin(a0)
+	x1o, y1o := cx+outer*math.Cos(a1), cy+outer*math.Sin(a1)
+	x1i, y1i := cx+inner*math.Cos(a1), cy+inner*math.Sin(a1)
+	x0i, y0i := cx+inner*math.Cos(a0), cy+inner*math.Sin(a0)
+	return fmt.Sprintf("M %.2f %.2f A %.2f %.2f 0 %d 1 %.2f %.2f L %.2f %.2f A %.2f %.2f 0 %d 0 %.2f %.2f Z",
+		x0o, y0o, outer, outer, large, x1o, y1o,
+		x1i, y1i, inner, inner, large, x0i, y0i)
+}

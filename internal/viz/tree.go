@@ -1,0 +1,177 @@
+// Package viz renders the paper's figures from analysis results, standing in
+// for the D3 visualizations of the prototype: coverage trees (Figure 2) as
+// ASCII and SVG, and similarity graphs (Figure 3) as DOT and SVG with a
+// deterministic force-directed layout.
+//
+// Figure 2 semantics reproduced here: "the classification are shown as a
+// tree where the root is the name of the ontology. First level nodes are
+// tagged with the 2 or 3 letter code... The color intensity of the node is
+// proportional to the number of material that matches that entry... The
+// color palette is different for zeroth, first, and more-than-first level
+// nodes. Ontology entry absent from the materials are transparent and their
+// children are not included."
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"carcs/internal/coverage"
+	"carcs/internal/ontology"
+	"carcs/internal/similarity"
+)
+
+// CoverageTreeASCII renders a coverage report as an indented tree down to
+// maxDepth (0 for unlimited), pruning uncovered subtrees like the figure
+// does. Each line shows the node label, the subtree material count, and an
+// intensity bar.
+func CoverageTreeASCII(r *coverage.Report, maxDepth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.String())
+	o := r.Ontology
+	o.Walk(o.RootID(), func(n *ontology.Node, depth int) bool {
+		if !r.Covered(n.ID) {
+			return false // transparent: children not included
+		}
+		if maxDepth > 0 && depth > maxDepth {
+			return false
+		}
+		label := n.Label
+		if code := o.Code(n.ID); code != "" {
+			label = code + " — " + label
+		}
+		bar := intensityBar(r.Intensity(n.ID), 10)
+		fmt.Fprintf(&b, "%s%-*s %4d %s\n", strings.Repeat("  ", depth), 60-2*depth, trim(label, 60-2*depth), r.Subtree[n.ID], bar)
+		return true
+	})
+	return b.String()
+}
+
+func trim(s string, n int) string {
+	if n < 4 {
+		n = 4
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func intensityBar(x float64, width int) string {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	filled := int(x*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", width-filled) + "]"
+}
+
+// CoverageTreeSVG renders the coverage report as a layered tree in SVG down
+// to maxDepth (0 for unlimited). Node fill opacity encodes intensity; the
+// palette differs for the root, first-level (area), and deeper nodes, as in
+// the paper's figure.
+func CoverageTreeSVG(r *coverage.Report, maxDepth int) string {
+	type drawn struct {
+		n     *ontology.Node
+		depth int
+		y     int
+	}
+	var nodes []drawn
+	o := r.Ontology
+	y := 0
+	o.Walk(o.RootID(), func(n *ontology.Node, depth int) bool {
+		if !r.Covered(n.ID) {
+			return false
+		}
+		if maxDepth > 0 && depth > maxDepth {
+			return false
+		}
+		nodes = append(nodes, drawn{n: n, depth: depth, y: y})
+		y++
+		return true
+	})
+	const rowH, colW, boxW, boxH = 22, 170, 160, 18
+	width := 0
+	for _, d := range nodes {
+		if w := d.depth*colW + boxW + 300; w > width {
+			width = w
+		}
+	}
+	height := len(nodes)*rowH + 30
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<title>%s</title>`+"\n", escape(r.String()))
+	// Edges to parents first so boxes draw over them.
+	pos := make(map[string]drawn, len(nodes))
+	for _, d := range nodes {
+		pos[d.n.ID] = d
+	}
+	for _, d := range nodes {
+		if p, ok := pos[d.n.Parent]; ok {
+			fmt.Fprintf(&b, `<path d="M %d %d L %d %d" stroke="#bbb" fill="none"/>`+"\n",
+				p.depth*colW+boxW/2, p.y*rowH+20+boxH/2,
+				d.depth*colW, d.y*rowH+20+boxH/2)
+		}
+	}
+	for _, d := range nodes {
+		fill := paletteColor(d.depth)
+		op := 0.15 + 0.85*r.Intensity(d.n.ID)
+		label := d.n.Label
+		if code := o.Code(d.n.ID); code != "" {
+			label = code
+		}
+		x, yy := d.depth*colW, d.y*rowH+20
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="3" fill="%s" fill-opacity="%.3f" stroke="#555"/>`+"\n",
+			x, yy, boxW, boxH, fill, op)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", x+4, yy+13, escape(trim(label, 28)))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#444">%d</text>`+"\n", x+boxW+6, yy+13, r.Subtree[d.n.ID])
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// paletteColor returns the Figure 2 depth-class palette: one color for the
+// root, one for the knowledge areas, one for everything deeper.
+func paletteColor(depth int) string {
+	switch {
+	case depth == 0:
+		return "#7b3294" // root
+	case depth == 1:
+		return "#c2a5cf" // areas
+	default:
+		return "#008837" // deeper entries
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SimilarityDOT renders a similarity graph in Graphviz DOT: blue circles for
+// the left set (Nifty in the paper) and red circles for the right set
+// (Peachy), matching Figure 3's encoding. Output is deterministic.
+func SimilarityDOT(g *similarity.Graph, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n  layout=neato;\n  node [shape=circle, style=filled, fontsize=8];\n", name)
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		color := "#9999ff" // left / unipartite
+		if g.Side[id] == "right" {
+			color = "#ff6666"
+		}
+		fmt.Fprintf(&b, "  %q [fillcolor=%q];\n", id, color)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", e.A, e.B, fmt.Sprintf("%d", len(e.Shared)))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

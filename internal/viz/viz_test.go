@@ -1,0 +1,209 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"carcs/internal/corpus"
+	"carcs/internal/coverage"
+	"carcs/internal/ontology"
+	"carcs/internal/similarity"
+)
+
+func niftyReport() *coverage.Report {
+	return coverage.Compute(ontology.CS13(), "Nifty", corpus.Nifty().All())
+}
+
+func fig3() *similarity.Graph {
+	return similarity.BuildBipartite(corpus.Nifty().All(), corpus.Peachy().All(), similarity.SharedCount, 2)
+}
+
+func TestCoverageTreeASCII(t *testing.T) {
+	out := CoverageTreeASCII(niftyReport(), 2)
+	if !strings.Contains(out, "SDF — Software Development Fundamentals") {
+		t.Errorf("missing area code line:\n%s", out)
+	}
+	// Uncovered areas are pruned (transparent in the figure).
+	if strings.Contains(out, "Parallel and Distributed Computing") {
+		t.Error("uncovered PD area rendered for Nifty")
+	}
+	if !strings.Contains(out, "[##########]") {
+		t.Error("no full-intensity bar present")
+	}
+	// Depth cap respected: no unit-level node deeper than 2 means no
+	// topic labels such as "Arrays" at depth 3.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, strings.Repeat("  ", 3)) && strings.TrimSpace(line) != "" {
+			t.Errorf("line deeper than maxDepth: %q", line)
+		}
+	}
+}
+
+func TestIntensityBar(t *testing.T) {
+	if got := intensityBar(0, 4); got != "[....]" {
+		t.Errorf("zero bar = %q", got)
+	}
+	if got := intensityBar(1, 4); got != "[####]" {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := intensityBar(2.5, 4); got != "[####]" {
+		t.Errorf("clamped bar = %q", got)
+	}
+	if got := intensityBar(-1, 4); got != "[....]" {
+		t.Errorf("negative bar = %q", got)
+	}
+	if got := trim("abcdefgh", 6); got != "abc..." {
+		t.Errorf("trim = %q", got)
+	}
+	if got := trim("ab", 6); got != "ab" {
+		t.Errorf("trim short = %q", got)
+	}
+}
+
+func TestCoverageTreeSVG(t *testing.T) {
+	svg := CoverageTreeSVG(niftyReport(), 2)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an svg document")
+	}
+	for _, want := range []string{"<rect", "<text", "SDF", "fill-opacity"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Contains(svg, ">PD<") {
+		t.Error("uncovered PD area rendered for Nifty")
+	}
+	// Palette differs by depth class.
+	if !strings.Contains(svg, paletteColor(0)) || !strings.Contains(svg, paletteColor(1)) || !strings.Contains(svg, paletteColor(2)) {
+		t.Error("depth palettes missing")
+	}
+	// Escaping of labels with special characters.
+	if strings.Contains(svg, "R&D") && !strings.Contains(svg, "&amp;") {
+		t.Error("unescaped ampersand")
+	}
+}
+
+func TestSimilarityDOT(t *testing.T) {
+	dot := SimilarityDOT(fig3(), "fig3")
+	if !strings.HasPrefix(dot, `graph "fig3"`) {
+		t.Fatalf("dot header: %q", dot[:30])
+	}
+	if !strings.Contains(dot, `"uno" [fillcolor="#9999ff"]`) {
+		t.Error("nifty node not blue")
+	}
+	if !strings.Contains(dot, `"storm-of-high-energy-particles" [fillcolor="#ff6666"]`) {
+		t.Error("peachy node not red")
+	}
+	if c := strings.Count(dot, " -- "); c != 24 {
+		t.Errorf("dot edges = %d, want 24", c)
+	}
+	// Deterministic output.
+	if dot != SimilarityDOT(fig3(), "fig3") {
+		t.Error("dot not deterministic")
+	}
+}
+
+func TestForceLayout(t *testing.T) {
+	g := fig3()
+	pos := ForceLayout(g, 800, 600, 100)
+	if len(pos) != len(g.Nodes) {
+		t.Fatalf("positions = %d, nodes = %d", len(pos), len(g.Nodes))
+	}
+	for id, p := range pos {
+		if p.X < 0 || p.X > 800 || p.Y < 0 || p.Y > 600 || math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("node %s out of frame: %+v", id, p)
+		}
+	}
+	// Deterministic.
+	pos2 := ForceLayout(g, 800, 600, 100)
+	for id := range pos {
+		if pos[id] != pos2[id] {
+			t.Fatal("layout not deterministic")
+		}
+	}
+	// Connected nodes end closer together than the average unconnected
+	// left-right pair.
+	var edgeSum float64
+	for _, e := range g.Edges {
+		edgeSum += math.Hypot(pos[e.A].X-pos[e.B].X, pos[e.A].Y-pos[e.B].Y)
+	}
+	edgeAvg := edgeSum / float64(len(g.Edges))
+	var otherSum float64
+	var otherN int
+	for a, sa := range g.Side {
+		if sa != "left" {
+			continue
+		}
+		for bID, sb := range g.Side {
+			if sb != "right" || g.Degree(a) > 0 || g.Degree(bID) > 0 {
+				continue
+			}
+			otherSum += math.Hypot(pos[a].X-pos[bID].X, pos[a].Y-pos[bID].Y)
+			otherN++
+		}
+	}
+	if otherN > 0 && edgeAvg >= otherSum/float64(otherN) {
+		t.Errorf("edges (%.1f) not shorter than unconnected pairs (%.1f)", edgeAvg, otherSum/float64(otherN))
+	}
+	// Degenerate cases.
+	empty := similarity.Build(nil, similarity.SharedCount, 1)
+	if got := ForceLayout(empty, 100, 100, 10); len(got) != 0 {
+		t.Error("empty layout should be empty")
+	}
+}
+
+func TestSimilaritySVG(t *testing.T) {
+	svg := SimilaritySVG(fig3(), 800, 600)
+	if !strings.Contains(svg, "<circle") || !strings.Contains(svg, "<line") {
+		t.Fatal("svg missing shapes")
+	}
+	if strings.Count(svg, "#dd4444") != 11 {
+		t.Errorf("peachy circles = %d, want 11", strings.Count(svg, "#dd4444"))
+	}
+	if strings.Count(svg, "<line") != 24 {
+		t.Errorf("svg edges = %d, want 24", strings.Count(svg, "<line"))
+	}
+}
+
+func TestCoverageSunburstSVG(t *testing.T) {
+	svg := CoverageSunburstSVG(niftyReport(), 3, 640)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "<path") {
+		t.Fatal("sunburst missing arcs")
+	}
+	// Area codes label the wide first-ring arcs; SDF dominates Nifty.
+	if !strings.Contains(svg, ">SDF<") {
+		t.Error("SDF arc label missing")
+	}
+	// Uncovered PD never appears.
+	if strings.Contains(svg, ">PD<") {
+		t.Error("uncovered PD arc rendered")
+	}
+	// Deterministic.
+	if svg != CoverageSunburstSVG(niftyReport(), 3, 640) {
+		t.Error("sunburst not deterministic")
+	}
+	// Default size fallback.
+	if got := CoverageSunburstSVG(niftyReport(), 2, 0); !strings.Contains(got, `width="640"`) {
+		t.Error("default size not applied")
+	}
+	// A PDC12 report with zero coverage renders just the center.
+	empty := coverage.Compute(ontology.PDC12(), "nifty", corpus.Nifty().All())
+	svg = CoverageSunburstSVG(empty, 2, 300)
+	if strings.Contains(svg, "<path") {
+		t.Error("arcs rendered for empty coverage")
+	}
+}
+
+func TestArcPathGeometry(t *testing.T) {
+	p := arcPath(100, 100, 20, 40, 0, 1)
+	if !strings.HasPrefix(p, "M ") || !strings.Contains(p, " Z") {
+		t.Errorf("arc path = %q", p)
+	}
+	// Large-arc flag flips past pi.
+	small := arcPath(0, 0, 1, 2, 0, 1)
+	large := arcPath(0, 0, 1, 2, 0, 4)
+	if strings.Contains(small, " 1 1 ") == strings.Contains(large, " 1 1 ") {
+		t.Error("large-arc flag not set for wide sector")
+	}
+}

@@ -1,0 +1,326 @@
+// Package workflow implements the crowdsourced curation model of Sec. III-A
+// and the account/role system the paper lists as required future work:
+// "a proper user account system, and roles (editor, submitter, user) need to
+// be integrated to enable a larger scale curation of the material."
+//
+// Instructors upload materials (submissions); editors — users with
+// credentials demonstrating knowledge of the standards — approve, fix, or
+// reject them; less knowledgeable users may only suggest metadata changes,
+// which an editor must verify. Every state change lands in an audit log.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"carcs/internal/material"
+)
+
+// Role is an account's capability level.
+type Role int
+
+const (
+	// RoleUser may browse and suggest metadata changes.
+	RoleUser Role = iota
+	// RoleSubmitter may additionally upload materials.
+	RoleSubmitter
+	// RoleEditor may additionally review submissions and verify
+	// suggested edits ("an editor has experience or credentials
+	// demonstrating knowledge of the standards used by the system").
+	RoleEditor
+)
+
+var roleNames = [...]string{"user", "submitter", "editor"}
+
+// String returns the role's lower-case name.
+func (r Role) String() string {
+	if r < 0 || int(r) >= len(roleNames) {
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+	return roleNames[r]
+}
+
+// Account is a named account with a role.
+type Account struct {
+	Name string
+	Role Role
+}
+
+// Status is a submission's review state.
+type Status string
+
+// Submission statuses.
+const (
+	StatusPending  Status = "pending"
+	StatusApproved Status = "approved"
+	StatusRejected Status = "rejected"
+	StatusChanges  Status = "changes-requested"
+)
+
+// Submission is a material upload awaiting editorial review.
+type Submission struct {
+	ID        int64
+	Material  *material.Material
+	Submitter string
+	Status    Status
+	// ReviewedBy is the editor who decided, empty while pending.
+	ReviewedBy string
+	// Note carries the editor's feedback.
+	Note string
+}
+
+// SuggestedEdit is a metadata change proposed by a non-editor: "less
+// knowledgeable users can suggest changes to the metadata which must be
+// verified by an editor."
+type SuggestedEdit struct {
+	ID         int64
+	MaterialID string
+	Field      string
+	OldValue   string
+	NewValue   string
+	Suggester  string
+	Verified   bool
+	VerifiedBy string
+	Rejected   bool
+}
+
+// AuditEntry records one workflow action.
+type AuditEntry struct {
+	Seq    int64
+	At     time.Time
+	Actor  string
+	Action string
+	Detail string
+}
+
+// Queue is the curation workflow state. Safe for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	accounts map[string]Account
+	subs     map[int64]*Submission
+	edits    map[int64]*SuggestedEdit
+	audit    []AuditEntry
+	nextSub  int64
+	nextEdit int64
+	nextSeq  int64
+	now      func() time.Time
+}
+
+// NewQueue returns an empty workflow queue.
+func NewQueue() *Queue {
+	return &Queue{
+		accounts: make(map[string]Account),
+		subs:     make(map[int64]*Submission),
+		edits:    make(map[int64]*SuggestedEdit),
+		now:      time.Now,
+	}
+}
+
+// SetClock overrides the queue's clock, for tests.
+func (q *Queue) SetClock(now func() time.Time) { q.now = now }
+
+// Register creates an account; re-registering a name changes its role.
+func (q *Queue) Register(name string, role Role) Account {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	a := Account{Name: name, Role: role}
+	q.accounts[name] = a
+	q.logLocked(name, "register", role.String())
+	return a
+}
+
+// Account returns the named account and whether it exists.
+func (q *Queue) Account(name string) (Account, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	a, ok := q.accounts[name]
+	return a, ok
+}
+
+func (q *Queue) requireLocked(name string, min Role) error {
+	a, ok := q.accounts[name]
+	if !ok {
+		return fmt.Errorf("workflow: unknown account %q", name)
+	}
+	if a.Role < min {
+		return fmt.Errorf("workflow: %s is a %s; needs %s", name, a.Role, min)
+	}
+	return nil
+}
+
+// Submit uploads a material for review.
+func (q *Queue) Submit(submitter string, m *material.Material) (*Submission, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.requireLocked(submitter, RoleSubmitter); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("workflow: nil material")
+	}
+	q.nextSub++
+	s := &Submission{ID: q.nextSub, Material: m, Submitter: submitter, Status: StatusPending}
+	q.subs[s.ID] = s
+	q.logLocked(submitter, "submit", m.ID)
+	return s, nil
+}
+
+// Pending returns pending submissions ordered by ID — the editor's queue.
+func (q *Queue) Pending() []*Submission {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*Submission
+	for _, s := range q.subs {
+		if s.Status == StatusPending {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Review decides a pending submission. Only editors may review; a submitter
+// may not review their own upload even if they are an editor.
+func (q *Queue) Review(editor string, subID int64, decision Status, note string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.requireLocked(editor, RoleEditor); err != nil {
+		return err
+	}
+	s, ok := q.subs[subID]
+	if !ok {
+		return fmt.Errorf("workflow: no submission %d", subID)
+	}
+	if s.Status != StatusPending {
+		return fmt.Errorf("workflow: submission %d already %s", subID, s.Status)
+	}
+	if s.Submitter == editor {
+		return fmt.Errorf("workflow: %s cannot review own submission", editor)
+	}
+	switch decision {
+	case StatusApproved, StatusRejected, StatusChanges:
+	default:
+		return fmt.Errorf("workflow: invalid decision %q", decision)
+	}
+	s.Status = decision
+	s.ReviewedBy = editor
+	s.Note = note
+	q.logLocked(editor, "review", fmt.Sprintf("submission %d -> %s", subID, decision))
+	return nil
+}
+
+// Resubmit returns a changes-requested submission to the pending queue with
+// an updated material.
+func (q *Queue) Resubmit(submitter string, subID int64, m *material.Material) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s, ok := q.subs[subID]
+	if !ok {
+		return fmt.Errorf("workflow: no submission %d", subID)
+	}
+	if s.Submitter != submitter {
+		return fmt.Errorf("workflow: %s does not own submission %d", submitter, subID)
+	}
+	if s.Status != StatusChanges {
+		return fmt.Errorf("workflow: submission %d is %s, not %s", subID, s.Status, StatusChanges)
+	}
+	s.Material = m
+	s.Status = StatusPending
+	s.ReviewedBy = ""
+	s.Note = ""
+	q.logLocked(submitter, "resubmit", m.ID)
+	return nil
+}
+
+// Approved returns the approved materials in submission order — what the
+// public repository serves.
+func (q *Queue) Approved() []*material.Material {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var ids []int64
+	for id, s := range q.subs {
+		if s.Status == StatusApproved {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*material.Material, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, q.subs[id].Material)
+	}
+	return out
+}
+
+// SuggestEdit records a metadata change proposal from any account.
+func (q *Queue) SuggestEdit(suggester, materialID, field, oldValue, newValue string) (*SuggestedEdit, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.requireLocked(suggester, RoleUser); err != nil {
+		return nil, err
+	}
+	q.nextEdit++
+	e := &SuggestedEdit{
+		ID: q.nextEdit, MaterialID: materialID,
+		Field: field, OldValue: oldValue, NewValue: newValue,
+		Suggester: suggester,
+	}
+	q.edits[e.ID] = e
+	q.logLocked(suggester, "suggest-edit", fmt.Sprintf("%s.%s", materialID, field))
+	return e, nil
+}
+
+// VerifyEdit lets an editor accept or reject a suggested edit.
+func (q *Queue) VerifyEdit(editor string, editID int64, accept bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.requireLocked(editor, RoleEditor); err != nil {
+		return err
+	}
+	e, ok := q.edits[editID]
+	if !ok {
+		return fmt.Errorf("workflow: no edit %d", editID)
+	}
+	if e.Verified || e.Rejected {
+		return fmt.Errorf("workflow: edit %d already decided", editID)
+	}
+	if accept {
+		e.Verified = true
+	} else {
+		e.Rejected = true
+	}
+	e.VerifiedBy = editor
+	q.logLocked(editor, "verify-edit", fmt.Sprintf("edit %d accept=%v", editID, accept))
+	return nil
+}
+
+// UnverifiedEdits returns suggested edits awaiting an editor, by ID.
+func (q *Queue) UnverifiedEdits() []*SuggestedEdit {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*SuggestedEdit
+	for _, e := range q.edits {
+		if !e.Verified && !e.Rejected {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Audit returns a copy of the audit log in order.
+func (q *Queue) Audit() []AuditEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]AuditEntry, len(q.audit))
+	copy(out, q.audit)
+	return out
+}
+
+func (q *Queue) logLocked(actor, action, detail string) {
+	q.nextSeq++
+	q.audit = append(q.audit, AuditEntry{
+		Seq: q.nextSeq, At: q.now(), Actor: actor, Action: action, Detail: detail,
+	})
+}

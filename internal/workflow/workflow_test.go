@@ -1,0 +1,211 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"carcs/internal/material"
+)
+
+func newMat(id string) *material.Material {
+	return &material.Material{ID: id, Title: id, Kind: material.Assignment, Level: material.CS1}
+}
+
+func TestRolesAndSubmission(t *testing.T) {
+	q := NewQueue()
+	q.SetClock(func() time.Time { return time.Unix(0, 0) })
+	q.Register("alice", RoleSubmitter)
+	q.Register("ed", RoleEditor)
+	q.Register("bob", RoleUser)
+
+	if _, err := q.Submit("bob", newMat("m1")); err == nil {
+		t.Error("plain user could submit")
+	}
+	if _, err := q.Submit("ghost", newMat("m1")); err == nil {
+		t.Error("unknown account could submit")
+	}
+	s, err := q.Submit("alice", newMat("m1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusPending || len(q.Pending()) != 1 {
+		t.Fatal("submission not pending")
+	}
+	if _, err := q.Submit("alice", nil); err == nil {
+		t.Error("nil material accepted")
+	}
+
+	if err := q.Review("alice", s.ID, StatusApproved, ""); err == nil {
+		t.Error("submitter (non-editor) could review")
+	}
+	if err := q.Review("ed", 999, StatusApproved, ""); err == nil {
+		t.Error("review of unknown submission accepted")
+	}
+	if err := q.Review("ed", s.ID, "maybe", ""); err == nil {
+		t.Error("invalid decision accepted")
+	}
+	if err := q.Review("ed", s.ID, StatusApproved, "looks good"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Review("ed", s.ID, StatusRejected, ""); err == nil {
+		t.Error("double review accepted")
+	}
+	approved := q.Approved()
+	if len(approved) != 1 || approved[0].ID != "m1" {
+		t.Errorf("Approved = %v", approved)
+	}
+	if len(q.Pending()) != 0 {
+		t.Error("still pending after review")
+	}
+}
+
+func TestEditorCannotSelfReview(t *testing.T) {
+	q := NewQueue()
+	q.Register("ed", RoleEditor)
+	q.Register("other", RoleEditor)
+	s, err := q.Submit("ed", newMat("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Review("ed", s.ID, StatusApproved, ""); err == nil {
+		t.Error("self-review accepted")
+	}
+	if err := q.Review("other", s.ID, StatusApproved, ""); err != nil {
+		t.Errorf("peer review rejected: %v", err)
+	}
+}
+
+func TestChangesRequestedAndResubmit(t *testing.T) {
+	q := NewQueue()
+	q.Register("alice", RoleSubmitter)
+	q.Register("ed", RoleEditor)
+	s, _ := q.Submit("alice", newMat("m1"))
+	if err := q.Review("ed", s.ID, StatusChanges, "classify deeper"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resubmit("ed", s.ID, newMat("m1-v2")); err == nil {
+		t.Error("non-owner resubmit accepted")
+	}
+	if err := q.Resubmit("alice", 999, newMat("x")); err == nil {
+		t.Error("resubmit of unknown accepted")
+	}
+	if err := q.Resubmit("alice", s.ID, newMat("m1-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != StatusPending || s.ReviewedBy != "" {
+		t.Errorf("resubmit state: %+v", s)
+	}
+	if err := q.Resubmit("alice", s.ID, newMat("m1-v3")); err == nil {
+		t.Error("resubmit of pending accepted")
+	}
+}
+
+func TestSuggestedEdits(t *testing.T) {
+	q := NewQueue()
+	q.Register("bob", RoleUser)
+	q.Register("ed", RoleEditor)
+	e, err := q.SuggestEdit("bob", "m1", "language", "Java", "Python")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SuggestEdit("ghost", "m1", "x", "", ""); err == nil {
+		t.Error("unknown suggester accepted")
+	}
+	if got := q.UnverifiedEdits(); len(got) != 1 || got[0].ID != e.ID {
+		t.Fatalf("UnverifiedEdits = %v", got)
+	}
+	if err := q.VerifyEdit("bob", e.ID, true); err == nil {
+		t.Error("non-editor verified an edit")
+	}
+	if err := q.VerifyEdit("ed", 999, true); err == nil {
+		t.Error("verify of unknown edit accepted")
+	}
+	if err := q.VerifyEdit("ed", e.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.VerifyEdit("ed", e.ID, false); err == nil {
+		t.Error("double verify accepted")
+	}
+	if !e.Verified || e.VerifiedBy != "ed" {
+		t.Errorf("edit state: %+v", e)
+	}
+	// Rejection path.
+	e2, _ := q.SuggestEdit("bob", "m1", "year", "2010", "2011")
+	if err := q.VerifyEdit("ed", e2.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if !e2.Rejected || e2.Verified {
+		t.Errorf("rejected edit state: %+v", e2)
+	}
+	if len(q.UnverifiedEdits()) != 0 {
+		t.Error("edits still unverified")
+	}
+}
+
+func TestAuditLog(t *testing.T) {
+	q := NewQueue()
+	fixed := time.Date(2019, 5, 20, 9, 0, 0, 0, time.UTC)
+	q.SetClock(func() time.Time { return fixed })
+	q.Register("alice", RoleSubmitter)
+	q.Register("ed", RoleEditor)
+	s, _ := q.Submit("alice", newMat("m1"))
+	_ = q.Review("ed", s.ID, StatusApproved, "")
+	log := q.Audit()
+	if len(log) != 4 {
+		t.Fatalf("audit entries = %d, want 4", len(log))
+	}
+	for i, e := range log {
+		if e.Seq != int64(i+1) || !e.At.Equal(fixed) {
+			t.Errorf("entry %d: %+v", i, e)
+		}
+	}
+	if log[2].Action != "submit" || log[3].Action != "review" {
+		t.Errorf("actions = %v %v", log[2].Action, log[3].Action)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleUser.String() != "user" || RoleEditor.String() != "editor" || Role(9).String() != "Role(9)" {
+		t.Error("role names")
+	}
+	if _, ok := NewQueue().Account("nobody"); ok {
+		t.Error("phantom account")
+	}
+}
+
+// TestCurationCostModel reproduces E8: the default calibration puts each
+// item in the paper's 15–25 minute band and the 98-item seeding effort at
+// about one working day; suggestion assistance yields a clear speedup.
+func TestCurationCostModel(t *testing.T) {
+	c := DefaultCostModel()
+	const entries = 6
+	for i := 0; i < 98; i++ {
+		min := c.ItemMinutes(i, entries, false)
+		if min < 15 || min > 25 {
+			t.Fatalf("item %d = %.1f min, outside the paper's 15-25 band", i, min)
+		}
+	}
+	total := c.TotalMinutes(98, entries, false)
+	hours := total / 60
+	if hours < 20 || hours > 36 {
+		t.Errorf("98 items = %.1f hours, want about a day of work (20-36h across sessions)", hours)
+	}
+	// Learning curve: later items are cheaper.
+	if c.ItemMinutes(97, entries, false) >= c.ItemMinutes(0, entries, false) {
+		t.Error("no learning-curve decrease")
+	}
+	// Assistance helps.
+	sp := c.Speedup(98, entries)
+	if sp <= 1.1 {
+		t.Errorf("assisted speedup = %.2f, want > 1.1", sp)
+	}
+	t.Logf("E8: 98 items manual %.1fh, assisted %.1fh, speedup %.2fx (%s)",
+		hours, c.TotalMinutes(98, entries, true)/60, sp, c)
+	if c.Speedup(0, entries) != 0 && c.TotalMinutes(0, entries, true) != 0 {
+		t.Error("empty batch should cost nothing")
+	}
+	zero := CostModel{}
+	if zero.ItemMinutes(5, 3, false) != 0 {
+		t.Error("zero model should cost nothing")
+	}
+}
