@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check figures clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check:
+	./scripts/check.sh
+
+figures:
+	$(GO) run ./cmd/figures
+
+clean:
+	rm -rf out/

@@ -5,22 +5,33 @@
 //
 // Usage:
 //
-//	carcs-server [-addr :8080] [-empty]
+//	carcs-server [-addr :8080] [-empty] [-data DIR]
+//
+// With -data, every mutation is journaled to DIR before it is applied and
+// periodic checkpoints compact the journal; restarting with the same DIR
+// restores the full state, including anything written between checkpoints.
+// SIGINT/SIGTERM drain in-flight requests and write a final checkpoint.
 //
 // Try:
 //
 //	curl localhost:8080/api/status
+//	curl localhost:8080/api/health
 //	curl 'localhost:8080/api/coverage?ontology=pdc12&collection=itcs3145'
 //	curl 'localhost:8080/api/similarity?left=nifty&right=peachy'
 //	curl 'localhost:8080/api/ontologies/cs13/search?q=parallel'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"carcs/internal/core"
 	"carcs/internal/server"
@@ -30,26 +41,87 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	empty := flag.Bool("empty", false, "start without the seeded collections")
+	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
+	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "background checkpoint interval when -data is set")
 	flag.Parse()
 
-	var sys *core.System
-	var err error
-	if *empty {
+	if err := run(*addr, *empty, *dataDir, *ckptEvery); err != nil {
+		log.Fatalf("carcs-server: %v", err)
+	}
+}
+
+func run(addr string, empty bool, dataDir string, ckptEvery time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		sys       *core.System
+		persister *core.Persister
+		err       error
+	)
+	if dataDir != "" {
+		sys, persister, err = core.OpenDurable(dataDir, core.DurableOptions{Seed: !empty})
+	} else if empty {
 		sys, err = core.New()
 	} else {
 		sys, err = core.NewSeeded()
 	}
 	if err != nil {
-		log.Fatalf("carcs-server: %v", err)
+		return err
 	}
 	sys.Workflow().Register("editor", workflow.RoleEditor)
 	sys.Workflow().Register("submitter", workflow.RoleSubmitter)
 
+	srv := server.New(sys, os.Stderr)
+	if persister != nil {
+		srv.SetPersister(persister)
+		if ckptEvery > 0 {
+			persister.Start(ckptEvery)
+		}
+		fmt.Printf("carcs-server: journaling to %s (checkpoint every %v)\n", dataDir, ckptEvery)
+	}
+
 	st := sys.ComputeStats()
 	fmt.Printf("carcs-server: %d materials in %v, CS13 %d entries, PDC12 %d entries\n",
 		st.Materials, st.Collections, st.CS13Size, st.PDC12Size)
-	fmt.Printf("carcs-server: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, server.New(sys, os.Stderr)); err != nil {
-		log.Fatalf("carcs-server: %v", err)
+	fmt.Printf("carcs-server: listening on %s\n", addr)
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		if persister != nil {
+			persister.Close()
+		}
+		return err
+	case <-ctx.Done():
+		stop() // a second signal now kills the process immediately
+		fmt.Println("carcs-server: shutting down")
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutErr := httpSrv.Shutdown(shutCtx)
+	if persister != nil {
+		// Final checkpoint after the last request drains, so a clean
+		// shutdown always restarts from a compact snapshot.
+		if err := persister.Close(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Println("carcs-server: final checkpoint written")
+	}
+	if shutErr != nil && !errors.Is(shutErr, http.ErrServerClosed) {
+		return shutErr
+	}
+	return nil
 }

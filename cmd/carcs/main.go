@@ -4,6 +4,8 @@
 //
 // Usage:
 //
+//	carcs [-data DIR] <subcommand>
+//
 //	carcs stats
 //	carcs list [-collection nifty] [-kind assignment] [-level CS1]
 //	carcs show <material-id>
@@ -19,6 +21,10 @@
 //	carcs replacements <material-id>
 //	carcs migrate
 //	carcs snapshot -o state.json
+//
+// With -data, the repository is opened from (and journaled to) DIR instead
+// of being rebuilt from the embedded seed on every run, so the CLI sees the
+// same durable state a carcs-server pointed at DIR would serve.
 package main
 
 import (
@@ -43,12 +49,38 @@ func main() {
 }
 
 func run(args []string) error {
+	// A leading -data DIR opens the durable store instead of the embedded
+	// seed; subcommand flags are parsed per-subcommand after it.
+	var dataDir string
+	switch {
+	case len(args) >= 2 && (args[0] == "-data" || args[0] == "--data"):
+		dataDir, args = args[1], args[2:]
+	case len(args) >= 1 && strings.HasPrefix(args[0], "-data="):
+		dataDir, args = strings.TrimPrefix(args[0], "-data="), args[1:]
+	case len(args) >= 1 && strings.HasPrefix(args[0], "--data="):
+		dataDir, args = strings.TrimPrefix(args[0], "--data="), args[1:]
+	}
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand (stats, list, show, coverage, gaps, similarity, search, query, depth, ontology-search, suggest, recommend, replacements, migrate, snapshot)")
 	}
-	sys, err := core.NewSeeded()
-	if err != nil {
-		return err
+	var sys *core.System
+	var err error
+	if dataDir != "" {
+		var p *core.Persister
+		sys, p, err = core.OpenDurable(dataDir, core.DurableOptions{Seed: true})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := p.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "carcs: checkpoint:", cerr)
+			}
+		}()
+	} else {
+		sys, err = core.NewSeeded()
+		if err != nil {
+			return err
+		}
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"carcs/internal/journal"
+	"carcs/internal/material"
+	"carcs/internal/relstore"
+	"carcs/internal/workflow"
+)
+
+// Journal op names for system mutations.
+const (
+	OpAddMaterial    = "material.add"
+	OpRemoveMaterial = "material.remove"
+	OpReclassify     = "material.reclassify"
+)
+
+type addMaterialPayload struct {
+	Material *material.Material `json:"material"`
+}
+
+type removeMaterialPayload struct {
+	ID string `json:"id"`
+}
+
+type reclassifyPayload struct {
+	ID              string                    `json:"id"`
+	Classifications []material.Classification `json:"classifications"`
+}
+
+// checkpointDoc is the payload of a durability checkpoint: the relational
+// snapshot plus the workflow queue, which the relational store does not
+// cover.
+type checkpointDoc struct {
+	Store    json.RawMessage     `json:"store"`
+	Workflow workflow.QueueState `json:"workflow"`
+}
+
+// DurableOptions configure OpenDurable.
+type DurableOptions struct {
+	// Seed loads the paper's three collections when the directory holds no
+	// prior state. Ignored once a checkpoint exists.
+	Seed bool
+	// WrapWAL passes through to the journal store; fault-injection tests
+	// use it to sever the log mid-record.
+	WrapWAL func(journal.WriteSyncer) journal.WriteSyncer
+}
+
+// Persister ties a System to a journal directory: it owns the write-ahead
+// log the system's mutation hooks append to, takes checkpoints (on demand,
+// on a timer, and on Close), and reports durability health.
+type Persister struct {
+	sys *System
+	st  *journal.Store
+
+	mu     sync.Mutex
+	ticker *time.Ticker
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// OpenDurable opens (or initializes) a durability directory and returns the
+// recovered System wired to journal every further mutation.
+//
+// Recovery: the last checkpoint is loaded (or a fresh — optionally seeded —
+// system is built and immediately checkpointed), then the write-ahead log
+// is replayed on top. A torn final record is truncated and forgotten; a
+// corrupt interior record refuses the open. After recovery, mutation hooks
+// are installed on both the system and its workflow queue, so every
+// accepted write reaches the log, fsync'd, before it commits.
+func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
+	var jopts *journal.Options
+	if opts.WrapWAL != nil {
+		jopts = &journal.Options{WrapWAL: opts.WrapWAL}
+	}
+	st, err := journal.Open(dir, jopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, haveCheckpoint, err := st.Checkpoint()
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	var sys *System
+	if haveCheckpoint {
+		sys, err = restoreCheckpoint(payload)
+	} else if opts.Seed {
+		sys, err = NewSeeded()
+	} else {
+		sys, err = New()
+	}
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	if _, err := st.Replay(func(rec journal.Record) error {
+		return applyOp(sys, rec)
+	}); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	p := &Persister{sys: sys, st: st}
+	if !haveCheckpoint {
+		// Pin the initial (possibly seeded) state so later opens never
+		// depend on the Seed flag being passed consistently.
+		if err := p.Checkpoint(); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+	}
+	hook := func(op string, data any) error {
+		_, err := st.Append(op, data)
+		return err
+	}
+	sys.SetMutationHook(hook)
+	sys.queue.SetHook(workflow.Hook(hook))
+	return sys, p, nil
+}
+
+func restoreCheckpoint(payload []byte) (*System, error) {
+	var doc checkpointDoc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	store, err := relstore.Restore(bytes.NewReader(doc.Store))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint store: %w", err)
+	}
+	sys, err := systemFromStore(store)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint replay: %w", err)
+	}
+	sys.queue.SetState(doc.Workflow)
+	return sys, nil
+}
+
+// applyOp re-executes one journaled mutation during recovery. Hooks are not
+// yet installed, so nothing is re-logged. Replay is strict: a record that
+// no longer applies means the journal and checkpoint disagree, and silently
+// skipping it would resurrect a state the system never held.
+func applyOp(s *System, rec journal.Record) error {
+	switch rec.Op {
+	case OpAddMaterial:
+		var p addMaterialPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.AddMaterial(p.Material)
+	case OpRemoveMaterial:
+		var p removeMaterialPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.RemoveMaterial(p.ID)
+	case OpReclassify:
+		var p reclassifyPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.Reclassify(p.ID, p.Classifications)
+	case workflow.OpRegister:
+		var p workflow.RegisterPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		_, err := s.queue.Register(p.Name, p.Role)
+		return err
+	case workflow.OpSubmit:
+		var p workflow.SubmitPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		_, err := s.queue.Submit(p.Submitter, p.Material)
+		return err
+	case workflow.OpReview:
+		var p workflow.ReviewPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.queue.Review(p.Editor, p.Submission, p.Decision, p.Note)
+	case workflow.OpResubmit:
+		var p workflow.ResubmitPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.queue.Resubmit(p.Submitter, p.Submission, p.Material)
+	case workflow.OpSuggestEdit:
+		var p workflow.SuggestEditPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		_, err := s.queue.SuggestEdit(p.Suggester, p.MaterialID, p.Field, p.OldValue, p.NewValue)
+		return err
+	case workflow.OpVerifyEdit:
+		var p workflow.VerifyEditPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.queue.VerifyEdit(p.Editor, p.Edit, p.Accept)
+	default:
+		return fmt.Errorf("core: unknown journal op %q", rec.Op)
+	}
+}
+
+// Checkpoint atomically snapshots the full system state (relational store +
+// workflow queue) and resets the write-ahead log. Mutations are frozen for
+// the duration: the lock order system → queue → journal matches the hooks'
+// (system → journal, queue → journal), so checkpointing can never deadlock
+// against a mutation, and no record can slip between the snapshot and the
+// log reset.
+func (p *Persister) Checkpoint() error {
+	s := p.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Freeze(func(qs workflow.QueueState) error {
+		return p.st.WriteCheckpoint(func(w io.Writer) error {
+			var buf bytes.Buffer
+			if err := s.store.Snapshot(&buf); err != nil {
+				return err
+			}
+			return json.NewEncoder(w).Encode(checkpointDoc{
+				Store:    buf.Bytes(),
+				Workflow: qs,
+			})
+		})
+	})
+}
+
+// Start launches background checkpointing every interval. It is a no-op if
+// already started or if interval is non-positive.
+func (p *Persister) Start(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.ticker = time.NewTicker(interval)
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func(tick *time.Ticker, stop chan struct{}, done chan struct{}) {
+		defer close(done)
+		for {
+			select {
+			case <-tick.C:
+				// A failed background checkpoint leaves the previous one
+				// intact and the journal still growing; surfaced via Stats.
+				_ = p.Checkpoint()
+			case <-stop:
+				return
+			}
+		}
+	}(p.ticker, p.stop, p.done)
+}
+
+// Stats reports the journal/checkpoint state for the health endpoint.
+func (p *Persister) Stats() journal.Stats { return p.st.Stats() }
+
+// Close stops background checkpointing, takes a final checkpoint, and
+// releases the journal. The system stays usable in memory, but further
+// mutations fail their durability hook — matching a clean shutdown.
+func (p *Persister) Close() error {
+	p.mu.Lock()
+	if p.stop != nil {
+		p.ticker.Stop()
+		close(p.stop)
+		<-p.done
+		p.stop = nil
+	}
+	p.mu.Unlock()
+	err := p.Checkpoint()
+	if cerr := p.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

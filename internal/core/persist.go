@@ -16,6 +16,12 @@ func Restore(r io.Reader) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	return systemFromStore(store)
+}
+
+// systemFromStore rebuilds a fresh System by replaying the materials and
+// classification links recorded in a restored relational store.
+func systemFromStore(store *relstore.Store) (*System, error) {
 	s, err := New()
 	if err != nil {
 		return nil, err

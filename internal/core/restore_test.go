@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"carcs/internal/relstore"
+)
+
+func TestRestoreMissingTables(t *testing.T) {
+	// A valid relstore snapshot that simply isn't a CAR-CS database.
+	var buf bytes.Buffer
+	if err := relstore.NewStore().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(&buf); err == nil || !strings.Contains(err.Error(), "missing CAR-CS tables") {
+		t.Fatalf("restore of empty store = %v, want missing-tables error", err)
+	}
+}
+
+func TestRestoreGarbage(t *testing.T) {
+	if _, err := Restore(strings.NewReader("not json at all")); err == nil {
+		t.Fatal("restore of garbage succeeded")
+	}
+}
+
+func TestRestoreDanglingClassificationLink(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMaterial(testMat("dang-1", arrayEntry())); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Point the material's classification link at an entry row that does
+	// not exist.
+	var snap map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	links := snap["links"].([]any)
+	link := links[0].(map[string]any)
+	pairs := link["pairs"].([]any)
+	pair := pairs[0].([]any)
+	pair[1] = float64(999)
+	tampered, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(tampered)); err == nil || !strings.Contains(err.Error(), "dangling entry link") {
+		t.Fatalf("restore with dangling link = %v, want dangling-link error", err)
+	}
+}
+
+func TestRestoreInvalidMaterialRow(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMaterial(testMat("bad-row", arrayEntry())); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Blank the material's kind so validation fails during reconstruction.
+	tampered := bytes.Replace(buf.Bytes(), []byte(`"kind":"assignment"`), []byte(`"kind":"zeppelin"`), 1)
+	if bytes.Equal(tampered, buf.Bytes()) {
+		t.Fatal("test setup: kind field not found in snapshot")
+	}
+	if _, err := Restore(bytes.NewReader(tampered)); err == nil || !strings.Contains(err.Error(), "restoring") {
+		t.Fatalf("restore with invalid row = %v, want restore error", err)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s, err := NewSeeded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix in a post-seed mutation so the round trip covers more than the
+	// pristine corpus.
+	if err := s.AddMaterial(testMat("rt-extra", arrayEntry())); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveMaterial(s.Materials("nifty")[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Materials("")
+	got := r.Materials("")
+	if len(got) != len(want) {
+		t.Fatalf("restored %d materials, want %d", len(got), len(want))
+	}
+	for _, wm := range want {
+		gm := r.Material(wm.ID)
+		if gm == nil {
+			t.Errorf("material %s lost in round trip", wm.ID)
+			continue
+		}
+		if gm.Title != wm.Title || gm.Kind != wm.Kind || gm.Level != wm.Level ||
+			gm.Collection != wm.Collection || gm.Year != wm.Year ||
+			gm.Language != wm.Language || gm.URL != wm.URL ||
+			gm.Description != wm.Description {
+			t.Errorf("material %s metadata diverged:\n got %+v\nwant %+v", wm.ID, gm, wm)
+		}
+		if g, w := strings.Join(gm.ClassificationIDs(), ","), strings.Join(wm.ClassificationIDs(), ","); g != w {
+			t.Errorf("material %s classifications diverged:\n got %s\nwant %s", wm.ID, g, w)
+		}
+		if g, w := strings.Join(gm.Authors, "|"), strings.Join(wm.Authors, "|"); g != w {
+			t.Errorf("material %s authors diverged: %q vs %q", wm.ID, g, w)
+		}
+		if g, w := strings.Join(gm.Tags, "|"), strings.Join(wm.Tags, "|"); g != w {
+			t.Errorf("material %s tags diverged: %q vs %q", wm.ID, g, w)
+		}
+		if g, w := strings.Join(gm.Datasets, "|"), strings.Join(wm.Datasets, "|"); g != w {
+			t.Errorf("material %s datasets diverged: %q vs %q", wm.ID, g, w)
+		}
+	}
+	// The relational bookkeeping must agree too.
+	ws, rs := s.ComputeStats(), r.ComputeStats()
+	if ws.Materials != rs.Materials || ws.Links != rs.Links {
+		t.Errorf("stats diverged: %+v vs %+v", ws, rs)
+	}
+	// And a second snapshot of the restored system is byte-identical —
+	// snapshotting is deterministic over equal logical state.
+	var buf2 bytes.Buffer
+	if err := r.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Restore(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := r2.Snapshot(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Error("snapshot of restored system is not stable")
+	}
+}

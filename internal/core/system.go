@@ -45,6 +45,30 @@ type System struct {
 
 	keyword *classify.Keyword
 	tfidf   *classify.TFIDF
+
+	// hook, when set, journals every mutation before it commits (see
+	// MutationHook). Guarded by mu.
+	hook MutationHook
+}
+
+// MutationHook observes a mutation before it commits. The durability layer
+// installs one that appends the operation to the write-ahead log; if the
+// hook fails, the mutation is refused, so no accepted write can outlive the
+// journal. The hook runs with the system's mutation lock held.
+type MutationHook func(op string, payload any) error
+
+// SetMutationHook installs (or, with nil, removes) the mutation hook.
+func (s *System) SetMutationHook(h MutationHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+func (s *System) hookLocked(op string, payload any) error {
+	if s.hook == nil {
+		return nil
+	}
+	return s.hook(op, payload)
 }
 
 // New creates an empty CAR-CS system bound to the CS13 and PDC12 curricula.
@@ -146,6 +170,12 @@ func (s *System) AddMaterial(m *material.Material) error {
 	m = m.Clone()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.materials.LookupUnique("slug", m.ID) != nil {
+		return fmt.Errorf("core: add %q: duplicate material", m.ID)
+	}
+	if err := s.hookLocked(OpAddMaterial, addMaterialPayload{Material: m}); err != nil {
+		return fmt.Errorf("core: add %q: %w", m.ID, err)
+	}
 	rowID, err := s.materials.Insert(relstore.Row{
 		"slug":        m.ID,
 		"title":       m.Title,
@@ -192,6 +222,9 @@ func (s *System) RemoveMaterial(id string) error {
 	if row == nil {
 		return fmt.Errorf("core: no material %q", id)
 	}
+	if err := s.hookLocked(OpRemoveMaterial, removeMaterialPayload{ID: id}); err != nil {
+		return fmt.Errorf("core: remove %q: %w", id, err)
+	}
 	if err := s.materials.Delete(row.ID()); err != nil {
 		return err
 	}
@@ -217,6 +250,9 @@ func (s *System) Reclassify(id string, cls []material.Classification) error {
 	row := s.materials.LookupUnique("slug", id)
 	if row == nil {
 		return fmt.Errorf("core: store out of sync for %q", id)
+	}
+	if err := s.hookLocked(OpReclassify, reclassifyPayload{ID: id, Classifications: cls}); err != nil {
+		return fmt.Errorf("core: reclassify %q: %w", id, err)
 	}
 	s.links.RemoveLeft(row.ID())
 	for _, cl := range cls {

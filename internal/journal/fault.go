@@ -1,0 +1,92 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrFault is the injected failure a FaultWriter returns once its budget is
+// exhausted.
+var ErrFault = errors.New("journal: injected fault")
+
+// FaultWriter wraps a WriteSyncer and fails on command, so tests can prove
+// crash recovery: it passes writes through until a byte budget runs out,
+// then writes only the prefix that fits — leaving a torn frame on the
+// underlying medium, exactly like a crash mid-append — and fails every call
+// after that. It can also be armed to fail on Sync, modelling a crash after
+// the data reached the page cache but before it reached the platter.
+type FaultWriter struct {
+	mu        sync.Mutex
+	ws        WriteSyncer
+	remaining int64
+	limited   bool
+	failSync  bool
+	failed    bool
+}
+
+// NewFaultWriter wraps ws with a budget of failAfter bytes; failAfter < 0
+// means unlimited. failSync arms a failure on the next Sync call.
+func NewFaultWriter(ws WriteSyncer, failAfter int64, failSync bool) *FaultWriter {
+	return &FaultWriter{ws: ws, remaining: failAfter, limited: failAfter >= 0, failSync: failSync}
+}
+
+// SeverAfter re-arms the writer to fail once n more bytes have passed
+// through, letting a test run healthy for a while and then cut the journal
+// mid-record.
+func (f *FaultWriter) SeverAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limited, f.remaining = true, n
+}
+
+// SeverOnSync re-arms the writer to fail on the next Sync.
+func (f *FaultWriter) SeverOnSync() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSync = true
+}
+
+// Write forwards p to the underlying writer until the byte budget is spent,
+// then writes the partial prefix and fails.
+func (f *FaultWriter) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failed {
+		return 0, fmt.Errorf("%w: writer already severed", ErrFault)
+	}
+	if f.limited && int64(len(p)) > f.remaining {
+		n, _ := f.ws.Write(p[:f.remaining])
+		f.failed = true
+		return n, fmt.Errorf("%w: write severed after %d of %d bytes", ErrFault, f.remaining, len(p))
+	}
+	n, err := f.ws.Write(p)
+	if f.limited {
+		f.remaining -= int64(n)
+	}
+	if err != nil {
+		f.failed = true
+	}
+	return n, err
+}
+
+// Sync forwards to the underlying syncer unless armed to fail.
+func (f *FaultWriter) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failed {
+		return fmt.Errorf("%w: writer already severed", ErrFault)
+	}
+	if f.failSync {
+		f.failed = true
+		return fmt.Errorf("%w: sync severed", ErrFault)
+	}
+	return f.ws.Sync()
+}
+
+// Failed reports whether the fault has fired.
+func (f *FaultWriter) Failed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}

@@ -1,0 +1,207 @@
+// Package journal is the durability layer of the CAR-CS reproduction: an
+// append-only, CRC-checksummed, fsync'd write-ahead log of mutating
+// operations plus atomically-checkpointed snapshots, standing in for the
+// crash-safety PostgreSQL gave the paper's Django prototype.
+//
+// Every record is framed as
+//
+//	[u32le payload length][u32le CRC-32 (IEEE) of payload][payload]
+//
+// where the payload is the JSON encoding of a Record. A crash mid-append
+// leaves a torn final frame, which recovery truncates and continues past; a
+// checksum failure on an interior frame means silent corruption and is
+// refused, because replaying past it could resurrect a state the journal
+// never committed.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// headerSize is the per-record frame overhead: length + checksum.
+const headerSize = 8
+
+// MaxRecord bounds a single record's payload. A frame declaring more than
+// this cannot have been produced by a Writer, so recovery treats it as
+// corruption rather than a torn tail.
+const MaxRecord = 16 << 20
+
+// ErrCorrupt marks an interior record whose checksum or framing is invalid.
+// Unlike a torn tail it cannot be explained by a crash mid-append, so the
+// journal refuses to open.
+var ErrCorrupt = errors.New("journal: corrupt interior record")
+
+// Record is one journaled mutation.
+type Record struct {
+	// Seq is the monotonically increasing sequence number, never reused
+	// across checkpoints for the lifetime of a journal directory.
+	Seq uint64 `json:"seq"`
+	// Op names the mutation, e.g. "material.add".
+	Op string `json:"op"`
+	// Data is the op-specific JSON payload.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// WriteSyncer is the sink a Writer appends to: an io.Writer whose Sync
+// flushes to stable storage. *os.File satisfies it; FaultWriter wraps one to
+// simulate crashes.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+}
+
+// appendFrame appends the framed payload to buf and returns the result.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// Writer appends records to a WriteSyncer, fsyncing after every record so an
+// acknowledged mutation survives a crash. Any write or sync failure is
+// sticky: the journal may hold a torn frame, so further appends are refused
+// until the journal is reopened (which truncates the tear).
+type Writer struct {
+	mu  sync.Mutex
+	ws  WriteSyncer
+	seq uint64
+	err error
+}
+
+// NewWriter returns a Writer appending to ws, continuing after lastSeq.
+func NewWriter(ws WriteSyncer, lastSeq uint64) *Writer {
+	return &Writer{ws: ws, seq: lastSeq}
+}
+
+// Append marshals data, frames it with the next sequence number, writes and
+// syncs. It returns the record's sequence number.
+func (w *Writer) Append(op string, data any) (uint64, error) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return 0, fmt.Errorf("journal: marshal %s: %w", op, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, fmt.Errorf("journal: writer failed earlier: %w", w.err)
+	}
+	rec := Record{Seq: w.seq + 1, Op: op, Data: raw}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("journal: marshal record: %w", err)
+	}
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("journal: record %s exceeds %d bytes", op, MaxRecord)
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := w.ws.Write(frame); err != nil {
+		w.err = err
+		return 0, fmt.Errorf("journal: append %s: %w", op, err)
+	}
+	if err := w.ws.Sync(); err != nil {
+		w.err = err
+		return 0, fmt.Errorf("journal: sync %s: %w", op, err)
+	}
+	w.seq = rec.Seq
+	return rec.Seq, nil
+}
+
+// Seq returns the sequence number of the last successfully appended record.
+func (w *Writer) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Err returns the sticky write failure, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Scan reads framed records from r in order, invoking fn for each valid
+// one. It returns the byte length of the valid prefix.
+//
+// A torn tail — an incomplete frame, or an invalid final frame — ends the
+// scan cleanly: the caller should truncate the journal to the returned
+// offset and continue. An invalid frame with further data behind it returns
+// ErrCorrupt (wrapped), as does a non-increasing sequence number. An error
+// from fn aborts the scan and is returned as-is.
+func Scan(r io.Reader, fn func(Record) error) (int64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("journal: read: %w", err)
+	}
+	var off int64
+	n := int64(len(data))
+	var lastSeq uint64
+	for off < n {
+		if n-off < headerSize {
+			return off, nil // torn header
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > MaxRecord {
+			return off, fmt.Errorf("%w: offset %d declares %d-byte payload", ErrCorrupt, off, length)
+		}
+		end := off + headerSize + length
+		if end > n {
+			return off, nil // torn payload
+		}
+		payload := data[off+headerSize : end]
+		final := end == n
+		if crc32.ChecksumIEEE(payload) != sum {
+			if final {
+				return off, nil // torn final record
+			}
+			return off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			if final {
+				return off, nil
+			}
+			return off, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrCorrupt, off, err)
+		}
+		if rec.Seq <= lastSeq {
+			return off, fmt.Errorf("%w: sequence %d at offset %d not after %d", ErrCorrupt, rec.Seq, off, lastSeq)
+		}
+		if err := fn(rec); err != nil {
+			return off, err
+		}
+		lastSeq = rec.Seq
+		off = end
+	}
+	return off, nil
+}
+
+// EncodeRecord frames a record as Writer would, for tests that need to craft
+// journals byte-by-byte.
+func EncodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// DecodeAll scans every record in data into a slice, a convenience for
+// tests and tooling.
+func DecodeAll(data []byte) ([]Record, int64, error) {
+	var out []Record
+	valid, err := Scan(bytes.NewReader(data), func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, valid, err
+}

@@ -1,0 +1,352 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// File names inside a journal directory.
+const (
+	checkpointFile = "checkpoint.json"
+	checkpointTemp = "checkpoint.json.tmp"
+	walFile        = "journal.wal"
+)
+
+// Options configure a Store.
+type Options struct {
+	// WrapWAL, if set, wraps the write-ahead log's sink whenever it is
+	// (re)opened — the hook fault-injection tests use to sever writes.
+	WrapWAL func(WriteSyncer) WriteSyncer
+}
+
+// Store manages one durability directory: a checkpoint snapshot plus the
+// write-ahead log of mutations since. The on-disk protocol:
+//
+//   - checkpoint.json: one JSON meta line {"seq": N} followed by the
+//     caller's snapshot payload, written to checkpoint.json.tmp, fsync'd,
+//     and renamed into place so a crash never leaves a half checkpoint.
+//   - journal.wal: framed records (see Scan). Records with Seq <= the
+//     checkpoint's N are already folded into the snapshot and skipped on
+//     replay, which makes the checkpoint-then-truncate pair crash-safe in
+//     either order.
+type Store struct {
+	dir  string
+	wrap func(WriteSyncer) WriteSyncer
+
+	mu        sync.Mutex
+	f         *os.File
+	w         *Writer
+	recovered bool
+	closed    bool
+
+	checkpointSeq   uint64
+	checkpointAt    time.Time
+	checkpointBytes int64
+
+	walBytes   atomic.Int64
+	walRecords uint64
+}
+
+// checkpointMeta is the first line of a checkpoint file.
+type checkpointMeta struct {
+	Seq uint64 `json:"seq"`
+}
+
+// Open prepares the directory (creating it if needed) and reads the
+// checkpoint metadata. Call Checkpoint and Replay to recover state, then
+// Append to log new mutations.
+func Open(dir string, opts *Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("journal: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, wrap: func(ws WriteSyncer) WriteSyncer { return ws }}
+	if opts != nil && opts.WrapWAL != nil {
+		s.wrap = opts.WrapWAL
+	}
+	path := filepath.Join(dir, checkpointFile)
+	fi, err := os.Stat(path)
+	switch {
+	case err == nil:
+		meta, err := readCheckpointMeta(path)
+		if err != nil {
+			return nil, err
+		}
+		s.checkpointSeq = meta.Seq
+		s.checkpointAt = fi.ModTime()
+		s.checkpointBytes = fi.Size()
+	case os.IsNotExist(err):
+	default:
+		return nil, fmt.Errorf("journal: stat checkpoint: %w", err)
+	}
+	return s, nil
+}
+
+func readCheckpointMeta(path string) (checkpointMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return checkpointMeta{}, fmt.Errorf("journal: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	var meta checkpointMeta
+	line, err := bufio.NewReader(f).ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return meta, fmt.Errorf("journal: read checkpoint meta: %w", err)
+	}
+	if err := json.Unmarshal(line, &meta); err != nil {
+		return meta, fmt.Errorf("journal: parse checkpoint meta: %w", err)
+	}
+	return meta, nil
+}
+
+// Dir returns the journal directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Checkpoint returns the latest snapshot payload (the bytes after the meta
+// line) and whether a checkpoint exists.
+func (s *Store) Checkpoint() ([]byte, bool, error) {
+	path := filepath.Join(s.dir, checkpointFile)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("journal: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	if _, err := r.ReadBytes('\n'); err != nil && err != io.EOF {
+		return nil, false, fmt.Errorf("journal: read checkpoint meta: %w", err)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, false, fmt.Errorf("journal: read checkpoint: %w", err)
+	}
+	return payload, true, nil
+}
+
+// Replay scans the write-ahead log, invoking fn for every committed record
+// newer than the checkpoint, truncates any torn tail, and opens the log for
+// appending. It returns the number of records applied. Interior corruption
+// (ErrCorrupt) refuses recovery; the caller decides whether to discard the
+// directory.
+func (s *Store) Replay(fn func(Record) error) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovered {
+		return 0, fmt.Errorf("journal: already recovered")
+	}
+	path := filepath.Join(s.dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return 0, fmt.Errorf("journal: read wal: %w", err)
+	}
+	applied := 0
+	lastSeq := s.checkpointSeq
+	valid, err := Scan(bytes.NewReader(data), func(rec Record) error {
+		if rec.Seq > lastSeq {
+			lastSeq = rec.Seq
+		}
+		if rec.Seq <= s.checkpointSeq {
+			return nil // already folded into the checkpoint
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return fmt.Errorf("journal: replay seq %d (%s): %w", rec.Seq, rec.Op, err)
+			}
+		}
+		applied++
+		return nil
+	})
+	if err != nil {
+		return applied, err
+	}
+	if valid < int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return applied, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return applied, fmt.Errorf("journal: open wal: %w", err)
+	}
+	s.f = f
+	s.walBytes.Store(valid)
+	s.walRecords = uint64(applied)
+	s.w = NewWriter(s.wrap(&countingWS{f: f, n: &s.walBytes}), lastSeq)
+	s.recovered = true
+	return applied, nil
+}
+
+// Append journals one mutation: framed, written, and fsync'd before it
+// returns. It must not be called before Replay.
+func (s *Store) Append(op string, data any) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered || s.closed {
+		return 0, fmt.Errorf("journal: store not open for appends")
+	}
+	seq, err := s.w.Append(op, data)
+	if err != nil {
+		return 0, err
+	}
+	s.walRecords++
+	return seq, nil
+}
+
+// WriteCheckpoint atomically persists a new snapshot — the caller's write
+// callback streams the payload — and resets the write-ahead log. The caller
+// must guarantee no mutation is in flight (freeze the state it snapshots)
+// so the snapshot and the log agree on the covered sequence number.
+func (s *Store) WriteCheckpoint(write func(io.Writer) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered || s.closed {
+		return fmt.Errorf("journal: store not open for checkpoints")
+	}
+	seq := s.w.Seq()
+	tmp := filepath.Join(s.dir, checkpointTemp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: create checkpoint temp: %w", err)
+	}
+	meta, _ := json.Marshal(checkpointMeta{Seq: seq})
+	err = func() error {
+		if _, err := f.Write(append(meta, '\n')); err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: write checkpoint: %w", err)
+	}
+	final := filepath.Join(s.dir, checkpointFile)
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: install checkpoint: %w", err)
+	}
+	syncDir(s.dir)
+	fi, err := os.Stat(final)
+	if err != nil {
+		return fmt.Errorf("journal: stat checkpoint: %w", err)
+	}
+	s.checkpointSeq = seq
+	s.checkpointAt = fi.ModTime()
+	s.checkpointBytes = fi.Size()
+
+	// The snapshot now covers every journaled record; truncate the log. A
+	// crash before the truncate is safe — replay skips seq <= checkpoint.
+	wal := filepath.Join(s.dir, walFile)
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("journal: close wal: %w", err)
+	}
+	f2, err := os.OpenFile(wal, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reset wal: %w", err)
+	}
+	s.f = f2
+	s.walBytes.Store(0)
+	s.walRecords = 0
+	s.w = NewWriter(s.wrap(&countingWS{f: f2, n: &s.walBytes}), seq)
+	return nil
+}
+
+// Stats describe the durability state for health reporting.
+type Stats struct {
+	// Dir is the journal directory.
+	Dir string `json:"dir"`
+	// Seq is the last journaled sequence number.
+	Seq uint64 `json:"seq"`
+	// CheckpointSeq is the last sequence folded into the checkpoint.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// WALRecords counts live records in the write-ahead log.
+	WALRecords uint64 `json:"wal_records"`
+	// WALBytes is the log's on-disk size.
+	WALBytes int64 `json:"wal_bytes"`
+	// CheckpointAt is the last checkpoint's time, zero if none.
+	CheckpointAt time.Time `json:"checkpoint_at"`
+	// CheckpointBytes is the checkpoint's on-disk size.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// Err reports a sticky journal write failure, empty when healthy.
+	Err string `json:"err,omitempty"`
+}
+
+// Stats returns the current durability state.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Dir:             s.dir,
+		CheckpointSeq:   s.checkpointSeq,
+		WALRecords:      s.walRecords,
+		WALBytes:        s.walBytes.Load(),
+		CheckpointAt:    s.checkpointAt,
+		CheckpointBytes: s.checkpointBytes,
+	}
+	if s.w != nil {
+		st.Seq = s.w.Seq()
+		if err := s.w.Err(); err != nil {
+			st.Err = err.Error()
+		}
+	} else {
+		st.Seq = s.checkpointSeq
+	}
+	return st
+}
+
+// Close releases the write-ahead log file. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f != nil {
+		return s.f.Close()
+	}
+	return nil
+}
+
+// countingWS tracks the bytes that actually reached the file, so health
+// stats reflect on-disk size even after a severed partial write.
+type countingWS struct {
+	f *os.File
+	n *atomic.Int64
+}
+
+func (c *countingWS) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingWS) Sync() error { return c.f.Sync() }
+
+// syncDir fsyncs a directory so a rename is durable; best-effort on
+// filesystems that refuse directory syncs.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
+}

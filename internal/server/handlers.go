@@ -346,7 +346,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown role")
 		return
 	}
-	acct := s.sys.Workflow().Register(body.Name, role)
+	acct, err := s.sys.Workflow().Register(body.Name, role)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "account not durable: "+err.Error())
+		return
+	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": acct.Name, "role": acct.Role.String()})
 }
 

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"carcs/internal/journal"
+)
+
+// DefaultRequestTimeout bounds a single request's handler time so one slow
+// analysis (a large similarity graph, a deep coverage walk) cannot pin a
+// connection forever.
+const DefaultRequestTimeout = 30 * time.Second
+
+// statusRecorder wraps a ResponseWriter to capture the status code and body
+// size for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if !sr.wrote {
+		sr.status = http.StatusOK
+		sr.wrote = true
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through so streaming handlers keep working behind the
+// recorder.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withLogging records status, size, duration, and remote address for every
+// request — not just method and path before the handler runs.
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		s.log.Printf("%s %s %d %dB %s %s",
+			r.Method, r.URL.Path, sr.status, sr.bytes,
+			time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+	})
+}
+
+// withRecovery converts a handler panic into a logged 500 instead of a
+// dropped connection.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.log.Printf("panic: %s %s: %v", r.Method, r.URL.Path, rec)
+				if sr, ok := w.(*statusRecorder); !ok || !sr.wrote {
+					writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+				}
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// healthJSON is the GET /api/health response.
+type healthJSON struct {
+	Status    string         `json:"status"`
+	Materials int            `json:"materials"`
+	Durable   bool           `json:"durable"`
+	Journal   *journal.Stats `json:"journal,omitempty"`
+}
+
+// GET /api/health — liveness plus durability state. Reports "degraded" with
+// 503 when the journal has a sticky write failure (mutations are being
+// refused) so load balancers can rotate the instance out.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := healthJSON{Status: "ok", Materials: s.sys.Len()}
+	code := http.StatusOK
+	if s.persister != nil {
+		resp.Durable = true
+		st := s.persister.Stats()
+		resp.Journal = &st
+		if st.Err != "" {
+			resp.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, resp)
+}

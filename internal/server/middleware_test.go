@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"carcs/internal/core"
+	"carcs/internal/journal"
+)
+
+func TestRequestLogRecordsStatusDurationRemote(t *testing.T) {
+	sys, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	s := New(sys, &logBuf)
+
+	req := httptest.NewRequest("GET", "/api/status", nil)
+	req.RemoteAddr = "203.0.113.9:4242"
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	line := logBuf.String()
+	if !strings.Contains(line, "GET /api/status 200") {
+		t.Errorf("log line missing method/path/status: %q", line)
+	}
+	if !strings.Contains(line, "203.0.113.9:4242") {
+		t.Errorf("log line missing remote addr: %q", line)
+	}
+
+	logBuf.Reset()
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/api/materials/ghost", nil))
+	if line := logBuf.String(); !strings.Contains(line, "GET /api/materials/ghost 404") {
+		t.Errorf("log line missing error status: %q", line)
+	}
+}
+
+func TestPanicRecoveryLogsAndReturns500(t *testing.T) {
+	sys, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	s := New(sys, &logBuf)
+	s.mux.HandleFunc("GET /test/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/test/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("panic status = %d", rec.Code)
+	}
+	if !strings.Contains(logBuf.String(), "kaboom") {
+		t.Errorf("panic not logged: %q", logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "GET /test/boom 500") {
+		t.Errorf("request log missing 500 for panic: %q", logBuf.String())
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	sys, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, bytes.NewBuffer(nil))
+	s.mux.HandleFunc("GET /test/slow", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	})
+	s.SetRequestTimeout(20 * time.Millisecond)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/test/slow", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("timeout status = %d", rec.Code)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %s; handler not cut off", elapsed)
+	}
+}
+
+func TestHealthEndpointInMemory(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := do(t, s, "GET", "/api/health", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health = %d", rec.Code)
+	}
+	var h struct {
+		Status    string         `json:"status"`
+		Materials int            `json:"materials"`
+		Durable   bool           `json:"durable"`
+		Journal   *journal.Stats `json:"journal"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Durable || h.Journal != nil || h.Materials == 0 {
+		t.Errorf("in-memory health = %+v", h)
+	}
+}
+
+func TestHealthEndpointDurableAndDegraded(t *testing.T) {
+	dir := t.TempDir()
+	var fw *journal.FaultWriter
+	sys, p, err := core.OpenDurable(dir, core.DurableOptions{
+		WrapWAL: func(ws journal.WriteSyncer) journal.WriteSyncer {
+			fw = journal.NewFaultWriter(ws, -1, false)
+			return fw
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, bytes.NewBuffer(nil))
+	s.SetPersister(p)
+
+	rec := do(t, s, "POST", "/api/accounts", "", map[string]string{"name": "ann", "role": "editor"})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("register = %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, s, "GET", "/api/health", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health = %d %s", rec.Code, rec.Body)
+	}
+	var h struct {
+		Status  string         `json:"status"`
+		Durable bool           `json:"durable"`
+		Journal *journal.Stats `json:"journal"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Durable || h.Journal == nil || h.Journal.Seq == 0 || h.Journal.Dir != dir {
+		t.Errorf("durable health = %+v", h)
+	}
+
+	// Sever the journal: the next mutation fails, and health degrades.
+	fw.SeverAfter(3)
+	rec = do(t, s, "POST", "/api/accounts", "", map[string]string{"name": "ben", "role": "user"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("register on severed journal = %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, s, "GET", "/api/health", "", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("degraded health = %d %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Errorf("degraded health body = %+v", h)
+	}
+}
+
+func TestDurableServerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	sys, p, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, bytes.NewBuffer(nil))
+	s.SetPersister(p)
+	if rec := do(t, s, "POST", "/api/accounts", "", map[string]string{"name": "ed", "role": "editor"}); rec.Code != http.StatusCreated {
+		t.Fatalf("register = %d", rec.Code)
+	}
+	body := map[string]any{
+		"id": "restart-live", "title": "Restart Live", "kind": "assignment",
+		"level": "CS1", "classifications": []string{},
+	}
+	if rec := do(t, s, "POST", "/api/materials", "ed", body); rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d %s", rec.Code, do(t, s, "POST", "/api/materials", "ed", body).Body)
+	}
+	if err := p.Close(); err != nil { // graceful shutdown: final checkpoint
+		t.Fatal(err)
+	}
+
+	sys2, p2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	s2 := New(sys2, bytes.NewBuffer(nil))
+	s2.SetPersister(p2)
+	if rec := do(t, s2, "GET", "/api/materials/restart-live", "", nil); rec.Code != http.StatusOK {
+		t.Errorf("material lost across restart: %d %s", rec.Code, rec.Body)
+	}
+	// The account survived too, so the editor can keep mutating.
+	if rec := do(t, s2, "DELETE", "/api/materials/restart-live", "ed", nil); rec.Code != http.StatusOK {
+		t.Errorf("editor lost across restart: %d %s", rec.Code, rec.Body)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"carcs/internal/core"
 	"carcs/internal/material"
@@ -25,33 +26,53 @@ import (
 
 // Server routes HTTP requests onto a core.System.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
-	log *log.Logger
+	sys       *core.System
+	mux       *http.ServeMux
+	log       *log.Logger
+	persister *core.Persister
+	timeout   time.Duration
+	handler   http.Handler
 }
 
 // New builds a server around the system, logging to w (io.Discard for
 // silence).
 func New(sys *core.System, w io.Writer) *Server {
 	s := &Server{
-		sys: sys,
-		mux: http.NewServeMux(),
-		log: log.New(w, "carcs ", log.LstdFlags),
+		sys:     sys,
+		mux:     http.NewServeMux(),
+		log:     log.New(w, "carcs ", log.LstdFlags),
+		timeout: DefaultRequestTimeout,
 	}
 	s.routes()
+	s.rebuildHandler()
 	return s
 }
 
-// ServeHTTP implements http.Handler with logging and panic recovery.
+// SetPersister attaches the durability layer so /api/health can report
+// journal and checkpoint state. Call before serving.
+func (s *Server) SetPersister(p *core.Persister) { s.persister = p }
+
+// SetRequestTimeout changes the per-request deadline (0 disables it). Call
+// before serving.
+func (s *Server) SetRequestTimeout(d time.Duration) {
+	s.timeout = d
+	s.rebuildHandler()
+}
+
+// rebuildHandler assembles the middleware stack: request logging outermost
+// (so it records the final status even of panics and timeouts), panic
+// recovery next, and the per-request timeout innermost.
+func (s *Server) rebuildHandler() {
+	var h http.Handler = s.mux
+	if s.timeout > 0 {
+		h = http.TimeoutHandler(h, s.timeout, `{"error":"request timed out"}`)
+	}
+	s.handler = s.withLogging(s.withRecovery(h))
+}
+
+// ServeHTTP implements http.Handler through the middleware stack.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			s.log.Printf("panic: %v", rec)
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
-		}
-	}()
-	s.log.Printf("%s %s", r.Method, r.URL.Path)
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *Server) routes() {
@@ -64,6 +85,7 @@ func (s *Server) routes() {
 
 	// JSON API.
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 
 	s.mux.HandleFunc("GET /api/materials", s.handleListMaterials)
 	s.mux.HandleFunc("POST /api/materials", s.requireRole(workflow.RoleEditor, s.handleCreateMaterial))

@@ -1,0 +1,131 @@
+package workflow
+
+import (
+	"sort"
+
+	"carcs/internal/material"
+)
+
+// Journal op names for workflow mutations. The durability layer writes them
+// to the write-ahead log and replays them through Replay.
+const (
+	OpRegister    = "workflow.register"
+	OpSubmit      = "workflow.submit"
+	OpReview      = "workflow.review"
+	OpResubmit    = "workflow.resubmit"
+	OpSuggestEdit = "workflow.suggest-edit"
+	OpVerifyEdit  = "workflow.verify-edit"
+)
+
+// ReviewPayload is the journaled form of Review.
+type ReviewPayload struct {
+	Editor     string `json:"editor"`
+	Submission int64  `json:"submission"`
+	Decision   Status `json:"decision"`
+	Note       string `json:"note,omitempty"`
+}
+
+// ResubmitPayload is the journaled form of Resubmit.
+type ResubmitPayload struct {
+	Submitter  string             `json:"submitter"`
+	Submission int64              `json:"submission"`
+	Material   *material.Material `json:"material"`
+}
+
+// SuggestEditPayload is the journaled form of SuggestEdit.
+type SuggestEditPayload struct {
+	Suggester  string `json:"suggester"`
+	MaterialID string `json:"material_id"`
+	Field      string `json:"field"`
+	OldValue   string `json:"old_value"`
+	NewValue   string `json:"new_value"`
+}
+
+// VerifyEditPayload is the journaled form of VerifyEdit.
+type VerifyEditPayload struct {
+	Editor string `json:"editor"`
+	Edit   int64  `json:"edit"`
+	Accept bool   `json:"accept"`
+}
+
+// QueueState is the serializable whole of a workflow queue, the part of a
+// durability checkpoint that the relational snapshot does not cover.
+type QueueState struct {
+	Accounts    []Account       `json:"accounts"`
+	Submissions []Submission    `json:"submissions"`
+	Edits       []SuggestedEdit `json:"edits"`
+	Audit       []AuditEntry    `json:"audit"`
+	NextSub     int64           `json:"next_sub"`
+	NextEdit    int64           `json:"next_edit"`
+	NextSeq     int64           `json:"next_seq"`
+}
+
+func (q *Queue) stateLocked() QueueState {
+	st := QueueState{
+		NextSub:  q.nextSub,
+		NextEdit: q.nextEdit,
+		NextSeq:  q.nextSeq,
+		Audit:    append([]AuditEntry(nil), q.audit...),
+	}
+	for _, a := range q.accounts {
+		st.Accounts = append(st.Accounts, a)
+	}
+	sort.Slice(st.Accounts, func(i, j int) bool { return st.Accounts[i].Name < st.Accounts[j].Name })
+	for _, s := range q.subs {
+		cp := *s
+		if s.Material != nil {
+			cp.Material = s.Material.Clone()
+		}
+		st.Submissions = append(st.Submissions, cp)
+	}
+	sort.Slice(st.Submissions, func(i, j int) bool { return st.Submissions[i].ID < st.Submissions[j].ID })
+	for _, e := range q.edits {
+		st.Edits = append(st.Edits, *e)
+	}
+	sort.Slice(st.Edits, func(i, j int) bool { return st.Edits[i].ID < st.Edits[j].ID })
+	return st
+}
+
+// State returns a deep, deterministic copy of the queue's state.
+func (q *Queue) State() QueueState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stateLocked()
+}
+
+// SetState replaces the queue's contents with a previously captured state.
+// The installed hook is not invoked: restoring is not a new mutation.
+func (q *Queue) SetState(st QueueState) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.accounts = make(map[string]Account, len(st.Accounts))
+	for _, a := range st.Accounts {
+		q.accounts[a.Name] = a
+	}
+	q.subs = make(map[int64]*Submission, len(st.Submissions))
+	for _, s := range st.Submissions {
+		cp := s
+		if s.Material != nil {
+			cp.Material = s.Material.Clone()
+		}
+		q.subs[cp.ID] = &cp
+	}
+	q.edits = make(map[int64]*SuggestedEdit, len(st.Edits))
+	for _, e := range st.Edits {
+		cp := e
+		q.edits[cp.ID] = &cp
+	}
+	q.audit = append([]AuditEntry(nil), st.Audit...)
+	q.nextSub = st.NextSub
+	q.nextEdit = st.NextEdit
+	q.nextSeq = st.NextSeq
+}
+
+// Freeze runs fn with the queue's mutation lock held, passing the current
+// state. The durability layer uses it to checkpoint atomically: no workflow
+// mutation can commit (or journal itself) while fn runs.
+func (q *Queue) Freeze(fn func(QueueState) error) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return fn(q.stateLocked())
+}

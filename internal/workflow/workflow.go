@@ -95,6 +95,11 @@ type AuditEntry struct {
 	Detail string
 }
 
+// Hook observes a workflow mutation before it commits. A durability layer
+// installs one to journal the operation; a hook error aborts the mutation,
+// so a change is never visible unless it was logged first.
+type Hook func(op string, payload any) error
+
 // Queue is the curation workflow state. Safe for concurrent use.
 type Queue struct {
 	mu       sync.Mutex
@@ -106,6 +111,7 @@ type Queue struct {
 	nextEdit int64
 	nextSeq  int64
 	now      func() time.Time
+	hook     Hook
 }
 
 // NewQueue returns an empty workflow queue.
@@ -121,14 +127,42 @@ func NewQueue() *Queue {
 // SetClock overrides the queue's clock, for tests.
 func (q *Queue) SetClock(now func() time.Time) { q.now = now }
 
-// Register creates an account; re-registering a name changes its role.
-func (q *Queue) Register(name string, role Role) Account {
+// SetHook installs the mutation hook. Pass nil to detach (e.g. during
+// journal replay, so replayed operations are not re-logged).
+func (q *Queue) SetHook(h Hook) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.hook = h
+}
+
+func (q *Queue) hookLocked(op string, payload any) error {
+	if q.hook == nil {
+		return nil
+	}
+	return q.hook(op, payload)
+}
+
+// RegisterPayload is the journaled form of Register.
+type RegisterPayload struct {
+	Name string `json:"name"`
+	Role Role   `json:"role"`
+}
+
+// Register creates an account; re-registering a name changes its role. It
+// returns an error only when the installed mutation hook refuses the write.
+func (q *Queue) Register(name string, role Role) (Account, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	a := Account{Name: name, Role: role}
+	if prev, ok := q.accounts[name]; ok && prev == a {
+		return a, nil // no-op; keep the journal quiet on re-registration
+	}
+	if err := q.hookLocked(OpRegister, RegisterPayload{Name: name, Role: role}); err != nil {
+		return Account{}, err
+	}
 	q.accounts[name] = a
 	q.logLocked(name, "register", role.String())
-	return a
+	return a, nil
 }
 
 // Account returns the named account and whether it exists.
@@ -150,6 +184,12 @@ func (q *Queue) requireLocked(name string, min Role) error {
 	return nil
 }
 
+// SubmitPayload is the journaled form of Submit.
+type SubmitPayload struct {
+	Submitter string             `json:"submitter"`
+	Material  *material.Material `json:"material"`
+}
+
 // Submit uploads a material for review.
 func (q *Queue) Submit(submitter string, m *material.Material) (*Submission, error) {
 	q.mu.Lock()
@@ -159,6 +199,9 @@ func (q *Queue) Submit(submitter string, m *material.Material) (*Submission, err
 	}
 	if m == nil {
 		return nil, fmt.Errorf("workflow: nil material")
+	}
+	if err := q.hookLocked(OpSubmit, SubmitPayload{Submitter: submitter, Material: m}); err != nil {
+		return nil, err
 	}
 	q.nextSub++
 	s := &Submission{ID: q.nextSub, Material: m, Submitter: submitter, Status: StatusPending}
@@ -204,6 +247,9 @@ func (q *Queue) Review(editor string, subID int64, decision Status, note string)
 	default:
 		return fmt.Errorf("workflow: invalid decision %q", decision)
 	}
+	if err := q.hookLocked(OpReview, ReviewPayload{Editor: editor, Submission: subID, Decision: decision, Note: note}); err != nil {
+		return err
+	}
 	s.Status = decision
 	s.ReviewedBy = editor
 	s.Note = note
@@ -225,6 +271,9 @@ func (q *Queue) Resubmit(submitter string, subID int64, m *material.Material) er
 	}
 	if s.Status != StatusChanges {
 		return fmt.Errorf("workflow: submission %d is %s, not %s", subID, s.Status, StatusChanges)
+	}
+	if err := q.hookLocked(OpResubmit, ResubmitPayload{Submitter: submitter, Submission: subID, Material: m}); err != nil {
+		return err
 	}
 	s.Material = m
 	s.Status = StatusPending
@@ -260,6 +309,12 @@ func (q *Queue) SuggestEdit(suggester, materialID, field, oldValue, newValue str
 	if err := q.requireLocked(suggester, RoleUser); err != nil {
 		return nil, err
 	}
+	if err := q.hookLocked(OpSuggestEdit, SuggestEditPayload{
+		Suggester: suggester, MaterialID: materialID,
+		Field: field, OldValue: oldValue, NewValue: newValue,
+	}); err != nil {
+		return nil, err
+	}
 	q.nextEdit++
 	e := &SuggestedEdit{
 		ID: q.nextEdit, MaterialID: materialID,
@@ -284,6 +339,9 @@ func (q *Queue) VerifyEdit(editor string, editID int64, accept bool) error {
 	}
 	if e.Verified || e.Rejected {
 		return fmt.Errorf("workflow: edit %d already decided", editID)
+	}
+	if err := q.hookLocked(OpVerifyEdit, VerifyEditPayload{Editor: editor, Edit: editID, Accept: accept}); err != nil {
+		return err
 	}
 	if accept {
 		e.Verified = true

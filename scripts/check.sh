@@ -1,0 +1,23 @@
+#!/bin/sh
+# Full pre-merge gate: formatting, vet, build, and the race-enabled test
+# suite. Run from the repository root (make check does).
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== OK =="
