@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check figures clean
+.PHONY: all build test race vet fmt check figures bench bench-smoke clean
 
 all: check
 
@@ -25,6 +25,14 @@ check:
 
 figures:
 	$(GO) run ./cmd/figures
+
+# Full benchmark run; writes BENCH_1.json for before/after comparison.
+bench:
+	./scripts/bench.sh
+
+# One iteration of every benchmark — compilation and sanity, not timing.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 clean:
 	rm -rf out/

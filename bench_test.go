@@ -213,6 +213,93 @@ func BenchmarkRecommendCoOccurrence(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// E13 — read-path performance: the system-level analysis calls the server
+// dispatches on every request. On the seed these recompute from scratch per
+// call (Bayes retrains over the corpus, the co-occurrence miner rescans it);
+// with the generation-keyed cache they are memoized until a mutation bumps
+// the generation.
+// ---------------------------------------------------------------------------
+
+func seededSystem(b *testing.B) *core.System {
+	b.Helper()
+	sys, err := core.NewSeeded()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkSystemSuggestBayes(b *testing.B) {
+	sys := seededSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := sys.Suggest("bayes", "pdc12", benchDesc, 10)
+		if err != nil || len(out) == 0 {
+			b.Fatalf("out=%d err=%v", len(out), err)
+		}
+	}
+}
+
+func BenchmarkSystemRecommendCoOccurrence(b *testing.B) {
+	sys := seededSystem(b)
+	arrays := "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := sys.Recommend([]string{arrays}, 10); len(out) == 0 {
+			b.Fatal("no recommendations")
+		}
+	}
+}
+
+func BenchmarkSystemSuggestTFIDFPDC12(b *testing.B) {
+	sys := seededSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := sys.Suggest("tfidf", "pdc12", benchDesc, 10)
+		if err != nil || len(out) == 0 {
+			b.Fatalf("out=%d err=%v", len(out), err)
+		}
+	}
+}
+
+func BenchmarkSystemCoverageWarm(b *testing.B) {
+	sys := seededSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sys.Coverage("cs13", "")
+		if err != nil || r.Materials == 0 {
+			b.Fatalf("err=%v", err)
+		}
+	}
+}
+
+func BenchmarkSystemSimilarityWarm(b *testing.B) {
+	sys := seededSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := sys.SimilarityGraph("nifty", "peachy", 2); len(g.Nodes) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkServerSuggestBayes measures the full HTTP round trip on the
+// heaviest suggestion endpoint.
+func BenchmarkServerSuggestBayes(b *testing.B) {
+	sys := seededSystem(b)
+	h := server.New(sys, io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", "/api/suggest?ontology=pdc12&method=bayes&q=parallel+stencil+openmp", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
 // BenchmarkCurationCostModel evaluates the E8 effort model over the seeded
 // corpus size.
 func BenchmarkCurationCostModel(b *testing.B) {

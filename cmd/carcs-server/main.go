@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	carcs-server [-addr :8080] [-empty] [-data DIR]
+//	carcs-server [-addr :8080] [-empty] [-data DIR] [-pprof]
 //
 // With -data, every mutation is journaled to DIR before it is applied and
 // periodic checkpoints compact the journal; restarting with the same DIR
@@ -43,14 +43,15 @@ func main() {
 	empty := flag.Bool("empty", false, "start without the seeded collections")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "background checkpoint interval when -data is set")
+	pprofOn := flag.Bool("pprof", false, "serve profiling handlers under /debug/pprof/")
 	flag.Parse()
 
-	if err := run(*addr, *empty, *dataDir, *ckptEvery); err != nil {
+	if err := run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn); err != nil {
 		log.Fatalf("carcs-server: %v", err)
 	}
 }
 
-func run(addr string, empty bool, dataDir string, ckptEvery time.Duration) error {
+func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprofOn bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -73,6 +74,10 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration) error
 	sys.Workflow().Register("submitter", workflow.RoleSubmitter)
 
 	srv := server.New(sys, os.Stderr)
+	if pprofOn {
+		srv.EnablePprof()
+		fmt.Println("carcs-server: profiling enabled at /debug/pprof/")
+	}
 	if persister != nil {
 		srv.SetPersister(persister)
 		if ckptEvery > 0 {

@@ -1,0 +1,201 @@
+// Package cache implements the generation-keyed result cache behind the
+// CAR-CS read path. Every analysis the service exposes (coverage reports,
+// gap analyses, similarity graphs, suggestion lists, rendered SVGs) is a
+// pure function of the material corpus plus its request parameters, and the
+// corpus changes rarely compared to how often it is read. The cache
+// exploits that: results are memoized under (request key, generation),
+// where the generation is a monotonic counter the owning system bumps on
+// every mutation. A reader that observes generation g either gets a result
+// computed at generation >= g or computes one itself — stale entries are
+// never served, they are evicted on first post-mutation access.
+//
+// Concurrent readers asking for the same (key, generation) are collapsed
+// into a single computation (singleflight), so a thundering herd on a cold
+// entry costs one recompute, not N.
+package cache
+
+import (
+	"strings"
+	"sync"
+)
+
+// DefaultMaxEntries bounds the cache when no explicit capacity is given.
+// Suggestion queries carry free text, so the key space is unbounded; the
+// cap keeps a hostile or merely diverse query stream from growing memory
+// without limit.
+const DefaultMaxEntries = 4096
+
+// Cache is a generation-keyed memoization table. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]entry
+	inflight map[flightKey]*call
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	lastInval uint64 // generation that most recently evicted a stale entry
+}
+
+type entry struct {
+	gen uint64
+	val any
+}
+
+type flightKey struct {
+	key string
+	gen uint64
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns an empty cache holding at most maxEntries results
+// (DefaultMaxEntries when maxEntries <= 0).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		max:      maxEntries,
+		entries:  make(map[string]entry),
+		inflight: make(map[flightKey]*call),
+	}
+}
+
+// Key joins request parameters into a cache key. The unit separator keeps
+// adjacent fields from aliasing ("a","bc" vs "ab","c").
+func Key(parts ...string) string {
+	return strings.Join(parts, "\x1f")
+}
+
+// Do returns the cached value for key at generation gen, computing it with
+// compute on a miss. A cached value computed at generation >= gen is a hit
+// (a concurrent writer may have refreshed the entry under a newer
+// generation; newer is never stale). A cached value from an older
+// generation is evicted and recomputed. Errors are not cached.
+//
+// compute runs without the cache lock held, so it may take its own locks
+// (the core system's read lock, typically). Concurrent Do calls with the
+// same key and generation share one compute invocation.
+func (c *Cache) Do(key string, gen uint64, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.gen >= gen {
+			c.hits++
+			c.mu.Unlock()
+			return e.val, nil
+		}
+		delete(c.entries, key)
+		c.evictions++
+		if gen > c.lastInval {
+			c.lastInval = gen
+		}
+	}
+	c.misses++
+	fk := flightKey{key: key, gen: gen}
+	if cl, ok := c.inflight[fk]; ok {
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[fk] = cl
+	c.mu.Unlock()
+
+	cl.val, cl.err = compute()
+	close(cl.done)
+
+	c.mu.Lock()
+	delete(c.inflight, fk)
+	if cl.err == nil {
+		c.storeLocked(key, gen, cl.val)
+	}
+	c.mu.Unlock()
+	return cl.val, cl.err
+}
+
+// storeLocked inserts a value, evicting to stay under capacity: entries
+// from older generations go first (they can never be served again), then
+// arbitrary ones. An existing entry under a newer generation is kept.
+func (c *Cache) storeLocked(key string, gen uint64, val any) {
+	if e, ok := c.entries[key]; ok && e.gen > gen {
+		return
+	}
+	if _, ok := c.entries[key]; !ok && len(c.entries) >= c.max {
+		for k, e := range c.entries {
+			if e.gen < gen {
+				delete(c.entries, k)
+				c.evictions++
+				if len(c.entries) < c.max {
+					break
+				}
+			}
+		}
+		for k := range c.entries {
+			if len(c.entries) < c.max {
+				break
+			}
+			delete(c.entries, k)
+			c.evictions++
+		}
+	}
+	c.entries[key] = entry{gen: gen, val: val}
+}
+
+// Invalidate drops every entry older than gen. Lookups already evict
+// lazily; Invalidate exists for callers that want memory back eagerly
+// (e.g. after a bulk import).
+func (c *Cache) Invalidate(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if e.gen < gen {
+			delete(c.entries, k)
+			c.evictions++
+		}
+	}
+	if gen > c.lastInval {
+		c.lastInval = gen
+	}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness, surfaced by
+// GET /api/health.
+type Stats struct {
+	// Entries is the number of cached results currently held.
+	Entries int `json:"entries"`
+	// Hits and Misses count Do calls served from / past the cache.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped, whether by generation change or
+	// capacity pressure.
+	Evictions uint64 `json:"evictions"`
+	// HitRatio is Hits / (Hits + Misses), 0 before any lookup.
+	HitRatio float64 `json:"hit_ratio"`
+	// LastInvalidationGen is the newest generation that evicted a stale
+	// entry; 0 if no generation change has been observed yet.
+	LastInvalidationGen uint64 `json:"last_invalidation_generation"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Entries:             len(c.entries),
+		Hits:                c.hits,
+		Misses:              c.misses,
+		Evictions:           c.evictions,
+		LastInvalidationGen: c.lastInval,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
+}

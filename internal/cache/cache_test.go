@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHitMissEvict(t *testing.T) {
+	c := New(0)
+	calls := 0
+	compute := func() (any, error) { calls++; return calls, nil }
+
+	v, err := c.Do("k", 1, compute)
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("first Do = %v, %v", v, err)
+	}
+	v, _ = c.Do("k", 1, compute)
+	if v.(int) != 1 {
+		t.Fatalf("same-generation Do recomputed: %v", v)
+	}
+	// Generation moved: the stale entry must be evicted and recomputed.
+	v, _ = c.Do("k", 2, compute)
+	if v.(int) != 2 {
+		t.Fatalf("post-mutation Do served stale value %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LastInvalidationGen != 2 {
+		t.Fatalf("last invalidation generation = %d", st.LastInvalidationGen)
+	}
+	if st.HitRatio <= 0.33 || st.HitRatio >= 0.34 {
+		t.Fatalf("hit ratio = %v", st.HitRatio)
+	}
+}
+
+func TestNewerGenerationIsNotStale(t *testing.T) {
+	c := New(0)
+	if _, err := c.Do("k", 5, func() (any, error) { return "new", nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A reader that captured an older generation may still be served the
+	// newer result: monotonic, never stale.
+	v, _ := c.Do("k", 3, func() (any, error) { return "old", nil })
+	if v != "new" {
+		t.Fatalf("older-generation reader got %v", v)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	if _, err := c.Do("k", 1, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.Do("k", 1, func() (any, error) { return 42, nil })
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("after error Do = %v, %v", v, err)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, err := c.Do(k, 1, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries > 4 {
+		t.Fatalf("capacity exceeded: %+v", st)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(0)
+	c.Do("a", 1, func() (any, error) { return 1, nil })
+	c.Do("b", 2, func() (any, error) { return 2, nil })
+	c.Invalidate(2)
+	st := c.Stats()
+	if st.Entries != 1 || st.Evictions != 1 || st.LastInvalidationGen != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSingleflightCollapses(t *testing.T) {
+	c := New(0)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", 7, func() (any, error) {
+				computes.Add(1)
+				<-release
+				return "v", nil
+			})
+			if err != nil || v != "v" {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}()
+	}
+	// Let the goroutines pile up on the in-flight call, then release.
+	for computes.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times", n)
+	}
+}
+
+func TestConcurrentGenerations(t *testing.T) {
+	c := New(0)
+	var wg sync.WaitGroup
+	for g := uint64(1); g <= 8; g++ {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(g uint64) {
+				defer wg.Done()
+				v, err := c.Do("k", g, func() (any, error) { return g, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// The served value must come from generation >= g.
+				if got := v.(uint64); got < g {
+					t.Errorf("generation %d served value from %d", g, got)
+				}
+			}(g)
+		}
+	}
+	wg.Wait()
+}

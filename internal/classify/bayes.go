@@ -21,7 +21,10 @@ type Bayes struct {
 	totalTerms map[string]int
 	docCount   map[string]int
 	trained    int
-	vocab      map[string]bool
+	// vocab reference-counts term occurrences across all classes so that
+	// Forget can shrink the vocabulary exactly when a term's last
+	// occurrence leaves the model.
+	vocab map[string]int
 }
 
 // NewBayes returns an untrained model bound to the ontology.
@@ -31,7 +34,7 @@ func NewBayes(o *ontology.Ontology) *Bayes {
 		termCounts: make(map[string]map[string]int),
 		totalTerms: make(map[string]int),
 		docCount:   make(map[string]int),
-		vocab:      make(map[string]bool),
+		vocab:      make(map[string]int),
 	}
 }
 
@@ -57,11 +60,53 @@ func (b *Bayes) Train(m *material.Material) {
 		for _, t := range terms {
 			tc[t]++
 			b.totalTerms[id]++
-			b.vocab[t] = true
+			b.vocab[t]++
 		}
 	}
 	if trained {
 		b.trained++
+	}
+}
+
+// Observe is Train under the name the incremental-maintenance interfaces
+// use: the model absorbs one material in O(len(terms) × classifications)
+// without a corpus rescan.
+func (b *Bayes) Observe(m *material.Material) { b.Train(m) }
+
+// Forget removes a previously trained material from the model — the exact
+// inverse of Train, so add/remove/reclassify flows can keep a long-lived
+// model current instead of retraining from scratch. Forgetting a material
+// that was never trained (or whose text changed since) corrupts the counts;
+// callers must pass the same material value they trained.
+func (b *Bayes) Forget(m *material.Material) {
+	terms := textproc.Terms(m.SearchText())
+	forgot := false
+	for _, id := range m.ClassificationIDs() {
+		if !b.o.Has(id) {
+			continue
+		}
+		forgot = true
+		b.docCount[id]--
+		tc := b.termCounts[id]
+		for _, t := range terms {
+			if tc != nil {
+				if tc[t]--; tc[t] <= 0 {
+					delete(tc, t)
+				}
+			}
+			b.totalTerms[id]--
+			if b.vocab[t]--; b.vocab[t] <= 0 {
+				delete(b.vocab, t)
+			}
+		}
+		if b.docCount[id] <= 0 {
+			delete(b.docCount, id)
+			delete(b.termCounts, id)
+			delete(b.totalTerms, id)
+		}
+	}
+	if forgot && b.trained > 0 {
+		b.trained--
 	}
 }
 

@@ -24,21 +24,48 @@ func NewCoOccurrence(mats []*material.Material) *CoOccurrence {
 	c := &CoOccurrence{
 		count: make(map[string]int),
 		pair:  make(map[string]map[string]int),
-		n:     len(mats),
 	}
 	for _, m := range mats {
-		ids := m.ClassificationIDs()
-		for _, a := range ids {
-			c.count[a]++
-		}
-		for i, a := range ids {
-			for _, b := range ids[i+1:] {
-				c.bump(a, b)
-				c.bump(b, a)
-			}
-		}
+		c.Observe(m)
 	}
 	return c
+}
+
+// Observe folds one material into the mined rules incrementally — a single
+// insert costs O(classifications²), not a full corpus rescan.
+func (c *CoOccurrence) Observe(m *material.Material) {
+	ids := m.ClassificationIDs()
+	for _, a := range ids {
+		c.count[a]++
+	}
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			c.bump(a, b)
+			c.bump(b, a)
+		}
+	}
+	c.n++
+}
+
+// Forget removes a previously observed material — the exact inverse of
+// Observe, so remove/reclassify flows can keep a long-lived miner current.
+// Forgetting a material that was never observed corrupts the counts.
+func (c *CoOccurrence) Forget(m *material.Material) {
+	ids := m.ClassificationIDs()
+	for _, a := range ids {
+		if c.count[a]--; c.count[a] <= 0 {
+			delete(c.count, a)
+		}
+	}
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			c.drop(a, b)
+			c.drop(b, a)
+		}
+	}
+	if c.n > 0 {
+		c.n--
+	}
 }
 
 func (c *CoOccurrence) bump(a, b string) {
@@ -48,6 +75,19 @@ func (c *CoOccurrence) bump(a, b string) {
 		c.pair[a] = m
 	}
 	m[b]++
+}
+
+func (c *CoOccurrence) drop(a, b string) {
+	m := c.pair[a]
+	if m == nil {
+		return
+	}
+	if m[b]--; m[b] <= 0 {
+		delete(m, b)
+		if len(m) == 0 {
+			delete(c.pair, a)
+		}
+	}
 }
 
 // Rule is one association rule "materials tagged Given are often also

@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"carcs/internal/cache"
 	"carcs/internal/classify"
 	"carcs/internal/corpus"
 	"carcs/internal/coverage"
@@ -28,6 +31,14 @@ import (
 	"carcs/internal/similarity"
 	"carcs/internal/workflow"
 )
+
+// suggesters bundles the training-free engines kept per ontology. Building
+// them costs a full pass over the ontology's classifiable entries, so they
+// are constructed once at system creation, never per request.
+type suggesters struct {
+	keyword *classify.Keyword
+	tfidf   *classify.TFIDF
+}
 
 // System is one CAR-CS instance.
 type System struct {
@@ -43,8 +54,21 @@ type System struct {
 	engine *search.Engine
 	queue  *workflow.Queue
 
-	keyword *classify.Keyword
-	tfidf   *classify.TFIDF
+	// sug holds the per-ontology training-free suggestion engines.
+	sug map[*ontology.Ontology]suggesters
+	// bayes holds one incrementally maintained naive-Bayes model per
+	// ontology; cooccur is the incrementally maintained rule miner. All
+	// three are updated under mu by every material mutation, so Suggest
+	// and Recommend never retrain from the corpus.
+	bayes   map[*ontology.Ontology]*classify.Bayes
+	cooccur *classify.CoOccurrence
+
+	// gen counts committed mutations. Every read path keys its cached
+	// results by the generation it observed; bumping it is what
+	// invalidates them. Reads are lock-free; bumps happen with mu held.
+	gen atomic.Uint64
+	// results memoizes analysis results by (request key, generation).
+	results *cache.Cache
 
 	// hook, when set, journals every mutation before it commits (see
 	// MutationHook). Guarded by mu.
@@ -115,9 +139,54 @@ func New() (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.keyword = classify.NewKeyword(s.cs13)
-	s.tfidf = classify.NewTFIDF(s.cs13)
+	s.sug = map[*ontology.Ontology]suggesters{
+		s.cs13:  {keyword: classify.NewKeyword(s.cs13), tfidf: classify.NewTFIDF(s.cs13)},
+		s.pdc12: {keyword: classify.NewKeyword(s.pdc12), tfidf: classify.NewTFIDF(s.pdc12)},
+	}
+	s.bayes = map[*ontology.Ontology]*classify.Bayes{
+		s.cs13:  classify.NewBayes(s.cs13),
+		s.pdc12: classify.NewBayes(s.pdc12),
+	}
+	s.cooccur = classify.NewCoOccurrence(nil)
+	s.results = cache.New(0)
+	// Workflow transitions are mutations too: a submission moving through
+	// review changes what the curation endpoints report, so they join the
+	// material mutations in advancing the generation.
+	s.queue.SetObserver(func() { s.gen.Add(1) })
 	return s, nil
+}
+
+// Generation returns the current mutation generation. It increases
+// monotonically on every committed mutation (material add/remove/
+// reclassify, workflow transition) and is the cache-invalidation key for
+// every memoized analysis — and the value served as the HTTP ETag.
+func (s *System) Generation() uint64 { return s.gen.Load() }
+
+// ResultCache exposes the generation-keyed result cache so other layers
+// (the server's SVG rendering, for instance) can memoize derived artifacts
+// under the same invalidation discipline.
+func (s *System) ResultCache() *cache.Cache { return s.results }
+
+// CacheStats reports result-cache effectiveness for /api/health.
+func (s *System) CacheStats() cache.Stats { return s.results.Stats() }
+
+// observeLocked folds a newly committed material into the incrementally
+// maintained models. Callers hold mu and bump the generation once per
+// mutation after all model updates.
+func (s *System) observeLocked(m *material.Material) {
+	for _, b := range s.bayes {
+		b.Observe(m)
+	}
+	s.cooccur.Observe(m)
+}
+
+// forgetLocked removes a previously committed material from the maintained
+// models. Callers hold mu and must pass the exact stored value.
+func (s *System) forgetLocked(m *material.Material) {
+	for _, b := range s.bayes {
+		b.Forget(m)
+	}
+	s.cooccur.Forget(m)
 }
 
 // NewSeeded creates a system pre-loaded with the paper's three collections:
@@ -201,6 +270,8 @@ func (s *System) AddMaterial(m *material.Material) error {
 		s.links.Add(rowID, entryID)
 	}
 	s.engine.Add(m)
+	s.observeLocked(m)
+	s.gen.Add(1)
 	return nil
 }
 
@@ -229,12 +300,19 @@ func (s *System) RemoveMaterial(id string) error {
 		return err
 	}
 	s.links.RemoveLeft(row.ID())
+	if m := s.engine.Get(id); m != nil {
+		s.forgetLocked(m)
+	}
 	s.engine.Remove(id)
+	s.gen.Add(1)
 	return nil
 }
 
 // Reclassify replaces a material's classification set, the editing flow of
-// Fig. 1b.
+// Fig. 1b. The stored material is replaced copy-on-write — the previous
+// value is never mutated in place — so cached analyses and concurrent
+// readers holding the old snapshot stay internally consistent; they are
+// invalidated by the generation bump, not by mutation under their feet.
 func (s *System) Reclassify(id string, cls []material.Classification) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -242,8 +320,8 @@ func (s *System) Reclassify(id string, cls []material.Classification) error {
 	if m == nil {
 		return fmt.Errorf("core: no material %q", id)
 	}
-	next := *m
-	next.Classifications = cls
+	next := m.Clone()
+	next.Classifications = append([]material.Classification(nil), cls...)
 	if errs := next.Validate(s.cs13, s.pdc12); len(errs) > 0 {
 		return fmt.Errorf("core: reclassify %q: %w", id, errs[0])
 	}
@@ -262,8 +340,10 @@ func (s *System) Reclassify(id string, cls []material.Classification) error {
 		}
 		s.links.Add(row.ID(), entryID)
 	}
-	*m = next
-	s.engine.Add(m)
+	s.forgetLocked(m)
+	s.engine.Add(next)
+	s.observeLocked(next)
+	s.gen.Add(1)
 	return nil
 }
 
@@ -311,87 +391,166 @@ func (s *System) Len() int {
 // Engine exposes the search engine for advanced queries.
 func (s *System) Engine() *search.Engine { return s.engine }
 
+// ontologyKey returns the canonical cache-key name of one of the system's
+// ontologies, so "acm" and "cs2013" share cache entries with "cs13".
+func (s *System) ontologyKey(o *ontology.Ontology) string {
+	if o == s.cs13 {
+		return "cs13"
+	}
+	return "pdc12"
+}
+
 // Coverage computes the Figure 2 report of a collection (empty for all
-// materials) against the named ontology ("cs13" or "pdc12").
+// materials) against the named ontology ("cs13" or "pdc12"). Reports are
+// memoized per generation: repeated queries between mutations are served
+// from the cache.
 func (s *System) Coverage(ontologyName, collection string) (*coverage.Report, error) {
 	o := s.OntologyByName(ontologyName)
 	if o == nil {
 		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
 	}
-	mats := s.Materials(collection)
-	label := collection
-	if label == "" {
-		label = "all materials"
+	key := cache.Key("coverage", s.ontologyKey(o), collection)
+	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
+		mats := s.Materials(collection)
+		label := collection
+		if label == "" {
+			label = "all materials"
+		}
+		return coverage.Compute(o, label, mats), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return coverage.Compute(o, label, mats), nil
+	return v.(*coverage.Report), nil
+}
+
+// DepthReport computes the Bloom-level depth report (the Sec. IV-A proposed
+// extension), memoized per generation.
+func (s *System) DepthReport(ontologyName, collection string) (*coverage.DepthReport, error) {
+	o := s.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	key := cache.Key("depth", s.ontologyKey(o), collection)
+	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
+		return coverage.ComputeDepth(o, s.Materials(collection)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*coverage.DepthReport), nil
+}
+
+// GapReport returns the uncovered-subtree analysis of a collection against
+// an ontology, optionally restricted to core-tier gaps, memoized per
+// generation on top of the (also memoized) coverage report.
+func (s *System) GapReport(ontologyName, collection string, coreOnly bool) ([]coverage.Gap, error) {
+	rep, err := s.Coverage(ontologyName, collection)
+	if err != nil {
+		return nil, err
+	}
+	key := cache.Key("gaps", s.ontologyKey(rep.Ontology), collection, strconv.FormatBool(coreOnly))
+	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
+		if coreOnly {
+			return rep.CoreGaps(rep.Ontology.RootID()), nil
+		}
+		return rep.Gaps(rep.Ontology.RootID()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]coverage.Gap), nil
 }
 
 // SimilarityGraph builds the Figure 3 bipartite graph between two
 // collections with the paper's shared-count metric at the given threshold
-// (2 in the paper).
+// (2 in the paper). Graphs are memoized per generation.
 func (s *System) SimilarityGraph(leftCollection, rightCollection string, threshold int) *similarity.Graph {
-	left := s.Materials(leftCollection)
-	right := s.Materials(rightCollection)
-	return similarity.BuildBipartite(left, right, similarity.SharedCount, float64(threshold))
+	key := cache.Key("similarity", leftCollection, rightCollection, strconv.Itoa(threshold))
+	v, _ := s.results.Do(key, s.gen.Load(), func() (any, error) {
+		left := s.Materials(leftCollection)
+		right := s.Materials(rightCollection)
+		return similarity.BuildBipartite(left, right, similarity.SharedCount, float64(threshold)), nil
+	})
+	return v.(*similarity.Graph)
 }
 
 // Suggest proposes classification entries for free text against the named
-// ontology using the requested method ("keyword" or "tfidf").
+// ontology using the requested method ("keyword", "tfidf", "bayes", or
+// "ensemble"). All methods run on engines the system maintains
+// incrementally — the training-free engines are built once per ontology at
+// construction, and the Bayes model absorbs each mutation as it commits —
+// so no request ever retrains over the corpus. Results are additionally
+// memoized per (query, generation).
 func (s *System) Suggest(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
 	o := s.OntologyByName(ontologyName)
 	if o == nil {
 		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
 	}
-	var sg classify.Suggester
 	switch method {
-	case "", "tfidf":
-		if o == s.cs13 {
-			sg = s.tfidf
-		} else {
-			sg = classify.NewTFIDF(o)
-		}
-	case "keyword":
-		if o == s.cs13 {
-			sg = s.keyword
-		} else {
-			sg = classify.NewKeyword(o)
-		}
-	case "bayes":
-		b := classify.NewBayes(o)
-		b.TrainAll(s.Materials(""))
-		sg = b
-	case "ensemble":
-		b := classify.NewBayes(o)
-		b.TrainAll(s.Materials(""))
-		members := []classify.Suggester{b}
-		if o == s.cs13 {
-			members = append(members, s.keyword, s.tfidf)
-		} else {
-			members = append(members, classify.NewKeyword(o), classify.NewTFIDF(o))
-		}
-		sg = classify.NewEnsemble(members...)
+	case "", "tfidf", "keyword", "bayes", "ensemble":
 	default:
 		return nil, fmt.Errorf("core: unknown suggester %q", method)
 	}
-	return sg.Suggest(text, k), nil
+	key := cache.Key("suggest", method, s.ontologyKey(o), strconv.Itoa(k), text)
+	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
+		return s.suggest(method, o, text, k), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]classify.Suggestion), nil
+}
+
+func (s *System) suggest(method string, o *ontology.Ontology, text string, k int) []classify.Suggestion {
+	switch method {
+	case "", "tfidf":
+		return s.sug[o].tfidf.Suggest(text, k)
+	case "keyword":
+		return s.sug[o].keyword.Suggest(text, k)
+	case "bayes":
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.bayes[o].Suggest(text, k)
+	default: // ensemble
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		ens := classify.NewEnsemble(s.bayes[o], s.sug[o].keyword, s.sug[o].tfidf)
+		return ens.Suggest(text, k)
+	}
 }
 
 // Recommend proposes classification entries commonly used together with the
-// already-selected ones, mined from the stored corpus.
+// already-selected ones, from association rules the system mines
+// incrementally as materials are added — no per-request corpus rescan.
+// Results are memoized per (selection, generation).
 func (s *System) Recommend(selected []string, k int) []classify.Rule {
-	co := classify.NewCoOccurrence(s.Materials(""))
-	return co.Recommend(selected, 2, k)
+	key := cache.Key(append([]string{"recommend", strconv.Itoa(k)}, selected...)...)
+	v, _ := s.results.Do(key, s.gen.Load(), func() (any, error) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.cooccur.Recommend(selected, 2, k), nil
+	})
+	return v.([]classify.Rule)
 }
 
-// PDCReplacements is the Sec. IV-D query over the stored corpus.
+// PDCReplacements is the Sec. IV-D query over the stored corpus, memoized
+// per generation.
 func (s *System) PDCReplacements(id string, k int) ([]similarity.Edge, error) {
-	m := s.Material(id)
-	if m == nil {
-		return nil, fmt.Errorf("core: no material %q", id)
+	key := cache.Key("replacements", id, strconv.Itoa(k))
+	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
+		m := s.Material(id)
+		if m == nil {
+			return nil, fmt.Errorf("core: no material %q", id)
+		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.engine.PDCReplacements(m, 2, k), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.PDCReplacements(m, 2, k), nil
+	return v.([]similarity.Edge), nil
 }
 
 // Snapshot writes the relational state as JSON.

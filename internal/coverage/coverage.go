@@ -20,6 +20,7 @@ package coverage
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"carcs/internal/material"
 	"carcs/internal/ontology"
@@ -48,7 +49,22 @@ type Report struct {
 // Classifications pointing into other ontologies are ignored, so a single
 // material set can be reported against CS13 and PDC12 independently, exactly
 // as Figure 2 does.
+//
+// The scan works on a dense per-ontology index (node IDs -> small integers
+// with a precomputed ancestor table) and tracks material-distinct subtree
+// coverage with per-node bitsets over material indices. Large corpora are
+// sharded across GOMAXPROCS workers — each shard owns a contiguous block of
+// materials, so its distinct counts simply add — and the partial reports
+// are merged; the result is identical to the sequential scan for any worker
+// count.
 func Compute(o *ontology.Ontology, label string, mats []*material.Material) *Report {
+	return computeWith(o, label, mats, shardPlan(len(mats)))
+}
+
+// computeWith runs the scan over explicit shard boundaries (bounds[i] to
+// bounds[i+1] per shard); Compute picks boundaries from GOMAXPROCS, tests
+// force them to cover the merge path on any machine.
+func computeWith(o *ontology.Ontology, label string, mats []*material.Material, bounds []int) *Report {
 	r := &Report{
 		Ontology:   o,
 		Collection: label,
@@ -57,35 +73,79 @@ func Compute(o *ontology.Ontology, label string, mats []*material.Material) *Rep
 		Subtree:    make(map[string]int),
 		Pairs:      make(map[string]int),
 	}
-	subtreeSets := make(map[string]map[int]bool)
-	for mi, m := range mats {
-		for _, cl := range m.ClassificationIDs() {
-			if !o.Has(cl) {
-				continue
-			}
-			r.Direct[cl]++
-			r.Pairs[cl]++
-			set := subtreeSets[cl]
-			if set == nil {
-				set = make(map[int]bool)
-				subtreeSets[cl] = set
-			}
-			set[mi] = true
-			for _, anc := range o.Ancestors(cl) {
-				r.Pairs[anc]++
-				aset := subtreeSets[anc]
-				if aset == nil {
-					aset = make(map[int]bool)
-					subtreeSets[anc] = aset
-				}
-				aset[mi] = true
+	ix := indexFor(o)
+	n := len(ix.ids)
+	parts := make([]partialReport, len(bounds)-1)
+	if len(parts) == 1 {
+		parts[0] = computeShard(ix, mats)
+	} else {
+		var wg sync.WaitGroup
+		for si := range parts {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				parts[si] = computeShard(ix, mats[bounds[si]:bounds[si+1]])
+			}(si)
+		}
+		wg.Wait()
+	}
+	direct := make([]int, n)
+	pairs := make([]int, n)
+	subtree := make([]int, n)
+	for _, p := range parts {
+		for i := 0; i < n; i++ {
+			direct[i] += p.direct[i]
+			pairs[i] += p.pairs[i]
+			if p.sets[i] != nil {
+				subtree[i] += p.sets[i].count()
 			}
 		}
 	}
-	for id, set := range subtreeSets {
-		r.Subtree[id] = len(set)
+	for i := 0; i < n; i++ {
+		if direct[i] > 0 {
+			r.Direct[ix.ids[i]] = direct[i]
+		}
+		if pairs[i] > 0 {
+			r.Pairs[ix.ids[i]] = pairs[i]
+		}
+		if subtree[i] > 0 {
+			r.Subtree[ix.ids[i]] = subtree[i]
+		}
 	}
 	return r
+}
+
+// computeShard scans one contiguous block of materials into a partial
+// report. Bit indices are material positions within the shard.
+func computeShard(ix *ontIndex, mats []*material.Material) partialReport {
+	n := len(ix.ids)
+	p := partialReport{
+		direct: make([]int, n),
+		pairs:  make([]int, n),
+		sets:   make([]bitset, n),
+	}
+	touch := func(node int32, mi int) {
+		if p.sets[node] == nil {
+			p.sets[node] = newBitset(len(mats))
+		}
+		p.sets[node].set(mi)
+	}
+	for mi, m := range mats {
+		for _, cl := range m.ClassificationIDs() {
+			i, ok := ix.idx[cl]
+			if !ok {
+				continue
+			}
+			p.direct[i]++
+			p.pairs[i]++
+			touch(i, mi)
+			for _, a := range ix.anc(i) {
+				p.pairs[a]++
+				touch(a, mi)
+			}
+		}
+	}
+	return p
 }
 
 // Covered reports whether any material touches the node or its subtree.

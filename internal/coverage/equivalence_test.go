@@ -1,0 +1,99 @@
+package coverage
+
+import (
+	"reflect"
+	"testing"
+
+	"carcs/internal/corpus"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+)
+
+// referenceCompute is the original map-based scan, kept verbatim as the
+// specification the bitset/sharded kernel must match exactly.
+func referenceCompute(o *ontology.Ontology, label string, mats []*material.Material) *Report {
+	r := &Report{
+		Ontology:   o,
+		Collection: label,
+		Materials:  len(mats),
+		Direct:     make(map[string]int),
+		Subtree:    make(map[string]int),
+		Pairs:      make(map[string]int),
+	}
+	subtreeSets := make(map[string]map[int]bool)
+	for mi, m := range mats {
+		for _, cl := range m.ClassificationIDs() {
+			if !o.Has(cl) {
+				continue
+			}
+			r.Direct[cl]++
+			r.Pairs[cl]++
+			set := subtreeSets[cl]
+			if set == nil {
+				set = make(map[int]bool)
+				subtreeSets[cl] = set
+			}
+			set[mi] = true
+			for _, anc := range o.Ancestors(cl) {
+				r.Pairs[anc]++
+				aset := subtreeSets[anc]
+				if aset == nil {
+					aset = make(map[int]bool)
+					subtreeSets[anc] = aset
+				}
+				aset[mi] = true
+			}
+		}
+	}
+	for id, set := range subtreeSets {
+		r.Subtree[id] = len(set)
+	}
+	return r
+}
+
+func assertReportsEqual(t *testing.T, got, want *Report) {
+	t.Helper()
+	if got.Materials != want.Materials {
+		t.Fatalf("Materials = %d, want %d", got.Materials, want.Materials)
+	}
+	if !reflect.DeepEqual(got.Direct, want.Direct) {
+		t.Fatal("Direct maps differ")
+	}
+	if !reflect.DeepEqual(got.Subtree, want.Subtree) {
+		t.Fatal("Subtree maps differ")
+	}
+	if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+		t.Fatal("Pairs maps differ")
+	}
+}
+
+func TestComputeMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    *ontology.Ontology
+		mats []*material.Material
+	}{
+		{"nifty-cs13", ontology.CS13(), corpus.Nifty().All()},
+		{"peachy-pdc12", ontology.PDC12(), corpus.Peachy().All()},
+		{"synthetic-cs13", ontology.CS13(), corpus.Synthetic(corpus.SyntheticOptions{N: 500, Seed: 3}).All()},
+		{"empty", ontology.CS13(), nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			assertReportsEqual(t, Compute(tc.o, "x", tc.mats), referenceCompute(tc.o, "x", tc.mats))
+		})
+	}
+}
+
+func TestComputeShardedMatchesSingleShard(t *testing.T) {
+	o := ontology.CS13()
+	mats := corpus.Synthetic(corpus.SyntheticOptions{N: 700, Seed: 9}).All()
+	want := computeWith(o, "x", mats, []int{0, len(mats)})
+	for _, bounds := range [][]int{
+		{0, 100, len(mats)},
+		{0, 233, 466, len(mats)},
+		{0, 1, 2, 3, len(mats)},
+	} {
+		got := computeWith(o, "x", mats, bounds)
+		assertReportsEqual(t, got, want)
+	}
+}

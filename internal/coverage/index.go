@@ -1,0 +1,112 @@
+package coverage
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"carcs/internal/ontology"
+)
+
+// ontIndex is a dense-integer view of one ontology for the hot Compute
+// loop: node IDs mapped onto [0, n) in document order plus a flattened
+// ancestor table, so the per-material inner loop is array arithmetic
+// instead of repeated map lookups and ancestor-chain walks.
+type ontIndex struct {
+	ids []string // index -> node ID, document order
+	idx map[string]int32
+	// ancestors stores every node's ancestor indices (parent first, root
+	// last) back to back; anc(i) slices the run via ancOff.
+	ancestors []int32
+	ancOff    []int32 // len(ids)+1 offsets into ancestors
+}
+
+func (ix *ontIndex) anc(i int32) []int32 {
+	return ix.ancestors[ix.ancOff[i]:ix.ancOff[i+1]]
+}
+
+// indexCache memoizes indexes per frozen ontology. The curricula are
+// package-level singletons in practice, so this is a handful of entries;
+// unfrozen ontologies are never cached because they can still grow.
+var indexCache sync.Map // *ontology.Ontology -> *ontIndex
+
+func indexFor(o *ontology.Ontology) *ontIndex {
+	if !o.Frozen() {
+		return buildIndex(o)
+	}
+	if v, ok := indexCache.Load(o); ok {
+		return v.(*ontIndex)
+	}
+	ix := buildIndex(o)
+	indexCache.Store(o, ix)
+	return ix
+}
+
+func buildIndex(o *ontology.Ontology) *ontIndex {
+	ids := o.IDs()
+	ix := &ontIndex{
+		ids:    ids,
+		idx:    make(map[string]int32, len(ids)),
+		ancOff: make([]int32, len(ids)+1),
+	}
+	for i, id := range ids {
+		ix.idx[id] = int32(i)
+	}
+	// Document order lists parents before children, so a node's ancestor
+	// run is its parent followed by the parent's (already computed) run.
+	for i, id := range ids {
+		n := o.Node(id)
+		if n.Parent != "" {
+			p := ix.idx[n.Parent]
+			ix.ancestors = append(ix.ancestors, p)
+			ix.ancestors = append(ix.ancestors, ix.anc(p)...)
+		}
+		ix.ancOff[i+1] = int32(len(ix.ancestors))
+	}
+	return ix
+}
+
+// bitset is a fixed-capacity bit vector over material indices; one per
+// touched ontology node tracks which materials reach the node's subtree.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// shardPlan splits n materials into contiguous shards for the worker pool.
+// Small inputs stay on one shard: the report for a classroom-sized corpus
+// is dominated by fixed costs, not the scan.
+func shardPlan(n int) []int {
+	const minPerShard = 1024
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/minPerShard {
+		workers = n / minPerShard
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bounds := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds[i] = i * n / workers
+	}
+	return bounds
+}
+
+// partialReport is one shard's contribution: direct/pair counts per node
+// and, per touched node, the set of this shard's materials reaching its
+// subtree. Material-distinct subtree counts add across shards because each
+// material belongs to exactly one shard.
+type partialReport struct {
+	direct []int
+	pairs  []int
+	sets   []bitset
+}

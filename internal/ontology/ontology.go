@@ -220,6 +220,11 @@ func (o *Ontology) AddNode(parentID string, n Node) (string, error) {
 // idempotent.
 func (o *Ontology) Freeze() { o.frozen = true }
 
+// Frozen reports whether the ontology has been frozen. Derived structures
+// (e.g. the coverage package's per-ontology index) may be cached safely
+// only for frozen ontologies.
+func (o *Ontology) Frozen() bool { return o.frozen }
+
 // Node returns the node with the given ID, or nil if absent. The returned
 // pointer aliases internal state; callers must not mutate it.
 func (o *Ontology) Node(id string) *Node {

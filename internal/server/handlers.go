@@ -4,7 +4,6 @@ import (
 	"net/http"
 	"strconv"
 
-	"carcs/internal/coverage"
 	"carcs/internal/material"
 	"carcs/internal/ontology"
 	"carcs/internal/search"
@@ -214,16 +213,13 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 
 // GET /api/gaps?ontology=&collection=&core_only=
 func (s *Server) handleGaps(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.sys.Coverage(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
+	q := r.URL.Query()
+	gaps, err := s.sys.GapReport(q.Get("ontology"), q.Get("collection"), q.Get("core_only") == "true")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if r.URL.Query().Get("core_only") == "true" {
-		writeJSON(w, http.StatusOK, rep.CoreGaps(rep.Ontology.RootID()))
-		return
-	}
-	writeJSON(w, http.StatusOK, rep.Gaps(rep.Ontology.RootID()))
+	writeJSON(w, http.StatusOK, gaps)
 }
 
 // GET /api/similarity?left=&right=&threshold=
@@ -431,12 +427,11 @@ func highlightMark(label string, m ontology.Match) string {
 // GET /api/depth?ontology=&collection= — the Bloom-level depth report
 // (the Sec. IV-A proposed extension).
 func (s *Server) handleDepth(w http.ResponseWriter, r *http.Request) {
-	o := s.sys.OntologyByName(r.URL.Query().Get("ontology"))
-	if o == nil {
+	rep, err := s.sys.DepthReport(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "unknown ontology")
 		return
 	}
-	rep := coverage.ComputeDepth(o, s.sys.Materials(r.URL.Query().Get("collection")))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"met":             rep.Met,
 		"shallow":         rep.Shallow,

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"carcs/internal/cache"
 	"carcs/internal/journal"
 )
 
@@ -82,17 +83,27 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 
 // healthJSON is the GET /api/health response.
 type healthJSON struct {
-	Status    string         `json:"status"`
-	Materials int            `json:"materials"`
-	Durable   bool           `json:"durable"`
-	Journal   *journal.Stats `json:"journal,omitempty"`
+	Status     string         `json:"status"`
+	Materials  int            `json:"materials"`
+	Generation uint64         `json:"generation"`
+	Cache      cache.Stats    `json:"cache"`
+	Durable    bool           `json:"durable"`
+	Journal    *journal.Stats `json:"journal,omitempty"`
 }
 
-// GET /api/health — liveness plus durability state. Reports "degraded" with
-// 503 when the journal has a sticky write failure (mutations are being
-// refused) so load balancers can rotate the instance out.
+// GET /api/health — liveness plus durability and read-cache state. Reports
+// "degraded" with 503 when the journal has a sticky write failure
+// (mutations are being refused) so load balancers can rotate the instance
+// out. The cache block (entry count, hit ratio, last invalidation
+// generation) is what dashboards watch to confirm the read path is actually
+// being served from memoized results.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := healthJSON{Status: "ok", Materials: s.sys.Len()}
+	resp := healthJSON{
+		Status:     "ok",
+		Materials:  s.sys.Len(),
+		Generation: s.sys.Generation(),
+		Cache:      s.sys.CacheStats(),
+	}
 	code := http.StatusOK
 	if s.persister != nil {
 		resp.Durable = true

@@ -1,0 +1,15 @@
+package server
+
+import "net/http/pprof"
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/. They
+// are off by default — profiling endpoints expose heap contents and can be
+// used to stall a public instance — and the carcs-server binary gates them
+// behind its -pprof flag. Call before serving.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

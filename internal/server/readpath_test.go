@@ -1,0 +1,241 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The read-path performance layer: generation ETags, conditional requests,
+// health-reported cache statistics, and — most importantly — the staleness
+// invariant under concurrent mutation: once a mutation commits, no reader
+// is ever served a result computed before it.
+
+func TestETagConditionalRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	rec := do(t, s, "GET", "/api/coverage?ontology=cs13", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("coverage = %d: %s", rec.Code, rec.Body)
+	}
+	tag := rec.Header().Get("ETag")
+	if tag == "" || !strings.HasPrefix(tag, `"`) {
+		t.Fatalf("missing or unquoted ETag: %q", tag)
+	}
+
+	// Unchanged state: the same tag revalidates with an empty 304.
+	req := httptest.NewRequest("GET", "/api/coverage?ontology=cs13", nil)
+	req.Header.Set("If-None-Match", tag)
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusNotModified {
+		t.Fatalf("revalidation = %d, want 304", rec2.Code)
+	}
+	if rec2.Body.Len() != 0 {
+		t.Errorf("304 carried a body: %q", rec2.Body.String())
+	}
+	if got := rec2.Header().Get("ETag"); got != tag {
+		t.Errorf("304 ETag = %q, want %q", got, tag)
+	}
+
+	// Weak-prefixed and wildcard forms must match too.
+	for _, inm := range []string{"W/" + tag, `"nope", ` + tag, "*"} {
+		req := httptest.NewRequest("GET", "/api/coverage?ontology=cs13", nil)
+		req.Header.Set("If-None-Match", inm)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			t.Errorf("If-None-Match %q = %d, want 304", inm, rec.Code)
+		}
+	}
+
+	// A mutation invalidates the tag: the same conditional request now gets
+	// a fresh 200 with a new ETag.
+	mat := materialJSON{
+		ID: "etag-probe", Title: "ETag Probe", Kind: "assignment", Level: "CS1",
+		Classifications: []string{"acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"},
+	}
+	if rec := do(t, s, "POST", "/api/materials", "ed", mat); rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d: %s", rec.Code, rec.Body)
+	}
+	req = httptest.NewRequest("GET", "/api/coverage?ontology=cs13", nil)
+	req.Header.Set("If-None-Match", tag)
+	rec3 := httptest.NewRecorder()
+	s.ServeHTTP(rec3, req)
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("post-mutation revalidation = %d, want 200", rec3.Code)
+	}
+	newTag := rec3.Header().Get("ETag")
+	if newTag == "" || newTag == tag {
+		t.Errorf("post-mutation ETag = %q, want a fresh tag != %q", newTag, tag)
+	}
+	if rec3.Body.Len() == 0 {
+		t.Error("post-mutation 200 carried no body")
+	}
+}
+
+func TestHealthReportsCacheStats(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	// Two identical reads: a miss then a hit.
+	for i := 0; i < 2; i++ {
+		if rec := do(t, s, "GET", "/api/coverage?ontology=pdc12", "", nil); rec.Code != http.StatusOK {
+			t.Fatalf("coverage = %d", rec.Code)
+		}
+	}
+	rec := do(t, s, "GET", "/api/health", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health = %d: %s", rec.Code, rec.Body)
+	}
+	h := decode[map[string]any](t, rec)
+	cacheObj, ok := h["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("health has no cache block: %v", h)
+	}
+	if cacheObj["entries"].(float64) < 1 {
+		t.Errorf("cache entries = %v, want >= 1", cacheObj["entries"])
+	}
+	if cacheObj["hits"].(float64) < 1 {
+		t.Errorf("cache hits = %v, want >= 1", cacheObj["hits"])
+	}
+	if cacheObj["hit_ratio"].(float64) <= 0 {
+		t.Errorf("hit ratio = %v, want > 0", cacheObj["hit_ratio"])
+	}
+	if _, ok := h["generation"]; !ok {
+		t.Error("health does not report the generation")
+	}
+
+	// Mutate, re-read: the stale entry is evicted and the invalidation
+	// generation recorded.
+	mat := materialJSON{
+		ID: "health-probe", Title: "Health Probe", Kind: "assignment", Level: "CS1",
+		Classifications: []string{"nsf-ieee-tcpp-pdc-2012/pr/performance-issues/data/speedup-and-efficiency"},
+	}
+	if rec := do(t, s, "POST", "/api/materials", "ed", mat); rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, "GET", "/api/coverage?ontology=pdc12", "", nil); rec.Code != http.StatusOK {
+		t.Fatalf("coverage after mutation = %d", rec.Code)
+	}
+	h = decode[map[string]any](t, rec2health(t, s))
+	cacheObj = h["cache"].(map[string]any)
+	if cacheObj["evictions"].(float64) < 1 {
+		t.Errorf("evictions = %v, want >= 1 after invalidating mutation", cacheObj["evictions"])
+	}
+	if cacheObj["last_invalidation_generation"].(float64) < 1 {
+		t.Errorf("last invalidation generation = %v, want >= 1", cacheObj["last_invalidation_generation"])
+	}
+}
+
+func rec2health(t *testing.T, s *Server) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := do(t, s, "GET", "/api/health", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health = %d", rec.Code)
+	}
+	return rec
+}
+
+// TestConcurrentReadsNeverGoBackward hammers the cached read endpoints from
+// many goroutines while a mutator grows the corpus, and asserts the
+// staleness invariant. The mutator only adds materials, so the coverage
+// material count is monotone in the generation: if any reader ever observed
+// the count decrease between successive reads, a post-mutation request was
+// served a pre-mutation cached result. Run under -race this also exercises
+// every cache/model/engine synchronization path at once.
+func TestConcurrentReadsNeverGoBackward(t *testing.T) {
+	s, sys := newTestServer(t)
+
+	const (
+		readers   = 6
+		iters     = 50
+		mutations = 30
+	)
+	paths := []string{
+		"/api/coverage?ontology=cs13",
+		"/api/similarity?left=nifty&right=peachy",
+		"/api/suggest?ontology=pdc12&method=bayes&q=parallel+stencil+openmp",
+		"/api/recommend?selected=acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays",
+		"/api/gaps?ontology=pdc12&core_only=true",
+		"/api/health",
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < mutations; i++ {
+			mat := materialJSON{
+				ID:    fmt.Sprintf("hammer-%d", i),
+				Title: fmt.Sprintf("Hammer %d", i), Kind: "assignment", Level: "CS1",
+				Description: "concurrent insertion probing the cache invalidation path",
+				Classifications: []string{
+					"acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays",
+				},
+			}
+			if rec := do(t, s, "POST", "/api/materials", "ed", mat); rec.Code != http.StatusCreated {
+				errc <- fmt.Errorf("create %d = %d: %s", i, rec.Code, rec.Body)
+				return
+			}
+		}
+	}()
+
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			lastCount := -1
+			for i := 0; i < iters; i++ {
+				path := paths[(ri+i)%len(paths)]
+				floor := sys.Generation()
+				rec := do(t, s, "GET", path, "", nil)
+				if rec.Code != http.StatusOK {
+					errc <- fmt.Errorf("reader %d: %s = %d: %s", ri, path, rec.Code, rec.Body)
+					return
+				}
+				if tag := rec.Header().Get("ETag"); tag != "" {
+					g, err := strconv.ParseUint(strings.Trim(tag, `"`), 10, 64)
+					if err != nil {
+						errc <- fmt.Errorf("reader %d: bad ETag %q", ri, tag)
+						return
+					}
+					if g < floor {
+						errc <- fmt.Errorf("reader %d: ETag generation %d < observed floor %d", ri, g, floor)
+						return
+					}
+				}
+				if strings.HasPrefix(path, "/api/coverage") {
+					body := decode[map[string]any](t, rec)
+					count := int(body["materials"].(float64))
+					if count < lastCount {
+						errc <- fmt.Errorf("reader %d: material count went backward: %d after %d — stale cached result served post-mutation", ri, count, lastCount)
+						return
+					}
+					lastCount = count
+				}
+			}
+		}(ri)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Quiesced: a final read must reflect every committed mutation.
+	rec := do(t, s, "GET", "/api/coverage?ontology=cs13", "", nil)
+	body := decode[map[string]any](t, rec)
+	if got, want := int(body["materials"].(float64)), sys.Len(); got != want {
+		t.Errorf("final coverage sees %d materials, system has %d", got, want)
+	}
+	if tag := rec.Header().Get("ETag"); tag != fmt.Sprintf("%q", strconv.FormatUint(sys.Generation(), 10)) {
+		t.Errorf("final ETag %s != generation %d", tag, sys.Generation())
+	}
+}

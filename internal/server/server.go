@@ -87,26 +87,26 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 
-	s.mux.HandleFunc("GET /api/materials", s.handleListMaterials)
+	s.mux.HandleFunc("GET /api/materials", s.withETag(s.handleListMaterials))
 	s.mux.HandleFunc("POST /api/materials", s.requireRole(workflow.RoleEditor, s.handleCreateMaterial))
-	s.mux.HandleFunc("GET /api/materials/{id}", s.handleGetMaterial)
+	s.mux.HandleFunc("GET /api/materials/{id}", s.withETag(s.handleGetMaterial))
 	s.mux.HandleFunc("DELETE /api/materials/{id}", s.requireRole(workflow.RoleEditor, s.handleDeleteMaterial))
 	s.mux.HandleFunc("PUT /api/materials/{id}/classifications", s.requireRole(workflow.RoleEditor, s.handleReclassify))
-	s.mux.HandleFunc("GET /api/materials/{id}/replacements", s.handleReplacements)
+	s.mux.HandleFunc("GET /api/materials/{id}/replacements", s.withETag(s.handleReplacements))
 
 	s.mux.HandleFunc("GET /api/ontologies", s.handleOntologies)
 	s.mux.HandleFunc("GET /api/ontologies/{name}/search", s.handleOntologySearch)
 	s.mux.HandleFunc("GET /api/ontologies/{name}/node/{id...}", s.handleOntologyNode)
 
-	s.mux.HandleFunc("GET /api/coverage", s.handleCoverage)
-	s.mux.HandleFunc("GET /api/gaps", s.handleGaps)
-	s.mux.HandleFunc("GET /api/similarity", s.handleSimilarity)
+	s.mux.HandleFunc("GET /api/coverage", s.withETag(s.handleCoverage))
+	s.mux.HandleFunc("GET /api/gaps", s.withETag(s.handleGaps))
+	s.mux.HandleFunc("GET /api/similarity", s.withETag(s.handleSimilarity))
 	s.mux.HandleFunc("GET /api/search", s.handleSearch)
 	s.mux.HandleFunc("GET /api/query", s.handleQuery)
-	s.mux.HandleFunc("GET /api/suggest", s.handleSuggest)
-	s.mux.HandleFunc("GET /api/recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /api/suggest", s.withETag(s.handleSuggest))
+	s.mux.HandleFunc("GET /api/recommend", s.withETag(s.handleRecommend))
 
-	s.mux.HandleFunc("GET /api/depth", s.handleDepth)
+	s.mux.HandleFunc("GET /api/depth", s.withETag(s.handleDepth))
 	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
 
 	s.mux.HandleFunc("POST /api/accounts", s.handleRegister)

@@ -3,8 +3,10 @@ package server
 import (
 	"html/template"
 	"net/http"
+	"strconv"
 	"strings"
 
+	"carcs/internal/cache"
 	"carcs/internal/search"
 	"carcs/internal/viz"
 )
@@ -153,16 +155,25 @@ func (s *Server) handleCoveragePage(w http.ResponseWriter, r *http.Request) {
 	if ont == "" {
 		ont = "cs13"
 	}
-	rep, err := s.sys.Coverage(ont, r.URL.Query().Get("collection"))
+	collection := r.URL.Query().Get("collection")
+	style := r.URL.Query().Get("style")
+	rep, err := s.sys.Coverage(ont, collection)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	svg := viz.CoverageTreeSVG(rep, 2)
-	if r.URL.Query().Get("style") == "sunburst" {
-		svg = viz.CoverageSunburstSVG(rep, 3, 640)
-	}
-	body := `<p>` + template.HTMLEscapeString(rep.String()) + `</p>` + svg
+	// SVG rendering walks the whole ontology per node for intensity
+	// normalization, so the rendered markup is memoized alongside the
+	// report it is derived from.
+	key := cache.Key("svg", "coverage", ont, collection, style)
+	v, _ := s.sys.ResultCache().Do(key, s.sys.Generation(), func() (any, error) {
+		svg := viz.CoverageTreeSVG(rep, 2)
+		if style == "sunburst" {
+			svg = viz.CoverageSunburstSVG(rep, 3, 640)
+		}
+		return svg, nil
+	})
+	body := `<p>` + template.HTMLEscapeString(rep.String()) + `</p>` + v.(string)
 	s.renderPage(w, "Coverage — "+rep.Collection, template.HTML(body)) //nolint:gosec // SVG built from escaped labels
 }
 
@@ -174,7 +185,11 @@ func (s *Server) handleSimilarityPage(w http.ResponseWriter, r *http.Request) {
 	if right == "" {
 		right = "peachy"
 	}
-	g := s.sys.SimilarityGraph(left, right, atoiDefault(r.URL.Query().Get("threshold"), 2))
-	svg := viz.SimilaritySVG(g, 900, 700)
-	s.renderPage(w, "Similarity — "+left+" vs "+right, template.HTML(svg)) //nolint:gosec // SVG built from escaped labels
+	threshold := atoiDefault(r.URL.Query().Get("threshold"), 2)
+	key := cache.Key("svg", "similarity", left, right, strconv.Itoa(threshold))
+	v, _ := s.sys.ResultCache().Do(key, s.sys.Generation(), func() (any, error) {
+		g := s.sys.SimilarityGraph(left, right, threshold)
+		return viz.SimilaritySVG(g, 900, 700), nil
+	})
+	s.renderPage(w, "Similarity — "+left+" vs "+right, template.HTML(v.(string))) //nolint:gosec // SVG built from escaped labels
 }

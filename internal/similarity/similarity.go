@@ -10,7 +10,9 @@ package similarity
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"carcs/internal/material"
 )
@@ -88,9 +90,20 @@ type Graph struct {
 	adj   map[string][]string
 }
 
+// parallelPairThreshold is the pair count below which BuildBipartite stays
+// sequential: fanning out goroutines for a Figure 3-sized graph (~500
+// pairs) costs more than the scoring it distributes.
+const parallelPairThreshold = 1 << 13
+
 // BuildBipartite builds the Figure 3 graph: nodes from both sets, an edge
 // between a left and a right material whenever metric(a, b) >= threshold.
 // With SharedCount and threshold 2 this is exactly the paper's construction.
+//
+// Large inputs fan the n×m pair scoring across GOMAXPROCS workers, each
+// owning a contiguous block of left rows; concatenating the per-block edge
+// lists in block order reproduces the sequential visit order, so the
+// resulting graph is identical to the sequential construction regardless of
+// worker count.
 func BuildBipartite(left, right []*material.Material, metric Metric, threshold float64) *Graph {
 	g := &Graph{
 		Nodes: make(map[string]*material.Material),
@@ -105,15 +118,73 @@ func BuildBipartite(left, right []*material.Material, metric Metric, threshold f
 		g.Nodes[m.ID] = m
 		g.Side[m.ID] = "right"
 	}
-	for _, a := range left {
-		for _, b := range right {
-			if s := metric(a, b); s >= threshold {
-				g.addEdge(a, b, s)
-			}
-		}
+	workers := runtime.GOMAXPROCS(0)
+	if len(left)*len(right) < parallelPairThreshold {
+		workers = 1
+	}
+	for _, e := range scorePairs(left, right, metric, threshold, workers) {
+		g.insertEdge(e)
 	}
 	g.sortEdges()
 	return g
+}
+
+// scorePairs scores every (left, right) pair against the threshold across
+// the given number of workers and returns the qualifying edges in row-major
+// (left index, right index) order — the exact order a sequential double
+// loop would produce them in, for any worker count.
+func scorePairs(left, right []*material.Material, metric Metric, threshold float64, workers int) []Edge {
+	if workers <= 1 || len(left) == 0 {
+		return scoreRows(left, right, metric, threshold)
+	}
+	if workers > len(left) {
+		workers = len(left)
+	}
+	// Over-split into more blocks than workers so an unlucky block of
+	// high-degree rows does not serialize the tail.
+	blocks := workers * 4
+	if blocks > len(left) {
+		blocks = len(left)
+	}
+	parts := make([][]Edge, blocks)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for bi := 0; bi < blocks; bi++ {
+		lo := bi * len(left) / blocks
+		hi := (bi + 1) * len(left) / blocks
+		wg.Add(1)
+		go func(bi, lo, hi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parts[bi] = scoreRows(left[lo:hi], right, metric, threshold)
+		}(bi, lo, hi)
+	}
+	wg.Wait()
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Edge, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func scoreRows(left, right []*material.Material, metric Metric, threshold float64) []Edge {
+	var out []Edge
+	for _, a := range left {
+		for _, b := range right {
+			if s := metric(a, b); s >= threshold {
+				out = append(out, Edge{
+					A: a.ID, B: b.ID, Score: s,
+					Shared: a.SharedClassifications(b),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // Build builds a unipartite similarity graph over one material set,
@@ -139,12 +210,16 @@ func Build(mats []*material.Material, metric Metric, threshold float64) *Graph {
 }
 
 func (g *Graph) addEdge(a, b *material.Material, score float64) {
-	g.Edges = append(g.Edges, Edge{
+	g.insertEdge(Edge{
 		A: a.ID, B: b.ID, Score: score,
 		Shared: a.SharedClassifications(b),
 	})
-	g.adj[a.ID] = append(g.adj[a.ID], b.ID)
-	g.adj[b.ID] = append(g.adj[b.ID], a.ID)
+}
+
+func (g *Graph) insertEdge(e Edge) {
+	g.Edges = append(g.Edges, e)
+	g.adj[e.A] = append(g.adj[e.A], e.B)
+	g.adj[e.B] = append(g.adj[e.B], e.A)
 }
 
 func (g *Graph) sortEdges() {

@@ -217,3 +217,56 @@ func TestFigure3AblationMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestScorePairsParallelDeterminism(t *testing.T) {
+	mats := corpus.Synthetic(corpus.SyntheticOptions{N: 400, Seed: 7}).All()
+	left, right := mats[:200], mats[200:]
+	seq := scorePairs(left, right, SharedCount, 2, 1)
+	if len(seq) == 0 {
+		t.Fatal("no edges in synthetic corpus; test is vacuous")
+	}
+	for _, workers := range []int{2, 3, 5, 16} {
+		par := scorePairs(left, right, SharedCount, 2, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: edge stream differs from sequential (%d vs %d edges)",
+				workers, len(par), len(seq))
+		}
+	}
+}
+
+func TestBuildBipartiteParallelMatchesSequential(t *testing.T) {
+	// Large enough to cross parallelPairThreshold, so BuildBipartite takes
+	// the worker path; the graph must be indistinguishable from one
+	// assembled from the sequential edge stream.
+	mats := corpus.Synthetic(corpus.SyntheticOptions{N: 400, Seed: 11}).All()
+	left, right := mats[:200], mats[200:]
+	g := BuildBipartite(left, right, SharedCount, 2)
+
+	want := &Graph{
+		Nodes: make(map[string]*material.Material),
+		Side:  make(map[string]string),
+		adj:   make(map[string][]string),
+	}
+	for _, m := range left {
+		want.Nodes[m.ID] = m
+		want.Side[m.ID] = "left"
+	}
+	for _, m := range right {
+		want.Nodes[m.ID] = m
+		want.Side[m.ID] = "right"
+	}
+	for _, a := range left {
+		for _, b := range right {
+			if s := SharedCount(a, b); s >= 2 {
+				want.addEdge(a, b, s)
+			}
+		}
+	}
+	want.sortEdges()
+	if !reflect.DeepEqual(g.Edges, want.Edges) {
+		t.Fatalf("parallel edges differ: %d vs %d", len(g.Edges), len(want.Edges))
+	}
+	if !reflect.DeepEqual(g.adj, want.adj) {
+		t.Fatal("parallel adjacency differs from sequential")
+	}
+}

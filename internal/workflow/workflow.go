@@ -112,6 +112,7 @@ type Queue struct {
 	nextSeq  int64
 	now      func() time.Time
 	hook     Hook
+	observer func()
 }
 
 // NewQueue returns an empty workflow queue.
@@ -133,6 +134,16 @@ func (q *Queue) SetHook(h Hook) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.hook = h
+}
+
+// SetObserver installs a callback fired after every committed mutation,
+// while the queue lock is still held. The core system uses it to advance
+// its generation counter, invalidating cached read results; the callback
+// must be cheap and must not call back into the queue.
+func (q *Queue) SetObserver(fn func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.observer = fn
 }
 
 func (q *Queue) hookLocked(op string, payload any) error {
@@ -381,4 +392,7 @@ func (q *Queue) logLocked(actor, action, detail string) {
 	q.audit = append(q.audit, AuditEntry{
 		Seq: q.nextSeq, At: q.now(), Actor: actor, Action: action, Detail: detail,
 	})
+	if q.observer != nil {
+		q.observer()
+	}
 }

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Benchmark driver for the read-path performance layer. Runs the benchmark
+# suite with fixed settings and emits a machine-readable JSON report next to
+# the raw `go test -bench` output, so before/after comparisons across
+# commits diff a stable artifact instead of scraping logs.
+#
+# Usage:
+#   scripts/bench.sh [OUT.json]          full run (default BENCH_1.json)
+#   BENCH_PATTERN='Suggest|Coverage' scripts/bench.sh   subset
+#   BENCH_COUNT=5 scripts/bench.sh       more samples per benchmark
+#
+# The JSON shape is one object per benchmark:
+#   {"name": ..., "runs": N, "ns_per_op": ..., "bytes_per_op": ...,
+#    "allocs_per_op": ...}
+# plus an "env" header recording Go version, GOMAXPROCS, and the host CPU.
+set -eu
+
+out=${1:-BENCH_1.json}
+pattern=${BENCH_PATTERN:-.}
+count=${BENCH_COUNT:-1}
+benchtime=${BENCH_TIME:-1s}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench=$pattern -benchtime=$benchtime -count=$count =="
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
+
+# Fold the raw output into JSON. Multiple -count samples of one benchmark
+# are averaged; the -N name suffix is GOMAXPROCS at run time.
+awk -v goversion="$(go version | awk '{print $3}')" '
+BEGIN { n = 0; maxprocs = 1 }
+/^Benchmark/ {
+    name = $1
+    if (match(name, /-[0-9]+$/)) {
+        maxprocs = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    }
+    if (!(name in idx)) { idx[name] = ++n; names[n] = name }
+    i = idx[name]
+    runs[i] += $2
+    samples[i]++
+    for (f = 3; f < NF; f++) {
+        if ($(f+1) == "ns/op")     ns[i] += $f
+        if ($(f+1) == "B/op")      bytes[i] += $f
+        if ($(f+1) == "allocs/op") allocs[i] += $f
+    }
+}
+/^cpu:/ { cpu = substr($0, 6); gsub(/^[ \t]+/, "", cpu); gsub(/"/, "", cpu) }
+END {
+    printf "{\n  \"env\": {\"go\": \"%s\", \"gomaxprocs\": %d, \"cpu\": \"%s\"},\n", goversion, maxprocs, cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.1f", names[i], runs[i], ns[i] / samples[i]
+        if (bytes[i] > 0)  printf ", \"bytes_per_op\": %.1f", bytes[i] / samples[i]
+        if (allocs[i] > 0) printf ", \"allocs_per_op\": %.1f", allocs[i] / samples[i]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "== wrote $out =="

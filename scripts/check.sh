@@ -20,4 +20,7 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke (1 iteration) =="
+go test -run '^$' -bench . -benchtime 1x . > /dev/null
+
 echo "== OK =="
