@@ -2,16 +2,19 @@ package carcs_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"carcs/internal/classify"
 	"carcs/internal/core"
 	"carcs/internal/corpus"
 	"carcs/internal/coverage"
+	"carcs/internal/ingest"
 	"carcs/internal/material"
 	"carcs/internal/ontology"
 	"carcs/internal/relstore"
@@ -412,6 +415,59 @@ func BenchmarkServerThroughput(b *testing.B) {
 			b.Fatalf("status %d", rec.Code)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Bulk ingestion throughput: the streaming JSONL importer behind
+// POST /api/import and `carcs import`. Reported in materials/sec so the
+// BENCH json records end-to-end ingest rate, 1 worker versus GOMAXPROCS.
+// ---------------------------------------------------------------------------
+
+func benchIngest(b *testing.B, workers int, autoClassify bool) {
+	b.Helper()
+	const n = 500
+	mats := syntheticMaterials(n)
+	method := "none"
+	if autoClassify {
+		method = "tfidf"
+		// Strip the pre-assigned classifications so every record goes
+		// through the suggestion engines — the expensive prepare path
+		// the worker pool exists to parallelize.
+		for _, m := range mats {
+			m.Classifications = nil
+		}
+	}
+	var buf bytes.Buffer
+	if err := ingest.WriteJSONL(&buf, mats); err != nil {
+		b.Fatal(err)
+	}
+	input := buf.Bytes()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp := ingest.New(sys, ingest.Options{Workers: workers, Method: method, Threshold: 0.05})
+		sum, err := imp.Run(ctx, bytes.NewReader(input), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Added != n || sum.Failed > 0 {
+			b.Fatalf("summary = %+v", sum)
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "mat/s")
+}
+
+func BenchmarkIngest1Worker(b *testing.B)  { benchIngest(b, 1, false) }
+func BenchmarkIngestParallel(b *testing.B) { benchIngest(b, runtime.GOMAXPROCS(0), false) }
+func BenchmarkIngestAutoClassify1Worker(b *testing.B) {
+	benchIngest(b, 1, true)
+}
+func BenchmarkIngestAutoClassifyParallel(b *testing.B) {
+	benchIngest(b, runtime.GOMAXPROCS(0), true)
 }
 
 // BenchmarkTextPipeline isolates the NLP substrate.

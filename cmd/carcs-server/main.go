@@ -117,6 +117,13 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprof
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutErr := httpSrv.Shutdown(shutCtx)
+	// Drain background import jobs after the listener stops accepting new
+	// submissions and before the final checkpoint, so the checkpoint
+	// includes everything the jobs committed. On timeout, jobs are
+	// cancelled between items — partial progress is already journaled.
+	if err := srv.DrainJobs(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "carcs-server: job drain:", err)
+	}
 	if persister != nil {
 		// Final checkpoint after the last request drains, so a clean
 		// shutdown always restarts from a compact snapshot.

@@ -21,6 +21,7 @@
 //	carcs replacements <material-id>
 //	carcs migrate
 //	carcs snapshot -o state.json
+//	carcs import [-workers N] [-method tfidf] [-threshold 0.3] <file.jsonl>
 //
 // With -data, the repository is opened from (and journaled to) DIR instead
 // of being rebuilt from the embedded seed on every run, so the CLI sees the
@@ -28,13 +29,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"carcs/internal/core"
 	"carcs/internal/coverage"
+	"carcs/internal/ingest"
 	"carcs/internal/material"
 	"carcs/internal/ontology"
 	"carcs/internal/search"
@@ -442,6 +447,54 @@ func run(args []string) error {
 			review += len(needs)
 		}
 		fmt.Printf("corpus impact: %d classification links need manual review after migration\n", review)
+		return nil
+
+	case "import":
+		fs := flag.NewFlagSet("import", flag.ContinueOnError)
+		workers := fs.Int("workers", 0, "prepare workers (0 = GOMAXPROCS)")
+		method := fs.String("method", "tfidf", "auto-classification method (tfidf, keyword, bayes, ensemble, none)")
+		threshold := fs.Float64("threshold", ingest.DefaultThreshold, "minimum confidence to auto-apply a suggestion")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("import needs exactly one JSONL file (use - for stdin)")
+		}
+		var in io.Reader = os.Stdin
+		if name := fs.Arg(0); name != "-" {
+			f, err := os.Open(name)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		if *threshold < 0 || *threshold > 1 {
+			return fmt.Errorf("threshold must be in [0,1]")
+		}
+		// Ctrl-C cancels between items; everything committed so far stays
+		// (and, with -data, is already journaled).
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer cancel()
+		imp := ingest.New(sys, ingest.Options{
+			Workers:   *workers,
+			Method:    *method,
+			Threshold: *threshold,
+		})
+		sum, err := imp.Run(ctx, in, nil)
+		if sum.Total > 0 || err == nil {
+			fmt.Printf("records:         %d\n", sum.Total)
+			fmt.Printf("added:           %d (%d auto-classified)\n", sum.Added, sum.AutoClassified)
+			fmt.Printf("routed to review:%d\n", sum.Review)
+			fmt.Printf("skipped (dupes): %d\n", sum.Skipped)
+			fmt.Printf("failed:          %d\n", sum.Failed)
+		}
+		if err != nil {
+			return err
+		}
+		if sum.Failed > 0 {
+			return fmt.Errorf("%d records failed", sum.Failed)
+		}
 		return nil
 
 	case "snapshot":

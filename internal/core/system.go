@@ -388,8 +388,34 @@ func (s *System) Len() int {
 	return s.engine.Len()
 }
 
-// Engine exposes the search engine for advanced queries.
+// Engine exposes the search engine for advanced queries. The engine is not
+// internally synchronized: callers that may run concurrently with mutations
+// (the HTTP handlers) must use the locked wrappers below instead.
 func (s *System) Engine() *search.Engine { return s.engine }
+
+// Select runs a filtered scan under the read lock, safe against concurrent
+// mutations (e.g. a background bulk import committing materials).
+func (s *System) Select(f search.Filter) []*material.Material {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Select(f)
+}
+
+// SearchText is the locked form of Engine().TextCorrected: ranked free-text
+// search with spell correction.
+func (s *System) SearchText(query string, k int, filters ...search.Filter) ([]search.Hit, string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.TextCorrected(query, k, filters...)
+}
+
+// SearchQuery is the locked form of Engine().Query: the structured query
+// mini-language.
+func (s *System) SearchQuery(q string, k int) ([]search.Hit, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Query(q, k)
+}
 
 // ontologyKey returns the canonical cache-key name of one of the system's
 // ontologies, so "acm" and "cs2013" share cache entries with "cs13".
@@ -500,6 +526,23 @@ func (s *System) Suggest(method, ontologyName, text string, k int) ([]classify.S
 		return nil, err
 	}
 	return v.([]classify.Suggestion), nil
+}
+
+// SuggestDirect computes suggestions without consulting or filling the
+// result cache. Bulk pipelines (the ingest auto-classifier) use it: their
+// queries never repeat, and each of their own commits bumps the generation,
+// so caching the results would only pile up dead entries.
+func (s *System) SuggestDirect(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
+	o := s.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	switch method {
+	case "", "tfidf", "keyword", "bayes", "ensemble":
+	default:
+		return nil, fmt.Errorf("core: unknown suggester %q", method)
+	}
+	return s.suggest(method, o, text, k), nil
 }
 
 func (s *System) suggest(method string, o *ontology.Ontology, text string, k int) []classify.Suggestion {

@@ -1,0 +1,67 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"carcs/internal/material"
+)
+
+// Record is the wire form of one JSONL import line: the same shape the
+// material API serves, one JSON object per line. Classifications are node
+// IDs; a record with none is eligible for auto-classification.
+type Record struct {
+	ID              string   `json:"id"`
+	Title           string   `json:"title"`
+	Authors         []string `json:"authors,omitempty"`
+	URL             string   `json:"url,omitempty"`
+	Description     string   `json:"description,omitempty"`
+	Kind            string   `json:"kind"`
+	Level           string   `json:"level"`
+	Language        string   `json:"language,omitempty"`
+	Datasets        []string `json:"datasets,omitempty"`
+	Year            int      `json:"year,omitempty"`
+	Collection      string   `json:"collection,omitempty"`
+	Tags            []string `json:"tags,omitempty"`
+	Classifications []string `json:"classifications,omitempty"`
+}
+
+// Material converts the record to the domain model.
+func (r Record) Material() *material.Material {
+	m := &material.Material{
+		ID: r.ID, Title: r.Title, Authors: r.Authors, URL: r.URL,
+		Description: r.Description, Kind: material.Kind(r.Kind),
+		Level: material.Level(r.Level), Language: r.Language,
+		Datasets: r.Datasets, Year: r.Year, Collection: r.Collection,
+		Tags: r.Tags,
+	}
+	for _, c := range r.Classifications {
+		m.Classifications = append(m.Classifications, material.Classification{NodeID: c})
+	}
+	return m
+}
+
+// FromMaterial converts a domain material to its wire record, the inverse
+// of Record.Material; the CLI and benchmarks use it to generate corpora.
+func FromMaterial(m *material.Material) Record {
+	return Record{
+		ID: m.ID, Title: m.Title, Authors: m.Authors, URL: m.URL,
+		Description: m.Description, Kind: string(m.Kind), Level: string(m.Level),
+		Language: m.Language, Datasets: m.Datasets, Year: m.Year,
+		Collection: m.Collection, Tags: m.Tags,
+		Classifications: m.ClassificationIDs(),
+	}
+}
+
+// WriteJSONL writes materials as one JSON record per line — the importer's
+// input format.
+func WriteJSONL(w io.Writer, mats []*material.Material) error {
+	enc := json.NewEncoder(w)
+	for _, m := range mats {
+		if err := enc.Encode(FromMaterial(m)); err != nil {
+			return fmt.Errorf("ingest: encode %s: %w", m.ID, err)
+		}
+	}
+	return nil
+}

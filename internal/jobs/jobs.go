@@ -1,0 +1,520 @@
+// Package jobs is a generic background-job runner: a fixed worker pool
+// executing long-running tasks (bulk imports, re-classification sweeps)
+// off the request path. The companion classification paper argues CAR-CS
+// only becomes useful once large corpora can be processed at scale; this
+// package is the execution substrate for that — submission returns
+// immediately with a job handle, progress is observable while the job
+// runs, and jobs can be cancelled or drained gracefully on shutdown.
+//
+// Design points:
+//
+//   - The submission queue is bounded. When it fills, Submit fails fast
+//     with ErrQueueFull instead of buffering without limit — backpressure
+//     the HTTP layer translates into 503.
+//   - Progress counters are atomics, so a job's workers can update them
+//     from any goroutine while pollers read them lock-free. They only
+//     ever increase: observed progress is monotone.
+//   - Every job runs under a context cancelled by Cancel, by runner
+//     shutdown, or never. Job functions are expected to stop between
+//     items, leaving whatever they committed so far intact.
+//   - Close drains: no new submissions, queued jobs still run, and the
+//     call blocks until in-flight work finishes or its context expires
+//     (then jobs are cancelled and awaited).
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle states. Queued and Running are live; the other three are
+// terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Errors returned by Submit and Cancel.
+var (
+	// ErrQueueFull means the bounded submission queue is at capacity;
+	// callers should retry later (HTTP 503 with Retry-After).
+	ErrQueueFull = errors.New("jobs: submission queue full")
+	// ErrClosed means the runner is shutting down and accepts no new work.
+	ErrClosed = errors.New("jobs: runner closed")
+	// ErrNotFound means no job has the given ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished means the job already reached a terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// Progress tracks per-item counters for a job. All methods are safe for
+// concurrent use; counters only increase, so values read while the job
+// runs are monotone snapshots.
+type Progress struct {
+	total   atomic.Int64
+	ok      atomic.Int64
+	failed  atomic.Int64
+	skipped atomic.Int64
+}
+
+// SetTotal records the expected item count once it is known (0 = unknown).
+func (p *Progress) SetTotal(n int64) { p.total.Store(n) }
+
+// AddTotal grows the expected item count as a streaming producer discovers
+// more items.
+func (p *Progress) AddTotal(n int64) { p.total.Add(n) }
+
+// AddOK counts one successfully processed item.
+func (p *Progress) AddOK() { p.ok.Add(1) }
+
+// AddFailed counts one item that errored terminally.
+func (p *Progress) AddFailed() { p.failed.Add(1) }
+
+// AddSkipped counts one item deliberately not processed (e.g. duplicate).
+func (p *Progress) AddSkipped() { p.skipped.Add(1) }
+
+// Counts returns (total, ok, failed, skipped).
+func (p *Progress) Counts() (total, ok, failed, skipped int64) {
+	return p.total.Load(), p.ok.Load(), p.failed.Load(), p.skipped.Load()
+}
+
+// ProgressCounts is the JSON form of a progress snapshot.
+type ProgressCounts struct {
+	Total   int64 `json:"total"`
+	OK      int64 `json:"ok"`
+	Failed  int64 `json:"failed"`
+	Skipped int64 `json:"skipped"`
+}
+
+// Done reports total done items (ok + failed + skipped).
+func (pc ProgressCounts) Done() int64 { return pc.OK + pc.Failed + pc.Skipped }
+
+// ItemError is one per-item failure recorded in the job's error report.
+type ItemError struct {
+	// Index is the item's position in the input (0-based).
+	Index int `json:"index"`
+	// Item identifies the item, when known (e.g. a material ID).
+	Item string `json:"item,omitempty"`
+	// Err is the failure message.
+	Err string `json:"error"`
+	// Attempts is how many tries were made, >1 when retried.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// maxItemErrors bounds a job's per-item error report so a pathological
+// input (every line broken) cannot grow memory without limit.
+const maxItemErrors = 100
+
+// Fn is the body of a job. It must return promptly once ctx is cancelled,
+// leaving partial progress consistent (whatever it committed stays; the
+// in-flight item is either fully applied or not at all). A nil return
+// marks the job done; ctx.Err() marks it cancelled; anything else failed.
+type Fn func(ctx context.Context, job *Job) error
+
+// Job is one unit of background work.
+type Job struct {
+	// Progress counters, updated by the job function as it works.
+	Progress
+
+	id    int64
+	kind  string
+	label string
+	fn    Fn
+
+	// ctx is created at submission as a child of the runner's base
+	// context, so both Cancel and runner teardown stop the job.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      State
+	err        error
+	result     any
+	itemErrs   []ItemError
+	errDropped int
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+}
+
+// ID returns the job's runner-unique ID.
+func (j *Job) ID() int64 { return j.id }
+
+// Kind returns the job's type tag (e.g. "import").
+func (j *Job) Kind() string { return j.kind }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error, nil while live or done.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// SetResult attaches a job-specific summary made visible to pollers once
+// set; the job function calls it before returning.
+func (j *Job) SetResult(v any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = v
+}
+
+// Result returns the value set by SetResult, or nil.
+func (j *Job) Result() any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// ReportItemError appends one failure to the job's bounded error report.
+func (j *Job) ReportItemError(e ItemError) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.itemErrs) >= maxItemErrors {
+		j.errDropped++
+		return
+	}
+	j.itemErrs = append(j.itemErrs, e)
+}
+
+// Snapshot is a point-in-time JSON-ready view of a job.
+type Snapshot struct {
+	ID         int64          `json:"id"`
+	Kind       string         `json:"kind"`
+	Label      string         `json:"label,omitempty"`
+	State      State          `json:"state"`
+	Progress   ProgressCounts `json:"progress"`
+	Error      string         `json:"error,omitempty"`
+	Result     any            `json:"result,omitempty"`
+	ItemErrors []ItemError    `json:"item_errors,omitempty"`
+	// ErrorsDropped counts item errors beyond the report cap.
+	ErrorsDropped int        `json:"errors_dropped,omitempty"`
+	Created       time.Time  `json:"created"`
+	Started       *time.Time `json:"started,omitempty"`
+	Finished      *time.Time `json:"finished,omitempty"`
+	// Duration is wall time from start to finish (or to now while
+	// running), in seconds, for dashboards.
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// Snapshot captures the job's current state for serving over the API.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t, ok, failed, skipped := j.Counts()
+	s := Snapshot{
+		ID:    j.id,
+		Kind:  j.kind,
+		Label: j.label,
+		State: j.state,
+		Progress: ProgressCounts{
+			Total: t, OK: ok, Failed: failed, Skipped: skipped,
+		},
+		Result:        j.result,
+		ItemErrors:    append([]ItemError(nil), j.itemErrs...),
+		ErrorsDropped: j.errDropped,
+		Created:       j.created,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		st := j.started
+		s.Started = &st
+		end := time.Now()
+		if !j.finished.IsZero() {
+			fin := j.finished
+			s.Finished = &fin
+			end = fin
+		}
+		s.Seconds = end.Sub(st).Seconds()
+	}
+	return s
+}
+
+// transition moves the job to a new state if it is still live, returning
+// whether the move happened.
+func (j *Job) transition(to State) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	switch to {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = time.Now()
+	}
+	j.state = to
+	return true
+}
+
+// Stats summarizes the runner for the health endpoint.
+type Stats struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// QueueCap and QueueLen describe the bounded submission queue.
+	QueueCap int `json:"queue_cap"`
+	QueueLen int `json:"queue_len"`
+	// Running / Queued / Completed / Failed / Cancelled count jobs by
+	// state over the runner's lifetime (completed states are cumulative).
+	Running   int `json:"running"`
+	Queued    int `json:"queued"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Runner executes jobs on a fixed worker pool fed by a bounded queue.
+type Runner struct {
+	queue   chan *Job
+	workers int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[int64]*Job
+	order  []int64
+	nextID int64
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewRunner starts a runner with the given worker-pool size and submission
+// queue depth. Zero (or negative) workers defaults to GOMAXPROCS; zero
+// queue depth defaults to 4x the worker count.
+func NewRunner(workers, queueDepth int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = 4 * workers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{
+		queue:      make(chan *Job, queueDepth),
+		workers:    workers,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[int64]*Job),
+	}
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.work()
+	}
+	return r
+}
+
+// Submit enqueues a job. It never blocks: a full queue returns
+// ErrQueueFull immediately so callers can apply backpressure upstream.
+func (r *Runner) Submit(kind, label string, fn Fn) (*Job, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("jobs: nil job function")
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.nextID++
+	ctx, cancel := context.WithCancel(r.baseCtx)
+	j := &Job{
+		id:      r.nextID,
+		kind:    kind,
+		label:   label,
+		fn:      fn,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	// Reserve the queue slot while still holding the lock, so a competing
+	// Close cannot close the channel between registration and send.
+	select {
+	case r.queue <- j:
+	default:
+		r.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	r.mu.Unlock()
+	return j, nil
+}
+
+// Job returns the job with the given ID, or ErrNotFound.
+func (r *Runner) Job(id int64) (*Job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Jobs returns snapshots of all known jobs, newest first.
+func (r *Runner) Jobs() []Snapshot {
+	r.mu.Lock()
+	ids := append([]int64(nil), r.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, r.jobs[id])
+	}
+	r.mu.Unlock()
+	out := make([]Snapshot, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Snapshot())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// Cancel requests cancellation of a live job. A queued job is marked
+// cancelled immediately (the worker discards it on dequeue); a running job
+// has its context cancelled and transitions once its function returns.
+func (r *Runner) Cancel(id int64) error {
+	j, err := r.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	state := j.state
+	if state.Terminal() {
+		j.mu.Unlock()
+		return ErrFinished
+	}
+	if state == StateQueued {
+		// Not yet picked up: finalize here; the worker skips it later.
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return nil
+}
+
+// Stats returns a point-in-time summary for /api/health.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Workers:  r.workers,
+		QueueCap: cap(r.queue),
+		QueueLen: len(r.queue),
+	}
+	for _, j := range r.jobs {
+		switch j.State() {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Completed++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// work is one pool worker: dequeue, run, finalize, repeat until the queue
+// closes.
+func (r *Runner) work() {
+	defer r.wg.Done()
+	for j := range r.queue {
+		if !j.transition(StateRunning) {
+			continue // cancelled while queued
+		}
+		err := j.fn(j.ctx, j)
+		cancelled := j.ctx.Err() != nil
+		j.cancel()
+		r.finalize(j, cancelled, err)
+	}
+}
+
+// finalize records the job's terminal state from its return error.
+func (r *Runner) finalize(j *Job, cancelled bool, err error) {
+	switch {
+	case err == nil:
+		j.transition(StateDone)
+	case errors.Is(err, context.Canceled) || cancelled:
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.state = StateCancelled
+			j.err = err
+			j.finished = time.Now()
+		}
+		j.mu.Unlock()
+	default:
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.state = StateFailed
+			j.err = err
+			j.finished = time.Now()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Close shuts the runner down gracefully: new submissions are refused,
+// already queued jobs still execute, and Close blocks until all work
+// drains. If ctx expires first, every live job is cancelled and Close
+// waits (briefly) for the workers to observe it. The returned error is
+// ctx.Err() when the drain was cut short.
+func (r *Runner) Close(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.queue)
+	r.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Hard stop: cancel everything and wait for the workers to
+		// notice. Job functions stop between items, so this terminates.
+		r.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,280 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal state or the deadline
+// passes.
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := j.State(); s == want {
+			return
+		} else if s.Terminal() {
+			t.Fatalf("job reached %s, want %s (err=%v)", s, want, j.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job stuck in %s, want %s", j.State(), want)
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	r := NewRunner(2, 4)
+	defer r.Close(context.Background())
+	j, err := r.Submit("test", "adds three", func(ctx context.Context, job *Job) error {
+		job.SetTotal(3)
+		for i := 0; i < 3; i++ {
+			job.AddOK()
+		}
+		job.SetResult(map[string]int{"n": 3})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+	snap := j.Snapshot()
+	if snap.Progress.OK != 3 || snap.Progress.Total != 3 {
+		t.Errorf("progress = %+v", snap.Progress)
+	}
+	if snap.Result == nil || snap.Started == nil || snap.Finished == nil {
+		t.Errorf("snapshot incomplete: %+v", snap)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	r := NewRunner(1, 2)
+	defer r.Close(context.Background())
+	boom := errors.New("boom")
+	j, err := r.Submit("test", "", func(ctx context.Context, job *Job) error {
+		job.AddFailed()
+		job.ReportItemError(ItemError{Index: 0, Err: "boom"})
+		return boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateFailed)
+	if !errors.Is(j.Err(), boom) {
+		t.Errorf("err = %v", j.Err())
+	}
+	if snap := j.Snapshot(); len(snap.ItemErrors) != 1 || snap.Error == "" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	r := NewRunner(1, 2)
+	defer r.Close(context.Background())
+	started := make(chan struct{})
+	j, err := r.Submit("test", "", func(ctx context.Context, job *Job) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := r.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateCancelled)
+	if err := r.Cancel(j.ID()); !errors.Is(err, ErrFinished) {
+		t.Errorf("second cancel = %v", err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	r := NewRunner(1, 4)
+	defer r.Close(context.Background())
+	release := make(chan struct{})
+	blocker, err := r.Submit("test", "blocker", func(ctx context.Context, job *Job) error {
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, StateRunning)
+	ran := false
+	queued, err := r.Submit("test", "queued", func(ctx context.Context, job *Job) error {
+		ran = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if s := queued.State(); s != StateCancelled {
+		t.Fatalf("queued job state = %s", s)
+	}
+	close(release)
+	waitState(t, blocker, StateDone)
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("cancelled queued job still ran")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	r := NewRunner(1, 1)
+	defer r.Close(context.Background())
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context, job *Job) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	running, err := r.Submit("test", "", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	if _, err := r.Submit("test", "", block); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	if _, err := r.Submit("test", "", block); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit = %v", err)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	r := NewRunner(2, 8)
+	var mu sync.Mutex
+	done := 0
+	for i := 0; i < 6; i++ {
+		if _, err := r.Submit("test", fmt.Sprint(i), func(ctx context.Context, job *Job) error {
+			time.Sleep(5 * time.Millisecond)
+			mu.Lock()
+			done++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if done != 6 {
+		t.Errorf("drained %d of 6 jobs", done)
+	}
+	if _, err := r.Submit("test", "", func(context.Context, *Job) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close = %v", err)
+	}
+}
+
+func TestCloseTimeoutCancelsJobs(t *testing.T) {
+	r := NewRunner(1, 2)
+	started := make(chan struct{})
+	j, err := r.Submit("test", "", func(ctx context.Context, job *Job) error {
+		close(started)
+		<-ctx.Done() // only stops when the runner force-cancels
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := r.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("close = %v", err)
+	}
+	waitState(t, j, StateCancelled)
+}
+
+func TestStats(t *testing.T) {
+	r := NewRunner(2, 4)
+	defer r.Close(context.Background())
+	j, err := r.Submit("test", "", func(context.Context, *Job) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+	st := r.Stats()
+	if st.Workers != 2 || st.QueueCap != 4 || st.Completed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestItemErrorReportBounded(t *testing.T) {
+	j := &Job{state: StateRunning}
+	for i := 0; i < maxItemErrors+50; i++ {
+		j.ReportItemError(ItemError{Index: i, Err: "x"})
+	}
+	snap := j.Snapshot()
+	if len(snap.ItemErrors) != maxItemErrors || snap.ErrorsDropped != 50 {
+		t.Errorf("errors = %d dropped = %d", len(snap.ItemErrors), snap.ErrorsDropped)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, Base: time.Microsecond, Transient: func(error) bool { return true }}
+	calls := 0
+	attempts, err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Errorf("attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("permanent")
+	p := RetryPolicy{Attempts: 5, Base: time.Microsecond, Transient: func(err error) bool { return err.Error() == "transient" }}
+	calls := 0
+	attempts, err := p.Do(context.Background(), func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || attempts != 1 || calls != 1 {
+		t.Errorf("attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Base: time.Microsecond, Jitter: 0.5, Transient: func(error) bool { return true }}
+	calls := 0
+	attempts, err := p.Do(context.Background(), func() error {
+		calls++
+		return errors.New("always")
+	})
+	if err == nil || attempts != 3 || calls != 3 {
+		t.Errorf("attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+}
+
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{Attempts: 100, Base: 10 * time.Second, Transient: func(error) bool { return true }}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := p.Do(ctx, func() error { return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package jobs
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy retries transient per-item failures with exponential backoff
+// and jitter. Bulk ingestion uses it around each item's commit so a blip
+// (a briefly contended resource, an injected fault) costs one item a few
+// retries, not the whole job.
+type RetryPolicy struct {
+	// Attempts is the maximum number of tries (first call included).
+	// Values below 1 mean a single attempt, i.e. no retry.
+	Attempts int
+	// Base is the delay before the first retry; each further retry
+	// doubles it. Zero defaults to 10ms.
+	Base time.Duration
+	// Max caps the backoff delay. Zero defaults to 2s.
+	Max time.Duration
+	// Jitter in [0,1] randomizes each delay by ±Jitter/2 of its value,
+	// de-synchronizing retry storms across workers. Zero means none.
+	Jitter float64
+	// Transient reports whether an error is worth retrying. Nil means no
+	// error is transient — deterministic failures (validation, duplicate
+	// IDs) must not burn retry budget.
+	Transient func(error) bool
+}
+
+// DefaultRetry is the ingestion default: three tries with 25ms base
+// backoff and 25% jitter. Transient is left nil; callers choose what
+// qualifies.
+var DefaultRetry = RetryPolicy{Attempts: 3, Base: 25 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.25}
+
+// Do runs fn until it succeeds, exhausts the attempt budget, fails
+// non-transiently, or ctx is cancelled. It returns the attempt count and
+// the final error (nil on success; ctx.Err() on cancellation).
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) (attempts int, err error) {
+	budget := p.Attempts
+	if budget < 1 {
+		budget = 1
+	}
+	base := p.Base
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxDelay := p.Max
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	for attempts = 1; ; attempts++ {
+		if err = ctx.Err(); err != nil {
+			return attempts - 1, err
+		}
+		if err = fn(); err == nil {
+			return attempts, nil
+		}
+		if attempts >= budget || p.Transient == nil || !p.Transient(err) {
+			return attempts, err
+		}
+		delay := base << (attempts - 1)
+		if delay > maxDelay || delay <= 0 { // <=0 guards shift overflow
+			delay = maxDelay
+		}
+		if p.Jitter > 0 {
+			// Spread the delay across [1-J/2, 1+J/2] of its nominal value.
+			f := 1 + p.Jitter*(rand.Float64()-0.5)
+			delay = time.Duration(float64(delay) * f)
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return attempts, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"sort"
 	"strconv"
 
 	"carcs/internal/material"
@@ -14,7 +15,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sys.ComputeStats())
 }
 
-// GET /api/materials?collection=&kind=&level=&language=&year_from=&year_to=
+// GET /api/materials?collection=&kind=&level=&language=&year_from=&year_to=&limit=&offset=
+//
+// Results are always sorted by material ID, so pagination windows are
+// deterministic across calls at the same generation. Without limit/offset
+// the full (sorted) list is returned, preserving the original shape; with
+// either parameter the response is an envelope carrying the total count.
 func (s *Server) handleListMaterials(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var filters []search.Filter
@@ -44,19 +50,42 @@ func (s *Server) handleListMaterials(w http.ResponseWriter, r *http.Request) {
 		}
 		filters = append(filters, search.InSubtree(o, subtree))
 	}
-	mats := s.sys.Engine().Select(search.AllOf(filters...))
+	mats := s.sys.Select(search.AllOf(filters...))
+	sort.Slice(mats, func(i, j int) bool { return mats[i].ID < mats[j].ID })
 	out := make([]materialJSON, 0, len(mats))
 	for _, m := range mats {
 		out = append(out, toJSON(m))
 	}
-	writeJSON(w, http.StatusOK, out)
+	if !q.Has("limit") && !q.Has("offset") {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	total := len(out)
+	offset := atoiDefault(q.Get("offset"), 0)
+	limit := atoiDefault(q.Get("limit"), total)
+	if offset < 0 || limit < 0 {
+		writeError(w, http.StatusBadRequest, "limit and offset must be non-negative")
+		return
+	}
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total || end < 0 { // <0 guards offset+limit overflow
+		end = total
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":     total,
+		"offset":    offset,
+		"limit":     limit,
+		"materials": out[offset:end],
+	})
 }
 
 // POST /api/materials
 func (s *Server) handleCreateMaterial(w http.ResponseWriter, r *http.Request) {
 	var mj materialJSON
-	if err := decodeBody(r, &mj); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &mj) {
 		return
 	}
 	m := fromJSON(mj)
@@ -91,8 +120,7 @@ func (s *Server) handleReclassify(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Classifications []string `json:"classifications"`
 	}
-	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &body) {
 		return
 	}
 	cls := make([]material.Classification, 0, len(body.Classifications))
@@ -251,7 +279,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if c := r.URL.Query().Get("collection"); c != "" {
 		filters = append(filters, search.ByCollection(c))
 	}
-	hits, didYouMean := s.sys.Engine().TextCorrected(q, atoiDefault(r.URL.Query().Get("k"), 10), filters...)
+	hits, didYouMean := s.sys.SearchText(q, atoiDefault(r.URL.Query().Get("k"), 10), filters...)
 	type hit struct {
 		Material materialJSON `json:"material"`
 		Score    float64      `json:"score"`
@@ -275,7 +303,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing q")
 		return
 	}
-	hits, err := s.sys.Engine().Query(q, atoiDefault(r.URL.Query().Get("k"), 20))
+	hits, err := s.sys.SearchQuery(q, atoiDefault(r.URL.Query().Get("k"), 20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -322,8 +350,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Name string `json:"name"`
 		Role string `json:"role"`
 	}
-	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &body) {
 		return
 	}
 	if body.Name == "" {
@@ -353,8 +380,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 // POST /api/submissions — body is a material; queued for editorial review.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var mj materialJSON
-	if err := decodeBody(r, &mj); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &mj) {
 		return
 	}
 	sub, err := s.sys.Workflow().Submit(r.Header.Get("X-User"), fromJSON(mj))
@@ -392,8 +418,7 @@ func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
 		Decision string `json:"decision"`
 		Note     string `json:"note"`
 	}
-	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &body) {
 		return
 	}
 	wf := s.sys.Workflow()
@@ -458,8 +483,7 @@ func (s *Server) handleSuggestEdit(w http.ResponseWriter, r *http.Request) {
 		Old      string `json:"old"`
 		New      string `json:"new"`
 	}
-	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &body) {
 		return
 	}
 	if body.Material == "" || body.Field == "" {
@@ -493,8 +517,7 @@ func (s *Server) handleVerifyEdit(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Accept bool `json:"accept"`
 	}
-	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if !decodeBody(w, r, &body) {
 		return
 	}
 	if err := s.sys.Workflow().VerifyEdit(r.Header.Get("X-User"), id, body.Accept); err != nil {

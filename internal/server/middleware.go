@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"carcs/internal/cache"
+	"carcs/internal/jobs"
 	"carcs/internal/journal"
 )
 
@@ -87,6 +88,7 @@ type healthJSON struct {
 	Materials  int            `json:"materials"`
 	Generation uint64         `json:"generation"`
 	Cache      cache.Stats    `json:"cache"`
+	Jobs       jobs.Stats     `json:"jobs"`
 	Durable    bool           `json:"durable"`
 	Journal    *journal.Stats `json:"journal,omitempty"`
 }
@@ -103,6 +105,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Materials:  s.sys.Len(),
 		Generation: s.sys.Generation(),
 		Cache:      s.sys.CacheStats(),
+		Jobs:       s.runner.Stats(),
 	}
 	code := http.StatusOK
 	if s.persister != nil {

@@ -10,7 +10,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -20,8 +22,18 @@ import (
 	"time"
 
 	"carcs/internal/core"
+	"carcs/internal/jobs"
 	"carcs/internal/material"
 	"carcs/internal/workflow"
+)
+
+// Body caps for JSON POST endpoints. Oversized requests get 413 with the
+// standard error envelope instead of an opaque decode failure.
+const (
+	// maxJSONBody bounds ordinary JSON bodies (one material, one review).
+	maxJSONBody = 1 << 20
+	// maxImportBody bounds the bulk JSONL import payload.
+	maxImportBody = 64 << 20
 )
 
 // Server routes HTTP requests onto a core.System.
@@ -30,22 +42,38 @@ type Server struct {
 	mux       *http.ServeMux
 	log       *log.Logger
 	persister *core.Persister
+	runner    *jobs.Runner
 	timeout   time.Duration
 	handler   http.Handler
 }
 
 // New builds a server around the system, logging to w (io.Discard for
-// silence).
+// silence). The server owns a background-job runner (worker pool sized to
+// GOMAXPROCS) executing bulk imports off the request path; call DrainJobs
+// during shutdown so in-flight jobs finish before exit.
 func New(sys *core.System, w io.Writer) *Server {
 	s := &Server{
 		sys:     sys,
 		mux:     http.NewServeMux(),
 		log:     log.New(w, "carcs ", log.LstdFlags),
+		runner:  jobs.NewRunner(0, 0),
 		timeout: DefaultRequestTimeout,
 	}
 	s.routes()
 	s.rebuildHandler()
 	return s
+}
+
+// Runner exposes the background-job runner (tests and the drain path).
+func (s *Server) Runner() *jobs.Runner { return s.runner }
+
+// DrainJobs refuses new job submissions and blocks until queued and
+// running jobs finish, or until ctx expires (then jobs are cancelled —
+// each stops between items, so partial progress stays consistent and
+// journaled). Call after the HTTP listener stops and before the final
+// checkpoint, so the checkpoint includes everything the jobs committed.
+func (s *Server) DrainJobs(ctx context.Context) error {
+	return s.runner.Close(ctx)
 }
 
 // SetPersister attaches the durability layer so /api/health can report
@@ -108,6 +136,13 @@ func (s *Server) routes() {
 
 	s.mux.HandleFunc("GET /api/depth", s.withETag(s.handleDepth))
 	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
+
+	// Async bulk ingestion: submit returns 202 + a job ID; progress and
+	// per-item errors are polled from the jobs resource.
+	s.mux.HandleFunc("POST /api/import", s.requireRole(workflow.RoleEditor, s.handleImport))
+	s.mux.HandleFunc("GET /api/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /api/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /api/jobs/{id}", s.requireRole(workflow.RoleEditor, s.handleCancelJob))
 
 	s.mux.HandleFunc("POST /api/accounts", s.handleRegister)
 	s.mux.HandleFunc("POST /api/edits", s.requireRole(workflow.RoleUser, s.handleSuggestEdit))
@@ -211,13 +246,24 @@ func fromJSON(mj materialJSON) *material.Material {
 	return m
 }
 
-func decodeBody[T any](r *http.Request, into *T) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+// decodeBody parses a JSON request body into into, enforcing the standard
+// body cap. On failure it writes the error response itself — 413 for an
+// oversized body, 400 for malformed JSON — and returns false.
+func decodeBody[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxJSONBody)
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
 	}
-	return nil
+	return true
 }
 
 func splitCSV(s string) []string {

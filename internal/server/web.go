@@ -92,7 +92,7 @@ func (s *Server) handleMaterialsPage(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		var err error
-		hits, err = s.sys.Engine().Query(q, 200)
+		hits, err = s.sys.SearchQuery(q, 200)
 		if err != nil {
 			errMsg = err.Error()
 		}

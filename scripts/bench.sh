@@ -11,8 +11,10 @@
 #
 # The JSON shape is one object per benchmark:
 #   {"name": ..., "runs": N, "ns_per_op": ..., "bytes_per_op": ...,
-#    "allocs_per_op": ...}
+#    "allocs_per_op": ..., "mat_per_sec": ...}
 # plus an "env" header recording Go version, GOMAXPROCS, and the host CPU.
+# mat_per_sec appears on the ingest-throughput benchmarks, which report a
+# custom materials/sec metric.
 set -eu
 
 out=${1:-BENCH_1.json}
@@ -43,6 +45,7 @@ BEGIN { n = 0; maxprocs = 1 }
         if ($(f+1) == "ns/op")     ns[i] += $f
         if ($(f+1) == "B/op")      bytes[i] += $f
         if ($(f+1) == "allocs/op") allocs[i] += $f
+        if ($(f+1) == "mat/s")     matps[i] += $f
     }
 }
 /^cpu:/ { cpu = substr($0, 6); gsub(/^[ \t]+/, "", cpu); gsub(/"/, "", cpu) }
@@ -53,6 +56,7 @@ END {
         printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.1f", names[i], runs[i], ns[i] / samples[i]
         if (bytes[i] > 0)  printf ", \"bytes_per_op\": %.1f", bytes[i] / samples[i]
         if (allocs[i] > 0) printf ", \"allocs_per_op\": %.1f", allocs[i] / samples[i]
+        if (matps[i] > 0)  printf ", \"mat_per_sec\": %.1f", matps[i] / samples[i]
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  ]\n}\n"

@@ -17,8 +17,8 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race -shuffle=on =="
+go test -race -shuffle=on ./...
 
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench . -benchtime 1x . > /dev/null
