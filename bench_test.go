@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"carcs/internal/classify"
@@ -468,6 +470,71 @@ func BenchmarkIngestAutoClassify1Worker(b *testing.B) {
 }
 func BenchmarkIngestAutoClassifyParallel(b *testing.B) {
 	benchIngest(b, runtime.GOMAXPROCS(0), true)
+}
+
+// BenchmarkReadUnderIngest measures read-path throughput while a bulk
+// import is actively committing: N reader goroutines hammer the coverage,
+// similarity, and search paths for the whole duration of a JSONL import and
+// the benchmark reports completed reads per second. This is the contention
+// profile the snapshot-isolated read model is built for — before it, every
+// read serialized against the committer on System.mu.
+func BenchmarkReadUnderIngest(b *testing.B) {
+	const readers = 8
+	mats := syntheticMaterials(1000)
+	var buf bytes.Buffer
+	if err := ingest.WriteJSONL(&buf, mats); err != nil {
+		b.Fatal(err)
+	}
+	input := buf.Bytes()
+	ctx := context.Background()
+	var totalReads int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := core.NewSeeded()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var reads int64
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for n := r; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v := sys.View()
+					switch n % 3 {
+					case 0:
+						if _, err := v.Coverage("cs13", ""); err != nil {
+							b.Error(err)
+							return
+						}
+					case 1:
+						v.SimilarityGraph("nifty", "peachy", 2)
+					default:
+						v.SearchText("parallel graph simulation", 10)
+					}
+					atomic.AddInt64(&reads, 1)
+				}
+			}(r)
+		}
+		imp := ingest.New(sys, ingest.Options{Workers: 2, Method: "none"})
+		sum, err := imp.Run(ctx, bytes.NewReader(input), nil)
+		close(stop)
+		wg.Wait()
+		if err != nil || sum.Added != len(mats) {
+			b.Fatalf("summary = %+v err = %v", sum, err)
+		}
+		totalReads += atomic.LoadInt64(&reads)
+	}
+	b.ReportMetric(float64(totalReads)/b.Elapsed().Seconds(), "reads/s")
 }
 
 // BenchmarkTextPipeline isolates the NLP substrate.

@@ -116,7 +116,7 @@ func run(args []string) error {
 		if *level != "" {
 			filters = append(filters, search.ByLevel(material.Level(*level)))
 		}
-		for _, m := range sys.Engine().Select(search.AllOf(filters...)) {
+		for _, m := range sys.View().Select(search.AllOf(filters...)) {
 			fmt.Printf("%-55s %-10s %-12s %4d  %s\n", m.ID, m.Kind, m.Level, m.Year, m.Collection)
 		}
 		return nil
@@ -228,7 +228,11 @@ func run(args []string) error {
 		if *q == "" {
 			return fmt.Errorf("search needs -q")
 		}
-		for _, h := range sys.Engine().Text(*q, *k) {
+		hits, didYouMean := sys.View().SearchText(*q, *k)
+		if didYouMean != "" {
+			fmt.Printf("did you mean: %s\n", didYouMean)
+		}
+		for _, h := range hits {
 			fmt.Printf("%6.3f  %-55s %s\n", h.Score, h.Material.ID, h.Material.Title)
 		}
 		return nil
@@ -243,7 +247,7 @@ func run(args []string) error {
 		if *q == "" {
 			return fmt.Errorf("query needs -q")
 		}
-		hits, err := sys.Engine().Query(*q, *k)
+		hits, err := sys.View().SearchQuery(*q, *k)
 		if err != nil {
 			return err
 		}

@@ -70,7 +70,8 @@ func main() {
 
 	// Free-text search across the repository.
 	fmt.Println("search 'forest fire simulation':")
-	for _, h := range sys.Engine().Text("forest fire simulation", 3) {
+	hits, _ := sys.View().SearchText("forest fire simulation", 3)
+	for _, h := range hits {
 		fmt.Printf("  %.3f  %s (%s)\n", h.Score, h.Material.Title, h.Material.Collection)
 	}
 

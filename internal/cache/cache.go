@@ -5,9 +5,11 @@
 // corpus changes rarely compared to how often it is read. The cache
 // exploits that: results are memoized under (request key, generation),
 // where the generation is a monotonic counter the owning system bumps on
-// every mutation. A reader that observes generation g either gets a result
-// computed at generation >= g or computes one itself — stale entries are
-// never served, they are evicted on first post-mutation access.
+// every mutation. A reader pinned at generation g only ever gets a result
+// computed at exactly g — never older (stale) and never newer (the read
+// path pins immutable views, and a view at generation g must not observe
+// analysis of a later commit). Entries from older generations are evicted
+// on first post-mutation access.
 //
 // Concurrent readers asking for the same (key, generation) are collapsed
 // into a single computation (singleflight), so a thundering herd on a cold
@@ -75,26 +77,30 @@ func Key(parts ...string) string {
 }
 
 // Do returns the cached value for key at generation gen, computing it with
-// compute on a miss. A cached value computed at generation >= gen is a hit
-// (a concurrent writer may have refreshed the entry under a newer
-// generation; newer is never stale). A cached value from an older
-// generation is evicted and recomputed. Errors are not cached.
+// compute on a miss. Only a cached value computed at exactly gen is a hit:
+// callers pin immutable views, so a request at generation g must not be
+// served analysis of an earlier or later corpus. A cached value from an
+// older generation is evicted and recomputed; one from a newer generation
+// is kept (current readers still need it) and the older request recomputes
+// without storing over it. Errors are not cached.
 //
-// compute runs without the cache lock held, so it may take its own locks
-// (the core system's read lock, typically). Concurrent Do calls with the
-// same key and generation share one compute invocation.
+// compute runs without the cache lock held, so it may take its own locks.
+// Concurrent Do calls with the same key and generation share one compute
+// invocation.
 func (c *Cache) Do(key string, gen uint64, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		if e.gen >= gen {
+		if e.gen == gen {
 			c.hits++
 			c.mu.Unlock()
 			return e.val, nil
 		}
-		delete(c.entries, key)
-		c.evictions++
-		if gen > c.lastInval {
-			c.lastInval = gen
+		if e.gen < gen {
+			delete(c.entries, key)
+			c.evictions++
+			if gen > c.lastInval {
+				c.lastInval = gen
+			}
 		}
 	}
 	c.misses++

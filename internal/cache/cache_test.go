@@ -39,16 +39,22 @@ func TestHitMissEvict(t *testing.T) {
 	}
 }
 
-func TestNewerGenerationIsNotStale(t *testing.T) {
+func TestPinnedGenerationIsExact(t *testing.T) {
 	c := New(0)
 	if _, err := c.Do("k", 5, func() (any, error) { return "new", nil }); err != nil {
 		t.Fatal(err)
 	}
-	// A reader that captured an older generation may still be served the
-	// newer result: monotonic, never stale.
+	// A reader pinned at an older view must get a result for its own
+	// generation, never the newer entry (its view predates that commit)...
 	v, _ := c.Do("k", 3, func() (any, error) { return "old", nil })
+	if v != "old" {
+		t.Fatalf("generation-3 reader got %v", v)
+	}
+	// ...and the recompute must not displace the newer entry current
+	// readers still need.
+	v, _ = c.Do("k", 5, func() (any, error) { return "recomputed", nil })
 	if v != "new" {
-		t.Fatalf("older-generation reader got %v", v)
+		t.Fatalf("generation-5 reader got %v", v)
 	}
 }
 
@@ -134,8 +140,9 @@ func TestConcurrentGenerations(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				// The served value must come from generation >= g.
-				if got := v.(uint64); got < g {
+				// The served value must come from exactly generation g:
+				// each generation is a distinct pinned view.
+				if got := v.(uint64); got != g {
 					t.Errorf("generation %d served value from %d", g, got)
 				}
 			}(g)

@@ -5,6 +5,7 @@ import (
 
 	"carcs/internal/material"
 	"carcs/internal/ontology"
+	"carcs/internal/pmap"
 	"carcs/internal/textproc"
 )
 
@@ -13,56 +14,69 @@ import (
 // concatenation of the texts of materials tagged with it. Once enough
 // materials are classified, it learns corpus-specific vocabulary (e.g. that
 // "OpenMP" signals the compiler-pragmas entry) that the training-free
-// suggesters cannot.
+// suggesters cannot. Counts live in persistent maps, so Snap freezes the
+// model in O(1) and reads work identically on live models and snapshots.
 type Bayes struct {
 	o *ontology.Ontology
 	// termCounts[entry][term] = occurrences in the entry's training text.
-	termCounts map[string]map[string]int
-	totalTerms map[string]int
-	docCount   map[string]int
+	termCounts *pmap.Map[string, *pmap.Map[string, int]]
+	totalTerms *pmap.Map[string, int]
+	docCount   *pmap.Map[string, int]
 	trained    int
 	// vocab reference-counts term occurrences across all classes so that
 	// Forget can shrink the vocabulary exactly when a term's last
 	// occurrence leaves the model.
-	vocab map[string]int
+	vocab *pmap.Map[string, int]
 }
 
 // NewBayes returns an untrained model bound to the ontology.
 func NewBayes(o *ontology.Ontology) *Bayes {
 	return &Bayes{
 		o:          o,
-		termCounts: make(map[string]map[string]int),
-		totalTerms: make(map[string]int),
-		docCount:   make(map[string]int),
-		vocab:      make(map[string]int),
+		termCounts: pmap.NewStrings[*pmap.Map[string, int]](),
+		totalTerms: pmap.NewStrings[int](),
+		docCount:   pmap.NewStrings[int](),
+		vocab:      pmap.NewStrings[int](),
 	}
 }
 
 // Name implements Suggester.
 func (b *Bayes) Name() string { return "naive-bayes" }
 
+// Snap returns an immutable snapshot of the model at its current version;
+// later Observe/Forget calls on the live model do not affect it.
+func (b *Bayes) Snap() *Bayes {
+	cp := *b
+	return &cp
+}
+
 // Train adds one classified material to the model. Classifications outside
 // the model's ontology are ignored.
 func (b *Bayes) Train(m *material.Material) {
 	terms := textproc.Terms(m.SearchText())
 	trained := false
+	// Builders amortize the path copying across the material's whole term
+	// list; see pmap.Builder.
+	vb := b.vocab.Builder()
 	for _, id := range m.ClassificationIDs() {
 		if !b.o.Has(id) {
 			continue
 		}
 		trained = true
-		b.docCount[id]++
-		tc := b.termCounts[id]
+		b.docCount = b.docCount.Set(id, b.docCount.GetOr(id, 0)+1)
+		tc := b.termCounts.GetOr(id, nil)
 		if tc == nil {
-			tc = make(map[string]int)
-			b.termCounts[id] = tc
+			tc = pmap.NewStrings[int]()
 		}
+		tb := tc.Builder()
 		for _, t := range terms {
-			tc[t]++
-			b.totalTerms[id]++
-			b.vocab[t]++
+			tb.Set(t, tb.GetOr(t, 0)+1)
+			vb.Set(t, vb.GetOr(t, 0)+1)
 		}
+		b.termCounts = b.termCounts.Set(id, tb.Map())
+		b.totalTerms = b.totalTerms.Set(id, b.totalTerms.GetOr(id, 0)+len(terms))
 	}
+	b.vocab = vb.Map()
 	if trained {
 		b.trained++
 	}
@@ -81,30 +95,43 @@ func (b *Bayes) Observe(m *material.Material) { b.Train(m) }
 func (b *Bayes) Forget(m *material.Material) {
 	terms := textproc.Terms(m.SearchText())
 	forgot := false
+	vb := b.vocab.Builder()
 	for _, id := range m.ClassificationIDs() {
 		if !b.o.Has(id) {
 			continue
 		}
 		forgot = true
-		b.docCount[id]--
-		tc := b.termCounts[id]
+		b.docCount = b.docCount.Set(id, b.docCount.GetOr(id, 0)-1)
+		tc := b.termCounts.GetOr(id, nil)
+		var tb *pmap.Builder[string, int]
+		if tc != nil {
+			tb = tc.Builder()
+		}
 		for _, t := range terms {
-			if tc != nil {
-				if tc[t]--; tc[t] <= 0 {
-					delete(tc, t)
+			if tb != nil {
+				if n := tb.GetOr(t, 0) - 1; n <= 0 {
+					tb.Delete(t)
+				} else {
+					tb.Set(t, n)
 				}
 			}
-			b.totalTerms[id]--
-			if b.vocab[t]--; b.vocab[t] <= 0 {
-				delete(b.vocab, t)
+			if n := vb.GetOr(t, 0) - 1; n <= 0 {
+				vb.Delete(t)
+			} else {
+				vb.Set(t, n)
 			}
 		}
-		if b.docCount[id] <= 0 {
-			delete(b.docCount, id)
-			delete(b.termCounts, id)
-			delete(b.totalTerms, id)
+		if tb != nil {
+			b.termCounts = b.termCounts.Set(id, tb.Map())
+		}
+		b.totalTerms = b.totalTerms.Set(id, b.totalTerms.GetOr(id, 0)-len(terms))
+		if b.docCount.GetOr(id, 0) <= 0 {
+			b.docCount = b.docCount.Delete(id)
+			b.termCounts = b.termCounts.Delete(id)
+			b.totalTerms = b.totalTerms.Delete(id)
 		}
 	}
+	b.vocab = vb.Map()
 	if forgot && b.trained > 0 {
 		b.trained--
 	}
@@ -132,22 +159,23 @@ func (b *Bayes) Suggest(text string, k int) []Suggestion {
 	if len(terms) == 0 {
 		return nil
 	}
-	v := float64(len(b.vocab) + 1)
+	v := float64(b.vocab.Len() + 1)
 	var out []Suggestion
 	var best float64
 	first := true
-	for id, tc := range b.termCounts {
-		logp := math.Log(float64(b.docCount[id]) / float64(b.trained))
-		denom := float64(b.totalTerms[id]) + v
+	b.termCounts.Range(func(id string, tc *pmap.Map[string, int]) bool {
+		logp := math.Log(float64(b.docCount.GetOr(id, 0)) / float64(b.trained))
+		denom := float64(b.totalTerms.GetOr(id, 0)) + v
 		for _, t := range terms {
-			logp += math.Log((float64(tc[t]) + 1) / denom)
+			logp += math.Log((float64(tc.GetOr(t, 0)) + 1) / denom)
 		}
 		if first || logp > best {
 			best = logp
 			first = false
 		}
 		out = append(out, Suggestion{NodeID: id, Path: b.o.Path(id), Score: logp})
-	}
+		return true
+	})
 	// Normalize to (0, 1] with the best at 1.
 	for i := range out {
 		out[i].Score = math.Exp((out[i].Score - best) / float64(len(terms)))

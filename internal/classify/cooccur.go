@@ -4,26 +4,28 @@ import (
 	"sort"
 
 	"carcs/internal/material"
+	"carcs/internal/pmap"
 )
 
 // CoOccurrence mines association rules between classification entries from
 // an already-classified corpus, implementing the paper's closing suggestion:
 // "once enough materials are classified, we would be able to leverage
 // existing classification to provide recommendation on topics commonly used
-// together."
+// together." Counts live in persistent maps, so Snap freezes the miner in
+// O(1) and reads work identically on live miners and snapshots.
 type CoOccurrence struct {
 	// count[a] = number of materials tagged a; pair[a][b] = number tagged
 	// both a and b.
-	count map[string]int
-	pair  map[string]map[string]int
+	count *pmap.Map[string, int]
+	pair  *pmap.Map[string, *pmap.Map[string, int]]
 	n     int
 }
 
 // NewCoOccurrence mines the rules from the given materials.
 func NewCoOccurrence(mats []*material.Material) *CoOccurrence {
 	c := &CoOccurrence{
-		count: make(map[string]int),
-		pair:  make(map[string]map[string]int),
+		count: pmap.NewStrings[int](),
+		pair:  pmap.NewStrings[*pmap.Map[string, int]](),
 	}
 	for _, m := range mats {
 		c.Observe(m)
@@ -31,19 +33,30 @@ func NewCoOccurrence(mats []*material.Material) *CoOccurrence {
 	return c
 }
 
+// Snap returns an immutable snapshot of the miner at its current version;
+// later Observe/Forget calls on the live miner do not affect it.
+func (c *CoOccurrence) Snap() *CoOccurrence {
+	cp := *c
+	return &cp
+}
+
 // Observe folds one material into the mined rules incrementally — a single
 // insert costs O(classifications²), not a full corpus rescan.
 func (c *CoOccurrence) Observe(m *material.Material) {
 	ids := m.ClassificationIDs()
+	cb := c.count.Builder()
 	for _, a := range ids {
-		c.count[a]++
+		cb.Set(a, cb.GetOr(a, 0)+1)
 	}
+	c.count = cb.Map()
+	pb := c.pair.Builder()
 	for i, a := range ids {
 		for _, b := range ids[i+1:] {
-			c.bump(a, b)
-			c.bump(b, a)
+			bump(pb, a, b)
+			bump(pb, b, a)
 		}
 	}
+	c.pair = pb.Map()
 	c.n++
 }
 
@@ -52,41 +65,49 @@ func (c *CoOccurrence) Observe(m *material.Material) {
 // Forgetting a material that was never observed corrupts the counts.
 func (c *CoOccurrence) Forget(m *material.Material) {
 	ids := m.ClassificationIDs()
+	cb := c.count.Builder()
 	for _, a := range ids {
-		if c.count[a]--; c.count[a] <= 0 {
-			delete(c.count, a)
+		if n := cb.GetOr(a, 0) - 1; n <= 0 {
+			cb.Delete(a)
+		} else {
+			cb.Set(a, n)
 		}
 	}
+	c.count = cb.Map()
+	pb := c.pair.Builder()
 	for i, a := range ids {
 		for _, b := range ids[i+1:] {
-			c.drop(a, b)
-			c.drop(b, a)
+			drop(pb, a, b)
+			drop(pb, b, a)
 		}
 	}
+	c.pair = pb.Map()
 	if c.n > 0 {
 		c.n--
 	}
 }
 
-func (c *CoOccurrence) bump(a, b string) {
-	m := c.pair[a]
+func bump(pb *pmap.Builder[string, *pmap.Map[string, int]], a, b string) {
+	m := pb.GetOr(a, nil)
 	if m == nil {
-		m = make(map[string]int)
-		c.pair[a] = m
+		m = pmap.NewStrings[int]()
 	}
-	m[b]++
+	pb.Set(a, m.Set(b, m.GetOr(b, 0)+1))
 }
 
-func (c *CoOccurrence) drop(a, b string) {
-	m := c.pair[a]
+func drop(pb *pmap.Builder[string, *pmap.Map[string, int]], a, b string) {
+	m := pb.GetOr(a, nil)
 	if m == nil {
 		return
 	}
-	if m[b]--; m[b] <= 0 {
-		delete(m, b)
-		if len(m) == 0 {
-			delete(c.pair, a)
+	if n := m.GetOr(b, 0) - 1; n <= 0 {
+		if m = m.Delete(b); m.Len() == 0 {
+			pb.Delete(a)
+		} else {
+			pb.Set(a, m)
 		}
+	} else {
+		pb.Set(a, m.Set(b, n))
 	}
 }
 
@@ -108,14 +129,14 @@ func (c *CoOccurrence) Rules(given string, minCount int) []Rule {
 	if minCount < 1 {
 		minCount = 1
 	}
-	base := c.count[given]
+	base := c.count.GetOr(given, 0)
 	if base == 0 {
 		return nil
 	}
 	var out []Rule
-	for then, joint := range c.pair[given] {
+	c.pair.GetOr(given, nil).Range(func(then string, joint int) bool {
 		if joint < minCount {
-			continue
+			return true
 		}
 		out = append(out, Rule{
 			Given: given, Then: then,
@@ -123,7 +144,8 @@ func (c *CoOccurrence) Rules(given string, minCount int) []Rule {
 			Confidence: float64(joint) / float64(base),
 			Count:      joint,
 		})
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Confidence != out[j].Confidence {
 			return out[i].Confidence > out[j].Confidence

@@ -7,28 +7,48 @@ import (
 	"carcs/internal/corpus"
 	"carcs/internal/material"
 	"carcs/internal/ontology"
+	"carcs/internal/pmap"
 )
 
 // The incremental Observe/Forget paths must leave a long-lived model in the
 // exact state a from-scratch rebuild over the surviving materials would
 // produce — that equivalence is what lets the core system skip per-request
-// retraining.
+// retraining. Persistent maps are compared by content (two maps with the
+// same entries can differ in internal tree shape depending on history).
+
+func dumpCounts(m *pmap.Map[string, int]) map[string]int {
+	out := make(map[string]int)
+	m.Range(func(k string, v int) bool {
+		out[k] = v
+		return true
+	})
+	return out
+}
+
+func dumpNested(m *pmap.Map[string, *pmap.Map[string, int]]) map[string]map[string]int {
+	out := make(map[string]map[string]int)
+	m.Range(func(k string, v *pmap.Map[string, int]) bool {
+		out[k] = dumpCounts(v)
+		return true
+	})
+	return out
+}
 
 func bayesStateEqual(t *testing.T, got, want *Bayes) {
 	t.Helper()
 	if got.trained != want.trained {
 		t.Errorf("trained: got %d, want %d", got.trained, want.trained)
 	}
-	if !reflect.DeepEqual(got.docCount, want.docCount) {
-		t.Errorf("docCount diverged:\n got %v\nwant %v", got.docCount, want.docCount)
+	if g, w := dumpCounts(got.docCount), dumpCounts(want.docCount); !reflect.DeepEqual(g, w) {
+		t.Errorf("docCount diverged:\n got %v\nwant %v", g, w)
 	}
-	if !reflect.DeepEqual(got.totalTerms, want.totalTerms) {
-		t.Errorf("totalTerms diverged:\n got %v\nwant %v", got.totalTerms, want.totalTerms)
+	if g, w := dumpCounts(got.totalTerms), dumpCounts(want.totalTerms); !reflect.DeepEqual(g, w) {
+		t.Errorf("totalTerms diverged:\n got %v\nwant %v", g, w)
 	}
-	if !reflect.DeepEqual(got.vocab, want.vocab) {
-		t.Errorf("vocab diverged: got %d terms, want %d terms", len(got.vocab), len(want.vocab))
+	if g, w := dumpCounts(got.vocab), dumpCounts(want.vocab); !reflect.DeepEqual(g, w) {
+		t.Errorf("vocab diverged: got %d terms, want %d terms", len(g), len(w))
 	}
-	if !reflect.DeepEqual(got.termCounts, want.termCounts) {
+	if !reflect.DeepEqual(dumpNested(got.termCounts), dumpNested(want.termCounts)) {
 		t.Error("termCounts diverged")
 	}
 }
@@ -103,10 +123,10 @@ func TestCoOccurrenceObserveForgetMatchesRebuild(t *testing.T) {
 	if inc.n != ref.n {
 		t.Errorf("n: got %d, want %d", inc.n, ref.n)
 	}
-	if !reflect.DeepEqual(inc.count, ref.count) {
-		t.Errorf("count diverged:\n got %v\nwant %v", inc.count, ref.count)
+	if g, w := dumpCounts(inc.count), dumpCounts(ref.count); !reflect.DeepEqual(g, w) {
+		t.Errorf("count diverged:\n got %v\nwant %v", g, w)
 	}
-	if !reflect.DeepEqual(inc.pair, ref.pair) {
+	if !reflect.DeepEqual(dumpNested(inc.pair), dumpNested(ref.pair)) {
 		t.Error("pair counts diverged")
 	}
 
@@ -122,8 +142,8 @@ func TestCoOccurrenceForgetAllEmptiesModel(t *testing.T) {
 	for _, m := range mats {
 		c.Forget(m)
 	}
-	if c.n != 0 || len(c.count) != 0 || len(c.pair) != 0 {
+	if c.n != 0 || c.count.Len() != 0 || c.pair.Len() != 0 {
 		t.Errorf("model not empty after forgetting everything: n=%d count=%d pair=%d",
-			c.n, len(c.count), len(c.pair))
+			c.n, c.count.Len(), c.pair.Len())
 	}
 }

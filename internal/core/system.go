@@ -4,18 +4,19 @@
 // workflow into the API the paper's prototype exposes through its web
 // service.
 //
-// A System owns a relational store (the PostgreSQL stand-in) holding the
-// materials and their many-to-many links to classification entries, plus an
-// incremental search index. All higher-level analyses (Figure 2 coverage
-// trees, the Figure 3 similarity graph, gap reports, PDC-replacement
-// queries) are computed on demand from that state.
+// The system is split into two halves. The commit pipeline — AddMaterial,
+// RemoveMaterial, Reclassify — serializes mutations under a single mutex:
+// each journals through the durability hook, applies to the live containers,
+// and atomically publishes a new immutable View. The read model — View,
+// obtained from System.View() — is a frozen snapshot of every container
+// pinned at one generation; reads on it take no locks and never observe a
+// concurrent commit. Containers use persistent (copy-on-write) structures,
+// so publishing a view costs O(changed rows), not a copy of the data.
 package core
 
 import (
 	"fmt"
 	"io"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,7 +43,10 @@ type suggesters struct {
 
 // System is one CAR-CS instance.
 type System struct {
-	mu    sync.RWMutex
+	// mu serializes the commit pipeline: every mutation (material add/
+	// remove/reclassify) runs under it end to end. Reads never take it —
+	// they go through the published View.
+	mu    sync.Mutex
 	cs13  *ontology.Ontology
 	pdc12 *ontology.Ontology
 
@@ -58,15 +62,23 @@ type System struct {
 	sug map[*ontology.Ontology]suggesters
 	// bayes holds one incrementally maintained naive-Bayes model per
 	// ontology; cooccur is the incrementally maintained rule miner. All
-	// three are updated under mu by every material mutation, so Suggest
-	// and Recommend never retrain from the corpus.
+	// three are updated under mu by every material mutation and snapped
+	// into each published view.
 	bayes   map[*ontology.Ontology]*classify.Bayes
 	cooccur *classify.CoOccurrence
 
-	// gen counts committed mutations. Every read path keys its cached
-	// results by the generation it observed; bumping it is what
-	// invalidates them. Reads are lock-free; bumps happen with mu held.
+	// gen counts committed mutations. Every published view carries the
+	// generation it was built at; cached results are keyed by it.
 	gen atomic.Uint64
+	// pubMu is a leaf lock guarding the (generation bump, view publish)
+	// pair so the served generation is monotonic: no reader can observe a
+	// generation whose view has not been stored yet. Commits take it with
+	// mu held; the workflow observer takes it alone (it runs with the
+	// queue's lock held and must never touch mu — see New).
+	pubMu sync.Mutex
+	// view is the atomically published read model. Never nil after New.
+	view atomic.Pointer[View]
+
 	// results memoizes analysis results by (request key, generation).
 	results *cache.Cache
 
@@ -149,18 +161,64 @@ func New() (*System, error) {
 	}
 	s.cooccur = classify.NewCoOccurrence(nil)
 	s.results = cache.New(0)
+	// Publish the empty initial view before the workflow observer can fire.
+	s.view.Store(s.buildViewLocked(0))
 	// Workflow transitions are mutations too: a submission moving through
-	// review changes what the curation endpoints report, so they join the
-	// material mutations in advancing the generation.
-	s.queue.SetObserver(func() { s.gen.Add(1) })
+	// review changes what the curation endpoints report, so they advance
+	// the generation. The observer runs with the queue's lock held, so it
+	// must not take mu (the checkpoint path locks mu before freezing the
+	// queue); containers are untouched by workflow transitions, so it
+	// republishes the last view under the new generation via pubMu alone.
+	s.queue.SetObserver(func() {
+		s.pubMu.Lock()
+		defer s.pubMu.Unlock()
+		gen := s.gen.Add(1)
+		nv := *s.view.Load()
+		nv.gen = gen
+		s.view.Store(&nv)
+	})
 	return s, nil
 }
 
-// Generation returns the current mutation generation. It increases
-// monotonically on every committed mutation (material add/remove/
+// buildViewLocked assembles a view of the current containers at the given
+// generation. Callers hold mu (or, in New, have exclusive access).
+func (s *System) buildViewLocked(gen uint64) *View {
+	bayes := make(map[*ontology.Ontology]*classify.Bayes, len(s.bayes))
+	for o, b := range s.bayes {
+		bayes[o] = b.Snap()
+	}
+	return &View{
+		sys:     s,
+		gen:     gen,
+		eng:     s.engine.Snap(),
+		store:   s.store.Snap(),
+		bayes:   bayes,
+		cooccur: s.cooccur.Snap(),
+	}
+}
+
+// publishLocked bumps the generation and atomically publishes a fresh view
+// of the just-mutated containers. Callers hold mu; the generation bump and
+// the view store happen together under pubMu so the served generation is
+// monotonic.
+func (s *System) publishLocked() {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.view.Store(s.buildViewLocked(s.gen.Add(1)))
+}
+
+// View returns the current published read model. The returned View is
+// immutable and pinned at one generation: every read on it is lock-free and
+// mutually consistent, no matter how many commits land afterwards. Callers
+// that make several related reads should resolve one View and use it for
+// all of them.
+func (s *System) View() *View { return s.view.Load() }
+
+// Generation returns the generation of the current published view. It
+// increases monotonically on every committed mutation (material add/remove/
 // reclassify, workflow transition) and is the cache-invalidation key for
 // every memoized analysis — and the value served as the HTTP ETag.
-func (s *System) Generation() uint64 { return s.gen.Load() }
+func (s *System) Generation() uint64 { return s.View().Gen() }
 
 // ResultCache exposes the generation-keyed result cache so other layers
 // (the server's SVG rendering, for instance) can memoize derived artifacts
@@ -171,8 +229,8 @@ func (s *System) ResultCache() *cache.Cache { return s.results }
 func (s *System) CacheStats() cache.Stats { return s.results.Stats() }
 
 // observeLocked folds a newly committed material into the incrementally
-// maintained models. Callers hold mu and bump the generation once per
-// mutation after all model updates.
+// maintained models. Callers hold mu and publish once per mutation after
+// all model updates.
 func (s *System) observeLocked(m *material.Material) {
 	for _, b := range s.bayes {
 		b.Observe(m)
@@ -224,14 +282,16 @@ func (s *System) OntologyByName(name string) *ontology.Ontology {
 // Workflow returns the curation queue.
 func (s *System) Workflow() *workflow.Queue { return s.queue }
 
-// Store exposes the underlying relational store (read-mostly; mutations
-// should go through the System so the search index stays consistent).
+// Store exposes the underlying live relational store (read-mostly;
+// mutations should go through the System so the search index stays
+// consistent). Readers that need a stable picture should use View().Store.
 func (s *System) Store() *relstore.Store { return s.store }
 
-// AddMaterial validates and stores a material, indexes it for search, and
-// records its classification links. Duplicate IDs are rejected. The system
-// stores a deep copy, so later edits to the argument (or through other
-// systems sharing the same seed corpus) never leak in.
+// AddMaterial validates and stores a material, indexes it for search,
+// records its classification links, and publishes a new view. Duplicate IDs
+// are rejected. The system stores a deep copy, so later edits to the
+// argument (or through other systems sharing the same seed corpus) never
+// leak in.
 func (s *System) AddMaterial(m *material.Material) error {
 	if errs := m.Validate(s.cs13, s.pdc12); len(errs) > 0 {
 		return fmt.Errorf("core: invalid material %q: %w", m.ID, errs[0])
@@ -271,7 +331,7 @@ func (s *System) AddMaterial(m *material.Material) error {
 	}
 	s.engine.Add(m)
 	s.observeLocked(m)
-	s.gen.Add(1)
+	s.publishLocked()
 	return nil
 }
 
@@ -285,7 +345,7 @@ func (s *System) entryRowIDLocked(cl material.Classification) (int64, error) {
 	})
 }
 
-// RemoveMaterial deletes a material and its links.
+// RemoveMaterial deletes a material and its links, and publishes a new view.
 func (s *System) RemoveMaterial(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -304,15 +364,15 @@ func (s *System) RemoveMaterial(id string) error {
 		s.forgetLocked(m)
 	}
 	s.engine.Remove(id)
-	s.gen.Add(1)
+	s.publishLocked()
 	return nil
 }
 
 // Reclassify replaces a material's classification set, the editing flow of
 // Fig. 1b. The stored material is replaced copy-on-write — the previous
-// value is never mutated in place — so cached analyses and concurrent
-// readers holding the old snapshot stay internally consistent; they are
-// invalidated by the generation bump, not by mutation under their feet.
+// value is never mutated in place — so views pinned at older generations
+// stay internally consistent; they are superseded by the published view,
+// never mutated under their feet.
 func (s *System) Reclassify(id string, cls []material.Classification) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -343,79 +403,28 @@ func (s *System) Reclassify(id string, cls []material.Classification) error {
 	s.forgetLocked(m)
 	s.engine.Add(next)
 	s.observeLocked(next)
-	s.gen.Add(1)
+	s.publishLocked()
 	return nil
 }
 
+// The methods below are conveniences that resolve the current view and
+// answer from it. Callers making several related reads should resolve one
+// View themselves so all reads pin the same generation.
+
 // Material returns the stored material with the given id, or nil.
-func (s *System) Material(id string) *material.Material {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.Get(id)
-}
+func (s *System) Material(id string) *material.Material { return s.View().Material(id) }
 
 // Materials returns all stored materials, optionally filtered by collection
 // name (empty for all), in insertion order.
 func (s *System) Materials(collection string) []*material.Material {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if collection == "" {
-		return s.engine.All()
-	}
-	return s.engine.Select(search.ByCollection(collection))
+	return s.View().Materials(collection)
 }
 
 // Collections lists the distinct collection names present, sorted.
-func (s *System) Collections() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := make(map[string]bool)
-	for _, m := range s.engine.All() {
-		seen[m.Collection] = true
-	}
-	out := make([]string, 0, len(seen))
-	for c := range seen {
-		out = append(out, c)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *System) Collections() []string { return s.View().Collections() }
 
 // Len returns the number of stored materials.
-func (s *System) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.Len()
-}
-
-// Engine exposes the search engine for advanced queries. The engine is not
-// internally synchronized: callers that may run concurrently with mutations
-// (the HTTP handlers) must use the locked wrappers below instead.
-func (s *System) Engine() *search.Engine { return s.engine }
-
-// Select runs a filtered scan under the read lock, safe against concurrent
-// mutations (e.g. a background bulk import committing materials).
-func (s *System) Select(f search.Filter) []*material.Material {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.Select(f)
-}
-
-// SearchText is the locked form of Engine().TextCorrected: ranked free-text
-// search with spell correction.
-func (s *System) SearchText(query string, k int, filters ...search.Filter) ([]search.Hit, string) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.TextCorrected(query, k, filters...)
-}
-
-// SearchQuery is the locked form of Engine().Query: the structured query
-// mini-language.
-func (s *System) SearchQuery(q string, k int) ([]search.Hit, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.Query(q, k)
-}
+func (s *System) Len() int { return s.View().Len() }
 
 // ontologyKey returns the canonical cache-key name of one of the system's
 // ontologies, so "acm" and "cs2013" share cache entries with "cs13".
@@ -426,182 +435,50 @@ func (s *System) ontologyKey(o *ontology.Ontology) string {
 	return "pdc12"
 }
 
-// Coverage computes the Figure 2 report of a collection (empty for all
-// materials) against the named ontology ("cs13" or "pdc12"). Reports are
-// memoized per generation: repeated queries between mutations are served
-// from the cache.
+// Coverage computes the Figure 2 report through the current view.
 func (s *System) Coverage(ontologyName, collection string) (*coverage.Report, error) {
-	o := s.OntologyByName(ontologyName)
-	if o == nil {
-		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
-	}
-	key := cache.Key("coverage", s.ontologyKey(o), collection)
-	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
-		mats := s.Materials(collection)
-		label := collection
-		if label == "" {
-			label = "all materials"
-		}
-		return coverage.Compute(o, label, mats), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*coverage.Report), nil
+	return s.View().Coverage(ontologyName, collection)
 }
 
-// DepthReport computes the Bloom-level depth report (the Sec. IV-A proposed
-// extension), memoized per generation.
+// DepthReport computes the Bloom-level depth report through the current view.
 func (s *System) DepthReport(ontologyName, collection string) (*coverage.DepthReport, error) {
-	o := s.OntologyByName(ontologyName)
-	if o == nil {
-		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
-	}
-	key := cache.Key("depth", s.ontologyKey(o), collection)
-	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
-		return coverage.ComputeDepth(o, s.Materials(collection)), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*coverage.DepthReport), nil
+	return s.View().DepthReport(ontologyName, collection)
 }
 
-// GapReport returns the uncovered-subtree analysis of a collection against
-// an ontology, optionally restricted to core-tier gaps, memoized per
-// generation on top of the (also memoized) coverage report.
+// GapReport returns the uncovered-subtree analysis through the current view.
 func (s *System) GapReport(ontologyName, collection string, coreOnly bool) ([]coverage.Gap, error) {
-	rep, err := s.Coverage(ontologyName, collection)
-	if err != nil {
-		return nil, err
-	}
-	key := cache.Key("gaps", s.ontologyKey(rep.Ontology), collection, strconv.FormatBool(coreOnly))
-	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
-		if coreOnly {
-			return rep.CoreGaps(rep.Ontology.RootID()), nil
-		}
-		return rep.Gaps(rep.Ontology.RootID()), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.([]coverage.Gap), nil
+	return s.View().GapReport(ontologyName, collection, coreOnly)
 }
 
-// SimilarityGraph builds the Figure 3 bipartite graph between two
-// collections with the paper's shared-count metric at the given threshold
-// (2 in the paper). Graphs are memoized per generation.
+// SimilarityGraph builds the Figure 3 graph through the current view.
 func (s *System) SimilarityGraph(leftCollection, rightCollection string, threshold int) *similarity.Graph {
-	key := cache.Key("similarity", leftCollection, rightCollection, strconv.Itoa(threshold))
-	v, _ := s.results.Do(key, s.gen.Load(), func() (any, error) {
-		left := s.Materials(leftCollection)
-		right := s.Materials(rightCollection)
-		return similarity.BuildBipartite(left, right, similarity.SharedCount, float64(threshold)), nil
-	})
-	return v.(*similarity.Graph)
+	return s.View().SimilarityGraph(leftCollection, rightCollection, threshold)
 }
 
-// Suggest proposes classification entries for free text against the named
-// ontology using the requested method ("keyword", "tfidf", "bayes", or
-// "ensemble"). All methods run on engines the system maintains
-// incrementally — the training-free engines are built once per ontology at
-// construction, and the Bayes model absorbs each mutation as it commits —
-// so no request ever retrains over the corpus. Results are additionally
-// memoized per (query, generation).
+// Suggest proposes classification entries through the current view.
 func (s *System) Suggest(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
-	o := s.OntologyByName(ontologyName)
-	if o == nil {
-		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
-	}
-	switch method {
-	case "", "tfidf", "keyword", "bayes", "ensemble":
-	default:
-		return nil, fmt.Errorf("core: unknown suggester %q", method)
-	}
-	key := cache.Key("suggest", method, s.ontologyKey(o), strconv.Itoa(k), text)
-	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
-		return s.suggest(method, o, text, k), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.([]classify.Suggestion), nil
+	return s.View().Suggest(method, ontologyName, text, k)
 }
 
-// SuggestDirect computes suggestions without consulting or filling the
-// result cache. Bulk pipelines (the ingest auto-classifier) use it: their
-// queries never repeat, and each of their own commits bumps the generation,
-// so caching the results would only pile up dead entries.
+// SuggestDirect computes suggestions through the current view without
+// consulting or filling the result cache.
 func (s *System) SuggestDirect(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
-	o := s.OntologyByName(ontologyName)
-	if o == nil {
-		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
-	}
-	switch method {
-	case "", "tfidf", "keyword", "bayes", "ensemble":
-	default:
-		return nil, fmt.Errorf("core: unknown suggester %q", method)
-	}
-	return s.suggest(method, o, text, k), nil
+	return s.View().SuggestDirect(method, ontologyName, text, k)
 }
 
-func (s *System) suggest(method string, o *ontology.Ontology, text string, k int) []classify.Suggestion {
-	switch method {
-	case "", "tfidf":
-		return s.sug[o].tfidf.Suggest(text, k)
-	case "keyword":
-		return s.sug[o].keyword.Suggest(text, k)
-	case "bayes":
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return s.bayes[o].Suggest(text, k)
-	default: // ensemble
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		ens := classify.NewEnsemble(s.bayes[o], s.sug[o].keyword, s.sug[o].tfidf)
-		return ens.Suggest(text, k)
-	}
-}
-
-// Recommend proposes classification entries commonly used together with the
-// already-selected ones, from association rules the system mines
-// incrementally as materials are added — no per-request corpus rescan.
-// Results are memoized per (selection, generation).
+// Recommend proposes co-occurring classification entries through the
+// current view.
 func (s *System) Recommend(selected []string, k int) []classify.Rule {
-	key := cache.Key(append([]string{"recommend", strconv.Itoa(k)}, selected...)...)
-	v, _ := s.results.Do(key, s.gen.Load(), func() (any, error) {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return s.cooccur.Recommend(selected, 2, k), nil
-	})
-	return v.([]classify.Rule)
+	return s.View().Recommend(selected, k)
 }
 
-// PDCReplacements is the Sec. IV-D query over the stored corpus, memoized
-// per generation.
+// PDCReplacements is the Sec. IV-D query through the current view.
 func (s *System) PDCReplacements(id string, k int) ([]similarity.Edge, error) {
-	key := cache.Key("replacements", id, strconv.Itoa(k))
-	v, err := s.results.Do(key, s.gen.Load(), func() (any, error) {
-		m := s.Material(id)
-		if m == nil {
-			return nil, fmt.Errorf("core: no material %q", id)
-		}
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return s.engine.PDCReplacements(m, 2, k), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.([]similarity.Edge), nil
+	return s.View().PDCReplacements(id, k)
 }
 
-// Snapshot writes the relational state as JSON.
-func (s *System) Snapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.Snapshot(w)
-}
+// Snapshot writes the relational state of the current view as JSON.
+func (s *System) Snapshot(w io.Writer) error { return s.View().Snapshot(w) }
 
 // Stats summarizes the system for the CLI and the server's status endpoint.
 type Stats struct {
@@ -613,14 +490,5 @@ type Stats struct {
 	PDC12Size   int
 }
 
-// ComputeStats gathers the summary.
-func (s *System) ComputeStats() Stats {
-	return Stats{
-		Materials:   s.Len(),
-		Collections: s.Collections(),
-		Entries:     s.entries.Len(),
-		Links:       s.links.Len(),
-		CS13Size:    s.cs13.Len(),
-		PDC12Size:   s.pdc12.Len(),
-	}
-}
+// ComputeStats gathers the summary from the current view.
+func (s *System) ComputeStats() Stats { return s.View().Stats() }

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"carcs/internal/cache"
+	"carcs/internal/classify"
+	"carcs/internal/coverage"
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+	"carcs/internal/relstore"
+	"carcs/internal/search"
+	"carcs/internal/similarity"
+)
+
+// View is one immutable snapshot of the system: every container it holds
+// (search engine, relational store, Bayes models, rule miner) is a frozen
+// copy pinned at a single generation. Reads on a View take no locks and
+// never observe a concurrent commit — a handler that resolves a View at the
+// top of a request gets the same answers from every call for the request's
+// whole lifetime, even while the commit pipeline publishes new generations
+// underneath it.
+//
+// Views are cheap: publishing one costs O(1) snapshots of persistent
+// structures, not copies of the data. Hold them as long as needed; a pinned
+// View keeps only the structure shared with its generation alive.
+type View struct {
+	sys     *System
+	gen     uint64
+	eng     *search.Engine
+	store   *relstore.Store
+	bayes   map[*ontology.Ontology]*classify.Bayes
+	cooccur *classify.CoOccurrence
+}
+
+// Gen returns the mutation generation this view is pinned at. It is the
+// cache-invalidation key for every analysis memoized through the view and
+// the value the HTTP layer serves as the ETag.
+func (v *View) Gen() uint64 { return v.gen }
+
+// CS13 returns the CS13 ontology (shared and immutable).
+func (v *View) CS13() *ontology.Ontology { return v.sys.cs13 }
+
+// PDC12 returns the PDC12 ontology (shared and immutable).
+func (v *View) PDC12() *ontology.Ontology { return v.sys.pdc12 }
+
+// OntologyByName resolves "cs13" or "pdc12" (case-insensitive), else nil.
+func (v *View) OntologyByName(name string) *ontology.Ontology {
+	return v.sys.OntologyByName(name)
+}
+
+// Store exposes the snapped relational store. It is frozen: reads are safe
+// from any goroutine and mutations must not be attempted.
+func (v *View) Store() *relstore.Store { return v.store }
+
+// Material returns the material with the given id at this generation.
+func (v *View) Material(id string) *material.Material { return v.eng.Get(id) }
+
+// Materials returns the materials at this generation, optionally filtered
+// by collection name (empty for all), in insertion order.
+func (v *View) Materials(collection string) []*material.Material {
+	if collection == "" {
+		return v.eng.All()
+	}
+	return v.eng.Select(search.ByCollection(collection))
+}
+
+// Collections lists the distinct collection names present, sorted.
+func (v *View) Collections() []string {
+	seen := make(map[string]bool)
+	for _, m := range v.eng.All() {
+		seen[m.Collection] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of materials at this generation.
+func (v *View) Len() int { return v.eng.Len() }
+
+// Select runs a filtered scan over the pinned corpus.
+func (v *View) Select(f search.Filter) []*material.Material {
+	return v.eng.Select(f)
+}
+
+// SearchText runs ranked free-text search with spell correction over the
+// pinned index. The returned string is the corrected query when one was
+// used ("did you mean"), empty otherwise.
+func (v *View) SearchText(query string, k int, filters ...search.Filter) ([]search.Hit, string) {
+	return v.eng.TextCorrected(query, k, filters...)
+}
+
+// SearchQuery evaluates the structured query mini-language over the pinned
+// index.
+func (v *View) SearchQuery(q string, k int) ([]search.Hit, error) {
+	return v.eng.Query(q, k)
+}
+
+// Coverage computes the Figure 2 report of a collection (empty for all
+// materials) against the named ontology ("cs13" or "pdc12"), memoized per
+// generation in the shared result cache.
+func (v *View) Coverage(ontologyName, collection string) (*coverage.Report, error) {
+	o := v.sys.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	key := cache.Key("coverage", v.sys.ontologyKey(o), collection)
+	res, err := v.sys.results.Do(key, v.gen, func() (any, error) {
+		mats := v.Materials(collection)
+		label := collection
+		if label == "" {
+			label = "all materials"
+		}
+		return coverage.Compute(o, label, mats), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*coverage.Report), nil
+}
+
+// DepthReport computes the Bloom-level depth report (the Sec. IV-A proposed
+// extension), memoized per generation.
+func (v *View) DepthReport(ontologyName, collection string) (*coverage.DepthReport, error) {
+	o := v.sys.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	key := cache.Key("depth", v.sys.ontologyKey(o), collection)
+	res, err := v.sys.results.Do(key, v.gen, func() (any, error) {
+		return coverage.ComputeDepth(o, v.Materials(collection)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*coverage.DepthReport), nil
+}
+
+// GapReport returns the uncovered-subtree analysis of a collection against
+// an ontology, optionally restricted to core-tier gaps, memoized per
+// generation on top of the (also memoized) coverage report.
+func (v *View) GapReport(ontologyName, collection string, coreOnly bool) ([]coverage.Gap, error) {
+	rep, err := v.Coverage(ontologyName, collection)
+	if err != nil {
+		return nil, err
+	}
+	key := cache.Key("gaps", v.sys.ontologyKey(rep.Ontology), collection, strconv.FormatBool(coreOnly))
+	res, err := v.sys.results.Do(key, v.gen, func() (any, error) {
+		if coreOnly {
+			return rep.CoreGaps(rep.Ontology.RootID()), nil
+		}
+		return rep.Gaps(rep.Ontology.RootID()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.([]coverage.Gap), nil
+}
+
+// SimilarityGraph builds the Figure 3 bipartite graph between two
+// collections with the paper's shared-count metric at the given threshold
+// (2 in the paper), memoized per generation.
+func (v *View) SimilarityGraph(leftCollection, rightCollection string, threshold int) *similarity.Graph {
+	key := cache.Key("similarity", leftCollection, rightCollection, strconv.Itoa(threshold))
+	res, _ := v.sys.results.Do(key, v.gen, func() (any, error) {
+		left := v.Materials(leftCollection)
+		right := v.Materials(rightCollection)
+		return similarity.BuildBipartite(left, right, similarity.SharedCount, float64(threshold)), nil
+	})
+	return res.(*similarity.Graph)
+}
+
+// Suggest proposes classification entries for free text against the named
+// ontology using the requested method ("keyword", "tfidf", "bayes", or
+// "ensemble"), over the models pinned in this view. Results are memoized
+// per (query, generation).
+func (v *View) Suggest(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
+	o := v.sys.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	switch method {
+	case "", "tfidf", "keyword", "bayes", "ensemble":
+	default:
+		return nil, fmt.Errorf("core: unknown suggester %q", method)
+	}
+	key := cache.Key("suggest", method, v.sys.ontologyKey(o), strconv.Itoa(k), text)
+	res, err := v.sys.results.Do(key, v.gen, func() (any, error) {
+		return v.suggest(method, o, text, k), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.([]classify.Suggestion), nil
+}
+
+// SuggestDirect computes suggestions without consulting or filling the
+// result cache. Bulk pipelines (the ingest auto-classifier) use it: their
+// queries never repeat, and each of their own commits bumps the generation,
+// so caching the results would only pile up dead entries.
+func (v *View) SuggestDirect(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
+	o := v.sys.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	switch method {
+	case "", "tfidf", "keyword", "bayes", "ensemble":
+	default:
+		return nil, fmt.Errorf("core: unknown suggester %q", method)
+	}
+	return v.suggest(method, o, text, k), nil
+}
+
+// suggest runs the chosen engine. The training-free engines are shared
+// (built once at system construction, read-only); the Bayes models are this
+// view's frozen snapshots, so no locking is needed anywhere.
+func (v *View) suggest(method string, o *ontology.Ontology, text string, k int) []classify.Suggestion {
+	sg := v.sys.sug[o]
+	switch method {
+	case "", "tfidf":
+		return sg.tfidf.Suggest(text, k)
+	case "keyword":
+		return sg.keyword.Suggest(text, k)
+	case "bayes":
+		return v.bayes[o].Suggest(text, k)
+	default: // ensemble
+		ens := classify.NewEnsemble(v.bayes[o], sg.keyword, sg.tfidf)
+		return ens.Suggest(text, k)
+	}
+}
+
+// Recommend proposes classification entries commonly used together with the
+// already-selected ones, from the association rules pinned in this view.
+// Results are memoized per (selection, generation).
+func (v *View) Recommend(selected []string, k int) []classify.Rule {
+	key := cache.Key(append([]string{"recommend", strconv.Itoa(k)}, selected...)...)
+	res, _ := v.sys.results.Do(key, v.gen, func() (any, error) {
+		return v.cooccur.Recommend(selected, 2, k), nil
+	})
+	return res.([]classify.Rule)
+}
+
+// PDCReplacements is the Sec. IV-D query over the pinned corpus, memoized
+// per generation.
+func (v *View) PDCReplacements(id string, k int) ([]similarity.Edge, error) {
+	key := cache.Key("replacements", id, strconv.Itoa(k))
+	res, err := v.sys.results.Do(key, v.gen, func() (any, error) {
+		m := v.eng.Get(id)
+		if m == nil {
+			return nil, fmt.Errorf("core: no material %q", id)
+		}
+		return v.eng.PDCReplacements(m, 2, k), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.([]similarity.Edge), nil
+}
+
+// Snapshot writes the pinned relational state as JSON.
+func (v *View) Snapshot(w io.Writer) error { return v.store.Snapshot(w) }
+
+// Stats summarizes the pinned state for the CLI and the status endpoint.
+func (v *View) Stats() Stats {
+	return Stats{
+		Materials:   v.Len(),
+		Collections: v.Collections(),
+		Entries:     v.store.Table("entries").Len(),
+		Links:       v.store.Link("material_classifications").Len(),
+		CS13Size:    v.sys.cs13.Len(),
+		PDC12Size:   v.sys.pdc12.Len(),
+	}
+}

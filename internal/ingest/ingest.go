@@ -189,6 +189,14 @@ func (imp *Importer) Run(ctx context.Context, r io.Reader, tr Tracker) (Summary,
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Preparation (parsing, validation, auto-classification) runs against
+	// one view pinned here: every worker sees the same suggestion models
+	// regardless of commits landing mid-import (including this import's
+	// own), so a record's classification depends only on the input and the
+	// state at import start, not on scheduling. Commits still go through
+	// the live system and its duplicate checks.
+	v := imp.sys.View()
+
 	in := make(chan item, 2*imp.opt.Workers)
 	out := make(chan prepared, 2*imp.opt.Workers)
 
@@ -223,7 +231,7 @@ func (imp *Importer) Run(ctx context.Context, r io.Reader, tr Tracker) (Summary,
 		go func() {
 			defer wg.Done()
 			for it := range in {
-				p := imp.prepare(it)
+				p := imp.prepare(v, it)
 				select {
 				case out <- p:
 				case <-ctx.Done():
@@ -267,9 +275,10 @@ func (imp *Importer) Run(ctx context.Context, r io.Reader, tr Tracker) (Summary,
 	return sum, nil
 }
 
-// prepare parses and validates one record and, when it has no
-// classifications, runs the suggestion engines to auto-classify it.
-func (imp *Importer) prepare(it item) prepared {
+// prepare parses and validates one record against the pinned view and,
+// when it has no classifications, runs the suggestion engines to
+// auto-classify it.
+func (imp *Importer) prepare(v *core.View, it item) prepared {
 	var rec Record
 	dec := json.NewDecoder(strings.NewReader(it.line))
 	dec.DisallowUnknownFields()
@@ -279,18 +288,18 @@ func (imp *Importer) prepare(it item) prepared {
 	m := rec.Material()
 	p := prepared{idx: it.idx, id: m.ID, m: m, route: routeAdd}
 	if len(m.Classifications) == 0 && imp.opt.Method != "none" {
-		if !imp.autoClassify(m) {
+		if !imp.autoClassify(v, m) {
 			// Low confidence: attach the best guesses anyway (below
 			// threshold) so the reviewer starts from a proposal, and
 			// route to the curation queue.
-			imp.attachProposals(m)
+			imp.attachProposals(v, m)
 			m.Tags = append(m.Tags, MachineSuggestedTag)
 			p.route = routeReview
 		} else {
 			p.auto = true
 		}
 	}
-	if errs := m.Validate(imp.sys.CS13(), imp.sys.PDC12()); len(errs) > 0 {
+	if errs := m.Validate(v.CS13(), v.PDC12()); len(errs) > 0 {
 		return prepared{idx: it.idx, id: m.ID, route: routeError, err: errs[0]}
 	}
 	return p
@@ -299,11 +308,11 @@ func (imp *Importer) prepare(it item) prepared {
 // autoClassify applies suggestions scoring at or above the threshold,
 // tagging the material machine-classified. It reports whether anything
 // cleared the bar.
-func (imp *Importer) autoClassify(m *material.Material) bool {
+func (imp *Importer) autoClassify(v *core.View, m *material.Material) bool {
 	text := m.SearchText()
 	applied := false
 	for _, ont := range []string{"cs13", "pdc12"} {
-		sugg, err := imp.sys.SuggestDirect(imp.opt.Method, ont, text, imp.opt.MaxAuto)
+		sugg, err := v.SuggestDirect(imp.opt.Method, ont, text, imp.opt.MaxAuto)
 		if err != nil {
 			continue
 		}
@@ -323,10 +332,10 @@ func (imp *Importer) autoClassify(m *material.Material) bool {
 
 // attachProposals adds the single best (sub-threshold) suggestion per
 // ontology to a review-bound material.
-func (imp *Importer) attachProposals(m *material.Material) {
+func (imp *Importer) attachProposals(v *core.View, m *material.Material) {
 	text := m.SearchText()
 	for _, ont := range []string{"cs13", "pdc12"} {
-		sugg, err := imp.sys.SuggestDirect(imp.opt.Method, ont, text, 1)
+		sugg, err := v.SuggestDirect(imp.opt.Method, ont, text, 1)
 		if err != nil || len(sugg) == 0 || sugg[0].Score <= 0 {
 			continue
 		}

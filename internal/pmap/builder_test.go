@@ -1,0 +1,184 @@
+package pmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestBuilderModel drives a Builder and a builtin map through the same
+// random operation sequence, sealing into an immutable Map at random points
+// and checking the seals stay frozen while editing continues.
+func TestBuilderModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewStrings[int]().Builder()
+	model := map[string]int{}
+	keys := make([]string, 300)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	type seal struct {
+		m    *Map[string, int]
+		want map[string]int
+	}
+	var seals []seal
+	for step := 0; step < 8000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(3) == 0 {
+			b.Delete(k)
+			delete(model, k)
+		} else {
+			v := rng.Intn(1000)
+			b.Set(k, v)
+			model[k] = v
+		}
+		if b.Len() != len(model) {
+			t.Fatalf("step %d: len = %d, model = %d", step, b.Len(), len(model))
+		}
+		if rng.Intn(500) == 0 {
+			frozen := map[string]int{}
+			for k, v := range model {
+				frozen[k] = v
+			}
+			seals = append(seals, seal{m: b.Map(), want: frozen})
+		}
+	}
+	for k, want := range model {
+		if got, ok := b.Get(k); !ok || got != want {
+			t.Fatalf("%s = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	// Every seal must still hold exactly what the model held at seal time.
+	for i, s := range seals {
+		if s.m.Len() != len(s.want) {
+			t.Fatalf("seal %d: len = %d, want %d", i, s.m.Len(), len(s.want))
+		}
+		got := map[string]int{}
+		s.m.Range(func(k string, v int) bool {
+			got[k] = v
+			return true
+		})
+		for k, v := range s.want {
+			if got[k] != v {
+				t.Fatalf("seal %d drifted: %s = %d, want %d", i, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestBuilderDoesNotMutateSource pins the transient contract: the Map a
+// Builder was created from never changes, no matter what the builder does.
+func TestBuilderDoesNotMutateSource(t *testing.T) {
+	m := NewStrings[int]()
+	for i := 0; i < 500; i++ {
+		m = m.Set(fmt.Sprintf("k%d", i), i)
+	}
+	b := m.Builder()
+	for i := 0; i < 500; i++ {
+		b.Set(fmt.Sprintf("k%d", i), -1)
+		b.Delete(fmt.Sprintf("k%d", i+250))
+		b.Set(fmt.Sprintf("new%d", i), i)
+	}
+	if m.Len() != 500 {
+		t.Fatalf("source len = %d", m.Len())
+	}
+	for i := 0; i < 500; i++ {
+		if v, ok := m.Get(fmt.Sprintf("k%d", i)); !ok || v != i {
+			t.Fatalf("source k%d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := m.Get("new0"); ok {
+		t.Fatal("builder insert leaked into source")
+	}
+}
+
+// TestBuilderSealRearms checks that edits after Map() cannot disturb the
+// sealed result.
+func TestBuilderSealRearms(t *testing.T) {
+	b := NewStrings[int]().Builder()
+	for i := 0; i < 200; i++ {
+		b.Set(fmt.Sprintf("k%d", i), i)
+	}
+	sealed := b.Map()
+	for i := 0; i < 200; i++ {
+		b.Set(fmt.Sprintf("k%d", i), -1)
+	}
+	b.Delete("k0")
+	for i := 0; i < 200; i++ {
+		if v, ok := sealed.Get(fmt.Sprintf("k%d", i)); !ok || v != i {
+			t.Fatalf("sealed k%d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestBuilderCollisions exercises the bucket paths under a degenerate hash.
+func TestBuilderCollisions(t *testing.T) {
+	b := New[string, int](func(string) uint64 { return 0x42 }).Builder()
+	model := map[string]int{}
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("c%d", i)
+		b.Set(k, i)
+		model[k] = i
+	}
+	b.Set("c7", 700)
+	model["c7"] = 700
+	for i := 0; i < 40; i += 2 {
+		k := fmt.Sprintf("c%d", i)
+		b.Delete(k)
+		delete(model, k)
+	}
+	m := b.Map()
+	if m.Len() != len(model) {
+		t.Fatalf("len = %d, want %d", m.Len(), len(model))
+	}
+	for k, want := range model {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("%s = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	for k := range model {
+		b.Delete(k)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("drained len = %d", b.Len())
+	}
+}
+
+// BenchmarkBulkSet compares per-Set path copying against a transient
+// builder for a bulk insert, the shape of one commit's index update.
+func BenchmarkBulkSetImmutable(b *testing.B) {
+	base := NewStrings[int]()
+	for i := 0; i < 50_000; i++ {
+		base = base.Set(fmt.Sprintf("base-%d", i), i)
+	}
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bulk-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := base
+		for j, k := range keys {
+			m = m.Set(k, j)
+		}
+	}
+}
+
+func BenchmarkBulkSetBuilder(b *testing.B) {
+	base := NewStrings[int]()
+	for i := 0; i < 50_000; i++ {
+		base = base.Set(fmt.Sprintf("base-%d", i), i)
+	}
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bulk-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := base.Builder()
+		for j, k := range keys {
+			bu.Set(k, j)
+		}
+		_ = bu.Map()
+	}
+}

@@ -1,0 +1,321 @@
+// Package pmap implements an immutable persistent hash map (a hash
+// array-mapped trie). Updates return a new map sharing all unchanged
+// structure with the original, so a point update on an n-entry map copies
+// O(log n) trie nodes instead of the whole table. That property is what
+// makes publishing a snapshot of the CAR-CS relational store and search
+// index O(changed rows): a snapshot is a pointer copy, and the writer's
+// next mutation path-copies only the branch it touches.
+//
+// A *Map is safe for concurrent readers without synchronization precisely
+// because it never changes; the single writer produces successor maps.
+package pmap
+
+import "math/bits"
+
+const (
+	branchBits = 6
+	branchMask = (1 << branchBits) - 1
+	// maxShift is the deepest shift at which hash bits still discriminate;
+	// below it, equal-hash keys live in a collision bucket.
+	maxShift = 60
+)
+
+// Map is an immutable hash map from K to V. The empty map is created by
+// New (or the NewStrings / NewInts convenience constructors, which supply
+// the hash function); Set and Delete return new maps and never modify the
+// receiver.
+type Map[K comparable, V any] struct {
+	hash func(K) uint64
+	root *node[K, V]
+	size int
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// item is one slot of a trie node: an interior branch (child != nil), a
+// collision bucket (bucket != nil, only below maxShift), or a leaf entry.
+type item[K comparable, V any] struct {
+	child  *node[K, V]
+	bucket []entry[K, V]
+	leaf   entry[K, V]
+}
+
+// node is an interior trie node: bitmap marks which of the 64 slots are
+// occupied, items holds the occupied slots in slot order. edit is nil for
+// nodes reachable from an immutable Map; a Builder tags nodes it allocated
+// with its ownership token so it can mutate them in place (see builder.go).
+type node[K comparable, V any] struct {
+	bitmap uint64
+	items  []item[K, V]
+	edit   *byte
+}
+
+// New creates an empty map using the given hash function.
+func New[K comparable, V any](hash func(K) uint64) *Map[K, V] {
+	return &Map[K, V]{hash: hash}
+}
+
+// NewStrings creates an empty map with string keys.
+func NewStrings[V any]() *Map[string, V] { return New[string, V](HashString) }
+
+// NewInts creates an empty map with int64 keys.
+func NewInts[V any]() *Map[int64, V] { return New[int64, V](HashInt64) }
+
+// HashString is the default string hash: FNV-1a with a final avalanche mix
+// so the low bits (consumed first by the trie) are well distributed.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// HashInt64 is the default int64 hash (the splitmix64 finalizer).
+func HashInt64(v int64) uint64 { return mix64(uint64(v)) }
+
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int {
+	if m == nil {
+		return 0
+	}
+	return m.size
+}
+
+// Get returns the value stored under k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	var zero V
+	if m == nil || m.root == nil {
+		return zero, false
+	}
+	h := m.hash(k)
+	n := m.root
+	for shift := uint(0); ; shift += branchBits {
+		bit := uint64(1) << ((h >> shift) & branchMask)
+		if n.bitmap&bit == 0 {
+			return zero, false
+		}
+		it := &n.items[bits.OnesCount64(n.bitmap&(bit-1))]
+		switch {
+		case it.child != nil:
+			n = it.child
+		case it.bucket != nil:
+			for i := range it.bucket {
+				if it.bucket[i].key == k {
+					return it.bucket[i].val, true
+				}
+			}
+			return zero, false
+		default:
+			if it.leaf.key == k {
+				return it.leaf.val, true
+			}
+			return zero, false
+		}
+	}
+}
+
+// GetOr returns the value stored under k, or def if absent.
+func (m *Map[K, V]) GetOr(k K, def V) V {
+	if v, ok := m.Get(k); ok {
+		return v
+	}
+	return def
+}
+
+// Set returns a map with k bound to v.
+func (m *Map[K, V]) Set(k K, v V) *Map[K, V] {
+	h := m.hash(k)
+	if m.root == nil {
+		return &Map[K, V]{hash: m.hash, root: &node[K, V]{
+			bitmap: uint64(1) << (h & branchMask),
+			items:  []item[K, V]{{leaf: entry[K, V]{k, v}}},
+		}, size: 1}
+	}
+	root, added := m.root.set(m.hash, h, 0, k, v)
+	size := m.size
+	if added {
+		size++
+	}
+	return &Map[K, V]{hash: m.hash, root: root, size: size}
+}
+
+func (n *node[K, V]) set(hash func(K) uint64, h uint64, shift uint, k K, v V) (*node[K, V], bool) {
+	bit := uint64(1) << ((h >> shift) & branchMask)
+	pos := bits.OnesCount64(n.bitmap & (bit - 1))
+	if n.bitmap&bit == 0 {
+		// Empty slot: insert a new leaf.
+		items := make([]item[K, V], len(n.items)+1)
+		copy(items, n.items[:pos])
+		items[pos] = item[K, V]{leaf: entry[K, V]{k, v}}
+		copy(items[pos+1:], n.items[pos:])
+		return &node[K, V]{bitmap: n.bitmap | bit, items: items}, true
+	}
+	it := n.items[pos]
+	var repl item[K, V]
+	var added bool
+	switch {
+	case it.child != nil:
+		child, a := it.child.set(hash, h, shift+branchBits, k, v)
+		repl, added = item[K, V]{child: child}, a
+	case it.bucket != nil:
+		bucket := make([]entry[K, V], len(it.bucket), len(it.bucket)+1)
+		copy(bucket, it.bucket)
+		added = true
+		for i := range bucket {
+			if bucket[i].key == k {
+				bucket[i].val, added = v, false
+				break
+			}
+		}
+		if added {
+			bucket = append(bucket, entry[K, V]{k, v})
+		}
+		repl = item[K, V]{bucket: bucket}
+	case it.leaf.key == k:
+		repl = item[K, V]{leaf: entry[K, V]{k, v}}
+	default:
+		repl = split(hash, it.leaf, entry[K, V]{k, v}, h, shift+branchBits)
+		added = true
+	}
+	items := make([]item[K, V], len(n.items))
+	copy(items, n.items)
+	items[pos] = repl
+	return &node[K, V]{bitmap: n.bitmap, items: items}, added
+}
+
+// split pushes an existing leaf and a new entry one level down, branching
+// where their hashes first differ (or into a collision bucket when the
+// hash bits are exhausted).
+func split[K comparable, V any](hash func(K) uint64, old, new entry[K, V], newHash uint64, shift uint) item[K, V] {
+	if shift > maxShift {
+		return item[K, V]{bucket: []entry[K, V]{old, new}}
+	}
+	oldHash := hash(old.key)
+	oldIdx := (oldHash >> shift) & branchMask
+	newIdx := (newHash >> shift) & branchMask
+	if oldIdx == newIdx {
+		inner := split(hash, old, new, newHash, shift+branchBits)
+		return item[K, V]{child: &node[K, V]{bitmap: uint64(1) << oldIdx, items: []item[K, V]{inner}}}
+	}
+	n := &node[K, V]{bitmap: uint64(1)<<oldIdx | uint64(1)<<newIdx}
+	if oldIdx < newIdx {
+		n.items = []item[K, V]{{leaf: old}, {leaf: new}}
+	} else {
+		n.items = []item[K, V]{{leaf: new}, {leaf: old}}
+	}
+	return item[K, V]{child: n}
+}
+
+// Delete returns a map with k removed (the receiver if absent).
+func (m *Map[K, V]) Delete(k K) *Map[K, V] {
+	if m.root == nil {
+		return m
+	}
+	root, removed := m.root.delete(m.hash(k), 0, k)
+	if !removed {
+		return m
+	}
+	return &Map[K, V]{hash: m.hash, root: root, size: m.size - 1}
+}
+
+func (n *node[K, V]) delete(h uint64, shift uint, k K) (*node[K, V], bool) {
+	bit := uint64(1) << ((h >> shift) & branchMask)
+	if n.bitmap&bit == 0 {
+		return n, false
+	}
+	pos := bits.OnesCount64(n.bitmap & (bit - 1))
+	it := n.items[pos]
+	switch {
+	case it.child != nil:
+		child, removed := it.child.delete(h, shift+branchBits, k)
+		if !removed {
+			return n, false
+		}
+		items := make([]item[K, V], len(n.items))
+		copy(items, n.items)
+		if child == nil {
+			return n.without(bit, pos), true
+		}
+		items[pos] = item[K, V]{child: child}
+		return &node[K, V]{bitmap: n.bitmap, items: items}, true
+	case it.bucket != nil:
+		for i := range it.bucket {
+			if it.bucket[i].key != k {
+				continue
+			}
+			items := make([]item[K, V], len(n.items))
+			copy(items, n.items)
+			if len(it.bucket) == 2 {
+				items[pos] = item[K, V]{leaf: it.bucket[1-i]}
+			} else {
+				bucket := make([]entry[K, V], 0, len(it.bucket)-1)
+				bucket = append(bucket, it.bucket[:i]...)
+				bucket = append(bucket, it.bucket[i+1:]...)
+				items[pos] = item[K, V]{bucket: bucket}
+			}
+			return &node[K, V]{bitmap: n.bitmap, items: items}, true
+		}
+		return n, false
+	case it.leaf.key == k:
+		return n.without(bit, pos), true
+	default:
+		return n, false
+	}
+}
+
+// without returns the node minus the slot at pos, or nil if it was the
+// last slot.
+func (n *node[K, V]) without(bit uint64, pos int) *node[K, V] {
+	if len(n.items) == 1 {
+		return nil
+	}
+	items := make([]item[K, V], 0, len(n.items)-1)
+	items = append(items, n.items[:pos]...)
+	items = append(items, n.items[pos+1:]...)
+	return &node[K, V]{bitmap: n.bitmap &^ bit, items: items}
+}
+
+// Range calls f for every entry until f returns false. Iteration order is
+// the trie's hash order: stable for a given map value, but arbitrary with
+// respect to keys — callers needing determinism must sort.
+func (m *Map[K, V]) Range(f func(K, V) bool) {
+	if m != nil && m.root != nil {
+		m.root.visit(f)
+	}
+}
+
+func (n *node[K, V]) visit(f func(K, V) bool) bool {
+	for i := range n.items {
+		it := &n.items[i]
+		switch {
+		case it.child != nil:
+			if !it.child.visit(f) {
+				return false
+			}
+		case it.bucket != nil:
+			for j := range it.bucket {
+				if !f(it.bucket[j].key, it.bucket[j].val) {
+					return false
+				}
+			}
+		default:
+			if !f(it.leaf.key, it.leaf.val) {
+				return false
+			}
+		}
+	}
+	return true
+}

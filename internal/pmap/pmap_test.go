@@ -1,0 +1,165 @@
+package pmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := NewStrings[int]()
+	if m.Len() != 0 {
+		t.Fatalf("empty len = %d", m.Len())
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("get on empty map")
+	}
+	m2 := m.Set("a", 1).Set("b", 2).Set("a", 3)
+	if m2.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m2.Len())
+	}
+	if v, _ := m2.Get("a"); v != 3 {
+		t.Fatalf("a = %d, want 3", v)
+	}
+	if v := m2.GetOr("c", 42); v != 42 {
+		t.Fatalf("GetOr default = %d", v)
+	}
+	if m.Len() != 0 {
+		t.Fatal("original mutated")
+	}
+	m3 := m2.Delete("a")
+	if _, ok := m3.Get("a"); ok || m3.Len() != 1 {
+		t.Fatalf("delete failed: len=%d", m3.Len())
+	}
+	if v, _ := m2.Get("a"); v != 3 {
+		t.Fatal("delete mutated predecessor")
+	}
+	if m3.Delete("zzz") != m3 {
+		t.Fatal("deleting a missing key should return the receiver")
+	}
+}
+
+// TestModel drives a pmap and a builtin map through the same random
+// operation sequence and checks full agreement after every step batch.
+func TestModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewStrings[int]()
+	model := map[string]int{}
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	for step := 0; step < 5000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(3) == 0 {
+			m = m.Delete(k)
+			delete(model, k)
+		} else {
+			v := rng.Intn(1000)
+			m = m.Set(k, v)
+			model[k] = v
+		}
+		if m.Len() != len(model) {
+			t.Fatalf("step %d: len = %d, model = %d", step, m.Len(), len(model))
+		}
+	}
+	for k, want := range model {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("%s = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	got := map[string]int{}
+	m.Range(func(k string, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(model) {
+		t.Fatalf("range visited %d, want %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Fatalf("range %s = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestCollisions forces every key onto the same 64-bit hash so the trie
+// degenerates into a collision bucket, and checks the model still holds.
+func TestCollisions(t *testing.T) {
+	m := New[string, int](func(string) uint64 { return 0x1234 })
+	model := map[string]int{}
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("c%d", i)
+		m = m.Set(k, i)
+		model[k] = i
+	}
+	m = m.Set("c7", 700)
+	model["c7"] = 700
+	for i := 0; i < 40; i += 2 {
+		k := fmt.Sprintf("c%d", i)
+		m = m.Delete(k)
+		delete(model, k)
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("len = %d, want %d", m.Len(), len(model))
+	}
+	for k, want := range model {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("%s = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	if _, ok := m.Get("c0"); ok {
+		t.Fatal("deleted collision key still present")
+	}
+	// Drain to empty through the bucket-collapse path.
+	for k := range model {
+		m = m.Delete(k)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("drained len = %d", m.Len())
+	}
+}
+
+// TestSnapshotsShareStructure pins the persistence property the read views
+// rely on: an old map value is bit-for-bit stable across any number of
+// later updates.
+func TestSnapshotsShareStructure(t *testing.T) {
+	m := NewInts[string]()
+	for i := int64(0); i < 1000; i++ {
+		m = m.Set(i, fmt.Sprintf("v%d", i))
+	}
+	snap := m
+	for i := int64(0); i < 1000; i++ {
+		m = m.Set(i, "overwritten").Delete(i + 1000)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if v, ok := snap.Get(i); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("snapshot drifted at %d: %q %v", i, v, ok)
+		}
+	}
+	var keys []int64
+	snap.Range(func(k int64, _ string) bool {
+		keys = append(keys, k)
+		return true
+	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) != 1000 || keys[0] != 0 || keys[999] != 999 {
+		t.Fatalf("snapshot keys corrupted: n=%d", len(keys))
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := NewStrings[int]()
+	for i := 0; i < 100; i++ {
+		m = m.Set(fmt.Sprintf("k%d", i), i)
+	}
+	seen := 0
+	m.Range(func(string, int) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+}

@@ -13,15 +13,14 @@ type GroupCount struct {
 // CountBy groups rows matching the predicate (nil for all) by the column
 // and returns counts sorted by descending count, then by key formatting.
 func (t *Table) CountBy(col string, p Pred) []GroupCount {
-	t.mu.RLock()
+	st := t.state.Load()
 	counts := make(map[any]int)
-	for _, r := range t.rows {
-		if p != nil && !p(r) {
-			continue
+	st.rows.Range(func(_ int64, r Row) bool {
+		if p == nil || p(r) {
+			counts[r[col]]++
 		}
-		counts[r[col]]++
-	}
-	t.mu.RUnlock()
+		return true
+	})
 	out := make([]GroupCount, 0, len(counts))
 	for k, n := range counts {
 		out = append(out, GroupCount{Key: k, Count: n})
@@ -38,15 +37,14 @@ func (t *Table) CountBy(col string, p Pred) []GroupCount {
 // MinMaxInt returns the minimum and maximum of an Int column over rows
 // matching the predicate; ok is false when no row has the column.
 func (t *Table) MinMaxInt(col string, p Pred) (min, max int64, ok bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, r := range t.rows {
+	st := t.state.Load()
+	st.rows.Range(func(_ int64, r Row) bool {
 		if p != nil && !p(r) {
-			continue
+			return true
 		}
 		v, has := r[col].(int64)
 		if !has {
-			continue
+			return true
 		}
 		if !ok || v < min {
 			min = v
@@ -55,40 +53,39 @@ func (t *Table) MinMaxInt(col string, p Pred) (min, max int64, ok bool) {
 			max = v
 		}
 		ok = true
-	}
+		return true
+	})
 	return min, max, ok
 }
 
 // SumFloat totals a Float column over rows matching the predicate.
 func (t *Table) SumFloat(col string, p Pred) float64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	st := t.state.Load()
 	var s float64
-	for _, r := range t.rows {
-		if p != nil && !p(r) {
-			continue
+	st.rows.Range(func(_ int64, r Row) bool {
+		if p == nil || p(r) {
+			if v, has := r[col].(float64); has {
+				s += v
+			}
 		}
-		if v, has := r[col].(float64); has {
-			s += v
-		}
-	}
+		return true
+	})
 	return s
 }
 
 // DistinctStrings returns the sorted distinct non-empty values of a String
 // column over rows matching the predicate.
 func (t *Table) DistinctStrings(col string, p Pred) []string {
-	t.mu.RLock()
+	st := t.state.Load()
 	seen := make(map[string]bool)
-	for _, r := range t.rows {
-		if p != nil && !p(r) {
-			continue
+	st.rows.Range(func(_ int64, r Row) bool {
+		if p == nil || p(r) {
+			if v, has := r[col].(string); has && v != "" {
+				seen[v] = true
+			}
 		}
-		if v, has := r[col].(string); has && v != "" {
-			seen[v] = true
-		}
-	}
-	t.mu.RUnlock()
+		return true
+	})
 	out := make([]string, 0, len(seen))
 	for v := range seen {
 		out = append(out, v)

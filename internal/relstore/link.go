@@ -4,19 +4,36 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"carcs/internal/pmap"
 )
+
+// linkState is one immutable version of a link table's relation.
+type linkState struct {
+	fwd   *pmap.Map[int64, *pmap.Map[int64, struct{}]]
+	rev   *pmap.Map[int64, *pmap.Map[int64, struct{}]]
+	pairs int
+}
 
 // LinkTable is a many-to-many association between two tables, the relational
 // join tables of the CAR-CS schema ("Tags, items in the classification,
 // dataset used, and authors are associated with an assignment using a
 // many-to-many relationship"). Links are unordered pairs (left id, right id)
-// with set semantics.
+// with set semantics. Like Table, reads are lock-free against an atomically
+// published immutable state.
 type LinkTable struct {
-	mu          sync.RWMutex
+	mu          sync.Mutex
 	name        string
 	left, right string // table names, documentation only
-	fwd         map[int64]map[int64]bool
-	rev         map[int64]map[int64]bool
+	state       atomic.Pointer[linkState]
+}
+
+func newLinkState() *linkState {
+	return &linkState{
+		fwd: pmap.NewInts[*pmap.Map[int64, struct{}]](),
+		rev: pmap.NewInts[*pmap.Map[int64, struct{}]](),
+	}
 }
 
 // CreateLink adds a named link table relating the left and right tables.
@@ -29,11 +46,8 @@ func (s *Store) CreateLink(name, leftTable, rightTable string) (*LinkTable, erro
 	if _, dup := s.links[name]; dup {
 		return nil, fmt.Errorf("relstore: link %q exists", name)
 	}
-	l := &LinkTable{
-		name: name, left: leftTable, right: rightTable,
-		fwd: make(map[int64]map[int64]bool),
-		rev: make(map[int64]map[int64]bool),
-	}
+	l := &LinkTable{name: name, left: leftTable, right: rightTable}
+	l.state.Store(newLinkState())
 	s.links[name] = l
 	return l, nil
 }
@@ -60,94 +74,125 @@ func (s *Store) LinkNames() []string {
 // Name returns the link table's name.
 func (l *LinkTable) Name() string { return l.name }
 
+// Snap returns an immutable snapshot of the link table at its current
+// version; see Store.Snap.
+func (l *LinkTable) Snap() *LinkTable {
+	nl := &LinkTable{name: l.name, left: l.left, right: l.right}
+	nl.state.Store(l.state.Load())
+	return nl
+}
+
+// addTo links left->right in one direction map, returning the updated map
+// and whether the pair was new.
+func addTo(m *pmap.Map[int64, *pmap.Map[int64, struct{}]], from, to int64) (*pmap.Map[int64, *pmap.Map[int64, struct{}]], bool) {
+	set := m.GetOr(from, nil)
+	if set == nil {
+		set = pmap.NewInts[struct{}]()
+	} else if _, ok := set.Get(to); ok {
+		return m, false
+	}
+	return m.Set(from, set.Set(to, struct{}{})), true
+}
+
+// removeFrom unlinks from->to, returning the updated map and whether the
+// pair existed.
+func removeFrom(m *pmap.Map[int64, *pmap.Map[int64, struct{}]], from, to int64) (*pmap.Map[int64, *pmap.Map[int64, struct{}]], bool) {
+	set := m.GetOr(from, nil)
+	if set == nil {
+		return m, false
+	}
+	if _, ok := set.Get(to); !ok {
+		return m, false
+	}
+	if next := set.Delete(to); next.Len() > 0 {
+		return m.Set(from, next), true
+	}
+	return m.Delete(from), true
+}
+
 // Add links left and right; re-adding an existing pair is a no-op.
 func (l *LinkTable) Add(left, right int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.fwd[left] == nil {
-		l.fwd[left] = make(map[int64]bool)
+	st := l.state.Load()
+	fwd, added := addTo(st.fwd, left, right)
+	if !added {
+		return
 	}
-	l.fwd[left][right] = true
-	if l.rev[right] == nil {
-		l.rev[right] = make(map[int64]bool)
-	}
-	l.rev[right][left] = true
+	rev, _ := addTo(st.rev, right, left)
+	pairs := st.pairs + 1
+	l.state.Store(&linkState{fwd: fwd, rev: rev, pairs: pairs})
 }
 
 // Remove unlinks the pair; removing a missing pair is a no-op.
 func (l *LinkTable) Remove(left, right int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if m := l.fwd[left]; m != nil {
-		delete(m, right)
-		if len(m) == 0 {
-			delete(l.fwd, left)
-		}
+	st := l.state.Load()
+	fwd, removed := removeFrom(st.fwd, left, right)
+	if !removed {
+		return
 	}
-	if m := l.rev[right]; m != nil {
-		delete(m, left)
-		if len(m) == 0 {
-			delete(l.rev, right)
-		}
-	}
+	rev, _ := removeFrom(st.rev, right, left)
+	l.state.Store(&linkState{fwd: fwd, rev: rev, pairs: st.pairs - 1})
 }
 
 // RemoveLeft drops every link whose left side is the given id.
 func (l *LinkTable) RemoveLeft(left int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for right := range l.fwd[left] {
-		delete(l.rev[right], left)
-		if len(l.rev[right]) == 0 {
-			delete(l.rev, right)
-		}
+	st := l.state.Load()
+	set := st.fwd.GetOr(left, nil)
+	if set == nil {
+		return
 	}
-	delete(l.fwd, left)
+	rev := st.rev
+	set.Range(func(right int64, _ struct{}) bool {
+		rev, _ = removeFrom(rev, right, left)
+		return true
+	})
+	l.state.Store(&linkState{
+		fwd:   st.fwd.Delete(left),
+		rev:   rev,
+		pairs: st.pairs - set.Len(),
+	})
 }
 
 // Has reports whether the pair is linked.
 func (l *LinkTable) Has(left, right int64) bool {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.fwd[left][right]
+	set := l.state.Load().fwd.GetOr(left, nil)
+	if set == nil {
+		return false
+	}
+	_, ok := set.Get(right)
+	return ok
 }
 
 // Rights returns the sorted right-side ids linked to left.
 func (l *LinkTable) Rights(left int64) []int64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return sortedKeys(l.fwd[left])
+	return sortedSet(l.state.Load().fwd.GetOr(left, nil))
 }
 
 // Lefts returns the sorted left-side ids linked to right.
 func (l *LinkTable) Lefts(right int64) []int64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return sortedKeys(l.rev[right])
+	return sortedSet(l.state.Load().rev.GetOr(right, nil))
 }
 
 // Len returns the number of linked pairs.
-func (l *LinkTable) Len() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	n := 0
-	for _, m := range l.fwd {
-		n += len(m)
-	}
-	return n
-}
+func (l *LinkTable) Len() int { return l.state.Load().pairs }
 
 // Pairs returns every linked pair sorted by (left, right); used by the
 // snapshot writer and by integrity tests.
 func (l *LinkTable) Pairs() [][2]int64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	st := l.state.Load()
 	var out [][2]int64
-	for left, m := range l.fwd {
-		for right := range m {
+	st.fwd.Range(func(left int64, set *pmap.Map[int64, struct{}]) bool {
+		set.Range(func(right int64, _ struct{}) bool {
 			out = append(out, [2]int64{left, right})
-		}
-	}
+			return true
+		})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i][0] != out[j][0] {
 			return out[i][0] < out[j][0]
@@ -160,32 +205,40 @@ func (l *LinkTable) Pairs() [][2]int64 {
 // CheckSymmetry verifies the forward and reverse maps describe the same
 // relation, returning discrepancies (empty when consistent).
 func (l *LinkTable) CheckSymmetry() []string {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	st := l.state.Load()
 	var bad []string
-	for left, m := range l.fwd {
-		for right := range m {
-			if !l.rev[right][left] {
+	st.fwd.Range(func(left int64, set *pmap.Map[int64, struct{}]) bool {
+		set.Range(func(right int64, _ struct{}) bool {
+			if rs := st.rev.GetOr(right, nil); rs == nil {
+				bad = append(bad, fmt.Sprintf("fwd(%d,%d) missing in rev", left, right))
+			} else if _, ok := rs.Get(left); !ok {
 				bad = append(bad, fmt.Sprintf("fwd(%d,%d) missing in rev", left, right))
 			}
-		}
-	}
-	for right, m := range l.rev {
-		for left := range m {
-			if !l.fwd[left][right] {
+			return true
+		})
+		return true
+	})
+	st.rev.Range(func(right int64, set *pmap.Map[int64, struct{}]) bool {
+		set.Range(func(left int64, _ struct{}) bool {
+			if fs := st.fwd.GetOr(left, nil); fs == nil {
+				bad = append(bad, fmt.Sprintf("rev(%d,%d) missing in fwd", right, left))
+			} else if _, ok := fs.Get(right); !ok {
 				bad = append(bad, fmt.Sprintf("rev(%d,%d) missing in fwd", right, left))
 			}
-		}
-	}
+			return true
+		})
+		return true
+	})
 	sort.Strings(bad)
 	return bad
 }
 
-func sortedKeys(m map[int64]bool) []int64 {
-	out := make([]int64, 0, len(m))
-	for k := range m {
+func sortedSet(set *pmap.Map[int64, struct{}]) []int64 {
+	out := make([]int64, 0, set.Len())
+	set.Range(func(k int64, _ struct{}) bool {
 		out = append(out, k)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -90,15 +90,14 @@ type Query struct {
 
 // Select returns copies of the rows matching the query.
 func (t *Table) Select(q Query) []Row {
-	t.mu.RLock()
+	st := t.state.Load()
 	matched := make([]Row, 0, 16)
-	for _, id := range t.sortedIDsLocked() {
-		r := t.rows[id]
+	for _, id := range st.sortedIDs() {
+		r, _ := st.rows.Get(id)
 		if q.Where == nil || q.Where(r) {
 			matched = append(matched, r.clone())
 		}
 	}
-	t.mu.RUnlock()
 
 	if q.OrderBy != "" {
 		col := q.OrderBy
@@ -128,17 +127,17 @@ func (t *Table) Select(q Query) []Row {
 
 // Count returns the number of rows matching the predicate.
 func (t *Table) Count(p Pred) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	st := t.state.Load()
 	if p == nil {
-		return len(t.rows)
+		return st.rows.Len()
 	}
 	n := 0
-	for _, r := range t.rows {
+	st.rows.Range(func(_ int64, r Row) bool {
 		if p(r) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 

@@ -8,12 +8,22 @@
 // between them — and this store implements exactly those relational
 // semantics with stdlib-only code. All operations are safe for concurrent
 // use.
+//
+// Each table's contents live in an immutable state value published through
+// an atomic pointer: readers never block, writers serialize on a mutex and
+// path-copy only the rows and index branches they touch (persistent maps
+// from internal/pmap). Snap captures a whole table or store in O(tables),
+// which is what makes the core package's read views cheap to publish.
 package relstore
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"carcs/internal/pmap"
 )
 
 // Type enumerates the column types the store supports.
@@ -93,15 +103,44 @@ func (r Row) clone() Row {
 	return out
 }
 
-// Table is a collection of rows under a schema.
+// tableState is one immutable version of a table's contents. Rows stored in
+// it are never mutated in place; every update stores a fresh clone.
+type tableState struct {
+	rows   *pmap.Map[int64, Row]
+	nextID int64
+	// uniques and indexes map column name -> encoded value -> owner. The
+	// outer maps are schema-sized and copied wholesale per mutation; the
+	// inner persistent maps share structure across versions.
+	uniques map[string]*pmap.Map[string, int64]
+	indexes map[string]*pmap.Map[string, *pmap.Map[int64, struct{}]]
+}
+
+// clone returns a shallow copy whose outer index maps are fresh, so the
+// writer can re-point inner persistent maps without disturbing readers of
+// the previous state.
+func (st *tableState) clone() *tableState {
+	ns := &tableState{
+		rows:    st.rows,
+		nextID:  st.nextID,
+		uniques: make(map[string]*pmap.Map[string, int64], len(st.uniques)),
+		indexes: make(map[string]*pmap.Map[string, *pmap.Map[int64, struct{}]], len(st.indexes)),
+	}
+	for c, m := range st.uniques {
+		ns.uniques[c] = m
+	}
+	for c, m := range st.indexes {
+		ns.indexes[c] = m
+	}
+	return ns
+}
+
+// Table is a collection of rows under a schema. Reads load the current
+// state without locking; writes serialize on mu and publish a new state.
 type Table struct {
-	mu      sync.RWMutex
-	schema  Schema
-	byCol   map[string]Column
-	rows    map[int64]Row
-	nextID  int64
-	uniques map[string]map[any]int64   // column -> value -> row id
-	indexes map[string]map[any][]int64 // column -> value -> row ids (sorted)
+	mu     sync.Mutex
+	schema Schema
+	byCol  map[string]Column
+	state  atomic.Pointer[tableState]
 }
 
 // Store is a named collection of tables and link tables.
@@ -119,6 +158,26 @@ func NewStore() *Store {
 	}
 }
 
+// Snap returns an immutable snapshot of the store: every table and link
+// table captured at its current version, sharing all row storage with the
+// live store. Snapshots serve reads (and Snapshot serialization) but must
+// not be mutated; mutations on the live store never affect them.
+func (s *Store) Snap() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ns := &Store{
+		tables: make(map[string]*Table, len(s.tables)),
+		links:  make(map[string]*LinkTable, len(s.links)),
+	}
+	for n, t := range s.tables {
+		ns.tables[n] = t.Snap()
+	}
+	for n, l := range s.links {
+		ns.links[n] = l.Snap()
+	}
+	return ns
+}
+
 // CreateTable adds a table with the given schema. It fails on duplicate
 // table names, duplicate column names, or a column named "id".
 func (s *Store) CreateTable(schema Schema) (*Table, error) {
@@ -131,11 +190,13 @@ func (s *Store) CreateTable(schema Schema) (*Table, error) {
 		return nil, fmt.Errorf("relstore: table %q exists", schema.Name)
 	}
 	t := &Table{
-		schema:  schema,
-		byCol:   make(map[string]Column, len(schema.Columns)),
-		rows:    make(map[int64]Row),
-		uniques: make(map[string]map[any]int64),
-		indexes: make(map[string]map[any][]int64),
+		schema: schema,
+		byCol:  make(map[string]Column, len(schema.Columns)),
+	}
+	st := &tableState{
+		rows:    pmap.NewInts[Row](),
+		uniques: make(map[string]*pmap.Map[string, int64]),
+		indexes: make(map[string]*pmap.Map[string, *pmap.Map[int64, struct{}]]),
 	}
 	for _, c := range schema.Columns {
 		if c.Name == "id" {
@@ -146,12 +207,13 @@ func (s *Store) CreateTable(schema Schema) (*Table, error) {
 		}
 		t.byCol[c.Name] = c
 		if c.Unique {
-			t.uniques[c.Name] = make(map[any]int64)
+			st.uniques[c.Name] = pmap.NewStrings[int64]()
 		}
 		if c.Indexed {
-			t.indexes[c.Name] = make(map[any][]int64)
+			st.indexes[c.Name] = pmap.NewStrings[*pmap.Map[int64, struct{}]]()
 		}
 	}
+	t.state.Store(st)
 	s.tables[schema.Name] = t
 	return t, nil
 }
@@ -175,6 +237,14 @@ func (s *Store) TableNames() []string {
 	return out
 }
 
+// Snap returns an immutable snapshot of the table at its current version;
+// see Store.Snap.
+func (t *Table) Snap() *Table {
+	nt := &Table{schema: t.schema, byCol: t.byCol}
+	nt.state.Store(t.state.Load())
+	return nt
+}
+
 // Schema returns a copy of the table's schema.
 func (t *Table) Schema() Schema {
 	cols := make([]Column, len(t.schema.Columns))
@@ -183,11 +253,7 @@ func (t *Table) Schema() Schema {
 }
 
 // Len returns the number of rows.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
-}
+func (t *Table) Len() int { return t.state.Load().rows.Len() }
 
 // checkTypes validates that every key in r names a schema column and every
 // value matches the column's type. The id key is ignored.
@@ -223,9 +289,26 @@ func (t *Table) checkTypes(r Row) error {
 	return nil
 }
 
-// indexKey converts a value into a hashable index key ([]string values are
-// not indexable and are rejected at schema time by convention).
-func indexKey(v any) any { return v }
+// encodeKey renders an indexable value as a string key for the persistent
+// index maps, prefixed by type so values of different types never collide
+// ([]string values are not indexable and are rejected at schema time by
+// convention).
+func encodeKey(v any) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return "s" + x, true
+	case int64:
+		return "i" + strconv.FormatInt(x, 10), true
+	case float64:
+		return "f" + strconv.FormatFloat(x, 'b', -1, 64), true
+	case bool:
+		if x {
+			return "bt", true
+		}
+		return "bf", true
+	}
+	return "", false
+}
 
 // Insert adds a row and returns its assigned id. Unique constraints are
 // enforced over non-nil values.
@@ -235,29 +318,32 @@ func (t *Table) Insert(r Row) (int64, error) {
 	if err := t.checkTypes(r); err != nil {
 		return 0, err
 	}
-	for col, idx := range t.uniques {
+	st := t.state.Load()
+	for col, idx := range st.uniques {
 		v, ok := r[col]
 		if !ok || v == nil {
 			continue
 		}
-		if owner, taken := idx[indexKey(v)]; taken {
-			return 0, fmt.Errorf("relstore: %s.%s: duplicate value %v (row %d)", t.schema.Name, col, v, owner)
+		if k, ok := encodeKey(v); ok {
+			if owner, taken := idx.Get(k); taken {
+				return 0, fmt.Errorf("relstore: %s.%s: duplicate value %v (row %d)", t.schema.Name, col, v, owner)
+			}
 		}
 	}
-	t.nextID++
-	id := t.nextID
+	ns := st.clone()
+	ns.nextID++
+	id := ns.nextID
 	row := r.clone()
 	row["id"] = id
-	t.rows[id] = row
-	t.indexRowLocked(id, row)
+	ns.rows = ns.rows.Set(id, row)
+	ns.indexRow(id, row)
+	t.state.Store(ns)
 	return id, nil
 }
 
 // Get returns a copy of the row with the given id, or nil if absent.
 func (t *Table) Get(id int64) Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	r, ok := t.rows[id]
+	r, ok := t.state.Load().rows.Get(id)
 	if !ok {
 		return nil
 	}
@@ -269,7 +355,8 @@ func (t *Table) Get(id int64) Row {
 func (t *Table) Update(id int64, changes Row) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	old, ok := t.rows[id]
+	st := t.state.Load()
+	old, ok := st.rows.Get(id)
 	if !ok {
 		return fmt.Errorf("relstore: %s: no row %d", t.schema.Name, id)
 	}
@@ -287,19 +374,23 @@ func (t *Table) Update(id int64, changes Row) error {
 		}
 		next[k] = v
 	}
-	for col, idx := range t.uniques {
+	for col, idx := range st.uniques {
 		v, ok := next[col]
 		if !ok || v == nil {
 			continue
 		}
-		if owner, taken := idx[indexKey(v)]; taken && owner != id {
-			return fmt.Errorf("relstore: %s.%s: duplicate value %v (row %d)", t.schema.Name, col, v, owner)
+		if k, ok := encodeKey(v); ok {
+			if owner, taken := idx.Get(k); taken && owner != id {
+				return fmt.Errorf("relstore: %s.%s: duplicate value %v (row %d)", t.schema.Name, col, v, owner)
+			}
 		}
 	}
-	t.unindexRowLocked(id, old)
+	ns := st.clone()
+	ns.unindexRow(id, old)
 	next["id"] = id
-	t.rows[id] = next
-	t.indexRowLocked(id, next)
+	ns.rows = ns.rows.Set(id, next)
+	ns.indexRow(id, next)
+	t.state.Store(ns)
 	return nil
 }
 
@@ -308,54 +399,63 @@ func (t *Table) Update(id int64, changes Row) error {
 func (t *Table) Delete(id int64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	old, ok := t.rows[id]
+	st := t.state.Load()
+	old, ok := st.rows.Get(id)
 	if !ok {
 		return fmt.Errorf("relstore: %s: no row %d", t.schema.Name, id)
 	}
-	t.unindexRowLocked(id, old)
-	delete(t.rows, id)
+	ns := st.clone()
+	ns.unindexRow(id, old)
+	ns.rows = ns.rows.Delete(id)
+	t.state.Store(ns)
 	return nil
 }
 
-func (t *Table) indexRowLocked(id int64, r Row) {
-	for col, idx := range t.uniques {
+// indexRow records the row in the state's unique and secondary indexes.
+// The receiver must be a freshly cloned, not-yet-published state.
+func (st *tableState) indexRow(id int64, r Row) {
+	for col, idx := range st.uniques {
 		if v, ok := r[col]; ok && v != nil {
-			idx[indexKey(v)] = id
+			if k, ok := encodeKey(v); ok {
+				st.uniques[col] = idx.Set(k, id)
+			}
 		}
 	}
-	for col, idx := range t.indexes {
+	for col, idx := range st.indexes {
 		if v, ok := r[col]; ok && v != nil {
-			k := indexKey(v)
-			ids := idx[k]
-			pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
-			ids = append(ids, 0)
-			copy(ids[pos+1:], ids[pos:])
-			ids[pos] = id
-			idx[k] = ids
+			if k, ok := encodeKey(v); ok {
+				set := idx.GetOr(k, nil)
+				if set == nil {
+					set = pmap.NewInts[struct{}]()
+				}
+				st.indexes[col] = idx.Set(k, set.Set(id, struct{}{}))
+			}
 		}
 	}
 }
 
-func (t *Table) unindexRowLocked(id int64, r Row) {
-	for col, idx := range t.uniques {
+// unindexRow removes the row from the state's indexes; same contract as
+// indexRow.
+func (st *tableState) unindexRow(id int64, r Row) {
+	for col, idx := range st.uniques {
 		if v, ok := r[col]; ok && v != nil {
-			if idx[indexKey(v)] == id {
-				delete(idx, indexKey(v))
+			if k, ok := encodeKey(v); ok {
+				if owner, has := idx.Get(k); has && owner == id {
+					st.uniques[col] = idx.Delete(k)
+				}
 			}
 		}
 	}
-	for col, idx := range t.indexes {
+	for col, idx := range st.indexes {
 		if v, ok := r[col]; ok && v != nil {
-			k := indexKey(v)
-			ids := idx[k]
-			pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
-			if pos < len(ids) && ids[pos] == id {
-				ids = append(ids[:pos], ids[pos+1:]...)
-			}
-			if len(ids) == 0 {
-				delete(idx, k)
-			} else {
-				idx[k] = ids
+			if k, ok := encodeKey(v); ok {
+				if set := idx.GetOr(k, nil); set != nil {
+					if next := set.Delete(id); next.Len() == 0 {
+						st.indexes[col] = idx.Delete(k)
+					} else {
+						st.indexes[col] = idx.Set(k, next)
+					}
+				}
 			}
 		}
 	}
@@ -364,46 +464,62 @@ func (t *Table) unindexRowLocked(id int64, r Row) {
 // LookupUnique returns a copy of the row whose unique column holds value, or
 // nil if absent or the column is not unique.
 func (t *Table) LookupUnique(col string, value any) Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idx, ok := t.uniques[col]
+	st := t.state.Load()
+	idx, ok := st.uniques[col]
 	if !ok {
 		return nil
 	}
-	id, ok := idx[indexKey(value)]
+	k, ok := encodeKey(value)
 	if !ok {
 		return nil
 	}
-	return t.rows[id].clone()
+	id, ok := idx.Get(k)
+	if !ok {
+		return nil
+	}
+	r, _ := st.rows.Get(id)
+	return r.clone()
 }
 
 // LookupIndexed returns copies of the rows whose indexed column equals
 // value, in id order. A non-indexed column falls back to a scan.
 func (t *Table) LookupIndexed(col string, value any) []Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if idx, ok := t.indexes[col]; ok {
-		ids := idx[indexKey(value)]
+	st := t.state.Load()
+	if idx, ok := st.indexes[col]; ok {
+		k, ok := encodeKey(value)
+		if !ok {
+			return []Row{}
+		}
+		set := idx.GetOr(k, nil)
+		ids := make([]int64, 0, set.Len())
+		set.Range(func(id int64, _ struct{}) bool {
+			ids = append(ids, id)
+			return true
+		})
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		out := make([]Row, 0, len(ids))
 		for _, id := range ids {
-			out = append(out, t.rows[id].clone())
+			r, _ := st.rows.Get(id)
+			out = append(out, r.clone())
 		}
 		return out
 	}
 	var out []Row
-	for _, id := range t.sortedIDsLocked() {
-		if t.rows[id][col] == value {
-			out = append(out, t.rows[id].clone())
+	for _, id := range st.sortedIDs() {
+		r, _ := st.rows.Get(id)
+		if r[col] == value {
+			out = append(out, r.clone())
 		}
 	}
 	return out
 }
 
-func (t *Table) sortedIDsLocked() []int64 {
-	ids := make([]int64, 0, len(t.rows))
-	for id := range t.rows {
+func (st *tableState) sortedIDs() []int64 {
+	ids := make([]int64, 0, st.rows.Len())
+	st.rows.Range(func(id int64, _ Row) bool {
 		ids = append(ids, id)
-	}
+		return true
+	})
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }

@@ -45,12 +45,12 @@ func (s *Store) Snapshot(w io.Writer) error {
 	var snap snapshot
 	for _, name := range tableNames {
 		t := s.Table(name)
-		t.mu.RLock()
-		ts := tableSnapshot{Schema: t.Schema(), NextID: t.nextID}
-		for _, id := range t.sortedIDsLocked() {
-			ts.Rows = append(ts.Rows, map[string]any(t.rows[id].clone()))
+		st := t.state.Load()
+		ts := tableSnapshot{Schema: t.Schema(), NextID: st.nextID}
+		for _, id := range st.sortedIDs() {
+			r, _ := st.rows.Get(id)
+			ts.Rows = append(ts.Rows, map[string]any(r.clone()))
 		}
-		t.mu.RUnlock()
 		snap.Tables = append(snap.Tables, ts)
 	}
 	for _, name := range linkNames {
@@ -80,21 +80,11 @@ func Restore(r io.Reader) (*Store, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.mu.Lock()
-			if _, dup := t.rows[id]; dup {
-				t.mu.Unlock()
-				return nil, fmt.Errorf("relstore: snapshot: duplicate id %d in %s", id, ts.Schema.Name)
+			if err := t.restoreRow(id, row); err != nil {
+				return nil, err
 			}
-			row["id"] = id
-			t.rows[id] = row
-			t.indexRowLocked(id, row)
-			t.mu.Unlock()
 		}
-		t.mu.Lock()
-		if ts.NextID > t.nextID {
-			t.nextID = ts.NextID
-		}
-		t.mu.Unlock()
+		t.restoreNextID(ts.NextID)
 	}
 	for _, ls := range snap.Links {
 		l, err := s.CreateLink(ls.Name, ls.Left, ls.Right)
@@ -106,6 +96,35 @@ func Restore(r io.Reader) (*Store, error) {
 		}
 	}
 	return s, nil
+}
+
+// restoreRow installs a row under an explicit id (snapshot replay only).
+func (t *Table) restoreRow(id int64, row Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state.Load()
+	if _, dup := st.rows.Get(id); dup {
+		return fmt.Errorf("relstore: snapshot: duplicate id %d in %s", id, t.schema.Name)
+	}
+	ns := st.clone()
+	row["id"] = id
+	ns.rows = ns.rows.Set(id, row)
+	ns.indexRow(id, row)
+	t.state.Store(ns)
+	return nil
+}
+
+// restoreNextID raises the id counter to at least n (snapshot replay only).
+func (t *Table) restoreNextID(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state.Load()
+	if n <= st.nextID {
+		return
+	}
+	ns := st.clone()
+	ns.nextID = n
+	t.state.Store(ns)
 }
 
 // rowFromJSON converts the generic JSON decoding of a row back into the

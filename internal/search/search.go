@@ -11,17 +11,23 @@ import (
 
 	"carcs/internal/material"
 	"carcs/internal/ontology"
+	"carcs/internal/pmap"
 	"carcs/internal/similarity"
 	"carcs/internal/textproc"
 )
 
 // Engine indexes a set of materials for querying. Add materials, then query;
-// the engine re-indexes incrementally on Add.
+// the engine re-indexes incrementally on Add. Internals are persistent, so
+// Snap produces a frozen copy in O(1) that shares structure with the live
+// engine; every read method works identically on a snapshot.
 type Engine struct {
 	cs13  *ontology.Ontology
 	pdc12 *ontology.Ontology
+	// mats is copy-on-write: Add of a new id may append in place, but any
+	// replacement or removal copies the slice, so a Snap taken earlier
+	// (which capped the slice) never observes mutation.
 	mats  []*material.Material
-	byID  map[string]*material.Material
+	byID  *pmap.Map[string, *material.Material]
 	index *textproc.Index
 	// positional enables exact-phrase and proximity queries.
 	positional *textproc.PositionalIndex
@@ -34,26 +40,41 @@ func NewEngine(cs13, pdc12 *ontology.Ontology) *Engine {
 	return &Engine{
 		cs13:       cs13,
 		pdc12:      pdc12,
-		byID:       make(map[string]*material.Material),
+		byID:       pmap.NewStrings[*material.Material](),
 		index:      textproc.NewIndex(),
 		positional: textproc.NewPositionalIndex(),
 		speller:    textproc.NewSpeller(),
 	}
 }
 
+// Snap returns an immutable snapshot of the engine at its current version.
+// The snapshot shares structure with the live engine; subsequent Add/Remove
+// calls on the live engine do not affect it.
+func (e *Engine) Snap() *Engine {
+	cp := *e
+	cp.mats = e.mats[:len(e.mats):len(e.mats)]
+	cp.index = e.index.Snap()
+	cp.positional = e.positional.Snap()
+	cp.speller = e.speller.Snap()
+	return &cp
+}
+
 // Add indexes a material; re-adding an ID replaces the previous version.
 func (e *Engine) Add(m *material.Material) {
-	if _, exists := e.byID[m.ID]; exists {
-		for i, old := range e.mats {
+	if _, exists := e.byID.Get(m.ID); exists {
+		next := make([]*material.Material, len(e.mats))
+		copy(next, e.mats)
+		for i, old := range next {
 			if old.ID == m.ID {
-				e.mats[i] = m
+				next[i] = m
 				break
 			}
 		}
+		e.mats = next
 	} else {
 		e.mats = append(e.mats, m)
 	}
-	e.byID[m.ID] = m
+	e.byID = e.byID.Set(m.ID, m)
 	e.index.Add(m.ID, m.SearchText())
 	e.positional.Add(m.ID, m.SearchText())
 	e.speller.Train(m.SearchText())
@@ -61,22 +82,23 @@ func (e *Engine) Add(m *material.Material) {
 
 // Remove drops a material from the engine.
 func (e *Engine) Remove(id string) {
-	if _, exists := e.byID[id]; !exists {
+	if _, exists := e.byID.Get(id); !exists {
 		return
 	}
-	delete(e.byID, id)
+	e.byID = e.byID.Delete(id)
 	e.index.Remove(id)
 	e.positional.Remove(id)
-	for i, m := range e.mats {
-		if m.ID == id {
-			e.mats = append(e.mats[:i], e.mats[i+1:]...)
-			break
+	next := make([]*material.Material, 0, len(e.mats)-1)
+	for _, m := range e.mats {
+		if m.ID != id {
+			next = append(next, m)
 		}
 	}
+	e.mats = next
 }
 
 // Get returns the indexed material with the given id, or nil.
-func (e *Engine) Get(id string) *material.Material { return e.byID[id] }
+func (e *Engine) Get(id string) *material.Material { return e.byID.GetOr(id, nil) }
 
 // Len returns the number of indexed materials.
 func (e *Engine) Len() int { return len(e.mats) }
@@ -217,7 +239,7 @@ func (e *Engine) Text(query string, k int, filters ...Filter) []Hit {
 	f := AllOf(filters...)
 	var out []Hit
 	for _, s := range e.index.Search(query, 0) {
-		m := e.byID[s.ID]
+		m := e.byID.GetOr(s.ID, nil)
 		if m == nil || !f(m) {
 			continue
 		}

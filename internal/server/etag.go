@@ -1,21 +1,39 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"strconv"
 	"strings"
+
+	"carcs/internal/core"
 )
 
-// The system's generation counter advances on every mutation and read
-// results are memoized per generation, so the generation doubles as a
-// perfect validator: a response computed at generation g stays byte-valid
-// until the next mutation. Read endpoints publish it as a strong ETag and
-// honor If-None-Match, letting clients (and the CLI polling coverage
-// dashboards) skip both the transfer and the server-side recompute.
+// The system publishes an immutable View per committed mutation, and read
+// results are memoized per generation, so the view's generation doubles as
+// a perfect validator: a response computed from the view pinned at
+// generation g stays byte-valid until the next mutation. Read endpoints
+// publish it as a strong ETag and honor If-None-Match, letting clients (and
+// the CLI polling coverage dashboards) skip both the transfer and the
+// server-side recompute.
 
-// etag returns the current generation as a quoted strong validator.
-func (s *Server) etag() string {
-	return `"` + strconv.FormatUint(s.sys.Generation(), 10) + `"`
+// viewCtxKey carries the request's pinned *core.View in its context.
+type viewCtxKey struct{}
+
+// view returns the View pinned for this request by withETag, or resolves
+// the current one for handlers outside the ETag middleware. Handlers must
+// call it once and reuse the result, so every read in a request observes
+// the same generation.
+func (s *Server) view(r *http.Request) *core.View {
+	if v, ok := r.Context().Value(viewCtxKey{}).(*core.View); ok {
+		return v
+	}
+	return s.sys.View()
+}
+
+// viewTag renders a view's generation as a quoted strong validator.
+func viewTag(v *core.View) string {
+	return `"` + strconv.FormatUint(v.Gen(), 10) + `"`
 }
 
 // etagMatch reports whether an If-None-Match header value matches the tag,
@@ -30,18 +48,23 @@ func etagMatch(header, tag string) bool {
 	return false
 }
 
-// withETag wraps a read handler with conditional-request support. The
-// generation is captured before the handler runs, so a mutation racing the
-// response can only make the published tag conservatively stale (the next
-// revalidation recomputes); it can never label old data with a new tag.
+// withETag wraps a read handler with conditional-request support. It
+// resolves the current view once, pins it in the request context, and
+// serves the view's generation as the ETag — so the validator, the 304
+// decision, and every read the handler performs all agree on one snapshot.
+// A commit racing the request only affects later requests: this one keeps
+// its pinned view, and the tag it published is exactly the generation its
+// body was computed from, so a 304 is never served for data older than the
+// client's validator.
 func (s *Server) withETag(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		tag := s.etag()
+		v := s.sys.View()
+		tag := viewTag(v)
 		w.Header().Set("ETag", tag)
 		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, tag) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		h(w, r)
+		h(w, r.WithContext(context.WithValue(r.Context(), viewCtxKey{}, v)))
 	}
 }

@@ -12,7 +12,7 @@ import (
 )
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sys.ComputeStats())
+	writeJSON(w, http.StatusOK, s.view(r).Stats())
 }
 
 // GET /api/materials?collection=&kind=&level=&language=&year_from=&year_to=&limit=&offset=
@@ -23,6 +23,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // either parameter the response is an envelope carrying the total count.
 func (s *Server) handleListMaterials(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
+	v := s.view(r)
+	yearFrom, err := intParam(q, "year_from", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	yearTo, err := intParam(q, "year_to", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	var filters []search.Filter
 	if c := q.Get("collection"); c != "" {
 		filters = append(filters, search.ByCollection(c))
@@ -36,21 +47,21 @@ func (s *Server) handleListMaterials(w http.ResponseWriter, r *http.Request) {
 	if lang := q.Get("language"); lang != "" {
 		filters = append(filters, search.ByLanguage(lang))
 	}
-	if from, to := atoiDefault(q.Get("year_from"), 0), atoiDefault(q.Get("year_to"), 0); from != 0 || to != 0 {
-		filters = append(filters, search.ByYearRange(from, to))
+	if yearFrom != 0 || yearTo != 0 {
+		filters = append(filters, search.ByYearRange(yearFrom, yearTo))
 	}
 	if entry := q.Get("entry"); entry != "" {
 		filters = append(filters, search.HasEntry(entry))
 	}
 	if subtree := q.Get("subtree"); subtree != "" {
-		o := s.sys.OntologyByName(q.Get("ontology"))
+		o := v.OntologyByName(q.Get("ontology"))
 		if o == nil {
 			writeError(w, http.StatusBadRequest, "subtree filter needs ontology=cs13|pdc12")
 			return
 		}
 		filters = append(filters, search.InSubtree(o, subtree))
 	}
-	mats := s.sys.Select(search.AllOf(filters...))
+	mats := v.Select(search.AllOf(filters...))
 	sort.Slice(mats, func(i, j int) bool { return mats[i].ID < mats[j].ID })
 	out := make([]materialJSON, 0, len(mats))
 	for _, m := range mats {
@@ -61,8 +72,16 @@ func (s *Server) handleListMaterials(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	total := len(out)
-	offset := atoiDefault(q.Get("offset"), 0)
-	limit := atoiDefault(q.Get("limit"), total)
+	offset, err := intParam(q, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit, err := intParam(q, "limit", total)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	if offset < 0 || limit < 0 {
 		writeError(w, http.StatusBadRequest, "limit and offset must be non-negative")
 		return
@@ -98,7 +117,7 @@ func (s *Server) handleCreateMaterial(w http.ResponseWriter, r *http.Request) {
 
 // GET /api/materials/{id}
 func (s *Server) handleGetMaterial(w http.ResponseWriter, r *http.Request) {
-	m := s.sys.Material(r.PathValue("id"))
+	m := s.view(r).Material(r.PathValue("id"))
 	if m == nil {
 		writeError(w, http.StatusNotFound, "no such material")
 		return
@@ -136,7 +155,12 @@ func (s *Server) handleReclassify(w http.ResponseWriter, r *http.Request) {
 
 // GET /api/materials/{id}/replacements?k=
 func (s *Server) handleReplacements(w http.ResponseWriter, r *http.Request) {
-	edges, err := s.sys.PDCReplacements(r.PathValue("id"), atoiDefault(r.URL.Query().Get("k"), 10))
+	k, err := intParam(r.URL.Query(), "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	edges, err := s.view(r).PDCReplacements(r.PathValue("id"), k)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -170,7 +194,11 @@ func (s *Server) handleOntologySearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing q")
 		return
 	}
-	k := atoiDefault(r.URL.Query().Get("k"), 20)
+	k, err := intParam(r.URL.Query(), "k", 20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	type hit struct {
 		ID          string  `json:"id"`
 		Path        string  `json:"path"`
@@ -221,7 +249,7 @@ func (s *Server) handleOntologyNode(w http.ResponseWriter, r *http.Request) {
 
 // GET /api/coverage?ontology=&collection=
 func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.sys.Coverage(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
+	rep, err := s.view(r).Coverage(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -242,7 +270,7 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 // GET /api/gaps?ontology=&collection=&core_only=
 func (s *Server) handleGaps(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	gaps, err := s.sys.GapReport(q.Get("ontology"), q.Get("collection"), q.Get("core_only") == "true")
+	gaps, err := s.view(r).GapReport(q.Get("ontology"), q.Get("collection"), q.Get("core_only") == "true")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -258,7 +286,12 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "need left= and right= collections")
 		return
 	}
-	g := s.sys.SimilarityGraph(left, right, atoiDefault(q.Get("threshold"), 2))
+	threshold, err := intParam(q, "threshold", 2)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g := s.view(r).SimilarityGraph(left, right, threshold)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes":           len(g.Nodes),
 		"edges":           g.Edges,
@@ -275,11 +308,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing q")
 		return
 	}
+	k, err := intParam(r.URL.Query(), "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	var filters []search.Filter
 	if c := r.URL.Query().Get("collection"); c != "" {
 		filters = append(filters, search.ByCollection(c))
 	}
-	hits, didYouMean := s.sys.SearchText(q, atoiDefault(r.URL.Query().Get("k"), 10), filters...)
+	hits, didYouMean := s.view(r).SearchText(q, k, filters...)
 	type hit struct {
 		Material materialJSON `json:"material"`
 		Score    float64      `json:"score"`
@@ -303,7 +341,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing q")
 		return
 	}
-	hits, err := s.sys.SearchQuery(q, atoiDefault(r.URL.Query().Get("k"), 20))
+	k, err := intParam(r.URL.Query(), "k", 20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hits, err := s.view(r).SearchQuery(q, k)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -326,7 +369,12 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing q")
 		return
 	}
-	sugg, err := s.sys.Suggest(q.Get("method"), q.Get("ontology"), q.Get("q"), atoiDefault(q.Get("k"), 10))
+	k, err := intParam(q, "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sugg, err := s.view(r).Suggest(q.Get("method"), q.Get("ontology"), q.Get("q"), k)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -341,7 +389,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing selected=")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sys.Recommend(selected, atoiDefault(r.URL.Query().Get("k"), 10)))
+	k, err := intParam(r.URL.Query(), "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(r).Recommend(selected, k))
 }
 
 // POST /api/accounts {"name": ..., "role": "user|submitter|editor"}
@@ -452,7 +505,7 @@ func highlightMark(label string, m ontology.Match) string {
 // GET /api/depth?ontology=&collection= — the Bloom-level depth report
 // (the Sec. IV-A proposed extension).
 func (s *Server) handleDepth(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.sys.DepthReport(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
+	rep, err := s.view(r).DepthReport(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "unknown ontology")
 		return
@@ -470,7 +523,7 @@ func (s *Server) handleDepth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="carcs-snapshot.json"`)
-	if err := s.sys.Snapshot(w); err != nil {
+	if err := s.view(r).Snapshot(w); err != nil {
 		s.log.Printf("snapshot: %v", err)
 	}
 }

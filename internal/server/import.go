@@ -22,8 +22,13 @@ import (
 // answers 503 with Retry-After — backpressure, not buffering.
 func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
+	workers, err := intParam(q, "workers", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	opt := ingest.Options{
-		Workers: atoiDefault(q.Get("workers"), 0),
+		Workers: workers,
 		Method:  q.Get("method"),
 		Retry:   jobs.DefaultRetry,
 	}

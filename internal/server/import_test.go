@@ -315,8 +315,12 @@ func TestImportScale10k(t *testing.T) {
 				select {
 				case <-stop:
 					return
-				default:
+				case <-time.After(5 * time.Millisecond):
 				}
+				// Reads no longer serialize against the committer, so pace
+				// them: an unthrottled loop recomputing coverage/similarity
+				// per generation would just burn the CPU the import needs,
+				// without exercising anything more.
 				req := httptest.NewRequest("GET", path, nil)
 				s.ServeHTTP(httptest.NewRecorder(), req)
 			}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -194,15 +195,21 @@ func (s *Server) requireRole(min workflow.Role, h http.HandlerFunc) http.Handler
 	}
 }
 
-func atoiDefault(s string, def int) int {
-	if s == "" {
-		return def
+// intParam parses an optional integer query parameter, returning def when
+// the parameter is absent or empty. A malformed value ("abc", "1.5") is an
+// error, which handlers surface as a 400 with the standard envelope —
+// silently falling back to the default would mask client bugs (a paginator
+// sending limit=abc would quietly receive the whole corpus).
+func intParam(q url.Values, name string, def int) (int, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return def, nil
 	}
-	n, err := strconv.Atoi(s)
+	n, err := strconv.Atoi(raw)
 	if err != nil {
-		return def
+		return 0, fmt.Errorf("parameter %q must be an integer, got %q", name, raw)
 	}
-	return n
+	return n, nil
 }
 
 // materialJSON is the wire form of a material.

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"carcs/internal/material"
+)
+
+func probeMaterial(id string) *material.Material {
+	return &material.Material{
+		ID: id, Title: strings.ToUpper(id), Kind: material.Assignment,
+		Level: material.CS1, Collection: "probe", Year: 2020,
+		Classifications: []material.Classification{
+			{NodeID: "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"},
+		},
+	}
+}
+
+// Tests for the view-pinned request path: malformed pagination parameters,
+// conditional requests across snapshot publishes, and the one-view-per-
+// request guarantee.
+
+func TestMalformedIntParamsReturn400(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []string{
+		"/api/materials?limit=abc",
+		"/api/materials?offset=abc",
+		"/api/materials?limit=12.5",
+		"/api/materials?year_from=twothousand",
+		"/api/search?q=x&k=many",
+		"/api/query?q=fire&k=1e3",
+		"/api/suggest?ontology=cs13&q=x&k=zz",
+		"/api/recommend?selected=x&k=nope",
+		"/api/materials/uno/replacements?k=zz",
+		"/api/similarity?left=nifty&right=peachy&threshold=abc",
+		"/api/import?workers=lots",
+		"/similarity?threshold=abc",
+	}
+	for _, path := range cases {
+		method := "GET"
+		user := ""
+		if strings.HasPrefix(path, "/api/import") {
+			method, user = "POST", "ed"
+		}
+		rec := do(t, s, method, path, user, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400: %s", path, rec.Code, rec.Body)
+			continue
+		}
+		if strings.HasPrefix(path, "/api/") {
+			body := decode[map[string]any](t, rec)
+			if msg, ok := body["error"].(string); !ok || msg == "" {
+				t.Errorf("%s: missing error envelope: %s", path, rec.Body)
+			}
+		}
+	}
+	// Well-formed and absent parameters still work; an empty value counts
+	// as absent.
+	for _, path := range []string{
+		"/api/materials?limit=5&offset=2",
+		"/api/materials?year_to=",
+		"/api/materials",
+	} {
+		if rec := do(t, s, "GET", path, "", nil); rec.Code != http.StatusOK {
+			t.Errorf("%s = %d, want 200: %s", path, rec.Code, rec.Body)
+		}
+	}
+}
+
+// TestNo304ForNewerValidator pins the conditional-request invariant across
+// snapshot publishes: a 304 is only ever served when the client's validator
+// matches the current view's generation exactly. A validator from a
+// different (older or even newer) generation gets a full 200 with the
+// current tag, so no client is left holding a body older than its validator
+// claims.
+func TestNo304ForNewerValidator(t *testing.T) {
+	s, sys := newTestServer(t)
+
+	rec := do(t, s, "GET", "/api/coverage?ontology=cs13", "", nil)
+	oldTag := rec.Header().Get("ETag")
+
+	mat := materialJSON{
+		ID: "publish-probe", Title: "Publish Probe", Kind: "assignment", Level: "CS1",
+		Classifications: []string{"acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"},
+	}
+	if rec := do(t, s, "POST", "/api/materials", "ed", mat); rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d: %s", rec.Code, rec.Body)
+	}
+
+	// Validator older than the current view: must recompute, not 304.
+	req := httptest.NewRequest("GET", "/api/coverage?ontology=cs13", nil)
+	req.Header.Set("If-None-Match", oldTag)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stale validator = %d, want 200", w.Code)
+	}
+	curTag := w.Header().Get("ETag")
+	if curTag == oldTag {
+		t.Fatalf("tag did not advance across publish: %q", curTag)
+	}
+
+	// Validator from a generation the server has not published (newer than
+	// current): must not 304 against it either.
+	future := `"` + strconv.FormatUint(sys.Generation()+1000, 10) + `"`
+	req = httptest.NewRequest("GET", "/api/coverage?ontology=cs13", nil)
+	req.Header.Set("If-None-Match", future)
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("future validator = %d, want 200", w.Code)
+	}
+	if got := w.Header().Get("ETag"); got != curTag {
+		t.Errorf("ETag %q, want current %q", got, curTag)
+	}
+
+	// Matching the current generation exactly revalidates.
+	req = httptest.NewRequest("GET", "/api/coverage?ontology=cs13", nil)
+	req.Header.Set("If-None-Match", curTag)
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusNotModified {
+		t.Errorf("current validator = %d, want 304", w.Code)
+	}
+}
+
+// TestRequestPinsOneView drives the ETag middleware directly with a handler
+// that resolves the view twice around a concurrent commit, asserting both
+// resolutions return the same pinned snapshot — the property that makes a
+// multi-read handler (list + count, report + rendering) internally
+// consistent.
+func TestRequestPinsOneView(t *testing.T) {
+	s, sys := newTestServer(t)
+
+	var gens [2]uint64
+	var lens [2]int
+	h := s.withETag(func(w http.ResponseWriter, r *http.Request) {
+		v1 := s.view(r)
+		gens[0], lens[0] = v1.Gen(), v1.Len()
+		// A commit lands between the handler's two reads.
+		if err := sys.AddMaterial(probeMaterial("mid-request")); err != nil {
+			t.Error(err)
+		}
+		v2 := s.view(r)
+		gens[1], lens[1] = v2.Gen(), v2.Len()
+		if v1 != v2 {
+			t.Error("second resolution returned a different view")
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	req := httptest.NewRequest("GET", "/probe", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if gens[0] != gens[1] || lens[0] != lens[1] {
+		t.Fatalf("request observed two generations: %v lens %v", gens, lens)
+	}
+	if tag := rec.Header().Get("ETag"); tag != `"`+strconv.FormatUint(gens[0], 10)+`"` {
+		t.Errorf("ETag %q does not match the pinned generation %d", tag, gens[0])
+	}
+	if cur := sys.View(); cur.Gen() <= gens[0] || cur.Len() != lens[0]+1 {
+		t.Errorf("commit not visible to later requests: gen %d len %d", cur.Gen(), cur.Len())
+	}
+}

@@ -61,7 +61,7 @@ or the <a href="/similarity?left=nifty&right=peachy">Nifty–Peachy similarity g
 
 func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	if err := homeTmpl.Execute(&b, s.sys.ComputeStats()); err != nil {
+	if err := homeTmpl.Execute(&b, s.view(r).Stats()); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -84,15 +84,16 @@ var materialsTmpl = template.Must(template.New("materials").Parse(`
 
 func (s *Server) handleMaterialsPage(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
+	v := s.view(r)
 	var hits []search.Hit
 	var errMsg string
 	if q == "" {
-		for _, m := range s.sys.Materials("") {
+		for _, m := range v.Materials("") {
 			hits = append(hits, search.Hit{Material: m})
 		}
 	} else {
 		var err error
-		hits, err = s.sys.SearchQuery(q, 200)
+		hits, err = v.SearchQuery(q, 200)
 		if err != nil {
 			errMsg = err.Error()
 		}
@@ -127,20 +128,21 @@ var materialTmpl = template.Must(template.New("material").Parse(`
 `))
 
 func (s *Server) handleMaterialPage(w http.ResponseWriter, r *http.Request) {
-	m := s.sys.Material(r.PathValue("id"))
+	v := s.view(r)
+	m := v.Material(r.PathValue("id"))
 	if m == nil {
 		http.NotFound(w, r)
 		return
 	}
 	var paths []string
 	for _, id := range m.ClassificationIDs() {
-		p := s.sys.CS13().Path(id)
+		p := v.CS13().Path(id)
 		if p == "" {
-			p = s.sys.PDC12().Path(id)
+			p = v.PDC12().Path(id)
 		}
 		paths = append(paths, p)
 	}
-	reps, _ := s.sys.PDCReplacements(m.ID, 5)
+	reps, _ := v.PDCReplacements(m.ID, 5)
 	var b strings.Builder
 	data := map[string]any{"M": m, "Paths": paths, "Replacements": reps}
 	if err := materialTmpl.Execute(&b, data); err != nil {
@@ -157,23 +159,24 @@ func (s *Server) handleCoveragePage(w http.ResponseWriter, r *http.Request) {
 	}
 	collection := r.URL.Query().Get("collection")
 	style := r.URL.Query().Get("style")
-	rep, err := s.sys.Coverage(ont, collection)
+	v := s.view(r)
+	rep, err := v.Coverage(ont, collection)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	// SVG rendering walks the whole ontology per node for intensity
 	// normalization, so the rendered markup is memoized alongside the
-	// report it is derived from.
+	// report it is derived from, keyed by the view's generation.
 	key := cache.Key("svg", "coverage", ont, collection, style)
-	v, _ := s.sys.ResultCache().Do(key, s.sys.Generation(), func() (any, error) {
+	res, _ := s.sys.ResultCache().Do(key, v.Gen(), func() (any, error) {
 		svg := viz.CoverageTreeSVG(rep, 2)
 		if style == "sunburst" {
 			svg = viz.CoverageSunburstSVG(rep, 3, 640)
 		}
 		return svg, nil
 	})
-	body := `<p>` + template.HTMLEscapeString(rep.String()) + `</p>` + v.(string)
+	body := `<p>` + template.HTMLEscapeString(rep.String()) + `</p>` + res.(string)
 	s.renderPage(w, "Coverage — "+rep.Collection, template.HTML(body)) //nolint:gosec // SVG built from escaped labels
 }
 
@@ -185,11 +188,16 @@ func (s *Server) handleSimilarityPage(w http.ResponseWriter, r *http.Request) {
 	if right == "" {
 		right = "peachy"
 	}
-	threshold := atoiDefault(r.URL.Query().Get("threshold"), 2)
+	threshold, err := intParam(r.URL.Query(), "threshold", 2)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v := s.view(r)
 	key := cache.Key("svg", "similarity", left, right, strconv.Itoa(threshold))
-	v, _ := s.sys.ResultCache().Do(key, s.sys.Generation(), func() (any, error) {
-		g := s.sys.SimilarityGraph(left, right, threshold)
+	res, _ := s.sys.ResultCache().Do(key, v.Gen(), func() (any, error) {
+		g := v.SimilarityGraph(left, right, threshold)
 		return viz.SimilaritySVG(g, 900, 700), nil
 	})
-	s.renderPage(w, "Similarity — "+left+" vs "+right, template.HTML(v.(string))) //nolint:gosec // SVG built from escaped labels
+	s.renderPage(w, "Similarity — "+left+" vs "+right, template.HTML(res.(string))) //nolint:gosec // SVG built from escaped labels
 }

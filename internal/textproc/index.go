@@ -3,59 +3,80 @@ package textproc
 import (
 	"math"
 	"sort"
+
+	"carcs/internal/pmap"
 )
 
 // Index is an inverted index from analyzed terms to document ids, with
 // per-document term frequencies. It backs the free-text search endpoint of
 // the reproduction's web service.
+//
+// The postings are persistent maps, so Snap captures an immutable snapshot
+// in O(1); mutations on the live index path-copy only the postings they
+// touch and never disturb a snapshot taken earlier.
 type Index struct {
-	postings map[string]map[string]int // term -> doc id -> tf
-	lengths  map[string]int            // doc id -> token count
+	postings *pmap.Map[string, *pmap.Map[string, int]] // term -> doc id -> tf
+	lengths  *pmap.Map[string, int]                    // doc id -> token count
 	n        int
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
-		postings: make(map[string]map[string]int),
-		lengths:  make(map[string]int),
+		postings: pmap.NewStrings[*pmap.Map[string, int]](),
+		lengths:  pmap.NewStrings[int](),
 	}
+}
+
+// Snap returns an immutable snapshot of the index: a frozen copy sharing
+// all structure with the receiver. Snapshots must not be mutated; reads on
+// them are safe concurrently with mutations of the live index.
+func (ix *Index) Snap() *Index {
+	cp := *ix
+	return &cp
 }
 
 // Add indexes text under the document id, replacing any previous content for
 // the same id.
 func (ix *Index) Add(id, text string) {
-	if _, ok := ix.lengths[id]; ok {
+	if _, ok := ix.lengths.Get(id); ok {
 		ix.Remove(id)
 	}
 	terms := Terms(text)
-	ix.lengths[id] = len(terms)
+	ix.lengths = ix.lengths.Set(id, len(terms))
 	ix.n++
+	// One document touches many terms; a transient builder copies each
+	// near-root trie node once for the whole batch instead of once per term.
+	b := ix.postings.Builder()
 	for t, tf := range CountTerms(terms) {
-		m := ix.postings[t]
-		if m == nil {
-			m = make(map[string]int)
-			ix.postings[t] = m
+		inner := b.GetOr(t, nil)
+		if inner == nil {
+			inner = pmap.NewStrings[int]()
 		}
-		m[id] = tf
+		b.Set(t, inner.Set(id, tf))
 	}
+	ix.postings = b.Map()
 }
 
 // Remove deletes a document from the index; unknown ids are a no-op.
 func (ix *Index) Remove(id string) {
-	if _, ok := ix.lengths[id]; !ok {
+	if _, ok := ix.lengths.Get(id); !ok {
 		return
 	}
-	delete(ix.lengths, id)
+	ix.lengths = ix.lengths.Delete(id)
 	ix.n--
-	for t, m := range ix.postings {
-		if _, ok := m[id]; ok {
-			delete(m, id)
-			if len(m) == 0 {
-				delete(ix.postings, t)
+	b := ix.postings.Builder()
+	ix.postings.Range(func(t string, inner *pmap.Map[string, int]) bool {
+		if _, ok := inner.Get(id); ok {
+			if next := inner.Delete(id); next.Len() == 0 {
+				b.Delete(t)
+			} else {
+				b.Set(t, next)
 			}
 		}
-	}
+		return true
+	})
+	ix.postings = b.Map()
 }
 
 // Len returns the number of indexed documents.
@@ -71,18 +92,19 @@ func (ix *Index) Search(query string, k int) []Scored {
 	}
 	scores := make(map[string]float64)
 	for qt, qtf := range CountTerms(qterms) {
-		m := ix.postings[qt]
-		if len(m) == 0 {
+		m := ix.postings.GetOr(qt, nil)
+		if m.Len() == 0 {
 			continue
 		}
-		idf := idfOf(ix.n, len(m))
-		for id, tf := range m {
-			norm := float64(ix.lengths[id])
+		idf := idfOf(ix.n, m.Len())
+		m.Range(func(id string, tf int) bool {
+			norm := float64(ix.lengths.GetOr(id, 0))
 			if norm == 0 {
 				norm = 1
 			}
 			scores[id] += float64(qtf) * idf * (1 + logf(tf)) / norm
-		}
+			return true
+		})
 	}
 	if len(scores) == 0 {
 		return nil
@@ -111,16 +133,17 @@ func (ix *Index) SearchAll(query string) []string {
 	}
 	var candidate map[string]bool
 	for _, qt := range qterms {
-		m := ix.postings[qt]
-		if len(m) == 0 {
+		m := ix.postings.GetOr(qt, nil)
+		if m.Len() == 0 {
 			return nil
 		}
-		next := make(map[string]bool, len(m))
-		for id := range m {
+		next := make(map[string]bool, m.Len())
+		m.Range(func(id string, _ int) bool {
 			if candidate == nil || candidate[id] {
 				next[id] = true
 			}
-		}
+			return true
+		})
 		candidate = next
 		if len(candidate) == 0 {
 			return nil

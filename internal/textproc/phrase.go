@@ -1,58 +1,92 @@
 package textproc
 
-import "sort"
+import (
+	"sort"
+
+	"carcs/internal/pmap"
+)
 
 // PositionalIndex is an inverted index that also records token positions,
 // enabling exact phrase queries ("monte carlo", "data race") on top of the
-// bag-of-words ranking the plain Index provides.
+// bag-of-words ranking the plain Index provides. Like Index, its postings
+// are persistent maps: Snap is O(1) and snapshots are immune to later
+// mutations. Stored position slices are written once at Add time and never
+// modified afterwards.
 type PositionalIndex struct {
-	postings map[string]map[string][]int // term -> doc -> sorted positions
-	docs     map[string]int              // doc -> analyzed length
+	postings *pmap.Map[string, *pmap.Map[string, []int]] // term -> doc -> sorted positions
+	docs     *pmap.Map[string, int]                      // doc -> analyzed length
 }
 
 // NewPositionalIndex returns an empty positional index.
 func NewPositionalIndex() *PositionalIndex {
 	return &PositionalIndex{
-		postings: make(map[string]map[string][]int),
-		docs:     make(map[string]int),
+		postings: pmap.NewStrings[*pmap.Map[string, []int]](),
+		docs:     pmap.NewStrings[int](),
 	}
+}
+
+// Snap returns an immutable snapshot sharing all structure with the
+// receiver; see Index.Snap.
+func (ix *PositionalIndex) Snap() *PositionalIndex {
+	cp := *ix
+	return &cp
 }
 
 // Add indexes text under id, replacing any previous content.
 func (ix *PositionalIndex) Add(id, text string) {
-	if _, ok := ix.docs[id]; ok {
+	if _, ok := ix.docs.Get(id); ok {
 		ix.Remove(id)
 	}
 	terms := Terms(text)
-	ix.docs[id] = len(terms)
+	ix.docs = ix.docs.Set(id, len(terms))
+	// Collect each term's positions fully before storing, so the slice in
+	// the index is never appended to after publication.
+	byTerm := make(map[string][]int)
 	for pos, t := range terms {
-		m := ix.postings[t]
-		if m == nil {
-			m = make(map[string][]int)
-			ix.postings[t] = m
-		}
-		m[id] = append(m[id], pos)
+		byTerm[t] = append(byTerm[t], pos)
 	}
+	b := ix.postings.Builder()
+	for t, positions := range byTerm {
+		inner := b.GetOr(t, nil)
+		if inner == nil {
+			inner = pmap.NewStrings[[]int]()
+		}
+		b.Set(t, inner.Set(id, positions))
+	}
+	ix.postings = b.Map()
 }
 
 // Remove drops a document.
 func (ix *PositionalIndex) Remove(id string) {
-	if _, ok := ix.docs[id]; !ok {
+	if _, ok := ix.docs.Get(id); !ok {
 		return
 	}
-	delete(ix.docs, id)
-	for t, m := range ix.postings {
-		if _, ok := m[id]; ok {
-			delete(m, id)
-			if len(m) == 0 {
-				delete(ix.postings, t)
+	ix.docs = ix.docs.Delete(id)
+	b := ix.postings.Builder()
+	ix.postings.Range(func(t string, inner *pmap.Map[string, []int]) bool {
+		if _, ok := inner.Get(id); ok {
+			if next := inner.Delete(id); next.Len() == 0 {
+				b.Delete(t)
+			} else {
+				b.Set(t, next)
 			}
 		}
-	}
+		return true
+	})
+	ix.postings = b.Map()
 }
 
 // Len returns the number of indexed documents.
-func (ix *PositionalIndex) Len() int { return len(ix.docs) }
+func (ix *PositionalIndex) Len() int { return ix.docs.Len() }
+
+// positionsOf returns the recorded positions of term in doc id.
+func (ix *PositionalIndex) positionsOf(term, id string) []int {
+	inner := ix.postings.GetOr(term, nil)
+	if inner == nil {
+		return nil
+	}
+	return inner.GetOr(id, nil)
+}
 
 // Phrase returns the sorted ids of documents containing the exact analyzed
 // phrase (stop words removed, terms stemmed — so "monte carlo methods"
@@ -63,29 +97,29 @@ func (ix *PositionalIndex) Phrase(phrase string) []string {
 		return nil
 	}
 	// Candidate docs must contain every term.
-	first := ix.postings[terms[0]]
-	if len(first) == 0 {
+	first := ix.postings.GetOr(terms[0], nil)
+	if first.Len() == 0 {
 		return nil
 	}
 	var out []string
-docs:
-	for id, basePositions := range first {
+	first.Range(func(id string, basePositions []int) bool {
 		// For each start position of the first term, check the rest
 		// follow consecutively.
 		for _, p := range basePositions {
 			ok := true
 			for off := 1; off < len(terms); off++ {
-				if !contains(ix.postings[terms[off]][id], p+off) {
+				if !contains(ix.positionsOf(terms[off], id), p+off) {
 					ok = false
 					break
 				}
 			}
 			if ok {
 				out = append(out, id)
-				continue docs
+				break
 			}
 		}
-	}
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -101,16 +135,19 @@ func (ix *PositionalIndex) Near(phrase string, window int) []string {
 	// Candidates: docs containing all terms.
 	candidate := map[string]bool{}
 	for i, t := range terms {
-		m := ix.postings[t]
-		if len(m) == 0 {
+		m := ix.postings.GetOr(t, nil)
+		if m.Len() == 0 {
 			return nil
 		}
 		next := map[string]bool{}
-		for id := range m {
-			if i == 0 || candidate[id] {
+		prev := candidate
+		first := i == 0
+		m.Range(func(id string, _ []int) bool {
+			if first || prev[id] {
 				next[id] = true
 			}
-		}
+			return true
+		})
 		candidate = next
 	}
 	var out []string
@@ -119,7 +156,7 @@ func (ix *PositionalIndex) Near(phrase string, window int) []string {
 		type tagged struct{ pos, term int }
 		var all []tagged
 		for ti, t := range terms {
-			for _, p := range ix.postings[t][id] {
+			for _, p := range ix.positionsOf(t, id) {
 				all = append(all, tagged{p, ti})
 			}
 		}

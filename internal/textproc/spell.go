@@ -1,30 +1,60 @@
 package textproc
 
-import "sort"
+import (
+	"sort"
+
+	"carcs/internal/pmap"
+)
 
 // Speller suggests corrections for misspelled query terms against a learned
 // vocabulary — the "did you mean" assist for free-text search, so "paralell
-// sortng" still finds the parallel sorting materials.
+// sortng" still finds the parallel sorting materials. The vocabulary is a
+// persistent map, so Snap captures an immutable snapshot in O(1).
 type Speller struct {
 	// freq counts how often each analyzed term occurred in training text.
-	freq map[string]int
+	freq *pmap.Map[string, int]
 }
 
 // NewSpeller returns an empty speller.
 func NewSpeller() *Speller {
-	return &Speller{freq: make(map[string]int)}
+	return &Speller{freq: pmap.NewStrings[int]()}
+}
+
+// Snap returns an immutable snapshot sharing the vocabulary with the
+// receiver; see Index.Snap.
+func (s *Speller) Snap() *Speller {
+	cp := *s
+	return &cp
 }
 
 // Train adds the analyzed terms of the text to the vocabulary.
 func (s *Speller) Train(text string) {
+	b := s.freq.Builder()
 	for _, t := range Terms(text) {
-		s.freq[t]++
+		b.Set(t, b.GetOr(t, 0)+1)
 	}
+	s.freq = b.Map()
+}
+
+// Forget removes one training occurrence of each analyzed term of the text,
+// dropping terms whose count reaches zero. Passing exactly the text that
+// was trained undoes that training.
+func (s *Speller) Forget(text string) {
+	b := s.freq.Builder()
+	for _, t := range Terms(text) {
+		switch f := b.GetOr(t, 0); {
+		case f > 1:
+			b.Set(t, f-1)
+		case f == 1:
+			b.Delete(t)
+		}
+	}
+	s.freq = b.Map()
 }
 
 // Known reports whether the analyzed form of the word is in the vocabulary.
 func (s *Speller) Known(word string) bool {
-	return s.freq[Stem(word)] > 0
+	return s.freq.GetOr(Stem(word), 0) > 0
 }
 
 // Correct returns the most frequent vocabulary term within edit distance
@@ -32,27 +62,29 @@ func (s *Speller) Known(word string) bool {
 // itself is returned unchanged when already known.
 func (s *Speller) Correct(word string, maxDist int) string {
 	w := Stem(word)
-	if s.freq[w] > 0 {
+	if s.freq.GetOr(w, 0) > 0 {
 		return w
 	}
 	best, bestFreq, bestDist := "", 0, maxDist+1
-	for v, f := range s.freq {
+	s.freq.Range(func(v string, f int) bool {
 		// Cheap length bound before the DP.
 		d := len(v) - len(w)
 		if d < 0 {
 			d = -d
 		}
 		if d > maxDist {
-			continue
+			return true
 		}
 		dist := editDistance(w, v, maxDist)
 		if dist > maxDist {
-			continue
+			return true
 		}
-		if dist < bestDist || (dist == bestDist && f > bestFreq) {
+		if dist < bestDist || (dist == bestDist && f > bestFreq) ||
+			(dist == bestDist && f == bestFreq && (best == "" || v < best)) {
 			best, bestFreq, bestDist = v, f, dist
 		}
-	}
+		return true
+	})
 	return best
 }
 
@@ -82,13 +114,15 @@ func (s *Speller) CorrectQuery(query string, maxDist int) (string, bool) {
 // Vocabulary returns the terms sorted by descending frequency then
 // alphabetically; mostly for diagnostics and tests.
 func (s *Speller) Vocabulary() []string {
-	out := make([]string, 0, len(s.freq))
-	for t := range s.freq {
+	out := make([]string, 0, s.freq.Len())
+	s.freq.Range(func(t string, _ int) bool {
 		out = append(out, t)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
-		if s.freq[out[i]] != s.freq[out[j]] {
-			return s.freq[out[i]] > s.freq[out[j]]
+		fi, fj := s.freq.GetOr(out[i], 0), s.freq.GetOr(out[j], 0)
+		if fi != fj {
+			return fi > fj
 		}
 		return out[i] < out[j]
 	})

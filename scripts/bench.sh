@@ -11,10 +11,12 @@
 #
 # The JSON shape is one object per benchmark:
 #   {"name": ..., "runs": N, "ns_per_op": ..., "bytes_per_op": ...,
-#    "allocs_per_op": ..., "mat_per_sec": ...}
+#    "allocs_per_op": ..., "mat_per_sec": ..., "reads_per_sec": ...}
 # plus an "env" header recording Go version, GOMAXPROCS, and the host CPU.
-# mat_per_sec appears on the ingest-throughput benchmarks, which report a
-# custom materials/sec metric.
+# mat_per_sec appears on the ingest-throughput benchmarks and reads_per_sec
+# on the read-under-ingest benchmark, which report custom metrics. Set
+# BENCH_NOTE to embed a free-form annotation (e.g. the baseline being
+# compared against) in the env header.
 set -eu
 
 out=${1:-BENCH_1.json}
@@ -29,7 +31,7 @@ go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$c
 
 # Fold the raw output into JSON. Multiple -count samples of one benchmark
 # are averaged; the -N name suffix is GOMAXPROCS at run time.
-awk -v goversion="$(go version | awk '{print $3}')" '
+awk -v goversion="$(go version | awk '{print $3}')" -v note="${BENCH_NOTE:-}" '
 BEGIN { n = 0; maxprocs = 1 }
 /^Benchmark/ {
     name = $1
@@ -46,17 +48,21 @@ BEGIN { n = 0; maxprocs = 1 }
         if ($(f+1) == "B/op")      bytes[i] += $f
         if ($(f+1) == "allocs/op") allocs[i] += $f
         if ($(f+1) == "mat/s")     matps[i] += $f
+        if ($(f+1) == "reads/s")   readps[i] += $f
     }
 }
 /^cpu:/ { cpu = substr($0, 6); gsub(/^[ \t]+/, "", cpu); gsub(/"/, "", cpu) }
 END {
-    printf "{\n  \"env\": {\"go\": \"%s\", \"gomaxprocs\": %d, \"cpu\": \"%s\"},\n", goversion, maxprocs, cpu
+    printf "{\n  \"env\": {\"go\": \"%s\", \"gomaxprocs\": %d, \"cpu\": \"%s\"", goversion, maxprocs, cpu
+    if (note != "") printf ", \"note\": \"%s\"", note
+    printf "},\n"
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.1f", names[i], runs[i], ns[i] / samples[i]
         if (bytes[i] > 0)  printf ", \"bytes_per_op\": %.1f", bytes[i] / samples[i]
         if (allocs[i] > 0) printf ", \"allocs_per_op\": %.1f", allocs[i] / samples[i]
         if (matps[i] > 0)  printf ", \"mat_per_sec\": %.1f", matps[i] / samples[i]
+        if (readps[i] > 0) printf ", \"reads_per_sec\": %.1f", readps[i] / samples[i]
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  ]\n}\n"
