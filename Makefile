@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check figures bench bench-smoke clean
+.PHONY: all build test race vet fmt check chaos figures bench bench-smoke clean
 
 all: check
 
@@ -22,6 +22,13 @@ fmt:
 
 check:
 	./scripts/check.sh
+
+# Fault-injection chaos drill: severed journal under mixed traffic, 4x
+# saturation goodput, breaker trip/probe/recovery. Race-enabled.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestOverload|TestWriteBreakerLifecycle' \
+		./internal/server/ ./internal/core/
 
 figures:
 	$(GO) run ./cmd/figures

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"carcs/internal/core"
+	"carcs/internal/resilience"
 	"carcs/internal/server"
 	"carcs/internal/workflow"
 )
@@ -44,14 +45,35 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "background checkpoint interval when -data is set")
 	pprofOn := flag.Bool("pprof", false, "serve profiling handlers under /debug/pprof/")
+	limitInitial := flag.Int("limit-initial", 0, "starting concurrency limit (0 = default)")
+	limitMax := flag.Int("limit-max", 0, "concurrency limit ceiling (0 = default)")
+	latencyTarget := flag.Duration("latency-target", 0, "service-latency setpoint for the adaptive limiter (0 = default)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = disabled)")
+	rateBurst := flag.Float64("rate-burst", 0, "per-client burst allowance when -rate-limit is set (0 = default)")
+	staleGens := flag.Uint64("stale-generations", 1, "how many generations behind a shed read may serve from cache (0 = never serve stale)")
 	flag.Parse()
 
-	if err := run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn); err != nil {
+	res := server.ResilienceConfig{
+		Limiter: resilience.LimiterConfig{
+			Initial:       *limitInitial,
+			Max:           *limitMax,
+			LatencyTarget: *latencyTarget,
+		},
+		StaleGenerations: *staleGens,
+	}
+	if *rateLimit > 0 {
+		res.RateLimit = &resilience.RateLimiterConfig{
+			RatePerSecond: *rateLimit,
+			Burst:         *rateBurst,
+		}
+	}
+
+	if err := run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn, res); err != nil {
 		log.Fatalf("carcs-server: %v", err)
 	}
 }
 
-func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprofOn bool) error {
+func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprofOn bool, res server.ResilienceConfig) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -74,6 +96,7 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprof
 	sys.Workflow().Register("submitter", workflow.RoleSubmitter)
 
 	srv := server.New(sys, os.Stderr)
+	srv.SetResilience(res)
 	if pprofOn {
 		srv.EnablePprof()
 		fmt.Println("carcs-server: profiling enabled at /debug/pprof/")

@@ -37,6 +37,7 @@ type Cache struct {
 
 	hits      uint64
 	misses    uint64
+	staleHits uint64
 	evictions uint64
 	lastInval uint64 // generation that most recently evicted a stale entry
 }
@@ -126,6 +127,34 @@ func (c *Cache) Do(key string, gen uint64, compute func() (any, error)) (any, er
 	return cl.val, cl.err
 }
 
+// Put stores a value computed outside the cache's own compute path — the
+// HTTP layer uses it to memoize whole rendered responses for stale serving.
+// The usual generation rules apply: an existing entry under a newer
+// generation is kept, and capacity eviction may drop other entries.
+func (c *Cache) Put(key string, gen uint64, val any) {
+	c.mu.Lock()
+	c.storeLocked(key, gen, val)
+	c.mu.Unlock()
+}
+
+// Stale returns the cached value for key if its generation is no more than
+// maxBehind generations older than gen (an exact-generation entry also
+// qualifies — "at most this stale" includes fresh). This is the degraded
+// read path: when the service is shedding load, a slightly-stale answer
+// beats a 503 for the browse/compare queries the paper's use cases are
+// built on. The entry's generation is returned so the caller can label the
+// response (ETag, staleness header).
+func (c *Cache) Stale(key string, gen uint64, maxBehind uint64) (val any, entryGen uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.entries[key]
+	if !found || e.gen > gen || gen-e.gen > maxBehind {
+		return nil, 0, false
+	}
+	c.staleHits++
+	return e.val, e.gen, true
+}
+
 // storeLocked inserts a value, evicting to stay under capacity: entries
 // from older generations go first (they can never be served again), then
 // arbitrary ones. An existing entry under a newer generation is kept.
@@ -179,6 +208,9 @@ type Stats struct {
 	// Hits and Misses count Do calls served from / past the cache.
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
+	// StaleHits counts Stale lookups that served an older-generation
+	// entry while the service degraded under load.
+	StaleHits uint64 `json:"stale_hits"`
 	// Evictions counts entries dropped, whether by generation change or
 	// capacity pressure.
 	Evictions uint64 `json:"evictions"`
@@ -197,6 +229,7 @@ func (c *Cache) Stats() Stats {
 		Entries:             len(c.entries),
 		Hits:                c.hits,
 		Misses:              c.misses,
+		StaleHits:           c.staleHits,
 		Evictions:           c.evictions,
 		LastInvalidationGen: c.lastInval,
 	}

@@ -1,0 +1,44 @@
+package cache
+
+import "testing"
+
+func TestPutAndStale(t *testing.T) {
+	c := New(0)
+	c.Put("k", 5, "v5")
+
+	// Fresh lookups count as (maximally un-)stale hits too.
+	if v, g, ok := c.Stale("k", 5, 0); !ok || v != "v5" || g != 5 {
+		t.Fatalf("Stale exact = (%v, %d, %v)", v, g, ok)
+	}
+	// One generation behind, allowed.
+	if v, g, ok := c.Stale("k", 6, 1); !ok || v != "v5" || g != 5 {
+		t.Fatalf("Stale one-behind = (%v, %d, %v)", v, g, ok)
+	}
+	// Too far behind.
+	if _, _, ok := c.Stale("k", 7, 1); ok {
+		t.Fatal("Stale served an entry 2 generations behind maxBehind 1")
+	}
+	// An entry from the FUTURE of the requested generation must never
+	// serve: the reader's pinned view predates it.
+	if _, _, ok := c.Stale("k", 4, 10); ok {
+		t.Fatal("Stale served a newer-generation entry")
+	}
+	// Unknown key.
+	if _, _, ok := c.Stale("missing", 5, 10); ok {
+		t.Fatal("Stale served a missing key")
+	}
+
+	st := c.Stats()
+	if st.StaleHits != 2 {
+		t.Fatalf("StaleHits = %d, want 2", st.StaleHits)
+	}
+}
+
+func TestPutRespectsNewerGeneration(t *testing.T) {
+	c := New(0)
+	c.Put("k", 10, "new")
+	c.Put("k", 9, "old") // must not clobber the newer entry
+	if v, g, ok := c.Stale("k", 10, 0); !ok || v != "new" || g != 10 {
+		t.Fatalf("entry = (%v, %d, %v), want new@10", v, g, ok)
+	}
+}

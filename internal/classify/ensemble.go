@@ -1,6 +1,9 @@
 package classify
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // Ensemble combines several suggesters with reciprocal-rank fusion: each
 // member votes for entries by rank, and entries accumulate 1/(k0 + rank)
@@ -36,6 +39,13 @@ func (e *Ensemble) Name() string {
 
 // Suggest implements Suggester via reciprocal-rank fusion.
 func (e *Ensemble) Suggest(text string, k int) []Suggestion {
+	out, _ := e.SuggestCtx(context.Background(), text, k)
+	return out
+}
+
+// SuggestCtx is Suggest with a cancellation check between members, so a
+// shed or timed-out request pays for at most one member's scoring pass.
+func (e *Ensemble) SuggestCtx(ctx context.Context, text string, k int) ([]Suggestion, error) {
 	pool := e.Pool
 	if pool <= 0 {
 		pool = 3 * k
@@ -50,6 +60,9 @@ func (e *Ensemble) Suggest(text string, k int) []Suggestion {
 	scores := make(map[string]float64)
 	paths := make(map[string]string)
 	for _, m := range e.members {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for rank, sg := range m.Suggest(text, pool) {
 			scores[sg.NodeID] += 1 / (k0 + float64(rank+1))
 			paths[sg.NodeID] = sg.Path
@@ -68,5 +81,5 @@ func (e *Ensemble) Suggest(text string, k int) []Suggestion {
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }

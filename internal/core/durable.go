@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -11,8 +12,16 @@ import (
 	"carcs/internal/journal"
 	"carcs/internal/material"
 	"carcs/internal/relstore"
+	"carcs/internal/resilience"
 	"carcs/internal/workflow"
 )
+
+// ErrWritesUnavailable wraps every mutation-hook failure once the journal is
+// unhealthy: either an append just failed, or the circuit breaker is open
+// and fast-failing writes while the disk cools down. The read path is
+// unaffected — snapshot views keep serving. The HTTP layer maps this to 503
+// with a Retry-After.
+var ErrWritesUnavailable = errors.New("core: writes unavailable, journal degraded")
 
 // Journal op names for system mutations.
 const (
@@ -50,14 +59,18 @@ type DurableOptions struct {
 	// WrapWAL passes through to the journal store; fault-injection tests
 	// use it to sever the log mid-record.
 	WrapWAL func(journal.WriteSyncer) journal.WriteSyncer
+	// Breaker tunes the write-path circuit breaker; zero values take the
+	// resilience package defaults (5 consecutive failures, 5s cooldown).
+	Breaker resilience.BreakerConfig
 }
 
 // Persister ties a System to a journal directory: it owns the write-ahead
 // log the system's mutation hooks append to, takes checkpoints (on demand,
 // on a timer, and on Close), and reports durability health.
 type Persister struct {
-	sys *System
-	st  *journal.Store
+	sys     *System
+	st      *journal.Store
+	breaker *resilience.Breaker
 
 	mu     sync.Mutex
 	ticker *time.Ticker
@@ -106,7 +119,7 @@ func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
 		st.Close()
 		return nil, nil, err
 	}
-	p := &Persister{sys: sys, st: st}
+	p := &Persister{sys: sys, st: st, breaker: resilience.NewBreaker(opts.Breaker)}
 	if !haveCheckpoint {
 		// Pin the initial (possibly seeded) state so later opens never
 		// depend on the Seed flag being passed consistently.
@@ -115,14 +128,39 @@ func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
 			return nil, nil, err
 		}
 	}
-	hook := func(op string, data any) error {
-		_, err := st.Append(op, data)
-		return err
-	}
-	sys.SetMutationHook(hook)
-	sys.queue.SetHook(workflow.Hook(hook))
+	sys.SetMutationHook(p.journalHook)
+	sys.queue.SetHook(workflow.Hook(p.journalHook))
 	return sys, p, nil
 }
+
+// journalHook is the durability gate every mutation passes through, wrapped
+// in the write-path circuit breaker. While the breaker is open, writes
+// fast-fail without touching the sick journal; once the cooldown elapses, a
+// single half-open probe first repairs the log (Recover truncates any torn
+// or unacknowledged tail and reopens the writer) and then attempts its
+// append — success closes the breaker, failure re-opens it.
+func (p *Persister) journalHook(op string, data any) error {
+	probe, err := p.breaker.Acquire()
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrWritesUnavailable, err)
+	}
+	if probe {
+		if rerr := p.st.Recover(); rerr != nil {
+			p.breaker.Record(rerr)
+			return fmt.Errorf("%w: %w", ErrWritesUnavailable, rerr)
+		}
+	}
+	_, aerr := p.st.Append(op, data)
+	p.breaker.Record(aerr)
+	if aerr != nil {
+		return fmt.Errorf("%w: %w", ErrWritesUnavailable, aerr)
+	}
+	return nil
+}
+
+// Breaker exposes the write-path circuit breaker so the HTTP layer can
+// fast-fail writes, report readiness, and serve breaker stats.
+func (p *Persister) Breaker() *resilience.Breaker { return p.breaker }
 
 func restoreCheckpoint(payload []byte) (*System, error) {
 	var doc checkpointDoc

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -103,22 +105,52 @@ func (v *View) SearchQuery(q string, k int) ([]search.Hit, error) {
 	return v.eng.Query(q, k)
 }
 
+// doCached memoizes compute under (key, generation) like results.Do, with
+// one extra rule for cancellation: concurrent requests for the same key
+// share one in-flight computation, so when the request that happened to own
+// the flight gets cancelled, every waiter sees its context error. A caller
+// whose own ctx is still healthy retries instead of failing — without this,
+// one impatient client could fail an unbounded number of healthy ones.
+func (v *View) doCached(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+	var res any
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err = v.sys.results.Do(key, v.gen, compute)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return res, err
+}
+
 // Coverage computes the Figure 2 report of a collection (empty for all
 // materials) against the named ontology ("cs13" or "pdc12"), memoized per
 // generation in the shared result cache.
 func (v *View) Coverage(ontologyName, collection string) (*coverage.Report, error) {
+	return v.CoverageCtx(context.Background(), ontologyName, collection)
+}
+
+// CoverageCtx is Coverage with cooperative cancellation threaded into the
+// sharded scan, so a shed or timed-out request stops computing promptly.
+func (v *View) CoverageCtx(ctx context.Context, ontologyName, collection string) (*coverage.Report, error) {
 	o := v.sys.OntologyByName(ontologyName)
 	if o == nil {
 		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
 	}
 	key := cache.Key("coverage", v.sys.ontologyKey(o), collection)
-	res, err := v.sys.results.Do(key, v.gen, func() (any, error) {
+	res, err := v.doCached(ctx, key, func() (any, error) {
 		mats := v.Materials(collection)
 		label := collection
 		if label == "" {
 			label = "all materials"
 		}
-		return coverage.Compute(o, label, mats), nil
+		return coverage.ComputeCtx(ctx, o, label, mats)
 	})
 	if err != nil {
 		return nil, err
@@ -147,12 +179,18 @@ func (v *View) DepthReport(ontologyName, collection string) (*coverage.DepthRepo
 // an ontology, optionally restricted to core-tier gaps, memoized per
 // generation on top of the (also memoized) coverage report.
 func (v *View) GapReport(ontologyName, collection string, coreOnly bool) ([]coverage.Gap, error) {
-	rep, err := v.Coverage(ontologyName, collection)
+	return v.GapReportCtx(context.Background(), ontologyName, collection, coreOnly)
+}
+
+// GapReportCtx is GapReport with cooperative cancellation threaded into the
+// underlying coverage scan.
+func (v *View) GapReportCtx(ctx context.Context, ontologyName, collection string, coreOnly bool) ([]coverage.Gap, error) {
+	rep, err := v.CoverageCtx(ctx, ontologyName, collection)
 	if err != nil {
 		return nil, err
 	}
 	key := cache.Key("gaps", v.sys.ontologyKey(rep.Ontology), collection, strconv.FormatBool(coreOnly))
-	res, err := v.sys.results.Do(key, v.gen, func() (any, error) {
+	res, err := v.doCached(ctx, key, func() (any, error) {
 		if coreOnly {
 			return rep.CoreGaps(rep.Ontology.RootID()), nil
 		}
@@ -168,13 +206,31 @@ func (v *View) GapReport(ontologyName, collection string, coreOnly bool) ([]cove
 // collections with the paper's shared-count metric at the given threshold
 // (2 in the paper), memoized per generation.
 func (v *View) SimilarityGraph(leftCollection, rightCollection string, threshold int) *similarity.Graph {
+	g, err := v.SimilarityGraphCtx(context.Background(), leftCollection, rightCollection, threshold)
+	if err != nil {
+		// Only reachable if the shared flight was poisoned by cancelled
+		// peers three times in a row; compute uncached rather than fail a
+		// caller that has no error path.
+		g, _ = similarity.BuildBipartiteCtx(context.Background(),
+			v.Materials(leftCollection), v.Materials(rightCollection),
+			similarity.SharedCount, float64(threshold))
+	}
+	return g
+}
+
+// SimilarityGraphCtx is SimilarityGraph with cooperative cancellation
+// threaded into the sharded pair scoring.
+func (v *View) SimilarityGraphCtx(ctx context.Context, leftCollection, rightCollection string, threshold int) (*similarity.Graph, error) {
 	key := cache.Key("similarity", leftCollection, rightCollection, strconv.Itoa(threshold))
-	res, _ := v.sys.results.Do(key, v.gen, func() (any, error) {
+	res, err := v.doCached(ctx, key, func() (any, error) {
 		left := v.Materials(leftCollection)
 		right := v.Materials(rightCollection)
-		return similarity.BuildBipartite(left, right, similarity.SharedCount, float64(threshold)), nil
+		return similarity.BuildBipartiteCtx(ctx, left, right, similarity.SharedCount, float64(threshold))
 	})
-	return res.(*similarity.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*similarity.Graph), nil
 }
 
 // Suggest proposes classification entries for free text against the named
@@ -182,6 +238,12 @@ func (v *View) SimilarityGraph(leftCollection, rightCollection string, threshold
 // "ensemble"), over the models pinned in this view. Results are memoized
 // per (query, generation).
 func (v *View) Suggest(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
+	return v.SuggestCtx(context.Background(), method, ontologyName, text, k)
+}
+
+// SuggestCtx is Suggest with a cancellation check between ensemble members,
+// so a shed or timed-out request pays for at most one engine's pass.
+func (v *View) SuggestCtx(ctx context.Context, method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
 	o := v.sys.OntologyByName(ontologyName)
 	if o == nil {
 		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
@@ -192,8 +254,8 @@ func (v *View) Suggest(method, ontologyName, text string, k int) ([]classify.Sug
 		return nil, fmt.Errorf("core: unknown suggester %q", method)
 	}
 	key := cache.Key("suggest", method, v.sys.ontologyKey(o), strconv.Itoa(k), text)
-	res, err := v.sys.results.Do(key, v.gen, func() (any, error) {
-		return v.suggest(method, o, text, k), nil
+	res, err := v.doCached(ctx, key, func() (any, error) {
+		return v.suggestCtx(ctx, method, o, text, k)
 	})
 	if err != nil {
 		return nil, err
@@ -222,17 +284,22 @@ func (v *View) SuggestDirect(method, ontologyName, text string, k int) ([]classi
 // (built once at system construction, read-only); the Bayes models are this
 // view's frozen snapshots, so no locking is needed anywhere.
 func (v *View) suggest(method string, o *ontology.Ontology, text string, k int) []classify.Suggestion {
+	out, _ := v.suggestCtx(context.Background(), method, o, text, k)
+	return out
+}
+
+func (v *View) suggestCtx(ctx context.Context, method string, o *ontology.Ontology, text string, k int) ([]classify.Suggestion, error) {
 	sg := v.sys.sug[o]
 	switch method {
 	case "", "tfidf":
-		return sg.tfidf.Suggest(text, k)
+		return sg.tfidf.Suggest(text, k), nil
 	case "keyword":
-		return sg.keyword.Suggest(text, k)
+		return sg.keyword.Suggest(text, k), nil
 	case "bayes":
-		return v.bayes[o].Suggest(text, k)
+		return v.bayes[o].Suggest(text, k), nil
 	default: // ensemble
 		ens := classify.NewEnsemble(v.bayes[o], sg.keyword, sg.tfidf)
-		return ens.Suggest(text, k)
+		return ens.SuggestCtx(ctx, text, k)
 	}
 }
 

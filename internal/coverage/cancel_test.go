@@ -1,0 +1,37 @@
+package coverage
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"carcs/internal/corpus"
+	"carcs/internal/ontology"
+)
+
+func TestComputeCtxCancelledReturnsPromptly(t *testing.T) {
+	mats := corpus.Synthetic(corpus.SyntheticOptions{N: 20000, Seed: 3}).All()
+	o := ontology.CS13()
+
+	// Sanity: the healthy path still works on the same corpus.
+	if _, err := ComputeCtx(context.Background(), o, "x", mats); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rep, err := ComputeCtx(ctx, o, "x", mats)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatal("cancelled compute returned a report")
+	}
+	// A 20k-material scan takes far longer than the bail-out path; the
+	// bound is generous to absorb CI scheduling noise.
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("cancelled compute took %v, want prompt return", d)
+	}
+}

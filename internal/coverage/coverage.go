@@ -18,6 +18,7 @@
 package coverage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,13 +59,27 @@ type Report struct {
 // are merged; the result is identical to the sequential scan for any worker
 // count.
 func Compute(o *ontology.Ontology, label string, mats []*material.Material) *Report {
-	return computeWith(o, label, mats, shardPlan(len(mats)))
+	r, _ := ComputeCtx(context.Background(), o, label, mats)
+	return r
+}
+
+// ComputeCtx is Compute with cooperative cancellation: each worker checks
+// the context at shard boundaries and every cancelCheckEvery materials
+// within a shard, so a shed or timed-out request stops burning CPU within
+// a bounded slice of work instead of scanning the whole corpus.
+func ComputeCtx(ctx context.Context, o *ontology.Ontology, label string, mats []*material.Material) (*Report, error) {
+	return computeWithCtx(ctx, o, label, mats, shardPlan(len(mats)))
 }
 
 // computeWith runs the scan over explicit shard boundaries (bounds[i] to
 // bounds[i+1] per shard); Compute picks boundaries from GOMAXPROCS, tests
 // force them to cover the merge path on any machine.
 func computeWith(o *ontology.Ontology, label string, mats []*material.Material, bounds []int) *Report {
+	r, _ := computeWithCtx(context.Background(), o, label, mats, bounds)
+	return r
+}
+
+func computeWithCtx(ctx context.Context, o *ontology.Ontology, label string, mats []*material.Material, bounds []int) (*Report, error) {
 	r := &Report{
 		Ontology:   o,
 		Collection: label,
@@ -77,17 +92,27 @@ func computeWith(o *ontology.Ontology, label string, mats []*material.Material, 
 	n := len(ix.ids)
 	parts := make([]partialReport, len(bounds)-1)
 	if len(parts) == 1 {
-		parts[0] = computeShard(ix, mats)
+		var err error
+		parts[0], err = computeShard(ctx, ix, mats)
+		if err != nil {
+			return nil, err
+		}
 	} else {
+		errs := make([]error, len(parts))
 		var wg sync.WaitGroup
 		for si := range parts {
 			wg.Add(1)
 			go func(si int) {
 				defer wg.Done()
-				parts[si] = computeShard(ix, mats[bounds[si]:bounds[si+1]])
+				parts[si], errs[si] = computeShard(ctx, ix, mats[bounds[si]:bounds[si+1]])
 			}(si)
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	direct := make([]int, n)
 	pairs := make([]int, n)
@@ -112,12 +137,17 @@ func computeWith(o *ontology.Ontology, label string, mats []*material.Material, 
 			r.Subtree[ix.ids[i]] = subtree[i]
 		}
 	}
-	return r
+	return r, nil
 }
+
+// cancelCheckEvery is how many materials a shard scans between context
+// checks: frequent enough that cancellation lands within microseconds of
+// work, rare enough that the check never shows up in profiles.
+const cancelCheckEvery = 128
 
 // computeShard scans one contiguous block of materials into a partial
 // report. Bit indices are material positions within the shard.
-func computeShard(ix *ontIndex, mats []*material.Material) partialReport {
+func computeShard(ctx context.Context, ix *ontIndex, mats []*material.Material) (partialReport, error) {
 	n := len(ix.ids)
 	p := partialReport{
 		direct: make([]int, n),
@@ -131,6 +161,11 @@ func computeShard(ix *ontIndex, mats []*material.Material) partialReport {
 		p.sets[node].set(mi)
 	}
 	for mi, m := range mats {
+		if mi%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return p, err
+			}
+		}
 		for _, cl := range m.ClassificationIDs() {
 			i, ok := ix.idx[cl]
 			if !ok {
@@ -145,7 +180,7 @@ func computeShard(ix *ontIndex, mats []*material.Material) partialReport {
 			}
 		}
 	}
-	return p
+	return p, nil
 }
 
 // Covered reports whether any material touches the node or its subtree.

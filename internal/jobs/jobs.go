@@ -289,6 +289,12 @@ type Stats struct {
 	Cancelled int `json:"cancelled"`
 }
 
+// Admission reserves capacity for one job about to run and returns a
+// release function to call when it finishes. Errors mean "no capacity
+// right now"; the worker backs off and retries, yielding to foreground
+// work instead of failing the job.
+type Admission func(ctx context.Context) (release func(), err error)
+
 // Runner executes jobs on a fixed worker pool fed by a bounded queue.
 type Runner struct {
 	queue   chan *Job
@@ -302,6 +308,7 @@ type Runner struct {
 	order  []int64
 	nextID int64
 	closed bool
+	admit  Admission
 
 	wg sync.WaitGroup
 }
@@ -448,6 +455,39 @@ func (r *Runner) Stats() Stats {
 	return st
 }
 
+// SetAdmission installs a capacity gate the workers pass through before
+// each job runs — how background work is subordinated to an overload
+// controller. Pass nil to detach. Call before jobs are submitted.
+func (r *Runner) SetAdmission(a Admission) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.admit = a
+}
+
+// admitJob blocks until the admission gate grants capacity for the job,
+// retrying with a short backoff while the system is overloaded. A nil
+// release means the job's context died while waiting; the worker still
+// runs the job function, which observes the cancellation immediately.
+func (r *Runner) admitJob(j *Job) func() {
+	r.mu.Lock()
+	admit := r.admit
+	r.mu.Unlock()
+	if admit == nil {
+		return nil
+	}
+	for {
+		release, err := admit(j.ctx)
+		if err == nil {
+			return release
+		}
+		select {
+		case <-j.ctx.Done():
+			return nil
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
 // work is one pool worker: dequeue, run, finalize, repeat until the queue
 // closes.
 func (r *Runner) work() {
@@ -456,7 +496,11 @@ func (r *Runner) work() {
 		if !j.transition(StateRunning) {
 			continue // cancelled while queued
 		}
+		release := r.admitJob(j)
 		err := j.fn(j.ctx, j)
+		if release != nil {
+			release()
+		}
 		cancelled := j.ctx.Err() != nil
 		j.cancel()
 		r.finalize(j, cancelled, err)

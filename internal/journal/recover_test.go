@@ -1,0 +1,184 @@
+package journal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// wrapTracker hands every (re)opened WAL sink to a FaultWriter and keeps the
+// newest one so the test can sever the live writer mid-run.
+type wrapTracker struct {
+	mu   sync.Mutex
+	cur  *FaultWriter
+	sick bool // sever each new writer immediately (disk still broken)
+}
+
+func (wt *wrapTracker) wrap(ws WriteSyncer) WriteSyncer {
+	fw := NewFaultWriter(ws, -1, false)
+	wt.mu.Lock()
+	wt.cur = fw
+	if wt.sick {
+		fw.SeverAfter(0)
+	}
+	wt.mu.Unlock()
+	return fw
+}
+
+func (wt *wrapTracker) sever(n int64) {
+	wt.mu.Lock()
+	wt.sick = true
+	wt.cur.SeverAfter(n)
+	wt.mu.Unlock()
+}
+
+func (wt *wrapTracker) heal() {
+	wt.mu.Lock()
+	wt.sick = false
+	wt.mu.Unlock()
+}
+
+func TestStoreRecoverTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	wt := &wrapTracker{}
+	s, err := Open(dir, &Options{WrapWAL: wt.wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"a", "b"} {
+		if _, err := s.Append(op, map[string]string{"op": op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sever mid-frame: 4 bytes of the next record land, then the write
+	// fails, leaving a torn frame and a sticky writer error.
+	wt.sever(4)
+	if _, err := s.Append("torn", nil); !errors.Is(err, ErrFault) {
+		t.Fatalf("severed append err = %v, want ErrFault", err)
+	}
+	if _, err := s.Append("after", nil); err == nil {
+		t.Fatal("append after sticky failure succeeded")
+	}
+	if s.Stats().Err == "" {
+		t.Fatal("sticky error not surfaced in stats")
+	}
+
+	wt.heal()
+	if err := s.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if s.Stats().Err != "" {
+		t.Fatalf("stats err after recover = %q, want healthy", s.Stats().Err)
+	}
+	if seq, err := s.Append("c", map[string]string{"op": "c"}); err != nil || seq != 3 {
+		t.Fatalf("post-recover append = (%d, %v), want seq 3", seq, err)
+	}
+	s.Close()
+
+	// A fresh open must replay exactly a, b, c — the torn frame is gone.
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var ops []string
+	if _, err := s2.Replay(func(rec Record) error {
+		ops = append(ops, rec.Op)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(ops) != len(want) {
+		t.Fatalf("replayed ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("replayed ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestStoreRecoverDropsUnacknowledgedRecord(t *testing.T) {
+	dir := t.TempDir()
+	wt := &wrapTracker{}
+	s, err := Open(dir, &Options{WrapWAL: wt.wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append("a", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the fsync: the frame reaches the file intact, but the client is
+	// told the write failed. That record must NOT survive recovery — the
+	// caller already rolled back / reported an error for it.
+	wt.mu.Lock()
+	wt.cur.SeverOnSync()
+	wt.mu.Unlock()
+	if _, err := s.Append("phantom", nil); !errors.Is(err, ErrFault) {
+		t.Fatalf("sync-severed append err = %v, want ErrFault", err)
+	}
+
+	if err := s.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	// The freed sequence number is reused by the next acknowledged append.
+	if seq, err := s.Append("b", nil); err != nil || seq != 2 {
+		t.Fatalf("post-recover append = (%d, %v), want seq 2", seq, err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var ops []string
+	if _, err := s2.Replay(func(rec Record) error {
+		ops = append(ops, rec.Op)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0] != "a" || ops[1] != "b" {
+		t.Fatalf("replayed ops = %v, want [a b] (phantom dropped)", ops)
+	}
+}
+
+func TestStoreRecoverWhileStillSickFailsNextAppend(t *testing.T) {
+	dir := t.TempDir()
+	wt := &wrapTracker{}
+	s, err := Open(dir, &Options{WrapWAL: wt.wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	wt.sever(0)
+	if _, err := s.Append("x", nil); !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want ErrFault", err)
+	}
+	// Recover succeeds (the file itself is readable) but the medium is
+	// still sick, so the next append fails again — the probe-failure path.
+	if err := s.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if _, err := s.Append("y", nil); !errors.Is(err, ErrFault) {
+		t.Fatalf("append on still-sick medium err = %v, want ErrFault", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -188,6 +189,65 @@ func (s *Store) Replay(fn func(Record) error) (int, error) {
 	return applied, nil
 }
 
+// errUnacked stops a recovery scan at the first record the writer never
+// acknowledged.
+var errUnacked = errors.New("journal: unacknowledged record")
+
+// Recover reopens the write-ahead log after a write failure. The sticky
+// Writer error means the log may end in a torn frame, or in fully-written
+// records whose Append nevertheless returned an error (for example a write
+// that landed but whose fsync failed) — records the client was told did NOT
+// commit. Recover truncates the log back to the last acknowledged sequence
+// number, dropping both kinds of phantom, and installs a fresh Writer
+// through the usual wrap hook. The circuit breaker's half-open probe calls
+// this before its probe append; if the underlying medium is still sick the
+// new writer fails again and the breaker re-opens.
+func (s *Store) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered || s.closed {
+		return fmt.Errorf("journal: store not open for recovery")
+	}
+	ack := s.w.Seq()
+	if s.f != nil {
+		// Best-effort: the fd may already be poisoned by the failed write.
+		_ = s.f.Close()
+		s.f = nil
+	}
+	path := filepath.Join(s.dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("journal: recover read wal: %w", err)
+	}
+	var live uint64
+	valid, err := Scan(bytes.NewReader(data), func(rec Record) error {
+		if rec.Seq > ack {
+			return errUnacked
+		}
+		if rec.Seq > s.checkpointSeq {
+			live++
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errUnacked) {
+		return err
+	}
+	if valid < int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return fmt.Errorf("journal: recover truncate: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: recover reopen wal: %w", err)
+	}
+	s.f = f
+	s.walBytes.Store(valid)
+	s.walRecords = live
+	s.w = NewWriter(s.wrap(&countingWS{f: f, n: &s.walBytes}), ack)
+	return nil
+}
+
 // Append journals one mutation: framed, written, and fsync'd before it
 // returns. It must not be called before Replay.
 func (s *Store) Append(op string, data any) (uint64, error) {
@@ -254,8 +314,10 @@ func (s *Store) WriteCheckpoint(write func(io.Writer) error) error {
 	// The snapshot now covers every journaled record; truncate the log. A
 	// crash before the truncate is safe — replay skips seq <= checkpoint.
 	wal := filepath.Join(s.dir, walFile)
-	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("journal: close wal: %w", err)
+	if s.f != nil {
+		if err := s.f.Close(); err != nil {
+			return fmt.Errorf("journal: close wal: %w", err)
+		}
 	}
 	f2, err := os.OpenFile(wal, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {

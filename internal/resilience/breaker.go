@@ -1,0 +1,206 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults.
+const (
+	// DefaultFailureThreshold is the run of consecutive failures that
+	// opens the breaker.
+	DefaultFailureThreshold = 5
+	// DefaultCooldown is how long the breaker stays open before allowing
+	// a half-open probe.
+	DefaultCooldown = 5 * time.Second
+)
+
+// BreakerState is the circuit-breaker state machine position.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// StateClosed: traffic flows, failures are counted.
+	StateClosed BreakerState = iota
+	// StateOpen: traffic fast-fails until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen: exactly one probe is in flight; its outcome decides
+	// between Closed and Open.
+	StateHalfOpen
+)
+
+// String names the state for stats and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the circuit breaker. Zero values take defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the run of consecutive failures that trips the
+	// breaker open.
+	FailureThreshold int
+	// Cooldown is the open interval before a half-open probe is allowed.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = DefaultFailureThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker guarding the journal
+// append path. Usage:
+//
+//	probe, err := b.Acquire()
+//	if err != nil { /* fast-fail the write */ }
+//	if probe { /* attempt recovery before the guarded call */ }
+//	err = guardedCall()
+//	b.Record(err)
+//
+// All methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+
+	trips     uint64
+	rejected  uint64
+	probes    uint64
+	lastError string
+}
+
+// NewBreaker builds a breaker from the config (zero value = defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Acquire asks permission to perform the guarded operation. probe is true
+// when this call is the half-open recovery probe — the caller should try to
+// repair the underlying resource before the operation. Every successful
+// Acquire must be matched by a Record with the operation's outcome.
+func (b *Breaker) Acquire() (probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return false, nil
+	case StateOpen:
+		if time.Since(b.openedAt) < b.cfg.Cooldown {
+			b.rejected++
+			return false, ErrCircuitOpen
+		}
+		b.state = StateHalfOpen
+		b.probes++
+		return true, nil
+	default: // StateHalfOpen: a probe is already in flight
+		b.rejected++
+		return false, ErrCircuitOpen
+	}
+}
+
+// Record reports the outcome of an operation admitted by Acquire. A success
+// closes the breaker and resets the failure count; a failure increments it,
+// opening the breaker at the threshold (immediately, if this was a probe).
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = StateClosed
+		b.failures = 0
+		b.lastError = ""
+		return
+	}
+	b.lastError = err.Error()
+	if b.state == StateHalfOpen {
+		b.state = StateOpen
+		b.openedAt = time.Now()
+		b.trips++
+		return
+	}
+	b.failures++
+	if b.failures >= b.cfg.FailureThreshold {
+		b.state = StateOpen
+		b.openedAt = time.Now()
+		b.trips++
+		b.failures = 0
+	}
+}
+
+// FastFail reports whether the breaker is open with cooldown remaining —
+// i.e. an Acquire now would certainly fail. The HTTP layer uses this to
+// reject writes before doing any work, without consuming the half-open
+// probe slot (the probe belongs to the journal hook itself).
+func (b *Breaker) FastFail() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == StateOpen && time.Since(b.openedAt) < b.cfg.Cooldown
+}
+
+// Open reports whether the breaker is currently open or probing — used by
+// the readiness endpoint.
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != StateClosed
+}
+
+// RetryAfter returns the remaining cooldown, the natural Retry-After hint
+// for a fast-failed write. Minimum 1s so clients never busy-retry.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen {
+		return time.Second
+	}
+	rem := b.cfg.Cooldown - time.Since(b.openedAt)
+	if rem < time.Second {
+		rem = time.Second
+	}
+	return rem
+}
+
+// BreakerStats is the point-in-time state served by /api/health.
+type BreakerStats struct {
+	// State is "closed", "open", or "half-open".
+	State string `json:"state"`
+	// ConsecutiveFailures is the current failure run while closed.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Trips counts closed→open transitions over the breaker lifetime.
+	Trips uint64 `json:"trips"`
+	// Rejected counts operations fast-failed while open.
+	Rejected uint64 `json:"rejected"`
+	// Probes counts half-open recovery attempts.
+	Probes uint64 `json:"probes"`
+	// LastError is the most recent recorded failure, "" after recovery.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats snapshots the breaker.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.failures,
+		Trips:               b.trips,
+		Rejected:            b.rejected,
+		Probes:              b.probes,
+		LastError:           b.lastError,
+	}
+}

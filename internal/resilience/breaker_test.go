@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour})
+	boom := errors.New("disk on fire")
+	for i := 0; i < 2; i++ {
+		if _, err := b.Acquire(); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		b.Record(boom)
+		if b.Open() {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	if _, err := b.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(boom)
+	if !b.Open() {
+		t.Fatal("breaker not open after 3 consecutive failures")
+	}
+	if !b.FastFail() {
+		t.Fatal("FastFail false while open within cooldown")
+	}
+	if _, err := b.Acquire(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("acquire while open = %v, want ErrCircuitOpen", err)
+	}
+	st := b.Stats()
+	if st.State != "open" || st.Trips != 1 || st.Rejected == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour})
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		b.Acquire()
+		b.Record(boom)
+		b.Acquire()
+		b.Record(nil) // interleaved success: never 3 consecutive
+	}
+	if b.Open() {
+		t.Fatal("breaker opened despite interleaved successes")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 20 * time.Millisecond})
+	b.Acquire()
+	b.Record(errors.New("boom"))
+	if !b.Open() {
+		t.Fatal("not open")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if b.FastFail() {
+		t.Fatal("FastFail true past cooldown")
+	}
+	probe, err := b.Acquire()
+	if err != nil || !probe {
+		t.Fatalf("post-cooldown acquire = (probe=%v, err=%v), want probe", probe, err)
+	}
+	// Concurrent acquires during the probe are rejected.
+	if _, err := b.Acquire(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("acquire during probe = %v, want ErrCircuitOpen", err)
+	}
+	b.Record(nil)
+	if b.Open() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	if probe, err := b.Acquire(); err != nil || probe {
+		t.Fatalf("post-recovery acquire = (probe=%v, err=%v), want plain admit", probe, err)
+	}
+	b.Record(nil)
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 20 * time.Millisecond})
+	b.Acquire()
+	b.Record(errors.New("boom"))
+	time.Sleep(25 * time.Millisecond)
+	probe, err := b.Acquire()
+	if err != nil || !probe {
+		t.Fatalf("acquire = (%v, %v), want probe", probe, err)
+	}
+	b.Record(errors.New("still broken"))
+	if !b.Open() || !b.FastFail() {
+		t.Fatal("breaker not re-opened after failed probe")
+	}
+	if st := b.Stats(); st.Trips != 2 || st.Probes != 1 {
+		t.Fatalf("stats = %+v, want 2 trips 1 probe", st)
+	}
+}
+
+func TestBreakerRetryAfter(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: 10 * time.Second})
+	if ra := b.RetryAfter(); ra != time.Second {
+		t.Fatalf("closed RetryAfter = %v, want 1s floor", ra)
+	}
+	b.Acquire()
+	b.Record(errors.New("boom"))
+	ra := b.RetryAfter()
+	if ra < time.Second || ra > 10*time.Second {
+		t.Fatalf("open RetryAfter = %v, want within (1s, 10s]", ra)
+	}
+}

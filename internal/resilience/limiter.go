@@ -1,0 +1,380 @@
+package resilience
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter defaults. The initial limit is deliberately generous — AIMD
+// converges down to what the hardware sustains; starting high means a cold
+// service does not shed its first burst.
+const (
+	// DefaultInitialLimit is the starting concurrency limit.
+	DefaultInitialLimit = 32
+	// DefaultMinLimit is the AIMD floor; the limiter never throttles below
+	// this, so a latency spike cannot choke the service entirely.
+	DefaultMinLimit = 4
+	// DefaultMaxLimit is the AIMD ceiling.
+	DefaultMaxLimit = 1024
+	// DefaultLatencyTarget is the service-latency setpoint: EWMA latency
+	// above it decreases the limit, completions below it increase it.
+	DefaultLatencyTarget = 500 * time.Millisecond
+	// DefaultDecreaseFactor is the multiplicative-decrease applied when
+	// the latency EWMA exceeds the target.
+	DefaultDecreaseFactor = 0.85
+	// DefaultDecreaseEvery rate-limits multiplicative decreases so one
+	// burst of slow completions does not collapse the limit to the floor.
+	DefaultDecreaseEvery = 250 * time.Millisecond
+	// DefaultShedMargin is the slice of the request deadline reserved for
+	// writing the shed response: a request is not queued unless it can be
+	// admitted at least this long before its deadline.
+	DefaultShedMargin = 50 * time.Millisecond
+	// DefaultMaxWait bounds queue time for requests without a deadline.
+	DefaultMaxWait = 2 * time.Second
+)
+
+// Default per-class wait-queue depths. Reads queue deepest (they are the
+// product), writes shallower, bulk barely at all; health never queues.
+var defaultQueueDepth = [numClasses]int{
+	ClassHealth: 0,
+	ClassRead:   256,
+	ClassWrite:  64,
+	ClassBulk:   8,
+}
+
+// LimiterConfig tunes the adaptive concurrency limiter. Zero values take
+// the package defaults above.
+type LimiterConfig struct {
+	// Initial is the starting concurrency limit.
+	Initial int
+	// Min and Max clamp the AIMD limit.
+	Min, Max int
+	// LatencyTarget is the service-latency setpoint.
+	LatencyTarget time.Duration
+	// DecreaseFactor in (0,1) is the multiplicative decrease.
+	DecreaseFactor float64
+	// DecreaseEvery is the minimum interval between decreases.
+	DecreaseEvery time.Duration
+	// QueueDepth overrides the per-class wait-queue capacity; entries <= 0
+	// keep the default for that class.
+	QueueDepth [4]int
+	// ShedMargin is the deadline slice reserved for the shed response.
+	ShedMargin time.Duration
+	// MaxWait bounds queue time for requests without a deadline.
+	MaxWait time.Duration
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Initial <= 0 {
+		c.Initial = DefaultInitialLimit
+	}
+	if c.Min <= 0 {
+		c.Min = DefaultMinLimit
+	}
+	if c.Max <= 0 {
+		c.Max = DefaultMaxLimit
+	}
+	if c.Min > c.Max {
+		c.Min = c.Max
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	if c.Initial > c.Max {
+		c.Initial = c.Max
+	}
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = DefaultLatencyTarget
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = DefaultDecreaseFactor
+	}
+	if c.DecreaseEvery <= 0 {
+		c.DecreaseEvery = DefaultDecreaseEvery
+	}
+	for cl, d := range c.QueueDepth {
+		if d <= 0 {
+			c.QueueDepth[cl] = defaultQueueDepth[cl]
+		}
+	}
+	c.QueueDepth[ClassHealth] = 0
+	if c.ShedMargin <= 0 {
+		c.ShedMargin = DefaultShedMargin
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = DefaultMaxWait
+	}
+	return c
+}
+
+// waiter is one queued acquisition. admitted is flipped under the limiter
+// lock before ch is closed, so a timed-out waiter can distinguish "I was
+// admitted while my timer fired" from "still queued".
+type waiter struct {
+	ch       chan struct{}
+	class    Class
+	admitted bool
+}
+
+// Limiter is an adaptive concurrency limiter: a single AIMD-controlled
+// concurrency budget shared by all request classes, with per-class
+// deadline-aware wait queues drained in priority order. All methods are
+// safe for concurrent use.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu           sync.Mutex
+	limit        float64
+	inflight     int
+	queues       [numClasses][]*waiter
+	ewma         time.Duration // 0 until the first completion
+	lastDecrease time.Time
+
+	admitted  [numClasses]uint64
+	shed      [numClasses]uint64
+	decreases uint64
+}
+
+// NewLimiter builds a limiter from the config (zero value = all defaults).
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{cfg: cfg, limit: float64(cfg.Initial)}
+}
+
+// Acquire admits the request or sheds it. Health-class requests are always
+// admitted. On success the returned release function MUST be called exactly
+// once when the request finishes; it reports the observed service latency
+// back to the AIMD controller and hands the slot to the highest-priority
+// waiter. On shed it returns ErrShed (or the context error if the caller's
+// context ended first).
+func (l *Limiter) Acquire(ctx context.Context, class Class) (release func(), err error) {
+	if class == ClassHealth || class >= numClasses {
+		return func() {}, nil
+	}
+	l.mu.Lock()
+	if l.inflight < l.limitLocked() {
+		l.inflight++
+		l.admitted[class]++
+		l.mu.Unlock()
+		return l.releaseFunc(time.Now()), nil
+	}
+	// At capacity: queue if there is room and the deadline allows it.
+	if len(l.queues[class]) >= l.cfg.QueueDepth[class] {
+		l.shed[class]++
+		l.mu.Unlock()
+		return nil, ErrShed
+	}
+	budget := l.cfg.MaxWait
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl) - l.cfg.ShedMargin
+		if remaining <= 0 {
+			l.shed[class]++
+			l.mu.Unlock()
+			return nil, ErrShed
+		}
+		if remaining < budget {
+			budget = remaining
+		}
+	}
+	w := &waiter{ch: make(chan struct{}), class: class}
+	l.queues[class] = append(l.queues[class], w)
+	l.mu.Unlock()
+
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		return l.releaseFunc(time.Now()), nil
+	case <-ctx.Done():
+		if l.abandon(w) {
+			return nil, ctx.Err()
+		}
+		return l.releaseFunc(time.Now()), nil
+	case <-timer.C:
+		if l.abandon(w) {
+			return nil, ErrShed
+		}
+		return l.releaseFunc(time.Now()), nil
+	}
+}
+
+// abandon removes a waiter that gave up. It returns false when the waiter
+// was admitted concurrently — in that case the caller owns a slot and must
+// proceed (or release it) rather than shed.
+func (l *Limiter) abandon(w *waiter) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w.admitted {
+		return false
+	}
+	q := l.queues[w.class]
+	for i, qw := range q {
+		if qw == w {
+			l.queues[w.class] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	l.shed[w.class]++
+	return true
+}
+
+// releaseFunc closes over the admission time so release reports pure
+// service latency — queue wait is excluded, otherwise backpressure-induced
+// waiting would itself trigger decreases and spiral the limit down.
+func (l *Limiter) releaseFunc(admittedAt time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d := time.Since(admittedAt)
+			l.mu.Lock()
+			l.observeLocked(d)
+			l.inflight--
+			l.wakeLocked()
+			l.mu.Unlock()
+		})
+	}
+}
+
+// observeLocked folds one completion into the AIMD controller.
+func (l *Limiter) observeLocked(d time.Duration) {
+	if l.ewma == 0 {
+		l.ewma = d
+	} else {
+		l.ewma = (l.ewma*4 + d) / 5
+	}
+	if l.ewma > l.cfg.LatencyTarget {
+		now := time.Now()
+		if now.Sub(l.lastDecrease) >= l.cfg.DecreaseEvery {
+			l.limit = math.Max(float64(l.cfg.Min), l.limit*l.cfg.DecreaseFactor)
+			l.lastDecrease = now
+			l.decreases++
+		}
+		return
+	}
+	if d <= l.cfg.LatencyTarget {
+		l.limit = math.Min(float64(l.cfg.Max), l.limit+1/math.Max(l.limit, 1))
+	}
+}
+
+func (l *Limiter) limitLocked() int {
+	n := int(l.limit)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// wakeLocked hands freed capacity to waiters in priority order (reads
+// before writes before bulk), FIFO within a class.
+func (l *Limiter) wakeLocked() {
+	for l.inflight < l.limitLocked() {
+		var w *waiter
+		for _, class := range wakeOrder {
+			if q := l.queues[class]; len(q) > 0 {
+				w = q[0]
+				l.queues[class] = q[1:]
+				break
+			}
+		}
+		if w == nil {
+			return
+		}
+		w.admitted = true
+		l.inflight++
+		l.admitted[w.class]++
+		close(w.ch)
+	}
+}
+
+// Overloaded reports whether the limiter is at capacity with work waiting —
+// the signal the background-job runner uses to throttle its workers.
+func (l *Limiter) Overloaded() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight < l.limitLocked() {
+		return false
+	}
+	for _, q := range l.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Saturated reports whether the read queue is at capacity, i.e. the next
+// read would shed. The readiness endpoint serves 503 while this holds, so
+// load balancers rotate traffic away before clients see sheds.
+func (l *Limiter) Saturated() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight >= l.limitLocked() &&
+		len(l.queues[ClassRead]) >= l.cfg.QueueDepth[ClassRead]
+}
+
+// RetryAfter estimates when a shed client should retry: the time to drain
+// the current queue at the observed service latency, clamped to [1s, 30s].
+func (l *Limiter) RetryAfter() time.Duration {
+	l.mu.Lock()
+	waiting := 0
+	for _, q := range l.queues {
+		waiting += len(q)
+	}
+	ewma, limit := l.ewma, l.limit
+	l.mu.Unlock()
+	if ewma == 0 {
+		ewma = 100 * time.Millisecond
+	}
+	est := time.Duration(float64(ewma) * float64(waiting+1) / math.Max(limit, 1))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 30*time.Second {
+		est = 30 * time.Second
+	}
+	return est
+}
+
+// LimiterStats is the point-in-time state served by /api/health.
+type LimiterStats struct {
+	// Limit is the current AIMD concurrency limit.
+	Limit float64 `json:"limit"`
+	// Inflight is the number of admitted requests currently running.
+	Inflight int `json:"inflight"`
+	// Queued maps class name to current wait-queue length.
+	Queued map[string]int `json:"queued"`
+	// Admitted and Shed map class name to lifetime counters.
+	Admitted map[string]uint64 `json:"admitted"`
+	Shed     map[string]uint64 `json:"shed"`
+	// LatencyEWMAMillis is the smoothed service latency driving AIMD.
+	LatencyEWMAMillis float64 `json:"latency_ewma_ms"`
+	// Decreases counts multiplicative decreases over the limiter lifetime.
+	Decreases uint64 `json:"decreases"`
+	// Saturated mirrors Limiter.Saturated.
+	Saturated bool `json:"saturated"`
+}
+
+// Stats snapshots the limiter.
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LimiterStats{
+		Limit:             math.Round(l.limit*100) / 100,
+		Inflight:          l.inflight,
+		Queued:            make(map[string]int, 3),
+		Admitted:          make(map[string]uint64, 3),
+		Shed:              make(map[string]uint64, 3),
+		LatencyEWMAMillis: float64(l.ewma) / float64(time.Millisecond),
+		Decreases:         l.decreases,
+	}
+	for _, class := range wakeOrder {
+		st.Queued[class.String()] = len(l.queues[class])
+		st.Admitted[class.String()] = l.admitted[class]
+		st.Shed[class.String()] = l.shed[class]
+	}
+	st.Saturated = l.inflight >= l.limitLocked() &&
+		len(l.queues[ClassRead]) >= l.cfg.QueueDepth[ClassRead]
+	return st
+}

@@ -1,0 +1,306 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUnderLimit(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 4})
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		rel, err := l.Acquire(context.Background(), ClassRead)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	st := l.Stats()
+	if st.Inflight != 4 {
+		t.Fatalf("inflight = %d, want 4", st.Inflight)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := l.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestLimiterHealthAlwaysAdmitted(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1})
+	rel, err := l.Acquire(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	for i := 0; i < 10; i++ {
+		hrel, herr := l.Acquire(context.Background(), ClassHealth)
+		if herr != nil {
+			t.Fatalf("health acquire %d: %v", i, herr)
+		}
+		hrel()
+	}
+}
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	l := NewLimiter(LimiterConfig{
+		Initial:    1,
+		Min:        1,
+		QueueDepth: [4]int{0, -1, -1, -1},
+	})
+	// QueueDepth <= 0 takes defaults; use a config with explicit tiny queue.
+	l = NewLimiter(LimiterConfig{Initial: 1, Min: 1, QueueDepth: [4]int{0, 1, 1, 1}})
+	rel, err := l.Acquire(context.Background(), ClassWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// One waiter fits in the queue; park it with a long deadline.
+	parked := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		r, aerr := l.Acquire(ctx, ClassWrite)
+		if aerr == nil {
+			r()
+		}
+		parked <- aerr
+	}()
+	waitFor(t, func() bool { return l.Stats().Queued["write"] == 1 })
+
+	// The next write finds the queue full and sheds immediately.
+	if _, err := l.Acquire(context.Background(), ClassWrite); !errors.Is(err, ErrShed) {
+		t.Fatalf("queue-full acquire err = %v, want ErrShed", err)
+	}
+	rel() // frees the parked waiter
+	if err := <-parked; err != nil {
+		t.Fatalf("parked waiter err = %v, want admitted", err)
+	}
+}
+
+func TestLimiterShedsNearDeadline(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, ShedMargin: 50 * time.Millisecond})
+	rel, err := l.Acquire(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// Deadline closer than the shed margin: shed immediately, never queue.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := l.Acquire(ctx, ClassRead); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("near-deadline shed took %v, want immediate", d)
+	}
+}
+
+func TestLimiterWaiterTimesOutWithinBudget(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, ShedMargin: 20 * time.Millisecond})
+	rel, err := l.Acquire(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = l.Acquire(ctx, ClassRead)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	// Must give up before the deadline (budget = deadline - margin), with
+	// scheduling slack.
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("waited %v, should shed before the 150ms deadline", elapsed)
+	}
+}
+
+func TestLimiterPriorityWake(t *testing.T) {
+	// Max: 1 pins the limit so each release wakes exactly one waiter.
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, Max: 1})
+	rel, err := l.Acquire(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	park := func(class Class, name string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, aerr := l.Acquire(context.Background(), class)
+			if aerr != nil {
+				t.Errorf("%s: %v", name, aerr)
+				return
+			}
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			r()
+		}()
+	}
+	// Park a bulk and a write waiter first, then a read waiter.
+	park(ClassBulk, "bulk")
+	waitFor(t, func() bool { return l.Stats().Queued["bulk"] == 1 })
+	park(ClassWrite, "write")
+	waitFor(t, func() bool { return l.Stats().Queued["write"] == 1 })
+	park(ClassRead, "read")
+	waitFor(t, func() bool { return l.Stats().Queued["read"] == 1 })
+
+	rel()
+	wg.Wait()
+	want := []string{"read", "write", "bulk"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLimiterAIMDDecreaseOnSlowLatency(t *testing.T) {
+	l := NewLimiter(LimiterConfig{
+		Initial:       16,
+		Min:           2,
+		LatencyTarget: time.Millisecond,
+		DecreaseEvery: time.Nanosecond, // decrease on every slow completion
+	})
+	// Simulate slow completions by backdating admission.
+	for i := 0; i < 20; i++ {
+		l.mu.Lock()
+		l.inflight++
+		l.mu.Unlock()
+		l.releaseFunc(time.Now().Add(-100 * time.Millisecond))()
+	}
+	st := l.Stats()
+	if st.Limit >= 16 {
+		t.Fatalf("limit = %v after sustained slow completions, want decreased", st.Limit)
+	}
+	if st.Limit < 2 {
+		t.Fatalf("limit = %v fell below floor 2", st.Limit)
+	}
+	if st.Decreases == 0 {
+		t.Fatal("no decreases recorded")
+	}
+}
+
+func TestLimiterAIMDIncreaseOnFastLatency(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 4, LatencyTarget: time.Second})
+	for i := 0; i < 200; i++ {
+		rel, err := l.Acquire(context.Background(), ClassRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	if st := l.Stats(); st.Limit <= 4 {
+		t.Fatalf("limit = %v after fast completions, want increased", st.Limit)
+	}
+}
+
+func TestLimiterOverloadedAndSaturated(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, QueueDepth: [4]int{0, 1, 1, 1}})
+	if l.Overloaded() || l.Saturated() {
+		t.Fatal("fresh limiter reports pressure")
+	}
+	rel, err := l.Acquire(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if l.Overloaded() {
+		t.Fatal("full but empty-queue limiter reports overloaded")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if r, aerr := l.Acquire(ctx, ClassRead); aerr == nil {
+			r()
+		}
+	}()
+	waitFor(t, func() bool { return l.Overloaded() })
+	if !l.Saturated() {
+		t.Fatal("read queue at capacity but not saturated")
+	}
+	rel()
+	<-done
+}
+
+func TestLimiterRetryAfterBounds(t *testing.T) {
+	l := NewLimiter(LimiterConfig{})
+	if ra := l.RetryAfter(); ra < time.Second || ra > 30*time.Second {
+		t.Fatalf("RetryAfter = %v, want within [1s, 30s]", ra)
+	}
+}
+
+func TestLimiterConcurrentStress(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 8, Min: 2, QueueDepth: [4]int{0, 32, 16, 4}})
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		class := Class(1 + i%3)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				rel, err := l.Acquire(ctx, class)
+				if err == nil {
+					admitted.Add(1)
+					rel()
+				} else {
+					shed.Add(1)
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load() == 0 {
+		t.Fatal("no requests admitted under stress")
+	}
+	if got := l.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight after stress = %d, want 0 (slot leak)", got)
+	}
+}
+
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 4})
+	rel, err := l.Acquire(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not corrupt inflight
+	if got := l.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight = %d after double release, want 0", got)
+	}
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not met within 2s")
+}

@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimiter defaults.
+const (
+	// DefaultRatePerSecond is the steady-state tokens/s per client.
+	DefaultRatePerSecond = 50
+	// DefaultBurst is the bucket capacity (requests a quiet client may
+	// issue back-to-back).
+	DefaultBurst = 100
+	// DefaultMaxClients bounds the bucket table; beyond it the least
+	// recently seen client's bucket is evicted.
+	DefaultMaxClients = 1024
+)
+
+// RateLimiterConfig tunes the per-client token buckets. Zero values take
+// the defaults above.
+type RateLimiterConfig struct {
+	// RatePerSecond is the refill rate of each client's bucket.
+	RatePerSecond float64
+	// Burst is the bucket capacity.
+	Burst float64
+	// MaxClients caps the number of tracked buckets (LRU eviction).
+	MaxClients int
+}
+
+func (c RateLimiterConfig) withDefaults() RateLimiterConfig {
+	if c.RatePerSecond <= 0 {
+		c.RatePerSecond = DefaultRatePerSecond
+	}
+	if c.Burst <= 0 {
+		c.Burst = DefaultBurst
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = DefaultMaxClients
+	}
+	return c
+}
+
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time // last refill
+}
+
+// RateLimiter is a per-client token-bucket limiter. Buckets live in an
+// LRU-bounded table so unbounded key churn (spoofed API keys, rotating
+// addresses) cannot grow memory. All methods are safe for concurrent use.
+type RateLimiter struct {
+	cfg RateLimiterConfig
+
+	mu      sync.Mutex
+	buckets map[string]*list.Element
+	order   *list.List // front = most recently seen; values are *bucket
+	now     func() time.Time
+
+	allowed uint64
+	limited uint64
+	evicted uint64
+}
+
+// NewRateLimiter builds a rate limiter from the config (zero value =
+// defaults).
+func NewRateLimiter(cfg RateLimiterConfig) *RateLimiter {
+	return &RateLimiter{
+		cfg:     cfg.withDefaults(),
+		buckets: make(map[string]*list.Element),
+		order:   list.New(),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty it
+// returns ok=false and the wait until a token accrues — the Retry-After
+// hint for the 429.
+func (rl *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+
+	var b *bucket
+	if el, found := rl.buckets[key]; found {
+		rl.order.MoveToFront(el)
+		b = el.Value.(*bucket)
+		b.tokens = math.Min(rl.cfg.Burst,
+			b.tokens+now.Sub(b.last).Seconds()*rl.cfg.RatePerSecond)
+		b.last = now
+	} else {
+		if rl.order.Len() >= rl.cfg.MaxClients {
+			oldest := rl.order.Back()
+			rl.order.Remove(oldest)
+			delete(rl.buckets, oldest.Value.(*bucket).key)
+			rl.evicted++
+		}
+		b = &bucket{key: key, tokens: rl.cfg.Burst, last: now}
+		rl.buckets[key] = rl.order.PushFront(b)
+	}
+
+	if b.tokens >= 1 {
+		b.tokens--
+		rl.allowed++
+		return true, 0
+	}
+	rl.limited++
+	wait := time.Duration((1 - b.tokens) / rl.cfg.RatePerSecond * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// RateLimiterStats is the point-in-time state served by /api/health.
+type RateLimiterStats struct {
+	// Clients is the number of buckets currently tracked.
+	Clients int `json:"clients"`
+	// Allowed and Limited count admission decisions over the lifetime.
+	Allowed uint64 `json:"allowed"`
+	Limited uint64 `json:"limited"`
+	// Evicted counts buckets dropped by the LRU cap.
+	Evicted uint64 `json:"evicted"`
+}
+
+// Stats snapshots the rate limiter.
+func (rl *RateLimiter) Stats() RateLimiterStats {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return RateLimiterStats{
+		Clients: rl.order.Len(),
+		Allowed: rl.allowed,
+		Limited: rl.limited,
+		Evicted: rl.evicted,
+	}
+}

@@ -1,0 +1,99 @@
+package resilience
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// testClock is a controllable clock for deterministic refill tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestRateLimiter(cfg RateLimiterConfig) (*RateLimiter, *testClock) {
+	rl := NewRateLimiter(cfg)
+	clk := &testClock{t: time.Unix(1_700_000_000, 0)}
+	rl.now = clk.now
+	return rl, clk
+}
+
+func TestRateLimiterBurstThenLimit(t *testing.T) {
+	rl, _ := newTestRateLimiter(RateLimiterConfig{RatePerSecond: 10, Burst: 5})
+	for i := 0; i < 5; i++ {
+		if ok, _ := rl.Allow("alice"); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := rl.Allow("alice")
+	if ok {
+		t.Fatal("request past burst allowed")
+	}
+	if retry < time.Second {
+		t.Fatalf("retryAfter = %v, want >= 1s floor", retry)
+	}
+	// A different client is unaffected.
+	if ok, _ := rl.Allow("bob"); !ok {
+		t.Fatal("independent client denied")
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	rl, clk := newTestRateLimiter(RateLimiterConfig{RatePerSecond: 10, Burst: 5})
+	for i := 0; i < 5; i++ {
+		rl.Allow("alice")
+	}
+	if ok, _ := rl.Allow("alice"); ok {
+		t.Fatal("empty bucket allowed")
+	}
+	clk.advance(200 * time.Millisecond) // 2 tokens accrue
+	if ok, _ := rl.Allow("alice"); !ok {
+		t.Fatal("refilled bucket denied")
+	}
+	if ok, _ := rl.Allow("alice"); !ok {
+		t.Fatal("second refilled token denied")
+	}
+	if ok, _ := rl.Allow("alice"); ok {
+		t.Fatal("third request allowed with only 2 tokens refilled")
+	}
+	// Refill caps at burst.
+	clk.advance(time.Hour)
+	for i := 0; i < 5; i++ {
+		if ok, _ := rl.Allow("alice"); !ok {
+			t.Fatalf("request %d after long idle denied", i)
+		}
+	}
+	if ok, _ := rl.Allow("alice"); ok {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}
+
+func TestRateLimiterLRUEviction(t *testing.T) {
+	rl, _ := newTestRateLimiter(RateLimiterConfig{RatePerSecond: 1, Burst: 2, MaxClients: 3})
+	for i := 0; i < 5; i++ {
+		rl.Allow(fmt.Sprintf("client-%d", i))
+	}
+	st := rl.Stats()
+	if st.Clients != 3 {
+		t.Fatalf("clients = %d, want LRU cap 3", st.Clients)
+	}
+	if st.Evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", st.Evicted)
+	}
+	// client-0 was evicted; it returns with a fresh (full) bucket rather
+	// than its spent one — the cost of bounding memory.
+	if ok, _ := rl.Allow("client-0"); !ok {
+		t.Fatal("re-admitted client denied")
+	}
+}
+
+func TestRateLimiterStats(t *testing.T) {
+	rl, _ := newTestRateLimiter(RateLimiterConfig{RatePerSecond: 1, Burst: 1})
+	rl.Allow("a")
+	rl.Allow("a")
+	st := rl.Stats()
+	if st.Allowed != 1 || st.Limited != 1 {
+		t.Fatalf("stats = %+v, want 1 allowed 1 limited", st)
+	}
+}

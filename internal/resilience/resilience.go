@@ -1,0 +1,77 @@
+// Package resilience is the overload-protection layer of the CAR-CS
+// service. The paper's value proposition (Sec. IV) is that instructors can
+// always browse, compare, and search the repository; under stress the
+// service must therefore shed or degrade the write path first and keep the
+// read path answering. Three cooperating mechanisms implement that policy:
+//
+//   - Limiter: an adaptive concurrency limiter (AIMD on observed service
+//     latency) with a small deadline-aware wait queue per request class.
+//     Requests that cannot be admitted within their deadline budget are
+//     shed immediately with a Retry-After hint instead of queueing past
+//     their timeout.
+//   - Breaker: a circuit breaker for the journal append path. After a run
+//     of consecutive durability failures, writes fast-fail while the
+//     snapshot-isolated read path keeps serving; half-open probes attempt
+//     recovery once the cooldown elapses.
+//   - RateLimiter: a per-client token bucket (API key falling back to
+//     remote address) bounding any single client's request rate, with an
+//     LRU-bounded bucket table so hostile key churn cannot grow memory.
+//
+// The package has no HTTP dependencies; the server layer translates its
+// errors into 429/503 responses with the standard JSON envelope.
+package resilience
+
+import "errors"
+
+// Errors surfaced to the admission and write paths. The HTTP layer maps
+// ErrShed and ErrRateLimited to 503 and 429 respectively, both with a
+// computed Retry-After.
+var (
+	// ErrShed means the limiter could not admit the request within its
+	// deadline budget (queue full, or waiting would exceed the deadline).
+	ErrShed = errors.New("resilience: request shed by admission control")
+	// ErrRateLimited means the client exhausted its token bucket.
+	ErrRateLimited = errors.New("resilience: client rate limit exceeded")
+	// ErrCircuitOpen means the write-path circuit breaker is refusing
+	// traffic while the underlying fault cools down.
+	ErrCircuitOpen = errors.New("resilience: circuit breaker open")
+)
+
+// Class partitions requests for admission control. Priorities are fixed:
+// health probes are never queued or shed, reads outrank writes, and bulk
+// imports yield to everything else — matching the paper's availability
+// story, where browse/compare queries are the product and ingestion is
+// background work.
+type Class uint8
+
+// Request classes, in decreasing priority.
+const (
+	// ClassHealth is liveness/readiness traffic; always admitted.
+	ClassHealth Class = iota
+	// ClassRead is the browse/compare/search read path.
+	ClassRead
+	// ClassWrite is interactive mutations (materials, workflow).
+	ClassWrite
+	// ClassBulk is bulk-import submission.
+	ClassBulk
+
+	numClasses
+)
+
+// String names the class for stats and logs.
+func (c Class) String() string {
+	switch c {
+	case ClassHealth:
+		return "health"
+	case ClassRead:
+		return "read"
+	case ClassWrite:
+		return "write"
+	case ClassBulk:
+		return "bulk"
+	}
+	return "unknown"
+}
+
+// wakeOrder is the order in which freed capacity is handed to waiters.
+var wakeOrder = [...]Class{ClassRead, ClassWrite, ClassBulk}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"net/http"
 	"strconv"
@@ -65,6 +66,81 @@ func (s *Server) withETag(h http.HandlerFunc) http.HandlerFunc {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		h(w, r.WithContext(context.WithValue(r.Context(), viewCtxKey{}, v)))
+		br := &bodyRecorder{ResponseWriter: w}
+		h(br, r.WithContext(context.WithValue(r.Context(), viewCtxKey{}, v)))
+		if br.cacheable() {
+			// Memoize the rendered response under its generation so a
+			// future shed of the same URI can serve it (possibly marked
+			// CARCS-Stale) instead of a bare 503. See serveStale.
+			body := make([]byte, br.buf.Len())
+			copy(body, br.buf.Bytes())
+			s.sys.ResultCache().Put(staleKey(r), v.Gen(), &cachedResponse{
+				body:        body,
+				contentType: br.Header().Get("Content-Type"),
+			})
+		}
 	}
+}
+
+// maxMemoBody caps how large a rendered response the server will memoize
+// for degraded-mode serving; bigger bodies are simply not cached.
+const maxMemoBody = 1 << 20
+
+// cachedResponse is a memoized rendered read response, stored in the
+// generation-keyed result cache under the request URI.
+type cachedResponse struct {
+	body        []byte
+	contentType string
+}
+
+// bodyRecorder tees a handler's output into memory so a successful read
+// can be memoized. Buffering aborts permanently on a non-200 status, a
+// failed underlying write (e.g. the timeout handler cut the request off),
+// or a body beyond maxMemoBody.
+type bodyRecorder struct {
+	http.ResponseWriter
+	buf      bytes.Buffer
+	status   int
+	wrote    bool
+	overflow bool
+	failed   bool
+}
+
+func (br *bodyRecorder) WriteHeader(code int) {
+	if !br.wrote {
+		br.status = code
+		br.wrote = true
+	}
+	br.ResponseWriter.WriteHeader(code)
+}
+
+func (br *bodyRecorder) Write(p []byte) (int, error) {
+	if !br.wrote {
+		br.status = http.StatusOK
+		br.wrote = true
+	}
+	n, err := br.ResponseWriter.Write(p)
+	if err != nil {
+		br.failed = true
+	}
+	if !br.overflow && br.status == http.StatusOK {
+		if br.buf.Len()+n > maxMemoBody {
+			br.overflow = true
+			br.buf.Reset()
+		} else {
+			br.buf.Write(p[:n])
+		}
+	}
+	return n, err
+}
+
+// Flush passes through so streaming handlers keep working.
+func (br *bodyRecorder) Flush() {
+	if f, ok := br.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (br *bodyRecorder) cacheable() bool {
+	return br.wrote && br.status == http.StatusOK && !br.overflow && !br.failed && br.buf.Len() > 0
 }

@@ -109,7 +109,7 @@ func (s *Server) handleCreateMaterial(w http.ResponseWriter, r *http.Request) {
 	}
 	m := fromJSON(mj)
 	if err := s.sys.AddMaterial(m); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, toJSON(m))
@@ -128,7 +128,7 @@ func (s *Server) handleGetMaterial(w http.ResponseWriter, r *http.Request) {
 // DELETE /api/materials/{id}
 func (s *Server) handleDeleteMaterial(w http.ResponseWriter, r *http.Request) {
 	if err := s.sys.RemoveMaterial(r.PathValue("id")); err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		s.writeMutationError(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
@@ -147,7 +147,7 @@ func (s *Server) handleReclassify(w http.ResponseWriter, r *http.Request) {
 		cls = append(cls, material.Classification{NodeID: c})
 	}
 	if err := s.sys.Reclassify(r.PathValue("id"), cls); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toJSON(s.sys.Material(r.PathValue("id"))))
@@ -249,9 +249,9 @@ func (s *Server) handleOntologyNode(w http.ResponseWriter, r *http.Request) {
 
 // GET /api/coverage?ontology=&collection=
 func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.view(r).Coverage(r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
+	rep, err := s.view(r).CoverageCtx(r.Context(), r.URL.Query().Get("ontology"), r.URL.Query().Get("collection"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeReadError(w, err)
 		return
 	}
 	cov, tot := rep.CoveredEntries(rep.Ontology.RootID())
@@ -270,9 +270,9 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 // GET /api/gaps?ontology=&collection=&core_only=
 func (s *Server) handleGaps(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	gaps, err := s.view(r).GapReport(q.Get("ontology"), q.Get("collection"), q.Get("core_only") == "true")
+	gaps, err := s.view(r).GapReportCtx(r.Context(), q.Get("ontology"), q.Get("collection"), q.Get("core_only") == "true")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeReadError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, gaps)
@@ -291,7 +291,11 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	g := s.view(r).SimilarityGraph(left, right, threshold)
+	g, err := s.view(r).SimilarityGraphCtx(r.Context(), left, right, threshold)
+	if err != nil {
+		writeReadError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes":           len(g.Nodes),
 		"edges":           g.Edges,
@@ -374,9 +378,9 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sugg, err := s.view(r).Suggest(q.Get("method"), q.Get("ontology"), q.Get("q"), k)
+	sugg, err := s.view(r).SuggestCtx(r.Context(), q.Get("method"), q.Get("ontology"), q.Get("q"), k)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeReadError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sugg)
@@ -424,7 +428,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	acct, err := s.sys.Workflow().Register(body.Name, role)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "account not durable: "+err.Error())
+		// Registration only fails when the journal refused the write;
+		// writeMutationError adds the Retry-After the old path lacked.
+		s.writeMutationError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": acct.Name, "role": acct.Role.String()})
@@ -438,7 +444,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	sub, err := s.sys.Workflow().Submit(r.Header.Get("X-User"), fromJSON(mj))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"id": sub.ID, "status": sub.Status})
@@ -483,12 +489,12 @@ func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := wf.Review(r.Header.Get("X-User"), id, workflow.Status(body.Decision), body.Note); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	if workflow.Status(body.Decision) == workflow.StatusApproved && sub != nil {
 		if err := s.sys.AddMaterial(sub.Material); err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "approved but not installable: "+err.Error())
+			s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 	}
@@ -549,7 +555,7 @@ func (s *Server) handleSuggestEdit(w http.ResponseWriter, r *http.Request) {
 	}
 	e, err := s.sys.Workflow().SuggestEdit(r.Header.Get("X-User"), body.Material, body.Field, body.Old, body.New)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, e)
@@ -574,7 +580,7 @@ func (s *Server) handleVerifyEdit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.Workflow().VerifyEdit(r.Header.Get("X-User"), id, body.Accept); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "accepted": body.Accept})

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"carcs/internal/ingest"
 	"carcs/internal/jobs"
@@ -79,10 +80,14 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "import queue full; retry later")
+			// Backpressure through the standard overload envelope, with a
+			// Retry-After computed from the live queue depth rather than a
+			// hardcoded guess.
+			writeOverload(w, http.StatusServiceUnavailable,
+				"import queue full; retry later", s.importRetryAfter())
 		case errors.Is(err, jobs.ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			writeOverload(w, http.StatusServiceUnavailable,
+				"server shutting down", 30*time.Second)
 		default:
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}

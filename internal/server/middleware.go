@@ -8,6 +8,7 @@ import (
 	"carcs/internal/cache"
 	"carcs/internal/jobs"
 	"carcs/internal/journal"
+	"carcs/internal/resilience"
 )
 
 // DefaultRequestTimeout bounds a single request's handler time so one slow
@@ -91,14 +92,37 @@ type healthJSON struct {
 	Jobs       jobs.Stats     `json:"jobs"`
 	Durable    bool           `json:"durable"`
 	Journal    *journal.Stats `json:"journal,omitempty"`
+	Resilience resilienceJSON `json:"resilience"`
 }
 
-// GET /api/health — liveness plus durability and read-cache state. Reports
-// "degraded" with 503 when the journal has a sticky write failure
-// (mutations are being refused) so load balancers can rotate the instance
-// out. The cache block (entry count, hit ratio, last invalidation
-// generation) is what dashboards watch to confirm the read path is actually
-// being served from memoized results.
+// resilienceJSON is the overload-control block of the health payload.
+type resilienceJSON struct {
+	Limiter     resilience.LimiterStats      `json:"limiter"`
+	Breaker     *resilience.BreakerStats     `json:"breaker,omitempty"`
+	RateLimiter *resilience.RateLimiterStats `json:"rate_limiter,omitempty"`
+}
+
+// resilienceStats snapshots the overload controls for health reporting.
+func (s *Server) resilienceStats() resilienceJSON {
+	out := resilienceJSON{Limiter: s.limiter.Stats()}
+	if s.breaker != nil {
+		st := s.breaker.Stats()
+		out.Breaker = &st
+	}
+	if s.ratelimit != nil {
+		st := s.ratelimit.Stats()
+		out.RateLimiter = &st
+	}
+	return out
+}
+
+// GET /api/health — the full diagnostic payload: durability, read-cache,
+// job-runner, and overload-control state. Reports "degraded" with 503
+// when the journal has a sticky write failure or the write circuit is
+// open (mutations are being refused) so load balancers can rotate the
+// instance out. The cache block (entry count, hit ratio, last
+// invalidation generation) is what dashboards watch to confirm the read
+// path is actually being served from memoized results.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := healthJSON{
 		Status:     "ok",
@@ -106,6 +130,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Generation: s.sys.Generation(),
 		Cache:      s.sys.CacheStats(),
 		Jobs:       s.runner.Stats(),
+		Resilience: s.resilienceStats(),
 	}
 	code := http.StatusOK
 	if s.persister != nil {
@@ -117,5 +142,43 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusServiceUnavailable
 		}
 	}
+	if s.breaker != nil && s.breaker.Open() && code == http.StatusOK {
+		resp.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
 	writeJSON(w, code, resp)
+}
+
+// GET /api/health/live — pure liveness: answers 200 whenever the process
+// can serve HTTP at all, regardless of journal or overload state. Restart
+// probes key off this; an overloaded-but-alive instance must not be
+// killed into a thundering restart.
+func (s *Server) handleHealthLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "live"})
+}
+
+// GET /api/health/ready — readiness for traffic: 503 (with reasons) when
+// the write circuit is open, the journal is refusing appends, or the read
+// queue is saturated; 200 otherwise. Load balancers key rotation off this
+// while the liveness probe stays green.
+func (s *Server) handleHealthReady(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.breaker != nil && s.breaker.Open() {
+		reasons = append(reasons, "write circuit open")
+	}
+	if s.persister != nil {
+		if st := s.persister.Stats(); st.Err != "" {
+			reasons = append(reasons, "journal degraded: "+st.Err)
+		}
+	}
+	if s.limiter.Saturated() {
+		reasons = append(reasons, "read queue saturated")
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready", "reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"carcs/internal/cache"
+	"carcs/internal/core"
+	"carcs/internal/resilience"
+)
+
+// The resilience middleware sits between the timeout handler and the mux,
+// so every admitted request carries the deadline the limiter budgeted
+// against. Requests are classified (health > read > write > bulk), rate
+// limited per client, checked against the write-path circuit breaker, and
+// admitted through the adaptive concurrency limiter. Rejections always
+// carry the standard JSON envelope plus a computed Retry-After — never a
+// bare status — and shed reads fall back to the previous generation's
+// memoized response when one exists, marked CARCS-Stale.
+
+// ResilienceConfig tunes the server's overload behavior. The zero value
+// keeps the limiter at its package defaults, leaves per-client rate
+// limiting off, and serves stale reads at most one generation behind.
+type ResilienceConfig struct {
+	// Limiter configures the adaptive concurrency limiter.
+	Limiter resilience.LimiterConfig
+	// RateLimit, when non-nil, enables per-client token-bucket limiting.
+	RateLimit *resilience.RateLimiterConfig
+	// StaleGenerations is how many generations behind a memoized response
+	// may be and still serve during degradation. Zero disables serve-stale.
+	StaleGenerations uint64
+}
+
+// SetResilience replaces the server's overload policy. Call before serving.
+func (s *Server) SetResilience(cfg ResilienceConfig) {
+	s.limiter = resilience.NewLimiter(cfg.Limiter)
+	s.staleGens = cfg.StaleGenerations
+	s.ratelimit = nil
+	if cfg.RateLimit != nil {
+		s.ratelimit = resilience.NewRateLimiter(*cfg.RateLimit)
+	}
+}
+
+// classifyRequest buckets a request for admission control. Health probes
+// must never queue behind traffic they are meant to diagnose; bulk
+// ingestion is the first load to shed.
+func classifyRequest(r *http.Request) resilience.Class {
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/api/health"):
+		return resilience.ClassHealth
+	case r.Method == http.MethodGet || r.Method == http.MethodHead:
+		return resilience.ClassRead
+	case r.URL.Path == "/api/import":
+		return resilience.ClassBulk
+	default:
+		return resilience.ClassWrite
+	}
+}
+
+// clientKey identifies a client for rate limiting: the X-API-Key header
+// when present, otherwise the remote address without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeOverload answers a 429/503 with the standard envelope and a
+// Retry-After computed from actual pressure (never a bare status).
+func writeOverload(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
+	secs := int((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, status, apiError{Error: msg, RetryAfterSeconds: secs})
+}
+
+// withResilience is the admission-control middleware.
+func (s *Server) withResilience(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		class := classifyRequest(r)
+		if class == resilience.ClassHealth {
+			// Liveness and readiness bypass every gate: an operator must be
+			// able to see an overloaded instance's state from the outside.
+			next.ServeHTTP(w, r)
+			return
+		}
+		if s.ratelimit != nil {
+			if ok, retry := s.ratelimit.Allow(clientKey(r)); !ok {
+				writeOverload(w, http.StatusTooManyRequests, "client rate limit exceeded", retry)
+				return
+			}
+		}
+		if class != resilience.ClassRead && s.breaker != nil && s.breaker.FastFail() {
+			// The journal is refusing appends; fail the write before it
+			// queues. Reads keep flowing — they serve from snapshots.
+			writeOverload(w, http.StatusServiceUnavailable,
+				"writes unavailable: journal circuit open", s.breaker.RetryAfter())
+			return
+		}
+		release, err := s.limiter.Acquire(r.Context(), class)
+		if err != nil {
+			if class == resilience.ClassRead && s.serveStale(w, r) {
+				return
+			}
+			writeOverload(w, http.StatusServiceUnavailable,
+				"server overloaded: "+err.Error(), s.limiter.RetryAfter())
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// staleKey is the memoization key for a read endpoint's rendered response.
+// The full request URI keys it, so distinct query shapes never alias.
+func staleKey(r *http.Request) string {
+	return cache.Key("http", r.URL.RequestURI())
+}
+
+// serveStale answers a shed GET from the generation-keyed response cache,
+// accepting entries up to staleGens generations behind the current one. A
+// served response carries the generation it was computed at as its ETag
+// and, when genuinely behind, CARCS-Stale: true — degraded but honest.
+// Returns false when nothing eligible is cached (the caller sheds).
+func (s *Server) serveStale(w http.ResponseWriter, r *http.Request) bool {
+	if s.staleGens == 0 {
+		return false
+	}
+	cur := s.sys.Generation()
+	val, gen, ok := s.sys.ResultCache().Stale(staleKey(r), cur, s.staleGens)
+	if !ok {
+		return false
+	}
+	resp, ok := val.(*cachedResponse)
+	if !ok {
+		return false
+	}
+	tag := `"` + strconv.FormatUint(gen, 10) + `"`
+	w.Header().Set("ETag", tag)
+	if gen < cur {
+		w.Header().Set("CARCS-Stale", "true")
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	w.Header().Set("Content-Type", resp.contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(resp.body)
+	}
+	return true
+}
+
+// writeMutationError maps a failed mutation onto the wire: a journal
+// outage (the breaker is open or the append failed) is the server's
+// problem, so it answers 503 with a Retry-After from the breaker's
+// cooldown; anything else keeps the handler's fallback status.
+func (s *Server) writeMutationError(w http.ResponseWriter, fallback int, err error) {
+	if errors.Is(err, core.ErrWritesUnavailable) {
+		retry := time.Second
+		if s.breaker != nil {
+			retry = s.breaker.RetryAfter()
+		}
+		writeOverload(w, http.StatusServiceUnavailable, err.Error(), retry)
+		return
+	}
+	writeError(w, fallback, err.Error())
+}
+
+// writeReadError maps a failed read: a context error means the request
+// was cancelled or ran out its deadline mid-computation (the kernels bail
+// out cooperatively), which is overload, not a client mistake.
+func writeReadError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeOverload(w, http.StatusServiceUnavailable, "request cancelled: "+err.Error(), time.Second)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// importRetryAfter estimates when the job queue will have drained enough
+// to accept another submission, from the live queue depth.
+func (s *Server) importRetryAfter() time.Duration {
+	st := s.runner.Stats()
+	d := time.Duration(st.QueueLen+st.Running) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}

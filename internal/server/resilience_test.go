@@ -1,0 +1,506 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"carcs/internal/core"
+	"carcs/internal/jobs"
+	"carcs/internal/journal"
+	"carcs/internal/resilience"
+	"carcs/internal/workflow"
+)
+
+// faultControl wraps every (re)opened WAL sink in a FaultWriter; while
+// sick, fresh writers are severed immediately so half-open probes keep
+// failing until heal. Mirrors the harness in core's breaker tests.
+type faultControl struct {
+	mu   sync.Mutex
+	cur  *journal.FaultWriter
+	sick bool
+}
+
+func (fc *faultControl) wrap(ws journal.WriteSyncer) journal.WriteSyncer {
+	fw := journal.NewFaultWriter(ws, -1, false)
+	fc.mu.Lock()
+	fc.cur = fw
+	if fc.sick {
+		fw.SeverAfter(0)
+	}
+	fc.mu.Unlock()
+	return fw
+}
+
+func (fc *faultControl) sever() {
+	fc.mu.Lock()
+	fc.sick = true
+	fc.cur.SeverAfter(0)
+	fc.mu.Unlock()
+}
+
+func (fc *faultControl) heal() {
+	fc.mu.Lock()
+	fc.sick = false
+	fc.mu.Unlock()
+}
+
+// overloadBody is the JSON envelope every 429/503 must carry.
+type overloadBody struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// checkOverloadResponse asserts the rejection contract: matching status,
+// a positive Retry-After header, and the mirrored envelope field.
+func checkOverloadResponse(t *testing.T, rec *httptest.ResponseRecorder, status int) {
+	t.Helper()
+	if rec.Code != status {
+		t.Fatalf("status = %d, want %d: %s", rec.Code, status, rec.Body)
+	}
+	ra := rec.Header().Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("%d response missing Retry-After", status)
+	}
+	var body overloadBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%d response not the standard envelope: %q", status, rec.Body)
+	}
+	if body.Error == "" || body.RetryAfterSeconds < 1 {
+		t.Fatalf("%d envelope = %+v", status, body)
+	}
+}
+
+// TestServeStaleOnShed pins the degraded read path: a shed GET whose URI
+// was memoized at most StaleGenerations behind answers 200 from cache
+// with CARCS-Stale and the generation it was computed at as its ETag;
+// beyond the allowance it sheds for real with the overload envelope.
+func TestServeStaleOnShed(t *testing.T) {
+	s, sys := newTestServer(t)
+	s.SetResilience(ResilienceConfig{
+		Limiter: resilience.LimiterConfig{
+			Initial: 1, Min: 1, Max: 1,
+			MaxWait:    5 * time.Millisecond,
+			ShedMargin: time.Millisecond,
+		},
+		StaleGenerations: 1,
+	})
+
+	path := "/api/coverage?ontology=cs13"
+	rec := do(t, s, "GET", path, "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm read = %d: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("CARCS-Stale") != "" {
+		t.Fatal("fresh response marked stale")
+	}
+	freshTag := rec.Header().Get("ETag")
+	freshBody := rec.Body.String()
+
+	addMat := func(id string) {
+		t.Helper()
+		m := fromJSON(materialJSON{
+			ID: id, Title: id, Kind: "assignment", Level: "CS1",
+			Classifications: []string{"acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"},
+		})
+		if err := sys.AddMaterial(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addMat("stale-1") // one generation ahead of the memoized response
+
+	// Hold the only concurrency slot so the next read is shed.
+	release, err := s.limiter.Acquire(context.Background(), resilience.ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec = do(t, s, "GET", path, "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shed read with cached previous generation = %d: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("CARCS-Stale") != "true" {
+		t.Error("stale response not marked CARCS-Stale")
+	}
+	if got := rec.Header().Get("ETag"); got != freshTag {
+		t.Errorf("stale ETag = %s, want the cached generation %s", got, freshTag)
+	}
+	if rec.Body.String() != freshBody {
+		t.Error("stale body differs from the memoized response")
+	}
+
+	// Conditional requests still work against the stale validator.
+	req := httptest.NewRequest("GET", path, nil)
+	req.Header.Set("If-None-Match", freshTag)
+	cond := httptest.NewRecorder()
+	s.ServeHTTP(cond, req)
+	if cond.Code != http.StatusNotModified {
+		t.Errorf("conditional stale read = %d, want 304", cond.Code)
+	}
+
+	// Two more generations put the cached entry beyond the allowance:
+	// now the shed is real, with the full overload contract.
+	addMat("stale-2")
+	addMat("stale-3")
+	rec = do(t, s, "GET", path, "", nil)
+	checkOverloadResponse(t, rec, http.StatusServiceUnavailable)
+
+	release()
+	rec = do(t, s, "GET", path, "", nil)
+	if rec.Code != http.StatusOK || rec.Header().Get("CARCS-Stale") != "" {
+		t.Fatalf("recovered read = %d stale=%q", rec.Code, rec.Header().Get("CARCS-Stale"))
+	}
+}
+
+// TestPerClientRateLimit pins the 429 path: per-key token buckets, the
+// overload envelope on rejection, isolation between clients, and the
+// health exemption.
+func TestPerClientRateLimit(t *testing.T) {
+	s, _ := newTestServer(t)
+	s.SetResilience(ResilienceConfig{
+		RateLimit: &resilience.RateLimiterConfig{
+			RatePerSecond: 0.001, // effectively no refill within the test
+			Burst:         2,
+			MaxClients:    16,
+		},
+		StaleGenerations: 1,
+	})
+
+	get := func(apiKey string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/api/status", nil)
+		if apiKey != "" {
+			req.Header.Set("X-API-Key", apiKey)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec
+	}
+
+	for i := 0; i < 2; i++ {
+		if rec := get(""); rec.Code != http.StatusOK {
+			t.Fatalf("request %d within burst = %d", i, rec.Code)
+		}
+	}
+	checkOverloadResponse(t, get(""), http.StatusTooManyRequests)
+
+	// A different API key is a different bucket.
+	if rec := get("someone-else"); rec.Code != http.StatusOK {
+		t.Errorf("other client limited too: %d", rec.Code)
+	}
+
+	// Health probes bypass the limiter entirely.
+	if rec := do(t, s, "GET", "/api/health/live", "", nil); rec.Code != http.StatusOK {
+		t.Errorf("live probe rate limited: %d", rec.Code)
+	}
+
+	var h struct {
+		Resilience struct {
+			RateLimiter *resilience.RateLimiterStats `json:"rate_limiter"`
+		} `json:"resilience"`
+	}
+	rec := do(t, s, "GET", "/api/health", "", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Resilience.RateLimiter == nil || h.Resilience.RateLimiter.Limited == 0 {
+		t.Errorf("health rate-limiter stats = %+v", h.Resilience.RateLimiter)
+	}
+}
+
+// TestHealthLiveReadyAndStats pins the split health surface on a healthy
+// in-memory server: live and ready answer 200, and the full payload
+// carries the limiter stats block.
+func TestHealthLiveReadyAndStats(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	rec := do(t, s, "GET", "/api/health/live", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("live = %d", rec.Code)
+	}
+	rec = do(t, s, "GET", "/api/health/ready", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready = %d: %s", rec.Code, rec.Body)
+	}
+
+	var h struct {
+		Resilience struct {
+			Limiter resilience.LimiterStats `json:"limiter"`
+		} `json:"resilience"`
+	}
+	rec = do(t, s, "GET", "/api/health", "", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Resilience.Limiter.Limit <= 0 {
+		t.Errorf("health limiter stats = %+v", h.Resilience.Limiter)
+	}
+}
+
+// TestImportQueueFullOverloadEnvelope pins the unified backpressure path:
+// a full job queue answers 503 through the standard envelope with a
+// computed Retry-After, not a hand-rolled header.
+func TestImportQueueFullOverloadEnvelope(t *testing.T) {
+	s, _ := newTestServer(t)
+	unblock := make(chan struct{})
+	defer close(unblock)
+
+	// Saturate the workers and fill the bounded submission queue.
+	blocker := func(ctx context.Context, j *jobs.Job) error {
+		select {
+		case <-unblock:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	for {
+		if _, err := s.Runner().Submit("block", "", blocker); err != nil {
+			break // queue full
+		}
+	}
+
+	rec := doRaw(t, s, "POST", "/api/import", "ed", `{"id":"x","title":"X","kind":"assignment","level":"CS1"}`)
+	checkOverloadResponse(t, rec, http.StatusServiceUnavailable)
+}
+
+// TestChaosJournalFaultGracefulDegradation is the fault-injection chaos
+// drill (run by `make chaos`): with the WAL severed mid-flight, writes
+// must fast-fail 503 with Retry-After (first through append errors, then
+// through the open breaker), reads must keep serving with zero 5xx off
+// their snapshots, readiness must flip while liveness stays green — and
+// once the medium heals, a half-open probe must repair the log and close
+// the breaker without a restart.
+func TestChaosJournalFaultGracefulDegradation(t *testing.T) {
+	dir := t.TempDir()
+	fc := &faultControl{}
+	cooldown := 100 * time.Millisecond
+	sys, p, err := core.OpenDurable(dir, core.DurableOptions{
+		Seed:    true,
+		WrapWAL: fc.wrap,
+		Breaker: resilience.BreakerConfig{FailureThreshold: 3, Cooldown: cooldown},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sys.Workflow().Register("ed", workflow.RoleEditor)
+	s := New(sys, io.Discard)
+	s.SetPersister(p)
+
+	readPaths := []string{
+		"/api/coverage?ontology=cs13",
+		"/api/gaps?ontology=pdc12&core_only=true",
+		"/api/materials?collection=nifty",
+		"/api/status",
+	}
+	for _, path := range readPaths {
+		if rec := do(t, s, "GET", path, "", nil); rec.Code != http.StatusOK {
+			t.Fatalf("warm %s = %d", path, rec.Code)
+		}
+	}
+
+	mat := func(id string) materialJSON {
+		return materialJSON{
+			ID: id, Title: id, Kind: "assignment", Level: "CS1",
+			Classifications: []string{"acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"},
+		}
+	}
+	if rec := do(t, s, "POST", "/api/materials", "ed", mat("healthy-0")); rec.Code != http.StatusCreated {
+		t.Fatalf("healthy write = %d: %s", rec.Code, rec.Body)
+	}
+
+	fc.sever()
+
+	// Mixed traffic against the degraded instance: every write must be a
+	// fast, well-formed 503; every read must succeed.
+	const (
+		writers       = 4
+		readers       = 4
+		perGoroutine  = 12
+		writeDeadline = 2 * time.Second
+	)
+	errc := make(chan error, writers+readers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				start := time.Now()
+				rec := do(t, s, "POST", "/api/materials", "ed", mat(fmt.Sprintf("degraded-%d-%d", wi, i)))
+				if rec.Code != http.StatusServiceUnavailable {
+					errc <- fmt.Errorf("degraded write = %d: %s", rec.Code, rec.Body)
+					return
+				}
+				if rec.Header().Get("Retry-After") == "" {
+					errc <- fmt.Errorf("degraded write missing Retry-After: %s", rec.Body)
+					return
+				}
+				if d := time.Since(start); d > writeDeadline {
+					errc <- fmt.Errorf("degraded write took %v, want fast fail", d)
+					return
+				}
+			}
+		}(wi)
+	}
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				path := readPaths[(ri+i)%len(readPaths)]
+				rec := do(t, s, "GET", path, "", nil)
+				if rec.Code >= 500 {
+					errc <- fmt.Errorf("read %s = %d during journal outage: %s", path, rec.Code, rec.Body)
+					return
+				}
+			}
+		}(ri)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The instance self-reports: unready and degraded, but alive.
+	if rec := do(t, s, "GET", "/api/health/ready", "", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("ready during outage = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, "GET", "/api/health/live", "", nil); rec.Code != http.StatusOK {
+		t.Errorf("live during outage = %d", rec.Code)
+	}
+	var h struct {
+		Status     string `json:"status"`
+		Resilience struct {
+			Breaker *resilience.BreakerStats `json:"breaker"`
+		} `json:"resilience"`
+	}
+	rec := do(t, s, "GET", "/api/health", "", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("health during outage = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Resilience.Breaker == nil || h.Resilience.Breaker.Trips == 0 {
+		t.Errorf("degraded health = status %q, breaker %+v", h.Status, h.Resilience.Breaker)
+	}
+
+	// Heal the medium; after the cooldown a half-open probe repairs the
+	// WAL and writes flow again — no restart, no manual intervention.
+	fc.heal()
+	deadline := time.Now().Add(5 * time.Second)
+	var last *httptest.ResponseRecorder
+	for i := 0; ; i++ {
+		last = do(t, s, "POST", "/api/materials", "ed", mat(fmt.Sprintf("recovered-%d", i)))
+		if last.Code == http.StatusCreated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writes never recovered after heal: %d %s", last.Code, last.Body)
+		}
+		time.Sleep(cooldown / 4)
+	}
+	if rec := do(t, s, "GET", "/api/health/ready", "", nil); rec.Code != http.StatusOK {
+		t.Errorf("ready after recovery = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestOverloadShedsAndKeepsGoodput drives a deliberately tiny limiter at
+// ~4x its capacity and checks the two halves of graceful degradation:
+// goodput stays above half of the uncontended baseline (admission control
+// protects throughput instead of collapsing), and every rejected request
+// is a fast, well-formed 503 — bounded by the limiter's wait budget, not
+// by the full service time.
+func TestOverloadShedsAndKeepsGoodput(t *testing.T) {
+	// The slow endpoint sleeps rather than burns CPU, so the saturation
+	// pattern works even on a single-core runner.
+	s, _ := newTestServer(t)
+	const (
+		capacity = 2
+		service  = 10 * time.Millisecond
+		phase    = 400 * time.Millisecond
+	)
+	s.SetResilience(ResilienceConfig{
+		Limiter: resilience.LimiterConfig{
+			Initial: capacity, Min: 1, Max: capacity,
+			MaxWait:    25 * time.Millisecond,
+			ShedMargin: time.Millisecond,
+		},
+		StaleGenerations: 0, // force real sheds; stale serving is tested elsewhere
+	})
+	s.mux.HandleFunc("GET /test/slow", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(service):
+		case <-r.Context().Done():
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+	})
+
+	run := func(workers int) (ok, shed int, worst time.Duration) {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		stop := time.Now().Add(phase)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					start := time.Now()
+					rec := do(t, s, "GET", "/test/slow", "", nil)
+					lat := time.Since(start)
+					mu.Lock()
+					if lat > worst {
+						worst = lat
+					}
+					switch rec.Code {
+					case http.StatusOK:
+						ok++
+					case http.StatusServiceUnavailable:
+						shed++
+						if rec.Header().Get("Retry-After") == "" {
+							mu.Unlock()
+							t.Errorf("shed response missing Retry-After: %s", rec.Body)
+							return
+						}
+					default:
+						mu.Unlock()
+						t.Errorf("unexpected status %d: %s", rec.Code, rec.Body)
+						return
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return ok, shed, worst
+	}
+
+	baselineOK, _, _ := run(capacity)
+	if baselineOK == 0 {
+		t.Fatal("baseline served nothing")
+	}
+	overloadOK, overloadShed, worst := run(4 * capacity)
+
+	if overloadShed == 0 {
+		t.Error("4x saturation produced no sheds; admission control inactive")
+	}
+	if overloadOK*2 < baselineOK {
+		t.Errorf("goodput collapsed under overload: %d ok vs baseline %d", overloadOK, baselineOK)
+	}
+	// Every request — served or shed — must resolve within the service
+	// time plus the wait budget, with a wide scheduler allowance: shed
+	// latency is bounded by policy, not by queue depth.
+	if worst > time.Second {
+		t.Errorf("worst-case latency %v under overload; shedding not deadline-bounded", worst)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"carcs/internal/core"
 	"carcs/internal/jobs"
 	"carcs/internal/material"
+	"carcs/internal/resilience"
 	"carcs/internal/workflow"
 )
 
@@ -46,6 +47,14 @@ type Server struct {
 	runner    *jobs.Runner
 	timeout   time.Duration
 	handler   http.Handler
+
+	// Overload controls (see resilience.go): adaptive admission, optional
+	// per-client rate limiting, the write-path breaker surfaced from the
+	// persister, and the serve-stale generation allowance.
+	limiter   *resilience.Limiter
+	ratelimit *resilience.RateLimiter
+	breaker   *resilience.Breaker
+	staleGens uint64
 }
 
 // New builds a server around the system, logging to w (io.Discard for
@@ -54,12 +63,20 @@ type Server struct {
 // during shutdown so in-flight jobs finish before exit.
 func New(sys *core.System, w io.Writer) *Server {
 	s := &Server{
-		sys:     sys,
-		mux:     http.NewServeMux(),
-		log:     log.New(w, "carcs ", log.LstdFlags),
-		runner:  jobs.NewRunner(0, 0),
-		timeout: DefaultRequestTimeout,
+		sys:       sys,
+		mux:       http.NewServeMux(),
+		log:       log.New(w, "carcs ", log.LstdFlags),
+		runner:    jobs.NewRunner(0, 0),
+		timeout:   DefaultRequestTimeout,
+		limiter:   resilience.NewLimiter(resilience.LimiterConfig{}),
+		staleGens: 1,
 	}
+	// Background bulk jobs compete for the same capacity as requests:
+	// each holds one bulk-class slot while it runs, so foreground reads
+	// and writes are never starved by an import sweep.
+	s.runner.SetAdmission(func(ctx context.Context) (func(), error) {
+		return s.limiter.Acquire(ctx, resilience.ClassBulk)
+	})
 	s.routes()
 	s.rebuildHandler()
 	return s
@@ -78,8 +95,12 @@ func (s *Server) DrainJobs(ctx context.Context) error {
 }
 
 // SetPersister attaches the durability layer so /api/health can report
-// journal and checkpoint state. Call before serving.
-func (s *Server) SetPersister(p *core.Persister) { s.persister = p }
+// journal and checkpoint state and the HTTP layer can fast-fail writes
+// when the journal circuit is open. Call before serving.
+func (s *Server) SetPersister(p *core.Persister) {
+	s.persister = p
+	s.breaker = p.Breaker()
+}
 
 // SetRequestTimeout changes the per-request deadline (0 disables it). Call
 // before serving.
@@ -90,9 +111,10 @@ func (s *Server) SetRequestTimeout(d time.Duration) {
 
 // rebuildHandler assembles the middleware stack: request logging outermost
 // (so it records the final status even of panics and timeouts), panic
-// recovery next, and the per-request timeout innermost.
+// recovery next, the per-request timeout, then admission control — inside
+// the timeout so the limiter's wait budget sees the request deadline.
 func (s *Server) rebuildHandler() {
-	var h http.Handler = s.mux
+	h := s.withResilience(s.mux)
 	if s.timeout > 0 {
 		h = http.TimeoutHandler(h, s.timeout, `{"error":"request timed out"}`)
 	}
@@ -115,6 +137,8 @@ func (s *Server) routes() {
 	// JSON API.
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/health/live", s.handleHealthLive)
+	s.mux.HandleFunc("GET /api/health/ready", s.handleHealthReady)
 
 	s.mux.HandleFunc("GET /api/materials", s.withETag(s.handleListMaterials))
 	s.mux.HandleFunc("POST /api/materials", s.requireRole(workflow.RoleEditor, s.handleCreateMaterial))
@@ -166,6 +190,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type apiError struct {
 	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503
+	// responses, so clients parsing only the body still back off right.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

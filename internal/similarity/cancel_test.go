@@ -1,0 +1,35 @@
+package similarity
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"carcs/internal/corpus"
+)
+
+func TestBuildBipartiteCtxCancelledReturnsPromptly(t *testing.T) {
+	mats := corpus.Synthetic(corpus.SyntheticOptions{N: 3000, Seed: 5}).All()
+	left, right := mats[:1500], mats[1500:]
+
+	if _, err := BuildBipartiteCtx(context.Background(), left, right, SharedCount, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	g, err := BuildBipartiteCtx(ctx, left, right, SharedCount, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if g != nil {
+		t.Fatal("cancelled build returned a graph")
+	}
+	// Scoring 1500x1500 pairs dwarfs the bail-out path; workers check the
+	// context at every row boundary.
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("cancelled build took %v, want prompt return", d)
+	}
+}

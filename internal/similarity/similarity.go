@@ -9,6 +9,7 @@
 package similarity
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -105,6 +106,15 @@ const parallelPairThreshold = 1 << 13
 // resulting graph is identical to the sequential construction regardless of
 // worker count.
 func BuildBipartite(left, right []*material.Material, metric Metric, threshold float64) *Graph {
+	g, _ := BuildBipartiteCtx(context.Background(), left, right, metric, threshold)
+	return g
+}
+
+// BuildBipartiteCtx is BuildBipartite with cooperative cancellation: every
+// scoring worker checks the context at row boundaries, so a shed or
+// timed-out request stops burning CPU after at most one row of pairs
+// instead of finishing the full n×m scan.
+func BuildBipartiteCtx(ctx context.Context, left, right []*material.Material, metric Metric, threshold float64) (*Graph, error) {
 	g := &Graph{
 		Nodes: make(map[string]*material.Material),
 		Side:  make(map[string]string),
@@ -122,20 +132,24 @@ func BuildBipartite(left, right []*material.Material, metric Metric, threshold f
 	if len(left)*len(right) < parallelPairThreshold {
 		workers = 1
 	}
-	for _, e := range scorePairs(left, right, metric, threshold, workers) {
+	edges, err := scorePairs(ctx, left, right, metric, threshold, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
 		g.insertEdge(e)
 	}
 	g.sortEdges()
-	return g
+	return g, nil
 }
 
 // scorePairs scores every (left, right) pair against the threshold across
 // the given number of workers and returns the qualifying edges in row-major
 // (left index, right index) order — the exact order a sequential double
 // loop would produce them in, for any worker count.
-func scorePairs(left, right []*material.Material, metric Metric, threshold float64, workers int) []Edge {
+func scorePairs(ctx context.Context, left, right []*material.Material, metric Metric, threshold float64, workers int) ([]Edge, error) {
 	if workers <= 1 || len(left) == 0 {
-		return scoreRows(left, right, metric, threshold)
+		return scoreRows(ctx, left, right, metric, threshold)
 	}
 	if workers > len(left) {
 		workers = len(left)
@@ -147,6 +161,7 @@ func scorePairs(left, right []*material.Material, metric Metric, threshold float
 		blocks = len(left)
 	}
 	parts := make([][]Edge, blocks)
+	errs := make([]error, blocks)
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for bi := 0; bi < blocks; bi++ {
@@ -157,10 +172,15 @@ func scorePairs(left, right []*material.Material, metric Metric, threshold float
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			parts[bi] = scoreRows(left[lo:hi], right, metric, threshold)
+			parts[bi], errs[bi] = scoreRows(ctx, left[lo:hi], right, metric, threshold)
 		}(bi, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	var total int
 	for _, p := range parts {
 		total += len(p)
@@ -169,12 +189,15 @@ func scorePairs(left, right []*material.Material, metric Metric, threshold float
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }
 
-func scoreRows(left, right []*material.Material, metric Metric, threshold float64) []Edge {
+func scoreRows(ctx context.Context, left, right []*material.Material, metric Metric, threshold float64) ([]Edge, error) {
 	var out []Edge
 	for _, a := range left {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, b := range right {
 			if s := metric(a, b); s >= threshold {
 				out = append(out, Edge{
@@ -184,7 +207,7 @@ func scoreRows(left, right []*material.Material, metric Metric, threshold float6
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Build builds a unipartite similarity graph over one material set,

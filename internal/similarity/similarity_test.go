@@ -1,6 +1,7 @@
 package similarity
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -221,12 +222,18 @@ func TestFigure3AblationMetrics(t *testing.T) {
 func TestScorePairsParallelDeterminism(t *testing.T) {
 	mats := corpus.Synthetic(corpus.SyntheticOptions{N: 400, Seed: 7}).All()
 	left, right := mats[:200], mats[200:]
-	seq := scorePairs(left, right, SharedCount, 2, 1)
+	seq, err := scorePairs(context.Background(), left, right, SharedCount, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(seq) == 0 {
 		t.Fatal("no edges in synthetic corpus; test is vacuous")
 	}
 	for _, workers := range []int{2, 3, 5, 16} {
-		par := scorePairs(left, right, SharedCount, 2, workers)
+		par, err := scorePairs(context.Background(), left, right, SharedCount, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !reflect.DeepEqual(seq, par) {
 			t.Fatalf("workers=%d: edge stream differs from sequential (%d vs %d edges)",
 				workers, len(par), len(seq))

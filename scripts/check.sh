@@ -20,6 +20,9 @@ go build ./...
 echo "== go test -race -shuffle=on =="
 go test -race -shuffle=on ./...
 
+echo "== chaos drill =="
+make chaos
+
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench . -benchtime 1x . > /dev/null
 
