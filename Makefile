@@ -23,12 +23,14 @@ fmt:
 check:
 	./scripts/check.sh
 
-# Fault-injection chaos drill: severed journal under mixed traffic, 4x
-# saturation goodput, breaker trip/probe/recovery. Race-enabled.
+# Fault-injection chaos drills: severed journal under mixed traffic, 4x
+# saturation goodput, breaker trip/probe/recovery, and the replica kill
+# drill (follower crashed and restarted mid-traffic behind the read
+# router, zero read 5xx tolerated). Race-enabled.
 chaos:
 	$(GO) test -race -count=1 \
 		-run 'TestChaos|TestOverload|TestWriteBreakerLifecycle' \
-		./internal/server/ ./internal/core/
+		./internal/server/ ./internal/core/ ./internal/replica/
 
 figures:
 	$(GO) run ./cmd/figures

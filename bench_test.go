@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"carcs/internal/classify"
 	"carcs/internal/core"
@@ -20,6 +21,7 @@ import (
 	"carcs/internal/material"
 	"carcs/internal/ontology"
 	"carcs/internal/relstore"
+	"carcs/internal/replica"
 	"carcs/internal/search"
 	"carcs/internal/server"
 	"carcs/internal/similarity"
@@ -535,6 +537,111 @@ func BenchmarkReadUnderIngest(b *testing.B) {
 		totalReads += atomic.LoadInt64(&reads)
 	}
 	b.ReportMetric(float64(totalReads)/b.Elapsed().Seconds(), "reads/s")
+}
+
+// ---------------------------------------------------------------------------
+// Replication: routed read throughput over a leader + two followers versus
+// the same reads against a single node, both over real HTTP. The router adds
+// a proxy hop per read, but the scatter spreads the read work over three
+// processes' worth of snapshot views; BENCH_3.json records both sides.
+// ---------------------------------------------------------------------------
+
+// benchCluster builds a seeded durable leader, two caught-up followers, and
+// a started router, all on real listeners.
+func benchCluster(b *testing.B) (routerURL, leaderURL string) {
+	b.Helper()
+	sys, p, err := core.OpenDurable(b.TempDir(), core.DurableOptions{Seed: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	leader := server.New(sys, io.Discard)
+	leader.SetPersister(p)
+	leader.SetHub(replica.NewHub(p, 0))
+	lts := httptest.NewServer(leader)
+	b.Cleanup(lts.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	b.Cleanup(cancel)
+	var followers []string
+	for i := 0; i < 2; i++ {
+		f, err := replica.Bootstrap(ctx, replica.FollowerConfig{LeaderURL: lts.URL})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fsrv := server.New(f.System(), io.Discard)
+		fsrv.SetFollower(f)
+		fts := httptest.NewServer(fsrv)
+		b.Cleanup(fts.Close)
+		go f.Run(ctx)
+		for deadline := time.Now().Add(30 * time.Second); f.Applied() < p.Seq(); {
+			if time.Now().After(deadline) {
+				b.Fatal("follower never caught up")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		followers = append(followers, fts.URL)
+	}
+
+	rt, err := replica.NewRouter(replica.RouterConfig{
+		Backends:      append([]string{lts.URL}, followers...),
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Start()
+	b.Cleanup(rt.Close)
+	rts := httptest.NewServer(rt)
+	b.Cleanup(rts.Close)
+	return rts.URL, lts.URL
+}
+
+func benchHTTPReads(b *testing.B, baseURL string) {
+	b.Helper()
+	paths := []string{
+		"/api/materials?collection=peachy",
+		"/api/search?q=fractal&k=5",
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	var n int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&n, 1)
+			resp, err := client.Get(baseURL + paths[i%int64(len(paths))])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
+// BenchmarkRouterScatterReads drives the hot read endpoints through the
+// router over a three-node cluster.
+func BenchmarkRouterScatterReads(b *testing.B) {
+	routerURL, _ := benchCluster(b)
+	benchHTTPReads(b, routerURL)
+}
+
+// BenchmarkSingleNodeHTTPReads is the baseline: the same reads against the
+// leader directly, no router hop.
+func BenchmarkSingleNodeHTTPReads(b *testing.B) {
+	sys, err := core.NewSeeded()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(sys, io.Discard))
+	b.Cleanup(ts.Close)
+	benchHTTPReads(b, ts.URL)
 }
 
 // BenchmarkTextPipeline isolates the NLP substrate.

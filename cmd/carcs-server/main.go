@@ -6,11 +6,22 @@
 // Usage:
 //
 //	carcs-server [-addr :8080] [-empty] [-data DIR] [-pprof]
+//	carcs-server -addr :8081 -follow http://leader:8080
+//	carcs-server -addr :8090 -route http://leader:8080,http://f1:8081,http://f2:8082
 //
 // With -data, every mutation is journaled to DIR before it is applied and
 // periodic checkpoints compact the journal; restarting with the same DIR
 // restores the full state, including anything written between checkpoints.
 // SIGINT/SIGTERM drain in-flight requests and write a final checkpoint.
+// A durable node also serves the replication endpoints, so any -data
+// server can act as a leader.
+//
+// With -follow, the process bootstraps from the leader's checkpoint and
+// tails its WAL, serving read-only replicas of the leader's state (writes
+// get 503 + a Leader header). With -route, the process is a thin read
+// router over the listed backends (first = leader): reads fan out across
+// in-sync followers with the leader as fallback, writes proxy to the
+// leader.
 //
 // Try:
 //
@@ -30,10 +41,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"carcs/internal/core"
+	"carcs/internal/replica"
 	"carcs/internal/resilience"
 	"carcs/internal/server"
 	"carcs/internal/workflow"
@@ -51,6 +64,11 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = disabled)")
 	rateBurst := flag.Float64("rate-burst", 0, "per-client burst allowance when -rate-limit is set (0 = default)")
 	staleGens := flag.Uint64("stale-generations", 1, "how many generations behind a shed read may serve from cache (0 = never serve stale)")
+	follow := flag.String("follow", "", "run as a read-only follower of this leader URL")
+	route := flag.String("route", "", "run as a read router over these comma-separated backend URLs (first = leader)")
+	routeMaxLag := flag.Uint64("route-max-lag", 0, "router staleness budget in journal sequences (0 = default)")
+	routeTimeout := flag.Duration("route-timeout", 0, "router per-backend read timeout (0 = default)")
+	routeProbe := flag.Duration("route-probe-interval", 0, "router health-probe interval (0 = default)")
 	flag.Parse()
 
 	res := server.ResilienceConfig{
@@ -68,7 +86,22 @@ func main() {
 		}
 	}
 
-	if err := run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn, res); err != nil {
+	var err error
+	switch {
+	case *follow != "" && *route != "":
+		err = errors.New("-follow and -route are mutually exclusive")
+	case *follow != "":
+		if *dataDir != "" {
+			err = errors.New("-follow replicates the leader's journal; it cannot also own a -data directory")
+		} else {
+			err = runFollower(*addr, *follow, *pprofOn, res)
+		}
+	case *route != "":
+		err = runRouter(*addr, *route, *routeMaxLag, *routeTimeout, *routeProbe)
+	default:
+		err = run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn, res)
+	}
+	if err != nil {
 		log.Fatalf("carcs-server: %v", err)
 	}
 }
@@ -106,7 +139,11 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprof
 		if ckptEvery > 0 {
 			persister.Start(ckptEvery)
 		}
+		// A durable node exposes the replication endpoints, so followers
+		// can bootstrap from its checkpoint and tail its WAL.
+		srv.SetHub(replica.NewHub(persister, 0))
 		fmt.Printf("carcs-server: journaling to %s (checkpoint every %v)\n", dataDir, ckptEvery)
+		fmt.Println("carcs-server: replication endpoints at /api/replication/{checkpoint,wal}")
 	}
 
 	st := sys.ComputeStats()
@@ -157,6 +194,130 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprof
 	}
 	if shutErr != nil && !errors.Is(shutErr, http.ErrServerClosed) {
 		return shutErr
+	}
+	return nil
+}
+
+// runFollower bootstraps from the leader's checkpoint and serves read-only
+// replicas of its state, tailing the WAL in the background. A fatal
+// replication error (out of sync, apply divergence) exits the process so a
+// supervisor restarts it into a fresh bootstrap.
+func runFollower(addr, leaderURL string, pprofOn bool, res server.ResilienceConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The leader may still be starting; retry the bootstrap with backoff
+	// until it answers or we are told to shut down.
+	var (
+		f   *replica.Follower
+		err error
+	)
+	bo := &resilience.Backoff{Max: 10 * time.Second}
+	for {
+		f, err = replica.Bootstrap(ctx, replica.FollowerConfig{LeaderURL: leaderURL})
+		if err == nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "carcs-server: bootstrap from %s: %v (retrying)\n", leaderURL, err)
+		if serr := bo.Sleep(ctx); serr != nil {
+			return fmt.Errorf("bootstrap from %s: %w", leaderURL, err)
+		}
+	}
+	fmt.Printf("carcs-server: bootstrapped from %s at seq %d\n", leaderURL, f.Applied())
+
+	// No local account registration: a follower's accounts, like the rest
+	// of its state, are whatever the leader's WAL says they are.
+	srv := server.New(f.System(), os.Stderr)
+	srv.SetResilience(res)
+	srv.SetFollower(f)
+	if pprofOn {
+		srv.EnablePprof()
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	runErr := make(chan error, 1)
+	go func() { runErr <- f.Run(ctx) }()
+	fmt.Printf("carcs-server: following %s, listening on %s\n", leaderURL, addr)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case err := <-runErr:
+		if errors.Is(err, context.Canceled) {
+			break // shutdown signal, fall through to drain
+		}
+		// Replication cannot continue (retention horizon passed, or an
+		// apply diverged): serving ever-staler reads silently would be
+		// worse than restarting into a clean bootstrap.
+		httpSrv.Close()
+		return fmt.Errorf("replication stopped: %w", err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("carcs-server: shutting down")
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runRouter serves the thin read router over the listed backends.
+func runRouter(addr, backends string, maxLag uint64, timeout, probe time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var urls []string
+	for _, b := range strings.Split(backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	rt, err := replica.NewRouter(replica.RouterConfig{
+		Backends:       urls,
+		MaxLag:         maxLag,
+		BackendTimeout: timeout,
+		ProbeInterval:  probe,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Printf("carcs-server: routing %d backends (leader %s), listening on %s\n",
+		len(urls), urls[0], addr)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Println("carcs-server: shutting down")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"carcs/internal/journal"
@@ -71,6 +72,12 @@ type Persister struct {
 	sys     *System
 	st      *journal.Store
 	breaker *resilience.Breaker
+
+	// sink, when set, observes every successfully journaled record. The
+	// replication hub installs one to feed its in-memory tail ring and
+	// wake long-polling followers. Loaded on the hot append path, hence
+	// atomic rather than mutex-guarded.
+	sink atomic.Pointer[func(journal.Record)]
 
 	mu     sync.Mutex
 	ticker *time.Ticker
@@ -150,10 +157,13 @@ func (p *Persister) journalHook(op string, data any) error {
 			return fmt.Errorf("%w: %w", ErrWritesUnavailable, rerr)
 		}
 	}
-	_, aerr := p.st.Append(op, data)
+	rec, aerr := p.st.AppendRecord(op, data)
 	p.breaker.Record(aerr)
 	if aerr != nil {
 		return fmt.Errorf("%w: %w", ErrWritesUnavailable, aerr)
+	}
+	if sink := p.sink.Load(); sink != nil {
+		(*sink)(rec)
 	}
 	return nil
 }
@@ -161,6 +171,64 @@ func (p *Persister) journalHook(op string, data any) error {
 // Breaker exposes the write-path circuit breaker so the HTTP layer can
 // fast-fail writes, report readiness, and serve breaker stats.
 func (p *Persister) Breaker() *resilience.Breaker { return p.breaker }
+
+// SetReplicationSink installs (or, with nil, removes) an observer invoked
+// with every record that reaches the fsync'd log, in commit order — the
+// feed the replication hub ships to followers. The sink runs on the write
+// path with the system's mutation lock held, so it must be fast and must
+// never call back into the System or the Persister.
+func (p *Persister) SetReplicationSink(fn func(journal.Record)) {
+	if fn == nil {
+		p.sink.Store(nil)
+		return
+	}
+	p.sink.Store(&fn)
+}
+
+// Seq returns the last journaled sequence number — the leader's replication
+// horizon.
+func (p *Persister) Seq() uint64 { return p.st.Stats().Seq }
+
+// CheckpointSeq returns the sequence covered by the latest checkpoint: the
+// oldest point a follower can tail the log from without re-bootstrapping.
+func (p *Persister) CheckpointSeq() uint64 { return p.st.Stats().CheckpointSeq }
+
+// CheckpointPayload returns the latest checkpoint's snapshot payload and
+// the sequence number it covers, for follower bootstrap. OpenDurable always
+// pins an initial checkpoint, so a missing one is an error here.
+func (p *Persister) CheckpointPayload() ([]byte, uint64, error) {
+	payload, seq, ok, err := p.st.CheckpointWithMeta()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("core: no checkpoint to bootstrap from")
+	}
+	return payload, seq, nil
+}
+
+// TailSince returns the journaled records with Seq > from still present in
+// the write-ahead log, or journal.ErrCompacted when that tail has been
+// folded into a checkpoint.
+func (p *Persister) TailSince(from uint64) ([]journal.Record, error) {
+	return p.st.TailSince(from)
+}
+
+// RestoreFromCheckpoint rebuilds a System from a checkpoint payload as
+// recovery does. A replication follower bootstraps this way from the
+// leader's served checkpoint, then applies the WAL tail with ApplyRecord.
+func RestoreFromCheckpoint(payload []byte) (*System, error) {
+	return restoreCheckpoint(payload)
+}
+
+// ApplyRecord re-executes one journaled mutation through the commit
+// pipeline, exactly as crash recovery replays the local log. Followers
+// apply the leader's shipped records with it; because no mutation hook is
+// installed on a follower, nothing is re-journaled, and each applied record
+// publishes a fresh snapshot view just like a local commit.
+func ApplyRecord(s *System, rec journal.Record) error {
+	return applyOp(s, rec)
+}
 
 func restoreCheckpoint(payload []byte) (*System, error) {
 	var doc checkpointDoc

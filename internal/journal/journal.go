@@ -85,34 +85,42 @@ func NewWriter(ws WriteSyncer, lastSeq uint64) *Writer {
 // Append marshals data, frames it with the next sequence number, writes and
 // syncs. It returns the record's sequence number.
 func (w *Writer) Append(op string, data any) (uint64, error) {
+	rec, err := w.AppendRecord(op, data)
+	return rec.Seq, err
+}
+
+// AppendRecord is Append returning the full committed record, so callers
+// that re-ship the log (the replication hub) get the exact bytes-equivalent
+// record without re-marshalling.
+func (w *Writer) AppendRecord(op string, data any) (Record, error) {
 	raw, err := json.Marshal(data)
 	if err != nil {
-		return 0, fmt.Errorf("journal: marshal %s: %w", op, err)
+		return Record{}, fmt.Errorf("journal: marshal %s: %w", op, err)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
-		return 0, fmt.Errorf("journal: writer failed earlier: %w", w.err)
+		return Record{}, fmt.Errorf("journal: writer failed earlier: %w", w.err)
 	}
 	rec := Record{Seq: w.seq + 1, Op: op, Data: raw}
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return 0, fmt.Errorf("journal: marshal record: %w", err)
+		return Record{}, fmt.Errorf("journal: marshal record: %w", err)
 	}
 	if len(payload) > MaxRecord {
-		return 0, fmt.Errorf("journal: record %s exceeds %d bytes", op, MaxRecord)
+		return Record{}, fmt.Errorf("journal: record %s exceeds %d bytes", op, MaxRecord)
 	}
 	frame := appendFrame(nil, payload)
 	if _, err := w.ws.Write(frame); err != nil {
 		w.err = err
-		return 0, fmt.Errorf("journal: append %s: %w", op, err)
+		return Record{}, fmt.Errorf("journal: append %s: %w", op, err)
 	}
 	if err := w.ws.Sync(); err != nil {
 		w.err = err
-		return 0, fmt.Errorf("journal: sync %s: %w", op, err)
+		return Record{}, fmt.Errorf("journal: sync %s: %w", op, err)
 	}
 	w.seq = rec.Seq
-	return rec.Seq, nil
+	return rec, nil
 }
 
 // Seq returns the sequence number of the last successfully appended record.
@@ -204,4 +212,38 @@ func DecodeAll(data []byte) ([]Record, int64, error) {
 		return nil
 	})
 	return out, valid, err
+}
+
+// ReadFrame decodes exactly one framed record from r, blocking until the
+// whole frame arrives. It is the streaming counterpart of Scan for readers
+// that cannot buffer the entire log — a replication follower tailing a
+// chunked HTTP response. io.EOF on a frame boundary means the stream ended
+// cleanly; a partial frame returns io.ErrUnexpectedEOF. Unlike Scan,
+// ReadFrame does not enforce sequence ordering across calls — the caller
+// tracks its own cursor (and a follower skips already-applied sequences).
+func ReadFrame(r io.Reader) (Record, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("journal: read frame header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > MaxRecord {
+		return Record{}, fmt.Errorf("%w: frame declares %d-byte payload", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, fmt.Errorf("journal: read frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, fmt.Errorf("%w: undecodable frame: %v", ErrCorrupt, err)
+	}
+	return rec, nil
 }

@@ -2,6 +2,10 @@ package journal
 
 import (
 	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -180,5 +184,194 @@ func TestStoreRecoverWhileStillSickFailsNextAppend(t *testing.T) {
 	}
 	if _, err := s.Append("y", nil); !errors.Is(err, ErrFault) {
 		t.Fatalf("append on still-sick medium err = %v, want ErrFault", err)
+	}
+}
+
+// TestReplayTornTailAcrossCheckpointBoundary cuts the log at EVERY byte
+// offset inside the final frame and asserts replay always recovers exactly
+// the whole records, with the checkpoint still covering its part. This is
+// the crash geometry a kill-9 during an append after a checkpoint leaves
+// behind: checkpoint at seq 3, one whole post-checkpoint record, one torn
+// one.
+func TestReplayTornTailAcrossCheckpointBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"a", "b", "c"} {
+		if _, err := s.Append(op, map[string]string{"op": op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fold a..c (seqs 1..3) into the checkpoint; the WAL resets.
+	payload := []byte(`{"snapshot":"abc"}`)
+	if err := s.WriteCheckpoint(func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append("d", map[string]string{"op": "d"}); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalStart := int64(len(whole)) // record e starts where d's frame ends
+	if _, err := s.Append("e", map[string]string{"op": "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := finalStart; cut <= int64(len(full)); cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			cdir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(cdir, checkpointFile), ckpt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(cdir, walFile), full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cs, err := Open(cdir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cs.Close()
+			var ops []string
+			if _, err := cs.Replay(func(rec Record) error {
+				ops = append(ops, rec.Op)
+				return nil
+			}); err != nil {
+				t.Fatalf("replay with tail cut at %d: %v", cut, err)
+			}
+			want := []string{"d"}
+			wantSeq := uint64(4)
+			if cut == int64(len(full)) {
+				want = []string{"d", "e"}
+				wantSeq = 5
+			}
+			if len(ops) != len(want) {
+				t.Fatalf("replayed ops = %v, want %v", ops, want)
+			}
+			for i := range want {
+				if ops[i] != want[i] {
+					t.Fatalf("replayed ops = %v, want %v", ops, want)
+				}
+			}
+			st := cs.Stats()
+			if st.Seq != wantSeq || st.CheckpointSeq != 3 {
+				t.Fatalf("stats = (seq %d, checkpoint %d), want (%d, 3)", st.Seq, st.CheckpointSeq, wantSeq)
+			}
+			// The torn bytes must be gone from disk, so the next append
+			// lands on a frame boundary.
+			if seq, err := cs.Append("f", nil); err != nil || seq != wantSeq+1 {
+				t.Fatalf("post-replay append = (%d, %v), want seq %d", seq, err, wantSeq+1)
+			}
+		})
+	}
+}
+
+// TestRecoverRacesAppend hammers Append from several writers while another
+// goroutine periodically severs the medium, heals it, and calls Recover —
+// the half-open probe path under live write pressure. Every acknowledged
+// append must survive the final reopen; every failed one must not.
+func TestRecoverRacesAppend(t *testing.T) {
+	dir := t.TempDir()
+	wt := &wrapTracker{}
+	s, err := Open(dir, &Options{WrapWAL: wt.wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		ackMu sync.Mutex
+		acked = make(map[uint64]string)
+	)
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				op := fmt.Sprintf("w%d-%d", wid, i)
+				seq, err := s.Append(op, nil)
+				if err != nil {
+					continue // unacked: must NOT survive recovery
+				}
+				ackMu.Lock()
+				acked[seq] = op
+				ackMu.Unlock()
+			}
+		}(wid)
+	}
+	// The chaos goroutine: sever the live writer, let a few appends fail,
+	// heal, recover. Loops until the writers are done.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for healthy := true; ; {
+		select {
+		case <-done:
+		default:
+			if healthy {
+				wt.sever(2) // torn frame: 2 bytes land, then the write dies
+			} else {
+				wt.heal()
+				if err := s.Recover(); err != nil {
+					t.Errorf("recover: %v", err)
+				}
+			}
+			healthy = !healthy
+			continue
+		}
+		break
+	}
+	// Leave the store healthy for the final drain.
+	wt.heal()
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	replayed := make(map[uint64]string)
+	if _, err := s2.Replay(func(rec Record) error {
+		if _, dup := replayed[rec.Seq]; dup {
+			return fmt.Errorf("duplicate seq %d", rec.Seq)
+		}
+		replayed[rec.Seq] = rec.Op
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for seq, op := range acked {
+		if got, ok := replayed[seq]; !ok || got != op {
+			t.Fatalf("acked seq %d (%s) missing or wrong after replay (got %q, present %v)", seq, op, got, ok)
+		}
 	}
 }

@@ -21,6 +21,11 @@ const (
 	walFile        = "journal.wal"
 )
 
+// ErrCompacted reports that the requested tail of the log has already been
+// folded into a checkpoint and truncated away. A replication follower that
+// sees it must re-bootstrap from the checkpoint instead of the log.
+var ErrCompacted = errors.New("journal: records compacted into checkpoint")
+
 // Options configure a Store.
 type Options struct {
 	// WrapWAL, if set, wraps the write-ahead log's sink whenever it is
@@ -54,6 +59,11 @@ type Store struct {
 
 	walBytes   atomic.Int64
 	walRecords uint64
+
+	// dirSyncErrors counts failed directory fsyncs after checkpoint
+	// installs. A rename without a durable directory entry can be lost by
+	// a crash, so degraded durability must be observable, not swallowed.
+	dirSyncErrors atomic.Uint64
 }
 
 // checkpointMeta is the first line of a checkpoint file.
@@ -134,6 +144,71 @@ func (s *Store) Checkpoint() ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("journal: read checkpoint: %w", err)
 	}
 	return payload, true, nil
+}
+
+// CheckpointWithMeta returns the latest snapshot payload together with the
+// sequence number it covers, reading both from the same opened file so a
+// concurrent checkpoint install (an atomic rename) can never mix the pair.
+// The replication bootstrap endpoint serves exactly this pair: followers
+// restore the payload and tail the log from the covered sequence.
+func (s *Store) CheckpointWithMeta() (payload []byte, seq uint64, ok bool, err error) {
+	path := filepath.Join(s.dir, checkpointFile)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("journal: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, err := r.ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return nil, 0, false, fmt.Errorf("journal: read checkpoint meta: %w", err)
+	}
+	var meta checkpointMeta
+	if err := json.Unmarshal(line, &meta); err != nil {
+		return nil, 0, false, fmt.Errorf("journal: parse checkpoint meta: %w", err)
+	}
+	payload, err = io.ReadAll(r)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("journal: read checkpoint: %w", err)
+	}
+	return payload, meta.Seq, true, nil
+}
+
+// TailSince reads every committed record with Seq > from still present in
+// the write-ahead log, in order. Records already folded into a checkpoint
+// are gone from the log; asking for them returns ErrCompacted and the
+// caller must bootstrap from the checkpoint instead. The read happens under
+// the store lock, so it observes a frame-consistent log — no append or
+// checkpoint truncation can interleave.
+func (s *Store) TailSince(from uint64) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered || s.closed {
+		return nil, fmt.Errorf("journal: store not open for tail reads")
+	}
+	if from < s.checkpointSeq {
+		return nil, fmt.Errorf("%w: want seq > %d, checkpoint covers %d", ErrCompacted, from, s.checkpointSeq)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, walFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: tail read wal: %w", err)
+	}
+	var out []Record
+	if _, err := Scan(bytes.NewReader(data), func(rec Record) error {
+		if rec.Seq > from {
+			out = append(out, rec)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Replay scans the write-ahead log, invoking fn for every committed record
@@ -251,17 +326,25 @@ func (s *Store) Recover() error {
 // Append journals one mutation: framed, written, and fsync'd before it
 // returns. It must not be called before Replay.
 func (s *Store) Append(op string, data any) (uint64, error) {
+	rec, err := s.AppendRecord(op, data)
+	return rec.Seq, err
+}
+
+// AppendRecord is Append returning the committed record, for callers that
+// forward the log downstream (the replication hub feeds its in-memory tail
+// ring from exactly what hit the disk).
+func (s *Store) AppendRecord(op string, data any) (Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.recovered || s.closed {
-		return 0, fmt.Errorf("journal: store not open for appends")
+		return Record{}, fmt.Errorf("journal: store not open for appends")
 	}
-	seq, err := s.w.Append(op, data)
+	rec, err := s.w.AppendRecord(op, data)
 	if err != nil {
-		return 0, err
+		return Record{}, err
 	}
 	s.walRecords++
-	return seq, nil
+	return rec, nil
 }
 
 // WriteCheckpoint atomically persists a new snapshot — the caller's write
@@ -302,7 +385,13 @@ func (s *Store) WriteCheckpoint(write func(io.Writer) error) error {
 		os.Remove(tmp)
 		return fmt.Errorf("journal: install checkpoint: %w", err)
 	}
-	syncDir(s.dir)
+	if err := syncDir(s.dir); err != nil {
+		// The rename landed but its directory entry may not be durable
+		// yet. Counting instead of failing keeps checkpointing available
+		// on filesystems that refuse directory syncs, while making the
+		// degraded guarantee observable through Stats and /api/health.
+		s.dirSyncErrors.Add(1)
+	}
 	fi, err := os.Stat(final)
 	if err != nil {
 		return fmt.Errorf("journal: stat checkpoint: %w", err)
@@ -346,6 +435,10 @@ type Stats struct {
 	CheckpointAt time.Time `json:"checkpoint_at"`
 	// CheckpointBytes is the checkpoint's on-disk size.
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// DirSyncErrors counts checkpoint installs whose directory fsync
+	// failed — the rename may not survive a crash. Non-zero means
+	// durability is degraded even though appends still succeed.
+	DirSyncErrors uint64 `json:"dir_sync_errors"`
 	// Err reports a sticky journal write failure, empty when healthy.
 	Err string `json:"err,omitempty"`
 }
@@ -361,6 +454,7 @@ func (s *Store) Stats() Stats {
 		WALBytes:        s.walBytes.Load(),
 		CheckpointAt:    s.checkpointAt,
 		CheckpointBytes: s.checkpointBytes,
+		DirSyncErrors:   s.dirSyncErrors.Load(),
 	}
 	if s.w != nil {
 		st.Seq = s.w.Seq()
@@ -402,13 +496,14 @@ func (c *countingWS) Write(p []byte) (int, error) {
 
 func (c *countingWS) Sync() error { return c.f.Sync() }
 
-// syncDir fsyncs a directory so a rename is durable; best-effort on
-// filesystems that refuse directory syncs.
-func syncDir(dir string) {
+// syncDir fsyncs a directory so a rename is durable. The caller decides
+// what a failure means — WriteCheckpoint counts it rather than failing the
+// checkpoint, since some filesystems refuse directory syncs entirely.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return err
 	}
 	defer d.Close()
-	_ = d.Sync()
+	return d.Sync()
 }

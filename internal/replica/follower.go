@@ -1,0 +1,221 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"carcs/internal/core"
+	"carcs/internal/journal"
+	"carcs/internal/resilience"
+)
+
+// ErrOutOfSync means the follower's cursor fell behind the leader's
+// retention horizon (checkpoint plus tail ring) — the shipped log no longer
+// reaches back to where this follower stopped. The only correct recovery is
+// a fresh bootstrap from the leader's checkpoint; the follower process
+// exits with this error and its supervisor restarts it into one.
+var ErrOutOfSync = errors.New("replica: follower behind leader retention horizon, re-bootstrap required")
+
+// FollowerConfig tunes a follower. Zero values take defaults.
+type FollowerConfig struct {
+	// LeaderURL is the leader's base URL, e.g. "http://leader:8080".
+	LeaderURL string
+	// Client overrides the HTTP client (tests). It must not set a global
+	// timeout — stream lifetimes are managed per request.
+	Client *http.Client
+	// PollWait is the requested WAL long-poll window.
+	PollWait time.Duration
+	// ReconnectBase and ReconnectMax bound the jittered exponential
+	// backoff between reconnect attempts; zeros take the resilience
+	// package defaults.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+}
+
+// Follower replicates a leader's WAL into a local System. Construct with
+// Bootstrap, serve reads from System(), and drive replication with Run.
+type Follower struct {
+	cfg    FollowerConfig
+	client *http.Client
+	sys    *core.System
+
+	applied    atomic.Uint64
+	leaderSeq  atomic.Uint64
+	connected  atomic.Bool
+	reconnects atomic.Uint64
+}
+
+// Bootstrap fetches the leader's checkpoint, restores a System from it, and
+// returns a follower whose cursor sits at the checkpoint's sequence. The
+// caller owns retrying a failed bootstrap (the leader may not be up yet).
+func Bootstrap(ctx context.Context, cfg FollowerConfig) (*Follower, error) {
+	f := &Follower{cfg: cfg, client: cfg.Client}
+	if f.client == nil {
+		f.client = defaultClient
+	}
+	f.cfg.LeaderURL = strings.TrimRight(cfg.LeaderURL, "/")
+	if f.cfg.LeaderURL == "" {
+		return nil, fmt.Errorf("replica: empty leader URL")
+	}
+	if f.cfg.PollWait <= 0 {
+		f.cfg.PollWait = DefaultPollWait
+	}
+
+	ckCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ckCtx, http.MethodGet,
+		f.cfg.LeaderURL+"/api/replication/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bootstrap: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: bootstrap: leader answered %s", resp.Status)
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get(HeaderCheckpointSeq), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bootstrap: bad %s header: %w", HeaderCheckpointSeq, err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bootstrap: read checkpoint: %w", err)
+	}
+	sys, err := core.RestoreFromCheckpoint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bootstrap: %w", err)
+	}
+	f.sys = sys
+	f.applied.Store(seq)
+	f.observeLeaderSeq(resp.Header)
+	return f, nil
+}
+
+// System returns the replicated system. Reads on it are the ordinary
+// snapshot-isolated view reads; its state is the leader's at Applied().
+func (f *Follower) System() *core.System { return f.sys }
+
+// LeaderURL returns the leader this follower replicates from.
+func (f *Follower) LeaderURL() string { return f.cfg.LeaderURL }
+
+// Applied returns the last leader sequence folded into the local system —
+// the staleness bound every read on this follower is subject to.
+func (f *Follower) Applied() uint64 { return f.applied.Load() }
+
+// LeaderSeq returns the leader's latest sequence as last observed.
+func (f *Follower) LeaderSeq() uint64 { return f.leaderSeq.Load() }
+
+// Connected reports whether a WAL stream is currently established.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// Status reports the follower's replication state for /api/health.
+func (f *Follower) Status() *Status {
+	return &Status{
+		Role:       "follower",
+		Leader:     f.cfg.LeaderURL,
+		AppliedSeq: f.applied.Load(),
+		LeaderSeq:  f.leaderSeq.Load(),
+		Connected:  f.connected.Load(),
+		Reconnects: f.reconnects.Load(),
+	}
+}
+
+// Run tails the leader's WAL until ctx is cancelled, applying every shipped
+// record through the commit pipeline. Stream failures reconnect with
+// jittered exponential backoff, resuming from the last applied sequence —
+// re-shipped records are skipped by sequence, so re-apply is idempotent.
+// Run returns ErrOutOfSync when the leader no longer retains the tail this
+// follower needs (the caller should exit and re-bootstrap), or a fatal
+// apply error (state divergence — never continue past one).
+func (f *Follower) Run(ctx context.Context) error {
+	bo := &resilience.Backoff{Base: f.cfg.ReconnectBase, Max: f.cfg.ReconnectMax}
+	for {
+		err := f.streamOnce(ctx)
+		f.connected.Store(false)
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err == nil:
+			// Clean end of a poll window; reconnect immediately.
+			bo.Reset()
+			continue
+		case errors.Is(err, ErrOutOfSync), errors.Is(err, errApply):
+			return err
+		}
+		f.reconnects.Add(1)
+		if serr := bo.Sleep(ctx); serr != nil {
+			return serr
+		}
+	}
+}
+
+// errApply marks a record the commit pipeline refused — the follower's
+// state can no longer be trusted to match the leader's, so Run stops.
+var errApply = errors.New("replica: apply failed")
+
+// streamOnce establishes one WAL stream and applies it to exhaustion. A nil
+// return means the leader ended the poll window cleanly.
+func (f *Follower) streamOnce(ctx context.Context) error {
+	// Bound the whole stream: the leader closes it after PollWait, so a
+	// socket outliving that by a wide margin is a partition, not a poll.
+	sctx, cancel := context.WithTimeout(ctx, f.cfg.PollWait+30*time.Second)
+	defer cancel()
+	url := fmt.Sprintf("%s/api/replication/wal?from=%d&wait=%s",
+		f.cfg.LeaderURL, f.applied.Load(), f.cfg.PollWait)
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: connect: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return ErrOutOfSync
+	default:
+		return fmt.Errorf("replica: leader answered %s", resp.Status)
+	}
+	f.observeLeaderSeq(resp.Header)
+	f.connected.Store(true)
+	for {
+		rec, err := journal.ReadFrame(resp.Body)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("replica: stream: %w", err)
+		}
+		if rec.Seq > f.leaderSeq.Load() {
+			f.leaderSeq.Store(rec.Seq)
+		}
+		if rec.Seq <= f.applied.Load() {
+			continue // idempotent re-apply: already folded in
+		}
+		if err := core.ApplyRecord(f.sys, rec); err != nil {
+			return fmt.Errorf("%w: seq %d (%s): %v", errApply, rec.Seq, rec.Op, err)
+		}
+		f.applied.Store(rec.Seq)
+	}
+}
+
+// observeLeaderSeq folds a CARCS-Leader-Seq response header into the lag
+// estimate, never moving it backwards.
+func (f *Follower) observeLeaderSeq(h http.Header) {
+	seq, err := strconv.ParseUint(h.Get(HeaderLeaderSeq), 10, 64)
+	if err == nil && seq > f.leaderSeq.Load() {
+		f.leaderSeq.Store(seq)
+	}
+}

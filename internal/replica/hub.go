@@ -1,0 +1,218 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"carcs/internal/core"
+	"carcs/internal/journal"
+)
+
+// DefaultRingSize is how many recent records the hub retains in memory.
+// The ring survives checkpoint truncation of the on-disk WAL, so a
+// follower that blinks across a checkpoint boundary can still resume from
+// its cursor instead of re-bootstrapping.
+const DefaultRingSize = 4096
+
+// Hub is the leader side of replication: it taps the persister's append
+// path, keeps a bounded in-memory tail of recent records, and serves the
+// bootstrap and WAL-stream endpoints. A record is visible to followers the
+// instant its fsync completes — the sink runs inside the commit, so the
+// stream order is exactly the commit order.
+type Hub struct {
+	p       *core.Persister
+	maxRing int
+
+	mu     sync.Mutex
+	ring   []journal.Record
+	notify chan struct{}
+
+	streams atomic.Uint64
+	active  atomic.Int64
+}
+
+// NewHub wires a hub to the persister's replication sink. ringSize <= 0
+// takes DefaultRingSize.
+func NewHub(p *core.Persister, ringSize int) *Hub {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	h := &Hub{p: p, maxRing: ringSize, notify: make(chan struct{})}
+	p.SetReplicationSink(h.append)
+	return h
+}
+
+// append observes one committed record: fold it into the ring and wake
+// every long-polling stream. Runs on the write path under the system's
+// mutation lock — O(1), no I/O.
+func (h *Hub) append(rec journal.Record) {
+	h.mu.Lock()
+	h.ring = append(h.ring, rec)
+	if len(h.ring) > h.maxRing {
+		// Drop the oldest half in one copy instead of sliding every
+		// append, amortizing the trim.
+		keep := h.maxRing / 2
+		h.ring = append(h.ring[:0:0], h.ring[len(h.ring)-keep:]...)
+	}
+	ch := h.notify
+	h.notify = make(chan struct{})
+	h.mu.Unlock()
+	close(ch)
+}
+
+// waitCh returns the channel closed by the next append. Grab it before
+// checking for records so a commit landing between the check and the wait
+// is never missed.
+func (h *Hub) waitCh() <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.notify
+}
+
+// tailSince returns committed records with Seq > from: from the in-memory
+// ring when it reaches back far enough, else from the on-disk WAL. A
+// cursor behind both horizons returns journal.ErrCompacted.
+func (h *Hub) tailSince(from uint64) ([]journal.Record, error) {
+	h.mu.Lock()
+	if n := len(h.ring); n > 0 && from+1 >= h.ring[0].Seq {
+		// Binary search the first record past the cursor.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if h.ring[mid].Seq <= from {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out := append([]journal.Record(nil), h.ring[lo:]...)
+		h.mu.Unlock()
+		return out, nil
+	}
+	h.mu.Unlock()
+	return h.p.TailSince(from)
+}
+
+// Status reports the leader's replication state for /api/health.
+func (h *Hub) Status() *Status {
+	return &Status{
+		Role:          "leader",
+		LeaderSeq:     h.p.Seq(),
+		Connected:     true,
+		Streams:       h.streams.Load(),
+		ActiveStreams: h.active.Load(),
+	}
+}
+
+// Seq returns the leader's latest journaled sequence.
+func (h *Hub) Seq() uint64 { return h.p.Seq() }
+
+func hubError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// ServeCheckpoint handles GET /api/replication/checkpoint: the latest
+// checkpoint payload, with the covered sequence in CARCS-Checkpoint-Seq.
+func (h *Hub) ServeCheckpoint(w http.ResponseWriter, r *http.Request) {
+	payload, seq, err := h.p.CheckpointPayload()
+	if err != nil {
+		hubError(w, http.StatusInternalServerError, "checkpoint unavailable: "+err.Error())
+		return
+	}
+	w.Header().Set(HeaderCheckpointSeq, strconv.FormatUint(seq, 10))
+	w.Header().Set(HeaderLeaderSeq, strconv.FormatUint(h.p.Seq(), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(payload)
+	}
+}
+
+// ServeWAL handles GET /api/replication/wal?from=SEQ[&wait=DUR]: a chunked
+// stream of CRC-framed records with Seq > from. When the log is drained the
+// stream long-polls — each new commit is framed and flushed immediately —
+// until the wait budget elapses and the stream ends cleanly (the follower
+// reconnects from its advanced cursor). A cursor older than the leader's
+// retention horizon (checkpoint + ring) gets 410 Gone with the checkpoint
+// sequence, directing the follower to bootstrap.
+func (h *Hub) ServeWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		hubError(w, http.StatusBadRequest, `parameter "from" must be a sequence number`)
+		return
+	}
+	wait := DefaultPollWait
+	if raw := q.Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			hubError(w, http.StatusBadRequest, `parameter "wait" must be a positive duration`)
+			return
+		}
+		wait = min(d, MaxPollWait)
+	}
+	flusher, canFlush := w.(http.Flusher)
+
+	h.streams.Add(1)
+	h.active.Add(1)
+	defer h.active.Add(-1)
+
+	w.Header().Set("Content-Type", WALContentType)
+	w.Header().Set(HeaderLeaderSeq, strconv.FormatUint(h.p.Seq(), 10))
+
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	sent := from
+	wrote := false
+	for {
+		wake := h.waitCh()
+		recs, err := h.tailSince(sent)
+		switch {
+		case errors.Is(err, journal.ErrCompacted):
+			if !wrote {
+				w.Header().Set(HeaderCheckpointSeq, strconv.FormatUint(h.p.CheckpointSeq(), 10))
+				hubError(w, http.StatusGone,
+					"requested tail compacted into checkpoint; bootstrap from /api/replication/checkpoint")
+			}
+			return
+		case err != nil:
+			if !wrote {
+				hubError(w, http.StatusInternalServerError, "wal read: "+err.Error())
+			}
+			return
+		}
+		for _, rec := range recs {
+			frame, err := journal.EncodeRecord(rec)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(frame); err != nil {
+				return // follower went away
+			}
+			sent = rec.Seq
+			wrote = true
+		}
+		if len(recs) > 0 && canFlush {
+			flusher.Flush()
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			if !wrote {
+				// End an empty long-poll with an explicit 200 so the
+				// follower sees a clean EOF, not a hung socket.
+				w.WriteHeader(http.StatusOK)
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

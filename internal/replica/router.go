@@ -1,0 +1,471 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"carcs/internal/resilience"
+)
+
+// Router defaults.
+const (
+	// DefaultProbeInterval paces the readiness sweep over all backends.
+	DefaultProbeInterval = 500 * time.Millisecond
+	// DefaultBackendTimeout bounds one proxied read attempt; a write gets
+	// double (it pays an fsync).
+	DefaultBackendTimeout = 5 * time.Second
+	// DefaultMaxLag is the staleness budget in journal sequences: a
+	// follower further behind the leader is routed around until it
+	// catches up.
+	DefaultMaxLag = 1000
+)
+
+// RouterConfig tunes the read router. Zero values take defaults.
+type RouterConfig struct {
+	// Backends are the member base URLs; the first is the leader.
+	Backends []string
+	// ProbeInterval paces health probes.
+	ProbeInterval time.Duration
+	// BackendTimeout bounds one proxied read attempt.
+	BackendTimeout time.Duration
+	// MaxLag is the staleness budget in sequences.
+	MaxLag uint64
+	// Breaker tunes the per-backend ejection breaker. The router default
+	// ejects on the first failure (a retry already saved the client) and
+	// re-probes after a short cooldown — half-open, one probe at a time,
+	// exactly like the journal write breaker.
+	Breaker resilience.BreakerConfig
+}
+
+// backend is one routed member with its ejection breaker and last-probed
+// replication position.
+type backend struct {
+	url     string
+	leader  bool
+	breaker *resilience.Breaker
+
+	seq      atomic.Uint64
+	ready    atomic.Bool
+	lastErr  atomic.Pointer[string]
+	served   atomic.Uint64
+	failures atomic.Uint64
+}
+
+// Router fans reads out across followers with the leader as fallback, and
+// proxies writes to the leader. A failed read attempt is retried on the
+// next candidate before anything reaches the client, so a backend dying
+// mid-request degrades to a slower answer, never a 5xx.
+type Router struct {
+	cfg      RouterConfig
+	backends []*backend // leader first
+	client   *http.Client
+
+	rr atomic.Uint64
+
+	reads           atomic.Uint64
+	writes          atomic.Uint64
+	retries         atomic.Uint64
+	leaderFallbacks atomic.Uint64
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRouter builds a router over the given backends (first = leader).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("replica: router needs at least a leader backend")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.BackendTimeout <= 0 {
+		cfg.BackendTimeout = DefaultBackendTimeout
+	}
+	if cfg.MaxLag == 0 {
+		cfg.MaxLag = DefaultMaxLag
+	}
+	if cfg.Breaker.FailureThreshold == 0 {
+		cfg.Breaker.FailureThreshold = 1
+	}
+	if cfg.Breaker.Cooldown == 0 {
+		cfg.Breaker.Cooldown = 2 * time.Second
+	}
+	rt := &Router{cfg: cfg, client: &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: 64,
+	}}}
+	for i, raw := range cfg.Backends {
+		rt.backends = append(rt.backends, &backend{
+			url:     strings.TrimRight(raw, "/"),
+			leader:  i == 0,
+			breaker: resilience.NewBreaker(cfg.Breaker),
+		})
+	}
+	return rt, nil
+}
+
+// Start launches the background probe loop (and runs one synchronous sweep
+// first, so a freshly started router routes correctly immediately).
+func (rt *Router) Start() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.stop != nil {
+		return
+	}
+	rt.probeAll()
+	rt.stop = make(chan struct{})
+	rt.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(rt.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rt.probeAll()
+			case <-stop:
+				return
+			}
+		}
+	}(rt.stop, rt.done)
+}
+
+// Close stops the probe loop.
+func (rt *Router) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.stop == nil {
+		return
+	}
+	close(rt.stop)
+	<-rt.done
+	rt.stop, rt.done = nil, nil
+}
+
+// probeAll sweeps every backend's /api/health/ready in parallel. Probes
+// share the ejection breaker with live traffic: a probe against an ejected
+// backend is exactly the breaker's half-open trial, so recovery needs no
+// separate mechanism.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			rt.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// readyBody is the slice of /api/health/ready the router consumes.
+type readyBody struct {
+	Status string `json:"status"`
+	Seq    uint64 `json:"seq"`
+}
+
+func (rt *Router) probe(b *backend) {
+	_, err := b.breaker.Acquire()
+	if err != nil {
+		return // still cooling down; FastFail keeps it out of rotation
+	}
+	perr := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(),
+			min(rt.cfg.BackendTimeout, 2*time.Second))
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/api/health/ready", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var body readyBody
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); derr == nil {
+			b.seq.Store(body.Seq)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("replica: %s unready (%s)", b.url, resp.Status)
+		}
+		return nil
+	}()
+	b.breaker.Record(perr)
+	b.ready.Store(perr == nil)
+	if perr != nil {
+		msg := perr.Error()
+		b.lastErr.Store(&msg)
+	} else {
+		b.lastErr.Store(nil)
+	}
+}
+
+// leader returns the leader backend (always index 0).
+func (rt *Router) leader() *backend { return rt.backends[0] }
+
+// lag returns how many sequences b trails the leader's last probed horizon.
+func (rt *Router) lag(b *backend) uint64 {
+	ls := rt.leader().seq.Load()
+	if bs := b.seq.Load(); ls > bs {
+		return ls - bs
+	}
+	return 0
+}
+
+// readCandidates orders the backends to try for one read: in-budget, ready
+// followers rotated round-robin, then the leader as the authoritative
+// fallback (always, even when its own probe is stale — a read against it is
+// the last thing standing between the client and a 502).
+func (rt *Router) readCandidates() []*backend {
+	followers := rt.backends[1:]
+	var eligible []*backend
+	for _, b := range followers {
+		if b.ready.Load() && !b.breaker.FastFail() && rt.lag(b) <= rt.cfg.MaxLag {
+			eligible = append(eligible, b)
+		}
+	}
+	out := make([]*backend, 0, len(eligible)+1)
+	if n := len(eligible); n > 0 {
+		start := int(rt.rr.Add(1)) % n
+		for i := 0; i < n; i++ {
+			out = append(out, eligible[(start+i)%n])
+		}
+	} else if len(followers) > 0 {
+		rt.leaderFallbacks.Add(1)
+	}
+	return append(out, rt.leader())
+}
+
+// ServeHTTP routes one request: router-local health endpoints, then reads
+// scattered over the candidates, writes proxied to the leader.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/api/health":
+		rt.serveHealth(w)
+		return
+	case "/api/health/live":
+		writeRouterJSON(w, http.StatusOK, map[string]string{"status": "live", "role": "router"})
+		return
+	case "/api/health/ready":
+		rt.serveReady(w)
+		return
+	}
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		rt.serveRead(w, r)
+		return
+	}
+	rt.serveWrite(w, r)
+}
+
+// serveRead tries each candidate in order until one yields a non-5xx
+// response. Conditional validators are stripped: ETags are view
+// generations, which are process-local, so a validator minted by one
+// backend must never produce a 304 on another.
+func (rt *Router) serveRead(w http.ResponseWriter, r *http.Request) {
+	rt.reads.Add(1)
+	cands := rt.readCandidates()
+	tried := 0
+	for _, b := range cands {
+		if _, err := b.breaker.Acquire(); err != nil {
+			if b.leader {
+				// Last candidate and its breaker is cooling down: a
+				// stale read against it still beats a guaranteed 502.
+				b.breaker.Record(rt.attempt(w, r, b, rt.cfg.BackendTimeout))
+				if b.served.Load() > 0 { // attempt wrote the response
+					return
+				}
+			}
+			continue
+		}
+		tried++
+		err := rt.attempt(w, r, b, rt.cfg.BackendTimeout)
+		b.breaker.Record(err)
+		if err == nil {
+			return
+		}
+		b.failures.Add(1)
+		rt.retries.Add(1)
+	}
+	writeRouterError(w, http.StatusBadGateway,
+		fmt.Sprintf("no backend could serve the read (%d tried)", tried), 1)
+}
+
+// errBackend marks a failed proxy attempt that wrote nothing to the client
+// (safe to retry on the next backend).
+type errBackend struct{ err error }
+
+func (e errBackend) Error() string { return e.err.Error() }
+
+// attempt proxies one read to b. It buffers nothing: headers and status are
+// only written once the backend has answered with a non-5xx status, so a
+// failure before that point leaves the client connection untouched and
+// retryable. Returns nil once the response has begun streaming.
+func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, b *backend, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, b.url+r.URL.RequestURI(), nil)
+	if err != nil {
+		return errBackend{err}
+	}
+	copyProxyHeaders(req.Header, r.Header)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return errBackend{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= http.StatusInternalServerError {
+		// Drain a little so the connection can be reused, then retry
+		// elsewhere.
+		_, _ = io.CopyN(io.Discard, resp.Body, 4096)
+		return errBackend{fmt.Errorf("replica: %s answered %s", b.url, resp.Status)}
+	}
+	hdr := w.Header()
+	for k, vv := range resp.Header {
+		hdr[k] = vv
+	}
+	hdr.Del("Etag") // process-local validator; see serveRead
+	hdr.Set(HeaderRoute, b.url)
+	w.WriteHeader(resp.StatusCode)
+	b.served.Add(1)
+	_, _ = io.Copy(w, resp.Body) // a mid-body failure is the client's truncation to detect
+	return nil
+}
+
+// serveWrite proxies a mutation to the leader, streaming the body through.
+func (rt *Router) serveWrite(w http.ResponseWriter, r *http.Request) {
+	rt.writes.Add(1)
+	b := rt.leader()
+	ctx, cancel := context.WithTimeout(r.Context(), 2*rt.cfg.BackendTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, r.Method, b.url+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeRouterError(w, http.StatusBadGateway, err.Error(), 1)
+		return
+	}
+	req.ContentLength = r.ContentLength
+	copyProxyHeaders(req.Header, r.Header)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		b.failures.Add(1)
+		writeRouterError(w, http.StatusBadGateway, "leader unreachable: "+err.Error(), 1)
+		return
+	}
+	defer resp.Body.Close()
+	hdr := w.Header()
+	for k, vv := range resp.Header {
+		hdr[k] = vv
+	}
+	hdr.Set(HeaderRoute, b.url)
+	w.WriteHeader(resp.StatusCode)
+	b.served.Add(1)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// hop-by-hop and validator headers never forwarded to a backend.
+var dropHeaders = map[string]bool{
+	"Connection":        true,
+	"Keep-Alive":        true,
+	"Upgrade":           true,
+	"Transfer-Encoding": true,
+	"Te":                true,
+	"Trailer":           true,
+	"If-None-Match":     true, // process-local ETags; see serveRead
+	"If-Match":          true,
+}
+
+func copyProxyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		if dropHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		dst[k] = append([]string(nil), vv...)
+	}
+}
+
+// backendJSON is one member's state in the router health payload.
+type backendJSON struct {
+	URL      string                  `json:"url"`
+	Leader   bool                    `json:"leader"`
+	Ready    bool                    `json:"ready"`
+	Seq      uint64                  `json:"seq"`
+	Lag      uint64                  `json:"lag"`
+	Served   uint64                  `json:"served"`
+	Failures uint64                  `json:"failures"`
+	Breaker  resilience.BreakerStats `json:"breaker"`
+	LastErr  string                  `json:"last_error,omitempty"`
+}
+
+func (rt *Router) serveHealth(w http.ResponseWriter) {
+	members := make([]backendJSON, 0, len(rt.backends))
+	readable := 0
+	for _, b := range rt.backends {
+		bj := backendJSON{
+			URL: b.url, Leader: b.leader, Ready: b.ready.Load(),
+			Seq: b.seq.Load(), Lag: rt.lag(b),
+			Served: b.served.Load(), Failures: b.failures.Load(),
+			Breaker: b.breaker.Stats(),
+		}
+		if msg := b.lastErr.Load(); msg != nil {
+			bj.LastErr = *msg
+		}
+		if bj.Ready {
+			readable++
+		}
+		members = append(members, bj)
+	}
+	status, code := "ok", http.StatusOK
+	if readable == 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	writeRouterJSON(w, code, map[string]any{
+		"status":   status,
+		"role":     "router",
+		"backends": members,
+		"stats": map[string]uint64{
+			"reads":            rt.reads.Load(),
+			"writes":           rt.writes.Load(),
+			"read_retries":     rt.retries.Load(),
+			"leader_fallbacks": rt.leaderFallbacks.Load(),
+		},
+	})
+}
+
+func (rt *Router) serveReady(w http.ResponseWriter) {
+	for _, b := range rt.backends {
+		if b.ready.Load() {
+			writeRouterJSON(w, http.StatusOK, map[string]any{
+				"status": "ready", "role": "router", "seq": rt.leader().seq.Load(),
+			})
+			return
+		}
+	}
+	writeRouterJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status": "unready", "role": "router", "reasons": []string{"no backend ready"},
+	})
+}
+
+func writeRouterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRouterError mirrors the server's overload envelope: the standard
+// {"error","retry_after_seconds"} body plus a Retry-After header.
+func writeRouterError(w http.ResponseWriter, status int, msg string, retrySecs int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retrySecs))
+	writeRouterJSON(w, status, map[string]any{
+		"error":               msg,
+		"retry_after_seconds": retrySecs,
+	})
+}

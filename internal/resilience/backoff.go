@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff defaults, tuned for a follower re-dialing its leader: the first
+// retry is nearly immediate, the cap keeps a dead leader from being probed
+// less than every few seconds.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+)
+
+// Backoff produces exponentially growing, jittered delays for reconnect
+// loops. Unlike jobs.RetryPolicy (which owns the whole retry loop around a
+// closed operation), Backoff is a bare pacing primitive for long-lived
+// loops that never give up: the replication follower re-dialing its leader,
+// the router re-probing an ejected backend. Each Next roughly doubles the
+// delay up to Max; Reset after a success starts the ramp over. Full jitter
+// (a uniform draw over (0, delay]) de-synchronizes a fleet of followers
+// reconnecting to a restarted leader, so the recovery moment is not a
+// thundering herd.
+type Backoff struct {
+	// Base is the first delay; zero takes DefaultBackoffBase.
+	Base time.Duration
+	// Max caps the delay growth; zero takes DefaultBackoffMax.
+	Max time.Duration
+
+	mu  sync.Mutex
+	cur time.Duration
+}
+
+// Next returns the delay to wait before the next attempt and advances the
+// ramp.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if b.cur <= 0 {
+		b.cur = base
+	}
+	d := b.cur
+	b.cur *= 2
+	if b.cur > max || b.cur <= 0 {
+		b.cur = max
+	}
+	// Full jitter: uniform over (0, d]. Never zero, so a caller sleeping
+	// on the result always yields.
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// Reset rewinds the ramp; call after a successful attempt.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cur = 0
+}
+
+// Sleep blocks for Next()'s delay or until ctx is done, returning ctx.Err()
+// in the latter case.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"carcs/internal/cache"
 	"carcs/internal/jobs"
 	"carcs/internal/journal"
+	"carcs/internal/replica"
 	"carcs/internal/resilience"
 )
 
@@ -85,14 +86,15 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 
 // healthJSON is the GET /api/health response.
 type healthJSON struct {
-	Status     string         `json:"status"`
-	Materials  int            `json:"materials"`
-	Generation uint64         `json:"generation"`
-	Cache      cache.Stats    `json:"cache"`
-	Jobs       jobs.Stats     `json:"jobs"`
-	Durable    bool           `json:"durable"`
-	Journal    *journal.Stats `json:"journal,omitempty"`
-	Resilience resilienceJSON `json:"resilience"`
+	Status      string          `json:"status"`
+	Materials   int             `json:"materials"`
+	Generation  uint64          `json:"generation"`
+	Cache       cache.Stats     `json:"cache"`
+	Jobs        jobs.Stats      `json:"jobs"`
+	Durable     bool            `json:"durable"`
+	Journal     *journal.Stats  `json:"journal,omitempty"`
+	Resilience  resilienceJSON  `json:"resilience"`
+	Replication *replica.Status `json:"replication,omitempty"`
 }
 
 // resilienceJSON is the overload-control block of the health payload.
@@ -125,12 +127,13 @@ func (s *Server) resilienceStats() resilienceJSON {
 // path is actually being served from memoized results.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := healthJSON{
-		Status:     "ok",
-		Materials:  s.sys.Len(),
-		Generation: s.sys.Generation(),
-		Cache:      s.sys.CacheStats(),
-		Jobs:       s.runner.Stats(),
-		Resilience: s.resilienceStats(),
+		Status:      "ok",
+		Materials:   s.sys.Len(),
+		Generation:  s.sys.Generation(),
+		Cache:       s.sys.CacheStats(),
+		Jobs:        s.runner.Stats(),
+		Resilience:  s.resilienceStats(),
+		Replication: s.replicationStatus(),
 	}
 	code := http.StatusOK
 	if s.persister != nil {
@@ -180,5 +183,9 @@ func (s *Server) handleHealthReady(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	// "seq" is the journal sequence this node's reads reflect; the read
+	// router probes it to measure each backend's replication lag.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready", "seq": s.nodeSeq(),
+	})
 }

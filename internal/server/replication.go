@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+
+	"carcs/internal/replica"
+)
+
+// Replication wiring. A leader attaches a replica.Hub (SetHub) to expose the
+// checkpoint-bootstrap and WAL-stream endpoints; a follower attaches its
+// replica.Follower (SetFollower) to reject mutations toward the leader and
+// stamp reads with their staleness bound.
+//
+// The replication endpoints deliberately bypass http.TimeoutHandler and the
+// admission middleware: a WAL stream is a deliberate long-poll (the timeout
+// handler would kill it and break http.Flusher), and shedding the stream
+// under load would be exactly backwards — replication is what keeps the
+// followers able to absorb that load. They stay inside logging and panic
+// recovery.
+
+// SetHub attaches the leader-side replication hub and registers the
+// replication endpoints. Call before serving.
+func (s *Server) SetHub(h *replica.Hub) {
+	s.hub = h
+	s.replMux = http.NewServeMux()
+	s.replMux.HandleFunc("GET /api/replication/checkpoint", h.ServeCheckpoint)
+	s.replMux.HandleFunc("HEAD /api/replication/checkpoint", h.ServeCheckpoint)
+	s.replMux.HandleFunc("GET /api/replication/wal", h.ServeWAL)
+	s.rebuildHandler()
+}
+
+// SetFollower marks this server as a read-only follower replicating from
+// f's leader. Mutations are refused with 503 + a Leader header; reads carry
+// CARCS-Applied-Seq (and CARCS-Stale when the follower knows it lags). Call
+// before serving, with a server built around f.System().
+func (s *Server) SetFollower(f *replica.Follower) {
+	s.follower = f
+}
+
+// replicationBypass routes /api/replication/ around the timeout and
+// admission stack (see the package comment above) and everything else into
+// next.
+func (s *Server) replicationBypass(next http.Handler) http.Handler {
+	repl := s.replMux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/replication/") {
+			repl.ServeHTTP(w, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// replicationStatus reports this node's replication role for /api/health,
+// nil on an unreplicated node.
+func (s *Server) replicationStatus() *replica.Status {
+	switch {
+	case s.hub != nil:
+		return s.hub.Status()
+	case s.follower != nil:
+		return s.follower.Status()
+	}
+	return nil
+}
+
+// nodeSeq is the journal sequence this node's reads reflect: the applied
+// cursor on a follower, the journal horizon on a durable leader, and the
+// in-memory view generation on an ephemeral node (generations ARE its
+// sequence numbers then — both count committed mutations from boot).
+func (s *Server) nodeSeq() uint64 {
+	switch {
+	case s.follower != nil:
+		return s.follower.Applied()
+	case s.persister != nil:
+		return s.persister.Seq()
+	}
+	return s.sys.Generation()
+}

@@ -11,6 +11,7 @@ import (
 
 	"carcs/internal/cache"
 	"carcs/internal/core"
+	"carcs/internal/replica"
 	"carcs/internal/resilience"
 )
 
@@ -100,6 +101,26 @@ func (s *Server) withResilience(next http.Handler) http.Handler {
 			if ok, retry := s.ratelimit.Allow(clientKey(r)); !ok {
 				writeOverload(w, http.StatusTooManyRequests, "client rate limit exceeded", retry)
 				return
+			}
+		}
+		if s.follower != nil {
+			if class != resilience.ClassRead {
+				// A follower is read-only: answer with the leader's
+				// location so clients (and the router) know where
+				// mutations go, in the standard overload envelope.
+				w.Header().Set("Leader", s.follower.LeaderURL())
+				writeOverload(w, http.StatusServiceUnavailable,
+					"read-only follower: send writes to the leader at "+s.follower.LeaderURL(),
+					time.Second)
+				return
+			}
+			// Stamp reads with the staleness bound: the leader sequence
+			// this node's views reflect, plus an explicit marker when it
+			// knows it is behind — same contract as serve-stale.
+			applied := s.follower.Applied()
+			w.Header().Set(replica.HeaderAppliedSeq, strconv.FormatUint(applied, 10))
+			if s.follower.LeaderSeq() > applied {
+				w.Header().Set("CARCS-Stale", "true")
 			}
 		}
 		if class != resilience.ClassRead && s.breaker != nil && s.breaker.FastFail() {

@@ -25,6 +25,7 @@ import (
 	"carcs/internal/core"
 	"carcs/internal/jobs"
 	"carcs/internal/material"
+	"carcs/internal/replica"
 	"carcs/internal/resilience"
 	"carcs/internal/workflow"
 )
@@ -55,6 +56,13 @@ type Server struct {
 	ratelimit *resilience.RateLimiter
 	breaker   *resilience.Breaker
 	staleGens uint64
+
+	// Replication wiring (see replication.go): the leader-side hub with
+	// its dedicated sub-mux outside the timeout stack, or the follower
+	// this read-only node replicates from.
+	hub      *replica.Hub
+	replMux  *http.ServeMux
+	follower *replica.Follower
 }
 
 // New builds a server around the system, logging to w (io.Discard for
@@ -117,6 +125,11 @@ func (s *Server) rebuildHandler() {
 	h := s.withResilience(s.mux)
 	if s.timeout > 0 {
 		h = http.TimeoutHandler(h, s.timeout, `{"error":"request timed out"}`)
+	}
+	if s.replMux != nil {
+		// Replication streams are deliberate long-polls: route them
+		// around the timeout and admission stack (see replication.go).
+		h = s.replicationBypass(h)
 	}
 	s.handler = s.withLogging(s.withRecovery(h))
 }
