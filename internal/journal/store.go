@@ -180,35 +180,55 @@ func (s *Store) CheckpointWithMeta() (payload []byte, seq uint64, ok bool, err e
 // TailSince reads every committed record with Seq > from still present in
 // the write-ahead log, in order. Records already folded into a checkpoint
 // are gone from the log; asking for them returns ErrCompacted and the
-// caller must bootstrap from the checkpoint instead. The read happens under
-// the store lock, so it observes a frame-consistent log — no append or
-// checkpoint truncation can interleave.
+// caller must bootstrap from the checkpoint instead.
+//
+// The file read and CRC scan run outside the store lock so a follower
+// resuming from a deep cursor never stalls the append path. That is safe
+// because the log is append-only between checkpoints: the scan keeps only
+// records at or below the acknowledged sequence captured up front (so
+// never-acked phantoms that a racing Recover may truncate stay invisible,
+// and a half-written racing append parses as a clean torn tail), and a
+// checkpoint truncation racing the read moves checkpointSeq, which is
+// re-checked afterwards and retried against the new horizon.
 func (s *Store) TailSince(from uint64) ([]Record, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.recovered || s.closed {
-		return nil, fmt.Errorf("journal: store not open for tail reads")
-	}
-	if from < s.checkpointSeq {
-		return nil, fmt.Errorf("%w: want seq > %d, checkpoint covers %d", ErrCompacted, from, s.checkpointSeq)
-	}
-	data, err := os.ReadFile(filepath.Join(s.dir, walFile))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
+	for {
+		s.mu.Lock()
+		if !s.recovered || s.closed {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("journal: store not open for tail reads")
 		}
-		return nil, fmt.Errorf("journal: tail read wal: %w", err)
-	}
-	var out []Record
-	if _, err := Scan(bytes.NewReader(data), func(rec Record) error {
-		if rec.Seq > from {
-			out = append(out, rec)
+		if from < s.checkpointSeq {
+			ckpt := s.checkpointSeq
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: want seq > %d, checkpoint covers %d", ErrCompacted, from, ckpt)
 		}
-		return nil
-	}); err != nil {
-		return nil, err
+		ack := s.w.Seq()
+		ckpt := s.checkpointSeq
+		s.mu.Unlock()
+
+		data, err := os.ReadFile(filepath.Join(s.dir, walFile))
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("journal: tail read wal: %w", err)
+		}
+		var out []Record
+		_, serr := Scan(bytes.NewReader(data), func(rec Record) error {
+			if rec.Seq > from && rec.Seq <= ack {
+				out = append(out, rec)
+			}
+			return nil
+		})
+
+		s.mu.Lock()
+		stable := s.checkpointSeq == ckpt
+		s.mu.Unlock()
+		if !stable {
+			continue // checkpoint truncation raced the read; rescan
+		}
+		if serr != nil {
+			return nil, serr
+		}
+		return out, nil
 	}
-	return out, nil
 }
 
 // Replay scans the write-ahead log, invoking fn for every committed record

@@ -197,20 +197,21 @@ func (h *Hub) ServeWAL(w http.ResponseWriter, r *http.Request) {
 				return // follower went away
 			}
 			sent = rec.Seq
-			wrote = true
 		}
-		if len(recs) > 0 && canFlush {
+		if !wrote && len(recs) == 0 {
+			// Commit the 200 before the first wait: followers bound the
+			// time to response headers client-side, and an idle long-poll
+			// must not be mistaken for a dead leader.
+			w.WriteHeader(http.StatusOK)
+		}
+		wrote = true
+		if canFlush {
 			flusher.Flush()
 		}
 		select {
 		case <-wake:
 		case <-deadline.C:
-			if !wrote {
-				// End an empty long-poll with an explicit 200 so the
-				// follower sees a clean EOF, not a hung socket.
-				w.WriteHeader(http.StatusOK)
-			}
-			return
+			return // poll window over; the follower reconnects
 		case <-r.Context().Done():
 			return
 		}

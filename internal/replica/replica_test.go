@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"carcs/internal/journal"
 	"carcs/internal/material"
 	"carcs/internal/replica"
+	"carcs/internal/resilience"
 	"carcs/internal/server"
 	"carcs/internal/workflow"
 )
@@ -399,6 +401,96 @@ func TestRouterRoutesReadsAndWrites(t *testing.T) {
 	fn.waitApplied(t, l.p.Seq())
 	if m := fn.f.System().Material("viarouter"); m == nil {
 		t.Fatal("routed write did not replicate to the follower")
+	}
+}
+
+// TestRouterLeaderCoolingFailureIs502 pins a regression: a failed read
+// against a cooling leader was reported as served because the cumulative
+// served counter was consulted instead of the attempt's own outcome, so
+// clients received empty-body 200s during a leader outage.
+func TestRouterLeaderCoolingFailureIs502(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer backend.Close()
+
+	rt, err := replica.NewRouter(replica.RouterConfig{
+		Backends: []string{backend.URL},
+		Breaker:  resilience.BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	get := func() (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(rts.URL + "/api/materials")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Seed one success so the leader's served counter is non-zero.
+	if status, _ := get(); status != http.StatusOK {
+		t.Fatalf("seed read status = %d, want 200", status)
+	}
+
+	backend.Close() // leader outage
+
+	// The first failed attempt trips the breaker open.
+	if status, _ := get(); status != http.StatusBadGateway {
+		t.Fatalf("outage read status = %d, want 502", status)
+	}
+
+	// Breaker cooling: the last-resort attempt against the leader fails
+	// too, and the client must see the 502 envelope, not an empty 200.
+	status, body := get()
+	if status != http.StatusBadGateway {
+		t.Fatalf("cooling read status = %d (body %q), want 502", status, body)
+	}
+	var env struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == "" {
+		t.Fatalf("cooling read body = %q, want error envelope", body)
+	}
+}
+
+// TestWALStreamHeadersBeforeLongPoll pins a regression: an idle WAL
+// long-poll sent no response headers until the wait deadline fired, so any
+// client-side response-header timeout shorter than the poll window aborted
+// every idle stream and flapped the follower's connection.
+func TestWALStreamHeadersBeforeLongPoll(t *testing.T) {
+	l := startLeader(t)
+	l.addMaterial(t, "m1")
+
+	client := &http.Client{Transport: &http.Transport{
+		ResponseHeaderTimeout: 500 * time.Millisecond,
+	}}
+	start := time.Now()
+	resp, err := client.Get(l.ts.URL + "/api/replication/wal?from=" +
+		strconv.FormatUint(l.p.Seq(), 10) + "&wait=2s")
+	if err != nil {
+		t.Fatalf("idle long-poll aborted before headers: %v", err)
+	}
+	defer resp.Body.Close()
+	if waited := time.Since(start); waited >= 2*time.Second {
+		t.Fatalf("headers arrived after %v, want before the poll window ends", waited)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle stream status = %d, want 200", resp.StatusCode)
+	}
+	if _, err := journal.ReadFrame(resp.Body); err != io.EOF {
+		t.Fatalf("idle stream read = %v, want clean EOF at window end", err)
 	}
 }
 

@@ -280,10 +280,14 @@ func (rt *Router) serveRead(w http.ResponseWriter, r *http.Request) {
 			if b.leader {
 				// Last candidate and its breaker is cooling down: a
 				// stale read against it still beats a guaranteed 502.
-				b.breaker.Record(rt.attempt(w, r, b, rt.cfg.BackendTimeout))
-				if b.served.Load() > 0 { // attempt wrote the response
+				// attempt writes nothing on failure, so falling through
+				// to the 502 below is safe.
+				err := rt.attempt(w, r, b, rt.cfg.BackendTimeout)
+				b.breaker.Record(err)
+				if err == nil {
 					return
 				}
+				b.failures.Add(1)
 			}
 			continue
 		}
