@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos figures bench bench-smoke clean
+.PHONY: all build test race vet fmt check chaos figures bench bench-smoke bench-ingest clean
 
 all: check
 
@@ -42,6 +42,11 @@ bench:
 # One iteration of every benchmark — compilation and sanity, not timing.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Ingest-throughput smoke: the single-worker ingest benchmark with a mat/s
+# floor, guarding the group-commit + batched-publish fast path.
+bench-ingest:
+	./scripts/bench_ingest.sh
 
 clean:
 	rm -rf out/

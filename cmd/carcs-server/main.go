@@ -69,6 +69,8 @@ func main() {
 	routeMaxLag := flag.Uint64("route-max-lag", 0, "router staleness budget in journal sequences (0 = default)")
 	routeTimeout := flag.Duration("route-timeout", 0, "router per-backend read timeout (0 = default)")
 	routeProbe := flag.Duration("route-probe-interval", 0, "router health-probe interval (0 = default)")
+	commitBatch := flag.Int("commit-batch", 0, "max journal records coalesced into one group-commit fsync (0 = default)")
+	commitWindow := flag.Duration("commit-window", 0, "how long a group commit waits for siblings once two writers are pending (0 = default)")
 	flag.Parse()
 
 	res := server.ResilienceConfig{
@@ -99,14 +101,14 @@ func main() {
 	case *route != "":
 		err = runRouter(*addr, *route, *routeMaxLag, *routeTimeout, *routeProbe)
 	default:
-		err = run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn, res)
+		err = run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn, res, *commitBatch, *commitWindow)
 	}
 	if err != nil {
 		log.Fatalf("carcs-server: %v", err)
 	}
 }
 
-func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprofOn bool, res server.ResilienceConfig) error {
+func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprofOn bool, res server.ResilienceConfig, commitBatch int, commitWindow time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -116,7 +118,11 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprof
 		err       error
 	)
 	if dataDir != "" {
-		sys, persister, err = core.OpenDurable(dataDir, core.DurableOptions{Seed: !empty})
+		sys, persister, err = core.OpenDurable(dataDir, core.DurableOptions{
+			Seed:         !empty,
+			CommitBatch:  commitBatch,
+			CommitWindow: commitWindow,
+		})
 	} else if empty {
 		sys, err = core.New()
 	} else {

@@ -53,7 +53,13 @@ func (b *Bayes) Snap() *Bayes {
 // Train adds one classified material to the model. Classifications outside
 // the model's ontology are ignored.
 func (b *Bayes) Train(m *material.Material) {
-	terms := textproc.Terms(m.SearchText())
+	b.TrainTerms(m, textproc.Terms(m.SearchText()))
+}
+
+// TrainTerms is Train for a material whose search text is already analyzed,
+// so the commit pipeline — which feeds one Bayes model per ontology plus the
+// search indexes from the same text — tokenizes it once and shares the list.
+func (b *Bayes) TrainTerms(m *material.Material, terms []string) {
 	trained := false
 	// Builders amortize the path copying across the material's whole term
 	// list; see pmap.Builder.
@@ -82,10 +88,62 @@ func (b *Bayes) Train(m *material.Material) {
 	}
 }
 
+// TrainTermsBatch trains on a batch of materials in one builder session per
+// count structure, equivalent to calling TrainTerms for each pair in order.
+// termLists[i] must be the analyzed terms of ms[i]. Entries shared by many
+// materials in the batch — the common case for a themed import — keep one
+// open term-count builder across the whole batch, so their trie nodes are
+// copied once instead of once per material.
+func (b *Bayes) TrainTermsBatch(ms []*material.Material, termLists [][]string) {
+	vb := b.vocab.Builder()
+	db := b.docCount.Builder()
+	ttb := b.totalTerms.Builder()
+	tcb := b.termCounts.Builder()
+	inner := make(map[string]*pmap.Builder[string, int])
+	for i, m := range ms {
+		terms := termLists[i]
+		trained := false
+		for _, id := range m.ClassificationIDs() {
+			if !b.o.Has(id) {
+				continue
+			}
+			trained = true
+			db.Set(id, db.GetOr(id, 0)+1)
+			tb := inner[id]
+			if tb == nil {
+				tc := tcb.GetOr(id, nil)
+				if tc == nil {
+					tc = pmap.NewStrings[int]()
+				}
+				tb = tc.Builder()
+				inner[id] = tb
+			}
+			for _, t := range terms {
+				tb.Set(t, tb.GetOr(t, 0)+1)
+				vb.Set(t, vb.GetOr(t, 0)+1)
+			}
+			ttb.Set(id, ttb.GetOr(id, 0)+len(terms))
+		}
+		if trained {
+			b.trained++
+		}
+	}
+	for id, tb := range inner {
+		tcb.Set(id, tb.Map())
+	}
+	b.termCounts = tcb.Map()
+	b.docCount = db.Map()
+	b.totalTerms = ttb.Map()
+	b.vocab = vb.Map()
+}
+
 // Observe is Train under the name the incremental-maintenance interfaces
 // use: the model absorbs one material in O(len(terms) × classifications)
 // without a corpus rescan.
 func (b *Bayes) Observe(m *material.Material) { b.Train(m) }
+
+// ObserveTerms is Observe with pre-analyzed terms; see TrainTerms.
+func (b *Bayes) ObserveTerms(m *material.Material, terms []string) { b.TrainTerms(m, terms) }
 
 // Forget removes a previously trained material from the model — the exact
 // inverse of Train, so add/remove/reclassify flows can keep a long-lived

@@ -60,6 +60,48 @@ func (c *CoOccurrence) Observe(m *material.Material) {
 	c.n++
 }
 
+// ObserveBatch folds a batch of materials in one builder session per count
+// map, equivalent to calling Observe for each in order; see Bayes.TrainTermsBatch.
+func (c *CoOccurrence) ObserveBatch(ms []*material.Material) {
+	cb := c.count.Builder()
+	pb := c.pair.Builder()
+	// Inner per-entry pair-count builders stay open across the batch; see
+	// Bayes.TrainTermsBatch.
+	inner := make(map[string]*pmap.Builder[string, int])
+	get := func(a string) *pmap.Builder[string, int] {
+		ib := inner[a]
+		if ib == nil {
+			m := pb.GetOr(a, nil)
+			if m == nil {
+				m = pmap.NewStrings[int]()
+			}
+			ib = m.Builder()
+			inner[a] = ib
+		}
+		return ib
+	}
+	for _, m := range ms {
+		ids := m.ClassificationIDs()
+		for _, a := range ids {
+			cb.Set(a, cb.GetOr(a, 0)+1)
+		}
+		for i, a := range ids {
+			for _, b := range ids[i+1:] {
+				ib := get(a)
+				ib.Set(b, ib.GetOr(b, 0)+1)
+				ib = get(b)
+				ib.Set(a, ib.GetOr(a, 0)+1)
+			}
+		}
+		c.n++
+	}
+	for a, ib := range inner {
+		pb.Set(a, ib.Map())
+	}
+	c.count = cb.Map()
+	c.pair = pb.Map()
+}
+
 // Forget removes a previously observed material — the exact inverse of
 // Observe, so remove/reclassify flows can keep a long-lived miner current.
 // Forgetting a material that was never observed corrupts the counts.

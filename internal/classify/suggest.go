@@ -10,6 +10,7 @@ package classify
 
 import (
 	"sort"
+	"sync"
 
 	"carcs/internal/material"
 	"carcs/internal/ontology"
@@ -132,6 +133,49 @@ func (t *TFIDF) Suggest(text string, limit int) []Suggestion {
 		out = append(out, Suggestion{NodeID: s.ID, Path: t.o.Path(s.ID), Score: s.Score})
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// shared instances
+// ---------------------------------------------------------------------------
+
+// The keyword and TF-IDF suggesters are training-free — their entire state is
+// derived from the ontology at construction and never mutated afterwards
+// (Suggest only reads) — and the curriculum ontologies are process-wide
+// singletons. Rebuilding them for every System is therefore pure waste: the
+// TF-IDF corpus alone tokenizes and vectorizes every classifiable entry path,
+// which dominated System construction in ingest profiles. Shared* memoizes
+// one instance per ontology for the life of the process.
+var (
+	sharedMu      sync.Mutex
+	sharedKeyword = map[*ontology.Ontology]*Keyword{}
+	sharedTFIDF   = map[*ontology.Ontology]*TFIDF{}
+)
+
+// SharedKeyword returns a process-wide cached NewKeyword(o). The result is
+// safe for concurrent use; callers must not mutate it.
+func SharedKeyword(o *ontology.Ontology) *Keyword {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	k, ok := sharedKeyword[o]
+	if !ok {
+		k = NewKeyword(o)
+		sharedKeyword[o] = k
+	}
+	return k
+}
+
+// SharedTFIDF returns a process-wide cached NewTFIDF(o). The result is safe
+// for concurrent use; callers must not mutate it.
+func SharedTFIDF(o *ontology.Ontology) *TFIDF {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	t, ok := sharedTFIDF[o]
+	if !ok {
+		t = NewTFIDF(o)
+		sharedTFIDF[o] = t
+	}
+	return t
 }
 
 // ---------------------------------------------------------------------------

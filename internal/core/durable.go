@@ -63,6 +63,13 @@ type DurableOptions struct {
 	// Breaker tunes the write-path circuit breaker; zero values take the
 	// resilience package defaults (5 consecutive failures, 5s cooldown).
 	Breaker resilience.BreakerConfig
+	// CommitBatch caps the records one group-commit fsync window may cover.
+	// <=0 takes journal.DefaultGroupMaxBatch (64).
+	CommitBatch int
+	// CommitWindow bounds how long a commit window stays open for stragglers
+	// once at least two writers are pending. <=0 takes
+	// journal.DefaultGroupMaxWait (2ms).
+	CommitWindow time.Duration
 }
 
 // Persister ties a System to a journal directory: it owns the write-ahead
@@ -72,6 +79,12 @@ type Persister struct {
 	sys     *System
 	st      *journal.Store
 	breaker *resilience.Breaker
+	// group is the group-commit appender every journaled mutation routes
+	// through: concurrent writers (material commits, workflow transitions)
+	// share one fsync per batch window, and because the group's single
+	// flusher both appends and notifies, the replication sink observes
+	// records in strictly ascending sequence order.
+	group *journal.Group
 
 	// sink, when set, observes every successfully journaled record. The
 	// replication hub installs one to feed its in-memory tail ring and
@@ -120,25 +133,56 @@ func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
 		st.Close()
 		return nil, nil, err
 	}
+	// Replay in chunks: each chunk applies under one mutation-lock hold and
+	// publishes one view, so recovering a long log costs O(records) applies
+	// but only O(records / replayChunk) view publishes.
+	chunk := make([]journal.Record, 0, replayChunk)
 	if _, err := st.Replay(func(rec journal.Record) error {
-		return applyOp(sys, rec)
+		chunk = append(chunk, rec)
+		if len(chunk) >= replayChunk {
+			err := ApplyRecords(sys, chunk)
+			chunk = chunk[:0]
+			return err
+		}
+		return nil
 	}); err != nil {
 		st.Close()
 		return nil, nil, err
 	}
+	if err := ApplyRecords(sys, chunk); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
 	p := &Persister{sys: sys, st: st, breaker: resilience.NewBreaker(opts.Breaker)}
+	p.group = journal.NewGroup(st, journal.GroupConfig{
+		MaxBatch: opts.CommitBatch,
+		MaxWait:  opts.CommitWindow,
+		OnCommit: func(recs []journal.Record) {
+			if sink := p.sink.Load(); sink != nil {
+				for _, rec := range recs {
+					(*sink)(rec)
+				}
+			}
+		},
+	})
 	if !haveCheckpoint {
 		// Pin the initial (possibly seeded) state so later opens never
 		// depend on the Seed flag being passed consistently.
 		if err := p.Checkpoint(); err != nil {
+			p.group.Close()
 			st.Close()
 			return nil, nil, err
 		}
 	}
 	sys.SetMutationHook(p.journalHook)
+	sys.SetBatchMutationHook(p.journalBatchHook)
 	sys.queue.SetHook(workflow.Hook(p.journalHook))
 	return sys, p, nil
 }
+
+// replayChunk is how many journaled records recovery applies per mutation-
+// lock hold (and per published view).
+const replayChunk = 256
 
 // journalHook is the durability gate every mutation passes through, wrapped
 // in the write-path circuit breaker. While the breaker is open, writes
@@ -157,13 +201,38 @@ func (p *Persister) journalHook(op string, data any) error {
 			return fmt.Errorf("%w: %w", ErrWritesUnavailable, rerr)
 		}
 	}
-	rec, aerr := p.st.AppendRecord(op, data)
+	_, aerr := p.group.Append(op, data)
 	p.breaker.Record(aerr)
 	if aerr != nil {
 		return fmt.Errorf("%w: %w", ErrWritesUnavailable, aerr)
 	}
-	if sink := p.sink.Load(); sink != nil {
-		(*sink)(rec)
+	// The replication sink is fed by the group's OnCommit callback, in
+	// sequence order, before this call unblocked.
+	return nil
+}
+
+// journalBatchHook is journalHook for a whole batch mutation: one breaker
+// round trip and one group submission covering every op, so the batch shares
+// a single fsync window and commits contiguously.
+func (p *Persister) journalBatchHook(ops []OpPayload) error {
+	probe, err := p.breaker.Acquire()
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrWritesUnavailable, err)
+	}
+	if probe {
+		if rerr := p.st.Recover(); rerr != nil {
+			p.breaker.Record(rerr)
+			return fmt.Errorf("%w: %w", ErrWritesUnavailable, rerr)
+		}
+	}
+	bops := make([]journal.BatchOp, len(ops))
+	for i, op := range ops {
+		bops[i] = journal.BatchOp{Op: op.Op, Data: op.Payload}
+	}
+	_, aerr := p.group.AppendMany(bops)
+	p.breaker.Record(aerr)
+	if aerr != nil {
+		return fmt.Errorf("%w: %w", ErrWritesUnavailable, aerr)
 	}
 	return nil
 }
@@ -230,6 +299,61 @@ func ApplyRecord(s *System, rec journal.Record) error {
 	return applyOp(s, rec)
 }
 
+// ApplyRecords re-executes a run of journaled mutations as one batch: a
+// single mutation-lock hold, records applied in order, and one view publish
+// for the whole run. Crash recovery replays the log through it in chunks,
+// and a replication follower drains its tailed WAL stream through it,
+// paying the publish cost per batch instead of per record. On a failed
+// record the already-applied prefix is published (matching what a record-
+// at-a-time apply would have committed) and the error is returned wrapped
+// with the offending sequence number.
+func ApplyRecords(s *System, recs []journal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, rec := range recs {
+		if err := applyOpLocked(s, rec); err != nil {
+			if i > 0 {
+				s.publishLocked()
+			}
+			return fmt.Errorf("core: apply seq %d (%s): %w", rec.Seq, rec.Op, err)
+		}
+	}
+	s.publishLocked()
+	return nil
+}
+
+// applyOpLocked applies one journaled mutation with the mutation lock held
+// and without publishing. Workflow ops go through the queue directly (the
+// system → queue lock order matches the checkpoint path); its observer still
+// republishes the generation, which is cheap and keeps workflow reads live.
+func applyOpLocked(s *System, rec journal.Record) error {
+	switch rec.Op {
+	case OpAddMaterial:
+		var p addMaterialPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.addMaterialLocked(p.Material)
+	case OpRemoveMaterial:
+		var p removeMaterialPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.removeMaterialLocked(p.ID)
+	case OpReclassify:
+		var p reclassifyPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.reclassifyLocked(p.ID, p.Classifications)
+	default:
+		return applyWorkflowOp(s, rec)
+	}
+}
+
 func restoreCheckpoint(payload []byte) (*System, error) {
 	var doc checkpointDoc
 	if err := json.Unmarshal(payload, &doc); err != nil {
@@ -271,6 +395,14 @@ func applyOp(s *System, rec journal.Record) error {
 			return err
 		}
 		return s.Reclassify(p.ID, p.Classifications)
+	default:
+		return applyWorkflowOp(s, rec)
+	}
+}
+
+// applyWorkflowOp re-executes one journaled workflow transition.
+func applyWorkflowOp(s *System, rec journal.Record) error {
+	switch rec.Op {
 	case workflow.OpRegister:
 		var p workflow.RegisterPayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
@@ -371,9 +503,10 @@ func (p *Persister) Start(interval time.Duration) {
 // Stats reports the journal/checkpoint state for the health endpoint.
 func (p *Persister) Stats() journal.Stats { return p.st.Stats() }
 
-// Close stops background checkpointing, takes a final checkpoint, and
-// releases the journal. The system stays usable in memory, but further
-// mutations fail their durability hook — matching a clean shutdown.
+// Close stops background checkpointing, drains the group-commit appender,
+// takes a final checkpoint, and releases the journal. The system stays
+// usable in memory, but further mutations fail their durability hook —
+// matching a clean shutdown.
 func (p *Persister) Close() error {
 	p.mu.Lock()
 	if p.stop != nil {
@@ -383,6 +516,7 @@ func (p *Persister) Close() error {
 		p.stop = nil
 	}
 	p.mu.Unlock()
+	p.group.Close()
 	err := p.Checkpoint()
 	if cerr := p.st.Close(); err == nil {
 		err = cerr

@@ -30,6 +30,7 @@ import (
 	"carcs/internal/relstore"
 	"carcs/internal/search"
 	"carcs/internal/similarity"
+	"carcs/internal/textproc"
 	"carcs/internal/workflow"
 )
 
@@ -85,6 +86,9 @@ type System struct {
 	// hook, when set, journals every mutation before it commits (see
 	// MutationHook). Guarded by mu.
 	hook MutationHook
+	// batchHook, when set, journals a whole batch of mutations in one
+	// durability round trip (see BatchMutationHook). Guarded by mu.
+	batchHook BatchMutationHook
 }
 
 // MutationHook observes a mutation before it commits. The durability layer
@@ -93,6 +97,18 @@ type System struct {
 // journal. The hook runs with the system's mutation lock held.
 type MutationHook func(op string, payload any) error
 
+// OpPayload is one not-yet-journaled operation inside a batch mutation.
+type OpPayload struct {
+	Op      string
+	Payload any
+}
+
+// BatchMutationHook journals every operation of a batch mutation before any
+// of it commits — the durability layer appends them all with one fsync. Like
+// MutationHook it runs with the system's mutation lock held, and a failure
+// refuses the whole batch.
+type BatchMutationHook func(ops []OpPayload) error
+
 // SetMutationHook installs (or, with nil, removes) the mutation hook.
 func (s *System) SetMutationHook(h MutationHook) {
 	s.mu.Lock()
@@ -100,11 +116,35 @@ func (s *System) SetMutationHook(h MutationHook) {
 	s.hook = h
 }
 
+// SetBatchMutationHook installs (or, with nil, removes) the batch mutation
+// hook. Without one, batch mutations fall back to journaling through the
+// per-op MutationHook.
+func (s *System) SetBatchMutationHook(h BatchMutationHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batchHook = h
+}
+
 func (s *System) hookLocked(op string, payload any) error {
 	if s.hook == nil {
 		return nil
 	}
 	return s.hook(op, payload)
+}
+
+// batchHookLocked journals a batch of operations: through the batch hook
+// when one is installed (one fsync for the whole slice), else op-by-op
+// through the per-mutation hook.
+func (s *System) batchHookLocked(ops []OpPayload) error {
+	if s.batchHook != nil {
+		return s.batchHook(ops)
+	}
+	for _, op := range ops {
+		if err := s.hookLocked(op.Op, op.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // New creates an empty CAR-CS system bound to the CS13 and PDC12 curricula.
@@ -151,9 +191,13 @@ func New() (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The training-free suggesters are immutable once built and the
+	// ontologies are process-wide singletons, so every System shares one
+	// instance per ontology instead of re-tokenizing the whole curriculum
+	// on each construction (which dominated cold-start profiles).
 	s.sug = map[*ontology.Ontology]suggesters{
-		s.cs13:  {keyword: classify.NewKeyword(s.cs13), tfidf: classify.NewTFIDF(s.cs13)},
-		s.pdc12: {keyword: classify.NewKeyword(s.pdc12), tfidf: classify.NewTFIDF(s.pdc12)},
+		s.cs13:  {keyword: classify.SharedKeyword(s.cs13), tfidf: classify.SharedTFIDF(s.cs13)},
+		s.pdc12: {keyword: classify.SharedKeyword(s.pdc12), tfidf: classify.SharedTFIDF(s.pdc12)},
 	}
 	s.bayes = map[*ontology.Ontology]*classify.Bayes{
 		s.cs13:  classify.NewBayes(s.cs13),
@@ -229,11 +273,12 @@ func (s *System) ResultCache() *cache.Cache { return s.results }
 func (s *System) CacheStats() cache.Stats { return s.results.Stats() }
 
 // observeLocked folds a newly committed material into the incrementally
-// maintained models. Callers hold mu and publish once per mutation after
-// all model updates.
-func (s *System) observeLocked(m *material.Material) {
+// maintained models. The caller passes the material's already-analyzed
+// search terms so the per-ontology models need not re-tokenize. Callers
+// hold mu and publish once per mutation after all model updates.
+func (s *System) observeLocked(m *material.Material, terms []string) {
 	for _, b := range s.bayes {
-		b.Observe(m)
+		b.ObserveTerms(m, terms)
 	}
 	s.cooccur.Observe(m)
 }
@@ -299,13 +344,22 @@ func (s *System) AddMaterial(m *material.Material) error {
 	m = m.Clone()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.materials.LookupUnique("slug", m.ID) != nil {
+	if _, taken := s.materials.UniqueID("slug", m.ID); taken {
 		return fmt.Errorf("core: add %q: duplicate material", m.ID)
 	}
 	if err := s.hookLocked(OpAddMaterial, addMaterialPayload{Material: m}); err != nil {
 		return fmt.Errorf("core: add %q: %w", m.ID, err)
 	}
-	rowID, err := s.materials.Insert(relstore.Row{
+	if err := s.applyAddLocked(m); err != nil {
+		return err
+	}
+	s.publishLocked()
+	return nil
+}
+
+// materialRow maps a material onto its relational row.
+func materialRow(m *material.Material) relstore.Row {
+	return relstore.Row{
 		"slug":        m.ID,
 		"title":       m.Title,
 		"kind":        string(m.Kind),
@@ -318,7 +372,16 @@ func (s *System) AddMaterial(m *material.Material) error {
 		"authors":     append([]string{}, m.Authors...),
 		"datasets":    append([]string{}, m.Datasets...),
 		"tags":        append([]string{}, m.Tags...),
-	})
+	}
+}
+
+// applyAddLocked commits one already-validated, already-journaled material
+// to the live containers — row, classification links, search index, and
+// incremental models — without publishing. The search text is analyzed once
+// here and shared by every term-keyed structure. Callers hold mu and
+// publish once after all applies in the batch.
+func (s *System) applyAddLocked(m *material.Material) error {
+	rowID, err := s.materials.Insert(materialRow(m))
 	if err != nil {
 		return fmt.Errorf("core: add %q: %w", m.ID, err)
 	}
@@ -329,15 +392,15 @@ func (s *System) AddMaterial(m *material.Material) error {
 		}
 		s.links.Add(rowID, entryID)
 	}
-	s.engine.Add(m)
-	s.observeLocked(m)
-	s.publishLocked()
+	terms := textproc.Terms(m.SearchText())
+	s.engine.AddTerms(m, terms)
+	s.observeLocked(m, terms)
 	return nil
 }
 
 func (s *System) entryRowIDLocked(cl material.Classification) (int64, error) {
-	if row := s.entries.LookupUnique("node", cl.NodeID); row != nil {
-		return row.ID(), nil
+	if id, ok := s.entries.UniqueID("node", cl.NodeID); ok {
+		return id, nil
 	}
 	return s.entries.Insert(relstore.Row{
 		"node":  cl.NodeID,
@@ -356,15 +419,63 @@ func (s *System) RemoveMaterial(id string) error {
 	if err := s.hookLocked(OpRemoveMaterial, removeMaterialPayload{ID: id}); err != nil {
 		return fmt.Errorf("core: remove %q: %w", id, err)
 	}
-	if err := s.materials.Delete(row.ID()); err != nil {
+	if err := s.applyRemoveLocked(id, row.ID()); err != nil {
 		return err
 	}
-	s.links.RemoveLeft(row.ID())
+	s.publishLocked()
+	return nil
+}
+
+// addMaterialLocked is AddMaterial without the hook, lock, or publish: the
+// validate-check-apply core that recovery and replication batch-apply share.
+func (s *System) addMaterialLocked(m *material.Material) error {
+	if errs := m.Validate(s.cs13, s.pdc12); len(errs) > 0 {
+		return fmt.Errorf("core: invalid material %q: %w", m.ID, errs[0])
+	}
+	m = m.Clone()
+	if _, taken := s.materials.UniqueID("slug", m.ID); taken {
+		return fmt.Errorf("core: add %q: duplicate material", m.ID)
+	}
+	return s.applyAddLocked(m)
+}
+
+// removeMaterialLocked is RemoveMaterial without the hook, lock, or publish.
+func (s *System) removeMaterialLocked(id string) error {
+	row := s.materials.LookupUnique("slug", id)
+	if row == nil {
+		return fmt.Errorf("core: no material %q", id)
+	}
+	return s.applyRemoveLocked(id, row.ID())
+}
+
+// reclassifyLocked is Reclassify without the hook, lock, or publish.
+func (s *System) reclassifyLocked(id string, cls []material.Classification) error {
+	m := s.engine.Get(id)
+	if m == nil {
+		return fmt.Errorf("core: no material %q", id)
+	}
+	next := m.Clone()
+	next.Classifications = append([]material.Classification(nil), cls...)
+	if errs := next.Validate(s.cs13, s.pdc12); len(errs) > 0 {
+		return fmt.Errorf("core: reclassify %q: %w", id, errs[0])
+	}
+	row := s.materials.LookupUnique("slug", id)
+	if row == nil {
+		return fmt.Errorf("core: store out of sync for %q", id)
+	}
+	return s.applyReclassifyLocked(m, next, row.ID(), cls)
+}
+
+// applyRemoveLocked commits an already-journaled removal without publishing.
+func (s *System) applyRemoveLocked(id string, rowID int64) error {
+	if err := s.materials.Delete(rowID); err != nil {
+		return err
+	}
+	s.links.RemoveLeft(rowID)
 	if m := s.engine.Get(id); m != nil {
 		s.forgetLocked(m)
 	}
 	s.engine.Remove(id)
-	s.publishLocked()
 	return nil
 }
 
@@ -392,18 +503,28 @@ func (s *System) Reclassify(id string, cls []material.Classification) error {
 	if err := s.hookLocked(OpReclassify, reclassifyPayload{ID: id, Classifications: cls}); err != nil {
 		return fmt.Errorf("core: reclassify %q: %w", id, err)
 	}
-	s.links.RemoveLeft(row.ID())
+	if err := s.applyReclassifyLocked(m, next, row.ID(), cls); err != nil {
+		return err
+	}
+	s.publishLocked()
+	return nil
+}
+
+// applyReclassifyLocked commits an already-validated, already-journaled
+// reclassification without publishing.
+func (s *System) applyReclassifyLocked(prev, next *material.Material, rowID int64, cls []material.Classification) error {
+	s.links.RemoveLeft(rowID)
 	for _, cl := range cls {
 		entryID, err := s.entryRowIDLocked(cl)
 		if err != nil {
 			return err
 		}
-		s.links.Add(row.ID(), entryID)
+		s.links.Add(rowID, entryID)
 	}
-	s.forgetLocked(m)
-	s.engine.Add(next)
-	s.observeLocked(next)
-	s.publishLocked()
+	s.forgetLocked(prev)
+	terms := textproc.Terms(next.SearchText())
+	s.engine.AddTerms(next, terms)
+	s.observeLocked(next, terms)
 	return nil
 }
 

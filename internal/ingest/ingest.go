@@ -57,6 +57,11 @@ const DefaultReviewer = "auto-import"
 // per-request body cap for single materials).
 const maxLineBytes = 1 << 20
 
+// DefaultCommitChunk is how many consecutive additions the committer groups
+// into one batched commit when Options.CommitChunk is zero. It matches the
+// journal's default group-commit window so one chunk is one fsync.
+const DefaultCommitChunk = 64
+
 // Options configure an Importer. The zero value is usable: GOMAXPROCS
 // workers, TF-IDF suggestions at DefaultThreshold, no per-item retries.
 type Options struct {
@@ -85,8 +90,15 @@ type Options struct {
 	// deterministic failures (validation, duplicates) fail immediately.
 	Retry jobs.RetryPolicy
 	// Commit overrides the commit step (default sys.AddMaterial); tests
-	// inject failures through it.
+	// inject failures through it. Setting it forces record-at-a-time
+	// commits, bypassing chunked batching.
 	Commit func(*material.Material) error
+	// CommitChunk is how many consecutive additions the in-order committer
+	// groups into one batched commit (core.System.AddMaterials): one
+	// journal fsync window and one view publish per chunk instead of per
+	// record. Zero means DefaultCommitChunk; 1 commits record-at-a-time.
+	// Chunk size affects throughput only, never the final state.
+	CommitChunk int
 }
 
 // Summary is the outcome of one import run.
@@ -147,6 +159,9 @@ func New(sys *core.System, opt Options) *Importer {
 	}
 	if opt.Reviewer == "" {
 		opt.Reviewer = DefaultReviewer
+	}
+	if opt.CommitChunk <= 0 {
+		opt.CommitChunk = DefaultCommitChunk
 	}
 	return &Importer{sys: sys, opt: opt}
 }
@@ -246,8 +261,13 @@ func (imp *Importer) Run(ctx context.Context, r io.Reader, tr Tracker) (Summary,
 	}()
 
 	// Committer: apply strictly in input order so the resulting state is
-	// independent of worker count and scheduling.
+	// independent of worker count and scheduling. Consecutive additions
+	// accumulate into a chunk committed through the batched pipeline; the
+	// chunk flushes when full and at end of stream. Chunking preserves
+	// input order (additions apply in slice order within the batch), so
+	// the final state is byte-identical for any chunk size.
 	var sum Summary
+	var batch []prepared
 	pending := make(map[int]prepared)
 	next := 0
 	seen := make(map[string]bool)
@@ -261,14 +281,20 @@ func (imp *Importer) Run(ctx context.Context, r io.Reader, tr Tracker) (Summary,
 			delete(pending, next)
 			next++
 			if err := ctx.Err(); err != nil {
+				// Cancelled: the unflushed chunk is abandoned unapplied —
+				// exactly the reported-ok items are in the corpus.
 				return sum, err
 			}
-			imp.commit(ctx, q, &sum, seen, tr)
+			batch = imp.commit(ctx, q, &sum, seen, tr, batch)
+			if len(batch) >= imp.opt.CommitChunk {
+				batch = imp.flush(ctx, &sum, tr, batch)
+			}
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return sum, err
 	}
+	imp.flush(ctx, &sum, tr, batch)
 	if err := <-scanErr; err != nil {
 		return sum, fmt.Errorf("ingest: read input: %w", err)
 	}
@@ -343,55 +369,97 @@ func (imp *Importer) attachProposals(v *core.View, m *material.Material) {
 	}
 }
 
-// commit applies one prepared record in order: report failures, skip
-// duplicates, retry-commit additions, or submit to review.
-func (imp *Importer) commit(ctx context.Context, p prepared, sum *Summary, seen map[string]bool, tr Tracker) {
+// commit routes one prepared record in order: report failures, skip
+// duplicates, buffer additions into the current chunk, or submit to review.
+// It returns the (possibly grown) chunk.
+func (imp *Importer) commit(ctx context.Context, p prepared, sum *Summary, seen map[string]bool, tr Tracker, batch []prepared) []prepared {
 	sum.Total++
 	switch p.route {
 	case routeError:
 		sum.Failed++
 		tr.AddFailed()
 		tr.ReportItemError(jobs.ItemError{Index: p.idx, Item: p.id, Err: p.err.Error()})
-		return
+		return batch
 	default:
 	}
+	// In-file duplicates are caught by seen — which includes buffered, not
+	// yet flushed additions — and pre-existing ones by the live corpus.
 	if seen[p.m.ID] || imp.sys.Material(p.m.ID) != nil {
 		sum.Skipped++
 		tr.AddSkipped()
-		return
+		return batch
 	}
 	seen[p.m.ID] = true
 	switch p.route {
 	case routeAdd:
-		commit := imp.opt.Commit
-		if commit == nil {
-			commit = imp.sys.AddMaterial
-		}
-		attempts, err := imp.opt.Retry.Do(ctx, func() error { return commit(p.m) })
-		if err != nil {
-			if ctx.Err() != nil {
-				return // cancelled mid-item; nothing was applied
-			}
-			sum.Failed++
-			tr.AddFailed()
-			tr.ReportItemError(jobs.ItemError{Index: p.idx, Item: p.m.ID, Err: err.Error(), Attempts: attempts})
-			return
-		}
-		sum.Added++
-		if p.auto {
-			sum.AutoClassified++
-		}
-		tr.AddOK()
+		return append(batch, p)
 	case routeReview:
 		if err := imp.submitForReview(p.m); err != nil {
 			sum.Failed++
 			tr.AddFailed()
 			tr.ReportItemError(jobs.ItemError{Index: p.idx, Item: p.m.ID, Err: err.Error()})
-			return
+			return batch
 		}
 		sum.Review++
 		tr.AddOK()
 	}
+	return batch
+}
+
+// flush commits the buffered chunk of additions: through the batched
+// pipeline (one journaled fsync window, one view publish) when possible,
+// falling back to record-at-a-time commits — which report per-item errors
+// and keep the good records — when a batch is refused or a commit override
+// is installed. It returns the emptied chunk buffer for reuse.
+func (imp *Importer) flush(ctx context.Context, sum *Summary, tr Tracker, batch []prepared) []prepared {
+	if len(batch) == 0 {
+		return batch
+	}
+	if imp.opt.Commit == nil && len(batch) > 1 {
+		ms := make([]*material.Material, len(batch))
+		for i, p := range batch {
+			ms[i] = p.m
+		}
+		if err := imp.sys.AddMaterials(ms); err == nil {
+			for _, p := range batch {
+				sum.Added++
+				if p.auto {
+					sum.AutoClassified++
+				}
+				tr.AddOK()
+			}
+			return batch[:0]
+		}
+		// AddMaterials is all-or-nothing, so nothing applied; fall through
+		// to the per-record path for per-item reporting and partial success.
+	}
+	for _, p := range batch {
+		imp.commitOne(ctx, p, sum, tr)
+	}
+	return batch[:0]
+}
+
+// commitOne applies one addition with the retry policy.
+func (imp *Importer) commitOne(ctx context.Context, p prepared, sum *Summary, tr Tracker) {
+	commit := imp.opt.Commit
+	if commit == nil {
+		commit = imp.sys.AddMaterial
+	}
+	attempts, err := imp.opt.Retry.Do(ctx, func() error { return commit(p.m) })
+	if err != nil {
+		if ctx.Err() != nil {
+			return // cancelled mid-item; nothing was applied
+		}
+		sum.Failed++
+		tr.AddFailed()
+		tr.ReportItemError(jobs.ItemError{Index: p.idx, Item: p.m.ID, Err: err.Error(), Attempts: attempts})
+		return
+	}
+	sum.Added++
+	if p.auto {
+		sum.AutoClassified++
+	}
+	tr.AddOK()
 }
 
 // submitForReview files the material into the curation queue under the

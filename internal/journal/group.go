@@ -1,0 +1,223 @@
+package journal
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Default group-commit tuning: how many records one fsync may cover and how
+// long the flusher waits for stragglers once a batch has started forming.
+const (
+	DefaultGroupMaxBatch = 64
+	DefaultGroupMaxWait  = 2 * time.Millisecond
+)
+
+// ErrGroupClosed is returned by Append after Close.
+var ErrGroupClosed = errors.New("journal: group appender closed")
+
+// GroupConfig tunes a Group.
+type GroupConfig struct {
+	// MaxBatch caps records per fsync window. <=0 means DefaultGroupMaxBatch.
+	MaxBatch int
+	// MaxWait bounds how long the flusher holds an open window waiting for
+	// more writers once at least two are pending. <=0 means
+	// DefaultGroupMaxWait. A lone writer is flushed immediately — sequential
+	// callers pay no latency tax.
+	MaxWait time.Duration
+	// OnCommit, if set, observes every committed batch in sequence order,
+	// from the flusher goroutine, before any waiter is unblocked. The
+	// replication hub hangs off this: its tail ring requires ascending Seq,
+	// which a single delivering goroutine guarantees and per-waiter wakeups
+	// would not.
+	OnCommit func([]Record)
+}
+
+// Group is a group-commit front end to a Store: concurrent Append and
+// AppendMany calls are coalesced by a single flusher goroutine into one
+// buffered write + one fsync per batch window. Each caller is unblocked only
+// after its records are durably synced. The wait window follows the
+// commit_delay/commit_siblings heuristic: it only opens when at least two
+// commits are already pending, so a lone sequential writer never waits.
+type Group struct {
+	st  *Store
+	cfg GroupConfig
+
+	mu     sync.Mutex
+	closed bool
+	reqs   chan groupReq
+	wg     sync.WaitGroup
+}
+
+type groupReq struct {
+	ops  []BatchOp
+	done chan groupResult
+}
+
+type groupResult struct {
+	recs []Record
+	err  error
+}
+
+// NewGroup starts a group-commit appender over st.
+func NewGroup(st *Store, cfg GroupConfig) *Group {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultGroupMaxBatch
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = DefaultGroupMaxWait
+	}
+	g := &Group{st: st, cfg: cfg, reqs: make(chan groupReq, cfg.MaxBatch)}
+	g.wg.Add(1)
+	go g.flusher()
+	return g
+}
+
+// Append submits one operation and blocks until the fsync window containing
+// it is durable (or failed). It returns the committed record.
+func (g *Group) Append(op string, data any) (Record, error) {
+	recs, err := g.AppendMany([]BatchOp{{Op: op, Data: data}})
+	if err != nil {
+		return Record{}, err
+	}
+	return recs[0], nil
+}
+
+// AppendMany submits a set of operations that commit contiguously, in order,
+// within one fsync window (possibly alongside other callers' records). It
+// blocks until the window is durable and returns the committed records.
+func (g *Group) AppendMany(ops []BatchOp) ([]Record, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	req := groupReq{ops: ops, done: make(chan groupResult, 1)}
+	// The send happens under g.mu so Close cannot close the channel between
+	// the closed-check and the send. The flusher never takes g.mu, so a
+	// blocking send here cannot deadlock: the flusher always drains reqs.
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrGroupClosed
+	}
+	g.reqs <- req
+	g.mu.Unlock()
+	res := <-req.done
+	return res.recs, res.err
+}
+
+// Close flushes pending appends and stops the flusher. Appends submitted
+// after Close fail with ErrGroupClosed.
+func (g *Group) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	close(g.reqs)
+	g.mu.Unlock()
+	g.wg.Wait()
+}
+
+// flusher is the single goroutine that forms and commits batches. Because it
+// alone appends to the store and alone runs OnCommit, committed records are
+// observed in strictly ascending sequence order.
+func (g *Group) flusher() {
+	defer g.wg.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var batch []groupReq
+	for {
+		req, ok := <-g.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+		pending := len(req.ops)
+		// Greedily absorb whatever is already queued.
+		open := true
+	drain:
+		for pending < g.cfg.MaxBatch {
+			select {
+			case r, ok := <-g.reqs:
+				if !ok {
+					open = false
+					break drain
+				}
+				batch = append(batch, r)
+				pending += len(r.ops)
+			default:
+				break drain
+			}
+		}
+		// commit_siblings: only a window that already has company is worth
+		// holding open. A lone writer syncs immediately.
+		if open && len(batch) > 1 && pending < g.cfg.MaxBatch {
+			timer.Reset(g.cfg.MaxWait)
+		window:
+			for pending < g.cfg.MaxBatch {
+				select {
+				case r, ok := <-g.reqs:
+					if !ok {
+						open = false
+						break window
+					}
+					batch = append(batch, r)
+					pending += len(r.ops)
+				case <-timer.C:
+					break window
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		g.flush(batch)
+		if !open {
+			// Channel closed mid-drain: commit the stragglers queued before
+			// the close, then exit.
+			batch = batch[:0]
+			pending = 0
+			for r := range g.reqs {
+				batch = append(batch, r)
+				if pending += len(r.ops); pending >= g.cfg.MaxBatch {
+					g.flush(batch)
+					batch, pending = batch[:0], 0
+				}
+			}
+			if len(batch) > 0 {
+				g.flush(batch)
+			}
+			return
+		}
+	}
+}
+
+// flush commits one window: a single store append (one buffered write + one
+// fsync), the ordered OnCommit callback, then per-waiter wakeups.
+func (g *Group) flush(batch []groupReq) {
+	var ops []BatchOp
+	for _, r := range batch {
+		ops = append(ops, r.ops...)
+	}
+	recs, err := g.st.AppendBatch(ops)
+	if err != nil {
+		for _, r := range batch {
+			r.done <- groupResult{err: err}
+		}
+		return
+	}
+	if g.cfg.OnCommit != nil {
+		g.cfg.OnCommit(recs)
+	}
+	off := 0
+	for _, r := range batch {
+		r.done <- groupResult{recs: recs[off : off+len(r.ops)]}
+		off += len(r.ops)
+	}
+}

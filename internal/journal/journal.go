@@ -49,12 +49,52 @@ type Record struct {
 	Data json.RawMessage `json:"data,omitempty"`
 }
 
+// BatchOp is one not-yet-sequenced operation handed to AppendBatch. Sequence
+// numbers are assigned in slice order when the batch commits.
+type BatchOp struct {
+	Op   string
+	Data any
+}
+
 // WriteSyncer is the sink a Writer appends to: an io.Writer whose Sync
 // flushes to stable storage. *os.File satisfies it; FaultWriter wraps one to
 // simulate crashes.
 type WriteSyncer interface {
 	io.Writer
 	Sync() error
+}
+
+// encState is pooled marshal scratch for op payloads: the encoder writes
+// into a retained buffer and the payload is copied out right-sized. Payload
+// marshalling runs outside the writer lock, on any goroutine, so unlike the
+// Writer's own envelope buffer this scratch is a sync.Pool — concurrent
+// group-commit callers each grab their own, and the buffer's grown capacity
+// is amortized across appends instead of re-grown per record.
+type encState struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	s := &encState{}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}}
+
+// marshalData encodes one op payload through the pooled scratch. The
+// Encoder HTML-escapes exactly like json.Marshal and its trailing newline is
+// trimmed, so the returned bytes match Marshal's byte-for-byte.
+func marshalData(op string, data any) (json.RawMessage, error) {
+	s := encPool.Get().(*encState)
+	defer encPool.Put(s)
+	s.buf.Reset()
+	if err := s.enc.Encode(data); err != nil {
+		return nil, fmt.Errorf("journal: marshal %s: %w", op, err)
+	}
+	b := s.buf.Bytes()
+	raw := make(json.RawMessage, len(b)-1)
+	copy(raw, b[:len(b)-1])
+	return raw, nil
 }
 
 // appendFrame appends the framed payload to buf and returns the result.
@@ -75,6 +115,16 @@ type Writer struct {
 	ws  WriteSyncer
 	seq uint64
 	err error
+
+	// buf is the reusable frame buffer: frames for an append (or a whole
+	// batch) are assembled here and handed to ws in one Write call, so the
+	// frame bytes are allocated once per Writer, not once per record.
+	buf []byte
+	// encBuf/enc replace per-record json.Marshal of the Record envelope
+	// with a reusable encoder writing into a reusable buffer. The Encoder
+	// HTML-escapes exactly like Marshal, so on-disk bytes are unchanged.
+	encBuf bytes.Buffer
+	enc    *json.Encoder
 }
 
 // NewWriter returns a Writer appending to ws, continuing after lastSeq.
@@ -93,9 +143,9 @@ func (w *Writer) Append(op string, data any) (uint64, error) {
 // that re-ship the log (the replication hub) get the exact bytes-equivalent
 // record without re-marshalling.
 func (w *Writer) AppendRecord(op string, data any) (Record, error) {
-	raw, err := json.Marshal(data)
+	raw, err := marshalData(op, data)
 	if err != nil {
-		return Record{}, fmt.Errorf("journal: marshal %s: %w", op, err)
+		return Record{}, err
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -103,15 +153,11 @@ func (w *Writer) AppendRecord(op string, data any) (Record, error) {
 		return Record{}, fmt.Errorf("journal: writer failed earlier: %w", w.err)
 	}
 	rec := Record{Seq: w.seq + 1, Op: op, Data: raw}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return Record{}, fmt.Errorf("journal: marshal record: %w", err)
+	w.buf = w.buf[:0]
+	if err := w.frameLocked(rec); err != nil {
+		return Record{}, err
 	}
-	if len(payload) > MaxRecord {
-		return Record{}, fmt.Errorf("journal: record %s exceeds %d bytes", op, MaxRecord)
-	}
-	frame := appendFrame(nil, payload)
-	if _, err := w.ws.Write(frame); err != nil {
+	if _, err := w.ws.Write(w.buf); err != nil {
 		w.err = err
 		return Record{}, fmt.Errorf("journal: append %s: %w", op, err)
 	}
@@ -121,6 +167,70 @@ func (w *Writer) AppendRecord(op string, data any) (Record, error) {
 	}
 	w.seq = rec.Seq
 	return rec, nil
+}
+
+// frameLocked encodes rec and appends its frame to w.buf. Caller holds w.mu.
+func (w *Writer) frameLocked(rec Record) error {
+	if w.enc == nil {
+		w.enc = json.NewEncoder(&w.encBuf)
+	}
+	w.encBuf.Reset()
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("journal: marshal record: %w", err)
+	}
+	payload := w.encBuf.Bytes()
+	// Encode appends a newline that Marshal would not; trim it so the
+	// on-disk payload bytes match the pre-batching format exactly.
+	payload = payload[:len(payload)-1]
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record %s exceeds %d bytes", rec.Op, MaxRecord)
+	}
+	w.buf = appendFrame(w.buf, payload)
+	return nil
+}
+
+// AppendBatch frames every op with consecutive sequence numbers, writes all
+// frames in a single Write, and syncs once — one fsync amortized across the
+// whole batch. Either the entire batch is durably committed and returned, or
+// none of it is acknowledged: on failure the writer goes sticky-failed and no
+// sequence numbers are consumed. A crash mid-batch leaves a torn tail that
+// recovery truncates to a prefix of whole records, exactly as for
+// single-record appends.
+func (w *Writer) AppendBatch(ops []BatchOp) ([]Record, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	raws := make([]json.RawMessage, len(ops))
+	for i, op := range ops {
+		raw, err := marshalData(op.Op, op.Data)
+		if err != nil {
+			return nil, err
+		}
+		raws[i] = raw
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return nil, fmt.Errorf("journal: writer failed earlier: %w", w.err)
+	}
+	recs := make([]Record, len(ops))
+	w.buf = w.buf[:0]
+	for i, op := range ops {
+		recs[i] = Record{Seq: w.seq + uint64(i) + 1, Op: op.Op, Data: raws[i]}
+		if err := w.frameLocked(recs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := w.ws.Write(w.buf); err != nil {
+		w.err = err
+		return nil, fmt.Errorf("journal: append batch of %d: %w", len(ops), err)
+	}
+	if err := w.ws.Sync(); err != nil {
+		w.err = err
+		return nil, fmt.Errorf("journal: sync batch of %d: %w", len(ops), err)
+	}
+	w.seq = recs[len(recs)-1].Seq
+	return recs, nil
 }
 
 // Seq returns the sequence number of the last successfully appended record.

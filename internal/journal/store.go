@@ -60,6 +60,13 @@ type Store struct {
 	walBytes   atomic.Int64
 	walRecords uint64
 
+	// Group-commit counters: batches is the number of AppendBatch syncs,
+	// batchRecords the records those syncs covered. fsyncs saved =
+	// batchRecords - batches. Both survive checkpoints (they describe the
+	// store's lifetime, not the current log segment).
+	batches      uint64
+	batchRecords uint64
+
 	// dirSyncErrors counts failed directory fsyncs after checkpoint
 	// installs. A rename without a durable directory entry can be lost by
 	// a crash, so degraded durability must be observable, not swallowed.
@@ -367,6 +374,28 @@ func (s *Store) AppendRecord(op string, data any) (Record, error) {
 	return rec, nil
 }
 
+// AppendBatch journals every op with one buffered write and one fsync,
+// returning the committed records in order. All-or-nothing: on failure no
+// sequence number is consumed and no record is acknowledged.
+func (s *Store) AppendBatch(ops []BatchOp) ([]Record, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered || s.closed {
+		return nil, fmt.Errorf("journal: store not open for appends")
+	}
+	recs, err := s.w.AppendBatch(ops)
+	if err != nil {
+		return nil, err
+	}
+	s.walRecords += uint64(len(recs))
+	s.batches++
+	s.batchRecords += uint64(len(recs))
+	return recs, nil
+}
+
 // WriteCheckpoint atomically persists a new snapshot — the caller's write
 // callback streams the payload — and resets the write-ahead log. The caller
 // must guarantee no mutation is in flight (freeze the state it snapshots)
@@ -459,6 +488,13 @@ type Stats struct {
 	// failed — the rename may not survive a crash. Non-zero means
 	// durability is degraded even though appends still succeed.
 	DirSyncErrors uint64 `json:"dir_sync_errors"`
+	// Batches counts group-commit fsync windows over the store's lifetime.
+	Batches uint64 `json:"batches,omitempty"`
+	// BatchRecords counts records those windows covered.
+	BatchRecords uint64 `json:"batch_records,omitempty"`
+	// FsyncsSaved = BatchRecords - Batches: syncs that per-record append
+	// would have paid but group commit amortized away.
+	FsyncsSaved uint64 `json:"fsyncs_saved,omitempty"`
 	// Err reports a sticky journal write failure, empty when healthy.
 	Err string `json:"err,omitempty"`
 }
@@ -475,6 +511,11 @@ func (s *Store) Stats() Stats {
 		CheckpointAt:    s.checkpointAt,
 		CheckpointBytes: s.checkpointBytes,
 		DirSyncErrors:   s.dirSyncErrors.Load(),
+		Batches:         s.batches,
+		BatchRecords:    s.batchRecords,
+	}
+	if s.batchRecords > s.batches {
+		st.FsyncsSaved = s.batchRecords - s.batches
 	}
 	if s.w != nil {
 		st.Seq = s.w.Seq()

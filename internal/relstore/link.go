@@ -124,6 +124,42 @@ func (l *LinkTable) Add(left, right int64) {
 	l.state.Store(&linkState{fwd: fwd, rev: rev, pairs: pairs})
 }
 
+// AddBatch links every (left, right) pair in one edit session — the outer
+// direction maps are edited through pmap.Builders, so each trie node is
+// copied at most once for the whole batch — and publishes a single new
+// state. Pairs already linked are skipped, matching Add's set semantics.
+func (l *LinkTable) AddBatch(pairs [][2]int64) {
+	if len(pairs) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.state.Load()
+	fwdB := st.fwd.Builder()
+	revB := st.rev.Builder()
+	added := 0
+	for _, p := range pairs {
+		left, right := p[0], p[1]
+		set := fwdB.GetOr(left, nil)
+		if set == nil {
+			set = pmap.NewInts[struct{}]()
+		} else if _, ok := set.Get(right); ok {
+			continue
+		}
+		fwdB.Set(left, set.Set(right, struct{}{}))
+		rset := revB.GetOr(right, nil)
+		if rset == nil {
+			rset = pmap.NewInts[struct{}]()
+		}
+		revB.Set(right, rset.Set(left, struct{}{}))
+		added++
+	}
+	if added == 0 {
+		return
+	}
+	l.state.Store(&linkState{fwd: fwdB.Map(), rev: revB.Map(), pairs: st.pairs + added})
+}
+
 // Remove unlinks the pair; removing a missing pair is a no-op.
 func (l *LinkTable) Remove(left, right int64) {
 	l.mu.Lock()

@@ -341,6 +341,98 @@ func (t *Table) Insert(r Row) (int64, error) {
 	return id, nil
 }
 
+// InsertBatch adds every row in one edit session and returns their assigned
+// ids in order. All type and unique-constraint checks — against the current
+// state and within the batch — run before any mutation, so the batch is
+// all-or-nothing. The rows land in a single pmap.Builder pass per container,
+// copying each trie node at most once for the whole batch instead of once
+// per row, and one state publish covers all of them.
+func (t *Table) InsertBatch(rows []Row) ([]int64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state.Load()
+	var inBatch map[string]map[string]int
+	for i, r := range rows {
+		if err := t.checkTypes(r); err != nil {
+			return nil, err
+		}
+		for col, idx := range st.uniques {
+			v, ok := r[col]
+			if !ok || v == nil {
+				continue
+			}
+			k, ok := encodeKey(v)
+			if !ok {
+				continue
+			}
+			if owner, taken := idx.Get(k); taken {
+				return nil, fmt.Errorf("relstore: %s.%s: duplicate value %v (row %d)", t.schema.Name, col, v, owner)
+			}
+			if inBatch == nil {
+				inBatch = make(map[string]map[string]int)
+			}
+			seen := inBatch[col]
+			if seen == nil {
+				seen = make(map[string]int)
+				inBatch[col] = seen
+			}
+			if prev, dup := seen[k]; dup {
+				return nil, fmt.Errorf("relstore: %s.%s: duplicate value %v within batch (items %d and %d)", t.schema.Name, col, v, prev, i)
+			}
+			seen[k] = i
+		}
+	}
+	ns := st.clone()
+	rowsB := ns.rows.Builder()
+	uniqueBs := make(map[string]*pmap.Builder[string, int64], len(ns.uniques))
+	for col, idx := range ns.uniques {
+		uniqueBs[col] = idx.Builder()
+	}
+	indexBs := make(map[string]*pmap.Builder[string, *pmap.Map[int64, struct{}]], len(ns.indexes))
+	for col, idx := range ns.indexes {
+		indexBs[col] = idx.Builder()
+	}
+	ids := make([]int64, len(rows))
+	for i, r := range rows {
+		ns.nextID++
+		id := ns.nextID
+		ids[i] = id
+		row := r.clone()
+		row["id"] = id
+		rowsB.Set(id, row)
+		for col, ub := range uniqueBs {
+			if v, ok := row[col]; ok && v != nil {
+				if k, ok := encodeKey(v); ok {
+					ub.Set(k, id)
+				}
+			}
+		}
+		for col, ib := range indexBs {
+			if v, ok := row[col]; ok && v != nil {
+				if k, ok := encodeKey(v); ok {
+					set := ib.GetOr(k, nil)
+					if set == nil {
+						set = pmap.NewInts[struct{}]()
+					}
+					ib.Set(k, set.Set(id, struct{}{}))
+				}
+			}
+		}
+	}
+	ns.rows = rowsB.Map()
+	for col, ub := range uniqueBs {
+		ns.uniques[col] = ub.Map()
+	}
+	for col, ib := range indexBs {
+		ns.indexes[col] = ib.Map()
+	}
+	t.state.Store(ns)
+	return ids, nil
+}
+
 // Get returns a copy of the row with the given id, or nil if absent.
 func (t *Table) Get(id int64) Row {
 	r, ok := t.state.Load().rows.Get(id)
@@ -479,6 +571,22 @@ func (t *Table) LookupUnique(col string, value any) Row {
 	}
 	r, _ := st.rows.Get(id)
 	return r.clone()
+}
+
+// UniqueID returns the row id holding value in the unique column, without
+// materializing the row. Existence checks and foreign-key resolution on hot
+// write paths use it to skip LookupUnique's defensive row copy.
+func (t *Table) UniqueID(col string, value any) (int64, bool) {
+	st := t.state.Load()
+	idx, ok := st.uniques[col]
+	if !ok {
+		return 0, false
+	}
+	k, ok := encodeKey(value)
+	if !ok {
+		return 0, false
+	}
+	return idx.Get(k)
 }
 
 // LookupIndexed returns copies of the rows whose indexed column equals

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -190,12 +191,35 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 	}
 	f.observeLeaderSeq(resp.Header)
 	f.connected.Store(true)
-	for {
-		rec, err := journal.ReadFrame(resp.Body)
-		if err == io.EOF {
+	// Records are applied through the same batch path the leader's group
+	// commit uses: everything already buffered on the stream folds into the
+	// local system under one lock hold and one view publish. The batch
+	// flushes as soon as the stream would block, so a trickle applies
+	// record-at-a-time and a catch-up burst applies in big strides.
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	var batch []journal.Record
+	flush := func() error {
+		if len(batch) == 0 {
 			return nil
 		}
+		if err := core.ApplyRecords(f.sys, batch); err != nil {
+			return fmt.Errorf("%w: %v", errApply, err)
+		}
+		f.applied.Store(batch[len(batch)-1].Seq)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		rec, err := journal.ReadFrame(br)
+		if err == io.EOF {
+			return flush()
+		}
 		if err != nil {
+			// Apply the whole records already read before surfacing the
+			// stream error; they are durable on the leader.
+			if ferr := flush(); ferr != nil {
+				return ferr
+			}
 			return fmt.Errorf("replica: stream: %w", err)
 		}
 		if rec.Seq > f.leaderSeq.Load() {
@@ -204,12 +228,19 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 		if rec.Seq <= f.applied.Load() {
 			continue // idempotent re-apply: already folded in
 		}
-		if err := core.ApplyRecord(f.sys, rec); err != nil {
-			return fmt.Errorf("%w: seq %d (%s): %v", errApply, rec.Seq, rec.Op, err)
+		batch = append(batch, rec)
+		if len(batch) >= followerApplyBatch || br.Buffered() == 0 {
+			if err := flush(); err != nil {
+				return err
+			}
 		}
-		f.applied.Store(rec.Seq)
 	}
 }
+
+// followerApplyBatch caps how many tailed records fold into the local system
+// per lock hold, bounding both reader staleness and publish latency while a
+// follower catches up from far behind.
+const followerApplyBatch = 256
 
 // observeLeaderSeq folds a CARCS-Leader-Seq response header into the lag
 // estimate, never moving it backwards.

@@ -100,8 +100,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Breaker.Cooldown == 0 {
 		cfg.Breaker.Cooldown = 2 * time.Second
 	}
+	// One tuned transport serves every proxied read: a deep idle pool per
+	// backend (the scatter pattern reopens connections constantly under the
+	// default 2-per-host cap), no bound on total idle connections, and a
+	// generous idle timeout so steady read traffic never pays connection
+	// setup. ForceAttemptHTTP2 is left off — backends are plain HTTP/1.1 and
+	// the proxy copies bodies verbatim.
 	rt := &Router{cfg: cfg, client: &http.Client{Transport: &http.Transport{
-		MaxIdleConnsPerHost: 64,
+		MaxIdleConns:        0, // unlimited; per-host cap governs
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     90 * time.Second,
 	}}}
 	for i, raw := range cfg.Backends {
 		rt.backends = append(rt.backends, &backend{
@@ -341,8 +349,22 @@ func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, b *backend, ti
 	hdr.Set(HeaderRoute, b.url)
 	w.WriteHeader(resp.StatusCode)
 	b.served.Add(1)
-	_, _ = io.Copy(w, resp.Body) // a mid-body failure is the client's truncation to detect
+	copyBody(w, resp.Body) // a mid-body failure is the client's truncation to detect
 	return nil
+}
+
+// proxyBufPool recycles body-copy buffers across proxied requests: io.Copy
+// would otherwise allocate a fresh 32 KiB buffer per read, which at router
+// scatter rates is pure GC pressure.
+var proxyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+func copyBody(dst io.Writer, src io.Reader) {
+	bp := proxyBufPool.Get().(*[]byte)
+	_, _ = io.CopyBuffer(dst, src, *bp)
+	proxyBufPool.Put(bp)
 }
 
 // serveWrite proxies a mutation to the leader, streaming the body through.
@@ -372,7 +394,7 @@ func (rt *Router) serveWrite(w http.ResponseWriter, r *http.Request) {
 	hdr.Set(HeaderRoute, b.url)
 	w.WriteHeader(resp.StatusCode)
 	b.served.Add(1)
-	_, _ = io.Copy(w, resp.Body)
+	copyBody(w, resp.Body)
 }
 
 // hop-by-hop and validator headers never forwarded to a backend.

@@ -61,6 +61,15 @@ func (e *Engine) Snap() *Engine {
 
 // Add indexes a material; re-adding an ID replaces the previous version.
 func (e *Engine) Add(m *material.Material) {
+	e.AddTerms(m, textproc.Terms(m.SearchText()))
+}
+
+// AddTerms is Add for a material whose search text has already been
+// analyzed: the engine maintains three term-keyed structures over the same
+// text, and the commit pipeline's incremental models tokenize it too, so
+// analyzing once per commit and sharing the term list saves four
+// re-tokenizations per material.
+func (e *Engine) AddTerms(m *material.Material, terms []string) {
 	if _, exists := e.byID.Get(m.ID); exists {
 		next := make([]*material.Material, len(e.mats))
 		copy(next, e.mats)
@@ -75,9 +84,38 @@ func (e *Engine) Add(m *material.Material) {
 		e.mats = append(e.mats, m)
 	}
 	e.byID = e.byID.Set(m.ID, m)
-	e.index.Add(m.ID, m.SearchText())
-	e.positional.Add(m.ID, m.SearchText())
-	e.speller.Train(m.SearchText())
+	e.index.AddTerms(m.ID, terms)
+	e.positional.AddTerms(m.ID, terms)
+	e.speller.TrainTerms(terms)
+}
+
+// AddTermsBatch indexes a batch of materials with one builder session per
+// underlying structure, equivalent to calling AddTerms for each pair in
+// order. termLists[i] must be the analyzed terms of ms[i]. Replacements
+// (re-added ids) fall back to the sequential path, which the batch commit
+// pipeline never takes — it rejects duplicate ids up front.
+func (e *Engine) AddTermsBatch(ms []*material.Material, termLists [][]string) {
+	seen := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		if _, exists := e.byID.Get(m.ID); exists || seen[m.ID] {
+			for i := range ms {
+				e.AddTerms(ms[i], termLists[i])
+			}
+			return
+		}
+		seen[m.ID] = true
+	}
+	ids := make([]string, len(ms))
+	bb := e.byID.Builder()
+	for i, m := range ms {
+		ids[i] = m.ID
+		e.mats = append(e.mats, m)
+		bb.Set(m.ID, m)
+	}
+	e.byID = bb.Map()
+	e.index.AddTermsBatch(ids, termLists)
+	e.positional.AddTermsBatch(ids, termLists)
+	e.speller.TrainTermsBatch(termLists)
 }
 
 // Remove drops a material from the engine.

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func batchBody(ids ...string) map[string]any {
+	ms := make([]materialJSON, len(ids))
+	for i, id := range ids {
+		ms[i] = materialJSON{
+			ID: id, Title: strings.ToUpper(id), Kind: "assignment", Level: "CS1",
+			Classifications: []string{"acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"},
+		}
+	}
+	return map[string]any{"materials": ms}
+}
+
+func TestBatchCreateEndpoint(t *testing.T) {
+	s, sys := newTestServer(t)
+	before := sys.Len()
+
+	rec := do(t, s, "POST", "/api/materials:batch", "ed", batchBody("b-1", "b-2", "b-3"))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("batch create = %d: %s", rec.Code, rec.Body)
+	}
+	if got := decode[map[string]any](t, rec); got["added"].(float64) != 3 {
+		t.Errorf("added = %v", got["added"])
+	}
+	if sys.Len() != before+3 {
+		t.Fatalf("corpus = %d, want %d", sys.Len(), before+3)
+	}
+	// The batch is immediately visible on the read path.
+	if rec := do(t, s, "GET", "/api/materials/b-2", "", nil); rec.Code != http.StatusOK {
+		t.Errorf("get after batch = %d", rec.Code)
+	}
+}
+
+func TestBatchCreateAllOrNothing(t *testing.T) {
+	s, sys := newTestServer(t)
+	before := sys.Len()
+
+	// Item 1 duplicates item 0: the whole batch must be refused with the
+	// offender's index and id, and nothing added.
+	rec := do(t, s, "POST", "/api/materials:batch", "ed", batchBody("b-dup", "b-dup"))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("dup batch = %d: %s", rec.Code, rec.Body)
+	}
+	got := decode[map[string]any](t, rec)
+	if got["index"].(float64) != 1 || got["id"].(string) != "b-dup" {
+		t.Errorf("offender = index %v id %v", got["index"], got["id"])
+	}
+	if sys.Len() != before {
+		t.Errorf("refused batch added materials: %d -> %d", before, sys.Len())
+	}
+}
+
+func TestBatchCreateValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	if rec := do(t, s, "POST", "/api/materials:batch", "ed", map[string]any{"materials": []any{}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch = %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/api/materials:batch", "ed", map[string]any{"nope": 1}); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field = %d", rec.Code)
+	}
+}
+
+func TestBatchCreateRequiresEditor(t *testing.T) {
+	s, _ := newTestServer(t)
+	body := batchBody("b-r-1")
+	if rec := do(t, s, "POST", "/api/materials:batch", "", body); rec.Code != http.StatusUnauthorized {
+		t.Errorf("no user = %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/api/materials:batch", "bob", body); rec.Code != http.StatusForbidden {
+		t.Errorf("user role = %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/api/materials:batch", "sue", body); rec.Code != http.StatusForbidden {
+		t.Errorf("submitter role = %d", rec.Code)
+	}
+}

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
 
+	"carcs/internal/core"
 	"carcs/internal/material"
 	"carcs/internal/ontology"
 	"carcs/internal/search"
@@ -113,6 +117,54 @@ func (s *Server) handleCreateMaterial(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, toJSON(m))
+}
+
+// POST /api/materials:batch
+//
+// Accepts {"materials": [...]} and commits them as one batch: one journal
+// fsync, one view publish. All-or-nothing — any invalid or duplicate item
+// rejects the whole request with a 422 naming the offending index and id, and
+// nothing is stored. The body cap is wider than the single-material
+// endpoint's, sized for a few thousand records per call.
+func (s *Server) handleCreateMaterialBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Materials []materialJSON `json:"materials"`
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(body.Materials) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: materials is required")
+		return
+	}
+	ms := make([]*material.Material, len(body.Materials))
+	for i, mj := range body.Materials {
+		ms[i] = fromJSON(mj)
+	}
+	if err := s.sys.AddMaterials(ms); err != nil {
+		var bie *core.BatchItemError
+		if errors.As(err, &bie) {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error": err.Error(),
+				"index": bie.Index,
+				"id":    bie.ID,
+			})
+			return
+		}
+		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"added": len(ms)})
 }
 
 // GET /api/materials/{id}

@@ -250,13 +250,29 @@ func TestImportQueueFullOverloadEnvelope(t *testing.T) {
 	unblock := make(chan struct{})
 	defer close(unblock)
 
-	// Saturate the workers and fill the bounded submission queue.
+	// Saturate the workers and fill the bounded submission queue. The two
+	// steps must not race: a queued job submitted while a worker is still
+	// picking up its blocker would drain into the freed worker after the
+	// fill loop, reopening a queue slot and turning the expected 503 into a
+	// 202. So first pin every worker on a blocker and wait until the runner
+	// reports them all running; only then can filled queue slots not drain.
 	blocker := func(ctx context.Context, j *jobs.Job) error {
 		select {
 		case <-unblock:
 		case <-ctx.Done():
 		}
 		return nil
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Runner().Stats().Running < s.Runner().Stats().Workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never saturated: %+v", s.Runner().Stats())
+		}
+		if _, err := s.Runner().Submit("block", "", blocker); err != nil {
+			// Queue momentarily full while workers are still draining
+			// their blockers out of it; give them a beat.
+			time.Sleep(time.Millisecond)
+		}
 	}
 	for {
 		if _, err := s.Runner().Submit("block", "", blocker); err != nil {

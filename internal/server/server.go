@@ -35,6 +35,9 @@ import (
 const (
 	// maxJSONBody bounds ordinary JSON bodies (one material, one review).
 	maxJSONBody = 1 << 20
+	// maxBatchBody caps POST /api/materials:batch — wider than a single
+	// material, narrower than a whole JSONL import.
+	maxBatchBody = 8 << 20
 	// maxImportBody bounds the bulk JSONL import payload.
 	maxImportBody = 64 << 20
 )
@@ -155,6 +158,7 @@ func (s *Server) routes() {
 
 	s.mux.HandleFunc("GET /api/materials", s.withETag(s.handleListMaterials))
 	s.mux.HandleFunc("POST /api/materials", s.requireRole(workflow.RoleEditor, s.handleCreateMaterial))
+	s.mux.HandleFunc("POST /api/materials:batch", s.requireRole(workflow.RoleEditor, s.handleCreateMaterialBatch))
 	s.mux.HandleFunc("GET /api/materials/{id}", s.withETag(s.handleGetMaterial))
 	s.mux.HandleFunc("DELETE /api/materials/{id}", s.requireRole(workflow.RoleEditor, s.handleDeleteMaterial))
 	s.mux.HandleFunc("PUT /api/materials/{id}/classifications", s.requireRole(workflow.RoleEditor, s.handleReclassify))

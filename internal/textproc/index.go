@@ -38,11 +38,15 @@ func (ix *Index) Snap() *Index {
 
 // Add indexes text under the document id, replacing any previous content for
 // the same id.
-func (ix *Index) Add(id, text string) {
+func (ix *Index) Add(id, text string) { ix.AddTerms(id, Terms(text)) }
+
+// AddTerms is Add for already-analyzed terms, so callers maintaining several
+// indexes over the same text (the search engine, on every commit) analyze it
+// once and share the term list.
+func (ix *Index) AddTerms(id string, terms []string) {
 	if _, ok := ix.lengths.Get(id); ok {
 		ix.Remove(id)
 	}
-	terms := Terms(text)
 	ix.lengths = ix.lengths.Set(id, len(terms))
 	ix.n++
 	// One document touches many terms; a transient builder copies each
@@ -56,6 +60,55 @@ func (ix *Index) Add(id, text string) {
 		b.Set(t, inner.Set(id, tf))
 	}
 	ix.postings = b.Map()
+}
+
+// AddTermsBatch indexes many documents in one builder session, equivalent to
+// calling AddTerms for each (id, terms) pair in order. The batch commit path
+// uses it: postings trie nodes touched by several documents are copied once
+// for the whole batch instead of once per document, which is where most of
+// the per-record indexing cost went.
+func (ix *Index) AddTermsBatch(ids []string, termLists [][]string) {
+	lb := ix.lengths.Builder()
+	b := ix.postings.Builder()
+	// Per-term posting builders stay open across the whole batch: a term
+	// occurring in many of the batch's documents copies its posting-list
+	// nodes once, not once per document.
+	inner := make(map[string]*pmap.Builder[string, int])
+	seal := func() {
+		for t, pb := range inner {
+			b.Set(t, pb.Map())
+		}
+		clear(inner)
+		ix.lengths = lb.Map()
+		ix.postings = b.Map()
+	}
+	for i, id := range ids {
+		terms := termLists[i]
+		if _, ok := lb.Get(id); ok {
+			// Replacement needs the full Remove walk; seal the session,
+			// take the sequential route for this document, and re-open.
+			seal()
+			ix.AddTerms(id, terms)
+			lb = ix.lengths.Builder()
+			b = ix.postings.Builder()
+			continue
+		}
+		lb.Set(id, len(terms))
+		ix.n++
+		for t, tf := range CountTerms(terms) {
+			pb := inner[t]
+			if pb == nil {
+				m := b.GetOr(t, nil)
+				if m == nil {
+					m = pmap.NewStrings[int]()
+				}
+				pb = m.Builder()
+				inner[t] = pb
+			}
+			pb.Set(id, tf)
+		}
+	}
+	seal()
 }
 
 // Remove deletes a document from the index; unknown ids are a no-op.

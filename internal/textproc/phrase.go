@@ -33,11 +33,13 @@ func (ix *PositionalIndex) Snap() *PositionalIndex {
 }
 
 // Add indexes text under id, replacing any previous content.
-func (ix *PositionalIndex) Add(id, text string) {
+func (ix *PositionalIndex) Add(id, text string) { ix.AddTerms(id, Terms(text)) }
+
+// AddTerms is Add for already-analyzed terms; see Index.AddTerms.
+func (ix *PositionalIndex) AddTerms(id string, terms []string) {
 	if _, ok := ix.docs.Get(id); ok {
 		ix.Remove(id)
 	}
-	terms := Terms(text)
 	ix.docs = ix.docs.Set(id, len(terms))
 	// Collect each term's positions fully before storing, so the slice in
 	// the index is never appended to after publication.
@@ -54,6 +56,50 @@ func (ix *PositionalIndex) Add(id, text string) {
 		b.Set(t, inner.Set(id, positions))
 	}
 	ix.postings = b.Map()
+}
+
+// AddTermsBatch indexes many documents in one builder session; see
+// Index.AddTermsBatch. Equivalent to calling AddTerms for each pair in order.
+func (ix *PositionalIndex) AddTermsBatch(ids []string, termLists [][]string) {
+	db := ix.docs.Builder()
+	b := ix.postings.Builder()
+	inner := make(map[string]*pmap.Builder[string, []int])
+	seal := func() {
+		for t, pb := range inner {
+			b.Set(t, pb.Map())
+		}
+		clear(inner)
+		ix.docs = db.Map()
+		ix.postings = b.Map()
+	}
+	for i, id := range ids {
+		terms := termLists[i]
+		if _, ok := db.Get(id); ok {
+			seal()
+			ix.AddTerms(id, terms)
+			db = ix.docs.Builder()
+			b = ix.postings.Builder()
+			continue
+		}
+		db.Set(id, len(terms))
+		byTerm := make(map[string][]int)
+		for pos, t := range terms {
+			byTerm[t] = append(byTerm[t], pos)
+		}
+		for t, positions := range byTerm {
+			pb := inner[t]
+			if pb == nil {
+				m := b.GetOr(t, nil)
+				if m == nil {
+					m = pmap.NewStrings[[]int]()
+				}
+				pb = m.Builder()
+				inner[t] = pb
+			}
+			pb.Set(id, positions)
+		}
+	}
+	seal()
 }
 
 // Remove drops a document.

@@ -28,10 +28,25 @@ func (s *Speller) Snap() *Speller {
 }
 
 // Train adds the analyzed terms of the text to the vocabulary.
-func (s *Speller) Train(text string) {
+func (s *Speller) Train(text string) { s.TrainTerms(Terms(text)) }
+
+// TrainTerms is Train for already-analyzed terms; see Index.AddTerms.
+func (s *Speller) TrainTerms(terms []string) {
 	b := s.freq.Builder()
-	for _, t := range Terms(text) {
+	for _, t := range terms {
 		b.Set(t, b.GetOr(t, 0)+1)
+	}
+	s.freq = b.Map()
+}
+
+// TrainTermsBatch trains on many term lists in one builder session,
+// equivalent to calling TrainTerms for each in order; see Index.AddTermsBatch.
+func (s *Speller) TrainTermsBatch(termLists [][]string) {
+	b := s.freq.Builder()
+	for _, terms := range termLists {
+		for _, t := range terms {
+			b.Set(t, b.GetOr(t, 0)+1)
+		}
 	}
 	s.freq = b.Map()
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Ingest-throughput smoke: run the single-worker ingest benchmark briefly
+# and fail if mat/s falls below the floor — a regression gate for the
+# group-commit + batched-publish fast path (DESIGN.md §10). BENCH_2
+# measured the pre-batching pipeline at ~817 mat/s; the default floor sits
+# at roughly 2x that so scheduler noise on a busy machine does not flake
+# while a real regression to per-record commit costs still trips it.
+#
+# Usage:
+#   scripts/bench_ingest.sh
+#   INGEST_FLOOR=2500 BENCH_TIME=3s scripts/bench_ingest.sh
+set -eu
+
+floor=${INGEST_FLOOR:-1600}
+benchtime=${BENCH_TIME:-1s}
+
+out=$(go test -run '^$' -bench 'BenchmarkIngest1Worker$' -benchtime "$benchtime" .)
+echo "$out"
+mats=$(echo "$out" | awk '/^BenchmarkIngest1Worker/ { for (f = 3; f < NF; f++) if ($(f+1) == "mat/s") print $f }')
+if [ -z "$mats" ]; then
+    echo "bench-ingest: benchmark reported no mat/s metric" >&2
+    exit 1
+fi
+if [ "$(awk -v m="$mats" -v f="$floor" 'BEGIN { print (m + 0 >= f + 0) ? "ok" : "low" }')" != ok ]; then
+    echo "bench-ingest: $mats mat/s is below the floor of $floor" >&2
+    exit 1
+fi
+echo "bench-ingest: $mats mat/s >= floor $floor"

@@ -26,4 +26,7 @@ make chaos
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench . -benchtime 1x . > /dev/null
 
+echo "== ingest throughput floor =="
+make bench-ingest
+
 echo "== OK =="
