@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos figures bench bench-smoke bench-ingest clean
+.PHONY: all build test race vet fmt check chaos figures bench bench-smoke bench-ingest train-eval clean
 
 all: check
 
@@ -43,10 +43,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-# Ingest-throughput smoke: the single-worker ingest benchmark with a mat/s
-# floor, guarding the group-commit + batched-publish fast path.
+# Ingest-throughput smoke: the single-worker ingest benchmarks with mat/s
+# floors, guarding the group-commit + batched-publish fast path and the
+# tokenize-once auto-classification path.
 bench-ingest:
 	./scripts/bench_ingest.sh
+
+# Train the learned classifier over the embedded seed corpus and run the
+# full evaluation with the regression gate; writes the machine-readable
+# report to out/eval.json (the source of BENCH_5.json's eval block).
+train-eval:
+	@mkdir -p out
+	$(GO) run ./cmd/carcs train
+	$(GO) run ./cmd/carcs eval -gate -json out/eval.json
 
 clean:
 	rm -rf out/

@@ -22,6 +22,8 @@
 //	carcs migrate
 //	carcs snapshot -o state.json
 //	carcs import [-workers N] [-method tfidf] [-threshold 0.3] <file.jsonl>
+//	carcs train [-epochs 12] [-lr 0.5] [-folds 5] [-seed 1]
+//	carcs eval [-ontology both] [-json report.json] [-gate]
 //
 // With -data, the repository is opened from (and journaled to) DIR instead
 // of being rebuilt from the embedded seed on every run, so the CLI sees the
@@ -40,6 +42,7 @@ import (
 	"carcs/internal/core"
 	"carcs/internal/coverage"
 	"carcs/internal/ingest"
+	"carcs/internal/learn"
 	"carcs/internal/material"
 	"carcs/internal/ontology"
 	"carcs/internal/search"
@@ -66,7 +69,7 @@ func run(args []string) error {
 		dataDir, args = strings.TrimPrefix(args[0], "--data="), args[1:]
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (stats, list, show, coverage, gaps, similarity, search, query, depth, ontology-search, suggest, recommend, replacements, migrate, snapshot)")
+		return fmt.Errorf("missing subcommand (stats, list, show, coverage, gaps, similarity, search, query, depth, ontology-search, suggest, recommend, replacements, migrate, import, train, eval, snapshot)")
 	}
 	var sys *core.System
 	var err error
@@ -299,7 +302,7 @@ func run(args []string) error {
 	case "suggest":
 		fs := flag.NewFlagSet("suggest", flag.ContinueOnError)
 		ont := fs.String("ontology", "cs13", "cs13 or pdc12")
-		method := fs.String("method", "tfidf", "keyword, tfidf, or bayes")
+		method := fs.String("method", "tfidf", "keyword, tfidf, bayes, learned, or ensemble")
 		q := fs.String("q", "", "material description")
 		k := fs.Int("k", 10, "max suggestions")
 		if err := fs.Parse(rest); err != nil {
@@ -456,8 +459,8 @@ func run(args []string) error {
 	case "import":
 		fs := flag.NewFlagSet("import", flag.ContinueOnError)
 		workers := fs.Int("workers", 0, "prepare workers (0 = GOMAXPROCS)")
-		method := fs.String("method", "tfidf", "auto-classification method (tfidf, keyword, bayes, ensemble, none)")
-		threshold := fs.Float64("threshold", ingest.DefaultThreshold, "minimum confidence to auto-apply a suggestion")
+		method := fs.String("method", "tfidf", "auto-classification method (tfidf, keyword, bayes, learned, ensemble, none)")
+		threshold := fs.Float64("threshold", 0, "minimum confidence to auto-apply a suggestion (0 = the method's default)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -500,6 +503,37 @@ func run(args []string) error {
 			return fmt.Errorf("%d records failed", sum.Failed)
 		}
 		return nil
+
+	case "train":
+		fs := flag.NewFlagSet("train", flag.ContinueOnError)
+		def := learn.DefaultParams()
+		epochs := fs.Int("epochs", def.Epochs, "SGD passes over the training set")
+		lr := fs.Float64("lr", def.LearnRate, "initial learning rate")
+		l2 := fs.Float64("l2", def.L2, "L2 regularization strength")
+		folds := fs.Int("folds", def.Folds, "held-out folds for Platt calibration")
+		seed := fs.Uint64("seed", def.Seed, "deterministic shuffle seed")
+		hard := fs.Int("hard-negatives", def.HardNegatives, "hardest wrong classes pushed down per example")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		p := learn.Params{
+			Epochs: *epochs, LearnRate: *lr, L2: *l2,
+			Folds: *folds, Seed: *seed, HardNegatives: *hard,
+		}
+		if err := sys.TrainLearned(p); err != nil {
+			return err
+		}
+		for _, m := range sys.LearnStats().Models {
+			fmt.Printf("%-6s v%d: trained on %d examples, %d classes\n",
+				m.Ontology, m.Version, m.Examples, m.Classes)
+		}
+		if dataDir == "" {
+			fmt.Println("note: no -data directory, so the trained model is not persisted")
+		}
+		return nil
+
+	case "eval":
+		return runEval(sys, rest)
 
 	case "snapshot":
 		fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)

@@ -210,11 +210,12 @@ func (b *Bayes) Trained() int { return b.trained }
 // top k as suggestions. Scores are shifted so the best suggestion has score
 // 1 and others fall off exponentially (comparable across queries).
 func (b *Bayes) Suggest(text string, k int) []Suggestion {
-	if b.trained == 0 {
-		return nil
-	}
-	terms := textproc.Terms(text)
-	if len(terms) == 0 {
+	return b.SuggestTerms(textproc.Terms(text), k)
+}
+
+// SuggestTerms implements TermSuggester.
+func (b *Bayes) SuggestTerms(terms []string, k int) []Suggestion {
+	if b.trained == 0 || len(terms) == 0 {
 		return nil
 	}
 	v := float64(b.vocab.Len() + 1)

@@ -46,6 +46,25 @@ func (e *Ensemble) Suggest(text string, k int) []Suggestion {
 // SuggestCtx is Suggest with a cancellation check between members, so a
 // shed or timed-out request pays for at most one member's scoring pass.
 func (e *Ensemble) SuggestCtx(ctx context.Context, text string, k int) ([]Suggestion, error) {
+	return e.fuse(ctx, k, func(m Suggester, pool int) []Suggestion {
+		return m.Suggest(text, pool)
+	})
+}
+
+// SuggestTermsCtx fuses the members over pre-analyzed terms. Members that
+// cannot score terms directly are skipped — in practice every engine in
+// the system implements TermSuggester, so this is a type-safety valve, not
+// a behavior fork.
+func (e *Ensemble) SuggestTermsCtx(ctx context.Context, terms []string, k int) ([]Suggestion, error) {
+	return e.fuse(ctx, k, func(m Suggester, pool int) []Suggestion {
+		if ts, ok := m.(TermSuggester); ok {
+			return ts.SuggestTerms(terms, pool)
+		}
+		return nil
+	})
+}
+
+func (e *Ensemble) fuse(ctx context.Context, k int, member func(Suggester, int) []Suggestion) ([]Suggestion, error) {
 	pool := e.Pool
 	if pool <= 0 {
 		pool = 3 * k
@@ -63,7 +82,7 @@ func (e *Ensemble) SuggestCtx(ctx context.Context, text string, k int) ([]Sugges
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		for rank, sg := range m.Suggest(text, pool) {
+		for rank, sg := range member(m, pool) {
 			scores[sg.NodeID] += 1 / (k0 + float64(rank+1))
 			paths[sg.NodeID] = sg.Path
 		}

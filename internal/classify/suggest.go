@@ -35,6 +35,17 @@ type Suggester interface {
 	Name() string
 }
 
+// TermSuggester is a Suggester that can also score already-analyzed terms.
+// Bulk pipelines (the ingest auto-classifier) tokenize each document once
+// and fan the term list across every engine and ontology, instead of
+// paying the analyzer per engine per ontology.
+type TermSuggester interface {
+	Suggester
+	// SuggestTerms is Suggest for pre-analyzed (tokenized, stopped,
+	// stemmed) terms.
+	SuggestTerms(terms []string, k int) []Suggestion
+}
+
 // entryText renders an ontology entry as the text it is matched against:
 // its label plus the labels of its ancestors, so "Data" deep inside
 // Programming :: Performance Issues matches performance-related queries.
@@ -70,8 +81,13 @@ func (k *Keyword) Name() string { return "keyword" }
 
 // Suggest implements Suggester.
 func (k *Keyword) Suggest(text string, limit int) []Suggestion {
+	return k.SuggestTerms(textproc.Terms(text), limit)
+}
+
+// SuggestTerms implements TermSuggester.
+func (k *Keyword) SuggestTerms(qterms []string, limit int) []Suggestion {
 	qset := make(map[string]bool)
-	for _, t := range textproc.Terms(text) {
+	for _, t := range qterms {
 		qset[t] = true
 	}
 	if len(qset) == 0 {
@@ -127,7 +143,15 @@ func (t *TFIDF) Name() string { return "tfidf" }
 
 // Suggest implements Suggester.
 func (t *TFIDF) Suggest(text string, limit int) []Suggestion {
-	q := t.corpus.Query(text)
+	return t.similar(t.corpus.Query(text), limit)
+}
+
+// SuggestTerms implements TermSuggester.
+func (t *TFIDF) SuggestTerms(terms []string, limit int) []Suggestion {
+	return t.similar(t.corpus.QueryTerms(terms), limit)
+}
+
+func (t *TFIDF) similar(q textproc.Vector, limit int) []Suggestion {
 	var out []Suggestion
 	for _, s := range t.corpus.Similar(q, limit) {
 		out = append(out, Suggestion{NodeID: s.ID, Path: t.o.Path(s.ID), Score: s.Score})

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"carcs/internal/journal"
+	"carcs/internal/learn"
 	"carcs/internal/material"
 	"carcs/internal/relstore"
 	"carcs/internal/resilience"
@@ -45,11 +46,13 @@ type reclassifyPayload struct {
 }
 
 // checkpointDoc is the payload of a durability checkpoint: the relational
-// snapshot plus the workflow queue, which the relational store does not
-// cover.
+// snapshot plus the workflow queue and the learned-model state, which the
+// relational store does not cover. Learn is omitted when empty, so
+// checkpoints from builds predating the learned classifier still load.
 type checkpointDoc struct {
 	Store    json.RawMessage     `json:"store"`
 	Workflow workflow.QueueState `json:"workflow"`
+	Learn    *learn.State        `json:"learn,omitempty"`
 }
 
 // DurableOptions configure OpenDurable.
@@ -349,6 +352,20 @@ func applyOpLocked(s *System, rec journal.Record) error {
 			return err
 		}
 		return s.reclassifyLocked(p.ID, p.Classifications)
+	case OpLearnTrain:
+		var p learnTrainPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		s.applyLearnTrainLocked(p.Params)
+		return nil
+	case OpLearnUpdate:
+		var p learnUpdatePayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		s.applyLearnUpdateLocked(p)
+		return nil
 	default:
 		return applyWorkflowOp(s, rec)
 	}
@@ -368,6 +385,13 @@ func restoreCheckpoint(payload []byte) (*System, error) {
 		return nil, fmt.Errorf("core: checkpoint replay: %w", err)
 	}
 	sys.queue.SetState(doc.Workflow)
+	// Learned models restore from their serialized weights, never by
+	// retraining: the checkpoint may sit mid-stream between a train op and
+	// later review updates, and only the exact captured state reproduces
+	// what the leader had there.
+	if err := sys.setLearnState(doc.Learn); err != nil {
+		return nil, fmt.Errorf("core: checkpoint learn state: %w", err)
+	}
 	return sys, nil
 }
 
@@ -395,6 +419,26 @@ func applyOp(s *System, rec journal.Record) error {
 			return err
 		}
 		return s.Reclassify(p.ID, p.Classifications)
+	case OpLearnTrain:
+		var p learnTrainPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.applyLearnTrainLocked(p.Params)
+		s.publishLocked()
+		s.mu.Unlock()
+		return nil
+	case OpLearnUpdate:
+		var p learnUpdatePayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.applyLearnUpdateLocked(p)
+		s.publishLocked()
+		s.mu.Unlock()
+		return nil
 	default:
 		return applyWorkflowOp(s, rec)
 	}
@@ -457,6 +501,10 @@ func (p *Persister) Checkpoint() error {
 	s := p.sys
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ls := s.learnStateLocked()
+	if len(ls.Models) == 0 {
+		ls = nil
+	}
 	return s.queue.Freeze(func(qs workflow.QueueState) error {
 		return p.st.WriteCheckpoint(func(w io.Writer) error {
 			var buf bytes.Buffer
@@ -466,6 +514,7 @@ func (p *Persister) Checkpoint() error {
 			return json.NewEncoder(w).Encode(checkpointDoc{
 				Store:    buf.Bytes(),
 				Workflow: qs,
+				Learn:    ls,
 			})
 		})
 	})

@@ -25,6 +25,7 @@ import (
 	"carcs/internal/classify"
 	"carcs/internal/corpus"
 	"carcs/internal/coverage"
+	"carcs/internal/learn"
 	"carcs/internal/material"
 	"carcs/internal/ontology"
 	"carcs/internal/relstore"
@@ -67,6 +68,14 @@ type System struct {
 	// into each published view.
 	bayes   map[*ontology.Ontology]*classify.Bayes
 	cooccur *classify.CoOccurrence
+
+	// learned holds the trained classifier per ontology, nil until the
+	// first train op. Models are immutable; train and review updates
+	// replace the pointer under mu, and views snap the current pointers.
+	learned map[*ontology.Ontology]*learn.Model
+	// lastTrainGen is the generation at which the current learned models
+	// were installed by a full retrain. Guarded by mu.
+	lastTrainGen uint64
 
 	// gen counts committed mutations. Every published view carries the
 	// generation it was built at; cached results are keyed by it.
@@ -203,6 +212,7 @@ func New() (*System, error) {
 		s.cs13:  classify.NewBayes(s.cs13),
 		s.pdc12: classify.NewBayes(s.pdc12),
 	}
+	s.learned = map[*ontology.Ontology]*learn.Model{}
 	s.cooccur = classify.NewCoOccurrence(nil)
 	s.results = cache.New(0)
 	// Publish the empty initial view before the workflow observer can fire.
@@ -231,12 +241,18 @@ func (s *System) buildViewLocked(gen uint64) *View {
 	for o, b := range s.bayes {
 		bayes[o] = b.Snap()
 	}
+	// Learned models are immutable; snapping is copying the pointers.
+	learned := make(map[*ontology.Ontology]*learn.Model, len(s.learned))
+	for o, m := range s.learned {
+		learned[o] = m
+	}
 	return &View{
 		sys:     s,
 		gen:     gen,
 		eng:     s.engine.Snap(),
 		store:   s.store.Snap(),
 		bayes:   bayes,
+		learned: learned,
 		cooccur: s.cooccur.Snap(),
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"carcs/internal/cache"
 	"carcs/internal/classify"
 	"carcs/internal/coverage"
+	"carcs/internal/learn"
 	"carcs/internal/material"
 	"carcs/internal/ontology"
 	"carcs/internal/relstore"
@@ -35,6 +36,7 @@ type View struct {
 	eng     *search.Engine
 	store   *relstore.Store
 	bayes   map[*ontology.Ontology]*classify.Bayes
+	learned map[*ontology.Ontology]*learn.Model
 	cooccur *classify.CoOccurrence
 }
 
@@ -234,8 +236,9 @@ func (v *View) SimilarityGraphCtx(ctx context.Context, leftCollection, rightColl
 }
 
 // Suggest proposes classification entries for free text against the named
-// ontology using the requested method ("keyword", "tfidf", "bayes", or
-// "ensemble"), over the models pinned in this view. Results are memoized
+// ontology using the requested method ("keyword", "tfidf", "bayes",
+// "learned", or "ensemble"), over the models pinned in this view. Results
+// are memoized
 // per (query, generation).
 func (v *View) Suggest(method, ontologyName, text string, k int) ([]classify.Suggestion, error) {
 	return v.SuggestCtx(context.Background(), method, ontologyName, text, k)
@@ -249,7 +252,7 @@ func (v *View) SuggestCtx(ctx context.Context, method, ontologyName, text string
 		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
 	}
 	switch method {
-	case "", "tfidf", "keyword", "bayes", "ensemble":
+	case "", "tfidf", "keyword", "bayes", "learned", "ensemble":
 	default:
 		return nil, fmt.Errorf("core: unknown suggester %q", method)
 	}
@@ -273,11 +276,38 @@ func (v *View) SuggestDirect(method, ontologyName, text string, k int) ([]classi
 		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
 	}
 	switch method {
-	case "", "tfidf", "keyword", "bayes", "ensemble":
+	case "", "tfidf", "keyword", "bayes", "learned", "ensemble":
 	default:
 		return nil, fmt.Errorf("core: unknown suggester %q", method)
 	}
 	return v.suggest(method, o, text, k), nil
+}
+
+// SuggestTermsDirect is SuggestDirect over pre-analyzed terms. The ingest
+// auto-classifier tokenizes each record's search text once and fans the
+// term list across both ontologies and every engine; re-running the
+// analyzer per (engine, ontology) pair dominated the bulk path.
+func (v *View) SuggestTermsDirect(method, ontologyName string, terms []string, k int) ([]classify.Suggestion, error) {
+	o := v.sys.OntologyByName(ontologyName)
+	if o == nil {
+		return nil, fmt.Errorf("core: unknown ontology %q", ontologyName)
+	}
+	sg := v.sys.sug[o]
+	switch method {
+	case "", "tfidf":
+		return sg.tfidf.SuggestTerms(terms, k), nil
+	case "keyword":
+		return sg.keyword.SuggestTerms(terms, k), nil
+	case "bayes":
+		return v.bayes[o].SuggestTerms(terms, k), nil
+	case "learned":
+		return v.learned[o].SuggestTerms(terms, k), nil
+	case "ensemble":
+		ens := classify.NewEnsemble(v.ensembleMembers(o)...)
+		return ens.SuggestTermsCtx(context.Background(), terms, k)
+	default:
+		return nil, fmt.Errorf("core: unknown suggester %q", method)
+	}
 }
 
 // suggest runs the chosen engine. The training-free engines are shared
@@ -297,11 +327,33 @@ func (v *View) suggestCtx(ctx context.Context, method string, o *ontology.Ontolo
 		return sg.keyword.Suggest(text, k), nil
 	case "bayes":
 		return v.bayes[o].Suggest(text, k), nil
+	case "learned":
+		// Nil/untrained models suggest nothing rather than erroring, like
+		// an untrained Bayes: the method exists as soon as the binary does,
+		// the answers arrive after the first train.
+		return v.learned[o].Suggest(text, k), nil
 	default: // ensemble
-		ens := classify.NewEnsemble(v.bayes[o], sg.keyword, sg.tfidf)
+		ens := classify.NewEnsemble(v.ensembleMembers(o)...)
 		return ens.SuggestCtx(ctx, text, k)
 	}
 }
+
+// ensembleMembers assembles the fusion committee for an ontology: the
+// pinned Bayes model and the shared training-free engines, plus the
+// learned model once it has been trained. Rank fusion lets the trained
+// model outvote the heuristics without silencing them.
+func (v *View) ensembleMembers(o *ontology.Ontology) []classify.Suggester {
+	sg := v.sys.sug[o]
+	members := []classify.Suggester{v.bayes[o], sg.keyword, sg.tfidf}
+	if lm := v.learned[o]; lm.Trained() {
+		members = append([]classify.Suggester{lm}, members...)
+	}
+	return members
+}
+
+// Learned returns this view's pinned learned model for the ontology, which
+// may be nil before the first train.
+func (v *View) Learned(o *ontology.Ontology) *learn.Model { return v.learned[o] }
 
 // Recommend proposes classification entries commonly used together with the
 // already-selected ones, from the association rules pinned in this view.

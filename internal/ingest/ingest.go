@@ -33,6 +33,7 @@ import (
 	"carcs/internal/core"
 	"carcs/internal/jobs"
 	"carcs/internal/material"
+	"carcs/internal/textproc"
 	"carcs/internal/workflow"
 )
 
@@ -45,9 +46,40 @@ const MachineClassifiedTag = "machine-classified"
 const MachineSuggestedTag = "machine-suggested"
 
 // DefaultThreshold is the minimum suggestion score auto-applied without
-// review. TF-IDF scores are cosine-like; 0.30 keeps precision high enough
-// that editors only see the genuinely ambiguous records.
+// review when the method is TF-IDF (the default). TF-IDF scores are
+// cosine-like; 0.30 keeps precision high enough that editors only see the
+// genuinely ambiguous records.
 const DefaultThreshold = 0.30
+
+// DefaultThresholds maps each suggestion method to its default auto-apply
+// threshold. The engines score on incomparable scales, so one number
+// cannot serve them all:
+//
+//	keyword  — fraction of the entry's terms matched, damped by entry
+//	           length (hits / (terms+3)); rarely exceeds ~0.5.
+//	tfidf    — cosine similarity against the entry-path vector, in [0, 1].
+//	bayes    — posterior relative to the best-scoring class (best = 1);
+//	           0.60 admits only classes competitive with the winner.
+//	learned  — Platt-calibrated probability of the class being correct;
+//	           0.50 is literally "more likely right than wrong".
+//	ensemble — reciprocal-rank fusion mass; ~0.016 per member ranking the
+//	           entry first, so 0.04 needs broad committee agreement.
+var DefaultThresholds = map[string]float64{
+	"keyword":  0.20,
+	"tfidf":    DefaultThreshold,
+	"bayes":    0.60,
+	"learned":  0.50,
+	"ensemble": 0.04,
+}
+
+// DefaultThresholdFor returns the method's default auto-apply threshold,
+// falling back to DefaultThreshold for methods it has no entry for.
+func DefaultThresholdFor(method string) float64 {
+	if t, ok := DefaultThresholds[method]; ok {
+		return t
+	}
+	return DefaultThreshold
+}
 
 // DefaultReviewer is the account low-confidence submissions are filed
 // under when Options.Reviewer is empty.
@@ -70,15 +102,17 @@ type Options struct {
 	// affects throughput only — never the final state.
 	Workers int
 	// Method is the suggester used for auto-classification: "tfidf"
-	// (default), "keyword", "bayes", "ensemble", or "none" to disable
-	// auto-classification entirely. The default is training-free and
-	// corpus-independent, keeping imports deterministic; "bayes" and
-	// "ensemble" depend on what is already ingested, so their suggestions
-	// can vary with commit interleaving.
+	// (default), "keyword", "bayes", "learned", "ensemble", or "none" to
+	// disable auto-classification entirely. The default is training-free
+	// and corpus-independent, keeping imports deterministic; "bayes",
+	// "learned", and "ensemble" depend on what has already been ingested
+	// and trained, so their suggestions can vary with commit interleaving.
 	Method string
 	// Threshold is the minimum score a suggestion must reach to be
-	// auto-applied; below it the record is routed to human review.
-	// Zero means DefaultThreshold.
+	// auto-applied; below it the record is routed to human review. Zero
+	// means the method's entry in DefaultThresholds — the engines score on
+	// different scales (see that table), so override it only with a value
+	// chosen for the configured Method.
 	Threshold float64
 	// MaxAuto caps auto-applied suggestions per ontology (default 3).
 	MaxAuto int
@@ -152,7 +186,7 @@ func New(sys *core.System, opt Options) *Importer {
 		opt.Method = "tfidf"
 	}
 	if opt.Threshold == 0 {
-		opt.Threshold = DefaultThreshold
+		opt.Threshold = DefaultThresholdFor(opt.Method)
 	}
 	if opt.MaxAuto <= 0 {
 		opt.MaxAuto = 3
@@ -314,15 +348,14 @@ func (imp *Importer) prepare(v *core.View, it item) prepared {
 	m := rec.Material()
 	p := prepared{idx: it.idx, id: m.ID, m: m, route: routeAdd}
 	if len(m.Classifications) == 0 && imp.opt.Method != "none" {
-		if !imp.autoClassify(v, m) {
-			// Low confidence: attach the best guesses anyway (below
-			// threshold) so the reviewer starts from a proposal, and
+		if imp.autoClassify(v, m) {
+			p.auto = true
+		} else {
+			// Low confidence: autoClassify attached the best guesses
+			// (below threshold) so the reviewer starts from a proposal;
 			// route to the curation queue.
-			imp.attachProposals(v, m)
 			m.Tags = append(m.Tags, MachineSuggestedTag)
 			p.route = routeReview
-		} else {
-			p.auto = true
 		}
 	}
 	if errs := m.Validate(v.CS13(), v.PDC12()); len(errs) > 0 {
@@ -332,41 +365,43 @@ func (imp *Importer) prepare(v *core.View, it item) prepared {
 }
 
 // autoClassify applies suggestions scoring at or above the threshold,
-// tagging the material machine-classified. It reports whether anything
-// cleared the bar.
+// tagging the material machine-classified, and reports whether anything
+// cleared the bar. When nothing did, it instead attaches the single best
+// sub-threshold suggestion per ontology so the reviewer starts from a
+// proposal.
+//
+// The record's search text is analyzed exactly once, before anything is
+// appended to it, and the term list is shared across both ontologies —
+// one tokenizer pass and one suggestion query per ontology, where the old
+// two-phase path (classify, then re-query for proposals) paid the
+// analyzer up to four times per record.
 func (imp *Importer) autoClassify(v *core.View, m *material.Material) bool {
-	text := m.SearchText()
+	terms := textproc.Terms(m.SearchText())
+	var proposals []material.Classification
 	applied := false
 	for _, ont := range []string{"cs13", "pdc12"} {
-		sugg, err := v.SuggestDirect(imp.opt.Method, ont, text, imp.opt.MaxAuto)
-		if err != nil {
+		sugg, err := v.SuggestTermsDirect(imp.opt.Method, ont, terms, imp.opt.MaxAuto)
+		if err != nil || len(sugg) == 0 {
 			continue
 		}
+		cleared := false
 		for _, sg := range sugg {
 			if sg.Score < imp.opt.Threshold {
 				break // suggestions arrive best-first
 			}
 			m.Classifications = append(m.Classifications, material.Classification{NodeID: sg.NodeID})
-			applied = true
+			applied, cleared = true, true
+		}
+		if !cleared && sugg[0].Score > 0 {
+			proposals = append(proposals, material.Classification{NodeID: sugg[0].NodeID})
 		}
 	}
 	if applied {
 		m.Tags = append(m.Tags, MachineClassifiedTag)
+		return true
 	}
-	return applied
-}
-
-// attachProposals adds the single best (sub-threshold) suggestion per
-// ontology to a review-bound material.
-func (imp *Importer) attachProposals(v *core.View, m *material.Material) {
-	text := m.SearchText()
-	for _, ont := range []string{"cs13", "pdc12"} {
-		sugg, err := v.SuggestDirect(imp.opt.Method, ont, text, 1)
-		if err != nil || len(sugg) == 0 || sugg[0].Score <= 0 {
-			continue
-		}
-		m.Classifications = append(m.Classifications, material.Classification{NodeID: sugg[0].NodeID})
-	}
+	m.Classifications = append(m.Classifications, proposals...)
+	return false
 }
 
 // commit routes one prepared record in order: report failures, skip

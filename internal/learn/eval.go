@@ -1,0 +1,74 @@
+package learn
+
+import (
+	"sort"
+
+	"carcs/internal/classify"
+	"carcs/internal/ontology"
+)
+
+// CrossValidate scores the learned model honestly: the examples are dealt
+// into p.Folds deterministic folds, a model is trained on each complement,
+// and every example is scored by the one model that never saw it. The
+// result is a classify.Quality directly comparable to the heuristic
+// suggesters' Evaluate numbers (which are training-free, so in-sample and
+// held-out are the same thing for them).
+func CrossValidate(o *ontology.Ontology, exs []Example, p Params, k int) classify.Quality {
+	p = p.withDefaults()
+	q := classify.Quality{Suggester: "learned (cv)", K: k}
+	folds := p.Folds
+	if folds > len(exs) {
+		folds = len(exs)
+	}
+	if folds < 2 {
+		return q
+	}
+	exs = append([]Example(nil), exs...)
+	sort.Slice(exs, func(i, j int) bool { return exs[i].ID < exs[j].ID })
+	perm := shuffle(len(exs), p.Seed*2654435761+17)
+
+	var sumP, sumR float64
+	for f := 0; f < folds; f++ {
+		var train, held []Example
+		for i, pi := range perm {
+			if i%folds == f {
+				held = append(held, exs[pi])
+			} else {
+				train = append(train, exs[pi])
+			}
+		}
+		m := Train(o, train, p)
+		sort.Slice(held, func(i, j int) bool { return held[i].ID < held[j].ID })
+		for _, ex := range held {
+			if len(ex.Pos) == 0 {
+				continue
+			}
+			truth := make(map[string]bool, len(ex.Pos))
+			for _, c := range ex.Pos {
+				truth[c] = true
+			}
+			sugg := m.SuggestTerms(ex.Terms, k)
+			q.N++
+			if len(sugg) == 0 {
+				continue
+			}
+			hits := 0
+			for _, sg := range sugg {
+				if truth[sg.NodeID] {
+					hits++
+				}
+			}
+			sumP += float64(hits) / float64(len(sugg))
+			sumR += float64(hits) / float64(len(truth))
+			if hits > 0 {
+				q.HitRate++
+			}
+		}
+	}
+	if q.N > 0 {
+		q.PrecisionAtK = sumP / float64(q.N)
+		q.RecallAtK = sumR / float64(q.N)
+		q.HitRate /= float64(q.N)
+	}
+	return q
+}

@@ -1,0 +1,95 @@
+package learn
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"carcs/internal/ontology"
+	"carcs/internal/textproc"
+)
+
+// Feature is one component of a sparse feature vector, kept in a slice
+// sorted by term so every dot product and norm accumulates in the same
+// order on every node — a map would make float rounding depend on
+// iteration order and break byte-identical replication.
+type Feature struct {
+	Term string
+	W    float64
+}
+
+// Featurizer maps analyzed terms onto L2-normalized TF-IDF features. The
+// IDF table comes from the ontology's own entry paths — the same
+// training-free corpus the TF-IDF suggester scores against — so the
+// feature space is fixed at process start, identical on every node, and
+// independent of what has been ingested or trained.
+type Featurizer struct {
+	corpus *textproc.Corpus
+	// maxIDF is the weight of a term absent from every entry path.
+	maxIDF float64
+}
+
+// NewFeaturizer builds the featurizer for one ontology.
+func NewFeaturizer(o *ontology.Ontology) *Featurizer {
+	c := textproc.NewCorpus()
+	for _, id := range o.Classifiable() {
+		c.Add(id, o.Path(id))
+	}
+	c.Finalize()
+	return &Featurizer{
+		corpus: c,
+		maxIDF: math.Log(float64(c.Len())+1) + 1,
+	}
+}
+
+// Features converts analyzed terms into a sorted, L2-normalized sparse
+// vector: weight = (1 + log tf) * idf, then the whole vector scaled to
+// unit norm so documents of different lengths train comparably.
+func (f *Featurizer) Features(terms []string) []Feature {
+	if len(terms) == 0 {
+		return nil
+	}
+	tf := textproc.CountTerms(terms)
+	out := make([]Feature, 0, len(tf))
+	for t, n := range tf {
+		idf := f.corpus.IDF(t)
+		if idf == 0 {
+			idf = f.maxIDF
+		}
+		out = append(out, Feature{Term: t, W: (1 + math.Log(float64(n))) * idf})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	var norm float64
+	for _, ft := range out {
+		norm += ft.W * ft.W
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return nil
+	}
+	for i := range out {
+		out[i].W /= norm
+	}
+	return out
+}
+
+// The featurizer is derived entirely from the (immutable, process-wide
+// singleton) ontology, so one instance per ontology serves every model,
+// mirroring classify.SharedKeyword/SharedTFIDF.
+var (
+	sharedMu  sync.Mutex
+	sharedFtz = map[*ontology.Ontology]*Featurizer{}
+)
+
+// SharedFeaturizer returns the process-wide featurizer for the ontology.
+// The result is safe for concurrent use; callers must not mutate it.
+func SharedFeaturizer(o *ontology.Ontology) *Featurizer {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	f, ok := sharedFtz[o]
+	if !ok {
+		f = NewFeaturizer(o)
+		sharedFtz[o] = f
+	}
+	return f
+}

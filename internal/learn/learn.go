@@ -1,0 +1,157 @@
+// Package learn is the trained classifier behind the "learned" suggestion
+// method: a one-vs-rest logistic regression over the text pipeline's
+// features, trained from the hand-curated corpora plus every accepted or
+// rejected workflow review, with Platt-calibrated per-entry confidence and
+// uncertainty scores for active-learning review ordering.
+//
+// The paper's stated bottleneck is expert curation time (~1 day to
+// hand-classify the corpora); its follow-up (Saule/Subramanian/Bunescu,
+// "Automatic Classification of Pedagogical Materials against CS Curriculum
+// Guidelines") replaces the keyword/TF-IDF/Bayes heuristics with a trained
+// model and spends human review only where the model is uncertain. This
+// package is that loop's model half; the review-queue ordering and the
+// journaled train/update operations live in core and server.
+//
+// Everything here is bit-deterministic: examples are processed in sorted
+// order, shuffles use a seeded LCG, feature vectors iterate in sorted term
+// order, and serialized state marshals through JSON's sorted map keys — so
+// retraining from the same corpus on a crash-recovered node or a
+// replication follower reproduces the leader's model byte for byte.
+package learn
+
+import (
+	"sort"
+
+	"carcs/internal/material"
+	"carcs/internal/ontology"
+	"carcs/internal/textproc"
+)
+
+// Params are the training hyperparameters. They are journaled with the
+// train operation, so replay retrains with exactly the recorded settings.
+type Params struct {
+	// Epochs is how many SGD passes training makes over the examples.
+	Epochs int `json:"epochs"`
+	// LearnRate is the initial SGD step size, decayed per epoch.
+	LearnRate float64 `json:"learn_rate"`
+	// L2 is the ridge penalty applied to every touched weight.
+	L2 float64 `json:"l2"`
+	// Folds is the cross-validation fold count used to fit the Platt
+	// calibration sigmoid and to report held-out quality.
+	Folds int `json:"folds"`
+	// Seed drives the deterministic example shuffle.
+	Seed uint64 `json:"seed"`
+	// HardNegatives is how many top-scoring wrong classes each positive
+	// example pushes down per step. Hard-negative mining keeps the weight
+	// matrix sparse (each class only accumulates terms it actually
+	// confuses) and optimizes the ranking margin directly.
+	HardNegatives int `json:"hard_negatives"`
+}
+
+// DefaultParams are the settings used by `carcs train` and the server when
+// none are given.
+func DefaultParams() Params {
+	return Params{
+		Epochs:        12,
+		LearnRate:     0.5,
+		L2:            1e-4,
+		Folds:         5,
+		Seed:          1,
+		HardNegatives: 5,
+	}
+}
+
+// withDefaults fills zero fields so journaled params from older versions
+// stay replayable.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Epochs <= 0 {
+		p.Epochs = d.Epochs
+	}
+	if p.LearnRate <= 0 {
+		p.LearnRate = d.LearnRate
+	}
+	if p.L2 <= 0 {
+		p.L2 = d.L2
+	}
+	if p.Folds <= 0 {
+		p.Folds = d.Folds
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.HardNegatives <= 0 {
+		p.HardNegatives = d.HardNegatives
+	}
+	return p
+}
+
+// Example is one training observation: the analyzed terms of a material's
+// search text plus its labels within one ontology.
+type Example struct {
+	// ID is a stable identifier used only for deterministic ordering.
+	ID string
+	// Terms is the material's analyzed (tokenized, stopped, stemmed)
+	// search text.
+	Terms []string
+	// Pos are the in-ontology entries the material is classified under.
+	Pos []string
+	// Neg are entries the material is known NOT to belong to — a rejected
+	// machine suggestion. An example with Neg and no Pos contributes only
+	// negative gradient to those classes.
+	Neg []string
+}
+
+// ExamplesFromMaterials builds the training set for one ontology from
+// classified materials: one example per material with at least one label
+// inside the ontology, sorted by material ID so training order — and
+// therefore the trained model — is independent of input order.
+func ExamplesFromMaterials(o *ontology.Ontology, mats []*material.Material) []Example {
+	out := make([]Example, 0, len(mats))
+	for _, m := range mats {
+		var pos []string
+		for _, id := range m.ClassificationIDs() {
+			if o.Has(id) {
+				pos = append(pos, id)
+			}
+		}
+		if len(pos) == 0 {
+			continue
+		}
+		sort.Strings(pos)
+		out = append(out, Example{ID: m.ID, Terms: textproc.Terms(m.SearchText()), Pos: pos})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// lcg is a deterministic linear congruential generator (Numerical Recipes
+// constants) used for the example shuffle; math/rand is avoided so the
+// shuffle sequence is pinned forever, not to one Go release.
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}
+
+// intn returns a value in [0, n) without modulo bias mattering here: the
+// state space is 2^64 and n is tiny, so the bias is far below anything a
+// shuffle can observe; determinism is what matters.
+func (r *lcg) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// shuffle returns a deterministic permutation of [0, n).
+func shuffle(n int, seed uint64) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	r := &lcg{s: seed}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}

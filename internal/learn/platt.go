@@ -1,0 +1,168 @@
+package learn
+
+import (
+	"math"
+	"sort"
+
+	"carcs/internal/ontology"
+)
+
+// calibrate fits the Platt sigmoid P(y=1|margin) = 1/(1+exp(A*margin+B))
+// on held-out folds: the examples are split into p.Folds deterministic
+// folds, a model is trained on each complement, and every (margin, label)
+// pair the held-out fold produces — one per class per example — feeds the
+// sigmoid fit. Fitting on held-out margins matters: the final model's own
+// training margins are optimistically separated, and a sigmoid fitted to
+// them would report near-certainty everywhere, flattening the uncertainty
+// ordering the review queue depends on.
+func calibrate(o *ontology.Ontology, exs []Example, p Params) (a, b float64) {
+	folds := p.Folds
+	if folds > len(exs) {
+		folds = len(exs)
+	}
+	if folds < 2 {
+		// Too little data to hold anything out: identity-ish calibration.
+		return -1, 0
+	}
+	// Deterministic fold assignment: shuffle once by seed, deal round-robin.
+	perm := shuffle(len(exs), p.Seed*2654435761+17)
+	var margins []float64
+	var labels []bool
+	for f := 0; f < folds; f++ {
+		var train, held []Example
+		for i, pi := range perm {
+			if i%folds == f {
+				held = append(held, exs[pi])
+			} else {
+				train = append(train, exs[pi])
+			}
+		}
+		fm := &Model{o: o, ftz: SharedFeaturizer(o), params: p}
+		sort.Slice(train, func(i, j int) bool { return train[i].ID < train[j].ID })
+		fm.classes = classUnion(train)
+		fm.w = make(map[string]map[string]float64, len(fm.classes))
+		fm.b = make(map[string]float64, len(fm.classes))
+		if len(fm.classes) == 0 {
+			continue
+		}
+		feats := make([][]Feature, len(train))
+		for i, ex := range train {
+			feats[i] = fm.ftz.Features(ex.Terms)
+		}
+		fm.fit(train, feats, p)
+		sort.Slice(held, func(i, j int) bool { return held[i].ID < held[j].ID })
+		for _, ex := range held {
+			if len(ex.Pos) == 0 {
+				continue
+			}
+			hf := fm.ftz.Features(ex.Terms)
+			if len(hf) == 0 {
+				continue
+			}
+			pos := make(map[string]bool, len(ex.Pos))
+			for _, c := range ex.Pos {
+				pos[c] = true
+			}
+			for _, c := range fm.classes {
+				margins = append(margins, fm.margin(c, hf))
+				labels = append(labels, pos[c])
+			}
+		}
+	}
+	if len(margins) == 0 {
+		return -1, 0
+	}
+	return plattFit(margins, labels)
+}
+
+// plattFit solves for the sigmoid parameters by Newton's method with
+// backtracking, following Lin/Weng/Keerthi's numerically stable recipe.
+// Inputs are processed in slice order, so the fit is deterministic.
+func plattFit(margins []float64, labels []bool) (a, b float64) {
+	var np, nn float64
+	for _, l := range labels {
+		if l {
+			np++
+		} else {
+			nn++
+		}
+	}
+	// Platt's target smoothing: positives aim at (N+ + 1)/(N+ + 2), not
+	// 1.0, so the fit is not forced to saturate.
+	hiTarget := (np + 1) / (np + 2)
+	loTarget := 1 / (nn + 2)
+	t := make([]float64, len(labels))
+	for i, l := range labels {
+		if l {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+	a, b = 0, math.Log((nn+1)/(np+1))
+	fval := plattLoss(margins, t, a, b)
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+		eps     = 1e-5
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient and Hessian of the cross-entropy in (a, b).
+		h11, h22, h21 := sigma, sigma, 0.0
+		g1, g2 := 0.0, 0.0
+		for i, f := range margins {
+			fApB := a*f + b
+			var p, q float64
+			if fApB >= 0 {
+				p = math.Exp(-fApB) / (1 + math.Exp(-fApB))
+				q = 1 / (1 + math.Exp(-fApB))
+			} else {
+				p = 1 / (1 + math.Exp(fApB))
+				q = math.Exp(fApB) / (1 + math.Exp(fApB))
+			}
+			d2 := p * q
+			h11 += f * f * d2
+			h22 += d2
+			h21 += f * d2
+			d1 := t[i] - p
+			g1 += f * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < eps && math.Abs(g2) < eps {
+			break
+		}
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+		step := 1.0
+		for step >= minStep {
+			na, nb := a+step*dA, b+step*dB
+			nf := plattLoss(margins, t, na, nb)
+			if nf < fval+1e-4*step*gd {
+				a, b, fval = na, nb, nf
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return a, b
+}
+
+// plattLoss is the smoothed cross-entropy the Newton iteration minimizes.
+func plattLoss(margins, t []float64, a, b float64) float64 {
+	var f float64
+	for i, m := range margins {
+		fApB := a*m + b
+		if fApB >= 0 {
+			f += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			f += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	return f
+}

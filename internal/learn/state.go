@@ -1,0 +1,103 @@
+package learn
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"carcs/internal/ontology"
+)
+
+// ModelState is the serializable whole of one trained model. It marshals
+// deterministically — encoding/json writes map keys sorted — so equal
+// models produce byte-identical JSON, the invariant the replication and
+// crash-recovery tests pin.
+type ModelState struct {
+	Version  int                           `json:"version"`
+	Examples int                           `json:"examples"`
+	Params   Params                        `json:"params"`
+	Classes  []string                      `json:"classes"`
+	Bias     map[string]float64            `json:"bias"`
+	Weights  map[string]map[string]float64 `json:"weights"`
+	PlattA   float64                       `json:"platt_a"`
+	PlattB   float64                       `json:"platt_b"`
+}
+
+// State is the serializable learned-classification state of a whole
+// system: one model per ontology, keyed by the canonical ontology name
+// ("cs13", "pdc12"). It rides inside durability checkpoints next to the
+// relational snapshot and the workflow queue.
+type State struct {
+	Models map[string]*ModelState `json:"models"`
+}
+
+// State captures the model for serialization. The maps are deep-copied so
+// later Updates never mutate a captured checkpoint.
+func (m *Model) State() *ModelState {
+	if m == nil {
+		return nil
+	}
+	st := &ModelState{
+		Version:  m.version,
+		Examples: m.examples,
+		Params:   m.params,
+		Classes:  append([]string(nil), m.classes...),
+		Bias:     make(map[string]float64, len(m.b)),
+		Weights:  make(map[string]map[string]float64, len(m.w)),
+		PlattA:   m.plattA,
+		PlattB:   m.plattB,
+	}
+	for c, v := range m.b {
+		st.Bias[c] = v
+	}
+	for c, w := range m.w {
+		cw := make(map[string]float64, len(w))
+		for t, v := range w {
+			cw[t] = v
+		}
+		st.Weights[c] = cw
+	}
+	return st
+}
+
+// FromState rebuilds a model from its serialized form.
+func FromState(o *ontology.Ontology, st *ModelState) (*Model, error) {
+	if st == nil {
+		return nil, fmt.Errorf("learn: nil model state")
+	}
+	m := &Model{
+		o:        o,
+		ftz:      SharedFeaturizer(o),
+		version:  st.Version,
+		examples: st.Examples,
+		params:   st.Params,
+		classes:  append([]string(nil), st.Classes...),
+		b:        make(map[string]float64, len(st.Bias)),
+		w:        make(map[string]map[string]float64, len(st.Weights)),
+		plattA:   st.PlattA,
+		plattB:   st.PlattB,
+	}
+	sort.Strings(m.classes)
+	for _, c := range m.classes {
+		if !o.Has(c) {
+			return nil, fmt.Errorf("learn: state class %q not in ontology %s", c, o.Name())
+		}
+	}
+	for c, v := range st.Bias {
+		m.b[c] = v
+	}
+	for c, w := range st.Weights {
+		cw := make(map[string]float64, len(w))
+		for t, v := range w {
+			cw[t] = v
+		}
+		m.w[c] = cw
+	}
+	return m, nil
+}
+
+// Marshal renders the state as canonical JSON — the byte-identity witness
+// used by the replication and recovery tests and the /api/health digest.
+func (s *State) Marshal() ([]byte, error) {
+	return json.Marshal(s)
+}

@@ -1,0 +1,124 @@
+package replica_test
+
+import (
+	"bytes"
+	"testing"
+
+	"carcs/internal/core"
+	"carcs/internal/learn"
+	"carcs/internal/material"
+	"carcs/internal/workflow"
+)
+
+func classifiedMat(id string, cls ...string) *material.Material {
+	m := &material.Material{
+		ID: id, Title: "Material " + id, Kind: material.Assignment,
+		Level: material.CS1, Collection: "drill",
+		Description: "an exercise about " + id,
+	}
+	for _, c := range cls {
+		m.Classifications = append(m.Classifications, material.Classification{NodeID: c})
+	}
+	return m
+}
+
+func learnBytes(t *testing.T, s *core.System) []byte {
+	t.Helper()
+	b, err := s.LearnState().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func queueIDs(s *core.System) []int64 {
+	var out []int64
+	for _, it := range s.ReviewQueue() {
+		out = append(out, it.Submission.ID)
+	}
+	return out
+}
+
+// TestFollowerReplicatesLearnedModel is the replication half of the model's
+// durability story: training and online review updates are WAL ops, so a
+// follower that applies the leader's stream must hold a byte-identical model
+// — and therefore produce the same uncertainty-ordered review queue. Both
+// replication paths are exercised: state reached via bootstrap (checkpoint +
+// WAL catch-up) and updates streamed live after the follower is attached.
+func TestFollowerReplicatesLearnedModel(t *testing.T) {
+	l := startLeader(t)
+	arrays := "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"
+	stacks := "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/stacks"
+	loops := "acm-ieee-cs-curricula-2013/sdf/fundamental-programming-concepts/conditional-and-iterative-control-structures"
+	for i, cls := range [][]string{{arrays}, {stacks}, {loops}, {arrays, loops}} {
+		m := classifiedMat("corpus-"+string(rune('a'+i)), cls...)
+		m.Description = "sorting arrays stacks loops exercise number " + m.ID
+		if err := l.sys.AddMaterial(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.sys.TrainLearned(learn.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.sys.LearnFromReview(classifiedMat("rev-1", arrays), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.sys.LearnFromReview(classifiedMat("rev-2", stacks), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.sys.Workflow().Register("alice", workflow.RoleSubmitter); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"pending-a", "pending-b", "pending-c"} {
+		m := classifiedMat(id, arrays)
+		m.Description = "a submission about " + id + " and parallel loops"
+		if _, err := l.sys.Workflow().Submit("alice", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bootstrap path: checkpoint plus WAL catch-up must reproduce the
+	// trained-and-updated model bit for bit.
+	f := startFollower(t, l.ts.URL)
+	f.waitApplied(t, l.p.Seq())
+	want := learnBytes(t, l.sys)
+	if got := learnBytes(t, f.f.System()); !bytes.Equal(want, got) {
+		t.Fatalf("bootstrapped follower model differs from leader:\nleader:   %d bytes\nfollower: %d bytes", len(want), len(got))
+	}
+	wantQ := queueIDs(l.sys)
+	if len(wantQ) != 3 {
+		t.Fatalf("leader queue = %v, want 3 items", wantQ)
+	}
+	if gotQ := queueIDs(f.f.System()); !equalInt64s(wantQ, gotQ) {
+		t.Fatalf("follower review queue order %v, leader %v", gotQ, wantQ)
+	}
+
+	// Live-stream path: a retrain and another online update arriving over
+	// the WAL stream must keep the follower byte-identical.
+	if err := l.sys.TrainLearned(learn.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.sys.LearnFromReview(classifiedMat("rev-3", loops), true); err != nil {
+		t.Fatal(err)
+	}
+	f.waitApplied(t, l.p.Seq())
+	want = learnBytes(t, l.sys)
+	if got := learnBytes(t, f.f.System()); !bytes.Equal(want, got) {
+		t.Fatal("follower model diverged after streamed train/update ops")
+	}
+	if gotQ := queueIDs(f.f.System()); !equalInt64s(queueIDs(l.sys), gotQ) {
+		t.Fatalf("follower review queue diverged after streamed ops: %v", gotQ)
+	}
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -550,6 +550,19 @@ func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Every accept/reject verdict is a labeled example: feed it to the
+	// learned classifier as an online update. The review itself has already
+	// committed, so a failed update (journal degraded mid-request) is logged
+	// rather than failing the response — the verdict is durable either way.
+	if sub != nil {
+		switch workflow.Status(body.Decision) {
+		case workflow.StatusApproved, workflow.StatusRejected:
+			accepted := workflow.Status(body.Decision) == workflow.StatusApproved
+			if err := s.sys.LearnFromReview(sub.Material, accepted); err != nil {
+				s.log.Printf("learn from review %d: %v", id, err)
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": body.Decision})
 }
 

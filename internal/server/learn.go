@@ -1,0 +1,53 @@
+package server
+
+import (
+	"net/http"
+
+	"carcs/internal/classify"
+	"carcs/internal/learn"
+)
+
+// GET /api/review/queue — the editor's pending submissions in active-
+// learning order: the learned models' most uncertain documents first, so
+// review effort lands where a verdict teaches the classifier the most.
+// Before any model is trained, every item scores uncertainty 1 and the
+// queue degrades to plain FIFO — the same order as GET /api/submissions.
+func (s *Server) handleReviewQueue(w http.ResponseWriter, r *http.Request) {
+	type itemJSON struct {
+		ID          int64                 `json:"id"`
+		Submitter   string                `json:"submitter"`
+		Uncertainty float64               `json:"uncertainty"`
+		Material    materialJSON          `json:"material"`
+		Suggestions []classify.Suggestion `json:"suggestions,omitempty"`
+	}
+	queue := s.sys.ReviewQueue()
+	out := make([]itemJSON, 0, len(queue))
+	for _, it := range queue {
+		out = append(out, itemJSON{
+			ID:          it.Submission.ID,
+			Submitter:   it.Submission.Submitter,
+			Uncertainty: it.Uncertainty,
+			Material:    toJSON(it.Submission.Material),
+			Suggestions: it.Suggestions,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// POST /api/learn/train — retrain the learned classifier from every
+// currently classified material, with default hyperparameters unless the
+// body overrides them. The train is journaled, so it reaches followers and
+// survives crashes like any other mutation.
+func (s *Server) handleLearnTrain(w http.ResponseWriter, r *http.Request) {
+	p := learn.DefaultParams()
+	if r.ContentLength != 0 {
+		if !decodeBody(w, r, &p) {
+			return
+		}
+	}
+	if err := s.sys.TrainLearned(p); err != nil {
+		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.LearnStats())
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"carcs/internal/cache"
+	"carcs/internal/core"
 	"carcs/internal/jobs"
 	"carcs/internal/journal"
 	"carcs/internal/replica"
@@ -93,6 +94,7 @@ type healthJSON struct {
 	Jobs        jobs.Stats      `json:"jobs"`
 	Durable     bool            `json:"durable"`
 	Journal     *journal.Stats  `json:"journal,omitempty"`
+	Learn       core.LearnStats `json:"learn"`
 	Resilience  resilienceJSON  `json:"resilience"`
 	Replication *replica.Status `json:"replication,omitempty"`
 }
@@ -132,6 +134,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Generation:  s.sys.Generation(),
 		Cache:       s.sys.CacheStats(),
 		Jobs:        s.runner.Stats(),
+		Learn:       s.sys.LearnStats(),
 		Resilience:  s.resilienceStats(),
 		Replication: s.replicationStatus(),
 	}

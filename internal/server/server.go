@@ -193,6 +193,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/submissions", s.requireRole(workflow.RoleSubmitter, s.handleSubmit))
 	s.mux.HandleFunc("GET /api/submissions", s.requireRole(workflow.RoleEditor, s.handlePendingSubmissions))
 	s.mux.HandleFunc("POST /api/submissions/{id}/review", s.requireRole(workflow.RoleEditor, s.handleReview))
+
+	// Active learning: the uncertainty-ordered review queue and on-demand
+	// retraining of the learned classifier.
+	s.mux.HandleFunc("GET /api/review/queue", s.requireRole(workflow.RoleEditor, s.handleReviewQueue))
+	s.mux.HandleFunc("POST /api/learn/train", s.requireRole(workflow.RoleEditor, s.handleLearnTrain))
 }
 
 // ---------------------------------------------------------------------------

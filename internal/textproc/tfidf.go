@@ -61,7 +61,16 @@ type Corpus struct {
 	df        map[string]int      // term -> number of docs containing it
 	idf       map[string]float64
 	vecs      map[string]Vector
+	norms     map[string]float64   // id -> Euclidean norm, fixed at Finalize
+	postings  map[string][]posting // term -> docs containing it, sorted by id
 	finalized bool
+}
+
+// posting is one inverted-index entry: a document containing the term and
+// the term's weight in that document's vector.
+type posting struct {
+	id string
+	w  float64
 }
 
 // NewCorpus returns an empty corpus.
@@ -113,6 +122,21 @@ func (c *Corpus) Finalize() {
 	for id, terms := range c.docs {
 		c.vecs[id] = c.vectorize(terms)
 	}
+	// Precompute per-document norms and the inverted index so Similar costs
+	// O(matching postings), not a full scan recomputing every norm — the
+	// difference between ~3000 cosine evaluations per query over the CS13
+	// entry corpus and a few dozen posting-list walks.
+	c.norms = make(map[string]float64, len(c.vecs))
+	c.postings = make(map[string][]posting, len(c.df))
+	for id, v := range c.vecs {
+		c.norms[id] = v.Norm()
+		for t, w := range v {
+			c.postings[t] = append(c.postings[t], posting{id: id, w: w})
+		}
+	}
+	for _, ps := range c.postings {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+	}
 	c.finalized = true
 }
 
@@ -145,6 +169,14 @@ func (c *Corpus) Query(text string) Vector {
 	return c.vectorize(Terms(text))
 }
 
+// QueryTerms vectorizes already-analyzed terms against the corpus IDF
+// table, so bulk pipelines that tokenize a document once can query several
+// corpora without re-analyzing.
+func (c *Corpus) QueryTerms(terms []string) Vector {
+	c.mustFinal()
+	return c.vectorize(terms)
+}
+
 // Scored pairs a document id with a similarity score.
 type Scored struct {
 	ID    string
@@ -152,13 +184,37 @@ type Scored struct {
 }
 
 // Similar returns the k documents most cosine-similar to the query vector,
-// best first, excluding zero scores. k <= 0 returns all matches.
+// best first, excluding zero scores. k <= 0 returns all matches. Scoring
+// walks the inverted index — only documents sharing a term with the query
+// are touched — and iterates query terms in sorted order so each document's
+// dot product accumulates identically on every run and every node.
 func (c *Corpus) Similar(q Vector, k int) []Scored {
 	c.mustFinal()
-	var out []Scored
-	for id, v := range c.vecs {
-		if s := Cosine(q, v); s > 0 {
-			out = append(out, Scored{ID: id, Score: s})
+	if len(q) == 0 {
+		return nil
+	}
+	qn := q.Norm()
+	if qn == 0 {
+		return nil
+	}
+	terms := make([]string, 0, len(q))
+	for t := range q {
+		if _, ok := c.postings[t]; ok {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms)
+	dots := make(map[string]float64, 64)
+	for _, t := range terms {
+		wq := q[t]
+		for _, p := range c.postings[t] {
+			dots[p.id] += wq * p.w
+		}
+	}
+	out := make([]Scored, 0, len(dots))
+	for id, dot := range dots {
+		if dot > 0 {
+			out = append(out, Scored{ID: id, Score: dot / (qn * c.norms[id])})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

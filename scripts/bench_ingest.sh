@@ -1,28 +1,43 @@
 #!/bin/sh
-# Ingest-throughput smoke: run the single-worker ingest benchmark briefly
-# and fail if mat/s falls below the floor — a regression gate for the
-# group-commit + batched-publish fast path (DESIGN.md §10). BENCH_2
-# measured the pre-batching pipeline at ~817 mat/s; the default floor sits
-# at roughly 2x that so scheduler noise on a busy machine does not flake
-# while a real regression to per-record commit costs still trips it.
+# Ingest-throughput smoke: run the single-worker ingest benchmarks briefly
+# and fail if mat/s falls below the floors.
+#
+# Two gates, two fast paths:
+#   - BenchmarkIngest1Worker guards the group-commit + batched-publish
+#     commit path (DESIGN.md §10). BENCH_2 measured the pre-batching
+#     pipeline at ~817 mat/s; the floor sits at roughly 2x that so
+#     scheduler noise does not flake while a real regression to
+#     per-record commit costs still trips it.
+#   - BenchmarkIngestAutoClassify1Worker guards the tokenize-once +
+#     inverted-index suggestion path (DESIGN.md §11). BENCH_4 measured
+#     the full-scan path at ~474 mat/s and the indexed path at ~3600;
+#     the floor at 1000 is the "at least 2x the old path" requirement
+#     with the same noise headroom.
 #
 # Usage:
 #   scripts/bench_ingest.sh
-#   INGEST_FLOOR=2500 BENCH_TIME=3s scripts/bench_ingest.sh
+#   INGEST_FLOOR=2500 AUTOCLASSIFY_FLOOR=1500 BENCH_TIME=3s scripts/bench_ingest.sh
 set -eu
 
 floor=${INGEST_FLOOR:-1600}
+auto_floor=${AUTOCLASSIFY_FLOOR:-1000}
 benchtime=${BENCH_TIME:-1s}
 
-out=$(go test -run '^$' -bench 'BenchmarkIngest1Worker$' -benchtime "$benchtime" .)
+out=$(go test -run '^$' -bench 'BenchmarkIngest(AutoClassify)?1Worker$' -benchtime "$benchtime" .)
 echo "$out"
-mats=$(echo "$out" | awk '/^BenchmarkIngest1Worker/ { for (f = 3; f < NF; f++) if ($(f+1) == "mat/s") print $f }')
-if [ -z "$mats" ]; then
-    echo "bench-ingest: benchmark reported no mat/s metric" >&2
-    exit 1
-fi
-if [ "$(awk -v m="$mats" -v f="$floor" 'BEGIN { print (m + 0 >= f + 0) ? "ok" : "low" }')" != ok ]; then
-    echo "bench-ingest: $mats mat/s is below the floor of $floor" >&2
-    exit 1
-fi
-echo "bench-ingest: $mats mat/s >= floor $floor"
+
+gate() { # gate <bench-name> <floor>
+    mats=$(echo "$out" | awk -v b="$1" 'index($1, b) == 1 { for (f = 3; f < NF; f++) if ($(f+1) == "mat/s") print $f }')
+    if [ -z "$mats" ]; then
+        echo "bench-ingest: $1 reported no mat/s metric" >&2
+        exit 1
+    fi
+    if [ "$(awk -v m="$mats" -v f="$2" 'BEGIN { print (m + 0 >= f + 0) ? "ok" : "low" }')" != ok ]; then
+        echo "bench-ingest: $1: $mats mat/s is below the floor of $2" >&2
+        exit 1
+    fi
+    echo "bench-ingest: $1: $mats mat/s >= floor $2"
+}
+
+gate BenchmarkIngest1Worker "$floor"
+gate BenchmarkIngestAutoClassify1Worker "$auto_floor"

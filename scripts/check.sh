@@ -29,4 +29,7 @@ go test -run '^$' -bench . -benchtime 1x . > /dev/null
 echo "== ingest throughput floor =="
 make bench-ingest
 
+echo "== learned-model eval gate =="
+go run ./cmd/carcs eval -gate > /dev/null
+
 echo "== OK =="
