@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos figures bench bench-smoke bench-ingest train-eval clean
+.PHONY: all build test race vet fmt check chaos figures bench bench-smoke bench-ingest bench-scale bench-scale-record train-eval clean
 
 all: check
 
@@ -48,6 +48,16 @@ bench-smoke:
 # tokenize-once auto-classification path.
 bench-ingest:
 	./scripts/bench_ingest.sh
+
+# Multi-tenant scale smoke: 10k synthetic materials across 4 workspaces
+# through the real ingest pipeline, gated on aggregate mat/s. The nightly
+# CI tier raises SCALE_N; bench-scale-record runs 10k/100k/1M and writes
+# BENCH_6.json.
+bench-scale:
+	./scripts/bench_scale.sh
+
+bench-scale-record:
+	./scripts/bench_scale.sh -record
 
 # Train the learned classifier over the embedded seed corpus and run the
 # full evaluation with the regression gate; writes the machine-readable

@@ -71,6 +71,7 @@ func main() {
 	routeProbe := flag.Duration("route-probe-interval", 0, "router health-probe interval (0 = default)")
 	commitBatch := flag.Int("commit-batch", 0, "max journal records coalesced into one group-commit fsync (0 = default)")
 	commitWindow := flag.Duration("commit-window", 0, "how long a group commit waits for siblings once two writers are pending (0 = default)")
+	tenantQuota := flag.Int("tenant-quota", 0, "per-workspace material-count quota (0 = unlimited)")
 	flag.Parse()
 
 	res := server.ResilienceConfig{
@@ -101,14 +102,14 @@ func main() {
 	case *route != "":
 		err = runRouter(*addr, *route, *routeMaxLag, *routeTimeout, *routeProbe)
 	default:
-		err = run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn, res, *commitBatch, *commitWindow)
+		err = run(*addr, *empty, *dataDir, *ckptEvery, *pprofOn, res, *commitBatch, *commitWindow, *tenantQuota)
 	}
 	if err != nil {
 		log.Fatalf("carcs-server: %v", err)
 	}
 }
 
-func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprofOn bool, res server.ResilienceConfig, commitBatch int, commitWindow time.Duration) error {
+func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprofOn bool, res server.ResilienceConfig, commitBatch int, commitWindow time.Duration, tenantQuota int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -141,6 +142,9 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprof
 		fmt.Println("carcs-server: profiling enabled at /debug/pprof/")
 	}
 	if persister != nil {
+		// The durable workspace set owns tenant creation (journaled,
+		// checkpointed); routes under /api/t/{name}/ resolve against it.
+		srv.SetWorkspaces(persister.Workspaces())
 		srv.SetPersister(persister)
 		if ckptEvery > 0 {
 			persister.Start(ckptEvery)
@@ -150,6 +154,10 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprof
 		srv.SetHub(replica.NewHub(persister, 0))
 		fmt.Printf("carcs-server: journaling to %s (checkpoint every %v)\n", dataDir, ckptEvery)
 		fmt.Println("carcs-server: replication endpoints at /api/replication/{checkpoint,wal}")
+	}
+	if tenantQuota > 0 {
+		srv.Workspaces().SetQuota(tenantQuota)
+		fmt.Printf("carcs-server: per-workspace material quota %d\n", tenantQuota)
 	}
 
 	st := sys.ComputeStats()
@@ -234,6 +242,7 @@ func runFollower(addr, leaderURL string, pprofOn bool, res server.ResilienceConf
 	// No local account registration: a follower's accounts, like the rest
 	// of its state, are whatever the leader's WAL says they are.
 	srv := server.New(f.System(), os.Stderr)
+	srv.SetWorkspaces(f.Workspaces())
 	srv.SetResilience(res)
 	srv.SetFollower(f)
 	if pprofOn {

@@ -22,6 +22,7 @@
 //	carcs migrate
 //	carcs snapshot -o state.json
 //	carcs import [-workers N] [-method tfidf] [-threshold 0.3] <file.jsonl>
+//	carcs gen -n 100000 [-seed 1] [-tenants 8] [-unclassified] -o corpus-%s.jsonl
 //	carcs train [-epochs 12] [-lr 0.5] [-folds 5] [-seed 1]
 //	carcs eval [-ontology both] [-json report.json] [-gate]
 //
@@ -31,7 +32,9 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +43,7 @@ import (
 	"strings"
 
 	"carcs/internal/core"
+	"carcs/internal/corpus"
 	"carcs/internal/coverage"
 	"carcs/internal/ingest"
 	"carcs/internal/learn"
@@ -69,7 +73,11 @@ func run(args []string) error {
 		dataDir, args = strings.TrimPrefix(args[0], "--data="), args[1:]
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (stats, list, show, coverage, gaps, similarity, search, query, depth, ontology-search, suggest, recommend, replacements, migrate, import, train, eval, snapshot)")
+		return fmt.Errorf("missing subcommand (stats, list, show, coverage, gaps, similarity, search, query, depth, ontology-search, suggest, recommend, replacements, migrate, import, train, eval, snapshot, gen)")
+	}
+	if args[0] == "gen" {
+		// Pure generation: no system (and no seed-corpus build) needed.
+		return cmdGen(args[1:])
 	}
 	var sys *core.System
 	var err error
@@ -572,4 +580,86 @@ func relPath(o *ontology.Ontology, id string) string {
 		return p[i+4:]
 	}
 	return p
+}
+
+// cmdGen is the deterministic synthetic-corpus generator behind the scale
+// harness: it streams JSONL in the import record shape, so its output pipes
+// straight into carcs import or POST /api/t/{name}/import. With -tenants>1
+// it writes one file per workspace (-o must contain %s), each generated
+// from its own derived seed so corpora differ across workspaces while the
+// whole set stays reproducible from one -seed.
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	n := fs.Int("n", 10000, "materials to generate (per tenant)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	tenants := fs.Int("tenants", 1, "number of workspace corpora to generate")
+	meanCls := fs.Int("mean-cls", 5, "mean classifications per material")
+	pdc := fs.Float64("pdc", 0.3, "fraction of materials also classified against PDC12")
+	out := fs.String("o", "-", "output JSONL file (- for stdout); with -tenants>1 it must contain %s, expanded to each workspace name")
+	unclassified := fs.Bool("unclassified", false, "omit classifications so import exercises auto-classification")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 || *tenants <= 0 {
+		return fmt.Errorf("gen: -n and -tenants must be positive")
+	}
+	writeOne := func(w io.Writer, opt corpus.SyntheticOptions) error {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		enc := json.NewEncoder(bw)
+		if err := corpus.SyntheticEach(opt, func(m *material.Material) error {
+			rec := ingest.Record{
+				ID: m.ID, Title: m.Title, Authors: m.Authors, URL: m.URL,
+				Description: m.Description, Kind: string(m.Kind), Level: string(m.Level),
+				Language: m.Language, Datasets: m.Datasets, Year: m.Year,
+				Collection: "synthetic", Tags: m.Tags,
+			}
+			if !*unclassified {
+				for _, c := range m.Classifications {
+					rec.Classifications = append(rec.Classifications, c.NodeID)
+				}
+			}
+			return enc.Encode(rec)
+		}); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if *tenants == 1 {
+		opt := corpus.SyntheticOptions{N: *n, Seed: *seed, MeanClassifications: *meanCls, PDCFraction: *pdc}
+		if *out == "-" {
+			return writeOne(os.Stdout, opt)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := writeOne(f, opt); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if !strings.Contains(*out, "%s") {
+		return fmt.Errorf("gen: with -tenants>1, -o must contain %%s (one file per workspace)")
+	}
+	for i := 0; i < *tenants; i++ {
+		name := fmt.Sprintf("ws-%02d", i)
+		opt := corpus.SyntheticOptions{
+			N: *n, Seed: *seed + int64(i)*7919, MeanClassifications: *meanCls,
+			PDCFraction: *pdc, IDPrefix: fmt.Sprintf("%s-", name),
+		}
+		f, err := os.Create(fmt.Sprintf(*out, name))
+		if err != nil {
+			return err
+		}
+		if err := writeOne(f, opt); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gen: %s: %d materials\n", fmt.Sprintf(*out, name), *n)
+	}
+	return nil
 }

@@ -64,6 +64,9 @@ func (s *System) AddMaterials(ms []*material.Material) error {
 			return &BatchItemError{Index: i, ID: m.ID, Err: fmt.Errorf("duplicate material")}
 		}
 	}
+	if err := s.quotaRoomLocked(len(clones)); err != nil {
+		return fmt.Errorf("core: add batch of %d: %w", len(clones), err)
+	}
 	ops := make([]OpPayload, len(clones))
 	for i, m := range clones {
 		ops[i] = OpPayload{Op: OpAddMaterial, Payload: addMaterialPayload{Material: m}}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,7 +31,16 @@ const (
 	OpAddMaterial    = "material.add"
 	OpRemoveMaterial = "material.remove"
 	OpReclassify     = "material.reclassify"
+	// OpTenantCreate records a workspace creation. The record's Tenant
+	// field carries the new workspace's name; replay and replication apply
+	// materialize the workspace from the stamp, so the payload is
+	// informational redundancy.
+	OpTenantCreate = "tenant.create"
 )
+
+type tenantCreatePayload struct {
+	Name string `json:"name"`
+}
 
 type addMaterialPayload struct {
 	Material *material.Material `json:"material"`
@@ -49,7 +59,20 @@ type reclassifyPayload struct {
 // snapshot plus the workflow queue and the learned-model state, which the
 // relational store does not cover. Learn is omitted when empty, so
 // checkpoints from builds predating the learned classifier still load.
+//
+// The top-level Store/Workflow/Learn triple is the default tenant — exactly
+// the whole document before workspaces existed, so pre-tenancy checkpoints
+// restore into the default workspace unchanged, and a default-only system
+// keeps writing byte-identical checkpoints (Tenants is omitted when empty).
 type checkpointDoc struct {
+	Store    json.RawMessage      `json:"store"`
+	Workflow workflow.QueueState  `json:"workflow"`
+	Learn    *learn.State         `json:"learn,omitempty"`
+	Tenants  map[string]tenantDoc `json:"tenants,omitempty"`
+}
+
+// tenantDoc is one non-default workspace's slice of a checkpoint.
+type tenantDoc struct {
 	Store    json.RawMessage     `json:"store"`
 	Workflow workflow.QueueState `json:"workflow"`
 	Learn    *learn.State        `json:"learn,omitempty"`
@@ -80,6 +103,7 @@ type DurableOptions struct {
 // on a timer, and on Close), and reports durability health.
 type Persister struct {
 	sys     *System
+	ws      *Workspaces
 	st      *journal.Store
 	breaker *resilience.Breaker
 	// group is the group-commit appender every journaled mutation routes
@@ -124,26 +148,36 @@ func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
 		st.Close()
 		return nil, nil, err
 	}
-	var sys *System
+	var ws *Workspaces
 	if haveCheckpoint {
-		sys, err = restoreCheckpoint(payload)
-	} else if opts.Seed {
-		sys, err = NewSeeded()
+		ws, err = restoreWorkspaces(payload)
 	} else {
-		sys, err = New()
+		var sys *System
+		if opts.Seed {
+			sys, err = NewSeeded()
+		} else {
+			sys, err = New()
+		}
+		if sys != nil {
+			ws = NewWorkspaces(sys)
+		}
 	}
 	if err != nil {
 		st.Close()
 		return nil, nil, err
 	}
-	// Replay in chunks: each chunk applies under one mutation-lock hold and
-	// publishes one view, so recovering a long log costs O(records) applies
-	// but only O(records / replayChunk) view publishes.
+	sys := ws.Default()
+	// Replay in chunks: each chunk applies under one mutation-lock hold per
+	// tenant run and publishes one view per run, so recovering a long log
+	// costs O(records) applies but only O(records / replayChunk) view
+	// publishes on the common single-tenant stretches. Records route to
+	// their stamped workspace; an unknown workspace is materialized on
+	// first sight (its tenant.create op travels the same stream).
 	chunk := make([]journal.Record, 0, replayChunk)
 	if _, err := st.Replay(func(rec journal.Record) error {
 		chunk = append(chunk, rec)
 		if len(chunk) >= replayChunk {
-			err := ApplyRecords(sys, chunk)
+			err := ApplyRecordsWorkspaces(ws, chunk)
 			chunk = chunk[:0]
 			return err
 		}
@@ -152,11 +186,11 @@ func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
 		st.Close()
 		return nil, nil, err
 	}
-	if err := ApplyRecords(sys, chunk); err != nil {
+	if err := ApplyRecordsWorkspaces(ws, chunk); err != nil {
 		st.Close()
 		return nil, nil, err
 	}
-	p := &Persister{sys: sys, st: st, breaker: resilience.NewBreaker(opts.Breaker)}
+	p := &Persister{sys: sys, ws: ws, st: st, breaker: resilience.NewBreaker(opts.Breaker)}
 	p.group = journal.NewGroup(st, journal.GroupConfig{
 		MaxBatch: opts.CommitBatch,
 		MaxWait:  opts.CommitWindow,
@@ -177,23 +211,75 @@ func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
 			return nil, nil, err
 		}
 	}
-	sys.SetMutationHook(p.journalHook)
-	sys.SetBatchMutationHook(p.journalBatchHook)
-	sys.queue.SetHook(workflow.Hook(p.journalHook))
+	// Every recovered workspace journals through the same group appender;
+	// each hook stamps its tenant. Workspaces created later — through the
+	// API or by a replicated stream — are wired by the create hooks.
+	ws.Each(func(name string, tsys *System) { p.installHooks(name, tsys) })
+	ws.SetCreateHooks(
+		func(name string, tsys *System) error {
+			if err := p.appendJournal([]journal.BatchOp{{
+				Tenant: name, Op: OpTenantCreate, Data: tenantCreatePayload{Name: name},
+			}}); err != nil {
+				return err
+			}
+			p.installHooks(name, tsys)
+			return nil
+		},
+		func(name string, tsys *System) error {
+			p.installHooks(name, tsys)
+			return nil
+		},
+	)
 	return sys, p, nil
+}
+
+// Workspaces returns the tenant set recovered from (and persisted to) this
+// durability directory. The returned value owns workspace creation: Create
+// journals a tenant.create op and wires durability hooks before the new
+// workspace becomes visible.
+func (p *Persister) Workspaces() *Workspaces { return p.ws }
+
+// tenantStamp maps a workspace name to its journal stamp: the default
+// tenant journals unstamped (omitempty), keeping its records byte-identical
+// to pre-tenancy ones.
+func tenantStamp(name string) string {
+	if name == DefaultTenant {
+		return ""
+	}
+	return name
+}
+
+// installHooks wires one workspace's mutation, batch, and workflow hooks to
+// the shared journal, stamped with its tenant.
+func (p *Persister) installHooks(name string, sys *System) {
+	stamp := tenantStamp(name)
+	one := func(op string, data any) error {
+		return p.appendJournal([]journal.BatchOp{{Tenant: stamp, Op: op, Data: data}})
+	}
+	sys.SetMutationHook(one)
+	sys.SetBatchMutationHook(func(ops []OpPayload) error {
+		bops := make([]journal.BatchOp, len(ops))
+		for i, op := range ops {
+			bops[i] = journal.BatchOp{Tenant: stamp, Op: op.Op, Data: op.Payload}
+		}
+		return p.appendJournal(bops)
+	})
+	sys.queue.SetHook(workflow.Hook(one))
 }
 
 // replayChunk is how many journaled records recovery applies per mutation-
 // lock hold (and per published view).
 const replayChunk = 256
 
-// journalHook is the durability gate every mutation passes through, wrapped
-// in the write-path circuit breaker. While the breaker is open, writes
-// fast-fail without touching the sick journal; once the cooldown elapses, a
-// single half-open probe first repairs the log (Recover truncates any torn
-// or unacknowledged tail and reopens the writer) and then attempts its
-// append — success closes the breaker, failure re-opens it.
-func (p *Persister) journalHook(op string, data any) error {
+// appendJournal is the durability gate every mutation passes through,
+// wrapped in the write-path circuit breaker. While the breaker is open,
+// writes fast-fail without touching the sick journal; once the cooldown
+// elapses, a single half-open probe first repairs the log (Recover truncates
+// any torn or unacknowledged tail and reopens the writer) and then attempts
+// its append — success closes the breaker, failure re-opens it. A batch
+// shares one breaker round trip and one group submission, so it lands in a
+// single fsync window and commits contiguously.
+func (p *Persister) appendJournal(bops []journal.BatchOp) error {
 	probe, err := p.breaker.Acquire()
 	if err != nil {
 		return fmt.Errorf("%w: %w", ErrWritesUnavailable, err)
@@ -203,40 +289,14 @@ func (p *Persister) journalHook(op string, data any) error {
 			p.breaker.Record(rerr)
 			return fmt.Errorf("%w: %w", ErrWritesUnavailable, rerr)
 		}
-	}
-	_, aerr := p.group.Append(op, data)
-	p.breaker.Record(aerr)
-	if aerr != nil {
-		return fmt.Errorf("%w: %w", ErrWritesUnavailable, aerr)
-	}
-	// The replication sink is fed by the group's OnCommit callback, in
-	// sequence order, before this call unblocked.
-	return nil
-}
-
-// journalBatchHook is journalHook for a whole batch mutation: one breaker
-// round trip and one group submission covering every op, so the batch shares
-// a single fsync window and commits contiguously.
-func (p *Persister) journalBatchHook(ops []OpPayload) error {
-	probe, err := p.breaker.Acquire()
-	if err != nil {
-		return fmt.Errorf("%w: %w", ErrWritesUnavailable, err)
-	}
-	if probe {
-		if rerr := p.st.Recover(); rerr != nil {
-			p.breaker.Record(rerr)
-			return fmt.Errorf("%w: %w", ErrWritesUnavailable, rerr)
-		}
-	}
-	bops := make([]journal.BatchOp, len(ops))
-	for i, op := range ops {
-		bops[i] = journal.BatchOp{Op: op.Op, Data: op.Payload}
 	}
 	_, aerr := p.group.AppendMany(bops)
 	p.breaker.Record(aerr)
 	if aerr != nil {
 		return fmt.Errorf("%w: %w", ErrWritesUnavailable, aerr)
 	}
+	// The replication sink is fed by the group's OnCommit callback, in
+	// sequence order, before this call unblocked.
 	return nil
 }
 
@@ -286,11 +346,47 @@ func (p *Persister) TailSince(from uint64) ([]journal.Record, error) {
 	return p.st.TailSince(from)
 }
 
-// RestoreFromCheckpoint rebuilds a System from a checkpoint payload as
-// recovery does. A replication follower bootstraps this way from the
-// leader's served checkpoint, then applies the WAL tail with ApplyRecord.
+// RestoreFromCheckpoint rebuilds the default tenant's System from a
+// checkpoint payload as recovery does. Single-tenant callers use it
+// directly; multi-tenant consumers use RestoreWorkspaces.
 func RestoreFromCheckpoint(payload []byte) (*System, error) {
-	return restoreCheckpoint(payload)
+	ws, err := restoreWorkspaces(payload)
+	if err != nil {
+		return nil, err
+	}
+	return ws.Default(), nil
+}
+
+// RestoreWorkspaces rebuilds the full tenant set from a checkpoint payload.
+// A replication follower bootstraps this way from the leader's served
+// checkpoint, then applies the WAL tail with ApplyRecordsWorkspaces.
+func RestoreWorkspaces(payload []byte) (*Workspaces, error) {
+	return restoreWorkspaces(payload)
+}
+
+// ApplyRecordsWorkspaces routes a run of journaled records to their stamped
+// workspaces and applies each contiguous same-tenant stretch as one batch
+// (one mutation-lock hold, one view publish). A record stamped with a
+// workspace the set does not know materializes it first — its tenant.create
+// op travels the same stream, so both recovery and followers converge on
+// the leader's tenant set without any side channel.
+func ApplyRecordsWorkspaces(ws *Workspaces, recs []journal.Record) error {
+	for start := 0; start < len(recs); {
+		end := start + 1
+		for end < len(recs) && recs[end].Tenant == recs[start].Tenant {
+			end++
+		}
+		run := recs[start:end]
+		sys, err := ws.EnsureReplay(run[0].Tenant)
+		if err != nil {
+			return fmt.Errorf("core: apply seq %d: %w", run[0].Seq, err)
+		}
+		if err := ApplyRecords(sys, run); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
 }
 
 // ApplyRecord re-executes one journaled mutation through the commit
@@ -334,6 +430,11 @@ func ApplyRecords(s *System, recs []journal.Record) error {
 // republishes the generation, which is cheap and keeps workflow reads live.
 func applyOpLocked(s *System, rec journal.Record) error {
 	switch rec.Op {
+	case OpTenantCreate:
+		// The routing layer (ApplyRecordsWorkspaces) already materialized
+		// the workspace from the record's tenant stamp; at the System
+		// level there is nothing to apply.
+		return nil
 	case OpAddMaterial:
 		var p addMaterialPayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
@@ -371,11 +472,32 @@ func applyOpLocked(s *System, rec journal.Record) error {
 	}
 }
 
-func restoreCheckpoint(payload []byte) (*System, error) {
+func restoreWorkspaces(payload []byte) (*Workspaces, error) {
 	var doc checkpointDoc
 	if err := json.Unmarshal(payload, &doc); err != nil {
 		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
 	}
+	def, err := restoreTenantDoc(tenantDoc{Store: doc.Store, Workflow: doc.Workflow, Learn: doc.Learn})
+	if err != nil {
+		return nil, err
+	}
+	ws := NewWorkspaces(def)
+	for name, td := range doc.Tenants {
+		if err := ValidateTenantName(name); err != nil {
+			return nil, fmt.Errorf("core: checkpoint tenant: %w", err)
+		}
+		sys, err := restoreTenantDoc(td)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint tenant %q: %w", name, err)
+		}
+		ws.tenants[name] = sys
+	}
+	return ws, nil
+}
+
+// restoreTenantDoc rebuilds one workspace's System from its checkpoint
+// slice.
+func restoreTenantDoc(doc tenantDoc) (*System, error) {
 	store, err := relstore.Restore(bytes.NewReader(doc.Store))
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint store: %w", err)
@@ -401,6 +523,8 @@ func restoreCheckpoint(payload []byte) (*System, error) {
 // skipping it would resurrect a state the system never held.
 func applyOp(s *System, rec journal.Record) error {
 	switch rec.Op {
+	case OpTenantCreate:
+		return nil
 	case OpAddMaterial:
 		var p addMaterialPayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
@@ -491,33 +615,76 @@ func applyWorkflowOp(s *System, rec journal.Record) error {
 	}
 }
 
-// Checkpoint atomically snapshots the full system state (relational store +
-// workflow queue) and resets the write-ahead log. Mutations are frozen for
-// the duration: the lock order system → queue → journal matches the hooks'
-// (system → journal, queue → journal), so checkpointing can never deadlock
-// against a mutation, and no record can slip between the snapshot and the
-// log reset.
+// Checkpoint atomically snapshots the full state of every workspace
+// (relational store + workflow queue + learned models) and resets the
+// write-ahead log. Mutations are frozen for the duration: the lock order
+// workspaces → system → queue → journal matches the hooks' (system →
+// journal, queue → journal) and workspace creation's (workspaces →
+// journal), so checkpointing can never deadlock against a mutation, and no
+// record — including a tenant.create — can slip between the snapshot and
+// the log reset. Systems lock in deterministic order (default first, then
+// sorted tenant names); the workflow queues freeze as a nested chain so all
+// of them stay pinned across the single checkpoint write.
 func (p *Persister) Checkpoint() error {
-	s := p.sys
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ls := s.learnStateLocked()
-	if len(ls.Models) == 0 {
-		ls = nil
+	ws := p.ws
+	ws.mu.RLock()
+	defer ws.mu.RUnlock()
+	names := make([]string, 0, len(ws.tenants))
+	for n := range ws.tenants {
+		names = append(names, n)
 	}
-	return s.queue.Freeze(func(qs workflow.QueueState) error {
+	sort.Strings(names)
+	systems := make([]*System, 0, len(names)+1)
+	systems = append(systems, ws.def)
+	for _, n := range names {
+		systems = append(systems, ws.tenants[n])
+	}
+	for _, s := range systems {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	learnStates := make([]*learn.State, len(systems))
+	for i, s := range systems {
+		ls := s.learnStateLocked()
+		if len(ls.Models) == 0 {
+			ls = nil
+		}
+		learnStates[i] = ls
+	}
+	qstates := make([]workflow.QueueState, len(systems))
+	var freeze func(i int) error
+	freeze = func(i int) error {
+		if i < len(systems) {
+			return systems[i].queue.Freeze(func(qs workflow.QueueState) error {
+				qstates[i] = qs
+				return freeze(i + 1)
+			})
+		}
 		return p.st.WriteCheckpoint(func(w io.Writer) error {
+			doc := checkpointDoc{Workflow: qstates[0], Learn: learnStates[0]}
 			var buf bytes.Buffer
-			if err := s.store.Snapshot(&buf); err != nil {
+			if err := systems[0].store.Snapshot(&buf); err != nil {
 				return err
 			}
-			return json.NewEncoder(w).Encode(checkpointDoc{
-				Store:    buf.Bytes(),
-				Workflow: qs,
-				Learn:    ls,
-			})
+			doc.Store = buf.Bytes()
+			if len(names) > 0 {
+				doc.Tenants = make(map[string]tenantDoc, len(names))
+				for i, n := range names {
+					var tbuf bytes.Buffer
+					if err := systems[i+1].store.Snapshot(&tbuf); err != nil {
+						return err
+					}
+					doc.Tenants[n] = tenantDoc{
+						Store:    tbuf.Bytes(),
+						Workflow: qstates[i+1],
+						Learn:    learnStates[i+1],
+					}
+				}
+			}
+			return json.NewEncoder(w).Encode(doc)
 		})
-	})
+	}
+	return freeze(0)
 }
 
 // Start launches background checkpointing every interval. It is a no-op if

@@ -98,6 +98,41 @@ type System struct {
 	// batchHook, when set, journals a whole batch of mutations in one
 	// durability round trip (see BatchMutationHook). Guarded by mu.
 	batchHook BatchMutationHook
+
+	// limit, when positive, caps the number of stored materials
+	// (workspace quota). Enforced only on the public mutation paths —
+	// never during WAL replay or replication apply, so a quota lowered
+	// after writes were accepted can never wedge recovery. Guarded by mu.
+	limit int
+}
+
+// ErrQuotaExceeded is returned (wrapped) by AddMaterial/AddMaterials when a
+// workspace material quota would be exceeded. The server maps it to 429.
+var ErrQuotaExceeded = fmt.Errorf("material quota exceeded")
+
+// SetMaterialLimit caps the number of materials this system accepts through
+// AddMaterial/AddMaterials; zero or negative removes the cap. Replayed and
+// replicated ops bypass the check.
+func (s *System) SetMaterialLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = n
+}
+
+// MaterialLimit reports the configured material quota (0 = unlimited).
+func (s *System) MaterialLimit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limit
+}
+
+// quotaRoomLocked refuses an addition of n materials that would push the
+// stored count past the quota. Callers hold mu.
+func (s *System) quotaRoomLocked(n int) error {
+	if s.limit > 0 && s.engine.Len()+n > s.limit {
+		return fmt.Errorf("%w (limit %d, stored %d, adding %d)", ErrQuotaExceeded, s.limit, s.engine.Len(), n)
+	}
+	return nil
 }
 
 // MutationHook observes a mutation before it commits. The durability layer
@@ -362,6 +397,9 @@ func (s *System) AddMaterial(m *material.Material) error {
 	defer s.mu.Unlock()
 	if _, taken := s.materials.UniqueID("slug", m.ID); taken {
 		return fmt.Errorf("core: add %q: duplicate material", m.ID)
+	}
+	if err := s.quotaRoomLocked(1); err != nil {
+		return fmt.Errorf("core: add %q: %w", m.ID, err)
 	}
 	if err := s.hookLocked(OpAddMaterial, addMaterialPayload{Material: m}); err != nil {
 		return fmt.Errorf("core: add %q: %w", m.ID, err)

@@ -397,3 +397,63 @@ func (v *View) Stats() Stats {
 		PDC12Size:   v.sys.pdc12.Len(),
 	}
 }
+
+// SortedMaterials returns the pinned corpus (optionally filtered), sorted by
+// material ID — the listing order the API pages over. The sorted slice is
+// memoized per (filter key, generation): the first page of a listing pays
+// one O(n log n) sort, every further page of the same generation reuses it,
+// which is what keeps cursor pagination constant-latency at millions of
+// rows. filterKey must canonically encode f (callers build it from the
+// normalized query parameters); f == nil means the whole corpus. Callers
+// must not mutate the returned slice.
+func (v *View) SortedMaterials(filterKey string, f search.Filter) []*material.Material {
+	key := cache.Key("sorted-materials", filterKey)
+	res, err := v.doCached(context.Background(), key, func() (any, error) {
+		var mats []*material.Material
+		if f == nil {
+			mats = v.eng.All()
+		} else {
+			mats = v.eng.Select(f)
+		}
+		sort.Slice(mats, func(i, j int) bool { return mats[i].ID < mats[j].ID })
+		return mats, nil
+	})
+	if err != nil {
+		// compute never fails; doCached only errs on context cancellation,
+		// impossible with Background. Fall back to an uncached sort.
+		var mats []*material.Material
+		if f == nil {
+			mats = v.eng.All()
+		} else {
+			mats = v.eng.Select(f)
+		}
+		sort.Slice(mats, func(i, j int) bool { return mats[i].ID < mats[j].ID })
+		return mats
+	}
+	return res.([]*material.Material)
+}
+
+// MaterialsPage returns one keyset page of the sorted, filtered corpus:
+// up to limit materials with ID strictly greater than after (empty after
+// starts at the beginning), the total filtered count, and the cursor for
+// the next page ("" when this page reaches the end). Finding the page is a
+// binary search over the memoized sorted slice, so page latency is
+// O(log n + limit) regardless of corpus size or cursor depth — unlike
+// limit/offset, which walks the offset every call.
+func (v *View) MaterialsPage(filterKey string, f search.Filter, after string, limit int) (page []*material.Material, total int, next string) {
+	mats := v.SortedMaterials(filterKey, f)
+	total = len(mats)
+	start := 0
+	if after != "" {
+		start = sort.Search(len(mats), func(i int) bool { return mats[i].ID > after })
+	}
+	end := start + limit
+	if limit <= 0 || end > len(mats) {
+		end = len(mats)
+	}
+	page = mats[start:end]
+	if end < len(mats) && len(page) > 0 {
+		next = page[len(page)-1].ID
+	}
+	return page, total, next
+}

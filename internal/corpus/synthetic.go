@@ -25,6 +25,10 @@ type SyntheticOptions struct {
 	// PDCFraction in [0,1] is the fraction of materials that also draw
 	// classifications from PDC12; defaults to 0.3 when zero.
 	PDCFraction float64
+	// IDPrefix prefixes generated material IDs; defaults to "syn-". The
+	// multi-tenant scale harness gives each workspace its own prefix so
+	// corpora stay distinguishable in mixed logs.
+	IDPrefix string
 }
 
 var synthThemes = []struct {
@@ -49,18 +53,34 @@ var synthKinds = []material.Kind{material.Assignment, material.Slides, material.
 // Synthetic generates a deterministic collection of plausible materials
 // classified against the real CS13 (and optionally PDC12) ontologies.
 func Synthetic(opt SyntheticOptions) *material.Collection {
+	c := material.NewCollection("synthetic", "Synthetic Materials")
+	SyntheticEach(opt, func(m *material.Material) error {
+		c.MustAdd(m)
+		return nil
+	})
+	return c
+}
+
+// SyntheticEach streams the deterministic synthetic corpus one material at
+// a time — the scale harness drives a million materials through fn without
+// ever materializing the slice. The draw order (and so the generated
+// corpus) is byte-identical to Synthetic's for the same options. fn
+// returning an error stops generation; the error is returned.
+func SyntheticEach(opt SyntheticOptions, fn func(m *material.Material) error) error {
 	if opt.MeanClassifications <= 0 {
 		opt.MeanClassifications = 5
 	}
 	if opt.PDCFraction == 0 {
 		opt.PDCFraction = 0.3
 	}
+	if opt.IDPrefix == "" {
+		opt.IDPrefix = "syn-"
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	cs13, pdc12 := ontology.CS13(), ontology.PDC12()
 	csEntries := cs13.Classifiable()
 	pdcEntries := pdc12.Classifiable()
 
-	c := material.NewCollection("synthetic", "Synthetic Materials")
 	for i := 0; i < opt.N; i++ {
 		th := synthThemes[rng.Intn(len(synthThemes))]
 		title := fmt.Sprintf("%s %s #%d", th.verb, strings.TrimPrefix(th.object, "a "), i)
@@ -81,8 +101,8 @@ func Synthetic(opt SyntheticOptions) *material.Collection {
 			seen[id] = true
 			cls = append(cls, material.Classification{NodeID: id})
 		}
-		c.MustAdd(&material.Material{
-			ID:              fmt.Sprintf("syn-%06d", i),
+		m := &material.Material{
+			ID:              fmt.Sprintf("%s%06d", opt.IDPrefix, i),
 			Title:           title,
 			Authors:         []string{fmt.Sprintf("Author %d", rng.Intn(40))},
 			URL:             fmt.Sprintf("https://example.edu/materials/%d", i),
@@ -92,7 +112,10 @@ func Synthetic(opt SyntheticOptions) *material.Collection {
 			Language:        synthLanguages[rng.Intn(len(synthLanguages))],
 			Year:            2003 + rng.Intn(16),
 			Classifications: cls,
-		})
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
 	}
-	return c
+	return nil
 }

@@ -43,6 +43,12 @@ type Record struct {
 	// Seq is the monotonically increasing sequence number, never reused
 	// across checkpoints for the lifetime of a journal directory.
 	Seq uint64 `json:"seq"`
+	// Tenant names the workspace the mutation belongs to. Empty means the
+	// default tenant and is omitted from the encoded record, so a journal
+	// holding only default-tenant mutations is byte-identical to one
+	// written before workspaces existed — old WALs replay unchanged, and
+	// followers running older builds can still parse a default-only stream.
+	Tenant string `json:"tenant,omitempty"`
 	// Op names the mutation, e.g. "material.add".
 	Op string `json:"op"`
 	// Data is the op-specific JSON payload.
@@ -52,8 +58,10 @@ type Record struct {
 // BatchOp is one not-yet-sequenced operation handed to AppendBatch. Sequence
 // numbers are assigned in slice order when the batch commits.
 type BatchOp struct {
-	Op   string
-	Data any
+	// Tenant stamps the record with its workspace; empty means default.
+	Tenant string
+	Op     string
+	Data   any
 }
 
 // WriteSyncer is the sink a Writer appends to: an io.Writer whose Sync
@@ -216,7 +224,7 @@ func (w *Writer) AppendBatch(ops []BatchOp) ([]Record, error) {
 	recs := make([]Record, len(ops))
 	w.buf = w.buf[:0]
 	for i, op := range ops {
-		recs[i] = Record{Seq: w.seq + uint64(i) + 1, Op: op.Op, Data: raws[i]}
+		recs[i] = Record{Seq: w.seq + uint64(i) + 1, Tenant: op.Tenant, Op: op.Op, Data: raws[i]}
 		if err := w.frameLocked(recs[i]); err != nil {
 			return nil, err
 		}

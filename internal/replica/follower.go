@@ -46,6 +46,7 @@ type Follower struct {
 	cfg    FollowerConfig
 	client *http.Client
 	sys    *core.System
+	ws     *core.Workspaces
 
 	applied    atomic.Uint64
 	leaderSeq  atomic.Uint64
@@ -92,19 +93,26 @@ func Bootstrap(ctx context.Context, cfg FollowerConfig) (*Follower, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replica: bootstrap: read checkpoint: %w", err)
 	}
-	sys, err := core.RestoreFromCheckpoint(payload)
+	ws, err := core.RestoreWorkspaces(payload)
 	if err != nil {
 		return nil, fmt.Errorf("replica: bootstrap: %w", err)
 	}
-	f.sys = sys
+	f.ws = ws
+	f.sys = ws.Default()
 	f.applied.Store(seq)
 	f.observeLeaderSeq(resp.Header)
 	return f, nil
 }
 
-// System returns the replicated system. Reads on it are the ordinary
-// snapshot-isolated view reads; its state is the leader's at Applied().
+// System returns the replicated default-tenant system. Reads on it are the
+// ordinary snapshot-isolated view reads; its state is the leader's at
+// Applied().
 func (f *Follower) System() *core.System { return f.sys }
+
+// Workspaces returns the full replicated tenant set. Tenant-stamped records
+// in the stream apply to their own workspaces; a workspace unseen at
+// bootstrap is materialized when its first record arrives.
+func (f *Follower) Workspaces() *core.Workspaces { return f.ws }
 
 // LeaderURL returns the leader this follower replicates from.
 func (f *Follower) LeaderURL() string { return f.cfg.LeaderURL }
@@ -202,7 +210,7 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := core.ApplyRecords(f.sys, batch); err != nil {
+		if err := core.ApplyRecordsWorkspaces(f.ws, batch); err != nil {
 			return fmt.Errorf("%w: %v", errApply, err)
 		}
 		f.applied.Store(batch[len(batch)-1].Seq)

@@ -29,7 +29,7 @@ func (s *Server) view(r *http.Request) *core.View {
 	if v, ok := r.Context().Value(viewCtxKey{}).(*core.View); ok {
 		return v
 	}
-	return s.sys.View()
+	return s.tenantSys(r).View()
 }
 
 // viewTag renders a view's generation as a quoted strong validator.
@@ -59,7 +59,7 @@ func etagMatch(header, tag string) bool {
 // client's validator.
 func (s *Server) withETag(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		v := s.sys.View()
+		v := s.tenantSys(r).View()
 		tag := viewTag(v)
 		w.Header().Set("ETag", tag)
 		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, tag) {
@@ -74,7 +74,7 @@ func (s *Server) withETag(h http.HandlerFunc) http.HandlerFunc {
 			// CARCS-Stale) instead of a bare 503. See serveStale.
 			body := make([]byte, br.buf.Len())
 			copy(body, br.buf.Bytes())
-			s.sys.ResultCache().Put(staleKey(r), v.Gen(), &cachedResponse{
+			s.tenantSys(r).ResultCache().Put(s.staleKey(r), v.Gen(), &cachedResponse{
 				body:        body,
 				contentType: br.Header().Get("Content-Type"),
 			})

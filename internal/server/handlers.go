@@ -4,9 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"sort"
 	"strconv"
+	"strings"
 
 	"carcs/internal/core"
 	"carcs/internal/material"
@@ -65,17 +66,48 @@ func (s *Server) handleListMaterials(w http.ResponseWriter, r *http.Request) {
 		}
 		filters = append(filters, search.InSubtree(o, subtree))
 	}
-	mats := v.Select(search.AllOf(filters...))
-	sort.Slice(mats, func(i, j int) bool { return mats[i].ID < mats[j].ID })
-	out := make([]materialJSON, 0, len(mats))
-	for _, m := range mats {
-		out = append(out, toJSON(m))
+	// The canonical filter key memoizes the ID-sorted filtered slice per
+	// generation (see View.SortedMaterials): every page of the same
+	// listing shares one sort, which is what makes deep cursor pages
+	// constant-latency at large corpus sizes.
+	filterKey := strings.Join([]string{
+		q.Get("collection"), q.Get("kind"), q.Get("level"), q.Get("language"),
+		strconv.Itoa(yearFrom), strconv.Itoa(yearTo), q.Get("entry"),
+		q.Get("subtree"), q.Get("ontology"),
+	}, "\x1f")
+	var filter search.Filter
+	if len(filters) > 0 {
+		filter = search.AllOf(filters...)
 	}
-	if !q.Has("limit") && !q.Has("offset") {
-		writeJSON(w, http.StatusOK, out)
+
+	// Keyset pagination: ?after=<id>&limit=N pages forward from the cursor
+	// with a binary search, never an offset walk. limit/offset stay
+	// accepted for old clients (deprecated); their envelope also carries
+	// next_cursor so they can switch mid-flight.
+	if q.Has("after") {
+		after := q.Get("after")
+		limit, err := intParam(q, "limit", defaultPageLimit)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if limit <= 0 {
+			limit = defaultPageLimit
+		}
+		page, total, next := v.MaterialsPage(filterKey, filter, after, limit)
+		streamMaterialEnvelope(w, pageEnvelope{total: total, limit: limit, next: next, hasOffset: false}, page)
 		return
 	}
-	total := len(out)
+
+	mats := v.SortedMaterials(filterKey, filter)
+	if !q.Has("limit") && !q.Has("offset") {
+		// Full listing: stream the bare array (original shape) instead of
+		// building a []materialJSON copy of the whole corpus.
+		streamMaterialArray(w, mats)
+		return
+	}
+	w.Header().Set("Deprecation", "true") // offset pagination; use after=<id>
+	total := len(mats)
 	offset, err := intParam(q, "offset", 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -97,12 +129,69 @@ func (s *Server) handleListMaterials(w http.ResponseWriter, r *http.Request) {
 	if end > total || end < 0 { // <0 guards offset+limit overflow
 		end = total
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"total":     total,
-		"offset":    offset,
-		"limit":     limit,
-		"materials": out[offset:end],
-	})
+	var next string
+	if end < total && end > offset {
+		next = mats[end-1].ID
+	}
+	streamMaterialEnvelope(w, pageEnvelope{total: total, limit: limit, offset: offset, hasOffset: true, next: next}, mats[offset:end])
+}
+
+// defaultPageLimit is the page size when ?after= is given without a limit.
+const defaultPageLimit = 100
+
+// pageEnvelope carries the listing metadata around the streamed page.
+type pageEnvelope struct {
+	total     int
+	limit     int
+	offset    int
+	hasOffset bool
+	next      string
+}
+
+// streamMaterialArray writes a material slice as a bare JSON array without
+// materializing the encoded document: one small encode per element, so a
+// million-row listing costs O(1) extra memory instead of a whole-slice
+// marshal. The encoder's trailing newlines are legal JSON whitespace.
+func streamMaterialArray(w http.ResponseWriter, mats []*material.Material) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "[")
+	enc := json.NewEncoder(w)
+	for i, m := range mats {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		if enc.Encode(toJSON(m)) != nil {
+			return // client went away mid-stream; nothing to salvage
+		}
+	}
+	io.WriteString(w, "]\n")
+}
+
+// streamMaterialEnvelope writes a paginated listing envelope with the
+// materials array streamed element-by-element. next_cursor is omitted on
+// the final page.
+func streamMaterialEnvelope(w http.ResponseWriter, env pageEnvelope, page []*material.Material) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, `{"total":%d,"limit":%d`, env.total, env.limit)
+	if env.hasOffset {
+		fmt.Fprintf(w, `,"offset":%d`, env.offset)
+	}
+	if env.next != "" {
+		fmt.Fprintf(w, `,"next_cursor":%s`, strconv.Quote(env.next))
+	}
+	io.WriteString(w, `,"materials":[`)
+	enc := json.NewEncoder(w)
+	for i, m := range page {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		if enc.Encode(toJSON(m)) != nil {
+			return
+		}
+	}
+	io.WriteString(w, "]}\n")
 }
 
 // POST /api/materials
@@ -112,7 +201,7 @@ func (s *Server) handleCreateMaterial(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := fromJSON(mj)
-	if err := s.sys.AddMaterial(m); err != nil {
+	if err := s.tenantSys(r).AddMaterial(m); err != nil {
 		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -151,7 +240,7 @@ func (s *Server) handleCreateMaterialBatch(w http.ResponseWriter, r *http.Reques
 	for i, mj := range body.Materials {
 		ms[i] = fromJSON(mj)
 	}
-	if err := s.sys.AddMaterials(ms); err != nil {
+	if err := s.tenantSys(r).AddMaterials(ms); err != nil {
 		var bie *core.BatchItemError
 		if errors.As(err, &bie) {
 			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
@@ -179,7 +268,7 @@ func (s *Server) handleGetMaterial(w http.ResponseWriter, r *http.Request) {
 
 // DELETE /api/materials/{id}
 func (s *Server) handleDeleteMaterial(w http.ResponseWriter, r *http.Request) {
-	if err := s.sys.RemoveMaterial(r.PathValue("id")); err != nil {
+	if err := s.tenantSys(r).RemoveMaterial(r.PathValue("id")); err != nil {
 		s.writeMutationError(w, http.StatusNotFound, err)
 		return
 	}
@@ -198,11 +287,11 @@ func (s *Server) handleReclassify(w http.ResponseWriter, r *http.Request) {
 	for _, c := range body.Classifications {
 		cls = append(cls, material.Classification{NodeID: c})
 	}
-	if err := s.sys.Reclassify(r.PathValue("id"), cls); err != nil {
+	if err := s.tenantSys(r).Reclassify(r.PathValue("id"), cls); err != nil {
 		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toJSON(s.sys.Material(r.PathValue("id"))))
+	writeJSON(w, http.StatusOK, toJSON(s.tenantSys(r).Material(r.PathValue("id"))))
 }
 
 // GET /api/materials/{id}/replacements?k=
@@ -478,7 +567,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown role")
 		return
 	}
-	acct, err := s.sys.Workflow().Register(body.Name, role)
+	acct, err := s.tenantSys(r).Workflow().Register(body.Name, role)
 	if err != nil {
 		// Registration only fails when the journal refused the write;
 		// writeMutationError adds the Retry-After the old path lacked.
@@ -494,7 +583,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &mj) {
 		return
 	}
-	sub, err := s.sys.Workflow().Submit(r.Header.Get("X-User"), fromJSON(mj))
+	sub, err := s.tenantSys(r).Workflow().Submit(r.Header.Get("X-User"), fromJSON(mj))
 	if err != nil {
 		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -509,7 +598,7 @@ func (s *Server) handlePendingSubmissions(w http.ResponseWriter, r *http.Request
 		Submitter string       `json:"submitter"`
 		Material  materialJSON `json:"material"`
 	}
-	pend := s.sys.Workflow().Pending()
+	pend := s.tenantSys(r).Workflow().Pending()
 	out := make([]subJSON, 0, len(pend))
 	for _, sub := range pend {
 		out = append(out, subJSON{ID: sub.ID, Submitter: sub.Submitter, Material: toJSON(sub.Material)})
@@ -532,7 +621,7 @@ func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &body) {
 		return
 	}
-	wf := s.sys.Workflow()
+	wf := s.tenantSys(r).Workflow()
 	var sub *workflow.Submission
 	for _, p := range wf.Pending() {
 		if p.ID == id {
@@ -545,7 +634,7 @@ func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if workflow.Status(body.Decision) == workflow.StatusApproved && sub != nil {
-		if err := s.sys.AddMaterial(sub.Material); err != nil {
+		if err := s.tenantSys(r).AddMaterial(sub.Material); err != nil {
 			s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
@@ -558,7 +647,7 @@ func (s *Server) handleReview(w http.ResponseWriter, r *http.Request) {
 		switch workflow.Status(body.Decision) {
 		case workflow.StatusApproved, workflow.StatusRejected:
 			accepted := workflow.Status(body.Decision) == workflow.StatusApproved
-			if err := s.sys.LearnFromReview(sub.Material, accepted); err != nil {
+			if err := s.tenantSys(r).LearnFromReview(sub.Material, accepted); err != nil {
 				s.log.Printf("learn from review %d: %v", id, err)
 			}
 		}
@@ -614,11 +703,11 @@ func (s *Server) handleSuggestEdit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing material or field")
 		return
 	}
-	if s.sys.Material(body.Material) == nil {
+	if s.tenantSys(r).Material(body.Material) == nil {
 		writeError(w, http.StatusNotFound, "no such material")
 		return
 	}
-	e, err := s.sys.Workflow().SuggestEdit(r.Header.Get("X-User"), body.Material, body.Field, body.Old, body.New)
+	e, err := s.tenantSys(r).Workflow().SuggestEdit(r.Header.Get("X-User"), body.Material, body.Field, body.Old, body.New)
 	if err != nil {
 		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -628,7 +717,7 @@ func (s *Server) handleSuggestEdit(w http.ResponseWriter, r *http.Request) {
 
 // GET /api/edits — the editor's unverified-edit queue.
 func (s *Server) handleUnverifiedEdits(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sys.Workflow().UnverifiedEdits())
+	writeJSON(w, http.StatusOK, s.tenantSys(r).Workflow().UnverifiedEdits())
 }
 
 // POST /api/edits/{id}/verify {"accept": true}
@@ -644,7 +733,7 @@ func (s *Server) handleVerifyEdit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &body) {
 		return
 	}
-	if err := s.sys.Workflow().VerifyEdit(r.Header.Get("X-User"), id, body.Accept); err != nil {
+	if err := s.tenantSys(r).Workflow().VerifyEdit(r.Header.Get("X-User"), id, body.Accept); err != nil {
 		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}

@@ -70,7 +70,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	imp := ingest.New(s.sys, opt)
+	imp := ingest.New(s.tenantSys(r), opt)
 	job, err := s.runner.Submit("import", fmt.Sprintf("%d bytes", len(body)),
 		func(ctx context.Context, j *jobs.Job) error {
 			sum, err := imp.Run(ctx, bytes.NewReader(body), j)

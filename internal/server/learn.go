@@ -20,7 +20,7 @@ func (s *Server) handleReviewQueue(w http.ResponseWriter, r *http.Request) {
 		Material    materialJSON          `json:"material"`
 		Suggestions []classify.Suggestion `json:"suggestions,omitempty"`
 	}
-	queue := s.sys.ReviewQueue()
+	queue := s.tenantSys(r).ReviewQueue()
 	out := make([]itemJSON, 0, len(queue))
 	for _, it := range queue {
 		out = append(out, itemJSON{
@@ -45,9 +45,9 @@ func (s *Server) handleLearnTrain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := s.sys.TrainLearned(p); err != nil {
+	if err := s.tenantSys(r).TrainLearned(p); err != nil {
 		s.writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sys.LearnStats())
+	writeJSON(w, http.StatusOK, s.tenantSys(r).LearnStats())
 }

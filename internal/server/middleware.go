@@ -85,18 +85,32 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 	})
 }
 
-// healthJSON is the GET /api/health response.
+// healthJSON is the GET /api/health response. The top-level Materials/
+// Generation/Cache/Learn block is the default workspace (the pre-tenancy
+// global totals dashboards already watch); Tenants breaks every workspace
+// out so operators can spot a hot one, and TotalMaterials sums them.
 type healthJSON struct {
-	Status      string          `json:"status"`
-	Materials   int             `json:"materials"`
-	Generation  uint64          `json:"generation"`
-	Cache       cache.Stats     `json:"cache"`
-	Jobs        jobs.Stats      `json:"jobs"`
-	Durable     bool            `json:"durable"`
-	Journal     *journal.Stats  `json:"journal,omitempty"`
-	Learn       core.LearnStats `json:"learn"`
-	Resilience  resilienceJSON  `json:"resilience"`
-	Replication *replica.Status `json:"replication,omitempty"`
+	Status         string                      `json:"status"`
+	Materials      int                         `json:"materials"`
+	TotalMaterials int                         `json:"total_materials"`
+	Generation     uint64                      `json:"generation"`
+	Cache          cache.Stats                 `json:"cache"`
+	Jobs           jobs.Stats                  `json:"jobs"`
+	Durable        bool                        `json:"durable"`
+	Journal        *journal.Stats              `json:"journal,omitempty"`
+	Learn          core.LearnStats             `json:"learn"`
+	Resilience     resilienceJSON              `json:"resilience"`
+	Replication    *replica.Status             `json:"replication,omitempty"`
+	Tenants        map[string]tenantHealthJSON `json:"tenants"`
+}
+
+// tenantHealthJSON is one workspace's slice of the health payload.
+type tenantHealthJSON struct {
+	Materials  int     `json:"materials"`
+	Generation uint64  `json:"generation"`
+	QueueDepth int     `json:"queue_depth"`
+	Quota      int     `json:"quota,omitempty"`
+	QuotaUsed  float64 `json:"quota_used,omitempty"`
 }
 
 // resilienceJSON is the overload-control block of the health payload.
@@ -137,7 +151,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Learn:       s.sys.LearnStats(),
 		Resilience:  s.resilienceStats(),
 		Replication: s.replicationStatus(),
+		Tenants:     map[string]tenantHealthJSON{},
 	}
+	s.ws.Each(func(name string, sys *core.System) {
+		th := tenantHealthJSON{
+			Materials:  sys.Len(),
+			Generation: sys.Generation(),
+			QueueDepth: len(sys.Workflow().Pending()),
+			Quota:      sys.MaterialLimit(),
+		}
+		if th.Quota > 0 {
+			th.QuotaUsed = float64(th.Materials) / float64(th.Quota)
+		}
+		resp.TotalMaterials += th.Materials
+		resp.Tenants[name] = th
+	})
 	code := http.StatusOK
 	if s.persister != nil {
 		resp.Durable = true

@@ -98,7 +98,11 @@ func (s *Server) withResilience(next http.Handler) http.Handler {
 			return
 		}
 		if s.ratelimit != nil {
-			if ok, retry := s.ratelimit.Allow(clientKey(r)); !ok {
+			// Buckets are keyed (workspace, client): a client hammering one
+			// workspace exhausts that pair's tokens without touching the
+			// budget the same credentials have in another workspace.
+			name, _ := s.tenant(r)
+			if ok, retry := s.ratelimit.Allow(name + "|" + clientKey(r)); !ok {
 				writeOverload(w, http.StatusTooManyRequests, "client rate limit exceeded", retry)
 				return
 			}
@@ -145,9 +149,14 @@ func (s *Server) withResilience(next http.Handler) http.Handler {
 }
 
 // staleKey is the memoization key for a read endpoint's rendered response.
-// The full request URI keys it, so distinct query shapes never alias.
-func staleKey(r *http.Request) string {
-	return cache.Key("http", r.URL.RequestURI())
+// The workspace name plus the full request URI key it: withTenant rewrites
+// /api/t/{name}/... onto the legacy path, so without the explicit tenant
+// two workspaces' same-shaped reads would alias in the serve-stale cache.
+// (Entries live in each tenant's own ResultCache too — the name in the key
+// is defense in depth and keeps the key meaningful in logs.)
+func (s *Server) staleKey(r *http.Request) string {
+	name, _ := s.tenant(r)
+	return cache.Key("http", name, r.URL.RequestURI())
 }
 
 // serveStale answers a shed GET from the generation-keyed response cache,
@@ -159,8 +168,8 @@ func (s *Server) serveStale(w http.ResponseWriter, r *http.Request) bool {
 	if s.staleGens == 0 {
 		return false
 	}
-	cur := s.sys.Generation()
-	val, gen, ok := s.sys.ResultCache().Stale(staleKey(r), cur, s.staleGens)
+	cur := s.tenantSys(r).Generation()
+	val, gen, ok := s.tenantSys(r).ResultCache().Stale(s.staleKey(r), cur, s.staleGens)
 	if !ok {
 		return false
 	}
@@ -197,6 +206,13 @@ func (s *Server) writeMutationError(w http.ResponseWriter, fallback int, err err
 			retry = s.breaker.RetryAfter()
 		}
 		writeOverload(w, http.StatusServiceUnavailable, err.Error(), retry)
+		return
+	}
+	if errors.Is(err, core.ErrQuotaExceeded) {
+		// A full workspace quota is the client's backpressure signal, not a
+		// server fault: 429 without a Retry-After (room appears only when
+		// the tenant deletes material or the operator raises the quota).
+		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
 	writeError(w, fallback, err.Error())

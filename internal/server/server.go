@@ -45,6 +45,7 @@ const (
 // Server routes HTTP requests onto a core.System.
 type Server struct {
 	sys       *core.System
+	ws        *core.Workspaces
 	mux       *http.ServeMux
 	log       *log.Logger
 	persister *core.Persister
@@ -75,6 +76,7 @@ type Server struct {
 func New(sys *core.System, w io.Writer) *Server {
 	s := &Server{
 		sys:       sys,
+		ws:        core.NewWorkspaces(sys),
 		mux:       http.NewServeMux(),
 		log:       log.New(w, "carcs ", log.LstdFlags),
 		runner:    jobs.NewRunner(0, 0),
@@ -129,6 +131,11 @@ func (s *Server) rebuildHandler() {
 	if s.timeout > 0 {
 		h = http.TimeoutHandler(h, s.timeout, `{"error":"request timed out"}`)
 	}
+	// Tenant resolution wraps the timeout+admission stack: it rewrites
+	// /api/t/{name}/... to the legacy path with the workspace pinned in
+	// the request context, so everything inside (rate keys, stale cache,
+	// handlers) sees an explicit tenant.
+	h = s.withTenant(h)
 	if s.replMux != nil {
 		// Replication streams are deliberate long-polls: route them
 		// around the timeout and admission stack (see replication.go).
@@ -152,6 +159,7 @@ func (s *Server) routes() {
 
 	// JSON API.
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("GET /api/tenants", s.handleListTenants)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/health/live", s.handleHealthLive)
 	s.mux.HandleFunc("GET /api/health/ready", s.handleHealthReady)
@@ -230,7 +238,7 @@ func (s *Server) requireRole(min workflow.Role, h http.HandlerFunc) http.Handler
 			writeError(w, http.StatusUnauthorized, "missing X-User header")
 			return
 		}
-		acct, ok := s.sys.Workflow().Account(name)
+		acct, ok := s.tenantSys(r).Workflow().Account(name)
 		if !ok {
 			writeError(w, http.StatusUnauthorized, fmt.Sprintf("unknown account %q", name))
 			return

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+
+	"carcs/internal/core"
+)
+
+// tenantCtxKey carries the resolved workspace through the request context.
+type tenantCtxKey struct{}
+
+type tenantInfo struct {
+	name string
+	sys  *core.System
+}
+
+// SetWorkspaces attaches the durable workspace set (from
+// core.Persister.Workspaces) so tenant routes resolve against it; without
+// it the server wraps its System as a default-only set. Call before Serve.
+func (s *Server) SetWorkspaces(ws *core.Workspaces) {
+	s.ws = ws
+}
+
+// Workspaces returns the workspace set requests resolve against.
+func (s *Server) Workspaces() *core.Workspaces { return s.ws }
+
+// tenant returns the request's resolved workspace name and System. Requests
+// that never passed withTenant (direct handler tests) fall back to the
+// default workspace.
+func (s *Server) tenant(r *http.Request) (string, *core.System) {
+	if ti, ok := r.Context().Value(tenantCtxKey{}).(*tenantInfo); ok {
+		return ti.name, ti.sys
+	}
+	return core.DefaultTenant, s.ws.Default()
+}
+
+// tenantSys returns the System the request's workspace scope resolves to.
+func (s *Server) tenantSys(r *http.Request) *core.System {
+	_, sys := s.tenant(r)
+	return sys
+}
+
+// withTenant resolves the workspace dimension of every request.
+// /api/t/{name}/rest rewrites to /api/rest with the named workspace pinned
+// in the context; bare /api/t/{name} is the workspace management resource
+// (PUT creates, GET inspects); every other path is the legacy surface and
+// aliases the default workspace. Rewriting (rather than doubling every mux
+// route) keeps one route table, and means everything downstream — ETag
+// keys, the serve-stale cache, rate-limit buckets — sees the tenant
+// explicitly via the context, never implicitly via the path.
+func (s *Server) withTenant(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rest, ok := strings.CutPrefix(r.URL.Path, "/api/t/"); ok {
+			name, sub, slash := strings.Cut(rest, "/")
+			if !slash || sub == "" {
+				s.handleTenantResource(w, r, strings.TrimSuffix(name, "/"))
+				return
+			}
+			sys, found := s.ws.Get(name)
+			if !found {
+				writeError(w, http.StatusNotFound, "no such workspace")
+				return
+			}
+			r2 := r.Clone(context.WithValue(r.Context(), tenantCtxKey{}, &tenantInfo{name: name, sys: sys}))
+			r2.URL.Path = "/api/" + sub
+			r2.URL.RawPath = ""
+			next.ServeHTTP(w, r2)
+			return
+		}
+		ctx := context.WithValue(r.Context(), tenantCtxKey{}, &tenantInfo{name: core.DefaultTenant, sys: s.ws.Default()})
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// tenantJSON is the workspace management/inspection shape.
+type tenantJSON struct {
+	Name       string `json:"name"`
+	Materials  int    `json:"materials"`
+	Generation uint64 `json:"generation"`
+	QueueDepth int    `json:"queue_depth"`
+	Quota      int    `json:"quota,omitempty"`
+}
+
+func tenantStatus(name string, sys *core.System) tenantJSON {
+	return tenantJSON{
+		Name:       name,
+		Materials:  sys.Len(),
+		Generation: sys.Generation(),
+		QueueDepth: len(sys.Workflow().Pending()),
+		Quota:      sys.MaterialLimit(),
+	}
+}
+
+// handleTenantResource serves PUT/GET /api/t/{name}: explicit workspace
+// creation (idempotent, like the route it mirrors in checkpoints) and
+// inspection. Runs outside the mux, from withTenant.
+func (s *Server) handleTenantResource(w http.ResponseWriter, r *http.Request, name string) {
+	switch r.Method {
+	case http.MethodPut:
+		if s.follower != nil {
+			// A follower's tenant set, like the rest of its state, is
+			// whatever the leader's WAL says it is.
+			w.Header().Set("Leader", s.follower.LeaderURL())
+			writeError(w, http.StatusServiceUnavailable,
+				"read-only follower: create workspaces on the leader at "+s.follower.LeaderURL())
+			return
+		}
+		if name != core.DefaultTenant {
+			if err := core.ValidateTenantName(name); err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		sys, created, err := s.ws.Create(name)
+		if err != nil {
+			s.writeMutationError(w, http.StatusInternalServerError, err)
+			return
+		}
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		writeJSON(w, status, tenantStatus(name, sys))
+	case http.MethodGet, http.MethodHead:
+		sys, ok := s.ws.Get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such workspace")
+			return
+		}
+		writeJSON(w, http.StatusOK, tenantStatus(name, sys))
+	default:
+		w.Header().Set("Allow", "GET, HEAD, PUT")
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+	}
+}
+
+// handleListTenants serves GET /api/tenants: every workspace with its
+// per-tenant counters, the default workspace first.
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	var out []tenantJSON
+	s.ws.Each(func(name string, sys *core.System) {
+		out = append(out, tenantStatus(name, sys))
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"total": len(out), "tenants": out})
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"carcs/internal/workflow"
+)
+
+const arraysEntry = "acm-ieee-cs-curricula-2013/sdf/fundamental-data-structures/arrays"
+
+func tenantMat(id string) map[string]any {
+	return map[string]any{
+		"id": id, "title": "T " + id, "kind": "assignment", "level": "CS1",
+		"classifications": []string{arraysEntry},
+	}
+}
+
+func TestTenantLifecycle(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	rec := do(t, s, "PUT", "/api/t/alpha", "", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("PUT new workspace = %d: %s", rec.Code, rec.Body)
+	}
+	rec = do(t, s, "PUT", "/api/t/alpha", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("PUT existing workspace = %d, want 200 (idempotent)", rec.Code)
+	}
+	rec = do(t, s, "GET", "/api/t/alpha", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET workspace = %d", rec.Code)
+	}
+	info := decode[map[string]any](t, rec)
+	if info["name"] != "alpha" {
+		t.Errorf("workspace info = %v", info)
+	}
+	if rec := do(t, s, "GET", "/api/t/nope", "", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("GET missing workspace = %d, want 404", rec.Code)
+	}
+	if rec := do(t, s, "PUT", "/api/t/Not%20Valid", "", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("PUT invalid name = %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/api/t/nope/materials", "", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("GET scoped route for missing workspace = %d, want 404", rec.Code)
+	}
+	if rec := do(t, s, "DELETE", "/api/t/alpha", "", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE workspace = %d, want 405", rec.Code)
+	}
+
+	rec = do(t, s, "GET", "/api/tenants", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/tenants = %d", rec.Code)
+	}
+	var list struct {
+		Total   int `json:"total"`
+		Tenants []struct {
+			Name string `json:"name"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 2 || list.Tenants[0].Name != "default" || list.Tenants[1].Name != "alpha" {
+		t.Errorf("tenant list = %+v", list)
+	}
+}
+
+// TestTenantIsolationHTTP proves the scoped surface end to end: writes via
+// /api/t/{name}/... land in that workspace only, the legacy surface stays an
+// alias for default, and ETag/stale-cache keys never cross workspaces.
+func TestTenantIsolationHTTP(t *testing.T) {
+	s, sys := newTestServer(t)
+	if rec := do(t, s, "PUT", "/api/t/alpha", "", nil); rec.Code != http.StatusCreated {
+		t.Fatalf("create workspace: %d", rec.Code)
+	}
+	alpha, _ := s.Workspaces().Get("alpha")
+	// Accounts are per-workspace state: alpha needs its own editor.
+	alpha.Workflow().Register("ed", workflow.RoleEditor)
+
+	defBefore := sys.Len()
+	rec := do(t, s, "POST", "/api/t/alpha/materials", "ed", tenantMat("alpha-m1"))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST scoped material = %d: %s", rec.Code, rec.Body)
+	}
+	if sys.Len() != defBefore {
+		t.Errorf("scoped write leaked into default workspace (%d -> %d)", defBefore, sys.Len())
+	}
+	if alpha.Len() != 1 {
+		t.Errorf("alpha has %d materials, want 1", alpha.Len())
+	}
+
+	// Scoped read sees it; legacy read does not.
+	if rec := do(t, s, "GET", "/api/t/alpha/materials/alpha-m1", "", nil); rec.Code != http.StatusOK {
+		t.Errorf("GET scoped material = %d", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/api/materials/alpha-m1", "", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("GET tenant material via legacy surface = %d, want 404", rec.Code)
+	}
+
+	// Legacy write lands in default only.
+	rec = do(t, s, "POST", "/api/materials", "ed", tenantMat("def-m1"))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST legacy material = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, "GET", "/api/t/alpha/materials/def-m1", "", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("default material visible in alpha = %d, want 404", rec.Code)
+	}
+
+	// ETags track each workspace's generation independently: a mutation in
+	// alpha must invalidate alpha's validator while default's keeps
+	// serving 304s — neither workspace's cache churn bleeds into the other.
+	etDef := do(t, s, "GET", "/api/materials", "", nil).Header().Get("ETag")
+	etAlpha := do(t, s, "GET", "/api/t/alpha/materials", "", nil).Header().Get("ETag")
+	if etDef == "" || etAlpha == "" {
+		t.Fatalf("missing ETags: default=%q alpha=%q", etDef, etAlpha)
+	}
+	if rec := do(t, s, "POST", "/api/t/alpha/materials", "ed", tenantMat("alpha-m2")); rec.Code != http.StatusCreated {
+		t.Fatalf("second alpha write: %d", rec.Code)
+	}
+	if got := do(t, s, "GET", "/api/t/alpha/materials", "", nil).Header().Get("ETag"); got == etAlpha {
+		t.Error("alpha ETag unchanged after alpha mutation")
+	}
+	req := httptest.NewRequest("GET", "/api/materials", nil)
+	req.Header.Set("If-None-Match", etDef)
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusNotModified {
+		t.Errorf("default validator invalidated by alpha's mutation: %d", rec2.Code)
+	}
+}
+
+func TestTenantQuotaHTTP(t *testing.T) {
+	s, _ := newTestServer(t)
+	if rec := do(t, s, "PUT", "/api/t/alpha", "", nil); rec.Code != http.StatusCreated {
+		t.Fatalf("create workspace: %d", rec.Code)
+	}
+	alpha, _ := s.Workspaces().Get("alpha")
+	alpha.Workflow().Register("ed", workflow.RoleEditor)
+	alpha.SetMaterialLimit(1)
+
+	if rec := do(t, s, "POST", "/api/t/alpha/materials", "ed", tenantMat("q-1")); rec.Code != http.StatusCreated {
+		t.Fatalf("first add = %d: %s", rec.Code, rec.Body)
+	}
+	rec := do(t, s, "POST", "/api/t/alpha/materials", "ed", tenantMat("q-2"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("add over quota = %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "quota") {
+		t.Errorf("quota error body = %s", rec.Body)
+	}
+}
+
+func TestHealthTenantBlock(t *testing.T) {
+	s, sys := newTestServer(t)
+	if rec := do(t, s, "PUT", "/api/t/alpha", "", nil); rec.Code != http.StatusCreated {
+		t.Fatalf("create workspace: %d", rec.Code)
+	}
+	alpha, _ := s.Workspaces().Get("alpha")
+	alpha.Workflow().Register("ed", workflow.RoleEditor)
+	if rec := do(t, s, "POST", "/api/t/alpha/materials", "ed", tenantMat("h-1")); rec.Code != http.StatusCreated {
+		t.Fatalf("seed alpha: %d", rec.Code)
+	}
+
+	rec := do(t, s, "GET", "/api/health", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/health = %d", rec.Code)
+	}
+	var h struct {
+		Materials      int `json:"materials"`
+		TotalMaterials int `json:"total_materials"`
+		Tenants        map[string]struct {
+			Materials int `json:"materials"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Materials != sys.Len() {
+		t.Errorf("top-level materials = %d, want default's %d", h.Materials, sys.Len())
+	}
+	if h.TotalMaterials != sys.Len()+1 {
+		t.Errorf("total_materials = %d, want %d", h.TotalMaterials, sys.Len()+1)
+	}
+	if h.Tenants["alpha"].Materials != 1 || h.Tenants["default"].Materials != sys.Len() {
+		t.Errorf("tenants block = %+v", h.Tenants)
+	}
+}
+
+// TestCursorPagination walks the whole corpus through ?after= keyset pages
+// and proves the pages tile it exactly: no duplicates, no gaps, IDs strictly
+// ascending, and the final page carries no next_cursor.
+func TestCursorPagination(t *testing.T) {
+	s, sys := newTestServer(t)
+	total := sys.Len()
+
+	type page struct {
+		Total      int    `json:"total"`
+		Limit      int    `json:"limit"`
+		NextCursor string `json:"next_cursor"`
+		Materials  []struct {
+			ID string `json:"id"`
+		} `json:"materials"`
+	}
+
+	var seen []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > total {
+			t.Fatal("cursor pagination did not terminate")
+		}
+		rec := do(t, s, "GET", fmt.Sprintf("/api/materials?after=%s&limit=7", cursor), "", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("cursor page = %d: %s", rec.Code, rec.Body)
+		}
+		if dep := rec.Header().Get("Deprecation"); dep != "" {
+			t.Errorf("cursor mode flagged deprecated: %q", dep)
+		}
+		p := decode[page](t, rec)
+		if p.Total != total {
+			t.Fatalf("page total = %d, want %d", p.Total, total)
+		}
+		for _, m := range p.Materials {
+			if len(seen) > 0 && m.ID <= seen[len(seen)-1] {
+				t.Fatalf("IDs not strictly ascending: %q after %q", m.ID, seen[len(seen)-1])
+			}
+			seen = append(seen, m.ID)
+		}
+		if p.NextCursor == "" {
+			break
+		}
+		if len(p.Materials) == 0 || p.NextCursor != p.Materials[len(p.Materials)-1].ID {
+			t.Fatalf("next_cursor %q does not match last ID of page", p.NextCursor)
+		}
+		cursor = p.NextCursor
+	}
+	if len(seen) != total {
+		t.Fatalf("cursor walk yielded %d materials, want %d", len(seen), total)
+	}
+
+	// Legacy offset mode still works but is flagged deprecated and now
+	// advertises the equivalent cursor.
+	rec := do(t, s, "GET", "/api/materials?limit=5&offset=5", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legacy page = %d", rec.Code)
+	}
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Error("legacy limit/offset page missing Deprecation header")
+	}
+	p := decode[page](t, rec)
+	if len(p.Materials) != 5 || p.Total != total {
+		t.Fatalf("legacy page shape: %d materials, total %d", len(p.Materials), p.Total)
+	}
+	if p.NextCursor != p.Materials[len(p.Materials)-1].ID {
+		t.Errorf("legacy page next_cursor = %q, want last ID %q", p.NextCursor, p.Materials[len(p.Materials)-1].ID)
+	}
+	if p.Materials[0].ID != seen[5] {
+		t.Errorf("offset page starts at %q, cursor walk had %q", p.Materials[0].ID, seen[5])
+	}
+
+	// Bare listing (no paging params) still returns the plain array.
+	rec = do(t, s, "GET", "/api/materials", "", nil)
+	var arr []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &arr); err != nil {
+		t.Fatalf("bare listing not an array: %v", err)
+	}
+	if len(arr) != total {
+		t.Errorf("bare listing = %d materials, want %d", len(arr), total)
+	}
+}

@@ -169,7 +169,7 @@ func (s *Server) handleCoveragePage(w http.ResponseWriter, r *http.Request) {
 	// normalization, so the rendered markup is memoized alongside the
 	// report it is derived from, keyed by the view's generation.
 	key := cache.Key("svg", "coverage", ont, collection, style)
-	res, _ := s.sys.ResultCache().Do(key, v.Gen(), func() (any, error) {
+	res, _ := s.tenantSys(r).ResultCache().Do(key, v.Gen(), func() (any, error) {
 		svg := viz.CoverageTreeSVG(rep, 2)
 		if style == "sunburst" {
 			svg = viz.CoverageSunburstSVG(rep, 3, 640)
@@ -195,7 +195,7 @@ func (s *Server) handleSimilarityPage(w http.ResponseWriter, r *http.Request) {
 	}
 	v := s.view(r)
 	key := cache.Key("svg", "similarity", left, right, strconv.Itoa(threshold))
-	res, _ := s.sys.ResultCache().Do(key, v.Gen(), func() (any, error) {
+	res, _ := s.tenantSys(r).ResultCache().Do(key, v.Gen(), func() (any, error) {
 		g := v.SimilarityGraph(left, right, threshold)
 		return viz.SimilaritySVG(g, 900, 700), nil
 	})

@@ -1,0 +1,95 @@
+#!/bin/sh
+# Multi-tenant scale harness (experiment E13): drive CARCS_SCALE_N synthetic
+# materials, split across CARCS_SCALE_TENANTS workspaces, through the real
+# ingest pipeline and gate on import throughput and peak memory. The
+# TestScaleHarness run prints one SCALE_RESULT JSON line per tier; this
+# script scrapes it, applies the floors, and (with -record) folds the tiers
+# into BENCH_6.json.
+#
+# Usage:
+#   scripts/bench_scale.sh                    # 10k smoke tier (check.sh/CI)
+#   SCALE_N=100000 scripts/bench_scale.sh     # nightly tier
+#   scripts/bench_scale.sh -record            # run 10k/100k/1M, write BENCH_6.json
+#
+# Floors (override via env):
+#   SCALE_MAT_FLOOR   minimum aggregate import mat/s        (default 1000)
+#   SCALE_RSS_CEIL_MB maximum peak RSS in MB, 0 = no gate   (default 0)
+#   SCALE_READS_FLOOR minimum reads/s under ingest, 0 = off (default 0)
+set -eu
+
+n=${SCALE_N:-10000}
+tenants=${SCALE_TENANTS:-4}
+method=${SCALE_METHOD:-none}
+mat_floor=${SCALE_MAT_FLOOR:-1000}
+rss_ceil=${SCALE_RSS_CEIL_MB:-0}
+reads_floor=${SCALE_READS_FLOOR:-0}
+
+run_tier() { # run_tier <n> <tenants> <method> -> echoes the SCALE_RESULT json
+    out=$(CARCS_SCALE_N="$1" CARCS_SCALE_TENANTS="$2" CARCS_SCALE_METHOD="$3" \
+        go test -run TestScaleHarness -count=1 -timeout 60m -v .)
+    line=$(echo "$out" | awk '/^SCALE_RESULT / { sub(/^SCALE_RESULT /, ""); print; exit }')
+    if [ -z "$line" ]; then
+        echo "bench-scale: tier n=$1 produced no SCALE_RESULT line" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "$line"
+}
+
+field() { # field <json> <key>
+    echo "$1" | tr ',{}' '\n\n\n' | awk -F: -v k="\"$2\"" '$1 == k { print $2; exit }'
+}
+
+gate() { # gate <json> — apply floors/ceilings to one tier result
+    json=$1
+    mats=$(field "$json" mat_s)
+    rss=$(field "$json" vmhwm_mb)
+    reads=$(field "$json" reads_s)
+    if [ "$(awk -v m="$mats" -v f="$mat_floor" 'BEGIN { print (m + 0 >= f + 0) ? "ok" : "low" }')" != ok ]; then
+        echo "bench-scale: $mats mat/s is below the floor of $mat_floor" >&2
+        exit 1
+    fi
+    echo "bench-scale: $mats mat/s >= floor $mat_floor"
+    if [ "$rss_ceil" != 0 ]; then
+        if [ "$(awk -v r="$rss" -v c="$rss_ceil" 'BEGIN { print (r + 0 <= c + 0) ? "ok" : "high" }')" != ok ]; then
+            echo "bench-scale: peak RSS ${rss}MB exceeds the ceiling of ${rss_ceil}MB" >&2
+            exit 1
+        fi
+        echo "bench-scale: peak RSS ${rss}MB <= ceiling ${rss_ceil}MB"
+    fi
+    if [ "$reads_floor" != 0 ]; then
+        if [ "$(awk -v r="$reads" -v f="$reads_floor" 'BEGIN { print (r + 0 >= f + 0) ? "ok" : "low" }')" != ok ]; then
+            echo "bench-scale: $reads reads/s under ingest is below the floor of $reads_floor" >&2
+            exit 1
+        fi
+        echo "bench-scale: $reads reads/s under ingest >= floor $reads_floor"
+    fi
+}
+
+if [ "${1:-}" = "-record" ]; then
+    # Full recording run: 10k and 100k across 8 workspaces, then the 1M
+    # tier. 1M runs method=none — the point of that tier is store, commit,
+    # snapshot, and pagination behavior at seven figures, not suggester
+    # throughput (BENCH_4 covers the suggester).
+    t10=$(run_tier 10000 8 none);   echo "10k:  $t10"
+    t100=$(run_tier 100000 8 none); echo "100k: $t100"
+    t1m=$(run_tier 1000000 8 none); echo "1M:   $t1m"
+    {
+        echo '{'
+        printf '  "env": {"go": "%s", "gomaxprocs": %s, "note": "multi-tenant scale harness: N materials split across 8 workspaces, concurrent import via generator->pipe->Importer, 4 snapshot readers running throughout; page_* fields time 100-item cursor pages shallow vs 90%%-deep"},\n' \
+            "$(go env GOVERSION)" "$(nproc 2>/dev/null || echo 0)"
+        echo '  "tiers": ['
+        echo "    $t10,"
+        echo "    $t100,"
+        echo "    $t1m"
+        echo '  ]'
+        echo '}'
+    } > BENCH_6.json
+    echo "bench-scale: wrote BENCH_6.json"
+    gate "$t10"
+    exit 0
+fi
+
+result=$(run_tier "$n" "$tenants" "$method")
+echo "bench-scale: $result"
+gate "$result"

@@ -29,6 +29,9 @@ go test -run '^$' -bench . -benchtime 1x . > /dev/null
 echo "== ingest throughput floor =="
 make bench-ingest
 
+echo "== multi-tenant scale smoke (10k) =="
+make bench-scale
+
 echo "== learned-model eval gate =="
 go run ./cmd/carcs eval -gate > /dev/null
 
