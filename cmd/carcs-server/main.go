@@ -18,10 +18,15 @@
 //
 // With -follow, the process bootstraps from the leader's checkpoint and
 // tails its WAL, serving read-only replicas of the leader's state (writes
-// get 503 + a Leader header). With -route, the process is a thin read
-// router over the listed backends (first = leader): reads fan out across
-// in-sync followers with the leader as fallback, writes proxy to the
-// leader.
+// get 503 + a Leader header). A follower that falls behind the leader's
+// retention horizon re-bootstraps itself in process. Adding -data alongside
+// -follow arms promotion: POST /api/replication/promote turns the follower
+// into the leader of the next epoch, journaling to the -data directory from
+// then on. With -route, the process is a router over the listed backends:
+// leadership is discovered by probing each backend's role and epoch, reads
+// fan out across in-sync followers with the leader as fallback, and writes
+// follow whichever backend leads the highest epoch — a backend still
+// claiming a superseded epoch is ejected and fenced.
 //
 // Try:
 //
@@ -64,8 +69,8 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = disabled)")
 	rateBurst := flag.Float64("rate-burst", 0, "per-client burst allowance when -rate-limit is set (0 = default)")
 	staleGens := flag.Uint64("stale-generations", 1, "how many generations behind a shed read may serve from cache (0 = never serve stale)")
-	follow := flag.String("follow", "", "run as a read-only follower of this leader URL")
-	route := flag.String("route", "", "run as a read router over these comma-separated backend URLs (first = leader)")
+	follow := flag.String("follow", "", "run as a read-only follower of this leader URL (add -data to arm promotion)")
+	route := flag.String("route", "", "run as a router over these comma-separated backend URLs (leadership is probed)")
 	routeMaxLag := flag.Uint64("route-max-lag", 0, "router staleness budget in journal sequences (0 = default)")
 	routeTimeout := flag.Duration("route-timeout", 0, "router per-backend read timeout (0 = default)")
 	routeProbe := flag.Duration("route-probe-interval", 0, "router health-probe interval (0 = default)")
@@ -94,11 +99,7 @@ func main() {
 	case *follow != "" && *route != "":
 		err = errors.New("-follow and -route are mutually exclusive")
 	case *follow != "":
-		if *dataDir != "" {
-			err = errors.New("-follow replicates the leader's journal; it cannot also own a -data directory")
-		} else {
-			err = runFollower(*addr, *follow, *pprofOn, res)
-		}
+		err = runFollower(*addr, *follow, *dataDir, *pprofOn, res, *commitBatch, *commitWindow)
 	case *route != "":
 		err = runRouter(*addr, *route, *routeMaxLag, *routeTimeout, *routeProbe)
 	default:
@@ -213,10 +214,14 @@ func run(addr string, empty bool, dataDir string, ckptEvery time.Duration, pprof
 }
 
 // runFollower bootstraps from the leader's checkpoint and serves read-only
-// replicas of its state, tailing the WAL in the background. A fatal
-// replication error (out of sync, apply divergence) exits the process so a
-// supervisor restarts it into a fresh bootstrap.
-func runFollower(addr, leaderURL string, pprofOn bool, res server.ResilienceConfig) error {
+// replicas of its state, tailing the WAL in the background. Falling behind
+// the leader's retention horizon self-heals with an in-process
+// re-bootstrap; only exhausted re-bootstrap attempts or an apply divergence
+// exit the process for a supervisor restart. When dataDir is set, promotion
+// is armed: POST /api/replication/promote turns this process into the
+// leader of the next epoch, journaling to dataDir, and the process keeps
+// serving.
+func runFollower(addr, leaderURL, dataDir string, pprofOn bool, res server.ResilienceConfig, commitBatch int, commitWindow time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -245,6 +250,13 @@ func runFollower(addr, leaderURL string, pprofOn bool, res server.ResilienceConf
 	srv.SetWorkspaces(f.Workspaces())
 	srv.SetResilience(res)
 	srv.SetFollower(f)
+	if dataDir != "" {
+		srv.SetPromotion(dataDir, "", core.DurableOptions{
+			CommitBatch:  commitBatch,
+			CommitWindow: commitWindow,
+		})
+		fmt.Printf("carcs-server: promotion armed, journal target %s\n", dataDir)
+	}
 	if pprofOn {
 		srv.EnablePprof()
 	}
@@ -263,27 +275,52 @@ func runFollower(addr, leaderURL string, pprofOn bool, res server.ResilienceConf
 	go func() { runErr <- f.Run(ctx) }()
 	fmt.Printf("carcs-server: following %s, listening on %s\n", leaderURL, addr)
 
-	select {
-	case err := <-serveErr:
-		return err
-	case err := <-runErr:
-		if errors.Is(err, context.Canceled) {
-			break // shutdown signal, fall through to drain
+serving:
+	for {
+		select {
+		case err := <-serveErr:
+			if p := srv.Persister(); p != nil {
+				p.Close()
+			}
+			return err
+		case err := <-runErr:
+			switch {
+			case errors.Is(err, context.Canceled):
+				break serving // shutdown signal, fall through to drain
+			case errors.Is(err, replica.ErrPromoted):
+				// The promote endpoint took over: this process now leads
+				// the next epoch and keeps serving.
+				fmt.Printf("carcs-server: promoted to leader at seq %d\n", f.Applied())
+				continue
+			}
+			// Replication cannot continue (re-bootstrap attempts exhausted,
+			// or an apply diverged): serving ever-staler reads silently
+			// would be worse than restarting into a clean bootstrap.
+			httpSrv.Close()
+			return fmt.Errorf("replication stopped: %w", err)
+		case <-ctx.Done():
+			stop()
+			fmt.Println("carcs-server: shutting down")
+			break serving
 		}
-		// Replication cannot continue (retention horizon passed, or an
-		// apply diverged): serving ever-staler reads silently would be
-		// worse than restarting into a clean bootstrap.
-		httpSrv.Close()
-		return fmt.Errorf("replication stopped: %w", err)
-	case <-ctx.Done():
-		stop()
-		fmt.Println("carcs-server: shutting down")
 	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+	shutErr := httpSrv.Shutdown(shutCtx)
+	if err := srv.DrainJobs(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "carcs-server: job drain:", err)
+	}
+	if p := srv.Persister(); p != nil {
+		// This follower was promoted mid-run and owns a journal now: close
+		// it through the same final-checkpoint path a -data leader takes.
+		if err := p.Close(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Println("carcs-server: final checkpoint written")
+	}
+	if shutErr != nil && !errors.Is(shutErr, http.ErrServerClosed) {
+		return shutErr
 	}
 	return nil
 }
@@ -319,8 +356,8 @@ func runRouter(addr, backends string, maxLag uint64, timeout, probe time.Duratio
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Printf("carcs-server: routing %d backends (leader %s), listening on %s\n",
-		len(urls), urls[0], addr)
+	fmt.Printf("carcs-server: routing %d backends (leadership probed), listening on %s\n",
+		len(urls), addr)
 
 	select {
 	case err := <-serveErr:

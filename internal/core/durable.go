@@ -26,6 +26,11 @@ import (
 // with a Retry-After.
 var ErrWritesUnavailable = errors.New("core: writes unavailable, journal degraded")
 
+// ErrStaleEpoch rejects a record written by a deposed leader: its epoch is
+// below the applier's high-water mark. The record must never be applied —
+// the new leader's history has already diverged past it.
+var ErrStaleEpoch = errors.New("core: record from stale leadership epoch")
+
 // Journal op names for system mutations.
 const (
 	OpAddMaterial    = "material.add"
@@ -190,6 +195,10 @@ func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
 		st.Close()
 		return nil, nil, err
 	}
+	// The fence starts at the directory's recorded epoch: a node restarting
+	// after its deposition cannot apply (or write) records from the term it
+	// lost.
+	ws.FenceEpoch(st.Epoch())
 	p := &Persister{sys: sys, ws: ws, st: st, breaker: resilience.NewBreaker(opts.Breaker)}
 	p.group = journal.NewGroup(st, journal.GroupConfig{
 		MaxBatch: opts.CommitBatch,
@@ -238,6 +247,89 @@ func OpenDurable(dir string, opts DurableOptions) (*System, *Persister, error) {
 // journals a tenant.create op and wires durability hooks before the new
 // workspace becomes visible.
 func (p *Persister) Workspaces() *Workspaces { return p.ws }
+
+// AdoptDurable turns an already-populated workspace set into a durable
+// leader: the path a promoted replication follower takes. The follower's
+// state (bootstrapped from the old leader's checkpoint plus the applied WAL
+// tail up to seq) is adopted as-is into a fresh journal directory. The
+// writer's cursor is advanced to seq so new writes continue the old
+// leader's sequence line, the directory is stamped with the bumped epoch,
+// an initial checkpoint pins the adopted state, and mutation hooks are
+// installed so the workspaces journal every further write — exactly as if
+// OpenDurable had recovered them here.
+//
+// The directory must be fresh (no checkpoint, no journaled records): the
+// adopted state's only durable home so far is the old leader's directory,
+// and silently merging it into an unrelated journal would splice two
+// histories.
+func AdoptDurable(dir string, ws *Workspaces, seq, epoch uint64, opts DurableOptions) (*Persister, error) {
+	var jopts *journal.Options
+	if opts.WrapWAL != nil {
+		jopts = &journal.Options{WrapWAL: opts.WrapWAL}
+	}
+	st, err := journal.Open(dir, jopts)
+	if err != nil {
+		return nil, err
+	}
+	if _, have, err := st.Checkpoint(); err != nil {
+		st.Close()
+		return nil, err
+	} else if have {
+		st.Close()
+		return nil, fmt.Errorf("core: adopt needs a fresh journal directory, %s holds a checkpoint", dir)
+	}
+	if _, err := st.Replay(nil); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if got := st.Stats().Seq; got != 0 {
+		st.Close()
+		return nil, fmt.Errorf("core: adopt needs a fresh journal directory, %s holds records through seq %d", dir, got)
+	}
+	if err := st.AdvanceTo(seq); err != nil {
+		st.Close()
+		return nil, err
+	}
+	st.SetEpoch(epoch)
+	ws.FenceEpoch(epoch)
+	p := &Persister{sys: ws.Default(), ws: ws, st: st, breaker: resilience.NewBreaker(opts.Breaker)}
+	p.group = journal.NewGroup(st, journal.GroupConfig{
+		MaxBatch: opts.CommitBatch,
+		MaxWait:  opts.CommitWindow,
+		OnCommit: func(recs []journal.Record) {
+			if sink := p.sink.Load(); sink != nil {
+				for _, rec := range recs {
+					(*sink)(rec)
+				}
+			}
+		},
+	})
+	// Pin the adopted state before answering any write: a crash after
+	// promotion must recover to at least the promotion point, and followers
+	// of the new leader bootstrap from this checkpoint.
+	if err := p.Checkpoint(); err != nil {
+		p.group.Close()
+		st.Close()
+		return nil, err
+	}
+	ws.Each(func(name string, tsys *System) { p.installHooks(name, tsys) })
+	ws.SetCreateHooks(
+		func(name string, tsys *System) error {
+			if err := p.appendJournal([]journal.BatchOp{{
+				Tenant: name, Op: OpTenantCreate, Data: tenantCreatePayload{Name: name},
+			}}); err != nil {
+				return err
+			}
+			p.installHooks(name, tsys)
+			return nil
+		},
+		func(name string, tsys *System) error {
+			p.installHooks(name, tsys)
+			return nil
+		},
+	)
+	return p, nil
+}
 
 // tenantStamp maps a workspace name to its journal stamp: the default
 // tenant journals unstamped (omitempty), keeping its records byte-identical
@@ -321,22 +413,26 @@ func (p *Persister) SetReplicationSink(fn func(journal.Record)) {
 // horizon.
 func (p *Persister) Seq() uint64 { return p.st.Stats().Seq }
 
+// Epoch returns the leadership epoch stamped on new records.
+func (p *Persister) Epoch() uint64 { return p.st.Epoch() }
+
 // CheckpointSeq returns the sequence covered by the latest checkpoint: the
 // oldest point a follower can tail the log from without re-bootstrapping.
 func (p *Persister) CheckpointSeq() uint64 { return p.st.Stats().CheckpointSeq }
 
-// CheckpointPayload returns the latest checkpoint's snapshot payload and
-// the sequence number it covers, for follower bootstrap. OpenDurable always
-// pins an initial checkpoint, so a missing one is an error here.
-func (p *Persister) CheckpointPayload() ([]byte, uint64, error) {
-	payload, seq, ok, err := p.st.CheckpointWithMeta()
+// CheckpointPayload returns the latest checkpoint's snapshot payload with
+// the sequence number and leadership epoch it covers, for follower
+// bootstrap. OpenDurable always pins an initial checkpoint, so a missing one
+// is an error here.
+func (p *Persister) CheckpointPayload() (payload []byte, seq, epoch uint64, err error) {
+	payload, seq, epoch, ok, err := p.st.CheckpointWithMeta()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if !ok {
-		return nil, 0, fmt.Errorf("core: no checkpoint to bootstrap from")
+		return nil, 0, 0, fmt.Errorf("core: no checkpoint to bootstrap from")
 	}
-	return payload, seq, nil
+	return payload, seq, epoch, nil
 }
 
 // TailSince returns the journaled records with Seq > from still present in
@@ -384,6 +480,12 @@ func ApplyRecordsWorkspaces(ws *Workspaces, recs []journal.Record) error {
 		if err := ApplyRecords(sys, run); err != nil {
 			return err
 		}
+		// Raise the set-wide fence to the run's epoch after it applies, so
+		// a workspace materialized later in the stream inherits it and a
+		// deposed leader cannot sneak stale records in via a fresh tenant.
+		if e := run[len(run)-1].Epoch; e > 0 {
+			ws.FenceEpoch(e)
+		}
 		start = end
 	}
 	return nil
@@ -395,6 +497,11 @@ func ApplyRecordsWorkspaces(ws *Workspaces, recs []journal.Record) error {
 // installed on a follower, nothing is re-journaled, and each applied record
 // publishes a fresh snapshot view just like a local commit.
 func ApplyRecord(s *System, rec journal.Record) error {
+	if rec.Epoch < s.epochMark.Load() {
+		return fmt.Errorf("core: apply seq %d (%s): %w: epoch %d below fence %d",
+			rec.Seq, rec.Op, ErrStaleEpoch, rec.Epoch, s.epochMark.Load())
+	}
+	s.FenceEpoch(rec.Epoch)
 	return applyOp(s, rec)
 }
 
@@ -413,6 +520,14 @@ func ApplyRecords(s *System, recs []journal.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, rec := range recs {
+		if mark := s.epochMark.Load(); rec.Epoch < mark {
+			if i > 0 {
+				s.publishLocked()
+			}
+			return fmt.Errorf("core: apply seq %d (%s): %w: epoch %d below fence %d",
+				rec.Seq, rec.Op, ErrStaleEpoch, rec.Epoch, mark)
+		}
+		s.FenceEpoch(rec.Epoch)
 		if err := applyOpLocked(s, rec); err != nil {
 			if i > 0 {
 				s.publishLocked()

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"carcs/internal/journal"
+)
+
+// matRecord builds a journaled material.add for the given id at the given
+// epoch, the record shape a leader's WAL ships to followers.
+func matRecord(t *testing.T, seq, epoch uint64, id string) journal.Record {
+	t.Helper()
+	data, err := json.Marshal(addMaterialPayload{Material: testMat(id, arrayEntry())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return journal.Record{Seq: seq, Epoch: epoch, Op: OpAddMaterial, Data: data}
+}
+
+// TestApplyRecordRejectsStaleEpoch: once a system has seen epoch E, a
+// record stamped with a lower term is a deposed leader's write and must be
+// refused — this is the applier half of the fencing protocol.
+func TestApplyRecordRejectsStaleEpoch(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FenceEpoch(2)
+	if err := ApplyRecord(s, matRecord(t, 1, 1, "stale")); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("err = %v, want ErrStaleEpoch", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("stale record applied: %d materials", s.Len())
+	}
+	// Equal and higher epochs apply; a higher epoch ratchets the fence.
+	if err := ApplyRecord(s, matRecord(t, 1, 2, "current")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyRecord(s, matRecord(t, 2, 3, "next-term")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EpochMark(); got != 3 {
+		t.Fatalf("EpochMark = %d, want 3", got)
+	}
+	// The ratchet holds: the old term is now fenced out.
+	if err := ApplyRecord(s, matRecord(t, 3, 2, "late")); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("err = %v, want ErrStaleEpoch after ratchet", err)
+	}
+}
+
+// TestApplyRecordsStaleEpochPublishesPrefix: a batch that hits a stale
+// record applies and publishes the good prefix — exactly what record-at-a-
+// time apply would have committed — and surfaces ErrStaleEpoch for the
+// rest.
+func TestApplyRecordsStaleEpochPublishesPrefix(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []journal.Record{
+		matRecord(t, 1, 1, "ok-1"),
+		matRecord(t, 2, 2, "ok-2"),
+		matRecord(t, 3, 1, "stale"), // epoch regressed below the fence rec 2 raised
+		matRecord(t, 4, 2, "never"),
+	}
+	if err := ApplyRecords(s, recs); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("err = %v, want ErrStaleEpoch", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("applied %d materials, want the 2-record prefix", s.Len())
+	}
+	// The prefix was published: the snapshot view reflects both records.
+	if got := len(s.View().Materials("")); got != 2 {
+		t.Fatalf("published view holds %d materials, want 2", got)
+	}
+	if got := s.EpochMark(); got != 2 {
+		t.Fatalf("EpochMark = %d, want 2", got)
+	}
+}
+
+// TestApplyRecordsWorkspacesFencesFreshTenants: the set-wide fence must
+// cover workspaces materialized after the fence was raised, so a deposed
+// leader cannot route stale records around it via a new tenant.
+func TestApplyRecordsWorkspacesFencesFreshTenants(t *testing.T) {
+	def, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspaces(def)
+	first := matRecord(t, 1, 3, "seed")
+	if err := ApplyRecordsWorkspaces(ws, []journal.Record{first}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.Epoch(); got != 3 {
+		t.Fatalf("workspace-set epoch = %d, want 3", got)
+	}
+	// A stale-epoch record aimed at a tenant that does not exist yet: the
+	// workspace is materialized, but it inherits the fence and refuses.
+	stale := matRecord(t, 2, 2, "smuggled")
+	stale.Tenant = "fresh"
+	err = ApplyRecordsWorkspaces(ws, []journal.Record{stale})
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("err = %v, want ErrStaleEpoch for fresh tenant", err)
+	}
+	sys, ok := ws.Get("fresh")
+	if !ok {
+		t.Fatal("fresh workspace not materialized")
+	}
+	if sys.Len() != 0 {
+		t.Fatalf("stale record applied to fresh tenant: %d materials", sys.Len())
+	}
+}

@@ -104,7 +104,29 @@ type System struct {
 	// never during WAL replay or replication apply, so a quota lowered
 	// after writes were accepted can never wedge recovery. Guarded by mu.
 	limit int
+
+	// epochMark is the leadership-epoch high-water mark of applied records.
+	// ApplyRecord(s) rejects anything below it, which fences a deposed
+	// leader's stream out of this system no matter how the records arrive.
+	// Forward-only; see FenceEpoch.
+	epochMark atomic.Uint64
 }
+
+// FenceEpoch raises the system's epoch high-water mark. Forward-only: a
+// value at or below the current mark is ignored, so a late or reordered
+// fence can never re-admit a deposed leader's records.
+func (s *System) FenceEpoch(epoch uint64) {
+	for {
+		cur := s.epochMark.Load()
+		if epoch <= cur || s.epochMark.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// EpochMark reports the highest leadership epoch this system has applied or
+// been fenced at.
+func (s *System) EpochMark() uint64 { return s.epochMark.Load() }
 
 // ErrQuotaExceeded is returned (wrapped) by AddMaterial/AddMaterials when a
 // workspace material quota would be exceeded. The server maps it to 429.

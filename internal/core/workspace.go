@@ -64,6 +64,11 @@ type Workspaces struct {
 	// current and future workspace (the default tenant included).
 	quota int
 
+	// epoch is the set-wide leadership-epoch fence. Workspaces created
+	// after a failover inherit it, so a stale record for a brand-new tenant
+	// is rejected just like one for an existing tenant. Guarded by mu.
+	epoch uint64
+
 	// onCreate, when set (by the durability layer), journals the
 	// tenant.create op and wires persistence hooks into the new System.
 	// It runs with mu held, before the workspace becomes visible; a
@@ -82,8 +87,41 @@ func NewWorkspaces(def *System) *Workspaces {
 	return &Workspaces{def: def, tenants: make(map[string]*System)}
 }
 
-// Default returns the default tenant's System.
-func (w *Workspaces) Default() *System { return w.def }
+// Default returns the default tenant's System. Guarded because AdoptFrom
+// can swap the whole set at runtime (follower re-bootstrap).
+func (w *Workspaces) Default() *System {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.def
+}
+
+// AdoptFrom replaces this set's workspaces with src's, in place: every
+// holder of this *Workspaces (the HTTP server, the follower) sees the new
+// tenant set on its next resolution without re-wiring anything. A
+// replication follower that fell behind the leader's retention horizon uses
+// it to swap in a freshly restored checkpoint. The receiver's quota and
+// epoch fence carry over (and the fence only ratchets up); durability hooks
+// are not copied — a follower has none, and a durable set must never adopt.
+func (w *Workspaces) AdoptFrom(src *Workspaces) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// src is freshly restored and unshared; its fields need no lock.
+	w.def = src.def
+	w.tenants = src.tenants
+	if src.epoch > w.epoch {
+		w.epoch = src.epoch
+	}
+	if w.quota > 0 {
+		w.def.SetMaterialLimit(w.quota)
+	}
+	w.def.FenceEpoch(w.epoch)
+	for _, sys := range w.tenants {
+		if w.quota > 0 {
+			sys.SetMaterialLimit(w.quota)
+		}
+		sys.FenceEpoch(w.epoch)
+	}
+}
 
 // SetCreateHooks installs the durability callbacks: created runs for
 // API-created workspaces (journals tenant.create and wires hooks), replayed
@@ -150,6 +188,7 @@ func (w *Workspaces) ensure(name string, journal bool) (*System, bool, error) {
 	if w.quota > 0 {
 		sys.SetMaterialLimit(w.quota)
 	}
+	sys.FenceEpoch(w.epoch)
 	hook := w.onReplayCreate
 	if journal {
 		hook = w.onCreate
@@ -202,6 +241,27 @@ func (w *Workspaces) Each(fn func(name string, sys *System)) {
 	for i, n := range names {
 		fn(n, systems[i])
 	}
+}
+
+// FenceEpoch raises the leadership-epoch fence on every current workspace
+// and records it for future ones. Forward-only, like System.FenceEpoch.
+func (w *Workspaces) FenceEpoch(epoch uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if epoch > w.epoch {
+		w.epoch = epoch
+	}
+	w.def.FenceEpoch(epoch)
+	for _, sys := range w.tenants {
+		sys.FenceEpoch(epoch)
+	}
+}
+
+// Epoch reports the set-wide leadership-epoch fence.
+func (w *Workspaces) Epoch() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.epoch
 }
 
 // SetQuota applies a material-count quota to every current and future

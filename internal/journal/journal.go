@@ -43,6 +43,14 @@ type Record struct {
 	// Seq is the monotonically increasing sequence number, never reused
 	// across checkpoints for the lifetime of a journal directory.
 	Seq uint64 `json:"seq"`
+	// Epoch is the leadership term that wrote the record. Zero means the
+	// first (or only) leader and is omitted from the encoded record, so a
+	// log written by a never-failed-over deployment is byte-identical to
+	// one written before epochs existed — the same compatibility trick as
+	// Tenant below. Appliers reject records whose epoch is below their
+	// high-water mark, which fences a deposed leader's writes out of every
+	// follower (see internal/replica).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Tenant names the workspace the mutation belongs to. Empty means the
 	// default tenant and is omitted from the encoded record, so a journal
 	// holding only default-tenant mutations is byte-identical to one
@@ -119,10 +127,11 @@ func appendFrame(buf, payload []byte) []byte {
 // sticky: the journal may hold a torn frame, so further appends are refused
 // until the journal is reopened (which truncates the tear).
 type Writer struct {
-	mu  sync.Mutex
-	ws  WriteSyncer
-	seq uint64
-	err error
+	mu    sync.Mutex
+	ws    WriteSyncer
+	seq   uint64
+	epoch uint64
+	err   error
 
 	// buf is the reusable frame buffer: frames for an append (or a whole
 	// batch) are assembled here and handed to ws in one Write call, so the
@@ -138,6 +147,24 @@ type Writer struct {
 // NewWriter returns a Writer appending to ws, continuing after lastSeq.
 func NewWriter(ws WriteSyncer, lastSeq uint64) *Writer {
 	return &Writer{ws: ws, seq: lastSeq}
+}
+
+// SetEpoch stamps every subsequent record with the given leadership epoch.
+// Epochs only move forward: a lower value than the current one is ignored,
+// so a late SetEpoch can never un-fence a writer.
+func (w *Writer) SetEpoch(epoch uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if epoch > w.epoch {
+		w.epoch = epoch
+	}
+}
+
+// Epoch returns the leadership epoch stamped on new records.
+func (w *Writer) Epoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
 }
 
 // Append marshals data, frames it with the next sequence number, writes and
@@ -160,7 +187,7 @@ func (w *Writer) AppendRecord(op string, data any) (Record, error) {
 	if w.err != nil {
 		return Record{}, fmt.Errorf("journal: writer failed earlier: %w", w.err)
 	}
-	rec := Record{Seq: w.seq + 1, Op: op, Data: raw}
+	rec := Record{Seq: w.seq + 1, Epoch: w.epoch, Op: op, Data: raw}
 	w.buf = w.buf[:0]
 	if err := w.frameLocked(rec); err != nil {
 		return Record{}, err
@@ -224,7 +251,7 @@ func (w *Writer) AppendBatch(ops []BatchOp) ([]Record, error) {
 	recs := make([]Record, len(ops))
 	w.buf = w.buf[:0]
 	for i, op := range ops {
-		recs[i] = Record{Seq: w.seq + uint64(i) + 1, Tenant: op.Tenant, Op: op.Op, Data: raws[i]}
+		recs[i] = Record{Seq: w.seq + uint64(i) + 1, Epoch: w.epoch, Tenant: op.Tenant, Op: op.Op, Data: raws[i]}
 		if err := w.frameLocked(recs[i]); err != nil {
 			return nil, err
 		}
@@ -270,7 +297,7 @@ func Scan(r io.Reader, fn func(Record) error) (int64, error) {
 	}
 	var off int64
 	n := int64(len(data))
-	var lastSeq uint64
+	var lastSeq, lastEpoch uint64
 	for off < n {
 		if n-off < headerSize {
 			return off, nil // torn header
@@ -302,10 +329,17 @@ func Scan(r io.Reader, fn func(Record) error) (int64, error) {
 		if rec.Seq <= lastSeq {
 			return off, fmt.Errorf("%w: sequence %d at offset %d not after %d", ErrCorrupt, rec.Seq, off, lastSeq)
 		}
+		if rec.Epoch < lastEpoch {
+			// Epochs only advance within one log: a writer is created at
+			// one epoch and only ever bumped. A regression means frames
+			// from different terms were spliced together.
+			return off, fmt.Errorf("%w: epoch %d at offset %d below %d", ErrCorrupt, rec.Epoch, off, lastEpoch)
+		}
 		if err := fn(rec); err != nil {
 			return off, err
 		}
 		lastSeq = rec.Seq
+		lastEpoch = rec.Epoch
 		off = end
 	}
 	return off, nil

@@ -57,6 +57,12 @@ type Store struct {
 	checkpointAt    time.Time
 	checkpointBytes int64
 
+	// epoch is the leadership term stamped on new records: the max of the
+	// checkpoint meta's epoch, any epoch seen during replay, and explicit
+	// SetEpoch bumps (promotion). It survives every Writer recreation —
+	// Replay, Recover, and WriteCheckpoint all restamp the fresh Writer.
+	epoch uint64
+
 	walBytes   atomic.Int64
 	walRecords uint64
 
@@ -73,9 +79,12 @@ type Store struct {
 	dirSyncErrors atomic.Uint64
 }
 
-// checkpointMeta is the first line of a checkpoint file.
+// checkpointMeta is the first line of a checkpoint file. Epoch is omitted
+// when zero so a checkpoint written before failover existed — or by a
+// deployment that never failed over — keeps its exact historical bytes.
 type checkpointMeta struct {
-	Seq uint64 `json:"seq"`
+	Seq   uint64 `json:"seq"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Open prepares the directory (creating it if needed) and reads the
@@ -101,6 +110,7 @@ func Open(dir string, opts *Options) (*Store, error) {
 			return nil, err
 		}
 		s.checkpointSeq = meta.Seq
+		s.epoch = meta.Epoch
 		s.checkpointAt = fi.ModTime()
 		s.checkpointBytes = fi.Size()
 	case os.IsNotExist(err):
@@ -158,30 +168,30 @@ func (s *Store) Checkpoint() ([]byte, bool, error) {
 // concurrent checkpoint install (an atomic rename) can never mix the pair.
 // The replication bootstrap endpoint serves exactly this pair: followers
 // restore the payload and tail the log from the covered sequence.
-func (s *Store) CheckpointWithMeta() (payload []byte, seq uint64, ok bool, err error) {
+func (s *Store) CheckpointWithMeta() (payload []byte, seq, epoch uint64, ok bool, err error) {
 	path := filepath.Join(s.dir, checkpointFile)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, 0, false, nil
+		return nil, 0, 0, false, nil
 	}
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("journal: open checkpoint: %w", err)
+		return nil, 0, 0, false, fmt.Errorf("journal: open checkpoint: %w", err)
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
 	line, err := r.ReadBytes('\n')
 	if err != nil && err != io.EOF {
-		return nil, 0, false, fmt.Errorf("journal: read checkpoint meta: %w", err)
+		return nil, 0, 0, false, fmt.Errorf("journal: read checkpoint meta: %w", err)
 	}
 	var meta checkpointMeta
 	if err := json.Unmarshal(line, &meta); err != nil {
-		return nil, 0, false, fmt.Errorf("journal: parse checkpoint meta: %w", err)
+		return nil, 0, 0, false, fmt.Errorf("journal: parse checkpoint meta: %w", err)
 	}
 	payload, err = io.ReadAll(r)
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("journal: read checkpoint: %w", err)
+		return nil, 0, 0, false, fmt.Errorf("journal: read checkpoint: %w", err)
 	}
-	return payload, meta.Seq, true, nil
+	return payload, meta.Seq, meta.Epoch, true, nil
 }
 
 // TailSince reads every committed record with Seq > from still present in
@@ -260,6 +270,9 @@ func (s *Store) Replay(fn func(Record) error) (int, error) {
 		if rec.Seq > lastSeq {
 			lastSeq = rec.Seq
 		}
+		if rec.Epoch > s.epoch {
+			s.epoch = rec.Epoch
+		}
 		if rec.Seq <= s.checkpointSeq {
 			return nil // already folded into the checkpoint
 		}
@@ -287,6 +300,7 @@ func (s *Store) Replay(fn func(Record) error) (int, error) {
 	s.walBytes.Store(valid)
 	s.walRecords = uint64(applied)
 	s.w = NewWriter(s.wrap(&countingWS{f: f, n: &s.walBytes}), lastSeq)
+	s.w.SetEpoch(s.epoch)
 	s.recovered = true
 	return applied, nil
 }
@@ -347,6 +361,7 @@ func (s *Store) Recover() error {
 	s.walBytes.Store(valid)
 	s.walRecords = live
 	s.w = NewWriter(s.wrap(&countingWS{f: f, n: &s.walBytes}), ack)
+	s.w.SetEpoch(s.epoch)
 	return nil
 }
 
@@ -412,7 +427,7 @@ func (s *Store) WriteCheckpoint(write func(io.Writer) error) error {
 	if err != nil {
 		return fmt.Errorf("journal: create checkpoint temp: %w", err)
 	}
-	meta, _ := json.Marshal(checkpointMeta{Seq: seq})
+	meta, _ := json.Marshal(checkpointMeta{Seq: seq, Epoch: s.epoch})
 	err = func() error {
 		if _, err := f.Write(append(meta, '\n')); err != nil {
 			return err
@@ -465,6 +480,53 @@ func (s *Store) WriteCheckpoint(write func(io.Writer) error) error {
 	s.walBytes.Store(0)
 	s.walRecords = 0
 	s.w = NewWriter(s.wrap(&countingWS{f: f2, n: &s.walBytes}), seq)
+	s.w.SetEpoch(s.epoch)
+	return nil
+}
+
+// SetEpoch bumps the leadership epoch stamped on new records. Epochs only
+// move forward; a value at or below the current epoch is a no-op. Promotion
+// calls this after draining the old leader's tail and before accepting
+// writes, so every post-promotion record carries the new term.
+func (s *Store) SetEpoch(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch > s.epoch {
+		s.epoch = epoch
+		if s.w != nil {
+			s.w.SetEpoch(epoch)
+		}
+	}
+}
+
+// Epoch returns the current leadership epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// AdvanceTo fast-forwards the writer's sequence cursor to seq without
+// writing anything, so the next append is seq+1. A promoted follower calls
+// this on its freshly-created journal directory: the follower's applied
+// state covers everything up to its replication cursor, and new writes must
+// continue that line rather than restart from zero. Only forward moves are
+// allowed, and only on an empty log segment — rewinding, or jumping over
+// live records, would orphan journaled state.
+func (s *Store) AdvanceTo(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recovered || s.closed {
+		return fmt.Errorf("journal: store not open for advance")
+	}
+	if s.walRecords != 0 {
+		return fmt.Errorf("journal: advance over %d live records", s.walRecords)
+	}
+	if cur := s.w.Seq(); seq < cur {
+		return fmt.Errorf("journal: advance to %d behind current %d", seq, cur)
+	}
+	s.w = NewWriter(s.wrap(&countingWS{f: s.f, n: &s.walBytes}), seq)
+	s.w.SetEpoch(s.epoch)
 	return nil
 }
 
@@ -476,6 +538,9 @@ type Stats struct {
 	Seq uint64 `json:"seq"`
 	// CheckpointSeq is the last sequence folded into the checkpoint.
 	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Epoch is the leadership term stamped on new records; zero until the
+	// first failover.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// WALRecords counts live records in the write-ahead log.
 	WALRecords uint64 `json:"wal_records"`
 	// WALBytes is the log's on-disk size.
@@ -506,6 +571,7 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Dir:             s.dir,
 		CheckpointSeq:   s.checkpointSeq,
+		Epoch:           s.epoch,
 		WALRecords:      s.walRecords,
 		WALBytes:        s.walBytes.Load(),
 		CheckpointAt:    s.checkpointAt,

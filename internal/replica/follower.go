@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -19,10 +20,14 @@ import (
 
 // ErrOutOfSync means the follower's cursor fell behind the leader's
 // retention horizon (checkpoint plus tail ring) — the shipped log no longer
-// reaches back to where this follower stopped. The only correct recovery is
-// a fresh bootstrap from the leader's checkpoint; the follower process
-// exits with this error and its supervisor restarts it into one.
+// reaches back to where this follower stopped. Run heals this in process by
+// re-bootstrapping from the leader's checkpoint; the error only surfaces
+// when every bounded re-bootstrap attempt failed too.
 var ErrOutOfSync = errors.New("replica: follower behind leader retention horizon, re-bootstrap required")
+
+// DefaultRebootstrapLimit bounds consecutive in-process re-bootstrap
+// attempts before Run gives up and surfaces ErrOutOfSync to the supervisor.
+const DefaultRebootstrapLimit = 8
 
 // FollowerConfig tunes a follower. Zero values take defaults.
 type FollowerConfig struct {
@@ -38,20 +43,33 @@ type FollowerConfig struct {
 	// package defaults.
 	ReconnectBase time.Duration
 	ReconnectMax  time.Duration
+	// RebootstrapLimit caps consecutive in-process re-bootstrap attempts
+	// after the cursor falls behind the leader's retention horizon; <= 0
+	// takes DefaultRebootstrapLimit.
+	RebootstrapLimit int
 }
 
 // Follower replicates a leader's WAL into a local System. Construct with
 // Bootstrap, serve reads from System(), and drive replication with Run.
+// Promote turns a follower into the leader of the next epoch in place.
 type Follower struct {
 	cfg    FollowerConfig
 	client *http.Client
-	sys    *core.System
 	ws     *core.Workspaces
 
-	applied    atomic.Uint64
-	leaderSeq  atomic.Uint64
-	connected  atomic.Bool
-	reconnects atomic.Uint64
+	applied      atomic.Uint64
+	leaderSeq    atomic.Uint64
+	epoch        atomic.Uint64
+	connected    atomic.Bool
+	reconnects   atomic.Uint64
+	rebootstraps atomic.Uint64
+
+	// Promotion coordination: promoted flips once, runCancel/runDone let
+	// Promote halt a live Run loop and wait for it to unwind.
+	promoted  atomic.Bool
+	runMu     sync.Mutex
+	runCancel context.CancelFunc
+	runDone   chan struct{}
 }
 
 // Bootstrap fetches the leader's checkpoint, restores a System from it, and
@@ -69,45 +87,60 @@ func Bootstrap(ctx context.Context, cfg FollowerConfig) (*Follower, error) {
 	if f.cfg.PollWait <= 0 {
 		f.cfg.PollWait = DefaultPollWait
 	}
+	ws, seq, err := f.fetchCheckpoint(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bootstrap: %w", err)
+	}
+	f.ws = ws
+	f.applied.Store(seq)
+	return f, nil
+}
 
+// fetchCheckpoint downloads and restores the leader's latest checkpoint,
+// returning the restored workspace set and the sequence it covers. The
+// restored set is fenced at the checkpoint's epoch, so records from terms
+// older than the snapshot can never fold into it.
+func (f *Follower) fetchCheckpoint(ctx context.Context) (*core.Workspaces, uint64, error) {
 	ckCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ckCtx, http.MethodGet,
 		f.cfg.LeaderURL+"/api/replication/checkpoint", nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("replica: bootstrap: %w", err)
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("replica: bootstrap: leader answered %s", resp.Status)
+		return nil, 0, fmt.Errorf("leader answered %s", resp.Status)
 	}
 	seq, err := strconv.ParseUint(resp.Header.Get(HeaderCheckpointSeq), 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("replica: bootstrap: bad %s header: %w", HeaderCheckpointSeq, err)
+		return nil, 0, fmt.Errorf("bad %s header: %w", HeaderCheckpointSeq, err)
 	}
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("replica: bootstrap: read checkpoint: %w", err)
+		return nil, 0, fmt.Errorf("read checkpoint: %w", err)
 	}
 	ws, err := core.RestoreWorkspaces(payload)
 	if err != nil {
-		return nil, fmt.Errorf("replica: bootstrap: %w", err)
+		return nil, 0, err
 	}
-	f.ws = ws
-	f.sys = ws.Default()
-	f.applied.Store(seq)
+	if e, perr := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64); perr == nil {
+		ws.FenceEpoch(e)
+		f.noteEpoch(e)
+	}
 	f.observeLeaderSeq(resp.Header)
-	return f, nil
+	return ws, seq, nil
 }
 
 // System returns the replicated default-tenant system. Reads on it are the
 // ordinary snapshot-isolated view reads; its state is the leader's at
-// Applied().
-func (f *Follower) System() *core.System { return f.sys }
+// Applied(). Resolved through the workspace set on every call so an
+// in-process re-bootstrap swap is immediately visible.
+func (f *Follower) System() *core.System { return f.ws.Default() }
 
 // Workspaces returns the full replicated tenant set. Tenant-stamped records
 // in the stream apply to their own workspaces; a workspace unseen at
@@ -124,18 +157,28 @@ func (f *Follower) Applied() uint64 { return f.applied.Load() }
 // LeaderSeq returns the leader's latest sequence as last observed.
 func (f *Follower) LeaderSeq() uint64 { return f.leaderSeq.Load() }
 
+// Epoch returns the highest leadership term this follower has observed —
+// from checkpoint and stream headers, and from the records themselves.
+func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
+
 // Connected reports whether a WAL stream is currently established.
 func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// Rebootstraps counts in-process checkpoint re-bootstraps after the cursor
+// fell behind the leader's retention horizon.
+func (f *Follower) Rebootstraps() uint64 { return f.rebootstraps.Load() }
 
 // Status reports the follower's replication state for /api/health.
 func (f *Follower) Status() *Status {
 	return &Status{
-		Role:       "follower",
-		Leader:     f.cfg.LeaderURL,
-		AppliedSeq: f.applied.Load(),
-		LeaderSeq:  f.leaderSeq.Load(),
-		Connected:  f.connected.Load(),
-		Reconnects: f.reconnects.Load(),
+		Role:         "follower",
+		Epoch:        f.epoch.Load(),
+		Leader:       f.cfg.LeaderURL,
+		AppliedSeq:   f.applied.Load(),
+		LeaderSeq:    f.leaderSeq.Load(),
+		Connected:    f.connected.Load(),
+		Reconnects:   f.reconnects.Load(),
+		Rebootstraps: f.rebootstraps.Load(),
 	}
 }
 
@@ -143,27 +186,153 @@ func (f *Follower) Status() *Status {
 // record through the commit pipeline. Stream failures reconnect with
 // jittered exponential backoff, resuming from the last applied sequence —
 // re-shipped records are skipped by sequence, so re-apply is idempotent.
-// Run returns ErrOutOfSync when the leader no longer retains the tail this
-// follower needs (the caller should exit and re-bootstrap), or a fatal
-// apply error (state divergence — never continue past one).
+// A cursor that fell behind the leader's retention horizon self-heals: the
+// follower re-bootstraps from the leader's checkpoint in process (bounded
+// attempts) and resumes tailing. Run returns ErrPromoted when Promote
+// halted it, ErrOutOfSync when every re-bootstrap attempt failed, or a
+// fatal apply error (state divergence — never continue past one).
 func (f *Follower) Run(ctx context.Context) error {
+	if f.promoted.Load() {
+		return ErrPromoted
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	f.runMu.Lock()
+	f.runCancel = cancel
+	f.runDone = done
+	f.runMu.Unlock()
+	defer func() {
+		cancel()
+		close(done)
+	}()
+
 	bo := &resilience.Backoff{Base: f.cfg.ReconnectBase, Max: f.cfg.ReconnectMax}
 	for {
-		err := f.streamOnce(ctx)
+		err := f.streamOnce(rctx)
 		f.connected.Store(false)
 		switch {
-		case ctx.Err() != nil:
-			return ctx.Err()
+		case rctx.Err() != nil:
+			if f.promoted.Load() && ctx.Err() == nil {
+				return ErrPromoted
+			}
+			return rctx.Err()
 		case err == nil:
 			// Clean end of a poll window; reconnect immediately.
 			bo.Reset()
 			continue
-		case errors.Is(err, ErrOutOfSync), errors.Is(err, errApply):
+		case errors.Is(err, ErrOutOfSync):
+			if rerr := f.rebootstrap(rctx); rerr != nil {
+				if f.promoted.Load() && ctx.Err() == nil {
+					return ErrPromoted
+				}
+				return rerr
+			}
+			bo.Reset()
+			continue
+		case errors.Is(err, errApply):
 			return err
 		}
 		f.reconnects.Add(1)
-		if serr := bo.Sleep(ctx); serr != nil {
+		if serr := bo.Sleep(rctx); serr != nil {
+			if f.promoted.Load() && ctx.Err() == nil {
+				return ErrPromoted
+			}
 			return serr
+		}
+	}
+}
+
+// rebootstrap heals an out-of-sync follower in process: fetch the leader's
+// current checkpoint and swap it into the live workspace set, moving the
+// cursor to the checkpoint's sequence. Readers see the gap close as one
+// atomic swap — no restart, no window serving empty state. Attempts are
+// bounded so a leader serving garbage cannot trap the follower in a loop.
+func (f *Follower) rebootstrap(ctx context.Context) error {
+	limit := f.cfg.RebootstrapLimit
+	if limit <= 0 {
+		limit = DefaultRebootstrapLimit
+	}
+	bo := &resilience.Backoff{Base: f.cfg.ReconnectBase, Max: f.cfg.ReconnectMax}
+	var lastErr error
+	for attempt := 0; attempt < limit; attempt++ {
+		if attempt > 0 {
+			if serr := bo.Sleep(ctx); serr != nil {
+				return serr
+			}
+		}
+		ws, seq, err := f.fetchCheckpoint(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		f.ws.AdoptFrom(ws)
+		f.applied.Store(seq)
+		f.rebootstraps.Add(1)
+		return nil
+	}
+	return fmt.Errorf("%w: %d re-bootstrap attempts failed, last: %v", ErrOutOfSync, limit, lastErr)
+}
+
+// Promote turns this follower into the leader of the next epoch, in
+// process: halt replication, drain whatever tail the old leader still
+// serves, adopt the replicated state into a fresh durable journal at dir,
+// and start a Hub so other followers can re-target. The old leader is told
+// it has been deposed (best-effort — fencing never depends on the
+// notification; appliers reject the old term's records regardless).
+// advertise, when non-empty, is this node's own base URL, forwarded so the
+// deposed leader's 503s can point writers at the new leader.
+func (f *Follower) Promote(ctx context.Context, dir, advertise string, opts core.DurableOptions) (*core.Persister, *Hub, error) {
+	if !f.promoted.CompareAndSwap(false, true) {
+		return nil, nil, fmt.Errorf("replica: already promoted")
+	}
+	// Halt a live Run loop and wait for it to unwind; applying stream
+	// records concurrently with adoption would race the journal handoff.
+	f.runMu.Lock()
+	cancel, done := f.runCancel, f.runDone
+	f.runMu.Unlock()
+	if cancel != nil {
+		cancel()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	// Best-effort drain: pull any tail the (possibly dying) old leader can
+	// still serve, so the new term starts from the highest reachable
+	// sequence. Failure here is expected — the usual reason for promotion
+	// is that the leader stopped answering.
+	f.drainTail(ctx)
+	f.connected.Store(false)
+
+	epoch := f.epoch.Load() + 1
+	p, err := core.AdoptDurable(dir, f.ws, f.applied.Load(), epoch, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("replica: promote: %w", err)
+	}
+	f.noteEpoch(epoch)
+	hub := NewHub(p, 0)
+	go func() {
+		_ = NotifyFence(context.Background(), f.client, f.cfg.LeaderURL, epoch, advertise)
+	}()
+	return p, hub, nil
+}
+
+// drainTail runs short-poll stream rounds against the old leader until no
+// progress is made or the budget elapses. Purely opportunistic.
+func (f *Follower) drainTail(ctx context.Context) {
+	dctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	saved := f.cfg.PollWait
+	f.cfg.PollWait = 500 * time.Millisecond
+	defer func() { f.cfg.PollWait = saved }()
+	for dctx.Err() == nil {
+		before := f.applied.Load()
+		if err := f.streamOnce(dctx); err != nil {
+			return
+		}
+		if f.applied.Load() == before {
+			return
 		}
 	}
 }
@@ -198,6 +367,7 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 		return fmt.Errorf("replica: leader answered %s", resp.Status)
 	}
 	f.observeLeaderSeq(resp.Header)
+	f.observeEpoch(resp.Header)
 	f.connected.Store(true)
 	// Records are applied through the same batch path the leader's group
 	// commit uses: everything already buffered on the stream folds into the
@@ -233,6 +403,7 @@ func (f *Follower) streamOnce(ctx context.Context) error {
 		if rec.Seq > f.leaderSeq.Load() {
 			f.leaderSeq.Store(rec.Seq)
 		}
+		f.noteEpoch(rec.Epoch)
 		if rec.Seq <= f.applied.Load() {
 			continue // idempotent re-apply: already folded in
 		}
@@ -256,5 +427,22 @@ func (f *Follower) observeLeaderSeq(h http.Header) {
 	seq, err := strconv.ParseUint(h.Get(HeaderLeaderSeq), 10, 64)
 	if err == nil && seq > f.leaderSeq.Load() {
 		f.leaderSeq.Store(seq)
+	}
+}
+
+// observeEpoch folds a CARCS-Epoch response header into the observed term.
+func (f *Follower) observeEpoch(h http.Header) {
+	if e, err := strconv.ParseUint(h.Get(HeaderEpoch), 10, 64); err == nil {
+		f.noteEpoch(e)
+	}
+}
+
+// noteEpoch raises the observed leadership term, forward-only.
+func (f *Follower) noteEpoch(e uint64) {
+	for {
+		cur := f.epoch.Load()
+		if e <= cur || f.epoch.CompareAndSwap(cur, e) {
+			return
+		}
 	}
 }

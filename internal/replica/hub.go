@@ -102,6 +102,7 @@ func (h *Hub) tailSince(from uint64) ([]journal.Record, error) {
 func (h *Hub) Status() *Status {
 	return &Status{
 		Role:          "leader",
+		Epoch:         h.p.Epoch(),
 		LeaderSeq:     h.p.Seq(),
 		Connected:     true,
 		Streams:       h.streams.Load(),
@@ -112,6 +113,9 @@ func (h *Hub) Status() *Status {
 // Seq returns the leader's latest journaled sequence.
 func (h *Hub) Seq() uint64 { return h.p.Seq() }
 
+// Epoch returns the leadership term this hub's records are stamped with.
+func (h *Hub) Epoch() uint64 { return h.p.Epoch() }
+
 func hubError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -121,13 +125,14 @@ func hubError(w http.ResponseWriter, status int, msg string) {
 // ServeCheckpoint handles GET /api/replication/checkpoint: the latest
 // checkpoint payload, with the covered sequence in CARCS-Checkpoint-Seq.
 func (h *Hub) ServeCheckpoint(w http.ResponseWriter, r *http.Request) {
-	payload, seq, err := h.p.CheckpointPayload()
+	payload, seq, epoch, err := h.p.CheckpointPayload()
 	if err != nil {
 		hubError(w, http.StatusInternalServerError, "checkpoint unavailable: "+err.Error())
 		return
 	}
 	w.Header().Set(HeaderCheckpointSeq, strconv.FormatUint(seq, 10))
 	w.Header().Set(HeaderLeaderSeq, strconv.FormatUint(h.p.Seq(), 10))
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
 	if r.Method != http.MethodHead {
@@ -166,6 +171,7 @@ func (h *Hub) ServeWAL(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", WALContentType)
 	w.Header().Set(HeaderLeaderSeq, strconv.FormatUint(h.p.Seq(), 10))
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(h.p.Epoch(), 10))
 
 	deadline := time.NewTimer(wait)
 	defer deadline.Stop()

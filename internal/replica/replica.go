@@ -48,6 +48,11 @@ const (
 	HeaderAppliedSeq = "CARCS-Applied-Seq"
 	// HeaderRoute is set by the router: which backend served the response.
 	HeaderRoute = "CARCS-Route"
+	// HeaderEpoch carries the leadership epoch: the term a served
+	// checkpoint or WAL stream was written under, and — stamped by
+	// followers on reads and by the router on proxied responses — the term
+	// a node's state reflects.
+	HeaderEpoch = "CARCS-Epoch"
 	// WALContentType marks a stream of CRC-framed journal records.
 	WALContentType = "application/x-carcs-wal"
 
@@ -61,9 +66,13 @@ const (
 
 // Status describes a node's replication role for /api/health.
 type Status struct {
-	// Role is "leader" or "follower".
+	// Role is "leader", "follower", or "fenced" (a deposed leader that has
+	// seen a higher epoch and refuses writes).
 	Role string `json:"role"`
-	// Leader is the leader URL a follower replicates from.
+	// Epoch is the leadership term this node's state reflects.
+	Epoch uint64 `json:"epoch"`
+	// Leader is the leader URL a follower replicates from — or, on a
+	// fenced node, the leader that deposed it.
 	Leader string `json:"leader,omitempty"`
 	// AppliedSeq is the last journal sequence applied locally (follower).
 	AppliedSeq uint64 `json:"applied_seq,omitempty"`
@@ -74,6 +83,9 @@ type Status struct {
 	Connected bool `json:"connected"`
 	// Reconnects counts stream re-establishments (follower).
 	Reconnects uint64 `json:"reconnects,omitempty"`
+	// Rebootstraps counts in-process re-bootstraps after the follower fell
+	// behind the leader's retention horizon (follower).
+	Rebootstraps uint64 `json:"rebootstraps,omitempty"`
 	// Streams counts WAL stream requests served (leader).
 	Streams uint64 `json:"streams,omitempty"`
 	// ActiveStreams is the number of followers currently tailing (leader).

@@ -84,6 +84,7 @@ func startFollower(t *testing.T, leaderURL string) *followerNode {
 		t.Fatalf("bootstrap: %v", err)
 	}
 	srv := server.New(f.System(), io.Discard)
+	srv.SetWorkspaces(f.Workspaces())
 	srv.SetFollower(f)
 	fn := &followerNode{f: f, srv: srv, runErr: make(chan error, 1)}
 	fn.start(t, "127.0.0.1:0")

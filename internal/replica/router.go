@@ -26,11 +26,18 @@ const (
 	// follower further behind the leader is routed around until it
 	// catches up.
 	DefaultMaxLag = 1000
+	// DefaultElectionWait is how long a write waits for a leader to appear
+	// before the router gives up with 503 + Retry-After. Sized to cover a
+	// promotion plus a probe sweep, not a full outage.
+	DefaultElectionWait = 2 * time.Second
 )
 
-// RouterConfig tunes the read router. Zero values take defaults.
+// RouterConfig tunes the router. Zero values take defaults.
 type RouterConfig struct {
-	// Backends are the member base URLs; the first is the leader.
+	// Backends are the member base URLs. Leadership is discovered by
+	// probing each member's /api/health/ready (role + epoch), not assumed
+	// from order; the first entry only serves as the compatibility leader
+	// for backends too old to report a role.
 	Backends []string
 	// ProbeInterval paces health probes.
 	ProbeInterval time.Duration
@@ -38,6 +45,9 @@ type RouterConfig struct {
 	BackendTimeout time.Duration
 	// MaxLag is the staleness budget in sequences.
 	MaxLag uint64
+	// ElectionWait bounds how long a write waits for leader discovery
+	// before answering 503; <= 0 takes DefaultElectionWait.
+	ElectionWait time.Duration
 	// Breaker tunes the per-backend ejection breaker. The router default
 	// ejects on the first failure (a retry already saved the client) and
 	// re-probes after a short cooldown — half-open, one probe at a time,
@@ -45,13 +55,38 @@ type RouterConfig struct {
 	Breaker resilience.BreakerConfig
 }
 
+// Probed backend roles.
+const (
+	roleUnknown int32 = iota // probe never decoded a role (legacy backend)
+	roleLeader
+	roleFollower
+	roleFenced
+	roleOther
+)
+
+func roleString(r int32) string {
+	switch r {
+	case roleLeader:
+		return "leader"
+	case roleFollower:
+		return "follower"
+	case roleFenced:
+		return "fenced"
+	case roleOther:
+		return "other"
+	}
+	return "unknown"
+}
+
 // backend is one routed member with its ejection breaker and last-probed
 // replication position.
 type backend struct {
 	url     string
-	leader  bool
+	first   bool // config order; leader-compat for backends with no role
 	breaker *resilience.Breaker
 
+	role     atomic.Int32
+	epoch    atomic.Uint64
 	seq      atomic.Uint64
 	ready    atomic.Bool
 	lastErr  atomic.Pointer[string]
@@ -59,14 +94,32 @@ type backend struct {
 	failures atomic.Uint64
 }
 
+// claimsLeader reports whether this backend's last probe claimed the write
+// path: an explicit leader role, or — for backends predating role
+// reporting — the configured first position.
+func (b *backend) claimsLeader() bool {
+	switch b.role.Load() {
+	case roleLeader:
+		return true
+	case roleUnknown:
+		return b.first
+	}
+	return false
+}
+
 // Router fans reads out across followers with the leader as fallback, and
-// proxies writes to the leader. A failed read attempt is retried on the
-// next candidate before anything reaches the client, so a backend dying
-// mid-request degrades to a slower answer, never a 5xx.
+// proxies writes to the discovered leader. A failed read attempt is retried
+// on the next candidate before anything reaches the client, so a backend
+// dying mid-request degrades to a slower answer, never a 5xx. Leadership is
+// probed, not configured: writes follow whichever backend claims the
+// highest epoch, and a backend still claiming leadership at a stale epoch
+// is ejected from rotation and told it has been deposed.
 type Router struct {
 	cfg      RouterConfig
-	backends []*backend // leader first
+	backends []*backend
 	client   *http.Client
+
+	lastLeader atomic.Pointer[backend]
 
 	rr atomic.Uint64
 
@@ -74,16 +127,18 @@ type Router struct {
 	writes          atomic.Uint64
 	retries         atomic.Uint64
 	leaderFallbacks atomic.Uint64
+	writeUnrouted   atomic.Uint64
+	fenced          atomic.Uint64
 
 	mu   sync.Mutex
 	stop chan struct{}
 	done chan struct{}
 }
 
-// NewRouter builds a router over the given backends (first = leader).
+// NewRouter builds a router over the given backends.
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	if len(cfg.Backends) == 0 {
-		return nil, fmt.Errorf("replica: router needs at least a leader backend")
+		return nil, fmt.Errorf("replica: router needs at least one backend")
 	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
@@ -93,6 +148,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	if cfg.MaxLag == 0 {
 		cfg.MaxLag = DefaultMaxLag
+	}
+	if cfg.ElectionWait <= 0 {
+		cfg.ElectionWait = DefaultElectionWait
 	}
 	if cfg.Breaker.FailureThreshold == 0 {
 		cfg.Breaker.FailureThreshold = 1
@@ -114,10 +172,13 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	for i, raw := range cfg.Backends {
 		rt.backends = append(rt.backends, &backend{
 			url:     strings.TrimRight(raw, "/"),
-			leader:  i == 0,
+			first:   i == 0,
 			breaker: resilience.NewBreaker(cfg.Breaker),
 		})
 	}
+	// Until the first probe lands, the first-configured backend is the best
+	// leader guess: reads fall back to it rather than failing closed.
+	rt.lastLeader.Store(rt.backends[0])
 	return rt, nil
 }
 
@@ -159,10 +220,12 @@ func (rt *Router) Close() {
 	rt.stop, rt.done = nil, nil
 }
 
-// probeAll sweeps every backend's /api/health/ready in parallel. Probes
-// share the ejection breaker with live traffic: a probe against an ejected
-// backend is exactly the breaker's half-open trial, so recovery needs no
-// separate mechanism.
+// probeAll sweeps every backend's /api/health/ready in parallel, then runs
+// the fence sweep: if more than one ready backend claims leadership, only
+// the highest epoch is real — stale claimants are ejected from rotation and
+// notified that they have been deposed. Probes share the ejection breaker
+// with live traffic: a probe against an ejected backend is exactly the
+// breaker's half-open trial, so recovery needs no separate mechanism.
 func (rt *Router) probeAll() {
 	var wg sync.WaitGroup
 	for _, b := range rt.backends {
@@ -173,12 +236,46 @@ func (rt *Router) probeAll() {
 		}(b)
 	}
 	wg.Wait()
+
+	var lead *backend
+	var maxE uint64
+	for _, b := range rt.backends {
+		if !b.ready.Load() || !b.claimsLeader() {
+			continue
+		}
+		if e := b.epoch.Load(); lead == nil || e > maxE {
+			lead, maxE = b, e
+		}
+	}
+	if lead == nil {
+		return
+	}
+	rt.lastLeader.Store(lead)
+	for _, b := range rt.backends {
+		if b == lead || !b.ready.Load() || !b.claimsLeader() || b.epoch.Load() >= maxE {
+			continue
+		}
+		// Split brain: this backend still believes it leads a term that has
+		// been superseded. Never route to it, and shorten the window in
+		// which it accepts writes it can no longer replicate.
+		b.ready.Store(false)
+		rt.fenced.Add(1)
+		msg := fmt.Sprintf("stale leader claim: epoch %d, current %d at %s",
+			b.epoch.Load(), maxE, lead.url)
+		b.lastErr.Store(&msg)
+		go func(url string) {
+			_ = NotifyFence(context.Background(), rt.client, url, maxE, lead.url)
+		}(b.url)
+	}
 }
 
 // readyBody is the slice of /api/health/ready the router consumes.
 type readyBody struct {
-	Status string `json:"status"`
-	Seq    uint64 `json:"seq"`
+	Status     string `json:"status"`
+	Role       string `json:"role"`
+	Epoch      uint64 `json:"epoch"`
+	Seq        uint64 `json:"seq"`
+	AppliedSeq uint64 `json:"applied_seq"`
 }
 
 func (rt *Router) probe(b *backend) {
@@ -201,7 +298,20 @@ func (rt *Router) probe(b *backend) {
 		defer resp.Body.Close()
 		var body readyBody
 		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); derr == nil {
-			b.seq.Store(body.Seq)
+			b.seq.Store(max(body.Seq, body.AppliedSeq))
+			b.epoch.Store(body.Epoch)
+			switch body.Role {
+			case "leader", "standalone":
+				b.role.Store(roleLeader)
+			case "follower":
+				b.role.Store(roleFollower)
+			case "fenced":
+				b.role.Store(roleFenced)
+			case "":
+				b.role.Store(roleUnknown)
+			default:
+				b.role.Store(roleOther)
+			}
 		}
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("replica: %s unready (%s)", b.url, resp.Status)
@@ -218,26 +328,84 @@ func (rt *Router) probe(b *backend) {
 	}
 }
 
-// leader returns the leader backend (always index 0).
-func (rt *Router) leader() *backend { return rt.backends[0] }
+// leader returns the ready backend claiming leadership at the highest
+// epoch, or nil during an election window when no live backend claims the
+// write path.
+func (rt *Router) leader() *backend {
+	var lead *backend
+	var maxE uint64
+	for _, b := range rt.backends {
+		if !b.ready.Load() || !b.claimsLeader() || b.breaker.FastFail() {
+			continue
+		}
+		if e := b.epoch.Load(); lead == nil || e > maxE {
+			lead, maxE = b, e
+		}
+	}
+	if lead != nil {
+		rt.lastLeader.Store(lead)
+	}
+	return lead
+}
 
-// lag returns how many sequences b trails the leader's last probed horizon.
+// awaitLeader polls for a discovered leader until the election-wait budget
+// elapses. The background probe loop keeps sweeping meanwhile, so a
+// promotion completing inside the window is picked up here.
+func (rt *Router) awaitLeader(ctx context.Context) *backend {
+	deadline := time.NewTimer(rt.cfg.ElectionWait)
+	defer deadline.Stop()
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if b := rt.leader(); b != nil {
+			return b
+		}
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			return nil
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// horizon is the reference sequence lag is measured against: the leader's
+// probed position, or — with no leader — the furthest-ahead ready backend.
+func (rt *Router) horizon() uint64 {
+	if lead := rt.lastLeader.Load(); lead != nil && lead.ready.Load() {
+		return lead.seq.Load()
+	}
+	var m uint64
+	for _, b := range rt.backends {
+		if b.ready.Load() {
+			m = max(m, b.seq.Load())
+		}
+	}
+	return m
+}
+
+// lag returns how many sequences b trails the routing horizon.
 func (rt *Router) lag(b *backend) uint64 {
-	ls := rt.leader().seq.Load()
-	if bs := b.seq.Load(); ls > bs {
-		return ls - bs
+	if h, bs := rt.horizon(), b.seq.Load(); h > bs {
+		return h - bs
 	}
 	return 0
 }
 
 // readCandidates orders the backends to try for one read: in-budget, ready
-// followers rotated round-robin, then the leader as the authoritative
-// fallback (always, even when its own probe is stale — a read against it is
-// the last thing standing between the client and a 502).
-func (rt *Router) readCandidates() []*backend {
-	followers := rt.backends[1:]
+// non-leader backends rotated round-robin, then the leader as the
+// authoritative fallback (always, even when its own probe is stale — a
+// read against it is the last thing standing between the client and a
+// 502). During an election window the last known leader fills the fallback
+// slot: its read-only state still beats an error.
+func (rt *Router) readCandidates() (cands []*backend, lead *backend) {
+	lead = rt.leader()
 	var eligible []*backend
-	for _, b := range followers {
+	for _, b := range rt.backends {
+		if b == lead {
+			continue
+		}
 		if b.ready.Load() && !b.breaker.FastFail() && rt.lag(b) <= rt.cfg.MaxLag {
 			eligible = append(eligible, b)
 		}
@@ -248,10 +416,21 @@ func (rt *Router) readCandidates() []*backend {
 		for i := 0; i < n; i++ {
 			out = append(out, eligible[(start+i)%n])
 		}
-	} else if len(followers) > 0 {
+	} else if len(rt.backends) > 1 && lead != nil {
 		rt.leaderFallbacks.Add(1)
 	}
-	return append(out, rt.leader())
+	if lead != nil {
+		return append(out, lead), lead
+	}
+	if last := rt.lastLeader.Load(); last != nil {
+		for _, b := range out {
+			if b == last {
+				return out, nil
+			}
+		}
+		return append(out, last), nil
+	}
+	return out, nil
 }
 
 // ServeHTTP routes one request: router-local health endpoints, then reads
@@ -281,12 +460,12 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // backend must never produce a 304 on another.
 func (rt *Router) serveRead(w http.ResponseWriter, r *http.Request) {
 	rt.reads.Add(1)
-	cands := rt.readCandidates()
+	cands, lead := rt.readCandidates()
 	tried := 0
-	for _, b := range cands {
+	for i, b := range cands {
 		if _, err := b.breaker.Acquire(); err != nil {
-			if b.leader {
-				// Last candidate and its breaker is cooling down: a
+			if b == lead || i == len(cands)-1 {
+				// Final fallback and its breaker is cooling down: a
 				// stale read against it still beats a guaranteed 502.
 				// attempt writes nothing on failure, so falling through
 				// to the 502 below is safe.
@@ -347,6 +526,11 @@ func (rt *Router) attempt(w http.ResponseWriter, r *http.Request, b *backend, ti
 	}
 	hdr.Del("Etag") // process-local validator; see serveRead
 	hdr.Set(HeaderRoute, b.url)
+	if hdr.Get(HeaderEpoch) == "" {
+		if e := b.epoch.Load(); e > 0 {
+			hdr.Set(HeaderEpoch, strconv.FormatUint(e, 10))
+		}
+	}
 	w.WriteHeader(resp.StatusCode)
 	b.served.Add(1)
 	copyBody(w, resp.Body) // a mid-body failure is the client's truncation to detect
@@ -367,10 +551,26 @@ func copyBody(dst io.Writer, src io.Reader) {
 	proxyBufPool.Put(bp)
 }
 
-// serveWrite proxies a mutation to the leader, streaming the body through.
+// serveWrite proxies a mutation to the discovered leader, streaming the
+// body through. With no leader (election window) it waits briefly for a
+// promotion to land, then answers 503 with Retry-After and the last known
+// leader — never a silent proxy to a node that may no longer own the write
+// path.
 func (rt *Router) serveWrite(w http.ResponseWriter, r *http.Request) {
 	rt.writes.Add(1)
 	b := rt.leader()
+	if b == nil {
+		b = rt.awaitLeader(r.Context())
+	}
+	if b == nil {
+		rt.writeUnrouted.Add(1)
+		msg := "no leader available; election in progress"
+		if last := rt.lastLeader.Load(); last != nil {
+			msg += "; last known leader " + last.url
+		}
+		writeRouterError(w, http.StatusServiceUnavailable, msg, 1)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), 2*rt.cfg.BackendTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, r.Method, b.url+r.URL.RequestURI(), r.Body)
@@ -382,8 +582,14 @@ func (rt *Router) serveWrite(w http.ResponseWriter, r *http.Request) {
 	copyProxyHeaders(req.Header, r.Header)
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		// The leader died under the write. The next probe sweep will eject
+		// it and discover its successor; tell the client to retry rather
+		// than surfacing a bare proxy error.
 		b.failures.Add(1)
-		writeRouterError(w, http.StatusBadGateway, "leader unreachable: "+err.Error(), 1)
+		b.ready.Store(false)
+		rt.writeUnrouted.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable,
+			"leader unreachable, retry: "+err.Error(), 1)
 		return
 	}
 	defer resp.Body.Close()
@@ -392,6 +598,11 @@ func (rt *Router) serveWrite(w http.ResponseWriter, r *http.Request) {
 		hdr[k] = vv
 	}
 	hdr.Set(HeaderRoute, b.url)
+	if hdr.Get(HeaderEpoch) == "" {
+		if e := b.epoch.Load(); e > 0 {
+			hdr.Set(HeaderEpoch, strconv.FormatUint(e, 10))
+		}
+	}
 	w.WriteHeader(resp.StatusCode)
 	b.served.Add(1)
 	copyBody(w, resp.Body)
@@ -422,6 +633,8 @@ func copyProxyHeaders(dst, src http.Header) {
 type backendJSON struct {
 	URL      string                  `json:"url"`
 	Leader   bool                    `json:"leader"`
+	Role     string                  `json:"role"`
+	Epoch    uint64                  `json:"epoch"`
 	Ready    bool                    `json:"ready"`
 	Seq      uint64                  `json:"seq"`
 	Lag      uint64                  `json:"lag"`
@@ -432,11 +645,13 @@ type backendJSON struct {
 }
 
 func (rt *Router) serveHealth(w http.ResponseWriter) {
+	lead := rt.leader()
 	members := make([]backendJSON, 0, len(rt.backends))
 	readable := 0
 	for _, b := range rt.backends {
 		bj := backendJSON{
-			URL: b.url, Leader: b.leader, Ready: b.ready.Load(),
+			URL: b.url, Leader: b == lead, Role: roleString(b.role.Load()),
+			Epoch: b.epoch.Load(), Ready: b.ready.Load(),
 			Seq: b.seq.Load(), Lag: rt.lag(b),
 			Served: b.served.Load(), Failures: b.failures.Load(),
 			Breaker: b.breaker.Stats(),
@@ -450,8 +665,11 @@ func (rt *Router) serveHealth(w http.ResponseWriter) {
 		members = append(members, bj)
 	}
 	status, code := "ok", http.StatusOK
-	if readable == 0 {
+	switch {
+	case readable == 0:
 		status, code = "degraded", http.StatusServiceUnavailable
+	case lead == nil:
+		status = "no-leader"
 	}
 	writeRouterJSON(w, code, map[string]any{
 		"status":   status,
@@ -462,22 +680,33 @@ func (rt *Router) serveHealth(w http.ResponseWriter) {
 			"writes":           rt.writes.Load(),
 			"read_retries":     rt.retries.Load(),
 			"leader_fallbacks": rt.leaderFallbacks.Load(),
+			"writes_unrouted":  rt.writeUnrouted.Load(),
+			"backends_fenced":  rt.fenced.Load(),
 		},
 	})
 }
 
 func (rt *Router) serveReady(w http.ResponseWriter) {
+	anyReady := false
 	for _, b := range rt.backends {
 		if b.ready.Load() {
-			writeRouterJSON(w, http.StatusOK, map[string]any{
-				"status": "ready", "role": "router", "seq": rt.leader().seq.Load(),
-			})
-			return
+			anyReady = true
+			break
 		}
 	}
-	writeRouterJSON(w, http.StatusServiceUnavailable, map[string]any{
-		"status": "unready", "role": "router", "reasons": []string{"no backend ready"},
-	})
+	if !anyReady {
+		writeRouterJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready", "role": "router", "reasons": []string{"no backend ready"},
+		})
+		return
+	}
+	body := map[string]any{"status": "ready", "role": "router", "seq": rt.horizon()}
+	if lead := rt.leader(); lead != nil {
+		body["leader"] = lead.url
+		body["epoch"] = lead.epoch.Load()
+		body["seq"] = lead.seq.Load()
+	}
+	writeRouterJSON(w, http.StatusOK, body)
 }
 
 func writeRouterJSON(w http.ResponseWriter, status int, v any) {

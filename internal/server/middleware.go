@@ -90,7 +90,13 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 // global totals dashboards already watch); Tenants breaks every workspace
 // out so operators can spot a hot one, and TotalMaterials sums them.
 type healthJSON struct {
-	Status         string                      `json:"status"`
+	Status string `json:"status"`
+	// Role, Epoch, and AppliedSeq are the node's routing identity:
+	// leader/follower/fenced/standalone, the leadership term its state
+	// reflects, and the journal sequence its reads are current to.
+	Role           string                      `json:"role"`
+	Epoch          uint64                      `json:"epoch"`
+	AppliedSeq     uint64                      `json:"applied_seq"`
 	Materials      int                         `json:"materials"`
 	TotalMaterials int                         `json:"total_materials"`
 	Generation     uint64                      `json:"generation"`
@@ -123,8 +129,8 @@ type resilienceJSON struct {
 // resilienceStats snapshots the overload controls for health reporting.
 func (s *Server) resilienceStats() resilienceJSON {
 	out := resilienceJSON{Limiter: s.limiter.Stats()}
-	if s.breaker != nil {
-		st := s.breaker.Stats()
+	if b := s.repl.Load().breaker; b != nil {
+		st := b.Stats()
 		out.Breaker = &st
 	}
 	if s.ratelimit != nil {
@@ -142,13 +148,18 @@ func (s *Server) resilienceStats() resilienceJSON {
 // invalidation generation) is what dashboards watch to confirm the read
 // path is actually being served from memoized results.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	def := s.ws.Default()
+	role, epoch := s.nodeRole()
 	resp := healthJSON{
 		Status:      "ok",
-		Materials:   s.sys.Len(),
-		Generation:  s.sys.Generation(),
-		Cache:       s.sys.CacheStats(),
+		Role:        role,
+		Epoch:       epoch,
+		AppliedSeq:  s.nodeSeq(),
+		Materials:   def.Len(),
+		Generation:  def.Generation(),
+		Cache:       def.CacheStats(),
 		Jobs:        s.runner.Stats(),
-		Learn:       s.sys.LearnStats(),
+		Learn:       def.LearnStats(),
 		Resilience:  s.resilienceStats(),
 		Replication: s.replicationStatus(),
 		Tenants:     map[string]tenantHealthJSON{},
@@ -167,16 +178,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.Tenants[name] = th
 	})
 	code := http.StatusOK
-	if s.persister != nil {
+	rs := s.repl.Load()
+	if rs.persister != nil {
 		resp.Durable = true
-		st := s.persister.Stats()
+		st := rs.persister.Stats()
 		resp.Journal = &st
 		if st.Err != "" {
 			resp.Status = "degraded"
 			code = http.StatusServiceUnavailable
 		}
 	}
-	if s.breaker != nil && s.breaker.Open() && code == http.StatusOK {
+	if rs.breaker != nil && rs.breaker.Open() && code == http.StatusOK {
 		resp.Status = "degraded"
 		code = http.StatusServiceUnavailable
 	}
@@ -196,27 +208,34 @@ func (s *Server) handleHealthLive(w http.ResponseWriter, r *http.Request) {
 // queue is saturated; 200 otherwise. Load balancers key rotation off this
 // while the liveness probe stays green.
 func (s *Server) handleHealthReady(w http.ResponseWriter, r *http.Request) {
+	rs := s.repl.Load()
 	var reasons []string
-	if s.breaker != nil && s.breaker.Open() {
+	if rs.breaker != nil && rs.breaker.Open() {
 		reasons = append(reasons, "write circuit open")
 	}
-	if s.persister != nil {
-		if st := s.persister.Stats(); st.Err != "" {
+	if rs.persister != nil {
+		if st := rs.persister.Stats(); st.Err != "" {
 			reasons = append(reasons, "journal degraded: "+st.Err)
 		}
 	}
 	if s.limiter.Saturated() {
 		reasons = append(reasons, "read queue saturated")
 	}
+	// Role, epoch, and applied sequence ride on every readiness answer:
+	// the router's leader discovery and lag accounting key off them. A
+	// fenced node stays "ready" — its reads are valid, it just no longer
+	// claims the write path.
+	role, epoch := s.nodeRole()
+	seq := s.nodeSeq()
 	if len(reasons) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "unready", "reasons": reasons,
+			"role": role, "epoch": epoch, "seq": seq, "applied_seq": seq,
 		})
 		return
 	}
-	// "seq" is the journal sequence this node's reads reflect; the read
-	// router probes it to measure each backend's replication lag.
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ready", "seq": s.nodeSeq(),
+		"status": "ready", "role": role, "epoch": epoch,
+		"seq": seq, "applied_seq": seq,
 	})
 }

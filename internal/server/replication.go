@@ -1,67 +1,224 @@
 package server
 
 import (
+	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 
+	"carcs/internal/core"
 	"carcs/internal/replica"
 )
 
 // Replication wiring. A leader attaches a replica.Hub (SetHub) to expose the
-// checkpoint-bootstrap and WAL-stream endpoints; a follower attaches its
-// replica.Follower (SetFollower) to reject mutations toward the leader and
-// stamp reads with their staleness bound.
+// checkpoint-bootstrap, WAL-stream, and fence endpoints; a follower attaches
+// its replica.Follower (SetFollower) to reject mutations toward the leader,
+// stamp reads with their staleness bound, and expose the promotion endpoint.
 //
 // The replication endpoints deliberately bypass http.TimeoutHandler and the
 // admission middleware: a WAL stream is a deliberate long-poll (the timeout
-// handler would kill it and break http.Flusher), and shedding the stream
-// under load would be exactly backwards — replication is what keeps the
-// followers able to absorb that load. They stay inside logging and panic
-// recovery.
+// handler would kill it and break http.Flusher), promotion legitimately
+// outlives a request deadline (it drains the old leader's tail and fsyncs a
+// checkpoint), and shedding any of them under load would be exactly
+// backwards — replication is what keeps the followers able to absorb that
+// load. They stay inside logging and panic recovery.
 
 // SetHub attaches the leader-side replication hub and registers the
 // replication endpoints. Call before serving.
 func (s *Server) SetHub(h *replica.Hub) {
-	s.hub = h
-	s.replMux = http.NewServeMux()
-	s.replMux.HandleFunc("GET /api/replication/checkpoint", h.ServeCheckpoint)
-	s.replMux.HandleFunc("HEAD /api/replication/checkpoint", h.ServeCheckpoint)
-	s.replMux.HandleFunc("GET /api/replication/wal", h.ServeWAL)
+	s.updateRepl(func(st *replState) {
+		st.hub = h
+		st.fence = replica.NewFence(h.Epoch())
+		st.replMux = s.leaderReplMux(h)
+	})
 	s.rebuildHandler()
+}
+
+// leaderReplMux builds the replication routes a leader answers: bootstrap,
+// WAL tail, and the deposition notice. Promote stays routable so a retried
+// promotion (an operator script re-posting after a timeout) gets an
+// idempotent 200 with the current identity instead of a 404.
+func (s *Server) leaderReplMux(h *replica.Hub) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/replication/checkpoint", h.ServeCheckpoint)
+	mux.HandleFunc("HEAD /api/replication/checkpoint", h.ServeCheckpoint)
+	mux.HandleFunc("GET /api/replication/wal", h.ServeWAL)
+	mux.HandleFunc("POST /api/replication/fence", s.handleFence)
+	mux.HandleFunc("POST /api/replication/promote", s.handlePromote)
+	return mux
 }
 
 // SetFollower marks this server as a read-only follower replicating from
 // f's leader. Mutations are refused with 503 + a Leader header; reads carry
-// CARCS-Applied-Seq (and CARCS-Stale when the follower knows it lags). Call
-// before serving, with a server built around f.System().
+// CARCS-Applied-Seq and CARCS-Epoch (and CARCS-Stale when the follower
+// knows it lags). Call before serving, with a server built around
+// f.Workspaces().
 func (s *Server) SetFollower(f *replica.Follower) {
-	s.follower = f
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/replication/promote", s.handlePromote)
+	s.updateRepl(func(st *replState) {
+		st.follower = f
+		st.replMux = mux
+	})
+	s.rebuildHandler()
+}
+
+// SetPromotion arms POST /api/replication/promote: dir is where the
+// promoted node opens its own journal, advertise (optional) is this node's
+// public base URL — forwarded to the deposed leader so its 503s can point
+// writers at the new leader — and opts carries the commit tuning the
+// promoted persister adopts. Call before serving.
+func (s *Server) SetPromotion(dir, advertise string, opts core.DurableOptions) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	s.promoteDir = dir
+	s.promoteAdvertise = advertise
+	s.promoteOpts = opts
+	s.promoteReady = true
 }
 
 // replicationBypass routes /api/replication/ around the timeout and
 // admission stack (see the package comment above) and everything else into
-// next.
+// next. The sub-mux is resolved per request from the replication identity,
+// so promotion's follower→leader route swap takes effect immediately.
 func (s *Server) replicationBypass(next http.Handler) http.Handler {
-	repl := s.replMux
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if strings.HasPrefix(r.URL.Path, "/api/replication/") {
-			repl.ServeHTTP(w, r)
+			if repl := s.repl.Load().replMux; repl != nil {
+				repl.ServeHTTP(w, r)
+				return
+			}
+			writeError(w, http.StatusNotFound, "replication not enabled on this node")
 			return
 		}
 		next.ServeHTTP(w, r)
 	})
 }
 
+// promoteRequest is the optional POST /api/replication/promote body.
+type promoteRequest struct {
+	// Advertise overrides the configured advertise URL for this promotion.
+	Advertise string `json:"advertise,omitempty"`
+}
+
+// handlePromote serves POST /api/replication/promote on a follower: stop
+// replicating, drain the reachable tail, adopt the replicated state into a
+// fresh journal at the configured data dir under a bumped epoch, start a
+// hub, and swap this server's identity to leader — all in process, while
+// reads keep flowing. Idempotent on an already-promoted node (200 with the
+// current identity); 409 when the node is not a follower or promotion was
+// never armed.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	st := s.repl.Load()
+	if st.follower == nil {
+		if st.hub != nil || st.persister != nil {
+			role, epoch := s.nodeRole()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"role": role, "epoch": epoch, "seq": s.nodeSeq(), "promoted": false,
+			})
+			return
+		}
+		writeError(w, http.StatusConflict, "not a follower; nothing to promote")
+		return
+	}
+	if !s.promoteReady {
+		writeError(w, http.StatusConflict,
+			"promotion not armed: start the follower with a data dir (-data alongside -follow)")
+		return
+	}
+	var req promoteRequest
+	if r.Body != nil {
+		_ = json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req)
+	}
+	advertise := req.Advertise
+	if advertise == "" {
+		advertise = s.promoteAdvertise
+	}
+	p, hub, err := st.follower.Promote(r.Context(), s.promoteDir, advertise, s.promoteOpts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "promote: "+err.Error())
+		return
+	}
+	s.updateRepl(func(ns *replState) {
+		ns.follower = nil
+		ns.persister = p
+		ns.breaker = p.Breaker()
+		ns.hub = hub
+		ns.fence = replica.NewFence(p.Epoch())
+		ns.replMux = s.leaderReplMux(hub)
+	})
+	s.log.Printf("promoted to leader: epoch %d at seq %d", p.Epoch(), p.Seq())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role": "leader", "epoch": p.Epoch(), "seq": p.Seq(), "promoted": true,
+	})
+}
+
+// handleFence serves POST /api/replication/fence on a (possibly deposed)
+// leader: fold the observed term into the fence. Once a higher term is
+// seen the node refuses writes with 503 + Leader — its records would carry
+// a stale epoch every applier rejects anyway; fencing just stops it
+// acking writes it can no longer replicate.
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Epoch  uint64 `json:"epoch"`
+		Leader string `json:"leader,omitempty"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad fence body: "+err.Error())
+		return
+	}
+	st := s.repl.Load()
+	if st.fence == nil {
+		writeError(w, http.StatusConflict, "not a leader; nothing to fence")
+		return
+	}
+	fenced := st.fence.Observe(req.Epoch, req.Leader)
+	if fenced {
+		s.log.Printf("fenced: observed epoch %d (own %d), leader %s",
+			req.Epoch, st.fence.Own(), st.fence.Leader())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fenced": fenced, "epoch": st.fence.Seen(),
+	})
+}
+
 // replicationStatus reports this node's replication role for /api/health,
-// nil on an unreplicated node.
+// nil on an unreplicated node. A deposed leader reports "fenced" with the
+// leader that superseded it.
 func (s *Server) replicationStatus() *replica.Status {
+	st := s.repl.Load()
 	switch {
-	case s.hub != nil:
-		return s.hub.Status()
-	case s.follower != nil:
-		return s.follower.Status()
+	case st.hub != nil:
+		status := st.hub.Status()
+		if st.fence != nil && st.fence.Fenced() {
+			status.Role = "fenced"
+			status.Leader = st.fence.Leader()
+		}
+		return status
+	case st.follower != nil:
+		return st.follower.Status()
 	}
 	return nil
+}
+
+// nodeRole resolves this node's routing identity: role plus the leadership
+// epoch its state reflects. Every durable or replicated node has one; an
+// ephemeral unreplicated node is "standalone" at epoch 0.
+func (s *Server) nodeRole() (string, uint64) {
+	st := s.repl.Load()
+	switch {
+	case st.follower != nil:
+		return "follower", st.follower.Epoch()
+	case st.fence != nil && st.fence.Fenced():
+		return "fenced", st.fence.Own()
+	case st.hub != nil:
+		return "leader", st.hub.Epoch()
+	case st.persister != nil:
+		return "standalone", st.persister.Epoch()
+	}
+	return "standalone", 0
 }
 
 // nodeSeq is the journal sequence this node's reads reflect: the applied
@@ -69,11 +226,12 @@ func (s *Server) replicationStatus() *replica.Status {
 // in-memory view generation on an ephemeral node (generations ARE its
 // sequence numbers then — both count committed mutations from boot).
 func (s *Server) nodeSeq() uint64 {
+	st := s.repl.Load()
 	switch {
-	case s.follower != nil:
-		return s.follower.Applied()
-	case s.persister != nil:
-		return s.persister.Seq()
+	case st.follower != nil:
+		return st.follower.Applied()
+	case st.persister != nil:
+		return st.persister.Seq()
 	}
-	return s.sys.Generation()
+	return s.ws.Default().Generation()
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"strconv"
@@ -107,31 +108,51 @@ func (s *Server) withResilience(next http.Handler) http.Handler {
 				return
 			}
 		}
-		if s.follower != nil {
+		st := s.repl.Load()
+		if st.follower != nil {
 			if class != resilience.ClassRead {
 				// A follower is read-only: answer with the leader's
 				// location so clients (and the router) know where
 				// mutations go, in the standard overload envelope.
-				w.Header().Set("Leader", s.follower.LeaderURL())
+				w.Header().Set("Leader", st.follower.LeaderURL())
 				writeOverload(w, http.StatusServiceUnavailable,
-					"read-only follower: send writes to the leader at "+s.follower.LeaderURL(),
+					"read-only follower: send writes to the leader at "+st.follower.LeaderURL(),
 					time.Second)
 				return
 			}
 			// Stamp reads with the staleness bound: the leader sequence
-			// this node's views reflect, plus an explicit marker when it
-			// knows it is behind — same contract as serve-stale.
-			applied := s.follower.Applied()
+			// and epoch this node's views reflect, plus an explicit marker
+			// when it knows it is behind — same contract as serve-stale.
+			applied := st.follower.Applied()
 			w.Header().Set(replica.HeaderAppliedSeq, strconv.FormatUint(applied, 10))
-			if s.follower.LeaderSeq() > applied {
+			w.Header().Set(replica.HeaderEpoch, strconv.FormatUint(st.follower.Epoch(), 10))
+			if st.follower.LeaderSeq() > applied {
 				w.Header().Set("CARCS-Stale", "true")
 			}
 		}
-		if class != resilience.ClassRead && s.breaker != nil && s.breaker.FastFail() {
+		if st.fence != nil && st.fence.Fenced() {
+			if class != resilience.ClassRead {
+				// A deposed leader: a higher epoch exists, so any write
+				// acked here would carry a stale term every applier
+				// rejects. Refuse it and point at the new leader.
+				if lead := st.fence.Leader(); lead != "" {
+					w.Header().Set("Leader", lead)
+				}
+				writeOverload(w, http.StatusServiceUnavailable,
+					fmt.Sprintf("leader fenced: epoch %d superseded by %d; writes go to the new leader",
+						st.fence.Own(), st.fence.Seen()),
+					time.Second)
+				return
+			}
+			// Reads stay up — the node is a frozen replica of its own
+			// final state; stamp the term that state was written at.
+			w.Header().Set(replica.HeaderEpoch, strconv.FormatUint(st.fence.Own(), 10))
+		}
+		if class != resilience.ClassRead && st.breaker != nil && st.breaker.FastFail() {
 			// The journal is refusing appends; fail the write before it
 			// queues. Reads keep flowing — they serve from snapshots.
 			writeOverload(w, http.StatusServiceUnavailable,
-				"writes unavailable: journal circuit open", s.breaker.RetryAfter())
+				"writes unavailable: journal circuit open", st.breaker.RetryAfter())
 			return
 		}
 		release, err := s.limiter.Acquire(r.Context(), class)
@@ -202,8 +223,8 @@ func (s *Server) serveStale(w http.ResponseWriter, r *http.Request) bool {
 func (s *Server) writeMutationError(w http.ResponseWriter, fallback int, err error) {
 	if errors.Is(err, core.ErrWritesUnavailable) {
 		retry := time.Second
-		if s.breaker != nil {
-			retry = s.breaker.RetryAfter()
+		if b := s.repl.Load().breaker; b != nil {
+			retry = b.RetryAfter()
 		}
 		writeOverload(w, http.StatusServiceUnavailable, err.Error(), retry)
 		return

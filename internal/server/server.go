@@ -20,6 +20,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"carcs/internal/core"
@@ -54,19 +56,37 @@ type Server struct {
 	handler   http.Handler
 
 	// Overload controls (see resilience.go): adaptive admission, optional
-	// per-client rate limiting, the write-path breaker surfaced from the
-	// persister, and the serve-stale generation allowance.
+	// per-client rate limiting, and the serve-stale generation allowance.
 	limiter   *resilience.Limiter
 	ratelimit *resilience.RateLimiter
-	breaker   *resilience.Breaker
 	staleGens uint64
 
-	// Replication wiring (see replication.go): the leader-side hub with
-	// its dedicated sub-mux outside the timeout stack, or the follower
-	// this read-only node replicates from.
-	hub      *replica.Hub
-	replMux  *http.ServeMux
-	follower *replica.Follower
+	// repl is the node's replication identity (see replication.go):
+	// persister, write breaker, hub or follower, epoch fence, and the
+	// replication sub-mux, swapped as one value. It is an atomic pointer
+	// because promotion replaces the whole set mid-traffic — a request
+	// observes either the follower identity or the leader identity, never
+	// a half-updated mix.
+	repl atomic.Pointer[replState]
+
+	// Promotion target (SetPromotion): where a promoted follower opens its
+	// own journal, and the commit options it adopts. promoteMu serializes
+	// concurrent promote requests.
+	promoteMu        sync.Mutex
+	promoteDir       string
+	promoteOpts      core.DurableOptions
+	promoteAdvertise string
+	promoteReady     bool
+}
+
+// replState is one immutable snapshot of the server's replication identity.
+type replState struct {
+	persister *core.Persister
+	breaker   *resilience.Breaker
+	hub       *replica.Hub
+	follower  *replica.Follower
+	fence     *replica.Fence
+	replMux   *http.ServeMux
 }
 
 // New builds a server around the system, logging to w (io.Discard for
@@ -84,6 +104,7 @@ func New(sys *core.System, w io.Writer) *Server {
 		limiter:   resilience.NewLimiter(resilience.LimiterConfig{}),
 		staleGens: 1,
 	}
+	s.repl.Store(&replState{})
 	// Background bulk jobs compete for the same capacity as requests:
 	// each holds one bulk-class slot while it runs, so foreground reads
 	// and writes are never starved by an import sweep.
@@ -111,8 +132,28 @@ func (s *Server) DrainJobs(ctx context.Context) error {
 // journal and checkpoint state and the HTTP layer can fast-fail writes
 // when the journal circuit is open. Call before serving.
 func (s *Server) SetPersister(p *core.Persister) {
-	s.persister = p
-	s.breaker = p.Breaker()
+	s.updateRepl(func(st *replState) {
+		st.persister = p
+		st.breaker = p.Breaker()
+	})
+}
+
+// Persister returns the node's durability layer, nil on an ephemeral or
+// (not yet promoted) follower node. The shutdown path uses it to close the
+// journal a promotion opened mid-run.
+func (s *Server) Persister() *core.Persister { return s.repl.Load().persister }
+
+// updateRepl applies f to a copy of the current replication identity and
+// swaps it in atomically.
+func (s *Server) updateRepl(f func(*replState)) {
+	for {
+		cur := s.repl.Load()
+		next := *cur
+		f(&next)
+		if s.repl.CompareAndSwap(cur, &next) {
+			return
+		}
+	}
 }
 
 // SetRequestTimeout changes the per-request deadline (0 disables it). Call
@@ -136,11 +177,11 @@ func (s *Server) rebuildHandler() {
 	// the request context, so everything inside (rate keys, stale cache,
 	// handlers) sees an explicit tenant.
 	h = s.withTenant(h)
-	if s.replMux != nil {
-		// Replication streams are deliberate long-polls: route them
-		// around the timeout and admission stack (see replication.go).
-		h = s.replicationBypass(h)
-	}
+	// Replication endpoints are routed around the timeout and admission
+	// stack (see replication.go). The bypass resolves the replication
+	// sub-mux per request, so a promotion swapping follower routes for
+	// leader routes needs no handler rebuild.
+	h = s.replicationBypass(h)
 	s.handler = s.withLogging(s.withRecovery(h))
 }
 

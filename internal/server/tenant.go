@@ -99,12 +99,23 @@ func tenantStatus(name string, sys *core.System) tenantJSON {
 func (s *Server) handleTenantResource(w http.ResponseWriter, r *http.Request, name string) {
 	switch r.Method {
 	case http.MethodPut:
-		if s.follower != nil {
+		if f := s.repl.Load().follower; f != nil {
 			// A follower's tenant set, like the rest of its state, is
 			// whatever the leader's WAL says it is.
-			w.Header().Set("Leader", s.follower.LeaderURL())
+			w.Header().Set("Leader", f.LeaderURL())
 			writeError(w, http.StatusServiceUnavailable,
-				"read-only follower: create workspaces on the leader at "+s.follower.LeaderURL())
+				"read-only follower: create workspaces on the leader at "+f.LeaderURL())
+			return
+		}
+		if fence := s.repl.Load().fence; fence != nil && fence.Fenced() {
+			// Workspace creation is a write; a deposed leader refuses it
+			// like any other mutation (this path sits outside the
+			// resilience middleware, so the fence is checked here too).
+			if lead := fence.Leader(); lead != "" {
+				w.Header().Set("Leader", lead)
+			}
+			writeError(w, http.StatusServiceUnavailable,
+				"leader fenced: create workspaces on the current leader")
 			return
 		}
 		if name != core.DefaultTenant {
